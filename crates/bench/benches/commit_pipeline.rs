@@ -1,0 +1,57 @@
+//! Commit-pipeline micro-benchmark: per-transaction Sync vs group commit
+//! (Figure 5b vs 5c) with a non-zero simulated fsync, under 8 concurrent
+//! committers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txsql_common::metrics::EngineMetrics;
+use txsql_common::{Row, TableId, TxnId};
+use txsql_core::{BinlogTxn, CommitHook, CommitPipeline};
+use txsql_storage::{RedoLog, RedoRecord};
+
+fn binlog(txn: u64) -> BinlogTxn {
+    BinlogTxn {
+        txn: TxnId(txn),
+        trx_no: txn,
+        changes: vec![(TableId(1), 1, Row::from_ints(&[1, txn as i64]))],
+        involves_hotspot: true,
+    }
+}
+
+fn bench_commit_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_pipeline_8_committers");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, group_commit) in [("per_txn_sync", false), ("group_commit", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &group_commit, |b, &gc| {
+            b.iter_custom(|iters| {
+                let metrics = Arc::new(EngineMetrics::new());
+                let pipeline = Arc::new(CommitPipeline::new(gc, metrics));
+                let redo = Arc::new(RedoLog::new(Duration::from_micros(20)));
+                let hooks: Vec<Arc<dyn CommitHook>> = Vec::new();
+                let per_thread = (iters as usize).max(8) / 8;
+                let start = Instant::now();
+                std::thread::scope(|scope| {
+                    for worker in 0..8u64 {
+                        let pipeline = Arc::clone(&pipeline);
+                        let redo = Arc::clone(&redo);
+                        let hooks = hooks.clone();
+                        scope.spawn(move || {
+                            for i in 0..per_thread {
+                                let txn = worker * 1_000_000 + i as u64;
+                                let lsn =
+                                    redo.append(RedoRecord::Commit { txn: TxnId(txn), trx_no: txn });
+                                pipeline.commit(&redo, lsn, binlog(txn), &hooks);
+                            }
+                        });
+                    }
+                });
+                start.elapsed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Per-protocol cost of one hot-row update transaction (single client), plus
+//! a small contended scenario — the Criterion-level counterpart of Figure 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txsql_common::{Row, TableId};
+use txsql_core::{Database, EngineConfig, Operation, Protocol, TxnProgram};
+use txsql_storage::TableSchema;
+
+const TABLE: TableId = TableId(77);
+
+fn setup(protocol: Protocol) -> Database {
+    let db = Database::new(
+        EngineConfig::for_protocol(protocol).with_hotspot_threshold(2),
+    );
+    db.create_table(TableSchema::new(TABLE, "bench", 2)).unwrap();
+    for pk in 0..1_024 {
+        db.load_row(TABLE, Row::from_ints(&[pk, 0])).unwrap();
+    }
+    db
+}
+
+fn hot_update_program() -> TxnProgram {
+    TxnProgram::new(vec![Operation::UpdateAdd { table: TABLE, pk: 0, column: 1, delta: 1 }])
+}
+
+fn bench_single_client(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_update_single_client");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for protocol in [
+        Protocol::Mysql2pl,
+        Protocol::LightweightO1,
+        Protocol::QueueLockingO2,
+        Protocol::GroupLockingTxsql,
+        Protocol::Bamboo,
+    ] {
+        let db = setup(protocol);
+        let program = hot_update_program();
+        group.bench_with_input(BenchmarkId::from_parameter(protocol.label()), &db, |b, db| {
+            b.iter(|| db.execute_program(&program).unwrap());
+        });
+        db.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_update_4_clients");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for protocol in [Protocol::Mysql2pl, Protocol::GroupLockingTxsql] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, &protocol| {
+                b.iter_custom(|iters| {
+                    let db = Arc::new(setup(protocol));
+                    let per_thread = (iters as usize).max(4) / 4;
+                    let start = Instant::now();
+                    std::thread::scope(|scope| {
+                        for _ in 0..4 {
+                            let db = Arc::clone(&db);
+                            scope.spawn(move || {
+                                let program = hot_update_program();
+                                let mut done = 0;
+                                while done < per_thread {
+                                    if db.execute_program(&program).is_ok() {
+                                        done += 1;
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    let elapsed = start.elapsed();
+                    db.shutdown();
+                    elapsed
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_client, bench_contended);
+criterion_main!(benches);

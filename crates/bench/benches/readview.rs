@@ -1,0 +1,27 @@
+//! Read-view creation cost: the copying active-transaction-list view vs the
+//! copy-free `del_ts` view (§3.1.2), at increasing numbers of concurrently
+//! active transactions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use txsql_txn::{ReadViewMode, TrxSys};
+
+fn bench_readview_creation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_view_creation");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for active in [16usize, 256, 4096] {
+        let sys = TrxSys::new(ReadViewMode::CopyFree);
+        let txns: Vec<_> = (0..active).map(|_| sys.begin()).collect();
+        let owner = txns[0].id;
+        group.bench_with_input(BenchmarkId::new("copying", active), &active, |b, _| {
+            b.iter(|| sys.read_view_in_mode(owner, ReadViewMode::Copying));
+        });
+        group.bench_with_input(BenchmarkId::new("copy_free", active), &active, |b, _| {
+            b.iter(|| sys.read_view_in_mode(owner, ReadViewMode::CopyFree));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_readview_creation);
+criterion_main!(benches);

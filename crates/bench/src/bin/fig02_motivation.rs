@@ -1,0 +1,62 @@
+//! Figure 2 — motivation for hotspot optimization.
+//!
+//! (a) MySQL-style 2PL throughput on the SysBench hotspot-update workload as
+//!     the client thread count grows: more concurrency makes it *slower*
+//!     because deadlock detection and lock-queue maintenance dominate.
+//! (b) MySQL vs queue locking (O2) vs group locking (TXSQL) as the
+//!     per-transaction latency grows (transaction length sweep with the
+//!     semi-sync commit latency enabled): queue locking's benefit shrinks,
+//!     group locking's does not.
+
+use txsql_bench::{build_db, closed_loop, fmt, print_table, thread_ladder};
+use txsql_common::latency::LatencyModel;
+use txsql_core::Protocol;
+use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
+
+fn main() {
+    // Part (a): MySQL hotspot update vs thread count.
+    let mut rows = Vec::new();
+    for threads in thread_ladder() {
+        let db = build_db(Protocol::Mysql2pl, None);
+        let workload = SysbenchWorkload::standard(SysbenchVariant::HotspotUpdate);
+        let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+        rows.push(vec![
+            threads.to_string(),
+            fmt(snapshot.tps),
+            fmt(snapshot.p95_latency_ms),
+            snapshot.deadlock_checks.to_string(),
+        ]);
+        db.shutdown();
+    }
+    print_table(
+        "Figure 2a: MySQL, SysBench hotspot update (TPS collapses with concurrency)",
+        &["threads".into(), "tps".into(), "p95_ms".into(), "deadlock_checks".into()],
+        &rows,
+    );
+
+    // Part (b): transaction-length sweep under commit latency.
+    let lengths = [1usize, 2, 4, 8, 16];
+    let protocols = [Protocol::Mysql2pl, Protocol::QueueLockingO2, Protocol::GroupLockingTxsql];
+    let mut rows = Vec::new();
+    for &length in &lengths {
+        let mut row = vec![length.to_string()];
+        for &protocol in &protocols {
+            let db = build_db(protocol, Some(LatencyModel::semi_sync_replication()));
+            let workload = SysbenchWorkload::standard(SysbenchVariant::HotspotReadWrite {
+                writes: 1,
+                reads: length.saturating_sub(1),
+                skew: 0.7,
+            });
+            let threads = *thread_ladder().last().unwrap();
+            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+            row.push(fmt(snapshot.tps));
+            db.shutdown();
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 2b: hotspot update TPS vs transaction length (MySQL / Queue / Group)",
+        &["txn_len".into(), "MySQL".into(), "Queue(O2)".into(), "Group(TXSQL)".into()],
+        &rows,
+    );
+}

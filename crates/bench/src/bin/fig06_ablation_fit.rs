@@ -1,0 +1,54 @@
+//! Figure 6a–6d — ablation on the FiT workload.
+//!
+//! For MySQL / O1 / O2 / TXSQL across the thread ladder: throughput, the
+//! CPU-utilisation proxy, p95 latency with its lock-wait share, and lock
+//! objects created per query.
+
+use txsql_bench::{build_db, closed_loop, fmt, print_table, short_thread_ladder};
+use txsql_core::Protocol;
+use txsql_workloads::{run_closed_loop, FitWorkload};
+
+fn main() {
+    let protocols = Protocol::ABLATION;
+    let mut tps_rows = Vec::new();
+    let mut util_rows = Vec::new();
+    let mut latency_rows = Vec::new();
+    let mut locks_rows = Vec::new();
+
+    for threads in short_thread_ladder() {
+        let mut tps = vec![threads.to_string()];
+        let mut util = vec![threads.to_string()];
+        let mut latency = vec![threads.to_string()];
+        let mut locks = vec![threads.to_string()];
+        for protocol in protocols {
+            let db = build_db(protocol, None);
+            let workload = FitWorkload::standard();
+            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+            tps.push(fmt(snapshot.tps));
+            util.push(fmt(snapshot.utilization * 100.0));
+            latency.push(format!(
+                "{} ({})",
+                fmt(snapshot.p95_latency_ms),
+                fmt(snapshot.p95_lock_wait_ms)
+            ));
+            locks.push(fmt(snapshot.locks_per_query));
+            db.shutdown();
+        }
+        tps_rows.push(tps);
+        util_rows.push(util);
+        latency_rows.push(latency);
+        locks_rows.push(locks);
+    }
+
+    let headers: Vec<String> = std::iter::once("threads".to_string())
+        .chain(protocols.iter().map(|p| p.label().to_string()))
+        .collect();
+    print_table("Figure 6a: FiT throughput (TPS)", &headers, &tps_rows);
+    print_table("Figure 6b: FiT CPU utilisation proxy (%)", &headers, &util_rows);
+    print_table(
+        "Figure 6c: FiT p95 latency ms (lock-wait share in parentheses)",
+        &headers,
+        &latency_rows,
+    );
+    print_table("Figure 6d: FiT lock objects created per query", &headers, &locks_rows);
+}

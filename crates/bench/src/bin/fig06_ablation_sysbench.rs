@@ -1,0 +1,42 @@
+//! Figure 6e–6h — ablation on the SysBench variants.
+//!
+//! MySQL / O1 / O2 / TXSQL throughput on hotspot update, hotspot scan,
+//! uniform update and uniform read-only workloads across the thread ladder.
+//! In the uniform (and scan) cases O2/TXSQL must *not* improve over O1 — the
+//! hotspot machinery never engages — which is exactly what the paper reports.
+
+use txsql_bench::{build_db, closed_loop, fmt, print_table, short_thread_ladder};
+use txsql_core::Protocol;
+use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
+
+fn main() {
+    let variants: Vec<(&str, SysbenchVariant)> = vec![
+        ("Figure 6e: SysBench hotspot update (TPS)", SysbenchVariant::HotspotUpdate),
+        ("Figure 6f: SysBench hotspot scan (TPS)", SysbenchVariant::HotspotScan { hot_rows: 10 }),
+        ("Figure 6g: SysBench uniform update (TPS)", SysbenchVariant::UniformUpdate { length: 2 }),
+        (
+            "Figure 6h: SysBench uniform read-only (TPS)",
+            SysbenchVariant::UniformReadOnly { length: 10 },
+        ),
+    ];
+    let protocols = Protocol::ABLATION;
+    let headers: Vec<String> = std::iter::once("threads".to_string())
+        .chain(protocols.iter().map(|p| p.label().to_string()))
+        .collect();
+
+    for (title, variant) in variants {
+        let mut rows = Vec::new();
+        for threads in short_thread_ladder() {
+            let mut row = vec![threads.to_string()];
+            for protocol in protocols {
+                let db = build_db(protocol, None);
+                let workload = SysbenchWorkload::new(variant, 100_000);
+                let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+                row.push(fmt(snapshot.tps));
+                db.shutdown();
+            }
+            rows.push(row);
+        }
+        print_table(title, &headers, &rows);
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 7 — write-ratio and transaction-length sweeps at high concurrency.
+//!
+//! (a) SysBench hotspot mix with the write ratio swept from 0% to 75%
+//!     (transaction length 20), at the largest thread count of the ladder.
+//! (b) Transaction length swept from 2 to 16 at a 50% write ratio.
+
+use txsql_bench::{build_db, closed_loop, fmt, print_table, thread_ladder};
+use txsql_core::Protocol;
+use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
+
+fn run_mix(protocol: Protocol, writes: usize, reads: usize, threads: usize) -> f64 {
+    let db = build_db(protocol, None);
+    let variant = if writes == 0 {
+        SysbenchVariant::UniformReadOnly { length: reads.max(1) }
+    } else {
+        SysbenchVariant::HotspotReadWrite { writes, reads, skew: 0.9 }
+    };
+    let workload = SysbenchWorkload::standard(variant);
+    let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+    db.shutdown();
+    snapshot.tps
+}
+
+fn main() {
+    let protocols = Protocol::ABLATION;
+    let threads = *thread_ladder().last().unwrap();
+    let headers: Vec<String> = std::iter::once("param".to_string())
+        .chain(protocols.iter().map(|p| p.label().to_string()))
+        .collect();
+
+    // (a) write-ratio sweep, transaction length 20.
+    let mut rows = Vec::new();
+    for write_pct in [0usize, 25, 50, 75] {
+        let total = 20usize;
+        let writes = total * write_pct / 100;
+        let reads = total - writes;
+        let mut row = vec![format!("{write_pct}%")];
+        for protocol in protocols {
+            row.push(fmt(run_mix(protocol, writes, reads, threads)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 7a: SysBench read/write mix, TL=20, threads={threads} (TPS)"),
+        &headers,
+        &rows,
+    );
+
+    // (b) transaction-length sweep at 50% writes.
+    let mut rows = Vec::new();
+    for length in [2usize, 4, 8, 16] {
+        let writes = length / 2;
+        let reads = length - writes;
+        let mut row = vec![length.to_string()];
+        for protocol in protocols {
+            row.push(fmt(run_mix(protocol, writes, reads, threads)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 7b: SysBench 50% writes, length sweep, threads={threads} (TPS)"),
+        &headers,
+        &rows,
+    );
+}

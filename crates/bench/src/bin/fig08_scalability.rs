@@ -1,0 +1,31 @@
+//! Figure 8 — scalability on the SysBench hotspot update: MySQL / Aria /
+//! Bamboo / TXSQL throughput and p95 latency as the thread count grows.
+
+use txsql_bench::{build_db, closed_loop, fmt, print_table, thread_ladder};
+use txsql_core::Protocol;
+use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
+
+fn main() {
+    let protocols = Protocol::SYSTEMS;
+    let headers: Vec<String> = std::iter::once("threads".to_string())
+        .chain(protocols.iter().map(|p| p.label().to_string()))
+        .collect();
+    let mut tps_rows = Vec::new();
+    let mut p95_rows = Vec::new();
+    for threads in thread_ladder() {
+        let mut tps = vec![threads.to_string()];
+        let mut p95 = vec![threads.to_string()];
+        for protocol in protocols {
+            let db = build_db(protocol, None);
+            let workload = SysbenchWorkload::standard(SysbenchVariant::HotspotUpdate);
+            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+            tps.push(fmt(snapshot.tps));
+            p95.push(fmt(snapshot.p95_latency_ms));
+            db.shutdown();
+        }
+        tps_rows.push(tps);
+        p95_rows.push(p95);
+    }
+    print_table("Figure 8 (top): SysBench hotspot update TPS", &headers, &tps_rows);
+    print_table("Figure 8 (bottom): SysBench hotspot update p95 latency (ms)", &headers, &p95_rows);
+}

@@ -1,0 +1,41 @@
+//! Figure 9 — FiT throughput under synchronous (semi-sync) and asynchronous
+//! replication to two replicas, MySQL / Aria / Bamboo / TXSQL.
+
+use txsql_bench::{build_db, closed_loop, fmt, print_table, short_thread_ladder};
+use txsql_common::latency::LatencyModel;
+use txsql_core::Protocol;
+use txsql_replication::{ReplicationHook, ReplicationMode};
+use txsql_workloads::{run_closed_loop, FitWorkload};
+
+fn run(protocol: Protocol, mode: ReplicationMode, threads: usize) -> f64 {
+    let latency = LatencyModel::semi_sync_replication();
+    let db = build_db(protocol, Some(latency));
+    let hook = ReplicationHook::new(mode, latency, 2);
+    db.register_commit_hook(hook.clone());
+    let workload = FitWorkload::standard();
+    let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+    hook.shutdown();
+    db.shutdown();
+    snapshot.tps
+}
+
+fn main() {
+    let protocols = Protocol::SYSTEMS;
+    let headers: Vec<String> = std::iter::once("threads".to_string())
+        .chain(protocols.iter().map(|p| p.label().to_string()))
+        .collect();
+    for (title, mode) in [
+        ("Figure 9a: FiT TPS, synchronous (semi-sync) replication", ReplicationMode::Synchronous),
+        ("Figure 9b: FiT TPS, asynchronous replication", ReplicationMode::Asynchronous),
+    ] {
+        let mut rows = Vec::new();
+        for threads in short_thread_ladder() {
+            let mut row = vec![threads.to_string()];
+            for protocol in protocols {
+                row.push(fmt(run(protocol, mode, threads)));
+            }
+            rows.push(row);
+        }
+        print_table(title, &headers, &rows);
+    }
+}

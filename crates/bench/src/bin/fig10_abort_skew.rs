@@ -1,0 +1,90 @@
+//! Figure 10 — (left) effect of injected aborts on the cascading-abort ratio
+//! for TXSQL vs Bamboo; (right) effect of Zipf skew on throughput for the
+//! four compared systems.
+
+use txsql_bench::{build_db, closed_loop, fmt, print_table, thread_ladder};
+use txsql_core::{Database, Operation, Protocol};
+use txsql_workloads::{
+    run_closed_loop, SysbenchVariant, SysbenchWorkload, Workload,
+};
+
+/// A wrapper workload that appends a `ForcedRollback` to a fraction of the
+/// generated transactions (the paper injects 0.5–3% aborts).
+struct AbortInjecting<W> {
+    inner: W,
+    abort_probability: f64,
+    name: String,
+}
+
+impl<W: Workload> Workload for AbortInjecting<W> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn setup(&self, db: &Database) {
+        self.inner.setup(db);
+    }
+    fn next_program(
+        &self,
+        rng: &mut txsql_common::rng::XorShiftRng,
+    ) -> txsql_core::TxnProgram {
+        let mut program = self.inner.next_program(rng);
+        if rng.next_bool(self.abort_probability) {
+            program.operations.push(Operation::ForcedRollback);
+        }
+        program
+    }
+}
+
+fn main() {
+    let threads = *thread_ladder().last().unwrap();
+
+    // Left: injected abort ratio -> cascade abort ratio (TXSQL vs Bamboo).
+    let mut rows = Vec::new();
+    for inject_pct in [0.5f64, 1.0, 2.0, 3.0] {
+        let mut row = vec![format!("{inject_pct}%")];
+        for protocol in [Protocol::GroupLockingTxsql, Protocol::Bamboo] {
+            let db = build_db(protocol, None);
+            let workload = AbortInjecting {
+                inner: SysbenchWorkload::standard(SysbenchVariant::HotspotReadWrite {
+                    writes: 8,
+                    reads: 8,
+                    skew: 0.9,
+                }),
+                abort_probability: inject_pct / 100.0,
+                name: format!("abort-inject-{inject_pct}"),
+            };
+            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+            row.push(format!("{:.2}%", snapshot.cascade_abort_ratio * 100.0));
+            db.shutdown();
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 10 (left): cascade abort ratio vs injected aborts, threads={threads}"),
+        &["injected".into(), "TXSQL".into(), "Bamboo".into()],
+        &rows,
+    );
+
+    // Right: skew sweep -> TPS for the four systems.
+    let protocols = Protocol::SYSTEMS;
+    let headers: Vec<String> = std::iter::once("skew".to_string())
+        .chain(protocols.iter().map(|p| p.label().to_string()))
+        .collect();
+    let mut rows = Vec::new();
+    for skew in [0.7f64, 0.8, 0.9, 0.95, 0.99] {
+        let mut row = vec![skew.to_string()];
+        for protocol in protocols {
+            let db = build_db(protocol, None);
+            let workload = SysbenchWorkload::standard(SysbenchVariant::ZipfUpdate { skew });
+            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+            row.push(fmt(snapshot.tps));
+            db.shutdown();
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 10 (right): TPS vs Zipf skew, TL=1, threads={threads}"),
+        &headers,
+        &rows,
+    );
+}

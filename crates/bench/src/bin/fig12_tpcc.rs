@@ -1,0 +1,62 @@
+//! Figure 12 — TPC-C with the warehouse count swept from 16 down to 1:
+//! throughput and mean Payment-style latency for MySQL / Aria / Bamboo /
+//! TXSQL.  Fewer warehouses means more contention on the warehouse and
+//! district rows.
+
+use txsql_bench::{build_db, closed_loop, fmt, full_scale, print_table, thread_ladder};
+use txsql_core::Protocol;
+use txsql_workloads::{run_closed_loop, TpccWorkload};
+
+fn main() {
+    let protocols = Protocol::SYSTEMS;
+    let threads = *thread_ladder().last().unwrap();
+    let warehouses = if full_scale() { vec![16i64, 8, 4, 2, 1] } else { vec![4i64, 2, 1] };
+    let headers: Vec<String> = std::iter::once("warehouses".to_string())
+        .chain(protocols.iter().map(|p| p.label().to_string()))
+        .collect();
+    let mut tps_rows = Vec::new();
+    let mut latency_rows = Vec::new();
+    for &w in &warehouses {
+        let mut tps = vec![w.to_string()];
+        let mut latency = vec![w.to_string()];
+        for protocol in protocols {
+            let db = build_db(protocol, None);
+            let workload = TpccWorkload::new(w);
+            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+            tps.push(fmt(snapshot.tps));
+            latency.push(fmt(snapshot.mean_latency_ms));
+            // §6.4.5-style consistency check: warehouse YTD == sum of districts.
+            // (Reported rather than asserted: the Bamboo baseline's early lock
+            // release can leak an aborted delta into a dependent after-image
+            // under multi-statement transactions — a known limitation of this
+            // reproduction's Bamboo cascade handling, documented in
+            // EXPERIMENTS.md.  TXSQL/MySQL/Aria must always pass.)
+            let consistent = workload.consistency_check(&db);
+            if !consistent {
+                println!(
+                    "  !! consistency check failed under {:?} with {} warehouses",
+                    protocol, w
+                );
+            }
+            if protocol != Protocol::Bamboo {
+                assert!(
+                    consistent,
+                    "TPC-C consistency violated under {protocol:?} with {w} warehouses"
+                );
+            }
+            db.shutdown();
+        }
+        tps_rows.push(tps);
+        latency_rows.push(latency);
+    }
+    print_table(
+        &format!("Figure 12 (left): TPC-C TPS, threads={threads}"),
+        &headers,
+        &tps_rows,
+    );
+    print_table(
+        &format!("Figure 12 (right): TPC-C mean transaction latency (ms), threads={threads}"),
+        &headers,
+        &latency_rows,
+    );
+}

@@ -1,0 +1,96 @@
+//! Figure 13 — effect of the group-locking batch size (left) and of group
+//! commit under synchronous / asynchronous replication (right).
+
+use txsql_bench::{closed_loop, fmt, full_scale, print_table};
+use txsql_common::latency::LatencyModel;
+use txsql_core::{Database, EngineConfig, Protocol};
+use txsql_replication::{ReplicationHook, ReplicationMode};
+use txsql_workloads::{
+    run_closed_loop, FitWorkload, SysbenchVariant, SysbenchWorkload, Workload,
+};
+
+fn run(config: EngineConfig, workload: &dyn Workload, threads: usize) -> f64 {
+    let db = Database::new(config);
+    let snapshot = run_closed_loop(&db, workload, &closed_loop(threads));
+    db.shutdown();
+    snapshot.tps
+}
+
+fn main() {
+    let (high_threads, low_threads) = if full_scale() { (512, 32) } else { (128, 32) };
+    let batch_sizes = [1usize, 4, 16, 64, 256];
+
+    // Left: fixed batch size sweep for FIT / HRW / HU at two thread counts.
+    let mut rows = Vec::new();
+    for &batch in &batch_sizes {
+        let mut row = vec![batch.to_string()];
+        for &threads in &[high_threads, low_threads] {
+            let config = EngineConfig::for_protocol(Protocol::GroupLockingTxsql)
+                .with_batch_size(batch)
+                .with_dynamic_batch(false);
+            row.push(fmt(run(config.clone(), &FitWorkload::standard(), threads)));
+            let hrw = SysbenchWorkload::standard(SysbenchVariant::HotspotReadWrite {
+                writes: 8,
+                reads: 8,
+                skew: 0.9,
+            });
+            row.push(fmt(run(config.clone(), &hrw, threads)));
+            let hu = SysbenchWorkload::standard(SysbenchVariant::HotspotReadWrite {
+                writes: 16,
+                reads: 0,
+                skew: 0.9,
+            });
+            row.push(fmt(run(config, &hu, threads)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Figure 13 (left): TPS vs fixed group batch size \
+             (columns: FIT-{high_threads} HRW-{high_threads} HU-{high_threads} \
+             FIT-{low_threads} HRW-{low_threads} HU-{low_threads})"
+        ),
+        &[
+            "batch".into(),
+            format!("FIT-{high_threads}"),
+            format!("HRW-{high_threads}"),
+            format!("HU-{high_threads}"),
+            format!("FIT-{low_threads}"),
+            format!("HRW-{low_threads}"),
+            format!("HU-{low_threads}"),
+        ],
+        &rows,
+    );
+
+    // Right: group commit on/off under sync/async replication.
+    let mut rows = Vec::new();
+    for (mode_label, mode) in [
+        ("sync", ReplicationMode::Synchronous),
+        ("async", ReplicationMode::Asynchronous),
+    ] {
+        for group_commit in [false, true] {
+            let latency = LatencyModel::semi_sync_replication();
+            let config = EngineConfig::for_protocol(Protocol::GroupLockingTxsql)
+                .with_latency(latency)
+                .with_group_commit(group_commit);
+            let db = Database::new(config);
+            let hook = ReplicationHook::new(mode, latency, 2);
+            db.register_commit_hook(hook.clone());
+            let workload = FitWorkload::standard();
+            let snapshot = run_closed_loop(&db, &workload, &closed_loop(high_threads));
+            hook.shutdown();
+            db.shutdown();
+            rows.push(vec![
+                mode_label.to_string(),
+                if group_commit { "with GC" } else { "w/o GC" }.to_string(),
+                fmt(snapshot.tps),
+                snapshot.commit_batches.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Figure 13 (right): group commit under replication, FiT, threads={high_threads}"),
+        &["replication".into(), "group commit".into(), "tps".into(), "commit_batches".into()],
+        &rows,
+    );
+}

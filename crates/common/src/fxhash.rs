@@ -1,0 +1,147 @@
+//! A small FxHash implementation (the rustc hash) plus map/set aliases.
+//!
+//! The engine's hot paths are keyed by small integers (packed [`crate::ids::RecordId`]s,
+//! transaction ids, page ids).  SipHash — the std default — is measurably slow
+//! for those keys, so we use the Fx algorithm, implemented locally to keep the
+//! dependency set to the crates allowed by the project brief.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hashing algorithm as used inside rustc: a multiply-rotate mix of
+/// each word of input.  Not HashDoS resistant; only use for trusted keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Convenience: hash a single `u64` key (used to pick `lock_sys` shards).
+#[inline]
+pub fn hash_u64(key: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(key);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_hash_identically() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello world, txsql");
+        b.write(b"hello world, txsql");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_usually_hash_differently() {
+        // Not a cryptographic guarantee, but these specific values must not
+        // collide for the shard distribution tests below to be meaningful.
+        assert_ne!(hash_u64(1), hash_u64(2));
+        assert_ne!(hash_u64(0), hash_u64(u64::MAX));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_shards() {
+        // The lock_sys uses `hash % n_shards`; sequential page numbers must not
+        // all land on the same shard.
+        let n_shards = 64u64;
+        let mut counts = vec![0usize; n_shards as usize];
+        for page in 0..4096u64 {
+            counts[(hash_u64(page) % n_shards) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(min > 0, "some shard received no keys");
+        assert!(max < 4096 / 8, "keys are heavily skewed to one shard: max={max}");
+    }
+
+    #[test]
+    fn partial_tail_bytes_affect_hash() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghi"); // 9 bytes: one full word + 1 tail byte
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghj");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,42 @@
+//! # txsql-common
+//!
+//! Shared substrate for the TXSQL reproduction.
+//!
+//! This crate provides the low-level building blocks every other crate in the
+//! workspace relies on:
+//!
+//! * [`ids`] — strongly-typed identifiers.  Rows are addressed exactly as in
+//!   InnoDB / the paper (§2.2): a `(space_id, page_no, heap_no)` triple
+//!   ([`ids::RecordId`]); transactions, tables and log sequence numbers get
+//!   their own newtypes.
+//! * [`value`] — a small dynamically-typed [`value::Value`] / [`value::Row`]
+//!   model, enough to express the SysBench, TPC-C and FiT schemas.
+//! * [`error`] — the crate-wide [`error::Error`] type (lock wait timeouts,
+//!   deadlocks, hotspot aborts, …).
+//! * [`fxhash`] — an FxHash implementation and the [`fxhash::FxHashMap`] /
+//!   [`fxhash::FxHashSet`] aliases used on hot paths (integer-keyed tables).
+//! * [`zipf`] — a Zipfian generator used by the skewed workloads (Figure 10).
+//! * [`metrics`] — lock-free counters and log-scaled latency histograms used
+//!   to produce the paper's TPS / p95-latency / lock-wait breakdowns.
+//! * [`latency`] — the [`latency::LatencyModel`] that substitutes for the
+//!   paper's real fsync and replica network round-trips (see `DESIGN.md`,
+//!   substitution table).
+//! * [`rng`] — a tiny, fast, seedable PRNG (xorshift*) used by workloads so
+//!   experiments are reproducible without pulling extra dependencies onto hot
+//!   paths.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod latency;
+pub mod metrics;
+pub mod rng;
+pub mod value;
+pub mod zipf;
+
+pub use error::{Error, Result};
+pub use ids::{HeapNo, Lsn, PageNo, RecordId, SpaceId, TableId, TxnId};
+pub use value::{Row, Value};

@@ -1,0 +1,508 @@
+//! Lock-free metrics used to reproduce the paper's measurements.
+//!
+//! The evaluation section reports, per protocol and configuration:
+//! throughput (TPS), 95th-percentile latency, the *lock-wait share* of that
+//! latency (Figure 6c), the number of locks created per query (Figure 6d),
+//! CPU utilisation (Figure 6b — we report a useful-work ratio instead, see
+//! `DESIGN.md`), abort and cascading-abort ratios (Figure 10) and failure
+//! rate over time (Figure 11).  [`EngineMetrics`] collects all of those with
+//! relaxed atomics so that metrics collection itself does not become a point
+//! of contention.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A relaxed atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: sub-microsecond to ~8.9 minutes in
+/// power-of-two steps, which is plenty for transaction latencies.
+const BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram supporting approximate percentiles.
+///
+/// Recording is a single relaxed `fetch_add`, so worker threads can record
+/// every transaction without measurable overhead.  Percentile resolution is
+/// one power of two, refined by linear interpolation inside the bucket, which
+/// is accurate enough to reproduce the paper's p95 curves.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket_for(micros: u64) -> usize {
+        // bucket i holds values in [2^i, 2^(i+1)) microseconds; bucket 0 holds 0–1us.
+        (64 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one latency observation.
+    #[inline]
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.record_micros(micros);
+    }
+
+    /// Records a latency expressed in microseconds.
+    #[inline]
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[Self::bucket_for(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 if empty).
+    pub fn mean_micros(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_micros.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// Maximum observed latency in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Approximate percentile (`q` in `[0,1]`) in microseconds.
+    pub fn percentile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = 1u64 << i;
+                let within = (target - seen) as f64 / in_bucket as f64;
+                return lo + ((hi - lo) as f64 * within) as u64;
+            }
+            seen += in_bucket;
+        }
+        self.max_micros()
+    }
+
+    /// 95th percentile latency in milliseconds — the unit the paper plots.
+    pub fn p95_millis(&self) -> f64 {
+        self.percentile_micros(0.95) as f64 / 1_000.0
+    }
+
+    /// Resets all buckets.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+        self.max_micros.store(0, Ordering::Relaxed);
+    }
+
+    /// Merges another histogram into this one (used when each worker keeps a
+    /// thread-local histogram).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (i, b) in other.buckets.iter().enumerate() {
+            self.buckets[i].fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum_micros.fetch_add(other.sum_micros.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_micros.fetch_max(other.max_micros(), Ordering::Relaxed);
+    }
+}
+
+/// Labelled abort counters, keyed by [`crate::error::Error::label`].
+#[derive(Debug, Default)]
+pub struct AbortCounters {
+    inner: Mutex<Vec<(&'static str, u64)>>,
+}
+
+impl AbortCounters {
+    /// Records one abort with the given label.
+    pub fn record(&self, label: &'static str) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.iter_mut().find(|(l, _)| *l == label) {
+            entry.1 += 1;
+        } else {
+            inner.push((label, 1));
+        }
+    }
+
+    /// Snapshot of `(label, count)` pairs.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.inner.lock().clone()
+    }
+
+    /// Total aborts across all labels.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().iter().map(|(_, c)| *c).sum()
+    }
+
+    /// Count for a specific label.
+    pub fn get(&self, label: &str) -> u64 {
+        self.inner.lock().iter().find(|(l, _)| *l == label).map(|(_, c)| *c).unwrap_or(0)
+    }
+
+    /// Clears all counters.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+/// All metrics the engine maintains while running a workload.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Committed transactions.
+    pub committed: Counter,
+    /// Aborted transactions (all causes).
+    pub aborted: Counter,
+    /// Aborts that were part of a cascade (Figure 10 left).
+    pub cascading_aborts: Counter,
+    /// Per-cause abort counters.
+    pub abort_causes: AbortCounters,
+    /// End-to-end transaction latency.
+    pub txn_latency: LatencyHistogram,
+    /// Time spent waiting for locks (the inner bar of Figure 6c).
+    pub lock_wait_latency: LatencyHistogram,
+    /// Number of `lock_t` objects created (Figure 6d numerator).
+    pub locks_created: Counter,
+    /// Number of lock requests that had to wait.
+    pub lock_waits: Counter,
+    /// Number of queries (statements) executed (Figure 6d denominator).
+    pub queries: Counter,
+    /// Number of deadlock-detector runs.
+    pub deadlock_checks: Counter,
+    /// Number of transactions that entered a hotspot group (leader or follower).
+    pub hotspot_group_entries: Counter,
+    /// Number of groups formed by group locking.
+    pub groups_formed: Counter,
+    /// Nanoseconds spent doing useful work (executing statements / commit logic).
+    pub busy_nanos: Counter,
+    /// Nanoseconds spent blocked (waiting for locks, queues or group wake-ups).
+    pub blocked_nanos: Counter,
+    /// Group-commit batches flushed by the commit pipeline.
+    pub commit_batches: Counter,
+    /// Transactions that went through the binlog sync stage.
+    pub commit_synced: Counter,
+}
+
+impl EngineMetrics {
+    /// Creates a fresh metrics registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// CPU-utilisation proxy: fraction of worker time spent doing useful work
+    /// rather than being blocked (see the substitution table in `DESIGN.md`).
+    pub fn utilization(&self) -> f64 {
+        let busy = self.busy_nanos.get() as f64;
+        let blocked = self.blocked_nanos.get() as f64;
+        if busy + blocked == 0.0 {
+            0.0
+        } else {
+            busy / (busy + blocked)
+        }
+    }
+
+    /// Locks created per executed query (Figure 6d).
+    pub fn locks_per_query(&self) -> f64 {
+        let q = self.queries.get();
+        if q == 0 {
+            0.0
+        } else {
+            self.locks_created.get() as f64 / q as f64
+        }
+    }
+
+    /// Abort ratio: aborts / (aborts + commits).
+    pub fn abort_ratio(&self) -> f64 {
+        let a = self.aborted.get() as f64;
+        let c = self.committed.get() as f64;
+        if a + c == 0.0 {
+            0.0
+        } else {
+            a / (a + c)
+        }
+    }
+
+    /// Cascade abort ratio: cascading aborts / (aborts + commits).
+    pub fn cascade_abort_ratio(&self) -> f64 {
+        let a = self.aborted.get() as f64;
+        let c = self.committed.get() as f64;
+        if a + c == 0.0 {
+            0.0
+        } else {
+            self.cascading_aborts.get() as f64 / (a + c)
+        }
+    }
+
+    /// Resets every metric (used between benchmark measurement windows).
+    pub fn reset(&self) {
+        self.committed.take();
+        self.aborted.take();
+        self.cascading_aborts.take();
+        self.abort_causes.reset();
+        self.txn_latency.reset();
+        self.lock_wait_latency.reset();
+        self.locks_created.take();
+        self.lock_waits.take();
+        self.queries.take();
+        self.deadlock_checks.take();
+        self.hotspot_group_entries.take();
+        self.groups_formed.take();
+        self.busy_nanos.take();
+        self.blocked_nanos.take();
+        self.commit_batches.take();
+        self.commit_synced.take();
+    }
+
+    /// Takes a serialisable snapshot, computing TPS over `elapsed`.
+    pub fn snapshot(&self, elapsed: Duration) -> MetricsSnapshot {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        MetricsSnapshot {
+            elapsed_secs: elapsed.as_secs_f64(),
+            committed: self.committed.get(),
+            aborted: self.aborted.get(),
+            cascading_aborts: self.cascading_aborts.get(),
+            tps: self.committed.get() as f64 / secs,
+            abort_ratio: self.abort_ratio(),
+            cascade_abort_ratio: self.cascade_abort_ratio(),
+            p95_latency_ms: self.txn_latency.p95_millis(),
+            mean_latency_ms: self.txn_latency.mean_micros() / 1_000.0,
+            p95_lock_wait_ms: self.lock_wait_latency.p95_millis(),
+            mean_lock_wait_ms: self.lock_wait_latency.mean_micros() / 1_000.0,
+            locks_created: self.locks_created.get(),
+            locks_per_query: self.locks_per_query(),
+            lock_waits: self.lock_waits.get(),
+            deadlock_checks: self.deadlock_checks.get(),
+            hotspot_group_entries: self.hotspot_group_entries.get(),
+            groups_formed: self.groups_formed.get(),
+            utilization: self.utilization(),
+            commit_batches: self.commit_batches.get(),
+            abort_causes: self
+                .abort_causes
+                .snapshot()
+                .into_iter()
+                .map(|(l, c)| (l.to_owned(), c))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time, serialisable view of [`EngineMetrics`].
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// Measurement window length in seconds.
+    pub elapsed_secs: f64,
+    /// Committed transactions in the window.
+    pub committed: u64,
+    /// Aborted transactions in the window.
+    pub aborted: u64,
+    /// Cascading aborts in the window.
+    pub cascading_aborts: u64,
+    /// Transactions per second.
+    pub tps: f64,
+    /// aborted / (aborted + committed).
+    pub abort_ratio: f64,
+    /// cascading aborts / (aborted + committed).
+    pub cascade_abort_ratio: f64,
+    /// 95th percentile end-to-end latency (ms).
+    pub p95_latency_ms: f64,
+    /// Mean end-to-end latency (ms).
+    pub mean_latency_ms: f64,
+    /// 95th percentile lock-wait time (ms).
+    pub p95_lock_wait_ms: f64,
+    /// Mean lock-wait time (ms).
+    pub mean_lock_wait_ms: f64,
+    /// Total lock objects created.
+    pub locks_created: u64,
+    /// Lock objects created per query.
+    pub locks_per_query: f64,
+    /// Lock requests that had to wait.
+    pub lock_waits: u64,
+    /// Deadlock detector invocations.
+    pub deadlock_checks: u64,
+    /// Transactions that joined hotspot groups.
+    pub hotspot_group_entries: u64,
+    /// Hotspot groups formed.
+    pub groups_formed: u64,
+    /// Useful-work ratio (CPU utilisation proxy).
+    pub utilization: f64,
+    /// Group-commit batches.
+    pub commit_batches: u64,
+    /// Per-cause abort counts.
+    pub abort_causes: Vec<(String, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basic_operations() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotonic() {
+        let h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record_micros(i);
+        }
+        let p50 = h.percentile_micros(0.5);
+        let p95 = h.percentile_micros(0.95);
+        let p99 = h.percentile_micros(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max_micros().next_power_of_two());
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_percentile_is_roughly_accurate() {
+        let h = LatencyHistogram::new();
+        // 95% of observations at ~100us, 5% at ~10000us.
+        for _ in 0..9_500 {
+            h.record_micros(100);
+        }
+        for _ in 0..500 {
+            h.record_micros(10_000);
+        }
+        let p50 = h.percentile_micros(0.50);
+        let p99 = h.percentile_micros(0.99);
+        assert!((64..=256).contains(&p50), "p50={p50}");
+        assert!(p99 >= 8_192, "p99={p99}");
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_micros(10);
+        b.record_micros(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.max_micros() >= 1_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_micros(0.95), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn abort_counters_accumulate_by_label() {
+        let a = AbortCounters::default();
+        a.record("deadlock");
+        a.record("deadlock");
+        a.record("lock_wait_timeout");
+        assert_eq!(a.get("deadlock"), 2);
+        assert_eq!(a.get("lock_wait_timeout"), 1);
+        assert_eq!(a.get("other"), 0);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn engine_metrics_ratios() {
+        let m = EngineMetrics::new();
+        m.committed.add(90);
+        m.aborted.add(10);
+        m.cascading_aborts.add(5);
+        m.queries.add(200);
+        m.locks_created.add(100);
+        m.busy_nanos.add(750);
+        m.blocked_nanos.add(250);
+        assert!((m.abort_ratio() - 0.1).abs() < 1e-9);
+        assert!((m.cascade_abort_ratio() - 0.05).abs() < 1e-9);
+        assert!((m.locks_per_query() - 0.5).abs() < 1e-9);
+        assert!((m.utilization() - 0.75).abs() < 1e-9);
+        let snap = m.snapshot(Duration::from_secs(2));
+        assert!((snap.tps - 45.0).abs() < 1e-9);
+        m.reset();
+        assert_eq!(m.committed.get(), 0);
+        assert_eq!(m.abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let m = EngineMetrics::new();
+        m.committed.add(1);
+        let snap = m.snapshot(Duration::from_secs(1));
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"tps\""));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.committed, 1);
+    }
+}

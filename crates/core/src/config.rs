@@ -1,0 +1,237 @@
+//! Engine configuration: protocol selection and every knob the evaluation
+//! sweeps.
+
+use std::time::Duration;
+use txsql_common::latency::LatencyModel;
+use txsql_lockmgr::group_lock::GroupLockConfig;
+use txsql_lockmgr::hotspot::HotspotConfig;
+use txsql_lockmgr::lock_sys::DeadlockPolicy;
+use txsql_txn::ReadViewMode;
+
+/// The concurrency-control protocol / optimization level to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Vanilla MySQL-style 2PL on the page-sharded `lock_sys`.
+    Mysql2pl,
+    /// General lock optimization (§3.1): lightweight record-keyed locking and
+    /// copy-free read views.
+    LightweightO1,
+    /// O1 plus queue locking for detected hotspots (§3.2).
+    QueueLockingO2,
+    /// O1 plus group locking for detected hotspots (§3.3/§4) — "TXSQL".
+    GroupLockingTxsql,
+    /// Bamboo: early lock release with cascading-abort tracking (baseline).
+    Bamboo,
+    /// Aria: batched deterministic execution (baseline).
+    Aria,
+}
+
+impl Protocol {
+    /// All protocols, in the order the paper's figures list them.
+    pub const ALL: [Protocol; 6] = [
+        Protocol::Mysql2pl,
+        Protocol::LightweightO1,
+        Protocol::QueueLockingO2,
+        Protocol::GroupLockingTxsql,
+        Protocol::Bamboo,
+        Protocol::Aria,
+    ];
+
+    /// The four systems compared in Figures 8–12.
+    pub const SYSTEMS: [Protocol; 4] =
+        [Protocol::Mysql2pl, Protocol::Aria, Protocol::Bamboo, Protocol::GroupLockingTxsql];
+
+    /// The four ablation levels of Figure 6.
+    pub const ABLATION: [Protocol; 4] = [
+        Protocol::Mysql2pl,
+        Protocol::LightweightO1,
+        Protocol::QueueLockingO2,
+        Protocol::GroupLockingTxsql,
+    ];
+
+    /// Short label used in benchmark output (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::Mysql2pl => "MySQL",
+            Protocol::LightweightO1 => "O1",
+            Protocol::QueueLockingO2 => "O2",
+            Protocol::GroupLockingTxsql => "TXSQL",
+            Protocol::Bamboo => "Bamboo",
+            Protocol::Aria => "Aria",
+        }
+    }
+
+    /// True when the protocol uses the heavyweight page-sharded `lock_sys`.
+    pub fn uses_lock_sys(&self) -> bool {
+        matches!(self, Protocol::Mysql2pl)
+    }
+
+    /// True when hotspot detection is active for this protocol.
+    pub fn uses_hotspots(&self) -> bool {
+        matches!(self, Protocol::QueueLockingO2 | Protocol::GroupLockingTxsql)
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Protocol to run.
+    pub protocol: Protocol,
+    /// Read-view implementation (copying vs copy-free, §3.1.2).
+    pub read_view_mode: ReadViewMode,
+    /// Simulated durability / replication latencies.
+    pub latency: LatencyModel,
+    /// Lock-wait timeout for the regular lock tables.
+    pub lock_wait_timeout: Duration,
+    /// Deadlock policy for the regular lock tables.
+    pub deadlock_policy: DeadlockPolicy,
+    /// Hotspot detection configuration (§4.1).
+    pub hotspot: HotspotConfig,
+    /// Group-locking configuration (batch size, dynamic batching, §4.2/§4.6.1).
+    pub group: GroupLockConfig,
+    /// Group commit in the 2PC commit pipeline (§4.3, Figure 13).
+    pub group_commit: bool,
+    /// Aria batch size (transactions per deterministic batch).
+    pub aria_batch_size: usize,
+    /// Record read/write sets of committed transactions so the
+    /// serializability checker can audit the run (§6.4.5).
+    pub record_history: bool,
+    /// Spawn the background hotspot sweeper thread (§4.1).
+    pub start_sweeper: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::for_protocol(Protocol::GroupLockingTxsql)
+    }
+}
+
+impl EngineConfig {
+    /// A sensible configuration for the given protocol: the defaults the
+    /// paper's evaluation uses (batch size 10, hotspot threshold 32, copy-free
+    /// read views for O1+, copying views and lock_sys for the MySQL baseline).
+    pub fn for_protocol(protocol: Protocol) -> Self {
+        let read_view_mode = match protocol {
+            Protocol::Mysql2pl => ReadViewMode::Copying,
+            _ => ReadViewMode::CopyFree,
+        };
+        Self {
+            protocol,
+            read_view_mode,
+            latency: LatencyModel::in_memory(),
+            lock_wait_timeout: Duration::from_millis(200),
+            deadlock_policy: DeadlockPolicy::Detect,
+            hotspot: if protocol.uses_hotspots() {
+                HotspotConfig::default()
+            } else {
+                HotspotConfig::disabled()
+            },
+            group: GroupLockConfig::default(),
+            group_commit: true,
+            aria_batch_size: 64,
+            record_history: false,
+            start_sweeper: protocol.uses_hotspots(),
+        }
+    }
+
+    /// Sets the simulated latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the lock-wait timeout (both lock tables and hotspot queues).
+    pub fn with_lock_wait_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_wait_timeout = timeout;
+        self.group.hot_wait_timeout = timeout;
+        self
+    }
+
+    /// Sets the group-locking batch size (0 = unbounded).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.group.batch_size = batch_size;
+        self
+    }
+
+    /// Enables or disables dynamic batch sizing (§4.6.1).
+    pub fn with_dynamic_batch(mut self, dynamic: bool) -> Self {
+        self.group.dynamic_batch = dynamic;
+        self
+    }
+
+    /// Enables or disables group commit (Figure 13 ablation).
+    pub fn with_group_commit(mut self, enabled: bool) -> Self {
+        self.group_commit = enabled;
+        self
+    }
+
+    /// Sets the hotspot promotion threshold.
+    pub fn with_hotspot_threshold(mut self, threshold: usize) -> Self {
+        self.hotspot = self.hotspot.clone().with_threshold(threshold);
+        self
+    }
+
+    /// Enables history recording for the serializability checker.
+    pub fn with_history_recording(mut self, enabled: bool) -> Self {
+        self.record_history = enabled;
+        self
+    }
+
+    /// Sets the Aria batch size.
+    pub fn with_aria_batch_size(mut self, batch: usize) -> Self {
+        self.aria_batch_size = batch.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_defaults_match_the_paper() {
+        let mysql = EngineConfig::for_protocol(Protocol::Mysql2pl);
+        assert_eq!(mysql.read_view_mode, ReadViewMode::Copying);
+        assert!(!mysql.hotspot.enabled);
+        let txsql = EngineConfig::for_protocol(Protocol::GroupLockingTxsql);
+        assert_eq!(txsql.read_view_mode, ReadViewMode::CopyFree);
+        assert!(txsql.hotspot.enabled);
+        assert_eq!(txsql.group.batch_size, 10);
+        assert_eq!(txsql.hotspot.promote_threshold, 32);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let cfg = EngineConfig::for_protocol(Protocol::GroupLockingTxsql)
+            .with_batch_size(64)
+            .with_group_commit(false)
+            .with_hotspot_threshold(4)
+            .with_lock_wait_timeout(Duration::from_millis(77))
+            .with_aria_batch_size(0)
+            .with_history_recording(true)
+            .with_dynamic_batch(false);
+        assert_eq!(cfg.group.batch_size, 64);
+        assert!(!cfg.group_commit);
+        assert_eq!(cfg.hotspot.promote_threshold, 4);
+        assert_eq!(cfg.lock_wait_timeout, Duration::from_millis(77));
+        assert_eq!(cfg.group.hot_wait_timeout, Duration::from_millis(77));
+        assert_eq!(cfg.aria_batch_size, 1);
+        assert!(cfg.record_history);
+        assert!(!cfg.group.dynamic_batch);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Protocol::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), Protocol::ALL.len());
+    }
+
+    #[test]
+    fn protocol_classification() {
+        assert!(Protocol::Mysql2pl.uses_lock_sys());
+        assert!(!Protocol::GroupLockingTxsql.uses_lock_sys());
+        assert!(Protocol::QueueLockingO2.uses_hotspots());
+        assert!(!Protocol::Bamboo.uses_hotspots());
+    }
+}

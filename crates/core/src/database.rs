@@ -1,0 +1,547 @@
+//! The engine facade: tables, sessions, commit and rollback.
+//!
+//! A [`Database`] owns one storage engine, one transaction system, every lock
+//! table generation and the commit pipeline; which of those a transaction's
+//! write path actually exercises is decided by the configured
+//! [`crate::Protocol`] (see [`crate::write_path`]).  Commit and rollback live
+//! here because they are where the paper's ordering guarantees (§4.3 commit
+//! order, §4.4 rollback order, §4.5 deadlock prevention fallout) come
+//! together.
+
+use crate::aria::AriaCoordinator;
+use crate::checker::HistoryRecorder;
+use crate::commit::CommitPipeline;
+use crate::config::{EngineConfig, Protocol};
+use crate::hooks::{BinlogTxn, CommitHook};
+use crate::program::{Operation, ProgramOutcome, TxnProgram};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txsql_common::fxhash::FxHashMap;
+use txsql_common::metrics::{EngineMetrics, MetricsSnapshot};
+use txsql_common::{Error, RecordId, Result, Row, TableId, TxnId};
+use txsql_lockmgr::group_lock::GroupLockTable;
+use txsql_lockmgr::hotspot::HotspotRegistry;
+use txsql_lockmgr::lightweight::{LightweightConfig, LightweightLockTable};
+use txsql_lockmgr::lock_sys::{LockSys, LockSysConfig};
+use txsql_lockmgr::queue_lock::QueueLockTable;
+use txsql_storage::storage::CheckpointImage;
+use txsql_storage::{RedoRecord, Storage, TableSchema, VisibilityJudge};
+use txsql_txn::{Transaction, TrxSys, TxnState};
+
+pub(crate) struct DbInner {
+    pub(crate) config: EngineConfig,
+    pub(crate) storage: Storage,
+    pub(crate) trx_sys: TrxSys,
+    pub(crate) metrics: Arc<EngineMetrics>,
+    pub(crate) lock_sys: LockSys,
+    pub(crate) lightweight: LightweightLockTable,
+    pub(crate) hotspots: HotspotRegistry,
+    pub(crate) queue_locks: QueueLockTable,
+    pub(crate) group_locks: GroupLockTable,
+    pub(crate) pipeline: CommitPipeline,
+    /// Commit outcome board: `true` = committed, `false` = aborted.  Consulted
+    /// by Bamboo's commit dependencies.
+    pub(crate) outcomes: Mutex<FxHashMap<TxnId, bool>>,
+    pub(crate) hooks: RwLock<Vec<Arc<dyn CommitHook>>>,
+    pub(crate) history: Option<HistoryRecorder>,
+    pub(crate) aria: AriaCoordinator,
+    sweeper_stop: Arc<AtomicBool>,
+    sweeper_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// The TXSQL-reproduction database engine.  Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("protocol", &self.inner.config.protocol)
+            .field("tables", &self.inner.storage.tables().len())
+            .finish()
+    }
+}
+
+impl Database {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let metrics = Arc::new(EngineMetrics::new());
+        let storage = Storage::new(config.latency.fsync);
+        let trx_sys = TrxSys::new(config.read_view_mode);
+        let lock_sys = LockSys::new(
+            LockSysConfig {
+                deadlock_policy: config.deadlock_policy,
+                lock_wait_timeout: config.lock_wait_timeout,
+                ..LockSysConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let lightweight = LightweightLockTable::new(
+            LightweightConfig {
+                deadlock_policy: config.deadlock_policy,
+                lock_wait_timeout: config.lock_wait_timeout,
+                ..LightweightConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let hotspots = HotspotRegistry::new(config.hotspot.clone());
+        let queue_locks = QueueLockTable::new(config.group.hot_wait_timeout);
+        let group_locks = GroupLockTable::new(config.group.clone(), Arc::clone(&metrics));
+        let pipeline = CommitPipeline::new(config.group_commit, Arc::clone(&metrics));
+        let history = if config.record_history { Some(HistoryRecorder::new()) } else { None };
+        let aria = AriaCoordinator::new(config.aria_batch_size);
+        let inner = Arc::new(DbInner {
+            config,
+            storage,
+            trx_sys,
+            metrics,
+            lock_sys,
+            lightweight,
+            hotspots,
+            queue_locks,
+            group_locks,
+            pipeline,
+            outcomes: Mutex::new(FxHashMap::default()),
+            hooks: RwLock::new(Vec::new()),
+            history,
+            aria,
+            sweeper_stop: Arc::new(AtomicBool::new(false)),
+            sweeper_handle: Mutex::new(None),
+        });
+        let db = Database { inner };
+        if db.inner.config.start_sweeper {
+            db.start_sweeper();
+        }
+        db
+    }
+
+    /// Convenience: an engine with the default configuration for `protocol`.
+    pub fn with_protocol(protocol: Protocol) -> Self {
+        Self::new(EngineConfig::for_protocol(protocol))
+    }
+
+    fn start_sweeper(&self) {
+        let weak = Arc::downgrade(&self.inner);
+        let stop = Arc::clone(&self.inner.sweeper_stop);
+        let interval = self.inner.config.hotspot.sweep_interval;
+        let handle = std::thread::Builder::new()
+            .name("txsql-hotspot-sweeper".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    let Some(inner) = weak.upgrade() else { break };
+                    inner.hotspots.sweep(|record| {
+                        inner.group_locks.has_activity(record)
+                            || inner.queue_locks.has_waiters(record)
+                            || inner.lightweight.wait_queue_len(record) > 0
+                            || inner.lock_sys.wait_queue_len(record) > 0
+                    });
+                }
+            })
+            .expect("spawn hotspot sweeper");
+        *self.inner.sweeper_handle.lock() = Some(handle);
+    }
+
+    /// Stops background threads.  Called automatically when the last handle is
+    /// dropped; safe to call multiple times.
+    pub fn shutdown(&self) {
+        self.inner.sweeper_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.inner.sweeper_handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Schema / data management
+    // ------------------------------------------------------------------
+
+    /// Creates a table.
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        self.inner.storage.create_table(schema).map(|_| ())
+    }
+
+    /// Bulk-loads a committed row (initial population; not logged).
+    pub fn load_row(&self, table: TableId, row: Row) -> Result<RecordId> {
+        self.inner.storage.load_row(table, row)
+    }
+
+    /// Looks up the record id of a primary key.
+    pub fn record_id(&self, table: TableId, pk: i64) -> Result<RecordId> {
+        self.inner.storage.table(table)?.lookup_pk(pk)
+    }
+
+    /// The storage engine (checkpointing, redo access, recovery experiments).
+    pub fn storage(&self) -> &Storage {
+        &self.inner.storage
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// The protocol in force.
+    pub fn protocol(&self) -> Protocol {
+        self.inner.config.protocol
+    }
+
+    /// Engine metrics.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.inner.metrics
+    }
+
+    /// Serialisable metrics snapshot over `elapsed`.
+    pub fn snapshot_metrics(&self, elapsed: Duration) -> MetricsSnapshot {
+        self.inner.metrics.snapshot(elapsed)
+    }
+
+    /// Resets metrics (between warm-up and measurement windows).
+    pub fn reset_metrics(&self) {
+        self.inner.metrics.reset();
+    }
+
+    /// The hotspot registry (promotion / demotion introspection).
+    pub fn hotspots(&self) -> &HotspotRegistry {
+        &self.inner.hotspots
+    }
+
+    /// The serializability history recorder, when enabled.
+    pub fn history(&self) -> Option<&HistoryRecorder> {
+        self.inner.history.as_ref()
+    }
+
+    /// Registers a commit hook (replication, tests).
+    pub fn register_commit_hook(&self, hook: Arc<dyn CommitHook>) {
+        self.inner.hooks.write().push(hook);
+    }
+
+    /// Captures a checkpoint image (recovery experiments).
+    pub fn checkpoint(&self) -> CheckpointImage {
+        self.inner.storage.checkpoint()
+    }
+
+    /// Redo records that would survive a crash right now.
+    pub fn durable_redo(&self) -> Vec<RedoRecord> {
+        self.inner.storage.redo().durable_records()
+    }
+
+    // ------------------------------------------------------------------
+    // Session API
+    // ------------------------------------------------------------------
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> Transaction {
+        let mut txn = self.inner.trx_sys.begin();
+        self.inner.storage.begin_txn(txn.id);
+        txn.state = TxnState::Active;
+        txn
+    }
+
+    /// MVCC read of a version chain, returning the visible row and the writer
+    /// that produced it (needed by the serializability checker).
+    pub(crate) fn mvcc_read(
+        &self,
+        judge: &dyn VisibilityJudge,
+        table: TableId,
+        record: RecordId,
+    ) -> Result<Option<(Row, TxnId)>> {
+        let slot = self.inner.storage.table(table)?.slot(record)?;
+        let guard = slot.read();
+        Ok(guard
+            .iter()
+            .find(|v| judge.is_visible(v.writer, v.commit_no))
+            .map(|v| (v.row.clone(), v.writer)))
+    }
+
+    /// Snapshot read by primary key.
+    pub fn read(&self, txn: &mut Transaction, table: TableId, pk: i64) -> Result<Row> {
+        if !txn.is_active() {
+            return Err(Error::TransactionClosed { txn: txn.id });
+        }
+        self.inner.metrics.queries.inc();
+        let record = self.record_id(table, pk)?;
+        let view = self.inner.trx_sys.read_view(txn.id);
+        let (row, _writer) = self
+            .mvcc_read(&view, table, record)?
+            .ok_or(Error::UnknownRecord { record })?;
+        txn.record_read(table, record);
+        Ok(row)
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / rollback
+    // ------------------------------------------------------------------
+
+    fn release_all_locks(&self, txn_id: TxnId) {
+        self.inner.lightweight.release_all(txn_id);
+        self.inner.lock_sys.release_all(txn_id);
+    }
+
+    /// Commits a transaction.  On a cascading abort or commit-time conflict the
+    /// transaction is rolled back internally and the error returned.
+    pub fn commit(&self, mut txn: Transaction) -> Result<()> {
+        if !txn.is_active() {
+            return Err(Error::TransactionClosed { txn: txn.id });
+        }
+        txn.state = TxnState::Preparing;
+        let hot_updates = txn.hot_updates();
+
+        // Group locking, leader side (Algorithm 2 lines 2–10): stop granting,
+        // wait for in-flight grants, release the row lock, hand over.
+        if self.protocol() == Protocol::GroupLockingTxsql {
+            for (record, role, _) in &hot_updates {
+                if *role == txsql_txn::HotRole::Leader {
+                    self.inner.group_locks.leader_prepare_commit(txn.id, *record);
+                }
+            }
+        }
+
+        // Release every lock before the commit phase (Algorithm 2 line 5 —
+        // group locking releases per group; plain 2PL releases here too, which
+        // is safe because the commit record ordering below is what defines the
+        // serialization point).
+        self.release_all_locks(txn.id);
+
+        if self.protocol() == Protocol::GroupLockingTxsql {
+            for (record, role, _) in &hot_updates {
+                if *role == txsql_txn::HotRole::Leader {
+                    self.inner.group_locks.leader_handover(txn.id, *record);
+                }
+            }
+            // Commit-order guarantee (§4.3): wait for all predecessors.
+            for (record, _, _) in &hot_updates {
+                let wait_start = Instant::now();
+                match self.inner.group_locks.wait_commit_turn(txn.id, *record) {
+                    Ok(()) => txn.add_blocked(wait_start.elapsed()),
+                    Err(err) => {
+                        txn.add_blocked(wait_start.elapsed());
+                        self.rollback_internal(txn, Some(&err));
+                        return Err(err);
+                    }
+                }
+            }
+        }
+
+        // Bamboo: wait for every transaction whose dirty data we read.
+        if self.protocol() == Protocol::Bamboo {
+            if let Err(err) = self.wait_bamboo_dependencies(&mut txn) {
+                self.rollback_internal(txn, Some(&err));
+                return Err(err);
+            }
+        }
+
+        // O2: the queue ticket is released after the lock release at the end.
+        let trx_no = self.inner.trx_sys.allocate_trx_no();
+        let write_set: Vec<(TableId, RecordId)> = txn.write_set().to_vec();
+        let commit_lsn = self.inner.storage.commit_writes(txn.id, trx_no, &write_set)?;
+
+        // The dependency-list slot can be released as soon as our commit
+        // record is ordered in the log; the durable flush below may then be
+        // batched with our successors (group commit, Figure 5c).
+        if self.protocol() == Protocol::GroupLockingTxsql {
+            for (record, _, _) in &hot_updates {
+                self.inner.group_locks.finish_commit(txn.id, *record);
+            }
+        }
+
+        let binlog = BinlogTxn {
+            txn: txn.id,
+            trx_no,
+            changes: txn.changes().to_vec(),
+            involves_hotspot: !hot_updates.is_empty(),
+        };
+        let hooks: Vec<Arc<dyn CommitHook>> = self.inner.hooks.read().clone();
+        self.inner.pipeline.commit(self.inner.storage.redo(), commit_lsn, binlog, &hooks);
+
+        // Release hotspot queue tickets (O2) now that the lock is gone.
+        if self.protocol() == Protocol::QueueLockingO2 {
+            for (record, _, _) in &hot_updates {
+                self.inner.queue_locks.release(txn.id, *record);
+            }
+        }
+
+        self.inner.trx_sys.finish(txn.id, Some(trx_no));
+        self.inner.outcomes.lock().insert(txn.id, true);
+        if let Some(history) = &self.inner.history {
+            let reads = txn
+                .read_set()
+                .iter()
+                .map(|(t, r)| {
+                    let writer = self
+                        .mvcc_read(&txsql_storage::version::ReadCommitted, *t, *r)
+                        .ok()
+                        .flatten()
+                        .map(|(_, w)| w)
+                        .unwrap_or(TxnId::INVALID);
+                    (*r, writer)
+                })
+                .collect();
+            let writes = write_set.iter().map(|(_, r)| *r).collect();
+            history.record_commit(txn.id, trx_no, reads, writes);
+        }
+
+        txn.state = TxnState::Committed;
+        let elapsed = txn.started_at.elapsed();
+        self.inner.metrics.committed.inc();
+        self.inner.metrics.txn_latency.record(elapsed);
+        let blocked = txn.blocked_time();
+        self.inner.metrics.blocked_nanos.add(blocked.as_nanos() as u64);
+        self.inner
+            .metrics
+            .busy_nanos
+            .add(elapsed.saturating_sub(blocked).as_nanos() as u64);
+        Ok(())
+    }
+
+    fn wait_bamboo_dependencies(&self, txn: &mut Transaction) -> Result<()> {
+        let deps: Vec<TxnId> = txn.dirty_reads_from().to_vec();
+        let deadline = Instant::now() + self.inner.config.lock_wait_timeout * 4;
+        for dep in deps {
+            if !dep.is_valid() {
+                continue;
+            }
+            loop {
+                if let Some(committed) = self.inner.outcomes.lock().get(&dep).copied() {
+                    if committed {
+                        break;
+                    }
+                    return Err(Error::DirtyReadAborted { txn: txn.id, cause: dep });
+                }
+                if !self.inner.trx_sys.is_active(dep) {
+                    // Finished but not on the board (pruned): treat as committed.
+                    break;
+                }
+                if Instant::now() > deadline {
+                    return Err(Error::LockWaitTimeout {
+                        txn: txn.id,
+                        record: RecordId::new(0, 0, 0),
+                    });
+                }
+                txsql_common::latency::ut_delay(20);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls back a transaction explicitly.
+    pub fn rollback(&self, txn: Transaction, reason: Option<&Error>) {
+        self.rollback_internal(txn, reason);
+    }
+
+    pub(crate) fn rollback_internal(&self, mut txn: Transaction, reason: Option<&Error>) {
+        if txn.state == TxnState::Committed || txn.state == TxnState::Aborted {
+            return;
+        }
+        let hot_updates = txn.hot_updates();
+
+        // Group locking rollback ordering (Algorithm 3 + §4.4): doom
+        // successors, wait until we are the newest entry, then undo.
+        if self.protocol() == Protocol::GroupLockingTxsql && !hot_updates.is_empty() {
+            for (record, _, _) in &hot_updates {
+                let doomed = self.inner.group_locks.begin_rollback(txn.id, *record);
+                let _ = doomed;
+            }
+            for (record, _, _) in &hot_updates {
+                let wait_start = Instant::now();
+                let _ = self.inner.group_locks.wait_rollback_turn(txn.id, *record);
+                txn.add_blocked(wait_start.elapsed());
+            }
+        }
+
+        let _ = self.inner.storage.rollback_writes(txn.id);
+
+        if self.protocol() == Protocol::GroupLockingTxsql && !hot_updates.is_empty() {
+            for (record, _, _) in &hot_updates {
+                self.inner.group_locks.finish_rollback(txn.id, *record);
+                self.inner.group_locks.resume_granting(*record);
+            }
+        }
+
+        self.release_all_locks(txn.id);
+        if self.protocol() == Protocol::QueueLockingO2 {
+            for (record, _, _) in &hot_updates {
+                self.inner.queue_locks.release(txn.id, *record);
+            }
+        }
+
+        self.inner.trx_sys.finish(txn.id, None);
+        self.inner.outcomes.lock().insert(txn.id, false);
+        txn.state = TxnState::Aborted;
+        self.inner.metrics.aborted.inc();
+        if let Some(reason) = reason {
+            self.inner.metrics.abort_causes.record(reason.label());
+            if reason.is_cascading() {
+                self.inner.metrics.cascading_aborts.inc();
+            }
+        } else {
+            self.inner.metrics.abort_causes.record("explicit_rollback");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program execution (the workload driver entry point)
+    // ------------------------------------------------------------------
+
+    /// Executes a whole transaction program.  Under Aria the program joins the
+    /// next deterministic batch; under every other protocol it runs through
+    /// the session API.  Contention aborts are returned as errors (the caller
+    /// retries); an explicit [`Operation::ForcedRollback`] yields
+    /// `Ok(ProgramOutcome { committed: false, .. })`.
+    pub fn execute_program(&self, program: &TxnProgram) -> Result<ProgramOutcome> {
+        if self.protocol() == Protocol::Aria {
+            return self.inner.aria.execute(self, program);
+        }
+        let mut txn = self.begin();
+        let mut reads = Vec::new();
+        for op in &program.operations {
+            let step: Result<()> = match op {
+                Operation::Read { table, pk } => self.read(&mut txn, *table, *pk).map(|row| {
+                    reads.push(row.get_int(1).unwrap_or_default());
+                }),
+                Operation::SelectForUpdate { table, pk } => {
+                    self.select_for_update(&mut txn, *table, *pk).map(|row| {
+                        reads.push(row.get_int(1).unwrap_or_default());
+                    })
+                }
+                Operation::UpdateAdd { table, pk, column, delta } => {
+                    self.update_add(&mut txn, *table, *pk, *column, *delta).map(|_| ())
+                }
+                Operation::Insert { table, pk, fill } => {
+                    let n_cols = self
+                        .inner
+                        .storage
+                        .table(*table)
+                        .map(|t| t.schema().n_columns)
+                        .unwrap_or(2);
+                    let mut cols = vec![*pk];
+                    cols.resize(n_cols, *fill);
+                    self.insert(&mut txn, *table, Row::from_ints(&cols))
+                }
+                Operation::ForcedRollback => {
+                    let err = Error::ExplicitRollback { txn: txn.id };
+                    self.rollback_internal(txn, Some(&err));
+                    return Ok(ProgramOutcome { reads, committed: false });
+                }
+            };
+            if let Err(err) = step {
+                self.rollback_internal(txn, Some(&err));
+                return Err(err);
+            }
+        }
+        self.commit(txn)?;
+        Ok(ProgramOutcome { reads, committed: true })
+    }
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        self.sweeper_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.sweeper_handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # txsql-core
+//!
+//! The paper's primary contribution, assembled into a usable engine: a
+//! multi-threaded, in-memory transactional database whose *write path* can be
+//! switched between six concurrency-control protocols:
+//!
+//! | [`Protocol`] | Paper name | Summary |
+//! |---|---|---|
+//! | `Mysql2pl` | MySQL | page-sharded `lock_sys`, lock object per acquisition, wait-for-graph deadlock detection |
+//! | `LightweightO1` | O1 | record-keyed `trx_lock_wait` map, lock objects only on conflict, copy-free read views |
+//! | `QueueLockingO2` | O2 | O1 + FIFO ticket queues in front of detected hot rows, timeouts instead of detection |
+//! | `GroupLockingTxsql` | TXSQL | O1 + group locking: leader/follower groups, dependency list, ordered commit/rollback, group commit |
+//! | `Bamboo` | Bamboo [29] | early lock release with dirty-read commit dependencies and cascading aborts |
+//! | `Aria` | Aria [43] | batched deterministic execution with read/write-set validation |
+//!
+//! The public entry point is [`Database`]: create one with an
+//! [`EngineConfig`], load tables, then run transactions either through the
+//! explicit session API (`begin` / `update_add` / `commit`) or by submitting
+//! declarative [`TxnProgram`]s (what the workload drivers do — and the only
+//! way to run under Aria, which needs the whole transaction up front).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aria;
+pub mod checker;
+pub mod commit;
+pub mod config;
+pub mod database;
+pub mod hooks;
+pub mod program;
+pub mod write_path;
+
+pub use checker::{HistoryRecorder, SerializabilityReport};
+pub use commit::CommitPipeline;
+pub use config::{EngineConfig, Protocol};
+pub use database::Database;
+pub use hooks::{BinlogTxn, CommitHook};
+pub use program::{Operation, ProgramOutcome, TxnProgram};

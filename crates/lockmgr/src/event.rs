@@ -1,0 +1,135 @@
+//! `OsEvent`: the wait/wake primitive used by every waiting path.
+//!
+//! InnoDB parks waiting threads on `os_event_t` objects (`os_event_wait` /
+//! `os_event_set`), and the paper's pseudo-code (Algorithms 1–2) does the
+//! same for hotspot followers.  [`OsEvent`] is the equivalent built on
+//! `parking_lot`'s `Mutex` + `Condvar`: a one-shot, resettable boolean event
+//! with timeout support.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A resettable signalling event.
+#[derive(Debug, Default)]
+pub struct OsEvent {
+    signalled: Mutex<bool>,
+    condvar: Condvar,
+}
+
+/// Outcome of a timed wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The event was set before the deadline.
+    Signalled,
+    /// The deadline passed without a signal.
+    TimedOut,
+}
+
+impl OsEvent {
+    /// Creates a new, unsignalled event behind an `Arc` (events are shared
+    /// between the waiting transaction and whoever wakes it).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Sets the event, waking all current and future waiters (until reset).
+    pub fn set(&self) {
+        let mut signalled = self.signalled.lock();
+        *signalled = true;
+        self.condvar.notify_all();
+    }
+
+    /// Clears the event so the next wait blocks again.
+    pub fn reset(&self) {
+        *self.signalled.lock() = false;
+    }
+
+    /// Returns whether the event is currently set without blocking.
+    pub fn is_set(&self) -> bool {
+        *self.signalled.lock()
+    }
+
+    /// Blocks until the event is set.
+    pub fn wait(&self) {
+        let mut signalled = self.signalled.lock();
+        while !*signalled {
+            self.condvar.wait(&mut signalled);
+        }
+    }
+
+    /// Blocks until the event is set or `timeout` elapses.
+    pub fn wait_for(&self, timeout: Duration) -> WaitOutcome {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut signalled = self.signalled.lock();
+        while !*signalled {
+            if self.condvar.wait_until(&mut signalled, deadline).timed_out() {
+                return if *signalled { WaitOutcome::Signalled } else { WaitOutcome::TimedOut };
+            }
+        }
+        WaitOutcome::Signalled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn set_before_wait_does_not_block() {
+        let ev = OsEvent::new();
+        ev.set();
+        assert!(ev.is_set());
+        ev.wait();
+        assert_eq!(ev.wait_for(Duration::from_millis(1)), WaitOutcome::Signalled);
+    }
+
+    #[test]
+    fn wait_blocks_until_set_from_another_thread() {
+        let ev = OsEvent::new();
+        let ev2 = Arc::clone(&ev);
+        let waiter = thread::spawn(move || {
+            ev2.wait();
+            true
+        });
+        thread::sleep(Duration::from_millis(20));
+        ev.set();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out_when_never_set() {
+        let ev = OsEvent::new();
+        let start = std::time::Instant::now();
+        assert_eq!(ev.wait_for(Duration::from_millis(30)), WaitOutcome::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn reset_makes_subsequent_waits_block_again() {
+        let ev = OsEvent::new();
+        ev.set();
+        ev.reset();
+        assert!(!ev.is_set());
+        assert_eq!(ev.wait_for(Duration::from_millis(10)), WaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn many_waiters_are_all_woken() {
+        let ev = OsEvent::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let ev = Arc::clone(&ev);
+                thread::spawn(move || {
+                    ev.wait();
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(10));
+        ev.set();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

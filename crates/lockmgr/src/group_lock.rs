@@ -1,0 +1,838 @@
+//! Group locking for hotspot rows (§3.3, §4 — the paper's headline
+//! contribution).
+//!
+//! Conflicting updates of a hot row are organised into *groups*:
+//!
+//! * the first transaction of a group is the **leader**; it is the only one
+//!   that acquires (and later releases) the real row lock;
+//! * subsequent transactions are **followers**: they are parked in the
+//!   `waiting_updates` queue and granted execution one at a time, directly on
+//!   the (still uncommitted) newest row version, without touching the lock
+//!   manager at all;
+//! * every executed update is appended to the row's **dependency list**
+//!   (`dep_list`) together with a globally increasing `hot_update_order`;
+//!   commits must proceed in dependency-list order (§4.3) and rollbacks in
+//!   the reverse order (§4.4, cascading aborts);
+//! * when the leader commits it stops granting (`switching_new_leader`),
+//!   waits for the in-flight granted follower (`granting_new_trx`), releases
+//!   the row lock and promotes the next waiter to leader of a fresh group —
+//!   or, with the **dynamic batch size** optimization (§4.6.1), releases the
+//!   lock without promoting anyone when the queue is empty.
+//!
+//! The state machine below follows Algorithms 1–3 of the paper; the method
+//! names map to the pseudo-code lines noted in their doc comments.
+
+use crate::event::OsEvent;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txsql_common::fxhash::FxHashMap;
+use txsql_common::latency::ut_delay;
+use txsql_common::metrics::EngineMetrics;
+use txsql_common::{Error, RecordId, Result, TxnId};
+
+/// Configuration of group locking.
+#[derive(Debug, Clone)]
+pub struct GroupLockConfig {
+    /// Maximum number of follower grants per group (the paper's default batch
+    /// size is 10).  `0` means unbounded.
+    pub batch_size: usize,
+    /// Dynamic batch size (§4.6.1): when the waiting queue is empty at
+    /// commit, release the lock without nominating a new leader.
+    pub dynamic_batch: bool,
+    /// How long a queued hotspot update waits before giving up (the timeout
+    /// that replaces deadlock detection on hot rows).
+    pub hot_wait_timeout: Duration,
+}
+
+impl Default for GroupLockConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 10,
+            dynamic_batch: true,
+            hot_wait_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Role a parked transaction is woken with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WokenRole {
+    /// Granted execution inside the current group (no locking).
+    Follower,
+    /// Promoted to leader of a new group (must acquire the row lock).
+    NewLeader,
+}
+
+/// A parked hotspot update waiting to be granted.
+#[derive(Debug)]
+pub struct WaitSlot {
+    /// The event the owner waits on.
+    pub event: Arc<OsEvent>,
+    role: Mutex<Option<WokenRole>>,
+}
+
+impl WaitSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { event: OsEvent::new(), role: Mutex::new(None) })
+    }
+
+    /// Role assigned by the waker, if any.
+    pub fn role(&self) -> Option<WokenRole> {
+        *self.role.lock()
+    }
+}
+
+/// Outcome of starting a hotspot update.
+#[derive(Debug)]
+pub enum HotExecution {
+    /// The transaction is the group leader: acquire the row lock, then call
+    /// [`GroupLockTable::register_update`].
+    Leader,
+    /// Granted follower execution immediately (no other hotspot update was in
+    /// flight): register the update and execute without locking.
+    Follower,
+    /// Park on the slot; the waker assigns [`WokenRole`].
+    Wait(Arc<WaitSlot>),
+}
+
+/// Outcome of cancelling a parked wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// Successfully removed from the queue.
+    Cancelled,
+    /// The grant raced ahead: the transaction must proceed with this role.
+    AlreadyGranted(WokenRole),
+}
+
+/// Outcome of asking for the commit turn.
+#[derive(Debug)]
+pub enum CommitTurn {
+    /// All dependency-list predecessors have committed: proceed.
+    Ready,
+    /// A predecessor rolled back; this transaction must cascade-abort.
+    Doomed {
+        /// The transaction whose rollback doomed us.
+        cause: TxnId,
+    },
+    /// Wait on this event, then ask again.
+    Wait(Arc<OsEvent>),
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: TxnId,
+    slot: Arc<WaitSlot>,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Executed-but-uncommitted transactions in update order.
+    dep_list: Vec<TxnId>,
+    /// Transactions doomed to cascade-abort, with the causing transaction.
+    doomed: FxHashMap<TxnId, TxnId>,
+    /// Parked hotspot updates.
+    waiting_updates: VecDeque<Waiter>,
+    /// Current group leader (holder of the real row lock).
+    leader: Option<TxnId>,
+    /// Transaction whose hotspot update is currently in flight, if any.
+    executing: Option<TxnId>,
+    /// `granting_new_trx`: a granted hotspot update has not yet finished.
+    granting_new_trx: bool,
+    /// `switching_new_leader`: the leader is committing; stop granting.
+    switching_new_leader: bool,
+    /// Followers granted in the current group (for the batch size).
+    granted_in_group: usize,
+    /// Server-initiated rollback in progress (§4.4 rollback optimization):
+    /// no new grants, no leader handover.
+    rollback_pause: bool,
+    /// Transactions waiting for their commit turn.
+    commit_waiters: Vec<(TxnId, Arc<OsEvent>)>,
+}
+
+impl GroupState {
+    fn is_idle(&self) -> bool {
+        self.dep_list.is_empty()
+            && self.waiting_updates.is_empty()
+            && self.leader.is_none()
+            && self.commit_waiters.is_empty()
+            && self.doomed.is_empty()
+    }
+
+    fn wake_commit_waiters(&mut self) {
+        for (_, event) in self.commit_waiters.drain(..) {
+            event.set();
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct GroupEntry {
+    state: Mutex<GroupState>,
+}
+
+/// The per-hot-row group-locking state (`hot_lock_sys` in the paper).
+#[derive(Debug)]
+pub struct GroupLockTable {
+    config: GroupLockConfig,
+    entries: Mutex<FxHashMap<u64, Arc<GroupEntry>>>,
+    global_hot_update_order: AtomicU64,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl GroupLockTable {
+    /// Creates a group-lock table.
+    pub fn new(config: GroupLockConfig, metrics: Arc<EngineMetrics>) -> Self {
+        Self {
+            config,
+            entries: Mutex::new(FxHashMap::default()),
+            global_hot_update_order: AtomicU64::new(1),
+            metrics,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GroupLockConfig {
+        &self.config
+    }
+
+    fn entry(&self, record: RecordId) -> Arc<GroupEntry> {
+        let mut entries = self.entries.lock();
+        Arc::clone(entries.entry(record.packed()).or_default())
+    }
+
+    fn maybe_gc(&self, record: RecordId, entry: &Arc<GroupEntry>) {
+        if entry.state.lock().is_idle() {
+            let mut entries = self.entries.lock();
+            if let Some(existing) = entries.get(&record.packed()) {
+                if Arc::ptr_eq(existing, entry) && existing.state.lock().is_idle() {
+                    entries.remove(&record.packed());
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1 — Execute
+    // ------------------------------------------------------------------
+
+    /// Starts a hotspot update (Algorithm 1, lines 2–6).
+    ///
+    /// `granting_new_trx` doubles as the "a hotspot update is executing right
+    /// now" flag: when the group exists but nothing is mid-update (the leader
+    /// is idle between statements, as in the paper's §4.5 worked example), an
+    /// arriving update is granted follower execution immediately instead of
+    /// parking.
+    pub fn begin_hot_update(&self, txn: TxnId, record: RecordId) -> HotExecution {
+        let entry = self.entry(record);
+        let mut state = entry.state.lock();
+        if state.leader.is_none() && state.waiting_updates.is_empty() && !state.rollback_pause {
+            state.leader = Some(txn);
+            state.switching_new_leader = false;
+            state.granted_in_group = 0;
+            state.granting_new_trx = true;
+            state.executing = Some(txn);
+            self.metrics.groups_formed.inc();
+            return HotExecution::Leader;
+        }
+        let batch_open =
+            self.config.batch_size == 0 || state.granted_in_group < self.config.batch_size;
+        if !state.granting_new_trx
+            && !state.switching_new_leader
+            && !state.rollback_pause
+            && state.waiting_updates.is_empty()
+            && state.leader.is_some()
+            && batch_open
+        {
+            state.granting_new_trx = true;
+            state.granted_in_group += 1;
+            state.executing = Some(txn);
+            return HotExecution::Follower;
+        }
+        let slot = WaitSlot::new();
+        state.waiting_updates.push_back(Waiter { txn, slot: Arc::clone(&slot) });
+        HotExecution::Wait(slot)
+    }
+
+    /// Parks on `slot` until granted, returning the role, or times out.
+    pub fn wait_for_grant(
+        &self,
+        txn: TxnId,
+        record: RecordId,
+        slot: &Arc<WaitSlot>,
+    ) -> Result<WokenRole> {
+        let start = Instant::now();
+        let deadline = start + self.config.hot_wait_timeout;
+        loop {
+            if let Some(role) = slot.role() {
+                self.metrics.lock_wait_latency.record(start.elapsed());
+                return Ok(role);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return match self.cancel_hot_wait(txn, record) {
+                    CancelOutcome::AlreadyGranted(role) => {
+                        self.metrics.lock_wait_latency.record(start.elapsed());
+                        Ok(role)
+                    }
+                    CancelOutcome::Cancelled => {
+                        self.metrics.lock_wait_latency.record(start.elapsed());
+                        Err(Error::LockWaitTimeout { txn, record })
+                    }
+                };
+            }
+            let _ = slot.event.wait_for(remaining);
+            slot.event.reset();
+        }
+    }
+
+    /// Removes a parked transaction that gave up waiting.
+    pub fn cancel_hot_wait(&self, txn: TxnId, record: RecordId) -> CancelOutcome {
+        let entry = self.entry(record);
+        let mut state = entry.state.lock();
+        if let Some(pos) = state.waiting_updates.iter().position(|w| w.txn == txn) {
+            state.waiting_updates.remove(pos);
+            return CancelOutcome::Cancelled;
+        }
+        // Not queued any more: the grant must have raced ahead of us.  The
+        // role is recorded on the slot the granter holds a clone of; look it
+        // up through the doomed/leader/dep_list state instead.
+        if state.leader == Some(txn) {
+            CancelOutcome::AlreadyGranted(WokenRole::NewLeader)
+        } else {
+            CancelOutcome::AlreadyGranted(WokenRole::Follower)
+        }
+    }
+
+    /// Registers an executed update (Algorithm 1, lines 7–9): assigns the
+    /// global `hot_update_order` and appends the transaction to the
+    /// dependency list.
+    pub fn register_update(&self, txn: TxnId, record: RecordId) -> u64 {
+        let order = self.global_hot_update_order.fetch_add(1, Ordering::Relaxed);
+        let entry = self.entry(record);
+        let mut state = entry.state.lock();
+        if !state.dep_list.contains(&txn) {
+            state.dep_list.push(txn);
+        }
+        self.metrics.hotspot_group_entries.inc();
+        order
+    }
+
+    /// Completes an update and grants the next follower if allowed
+    /// (Algorithm 1, lines 11–20).
+    pub fn finish_update(&self, txn: TxnId, record: RecordId, is_leader: bool) {
+        let entry = self.entry(record);
+        let mut state = entry.state.lock();
+        // Whoever just finished (leader or follower) is no longer mid-update.
+        state.granting_new_trx = false;
+        state.executing = None;
+        if is_leader && state.leader == Some(txn) {
+            state.switching_new_leader = false;
+        }
+        if state.switching_new_leader || state.rollback_pause {
+            return;
+        }
+        if self.config.batch_size > 0 && state.granted_in_group >= self.config.batch_size {
+            return;
+        }
+        if let Some(waiter) = state.waiting_updates.pop_front() {
+            state.granting_new_trx = true;
+            state.granted_in_group += 1;
+            state.executing = Some(waiter.txn);
+            *waiter.slot.role.lock() = Some(WokenRole::Follower);
+            waiter.slot.event.set();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2 — Commit
+    // ------------------------------------------------------------------
+
+    /// Leader-side commit preparation (Algorithm 2, lines 2–4): stop granting
+    /// and wait for the in-flight granted follower to complete its update.
+    pub fn leader_prepare_commit(&self, txn: TxnId, record: RecordId) {
+        let entry = self.entry(record);
+        let deadline = Instant::now() + self.config.hot_wait_timeout * 4;
+        loop {
+            {
+                let mut state = entry.state.lock();
+                if state.leader == Some(txn) {
+                    state.switching_new_leader = true;
+                }
+                if !state.granting_new_trx {
+                    return;
+                }
+            }
+            if Instant::now() > deadline {
+                // A granted follower disappeared without calling finish_update
+                // (it aborted on an unrelated error).  Proceed rather than
+                // wedging the whole hot row.
+                let mut state = entry.state.lock();
+                state.granting_new_trx = false;
+                return;
+            }
+            ut_delay(10);
+        }
+    }
+
+    /// Leader-side handover after releasing the row lock (Algorithm 2, lines
+    /// 7–10): promotes the next waiter to leader of a new group.  Returns the
+    /// new leader, if any (with the dynamic batch size there may be none).
+    pub fn leader_handover(&self, txn: TxnId, record: RecordId) -> Option<TxnId> {
+        let entry = self.entry(record);
+        let mut state = entry.state.lock();
+        if state.leader == Some(txn) {
+            state.leader = None;
+        }
+        if state.rollback_pause {
+            return None;
+        }
+        if let Some(waiter) = state.waiting_updates.pop_front() {
+            state.leader = Some(waiter.txn);
+            state.granted_in_group = 0;
+            state.switching_new_leader = false;
+            // The new leader's own update is considered in flight until it
+            // calls `finish_update`, so nobody can slip in between.
+            state.granting_new_trx = true;
+            state.executing = Some(waiter.txn);
+            self.metrics.groups_formed.inc();
+            *waiter.slot.role.lock() = Some(WokenRole::NewLeader);
+            waiter.slot.event.set();
+            Some(waiter.txn)
+        } else {
+            // Dynamic batch size: release without nominating a leader; the
+            // next arrival starts a fresh group immediately.
+            state.switching_new_leader = false;
+            state.granting_new_trx = false;
+            state.executing = None;
+            None
+        }
+    }
+
+    /// Asks whether `txn` may commit now (commit-order guarantee, §4.3).
+    pub fn commit_turn(&self, txn: TxnId, record: RecordId) -> CommitTurn {
+        let entry = self.entry(record);
+        let mut state = entry.state.lock();
+        if let Some(cause) = state.doomed.get(&txn) {
+            return CommitTurn::Doomed { cause: *cause };
+        }
+        match state.dep_list.first() {
+            Some(first) if *first == txn => CommitTurn::Ready,
+            None => CommitTurn::Ready,
+            Some(_) if !state.dep_list.contains(&txn) => CommitTurn::Ready,
+            Some(_) => {
+                let event = OsEvent::new();
+                state.commit_waiters.push((txn, Arc::clone(&event)));
+                CommitTurn::Wait(event)
+            }
+        }
+    }
+
+    /// Blocks until `txn` may commit (or must cascade-abort).
+    pub fn wait_commit_turn(&self, txn: TxnId, record: RecordId) -> Result<()> {
+        let deadline = Instant::now() + self.config.hot_wait_timeout * 4;
+        loop {
+            match self.commit_turn(txn, record) {
+                CommitTurn::Ready => return Ok(()),
+                CommitTurn::Doomed { cause } => {
+                    return Err(Error::CascadingAbort { txn, cause });
+                }
+                CommitTurn::Wait(event) => {
+                    if Instant::now() > deadline {
+                        return Err(Error::LockWaitTimeout { txn, record });
+                    }
+                    let _ = event.wait_for(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Finalises a commit: removes `txn` from the dependency list and wakes
+    /// commit waiters (Algorithm 2, lines 11–12).
+    pub fn finish_commit(&self, txn: TxnId, record: RecordId) {
+        let entry = self.entry(record);
+        {
+            let mut state = entry.state.lock();
+            state.dep_list.retain(|t| *t != txn);
+            state.doomed.remove(&txn);
+            if state.leader == Some(txn) {
+                // Normally leader_handover already ran; clear defensively so a
+                // committed leader can never keep the entry alive.
+                state.leader = None;
+            }
+            state.wake_commit_waiters();
+        }
+        self.maybe_gc(record, &entry);
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 3 — Rollback
+    // ------------------------------------------------------------------
+
+    /// Starts a rollback of `txn` (Algorithm 3, lines 2–5, plus the §4.4
+    /// rollback optimization): pauses granting, dooms every dependency-list
+    /// successor and returns them (they must cascade-abort first).
+    pub fn begin_rollback(&self, txn: TxnId, record: RecordId) -> Vec<TxnId> {
+        let entry = self.entry(record);
+        let mut state = entry.state.lock();
+        state.rollback_pause = true;
+        if state.leader == Some(txn) {
+            state.switching_new_leader = false;
+        }
+        if state.executing == Some(txn) {
+            // The rolling-back transaction was itself mid-update (it aborted
+            // between register and finish): clear the in-flight flag so the
+            // rollback-order wait below does not wait for itself.
+            state.granting_new_trx = false;
+            state.executing = None;
+        }
+        let successors: Vec<TxnId> = match state.dep_list.iter().position(|t| *t == txn) {
+            Some(pos) => state.dep_list[pos + 1..].to_vec(),
+            None => Vec::new(),
+        };
+        for succ in &successors {
+            state.doomed.entry(*succ).or_insert(txn);
+        }
+        state.wake_commit_waiters();
+        successors
+    }
+
+    /// Blocks until `txn` is the newest entry of the dependency list and no
+    /// grant is in flight (Algorithm 3, lines 6–7).
+    pub fn wait_rollback_turn(&self, txn: TxnId, record: RecordId) -> Result<()> {
+        let entry = self.entry(record);
+        let deadline = Instant::now() + self.config.hot_wait_timeout * 4;
+        loop {
+            {
+                let state = entry.state.lock();
+                let is_last = state.dep_list.last().map(|t| *t == txn).unwrap_or(true);
+                if is_last && !state.granting_new_trx && !state.switching_new_leader {
+                    return Ok(());
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(Error::LockWaitTimeout { txn, record });
+            }
+            ut_delay(10);
+        }
+    }
+
+    /// Finalises a rollback: removes `txn` from the dependency list, clears
+    /// its doomed mark and wakes commit waiters (Algorithm 3, lines 8–9).
+    pub fn finish_rollback(&self, txn: TxnId, record: RecordId) {
+        let entry = self.entry(record);
+        {
+            let mut state = entry.state.lock();
+            state.dep_list.retain(|t| *t != txn);
+            state.doomed.remove(&txn);
+            if state.leader == Some(txn) {
+                state.leader = None;
+            }
+            state.wake_commit_waiters();
+        }
+        self.maybe_gc(record, &entry);
+    }
+
+    /// Resumes granting after a server-initiated rollback completed (§4.4).
+    /// If the row lock was left free, the next parked transaction is promoted
+    /// to leader so the queue does not stall.
+    pub fn resume_granting(&self, record: RecordId) -> Option<TxnId> {
+        let entry = self.entry(record);
+        let mut state = entry.state.lock();
+        state.rollback_pause = false;
+        if state.leader.is_none() {
+            if let Some(waiter) = state.waiting_updates.pop_front() {
+                state.leader = Some(waiter.txn);
+                state.granted_in_group = 0;
+                state.switching_new_leader = false;
+                state.granting_new_trx = true;
+                state.executing = Some(waiter.txn);
+                self.metrics.groups_formed.inc();
+                *waiter.slot.role.lock() = Some(WokenRole::NewLeader);
+                waiter.slot.event.set();
+                return Some(waiter.txn);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (deadlock prevention §4.5, sweeper, tests)
+    // ------------------------------------------------------------------
+
+    /// True when both transactions have executed uncommitted updates on this
+    /// hot row — the §4.5 deadlock-prevention predicate.
+    pub fn both_updated(&self, record: RecordId, a: TxnId, b: TxnId) -> bool {
+        let entry = self.entry(record);
+        let state = entry.state.lock();
+        state.dep_list.contains(&a) && state.dep_list.contains(&b)
+    }
+
+    /// Current dependency list (update order) of a hot row.
+    pub fn dep_list(&self, record: RecordId) -> Vec<TxnId> {
+        let entry = self.entry(record);
+        let state = entry.state.lock();
+        state.dep_list.clone()
+    }
+
+    /// True when the hot row still has any group activity (used by the
+    /// hotspot sweeper to decide whether to demote).
+    pub fn has_activity(&self, record: RecordId) -> bool {
+        let entries = self.entries.lock();
+        entries
+            .get(&record.packed())
+            .map(|e| !e.state.lock().is_idle())
+            .unwrap_or(false)
+    }
+
+    /// Current leader of the hot row, if any.
+    pub fn leader_of(&self, record: RecordId) -> Option<TxnId> {
+        let entries = self.entries.lock();
+        entries.get(&record.packed()).and_then(|e| e.state.lock().leader)
+    }
+
+    /// Number of parked hotspot updates.
+    pub fn waiting_len(&self, record: RecordId) -> usize {
+        let entries = self.entries.lock();
+        entries
+            .get(&record.packed())
+            .map(|e| e.state.lock().waiting_updates.len())
+            .unwrap_or(0)
+    }
+
+    /// The next value the global hot-update order counter will hand out.
+    pub fn next_hot_update_order(&self) -> u64 {
+        self.global_hot_update_order.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 0 };
+
+    fn table() -> GroupLockTable {
+        GroupLockTable::new(GroupLockConfig::default(), Arc::new(EngineMetrics::new()))
+    }
+
+    #[test]
+    fn first_transaction_becomes_leader() {
+        let g = table();
+        assert!(matches!(g.begin_hot_update(TxnId(1), HOT), HotExecution::Leader));
+        assert_eq!(g.leader_of(HOT), Some(TxnId(1)));
+        let order = g.register_update(TxnId(1), HOT);
+        assert!(order >= 1);
+        assert_eq!(g.dep_list(HOT), vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn second_transaction_waits_and_is_granted_as_follower() {
+        let g = table();
+        assert!(matches!(g.begin_hot_update(TxnId(1), HOT), HotExecution::Leader));
+        g.register_update(TxnId(1), HOT);
+        let slot = match g.begin_hot_update(TxnId(2), HOT) {
+            HotExecution::Wait(slot) => slot,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        assert_eq!(g.waiting_len(HOT), 1);
+        // Leader finishes its update: follower is granted.
+        g.finish_update(TxnId(1), HOT, true);
+        assert_eq!(slot.role(), Some(WokenRole::Follower));
+        assert!(slot.event.is_set());
+        let order2 = g.register_update(TxnId(2), HOT);
+        g.finish_update(TxnId(2), HOT, false);
+        assert_eq!(g.dep_list(HOT), vec![TxnId(1), TxnId(2)]);
+        assert!(order2 > 1);
+    }
+
+    #[test]
+    fn commit_order_follows_dependency_list() {
+        let g = table();
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        g.register_update(TxnId(1), HOT);
+        let slot2 = match g.begin_hot_update(TxnId(2), HOT) {
+            HotExecution::Wait(s) => s,
+            _ => unreachable!(),
+        };
+        g.finish_update(TxnId(1), HOT, true);
+        assert_eq!(slot2.role(), Some(WokenRole::Follower));
+        g.register_update(TxnId(2), HOT);
+        g.finish_update(TxnId(2), HOT, false);
+
+        // Txn 2 cannot commit before txn 1.
+        assert!(matches!(g.commit_turn(TxnId(2), HOT), CommitTurn::Wait(_)));
+        assert!(matches!(g.commit_turn(TxnId(1), HOT), CommitTurn::Ready));
+        g.finish_commit(TxnId(1), HOT);
+        assert!(matches!(g.commit_turn(TxnId(2), HOT), CommitTurn::Ready));
+        g.finish_commit(TxnId(2), HOT);
+        assert!(g.dep_list(HOT).is_empty());
+        assert!(!g.has_activity(HOT));
+    }
+
+    #[test]
+    fn leader_handover_promotes_next_waiter_to_new_leader() {
+        let g = table();
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        g.register_update(TxnId(1), HOT);
+        g.finish_update(TxnId(1), HOT, true);
+        // The leader is idle, so the next arrival is granted follower
+        // execution immediately (the §4.5 worked-example behaviour).
+        assert!(matches!(g.begin_hot_update(TxnId(2), HOT), HotExecution::Follower));
+        g.register_update(TxnId(2), HOT);
+        g.finish_update(TxnId(2), HOT, false);
+
+        // A third arrives while the leader is committing: it must be parked
+        // and promoted to the next group's leader at handover.
+        g.leader_prepare_commit(TxnId(1), HOT);
+        let slot3 = match g.begin_hot_update(TxnId(3), HOT) {
+            HotExecution::Wait(s) => s,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        let new_leader = g.leader_handover(TxnId(1), HOT);
+        assert_eq!(new_leader, Some(TxnId(3)));
+        assert_eq!(slot3.role(), Some(WokenRole::NewLeader));
+        assert_eq!(g.leader_of(HOT), Some(TxnId(3)));
+    }
+
+    #[test]
+    fn dynamic_batch_leaves_no_leader_when_queue_empty() {
+        let g = table();
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        g.register_update(TxnId(1), HOT);
+        g.finish_update(TxnId(1), HOT, true);
+        g.leader_prepare_commit(TxnId(1), HOT);
+        assert_eq!(g.leader_handover(TxnId(1), HOT), None);
+        assert_eq!(g.leader_of(HOT), None);
+        // Next arrival becomes leader immediately.
+        assert!(matches!(g.begin_hot_update(TxnId(2), HOT), HotExecution::Leader));
+    }
+
+    #[test]
+    fn batch_size_limits_grants_per_group() {
+        let g = GroupLockTable::new(
+            GroupLockConfig { batch_size: 1, ..Default::default() },
+            Arc::new(EngineMetrics::new()),
+        );
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        g.register_update(TxnId(1), HOT);
+        let slot2 = match g.begin_hot_update(TxnId(2), HOT) {
+            HotExecution::Wait(s) => s,
+            _ => unreachable!(),
+        };
+        let slot3 = match g.begin_hot_update(TxnId(3), HOT) {
+            HotExecution::Wait(s) => s,
+            _ => unreachable!(),
+        };
+        g.finish_update(TxnId(1), HOT, true);
+        assert_eq!(slot2.role(), Some(WokenRole::Follower));
+        g.register_update(TxnId(2), HOT);
+        g.finish_update(TxnId(2), HOT, false);
+        // Batch of 1 exhausted: txn 3 must NOT be granted as follower.
+        assert_eq!(slot3.role(), None);
+        // It becomes the next group's leader at handover.
+        g.leader_prepare_commit(TxnId(1), HOT);
+        assert_eq!(g.leader_handover(TxnId(1), HOT), Some(TxnId(3)));
+        assert_eq!(slot3.role(), Some(WokenRole::NewLeader));
+    }
+
+    #[test]
+    fn rollback_dooms_successors_and_enforces_reverse_order() {
+        let g = table();
+        // T1 updates, then T3, then T2 (the paper's §4.4 example), following
+        // the real grant flow: each follower registers and finishes its
+        // update before the next one is granted.
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        g.register_update(TxnId(1), HOT);
+        let slot3 = match g.begin_hot_update(TxnId(3), HOT) {
+            HotExecution::Wait(s) => s,
+            _ => unreachable!(),
+        };
+        let slot2 = match g.begin_hot_update(TxnId(2), HOT) {
+            HotExecution::Wait(s) => s,
+            _ => unreachable!(),
+        };
+        g.finish_update(TxnId(1), HOT, true);
+        assert_eq!(slot3.role(), Some(WokenRole::Follower));
+        g.register_update(TxnId(3), HOT);
+        g.finish_update(TxnId(3), HOT, false);
+        assert_eq!(slot2.role(), Some(WokenRole::Follower));
+        g.register_update(TxnId(2), HOT);
+        g.finish_update(TxnId(2), HOT, false);
+        assert_eq!(g.dep_list(HOT), vec![TxnId(1), TxnId(3), TxnId(2)]);
+
+        let doomed = g.begin_rollback(TxnId(1), HOT);
+        assert_eq!(doomed, vec![TxnId(3), TxnId(2)]);
+        // Successors cascade in reverse order.
+        assert!(matches!(g.commit_turn(TxnId(2), HOT), CommitTurn::Doomed { cause: TxnId(1) }));
+        g.finish_rollback(TxnId(2), HOT);
+        assert!(matches!(g.commit_turn(TxnId(3), HOT), CommitTurn::Doomed { cause: TxnId(1) }));
+        g.finish_rollback(TxnId(3), HOT);
+        // Now T1 is last and may roll back.
+        g.wait_rollback_turn(TxnId(1), HOT).unwrap();
+        g.finish_rollback(TxnId(1), HOT);
+        g.resume_granting(HOT);
+        assert!(g.dep_list(HOT).is_empty());
+        assert!(!g.has_activity(HOT));
+    }
+
+    #[test]
+    fn both_updated_detects_shared_hot_row() {
+        let g = table();
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        g.register_update(TxnId(1), HOT);
+        let _ = g.begin_hot_update(TxnId(2), HOT);
+        g.register_update(TxnId(2), HOT);
+        assert!(g.both_updated(HOT, TxnId(1), TxnId(2)));
+        assert!(!g.both_updated(HOT, TxnId(1), TxnId(9)));
+    }
+
+    #[test]
+    fn wait_for_grant_times_out_when_never_granted() {
+        let g = GroupLockTable::new(
+            GroupLockConfig { hot_wait_timeout: Duration::from_millis(30), ..Default::default() },
+            Arc::new(EngineMetrics::new()),
+        );
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        let slot = match g.begin_hot_update(TxnId(2), HOT) {
+            HotExecution::Wait(s) => s,
+            _ => unreachable!(),
+        };
+        let err = g.wait_for_grant(TxnId(2), HOT, &slot).unwrap_err();
+        assert!(matches!(err, Error::LockWaitTimeout { .. }));
+        assert_eq!(g.waiting_len(HOT), 0);
+    }
+
+    #[test]
+    fn hot_update_order_is_globally_increasing_across_records() {
+        let g = table();
+        let other = RecordId::new(2, 0, 0);
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        let a = g.register_update(TxnId(1), HOT);
+        let _ = g.begin_hot_update(TxnId(2), other);
+        let b = g.register_update(TxnId(2), other);
+        assert!(b > a);
+        assert_eq!(g.next_hot_update_order(), b + 1);
+    }
+
+    #[test]
+    fn resume_granting_promotes_waiter_after_rollback() {
+        let g = table();
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        g.register_update(TxnId(1), HOT);
+        let slot2 = match g.begin_hot_update(TxnId(2), HOT) {
+            HotExecution::Wait(s) => s,
+            _ => unreachable!(),
+        };
+        g.begin_rollback(TxnId(1), HOT);
+        g.wait_rollback_turn(TxnId(1), HOT).unwrap();
+        g.finish_rollback(TxnId(1), HOT);
+        // While paused, nobody was promoted.
+        assert_eq!(slot2.role(), None);
+        let promoted = g.resume_granting(HOT);
+        assert_eq!(promoted, Some(TxnId(2)));
+        assert_eq!(slot2.role(), Some(WokenRole::NewLeader));
+    }
+}

@@ -1,0 +1,246 @@
+//! Hotspot detection and the `hot_row_hash` registry (§4.1).
+//!
+//! A row becomes a *hotspot* when the number of transactions waiting for its
+//! lock exceeds a threshold (the paper uses 32 as a rule of thumb).  Once
+//! promoted, the row's identifier lives in the `hot_row_hash`; subsequent
+//! update transactions take the queue-locking (O2) or group-locking (TXSQL)
+//! path instead of the plain lock manager.  A background sweeper periodically
+//! demotes rows that no longer have waiters, reverting them to standard 2PL.
+//!
+//! Detection is deliberately lightweight: the only signal is the wait-queue
+//! length the lock manager already knows, observed at the moment a
+//! transaction is about to wait.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use txsql_common::fxhash::{FxHashMap, FxHashSet};
+use txsql_common::RecordId;
+
+/// Configuration of hotspot detection.
+#[derive(Debug, Clone)]
+pub struct HotspotConfig {
+    /// Queue length at which a row is promoted to hotspot (paper: 32).
+    pub promote_threshold: usize,
+    /// How often the background sweeper checks for cold rows.
+    pub sweep_interval: Duration,
+    /// Master switch: when false, nothing is ever promoted (plain 2PL / O1).
+    pub enabled: bool,
+}
+
+impl Default for HotspotConfig {
+    fn default() -> Self {
+        Self {
+            promote_threshold: 32,
+            sweep_interval: Duration::from_millis(50),
+            enabled: true,
+        }
+    }
+}
+
+impl HotspotConfig {
+    /// A configuration with hotspot handling disabled.
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+
+    /// Overrides the promotion threshold.
+    pub fn with_threshold(mut self, threshold: usize) -> Self {
+        self.promote_threshold = threshold.max(1);
+        self
+    }
+}
+
+/// The `hot_row_hash`: which rows are currently treated as hotspots.
+#[derive(Debug)]
+pub struct HotspotRegistry {
+    config: HotspotConfig,
+    hot_rows: RwLock<FxHashSet<u64>>,
+    /// Cumulative wait observations per record since the last sweep — used by
+    /// the sweeper to decide whether a hotspot is still hot.
+    recent_waits: RwLock<FxHashMap<u64, u64>>,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+}
+
+impl HotspotRegistry {
+    /// Creates a registry.
+    pub fn new(config: HotspotConfig) -> Self {
+        Self {
+            config,
+            hot_rows: RwLock::new(FxHashSet::default()),
+            recent_waits: RwLock::new(FxHashMap::default()),
+            promotions: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HotspotConfig {
+        &self.config
+    }
+
+    /// Is this record currently a hotspot?
+    #[inline]
+    pub fn is_hot(&self, record: RecordId) -> bool {
+        if !self.config.enabled {
+            return false;
+        }
+        self.hot_rows.read().contains(&record.packed())
+    }
+
+    /// Reports that a transaction is about to wait for `record` behind
+    /// `queue_len` other waiters.  Promotes the record when the threshold is
+    /// crossed.  Returns true when the record is (now) hot.
+    pub fn observe_wait(&self, record: RecordId, queue_len: usize) -> bool {
+        if !self.config.enabled {
+            return false;
+        }
+        let key = record.packed();
+        {
+            let mut recent = self.recent_waits.write();
+            *recent.entry(key).or_insert(0) += 1;
+        }
+        if self.hot_rows.read().contains(&key) {
+            return true;
+        }
+        if queue_len >= self.config.promote_threshold {
+            let mut hot = self.hot_rows.write();
+            if hot.insert(key) {
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Force-promotes a record (used by tests and by workloads that declare
+    /// a known hotspot up front, mirroring PolarDB-style hints for
+    /// comparison experiments).
+    pub fn promote(&self, record: RecordId) {
+        if self.hot_rows.write().insert(record.packed()) {
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Demotes a record back to plain 2PL.
+    pub fn demote(&self, record: RecordId) {
+        if self.hot_rows.write().remove(&record.packed()) {
+            self.demotions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One sweeper pass: demote every hot row that both (a) saw no waits since
+    /// the previous sweep and (b) currently has no waiting transactions
+    /// according to `has_waiters`.
+    pub fn sweep<F: Fn(RecordId) -> bool>(&self, has_waiters: F) -> usize {
+        if !self.config.enabled {
+            return 0;
+        }
+        let recent = std::mem::take(&mut *self.recent_waits.write());
+        let mut demoted = 0;
+        let mut hot = self.hot_rows.write();
+        hot.retain(|key| {
+            let record = RecordId::from_packed(*key);
+            let seen_recent_waits = recent.get(key).copied().unwrap_or(0) > 0;
+            let keep = seen_recent_waits || has_waiters(record);
+            if !keep {
+                demoted += 1;
+            }
+            keep
+        });
+        self.demotions.fetch_add(demoted as u64, Ordering::Relaxed);
+        demoted
+    }
+
+    /// Number of rows currently marked hot.
+    pub fn hot_count(&self) -> usize {
+        self.hot_rows.read().len()
+    }
+
+    /// Currently hot records.
+    pub fn hot_records(&self) -> Vec<RecordId> {
+        self.hot_rows.read().iter().map(|k| RecordId::from_packed(*k)).collect()
+    }
+
+    /// Lifetime promotion count.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime demotion count.
+    pub fn demotions(&self) -> u64 {
+        self.demotions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 0 };
+    const COLD: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 1 };
+
+    #[test]
+    fn promotion_happens_at_threshold() {
+        let reg = HotspotRegistry::new(HotspotConfig::default().with_threshold(4));
+        assert!(!reg.observe_wait(HOT, 1));
+        assert!(!reg.observe_wait(HOT, 3));
+        assert!(!reg.is_hot(HOT));
+        assert!(reg.observe_wait(HOT, 4));
+        assert!(reg.is_hot(HOT));
+        assert!(!reg.is_hot(COLD));
+        assert_eq!(reg.promotions(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_never_promotes() {
+        let reg = HotspotRegistry::new(HotspotConfig::disabled());
+        assert!(!reg.observe_wait(HOT, 1_000));
+        assert!(!reg.is_hot(HOT));
+        reg.promote(HOT); // manual promote still records, but is_hot honours the switch
+        assert!(!reg.is_hot(HOT));
+    }
+
+    #[test]
+    fn sweep_demotes_idle_rows_only() {
+        let reg = HotspotRegistry::new(HotspotConfig::default().with_threshold(1));
+        reg.observe_wait(HOT, 5);
+        reg.observe_wait(COLD, 5);
+        assert_eq!(reg.hot_count(), 2);
+        // First sweep: both saw recent waits, nothing demoted.
+        assert_eq!(reg.sweep(|_| false), 0);
+        // Second sweep with no recent waits: HOT still has waiters, COLD not.
+        assert_eq!(reg.sweep(|r| r == HOT), 1);
+        assert!(reg.is_hot(HOT));
+        assert!(!reg.is_hot(COLD));
+        assert_eq!(reg.demotions(), 1);
+    }
+
+    #[test]
+    fn manual_promote_and_demote() {
+        let reg = HotspotRegistry::new(HotspotConfig::default());
+        reg.promote(HOT);
+        assert!(reg.is_hot(HOT));
+        assert_eq!(reg.hot_records(), vec![HOT]);
+        reg.demote(HOT);
+        assert!(!reg.is_hot(HOT));
+        assert_eq!(reg.hot_count(), 0);
+    }
+
+    #[test]
+    fn repeated_promotions_counted_once() {
+        let reg = HotspotRegistry::new(HotspotConfig::default().with_threshold(1));
+        reg.observe_wait(HOT, 2);
+        reg.observe_wait(HOT, 2);
+        reg.promote(HOT);
+        assert_eq!(reg.promotions(), 1);
+    }
+
+    #[test]
+    fn threshold_is_at_least_one() {
+        let cfg = HotspotConfig::default().with_threshold(0);
+        assert_eq!(cfg.promote_threshold, 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! # txsql-lockmgr
+//!
+//! The lock manager of the TXSQL reproduction — the subsystem the paper's
+//! optimizations actually live in.
+//!
+//! The crate contains four generations of locking machinery, matching the
+//! paper's narrative:
+//!
+//! 1. [`lock_sys`] — the vanilla InnoDB-style lock system: a hash table
+//!    sharded by *page* (`<space_id, page_no>`), a `lock_t`-like request
+//!    object created for **every** acquisition, FIFO wait queues, and
+//!    wait-for-graph deadlock detection that scans the queue while holding
+//!    the shard mutex.  This is the "MySQL" baseline whose collapse under
+//!    hotspot load motivates the paper (Figure 2a).
+//! 2. [`lightweight`] — the general lock optimization (§3.1.1, "O1"): a
+//!    record-keyed `trx_lock_wait` map with many more shards, which only
+//!    materialises lock objects when a conflict actually exists.
+//! 3. [`queue_lock`] — queue locking for hotspots (§3.2, "O2"): detected hot
+//!    rows get a FIFO of waiting transactions *in front of* the lock manager,
+//!    woken one at a time by the committing predecessor, with timeouts
+//!    instead of deadlock detection.
+//! 4. [`group_lock`] — group locking (§3.3/§4, "TXSQL"): leader/follower
+//!    groups executing serially on uncommitted data without locking, the
+//!    dependency list that fixes commit and rollback order, and the
+//!    dynamic-batch-size latency optimization.
+//!
+//! Supporting modules: [`event`] (the `os_event` wait/wake primitive),
+//! [`modes`] (lock modes and conflict matrix), [`deadlock`] (the wait-for
+//! graph) and [`hotspot`] (hotspot detection and the `hot_row_hash`
+//! registry shared by queue and group locking).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod deadlock;
+pub mod event;
+pub mod group_lock;
+pub mod hotspot;
+pub mod lightweight;
+pub mod lock_sys;
+pub mod modes;
+pub mod queue_lock;
+
+pub use deadlock::WaitForGraph;
+pub use event::OsEvent;
+pub use group_lock::{GroupLockTable, HotExecution};
+pub use hotspot::{HotspotConfig, HotspotRegistry};
+pub use lightweight::LightweightLockTable;
+pub use lock_sys::{DeadlockPolicy, LockSys, LockSysConfig};
+pub use modes::LockMode;
+pub use queue_lock::QueueLockTable;

@@ -1,0 +1,565 @@
+//! The vanilla, InnoDB-style lock system (`lock_sys`) — the MySQL baseline.
+//!
+//! Structure (paper §2.2): a hash table keyed by `(space_id, page_no)` whose
+//! value is the list of lock requests (`lock_t`) on that page.  Every
+//! acquisition creates a request object, even without contention — the first
+//! shortcoming §3.1.1 calls out.  The table is sharded, but a hot page still
+//! funnels every acquisition, release, grant scan *and* deadlock check
+//! through one shard mutex, which is the second shortcoming (Figure 6c).
+//!
+//! Waiting requests park on an [`OsEvent`]; the releasing transaction scans
+//! the page queue in FIFO order and grants whatever no longer conflicts.
+//! Deadlock handling is configurable ([`DeadlockPolicy`]): wait-for-graph
+//! detection run at every wait (MySQL default) or a plain timeout (what the
+//! paper's hotspot paths prefer, §3.2).
+
+use crate::deadlock::WaitForGraph;
+use crate::event::{OsEvent, WaitOutcome};
+use crate::modes::LockMode;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txsql_common::fxhash::{self, FxHashMap};
+use txsql_common::ids::PageId;
+use txsql_common::metrics::EngineMetrics;
+use txsql_common::{Error, HeapNo, RecordId, Result, TableId, TxnId};
+
+/// How the lock system deals with deadlocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlockPolicy {
+    /// Run wait-for-graph detection on every wait (InnoDB default).
+    Detect,
+    /// Rely on lock-wait timeouts only (no detection).
+    TimeoutOnly,
+}
+
+/// Configuration of [`LockSys`].
+#[derive(Debug, Clone)]
+pub struct LockSysConfig {
+    /// Number of hash shards (InnoDB uses a small fixed number; the paper's
+    /// baseline keeps page-level sharding).
+    pub n_shards: usize,
+    /// Deadlock handling policy.
+    pub deadlock_policy: DeadlockPolicy,
+    /// Lock wait timeout.
+    pub lock_wait_timeout: Duration,
+}
+
+impl Default for LockSysConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 64,
+            deadlock_policy: DeadlockPolicy::Detect,
+            lock_wait_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A `lock_t`-like request.
+#[derive(Debug)]
+struct LockRequest {
+    txn: TxnId,
+    heap_no: HeapNo,
+    mode: LockMode,
+    granted: bool,
+    event: Arc<OsEvent>,
+}
+
+#[derive(Debug, Default)]
+struct PageLocks {
+    requests: Vec<LockRequest>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    pages: FxHashMap<PageId, PageLocks>,
+}
+
+/// The page-sharded lock system.
+#[derive(Debug)]
+pub struct LockSys {
+    config: LockSysConfig,
+    shards: Vec<Mutex<Shard>>,
+    graph: WaitForGraph,
+    /// Records each transaction holds (or waits on) — needed for release-all.
+    txn_locks: Mutex<FxHashMap<TxnId, Vec<RecordId>>>,
+    /// Table-level locks (intention modes in practice).
+    table_locks: Mutex<FxHashMap<TableId, Vec<(TxnId, LockMode)>>>,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl LockSys {
+    /// Creates a lock system.
+    pub fn new(config: LockSysConfig, metrics: Arc<EngineMetrics>) -> Self {
+        let n = config.n_shards.max(1);
+        Self {
+            config,
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            graph: WaitForGraph::new(),
+            txn_locks: Mutex::new(FxHashMap::default()),
+            table_locks: Mutex::new(FxHashMap::default()),
+            metrics,
+        }
+    }
+
+    /// The configured lock-wait timeout.
+    pub fn lock_wait_timeout(&self) -> Duration {
+        self.config.lock_wait_timeout
+    }
+
+    #[inline]
+    fn shard_for(&self, page: PageId) -> &Mutex<Shard> {
+        let key = ((page.space_id as u64) << 32) | page.page_no as u64;
+        let idx = (fxhash::hash_u64(key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    fn remember_lock(&self, txn: TxnId, record: RecordId) {
+        let mut locks = self.txn_locks.lock();
+        let list = locks.entry(txn).or_default();
+        if !list.contains(&record) {
+            list.push(record);
+        }
+    }
+
+    /// Transactions whose *granted* or earlier-queued requests conflict with a
+    /// request by `txn` for (`heap_no`, `mode`).  Mirrors InnoDB's
+    /// `lock_rec_has_to_wait_in_queue`: the scan is O(queue length) and runs
+    /// under the shard mutex.
+    fn conflicting_txns(page: &PageLocks, txn: TxnId, heap_no: HeapNo, mode: LockMode) -> Vec<TxnId> {
+        let mut blockers = Vec::new();
+        for req in &page.requests {
+            if req.txn == txn || req.heap_no != heap_no {
+                continue;
+            }
+            if !req.mode.is_compatible_with(mode) {
+                blockers.push(req.txn);
+            }
+        }
+        blockers
+    }
+
+    /// Acquires a record lock, blocking until granted, deadlock or timeout.
+    pub fn lock_record(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
+        debug_assert!(mode.is_record_mode());
+        let event;
+        {
+            let shard = self.shard_for(record.page());
+            let mut guard = shard.lock();
+            let page = guard.pages.entry(record.page()).or_default();
+
+            // Re-entrant fast path: an existing granted lock that covers the
+            // request needs no new lock object.
+            if let Some(existing) = page
+                .requests
+                .iter_mut()
+                .find(|r| r.txn == txn && r.heap_no == record.heap_no && r.granted)
+            {
+                if existing.mode.covers(mode) {
+                    return Ok(());
+                }
+                // Lock upgrade (S -> X) with no other holders: upgrade in place.
+                let others = Self::conflicting_txns(page, txn, record.heap_no, mode);
+                if others.is_empty() {
+                    if let Some(existing) = page
+                        .requests
+                        .iter_mut()
+                        .find(|r| r.txn == txn && r.heap_no == record.heap_no && r.granted)
+                    {
+                        existing.mode = LockMode::Exclusive;
+                    }
+                    return Ok(());
+                }
+            }
+
+            let blockers = Self::conflicting_txns(page, txn, record.heap_no, mode);
+            self.metrics.locks_created.inc();
+            if blockers.is_empty() {
+                page.requests.push(LockRequest {
+                    txn,
+                    heap_no: record.heap_no,
+                    mode,
+                    granted: true,
+                    event: OsEvent::new(),
+                });
+                self.remember_lock(txn, record);
+                return Ok(());
+            }
+
+            // Must wait.
+            if self.config.deadlock_policy == DeadlockPolicy::Detect {
+                self.metrics.deadlock_checks.inc();
+                self.graph.set_waits_for(txn, blockers.iter().copied());
+                if self.graph.find_cycle_from(txn).is_some() {
+                    self.graph.clear_waits_of(txn);
+                    return Err(Error::Deadlock { txn });
+                }
+            }
+            event = OsEvent::new();
+            page.requests.push(LockRequest {
+                txn,
+                heap_no: record.heap_no,
+                mode,
+                granted: false,
+                event: Arc::clone(&event),
+            });
+            self.remember_lock(txn, record);
+            self.metrics.lock_waits.inc();
+        }
+
+        // Park outside the shard mutex.
+        let wait_start = Instant::now();
+        let deadline = wait_start + self.config.lock_wait_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let outcome = if remaining.is_zero() {
+                WaitOutcome::TimedOut
+            } else {
+                event.wait_for(remaining)
+            };
+            let waited = wait_start.elapsed();
+            let shard = self.shard_for(record.page());
+            let mut guard = shard.lock();
+            let page = guard.pages.entry(record.page()).or_default();
+            let granted = page
+                .requests
+                .iter()
+                .any(|r| r.txn == txn && r.heap_no == record.heap_no && r.granted && r.mode.covers(mode));
+            if granted {
+                self.metrics.lock_wait_latency.record(waited);
+                self.graph.clear_waits_of(txn);
+                return Ok(());
+            }
+            if outcome == WaitOutcome::TimedOut {
+                // Give up: remove our waiting request.
+                page.requests
+                    .retain(|r| !(r.txn == txn && r.heap_no == record.heap_no && !r.granted));
+                self.metrics.lock_wait_latency.record(waited);
+                self.graph.clear_waits_of(txn);
+                return Err(Error::LockWaitTimeout { txn, record });
+            }
+            // Spurious wake-up (event set but our grant was raced away): reset
+            // and wait again.
+            event.reset();
+        }
+    }
+
+    /// Acquires a table lock.  Intention modes never conflict in the paper's
+    /// workloads; a genuine conflict is reported as an immediate timeout
+    /// rather than blocking (full table locks are outside the evaluated
+    /// scenarios).
+    pub fn lock_table(&self, txn: TxnId, table: TableId, mode: LockMode) -> Result<()> {
+        let mut tables = self.table_locks.lock();
+        let holders = tables.entry(table).or_default();
+        if holders.iter().any(|(t, m)| *t != txn && !m.is_compatible_with(mode)) {
+            return Err(Error::LockWaitTimeout {
+                txn,
+                record: RecordId::new(table.0, u32::MAX, 0),
+            });
+        }
+        if !holders.iter().any(|(t, m)| *t == txn && m.covers(mode)) {
+            holders.push((txn, mode));
+            self.metrics.locks_created.inc();
+        }
+        Ok(())
+    }
+
+    /// Releases a single record lock held by `txn` and grants any waiters that
+    /// no longer conflict.  Used by Bamboo's early lock release.
+    pub fn release_record_lock(&self, txn: TxnId, record: RecordId) {
+        let shard = self.shard_for(record.page());
+        let mut guard = shard.lock();
+        if let Some(page) = guard.pages.get_mut(&record.page()) {
+            page.requests.retain(|r| !(r.txn == txn && r.heap_no == record.heap_no));
+            Self::grant_waiters(page, record.heap_no, &self.graph);
+            if page.requests.is_empty() {
+                guard.pages.remove(&record.page());
+            }
+        }
+        let mut locks = self.txn_locks.lock();
+        if let Some(list) = locks.get_mut(&txn) {
+            list.retain(|r| *r != record);
+        }
+    }
+
+    /// Releases every lock `txn` holds (and abandons any waits), granting
+    /// whatever unblocks.  Called at commit and rollback.
+    pub fn release_all(&self, txn: TxnId) {
+        let records = self.txn_locks.lock().remove(&txn).unwrap_or_default();
+        for record in records {
+            let shard = self.shard_for(record.page());
+            let mut guard = shard.lock();
+            if let Some(page) = guard.pages.get_mut(&record.page()) {
+                page.requests.retain(|r| !(r.txn == txn && r.heap_no == record.heap_no));
+                Self::grant_waiters(page, record.heap_no, &self.graph);
+                if page.requests.is_empty() {
+                    guard.pages.remove(&record.page());
+                }
+            }
+        }
+        {
+            let mut tables = self.table_locks.lock();
+            for holders in tables.values_mut() {
+                holders.retain(|(t, _)| *t != txn);
+            }
+            tables.retain(|_, v| !v.is_empty());
+        }
+        self.graph.remove_txn(txn);
+    }
+
+    /// FIFO grant scan over one heap position.
+    fn grant_waiters(page: &mut PageLocks, heap_no: HeapNo, graph: &WaitForGraph) {
+        // Collect currently granted modes per transaction on this heap_no.
+        let mut newly_granted: Vec<Arc<OsEvent>> = Vec::new();
+        for i in 0..page.requests.len() {
+            if page.requests[i].heap_no != heap_no || page.requests[i].granted {
+                continue;
+            }
+            let candidate_txn = page.requests[i].txn;
+            let candidate_mode = page.requests[i].mode;
+            let conflicts = page.requests.iter().take(i).chain(page.requests.iter().skip(i + 1)).any(|r| {
+                r.heap_no == heap_no
+                    && r.txn != candidate_txn
+                    && r.granted
+                    && !r.mode.is_compatible_with(candidate_mode)
+            });
+            // FIFO fairness: an earlier waiting request from another txn that
+            // conflicts blocks this grant too.
+            let earlier_conflict = page.requests.iter().take(i).any(|r| {
+                r.heap_no == heap_no
+                    && r.txn != candidate_txn
+                    && !r.granted
+                    && !r.mode.is_compatible_with(candidate_mode)
+            });
+            if !conflicts && !earlier_conflict {
+                page.requests[i].granted = true;
+                graph.clear_waits_of(candidate_txn);
+                newly_granted.push(Arc::clone(&page.requests[i].event));
+            }
+        }
+        for event in newly_granted {
+            event.set();
+        }
+    }
+
+    /// Length of the wait queue (waiting requests only) on a record — the
+    /// paper's hotspot-detection signal (§4.1).
+    pub fn wait_queue_len(&self, record: RecordId) -> usize {
+        let shard = self.shard_for(record.page());
+        let guard = shard.lock();
+        guard
+            .pages
+            .get(&record.page())
+            .map(|p| {
+                p.requests.iter().filter(|r| r.heap_no == record.heap_no && !r.granted).count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Number of lock objects currently held or waited on by `txn`.
+    pub fn lock_count_of(&self, txn: TxnId) -> usize {
+        self.txn_locks.lock().get(&txn).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Transactions currently holding a granted lock on `record`.
+    pub fn holders_of(&self, record: RecordId) -> Vec<TxnId> {
+        let shard = self.shard_for(record.page());
+        let guard = shard.lock();
+        guard
+            .pages
+            .get(&record.page())
+            .map(|p| {
+                p.requests
+                    .iter()
+                    .filter(|r| r.heap_no == record.heap_no && r.granted)
+                    .map(|r| r.txn)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The wait-for graph (exposed for the hot/non-hot deadlock prevention
+    /// logic and for tests).
+    pub fn wait_for_graph(&self) -> &WaitForGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn sys(policy: DeadlockPolicy, timeout_ms: u64) -> Arc<LockSys> {
+        Arc::new(LockSys::new(
+            LockSysConfig {
+                n_shards: 8,
+                deadlock_policy: policy,
+                lock_wait_timeout: Duration::from_millis(timeout_ms),
+            },
+            Arc::new(EngineMetrics::new()),
+        ))
+    }
+
+    const R1: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 0 };
+    const R2: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 1 };
+
+    #[test]
+    fn exclusive_lock_is_granted_and_released() {
+        let s = sys(DeadlockPolicy::Detect, 100);
+        s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+        assert_eq!(s.holders_of(R1), vec![TxnId(1)]);
+        assert_eq!(s.lock_count_of(TxnId(1)), 1);
+        s.release_all(TxnId(1));
+        assert!(s.holders_of(R1).is_empty());
+        assert_eq!(s.lock_count_of(TxnId(1)), 0);
+    }
+
+    #[test]
+    fn shared_locks_coexist_but_block_exclusive() {
+        let s = sys(DeadlockPolicy::TimeoutOnly, 50);
+        s.lock_record(TxnId(1), R1, LockMode::Shared).unwrap();
+        s.lock_record(TxnId(2), R1, LockMode::Shared).unwrap();
+        assert_eq!(s.holders_of(R1).len(), 2);
+        let err = s.lock_record(TxnId(3), R1, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, Error::LockWaitTimeout { .. }));
+    }
+
+    #[test]
+    fn reentrant_lock_does_not_create_new_object() {
+        let s = sys(DeadlockPolicy::Detect, 100);
+        let metrics_before = {
+            s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+            s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+            s.lock_record(TxnId(1), R1, LockMode::Shared).unwrap();
+            s.holders_of(R1).len()
+        };
+        assert_eq!(metrics_before, 1);
+    }
+
+    #[test]
+    fn lock_upgrade_succeeds_when_sole_holder() {
+        let s = sys(DeadlockPolicy::Detect, 100);
+        s.lock_record(TxnId(1), R1, LockMode::Shared).unwrap();
+        s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+        // Another reader must now block.
+        let err = {
+            let s2 = sys(DeadlockPolicy::TimeoutOnly, 30);
+            s2.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+            s2.lock_record(TxnId(2), R1, LockMode::Shared).unwrap_err()
+        };
+        assert!(matches!(err, Error::LockWaitTimeout { .. }));
+    }
+
+    #[test]
+    fn waiter_is_woken_when_holder_releases() {
+        let s = sys(DeadlockPolicy::Detect, 2_000);
+        s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+        let s2 = Arc::clone(&s);
+        let waiter = thread::spawn(move || s2.lock_record(TxnId(2), R1, LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(s.wait_queue_len(R1), 1);
+        s.release_all(TxnId(1));
+        waiter.join().unwrap().unwrap();
+        assert_eq!(s.holders_of(R1), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn waiters_are_granted_in_fifo_order() {
+        let s = sys(DeadlockPolicy::Detect, 5_000);
+        s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 2..=5u64 {
+            let s2 = Arc::clone(&s);
+            let order2 = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                s2.lock_record(TxnId(t), R1, LockMode::Exclusive).unwrap();
+                order2.lock().push(t);
+                std::thread::sleep(Duration::from_millis(5));
+                s2.release_all(TxnId(t));
+            }));
+            // Stagger arrivals so queue order is deterministic.
+            thread::sleep(Duration::from_millis(20));
+        }
+        s.release_all(TxnId(1));
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let s = sys(DeadlockPolicy::Detect, 5_000);
+        s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+        s.lock_record(TxnId(2), R2, LockMode::Exclusive).unwrap();
+        let s2 = Arc::clone(&s);
+        // T1 waits for R2 (held by T2).
+        let h = thread::spawn(move || s2.lock_record(TxnId(1), R2, LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(50));
+        // T2 requesting R1 closes the cycle and must be chosen as victim.
+        let err = s.lock_record(TxnId(2), R1, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, Error::Deadlock { txn: TxnId(2) }));
+        // Let T1 proceed by releasing T2's locks (as its rollback would).
+        s.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        s.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn timeout_policy_never_reports_deadlock() {
+        let s = sys(DeadlockPolicy::TimeoutOnly, 40);
+        s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+        s.lock_record(TxnId(2), R2, LockMode::Exclusive).unwrap();
+        let s2 = Arc::clone(&s);
+        let h = thread::spawn(move || s2.lock_record(TxnId(1), R2, LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(10));
+        let err = s.lock_record(TxnId(2), R1, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, Error::LockWaitTimeout { .. }));
+        // The other waiter also times out (nobody released).
+        assert!(matches!(h.join().unwrap().unwrap_err(), Error::LockWaitTimeout { .. }));
+    }
+
+    #[test]
+    fn table_intention_locks_are_compatible() {
+        let s = sys(DeadlockPolicy::Detect, 100);
+        s.lock_table(TxnId(1), TableId(1), LockMode::IntentionExclusive).unwrap();
+        s.lock_table(TxnId(2), TableId(1), LockMode::IntentionExclusive).unwrap();
+        s.lock_table(TxnId(3), TableId(1), LockMode::IntentionShared).unwrap();
+        s.release_all(TxnId(1));
+        s.release_all(TxnId(2));
+        s.release_all(TxnId(3));
+    }
+
+    #[test]
+    fn release_single_record_keeps_other_locks() {
+        let s = sys(DeadlockPolicy::Detect, 100);
+        s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+        s.lock_record(TxnId(1), R2, LockMode::Exclusive).unwrap();
+        s.release_record_lock(TxnId(1), R1);
+        assert!(s.holders_of(R1).is_empty());
+        assert_eq!(s.holders_of(R2), vec![TxnId(1)]);
+        assert_eq!(s.lock_count_of(TxnId(1)), 1);
+    }
+
+    #[test]
+    fn wait_queue_length_reflects_waiters() {
+        let s = sys(DeadlockPolicy::TimeoutOnly, 300);
+        s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+        let mut handles = Vec::new();
+        for t in 2..=4u64 {
+            let s2 = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                let _ = s2.lock_record(TxnId(t), R1, LockMode::Exclusive);
+                s2.release_all(TxnId(t));
+            }));
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.wait_queue_len(R1), 3);
+        s.release_all(TxnId(1));
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The replication commit hook: semi-synchronous or asynchronous shipping.
+//!
+//! Registered on the primary [`txsql_core::Database`], the hook receives each
+//! flushed commit batch:
+//!
+//! * in **synchronous** (semi-sync) mode the committing batch blocks for the
+//!   simulated network round trip before the commit returns — the Figure 9
+//!   "synchronization mode" setting, which lengthens lock hold times and is
+//!   where group locking pays off the most;
+//! * in **asynchronous** mode the batch is queued and a background applier
+//!   ships it later; the primary never waits, but the replicas lag.
+
+use crate::replica::Replica;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+use txsql_common::latency::{simulate_delay, LatencyModel};
+use txsql_core::{BinlogTxn, CommitHook};
+
+/// Replication shipping mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Semi-synchronous: commits wait for the replica acknowledgement.
+    Synchronous,
+    /// Asynchronous: commits return immediately; replicas apply in the
+    /// background.
+    Asynchronous,
+}
+
+enum ShipMessage {
+    Batch(Vec<BinlogTxn>),
+    Shutdown,
+}
+
+/// The replication hook.
+pub struct ReplicationHook {
+    mode: ReplicationMode,
+    latency: LatencyModel,
+    replicas: Vec<Arc<Replica>>,
+    sender: Option<Sender<ShipMessage>>,
+    applier: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ReplicationHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationHook")
+            .field("mode", &self.mode)
+            .field("replicas", &self.replicas.len())
+            .finish()
+    }
+}
+
+impl ReplicationHook {
+    /// Creates a hook shipping to `n_replicas` replicas.
+    pub fn new(mode: ReplicationMode, latency: LatencyModel, n_replicas: usize) -> Arc<Self> {
+        let replicas: Vec<Arc<Replica>> =
+            (0..n_replicas).map(|i| Arc::new(Replica::new(format!("replica-{i}")))).collect();
+        let (sender, applier) = if mode == ReplicationMode::Asynchronous {
+            let (tx, rx): (Sender<ShipMessage>, Receiver<ShipMessage>) = unbounded();
+            let replicas_bg = replicas.clone();
+            let latency_bg = latency;
+            let handle = std::thread::Builder::new()
+                .name("txsql-async-applier".into())
+                .spawn(move || {
+                    while let Ok(ShipMessage::Batch(batch)) = rx.recv() {
+                        // One-way shipping latency per batch.
+                        simulate_delay(latency_bg.network_one_way);
+                        for replica in &replicas_bg {
+                            replica.apply_batch(&batch);
+                        }
+                    }
+                })
+                .expect("spawn async applier");
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
+        Arc::new(Self { mode, latency, replicas, sender, applier: Mutex::new(applier) })
+    }
+
+    /// The replicas this hook ships to.
+    pub fn replicas(&self) -> &[Arc<Replica>] {
+        &self.replicas
+    }
+
+    /// The shipping mode.
+    pub fn mode(&self) -> ReplicationMode {
+        self.mode
+    }
+
+    /// Blocks until every queued asynchronous batch has been applied (or the
+    /// timeout expires).  Returns true when the replicas caught up.
+    pub fn wait_caught_up(&self, expected_txns: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let caught_up = self
+                .replicas
+                .iter()
+                .all(|replica| replica.applied_txns() >= expected_txns);
+            if caught_up {
+                return true;
+            }
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops the background applier (asynchronous mode).
+    pub fn shutdown(&self) {
+        if let Some(sender) = &self.sender {
+            let _ = sender.send(ShipMessage::Shutdown);
+        }
+        if let Some(handle) = self.applier.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl CommitHook for ReplicationHook {
+    fn on_commit_batch(&self, batch: &[BinlogTxn]) {
+        match self.mode {
+            ReplicationMode::Synchronous => {
+                // Ship + wait for the acknowledgement: one round trip per
+                // batch (amortised by group commit).
+                simulate_delay(self.latency.network_round_trip());
+                for replica in &self.replicas {
+                    replica.apply_batch(batch);
+                }
+            }
+            ReplicationMode::Asynchronous => {
+                if let Some(sender) = &self.sender {
+                    let _ = sender.send(ShipMessage::Batch(batch.to_vec()));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ReplicationHook {
+    fn drop(&mut self) {
+        if let Some(sender) = &self.sender {
+            let _ = sender.send(ShipMessage::Shutdown);
+        }
+        if let Some(handle) = self.applier.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsql_common::{Row, TableId, TxnId};
+
+    fn event(trx_no: u64, value: i64) -> BinlogTxn {
+        BinlogTxn {
+            txn: TxnId(trx_no),
+            trx_no,
+            changes: vec![(TableId(1), 1, Row::from_ints(&[1, value]))],
+            involves_hotspot: false,
+        }
+    }
+
+    #[test]
+    fn synchronous_mode_applies_before_returning() {
+        let hook =
+            ReplicationHook::new(ReplicationMode::Synchronous, LatencyModel::in_memory(), 2);
+        hook.on_commit_batch(&[event(1, 10), event(2, 20)]);
+        for replica in hook.replicas() {
+            assert_eq!(replica.applied_txns(), 2);
+            assert_eq!(replica.row(TableId(1), 1).unwrap().get_int(1), Some(20));
+        }
+    }
+
+    #[test]
+    fn asynchronous_mode_catches_up_in_background() {
+        let hook =
+            ReplicationHook::new(ReplicationMode::Asynchronous, LatencyModel::in_memory(), 1);
+        hook.on_commit_batch(&[event(1, 10)]);
+        hook.on_commit_batch(&[event(2, 20)]);
+        assert!(hook.wait_caught_up(2, Duration::from_secs(2)));
+        assert_eq!(hook.replicas()[0].row(TableId(1), 1).unwrap().get_int(1), Some(20));
+        hook.shutdown();
+    }
+
+    #[test]
+    fn wait_caught_up_times_out_when_nothing_ships() {
+        let hook =
+            ReplicationHook::new(ReplicationMode::Asynchronous, LatencyModel::in_memory(), 1);
+        assert!(!hook.wait_caught_up(5, Duration::from_millis(20)));
+        hook.shutdown();
+    }
+}

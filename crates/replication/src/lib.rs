@@ -1,0 +1,29 @@
+//! # txsql-replication
+//!
+//! Replication substrate for the TXSQL reproduction.
+//!
+//! The paper's customer deployments run with one primary and two
+//! (semi-)synchronous replicas (§6.1, §6.4.1); the extra commit latency this
+//! adds is exactly what makes queue locking lose its edge and group locking
+//! shine (Figure 2b, Figure 9).  This crate provides:
+//!
+//! * [`replica::Replica`] — an in-memory replica that applies binlog events
+//!   and can be checked for consistency against the primary;
+//! * [`hook::ReplicationHook`] — a [`txsql_core::CommitHook`] that ships each
+//!   commit batch to the replicas either *synchronously* (the commit blocks
+//!   for the simulated network round trip — semi-sync) or *asynchronously*
+//!   (a background applier drains a channel and the primary never waits);
+//! * [`replay`] — offline binlog replay in single-threaded and parallel
+//!   modes, including the §4.6.3 restriction that hotspot transactions are
+//!   never replayed in parallel.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod hook;
+pub mod replay;
+pub mod replica;
+
+pub use hook::{ReplicationHook, ReplicationMode};
+pub use replay::{replay, ReplayMode, ReplayReport};
+pub use replica::Replica;

@@ -1,0 +1,137 @@
+//! Pages and heap records.
+//!
+//! A [`Page`] is a fixed-capacity array of record slots; the slot index is
+//! the `heap_no` of the paper's `<space_id, page_no, heap_no>` addressing.
+//! Each slot holds the record's MVCC version chain behind its own
+//! `parking_lot::RwLock` so that physical access (latching) is independent of
+//! the *logical* row locks managed by `txsql-lockmgr` — the same separation
+//! InnoDB makes between page latches and record locks.
+
+use crate::version::RecordVersions;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use txsql_common::{HeapNo, PageNo, SpaceId};
+
+/// A heap record slot: the version chain behind a latch.
+pub type RecordSlot = Arc<RwLock<RecordVersions>>;
+
+/// A fixed-capacity page of record slots.
+#[derive(Debug)]
+pub struct Page {
+    space_id: SpaceId,
+    page_no: PageNo,
+    capacity: u16,
+    slots: Vec<RecordSlot>,
+}
+
+impl Page {
+    /// Creates an empty page.
+    pub fn new(space_id: SpaceId, page_no: PageNo, capacity: u16) -> Self {
+        assert!(capacity > 0, "page capacity must be positive");
+        Self { space_id, page_no, capacity, slots: Vec::new() }
+    }
+
+    /// The page's tablespace.
+    pub fn space_id(&self) -> SpaceId {
+        self.space_id
+    }
+
+    /// The page number within its tablespace.
+    pub fn page_no(&self) -> PageNo {
+        self.page_no
+    }
+
+    /// Number of allocated slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slot is allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True when no more records fit on this page.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.capacity as usize
+    }
+
+    /// Allocates the next slot for `versions`, returning its `heap_no`, or
+    /// `None` if the page is full.
+    pub fn allocate(&mut self, versions: RecordVersions) -> Option<HeapNo> {
+        if self.is_full() {
+            return None;
+        }
+        let heap_no = self.slots.len() as HeapNo;
+        self.slots.push(Arc::new(RwLock::new(versions)));
+        Some(heap_no)
+    }
+
+    /// Returns the slot at `heap_no`.
+    pub fn slot(&self, heap_no: HeapNo) -> Option<&RecordSlot> {
+        self.slots.get(heap_no as usize)
+    }
+
+    /// Iterates over `(heap_no, slot)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (HeapNo, &RecordSlot)> {
+        self.slots.iter().enumerate().map(|(i, s)| (i as HeapNo, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsql_common::Row;
+
+    #[test]
+    fn allocation_assigns_sequential_heap_numbers() {
+        let mut page = Page::new(1, 0, 4);
+        for expected in 0..4u16 {
+            let heap_no = page.allocate(RecordVersions::new_committed(Row::from_ints(&[
+                expected as i64,
+            ])));
+            assert_eq!(heap_no, Some(expected));
+        }
+        assert!(page.is_full());
+        assert_eq!(page.allocate(RecordVersions::default()), None);
+        assert_eq!(page.len(), 4);
+    }
+
+    #[test]
+    fn slots_are_individually_lockable() {
+        let mut page = Page::new(1, 0, 2);
+        page.allocate(RecordVersions::new_committed(Row::from_ints(&[1, 10])));
+        page.allocate(RecordVersions::new_committed(Row::from_ints(&[2, 20])));
+        let s0 = page.slot(0).unwrap();
+        let s1 = page.slot(1).unwrap();
+        // Holding a write latch on slot 0 must not block reading slot 1.
+        let _w = s0.write();
+        let r = s1.read();
+        assert_eq!(r.latest_row().unwrap().get_int(1), Some(20));
+    }
+
+    #[test]
+    fn missing_slot_returns_none() {
+        let page = Page::new(1, 0, 2);
+        assert!(page.slot(0).is_none());
+        assert!(page.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_page_rejected() {
+        let _ = Page::new(1, 0, 0);
+    }
+
+    #[test]
+    fn iter_visits_all_slots_in_order() {
+        let mut page = Page::new(3, 7, 8);
+        for i in 0..5 {
+            page.allocate(RecordVersions::new_committed(Row::from_ints(&[i])));
+        }
+        let heap_nos: Vec<_> = page.iter().map(|(h, _)| h).collect();
+        assert_eq!(heap_nos, vec![0, 1, 2, 3, 4]);
+        assert_eq!(page.space_id(), 3);
+        assert_eq!(page.page_no(), 7);
+    }
+}

@@ -1,0 +1,307 @@
+//! Crash recovery.
+//!
+//! Recovery rebuilds the engine from a [`CheckpointImage`] plus the durable
+//! suffix of the redo log, then deals with in-flight transactions:
+//!
+//! 1. **Replay** — every durable `Insert`/`Update` record is re-applied as an
+//!    uncommitted version written by its original transaction, and
+//!    `UndoHeader` records restore each transaction's header field
+//!    (which may carry a `hot_update_order`, §5.3).
+//! 2. **Commit/rollback resolution** — transactions with a durable `Commit`
+//!    marker are committed with their original `trx_no`; transactions with a
+//!    durable `Rollback` marker are undone.
+//! 3. **Active-transaction rollback** — transactions with neither marker are
+//!    rolled back *in reverse hot-update order* (transactions without a hot
+//!    order are rolled back first), reproducing the paper's single-threaded
+//!    sequential rollback.  The rollback order is also reported so the
+//!    failure-recovery experiment can verify it.
+
+use crate::storage::{CheckpointImage, Storage};
+use crate::undo::UndoHeader;
+use crate::wal::RedoRecord;
+use std::time::Duration;
+use txsql_common::fxhash::{FxHashMap, FxHashSet};
+use txsql_common::{Result, Row, TableId, TxnId};
+
+/// Statistics and outcome of a recovery run.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// The recovered storage engine.
+    pub storage: Storage,
+    /// Transactions whose commit marker was durable (re-committed).
+    pub committed: Vec<TxnId>,
+    /// In-flight transactions rolled back during recovery, in the order they
+    /// were rolled back (reverse hot-update order).
+    pub rolled_back: Vec<TxnId>,
+    /// Number of redo records replayed.
+    pub replayed: usize,
+    /// Hot-update orders recovered from persisted undo headers.
+    pub recovered_hot_orders: Vec<(TxnId, u64)>,
+}
+
+#[derive(Default)]
+struct TxnRecoveryState {
+    committed_as: Option<u64>,
+    rolled_back: bool,
+    header: UndoHeader,
+    touched: Vec<(TableId, i64)>,
+    last_seq: usize,
+}
+
+/// Applies one row image as an uncommitted version written by `txn`,
+/// inserting the row if its primary key does not exist yet (it may have been
+/// created after the checkpoint).
+fn replay_row(storage: &Storage, txn: TxnId, table_id: TableId, pk: i64, row: Row) -> Result<()> {
+    let table = storage.table(table_id)?;
+    match table.lookup_pk(pk) {
+        Ok(record) => {
+            let slot = table.slot(record)?;
+            slot.write().push_uncommitted(row, txn);
+        }
+        Err(_) => {
+            let record = table
+                .insert_versions(pk, crate::version::RecordVersions::new_uncommitted(row, txn))?;
+            let _ = record;
+        }
+    }
+    Ok(())
+}
+
+/// Recovers a storage engine from `checkpoint` and the durable redo suffix.
+pub fn recover(
+    checkpoint: &CheckpointImage,
+    durable_redo: &[RedoRecord],
+    fsync_latency: Duration,
+) -> Result<RecoveryOutcome> {
+    let storage = Storage::from_checkpoint(checkpoint, fsync_latency)?;
+    let mut states: FxHashMap<TxnId, TxnRecoveryState> = FxHashMap::default();
+    let mut replayed = 0usize;
+
+    // Pass 1: replay physical changes and collect per-transaction metadata.
+    for (seq, record) in durable_redo.iter().enumerate() {
+        let txn = record.txn();
+        let state = states.entry(txn).or_default();
+        state.last_seq = seq;
+        match record {
+            RedoRecord::Begin { .. } => {}
+            RedoRecord::Update { table, pk, after, .. } => {
+                replay_row(&storage, txn, *table, *pk, after.clone())?;
+                state.touched.push((*table, *pk));
+                replayed += 1;
+            }
+            RedoRecord::Insert { table, pk, row, .. } => {
+                replay_row(&storage, txn, *table, *pk, row.clone())?;
+                state.touched.push((*table, *pk));
+                replayed += 1;
+            }
+            RedoRecord::UndoHeader { field, .. } => {
+                state.header = UndoHeader::from_raw(*field);
+            }
+            RedoRecord::Commit { trx_no, .. } => {
+                state.committed_as = Some(*trx_no);
+            }
+            RedoRecord::Rollback { .. } => {
+                state.rolled_back = true;
+            }
+        }
+    }
+
+    // Pass 2: resolve committed transactions.
+    let mut committed = Vec::new();
+    for (txn, state) in states.iter() {
+        if let Some(trx_no) = state.committed_as {
+            for (table_id, pk) in &state.touched {
+                let table = storage.table(*table_id)?;
+                if let Ok(record) = table.lookup_pk(*pk) {
+                    table.slot(record)?.write().commit_writer(*txn, trx_no);
+                }
+            }
+            committed.push(*txn);
+        }
+    }
+    committed.sort_unstable();
+
+    // Pass 3: roll back transactions that did not reach a durable commit —
+    // both those with a durable rollback marker and those still active.
+    // Order: transactions WITHOUT a recovered hot-update order first (they
+    // cannot have stacked uncommitted versions under a hotspot chain), then
+    // hotspot transactions in reverse hot-update order (§5.3).
+    let mut to_roll_back: Vec<(TxnId, Option<u64>, usize)> = states
+        .iter()
+        .filter(|(_, s)| s.committed_as.is_none() && !s.touched.is_empty())
+        .map(|(txn, s)| (*txn, s.header.hot_update_order(), s.last_seq))
+        .collect();
+    to_roll_back.sort_by(|a, b| match (a.1, b.1) {
+        (None, None) => b.2.cmp(&a.2),
+        (None, Some(_)) => std::cmp::Ordering::Less,
+        (Some(_), None) => std::cmp::Ordering::Greater,
+        (Some(x), Some(y)) => y.cmp(&x),
+    });
+
+    let mut rolled_back = Vec::new();
+    let mut recovered_hot_orders = Vec::new();
+    let mut seen: FxHashSet<TxnId> = FxHashSet::default();
+    for (txn, hot_order, _) in to_roll_back {
+        if !seen.insert(txn) {
+            continue;
+        }
+        if let Some(order) = hot_order {
+            recovered_hot_orders.push((txn, order));
+        }
+        let state = &states[&txn];
+        for (table_id, pk) in state.touched.iter().rev() {
+            let table = storage.table(*table_id)?;
+            if let Ok(record) = table.lookup_pk(*pk) {
+                let slot = table.slot(record)?;
+                let mut guard = slot.write();
+                guard.rollback_writer(txn);
+                // If the insert created the row and nothing committed remains,
+                // drop the index entry again.
+                if guard.visible_row(&crate::version::ReadCommitted).is_none()
+                    && guard.version_count() == 0
+                {
+                    drop(guard);
+                    table.unindex_pk(*pk);
+                }
+            }
+        }
+        rolled_back.push(txn);
+    }
+    recovered_hot_orders.sort_by_key(|(_, order)| std::cmp::Reverse(*order));
+
+    Ok(RecoveryOutcome { storage, committed, rolled_back, replayed, recovered_hot_orders })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use txsql_common::{RecordId, TableId};
+
+    /// Builds a storage with one table, one hot row (pk=1) and one cold row
+    /// (pk=2), returning (storage, table id, hot rid, cold rid, checkpoint).
+    fn setup() -> (Storage, TableId, RecordId, RecordId, CheckpointImage) {
+        let storage = Storage::default();
+        let tid = TableId(1);
+        storage.create_table(TableSchema::new(tid, "t", 2)).unwrap();
+        let hot = storage.load_row(tid, Row::from_ints(&[1, 1])).unwrap();
+        let cold = storage.load_row(tid, Row::from_ints(&[2, 100])).unwrap();
+        let checkpoint = storage.checkpoint();
+        (storage, tid, hot, cold, checkpoint)
+    }
+
+    #[test]
+    fn committed_transactions_survive_a_crash() {
+        let (storage, tid, hot, _cold, checkpoint) = setup();
+        let txn = TxnId(10);
+        storage.begin_txn(txn);
+        storage.apply_update(txn, tid, hot, Row::from_ints(&[1, 2])).unwrap();
+        let lsn = storage.commit_writes(txn, 1, &[(tid, hot)]).unwrap();
+        storage.redo().flush_to(lsn);
+
+        let outcome = recover(&checkpoint, &storage.redo().durable_records(), Duration::ZERO).unwrap();
+        assert_eq!(outcome.committed, vec![txn]);
+        assert!(outcome.rolled_back.is_empty());
+        let t = outcome.storage.table(tid).unwrap();
+        let rid = t.lookup_pk(1).unwrap();
+        assert_eq!(outcome.storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(2));
+    }
+
+    #[test]
+    fn unflushed_commit_is_rolled_back() {
+        let (storage, tid, hot, _cold, checkpoint) = setup();
+        let txn = TxnId(10);
+        storage.begin_txn(txn);
+        let lsn = storage.apply_update(txn, tid, hot, Row::from_ints(&[1, 2])).unwrap();
+        storage.redo().flush_to(lsn);
+        // Commit marker exists but is NOT flushed.
+        storage.commit_writes(txn, 1, &[(tid, hot)]).unwrap();
+
+        let outcome = recover(&checkpoint, &storage.redo().durable_records(), Duration::ZERO).unwrap();
+        assert!(outcome.committed.is_empty());
+        assert_eq!(outcome.rolled_back, vec![txn]);
+        let t = outcome.storage.table(tid).unwrap();
+        let rid = t.lookup_pk(1).unwrap();
+        assert_eq!(outcome.storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(1));
+    }
+
+    #[test]
+    fn hotspot_transactions_roll_back_in_reverse_hot_order() {
+        let (storage, tid, hot, _cold, checkpoint) = setup();
+        // Three uncommitted hotspot updates, orders 1,2,3 (paper §4.4 example).
+        for (t, order, val) in [(1u64, 1u64, 2i64), (3, 2, 3), (2, 3, 4)] {
+            let txn = TxnId(t);
+            storage.begin_txn(txn);
+            storage.apply_update(txn, tid, hot, Row::from_ints(&[1, val])).unwrap();
+            storage.set_hot_update_order(txn, order);
+        }
+        storage.redo().flush_all();
+
+        let outcome = recover(&checkpoint, &storage.redo().durable_records(), Duration::ZERO).unwrap();
+        // Reverse hot-update order: order 3 (T2), then order 2 (T3), then order 1 (T1).
+        assert_eq!(outcome.rolled_back, vec![TxnId(2), TxnId(3), TxnId(1)]);
+        assert_eq!(
+            outcome.recovered_hot_orders,
+            vec![(TxnId(2), 3), (TxnId(3), 2), (TxnId(1), 1)]
+        );
+        let t = outcome.storage.table(tid).unwrap();
+        let rid = t.lookup_pk(1).unwrap();
+        assert_eq!(outcome.storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(1));
+    }
+
+    #[test]
+    fn inserts_after_checkpoint_are_replayed_and_resolved() {
+        let (storage, tid, _hot, _cold, checkpoint) = setup();
+        let committed_txn = TxnId(5);
+        storage.begin_txn(committed_txn);
+        let (rid, _) = storage.apply_insert(committed_txn, tid, Row::from_ints(&[10, 10])).unwrap();
+        let lsn = storage.commit_writes(committed_txn, 2, &[(tid, rid)]).unwrap();
+        storage.redo().flush_to(lsn);
+
+        let active_txn = TxnId(6);
+        storage.begin_txn(active_txn);
+        storage.apply_insert(active_txn, tid, Row::from_ints(&[11, 11])).unwrap();
+        storage.redo().flush_all();
+
+        let outcome = recover(&checkpoint, &storage.redo().durable_records(), Duration::ZERO).unwrap();
+        let t = outcome.storage.table(tid).unwrap();
+        assert!(t.lookup_pk(10).is_ok(), "committed insert must survive");
+        assert!(t.lookup_pk(11).is_err(), "uncommitted insert must be rolled back");
+        assert_eq!(outcome.committed, vec![committed_txn]);
+        assert!(outcome.rolled_back.contains(&active_txn));
+    }
+
+    #[test]
+    fn recovery_is_idempotent_when_rerun() {
+        // A crash during recovery: running recovery again over the same
+        // durable log must yield the same state (§5.3 last paragraph).
+        let (storage, tid, hot, _cold, checkpoint) = setup();
+        for (t, order, val) in [(1u64, 1u64, 2i64), (2, 2, 3)] {
+            let txn = TxnId(t);
+            storage.begin_txn(txn);
+            storage.apply_update(txn, tid, hot, Row::from_ints(&[1, val])).unwrap();
+            storage.set_hot_update_order(txn, order);
+        }
+        storage.redo().flush_all();
+        let durable = storage.redo().durable_records();
+
+        let first = recover(&checkpoint, &durable, Duration::ZERO).unwrap();
+        let second = recover(&checkpoint, &durable, Duration::ZERO).unwrap();
+        let value = |outcome: &RecoveryOutcome| {
+            let t = outcome.storage.table(tid).unwrap();
+            let rid = t.lookup_pk(1).unwrap();
+            outcome.storage.read_committed(tid, rid).unwrap().unwrap().get_int(1)
+        };
+        assert_eq!(value(&first), value(&second));
+        assert_eq!(first.rolled_back, second.rolled_back);
+    }
+
+    #[test]
+    fn empty_log_recovers_checkpoint_exactly() {
+        let (_storage, tid, _hot, _cold, checkpoint) = setup();
+        let outcome = recover(&checkpoint, &[], Duration::ZERO).unwrap();
+        assert_eq!(outcome.replayed, 0);
+        let t = outcome.storage.table(tid).unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+}

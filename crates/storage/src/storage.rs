@@ -1,0 +1,409 @@
+//! The storage facade used by the transaction layer.
+//!
+//! [`Storage`] owns the tables, the redo log and the undo log, and exposes the
+//! transactional primitives the concurrency-control protocols in `txsql-core`
+//! are built from:
+//!
+//! * `apply_update` / `apply_insert` — write an uncommitted version, record
+//!   its undo entry and append physical redo;
+//! * `commit_writes` — stamp the versions with a commit sequence number and
+//!   append the commit marker;
+//! * `rollback_writes` — restore before-images from undo and append the
+//!   rollback marker;
+//! * `set_hot_update_order` — persist the hot-update order in the undo header
+//!   (and redo) so crash recovery can order hotspot rollbacks (§5.3);
+//! * `checkpoint` — capture the committed state, the starting point for the
+//!   failure-recovery experiment (§6.4.6).
+
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::undo::{UndoHeader, UndoLog, UndoRecord, UndoSegment};
+use crate::version::{ReadCommitted, RecordVersions, VisibilityJudge};
+use crate::wal::{RedoLog, RedoRecord};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
+use txsql_common::fxhash::FxHashMap;
+use txsql_common::{Error, Lsn, RecordId, Result, Row, TableId, TxnId};
+
+/// A consistent image of the committed data, used as the recovery baseline.
+#[derive(Debug, Clone)]
+pub struct CheckpointImage {
+    /// LSN up to which the checkpoint reflects the log.
+    pub lsn: Lsn,
+    /// Every table's schema and its committed rows.
+    pub tables: Vec<(TableSchema, Vec<Row>)>,
+}
+
+/// The storage engine facade.
+#[derive(Debug)]
+pub struct Storage {
+    tables: RwLock<FxHashMap<TableId, Arc<Table>>>,
+    redo: RedoLog,
+    undo: UndoLog,
+}
+
+impl Default for Storage {
+    fn default() -> Self {
+        Self::new(Duration::ZERO)
+    }
+}
+
+impl Storage {
+    /// Creates an empty storage engine whose redo flushes cost
+    /// `fsync_latency`.
+    pub fn new(fsync_latency: Duration) -> Self {
+        Self {
+            tables: RwLock::new(FxHashMap::default()),
+            redo: RedoLog::new(fsync_latency),
+            undo: UndoLog::new(),
+        }
+    }
+
+    /// Creates a table.  Returns an error if the id is already in use.
+    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<Table>> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&schema.id) {
+            return Err(Error::Internal { reason: format!("{} already exists", schema.id) });
+        }
+        let table = Arc::new(Table::new(schema.clone()));
+        tables.insert(schema.id, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, id: TableId) -> Result<Arc<Table>> {
+        self.tables.read().get(&id).cloned().ok_or(Error::UnknownTable { table: id })
+    }
+
+    /// All tables, in id order.
+    pub fn tables(&self) -> Vec<Arc<Table>> {
+        let mut tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+        tables.sort_by_key(|t| t.schema().id);
+        tables
+    }
+
+    /// The redo log.
+    pub fn redo(&self) -> &RedoLog {
+        &self.redo
+    }
+
+    /// The undo log.
+    pub fn undo(&self) -> &UndoLog {
+        &self.undo
+    }
+
+    // ---------------------------------------------------------------------
+    // Non-transactional helpers (bulk load, reads)
+    // ---------------------------------------------------------------------
+
+    /// Bulk-loads a committed row without logging (the checkpoint captures
+    /// loaded data instead, as a real system's initial backup would).
+    pub fn load_row(&self, table: TableId, row: Row) -> Result<RecordId> {
+        self.table(table)?.insert_committed(row)
+    }
+
+    /// Reads the newest (possibly uncommitted) row image.
+    pub fn read_latest(&self, table: TableId, record: RecordId) -> Result<Row> {
+        let slot = self.table(table)?.slot(record)?;
+        let guard = slot.read();
+        guard.latest_row().ok_or(Error::UnknownRecord { record })
+    }
+
+    /// Reads the newest version visible to `judge` (the MVCC read path).
+    pub fn read_visible<J: VisibilityJudge>(
+        &self,
+        table: TableId,
+        record: RecordId,
+        judge: &J,
+    ) -> Result<Option<Row>> {
+        let slot = self.table(table)?.slot(record)?;
+        let guard = slot.read();
+        Ok(guard.visible_row(judge))
+    }
+
+    /// Reads the newest *committed* row image.
+    pub fn read_committed(&self, table: TableId, record: RecordId) -> Result<Option<Row>> {
+        self.read_visible(table, record, &ReadCommitted)
+    }
+
+    /// Writer of the newest version of a record, if any.
+    pub fn latest_writer(&self, table: TableId, record: RecordId) -> Result<Option<TxnId>> {
+        let slot = self.table(table)?.slot(record)?;
+        let guard = slot.read();
+        Ok(if guard.has_uncommitted_head() { guard.latest_writer() } else { None })
+    }
+
+    // ---------------------------------------------------------------------
+    // Transactional primitives
+    // ---------------------------------------------------------------------
+
+    /// Registers a transaction with the undo log and writes its Begin record.
+    pub fn begin_txn(&self, txn: TxnId) -> Lsn {
+        self.undo.register(txn);
+        self.redo.append(RedoRecord::Begin { txn })
+    }
+
+    /// Applies an update as a new uncommitted version, recording undo and
+    /// redo.  Returns the redo LSN of the update.
+    pub fn apply_update(
+        &self,
+        txn: TxnId,
+        table_id: TableId,
+        record: RecordId,
+        new_row: Row,
+    ) -> Result<Lsn> {
+        let table = self.table(table_id)?;
+        let slot = table.slot(record)?;
+        let pk = new_row.primary_key().unwrap_or_default();
+        {
+            let mut guard = slot.write();
+            let before = guard.latest_row().ok_or(Error::UnknownRecord { record })?;
+            self.undo.push(txn, UndoRecord::Update { table: table_id, record, before });
+            guard.push_uncommitted(new_row.clone(), txn);
+        }
+        Ok(self.redo.append(RedoRecord::Update { txn, table: table_id, record, pk, after: new_row }))
+    }
+
+    /// Applies a transactional insert (uncommitted), recording undo and redo.
+    pub fn apply_insert(
+        &self,
+        txn: TxnId,
+        table_id: TableId,
+        row: Row,
+    ) -> Result<(RecordId, Lsn)> {
+        let table = self.table(table_id)?;
+        let pk = row
+            .primary_key()
+            .ok_or_else(|| Error::Internal { reason: "insert without integer pk".into() })?;
+        let record = table.insert_versions(pk, RecordVersions::new_uncommitted(row.clone(), txn))?;
+        self.undo.push(txn, UndoRecord::Insert { table: table_id, record, pk });
+        let lsn = self.redo.append(RedoRecord::Insert { txn, table: table_id, record, pk, row });
+        Ok((record, lsn))
+    }
+
+    /// Persists the hot-update order of `txn` in its undo header (§5.3).
+    pub fn set_hot_update_order(&self, txn: TxnId, order: u64) -> Lsn {
+        let header = UndoHeader::with_hot_update_order(order);
+        self.undo.set_header(txn, header);
+        self.redo.append(RedoRecord::UndoHeader { txn, field: header.raw() })
+    }
+
+    /// Marks every version written by `txn` on the given records as committed
+    /// with `trx_no`, stamps the undo header, and appends the commit marker.
+    /// Returns the LSN of the commit marker (the LSN the commit pipeline must
+    /// make durable).
+    pub fn commit_writes(
+        &self,
+        txn: TxnId,
+        trx_no: u64,
+        writes: &[(TableId, RecordId)],
+    ) -> Result<Lsn> {
+        for (table_id, record) in writes {
+            let table = self.table(*table_id)?;
+            let slot = table.slot(*record)?;
+            slot.write().commit_writer(txn, trx_no);
+        }
+        let header = UndoHeader::with_trx_no(trx_no);
+        self.undo.set_header(txn, header);
+        self.redo.append(RedoRecord::UndoHeader { txn, field: header.raw() });
+        let lsn = self.redo.append(RedoRecord::Commit { txn, trx_no });
+        self.undo.take(txn);
+        Ok(lsn)
+    }
+
+    /// Rolls back every change `txn` made, using its undo segment, and appends
+    /// the rollback marker.  Changes are undone in reverse execution order.
+    pub fn rollback_writes(&self, txn: TxnId) -> Result<Lsn> {
+        let segment: Option<UndoSegment> = self.undo.take(txn);
+        if let Some(segment) = segment {
+            for undo in segment.rollback_order() {
+                match undo {
+                    UndoRecord::Update { table, record, .. } => {
+                        let table = self.table(*table)?;
+                        let slot = table.slot(*record)?;
+                        slot.write().rollback_writer(txn);
+                    }
+                    UndoRecord::Insert { table, record, pk } => {
+                        let table = self.table(*table)?;
+                        let slot = table.slot(*record)?;
+                        slot.write().rollback_writer(txn);
+                        table.unindex_pk(*pk);
+                    }
+                    UndoRecord::Delete { table, record, .. } => {
+                        let table = self.table(*table)?;
+                        let slot = table.slot(*record)?;
+                        let mut guard = slot.write();
+                        guard.set_deleted(false);
+                        guard.rollback_writer(txn);
+                    }
+                }
+            }
+        }
+        Ok(self.redo.append(RedoRecord::Rollback { txn }))
+    }
+
+    /// Opportunistically trims old committed versions of a record (purge).
+    pub fn purge_record(&self, table: TableId, record: RecordId) -> Result<usize> {
+        let slot = self.table(table)?.slot(record)?;
+        let purged = slot.write().purge_old_committed();
+        Ok(purged)
+    }
+
+    // ---------------------------------------------------------------------
+    // Checkpoint
+    // ---------------------------------------------------------------------
+
+    /// Captures the committed state of every table together with the current
+    /// log position.  Recovery starts from this image and replays the durable
+    /// redo suffix.
+    pub fn checkpoint(&self) -> CheckpointImage {
+        let mut tables = Vec::new();
+        for table in self.tables() {
+            let mut rows = Vec::new();
+            for (_, record) in table.all_record_ids() {
+                if let Ok(slot) = table.slot(record) {
+                    if let Some(row) = slot.read().visible_row(&ReadCommitted) {
+                        rows.push(row);
+                    }
+                }
+            }
+            tables.push((table.schema().clone(), rows));
+        }
+        CheckpointImage { lsn: self.redo.latest_lsn(), tables }
+    }
+
+    /// Rebuilds a storage engine from a checkpoint image (no redo replay; see
+    /// [`crate::recovery::recover`] for the full recovery path).
+    pub fn from_checkpoint(image: &CheckpointImage, fsync_latency: Duration) -> Result<Self> {
+        let storage = Storage::new(fsync_latency);
+        for (schema, rows) in &image.tables {
+            let table = storage.create_table(schema.clone())?;
+            for row in rows {
+                table.insert_committed(row.clone())?;
+            }
+        }
+        Ok(storage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Storage, TableId, RecordId) {
+        let storage = Storage::default();
+        let tid = TableId(1);
+        storage.create_table(TableSchema::new(tid, "t1", 2)).unwrap();
+        let rid = storage.load_row(tid, Row::from_ints(&[1, 100])).unwrap();
+        (storage, tid, rid)
+    }
+
+    #[test]
+    fn update_commit_cycle() {
+        let (storage, tid, rid) = setup();
+        let txn = TxnId(10);
+        storage.begin_txn(txn);
+        storage.apply_update(txn, tid, rid, Row::from_ints(&[1, 101])).unwrap();
+        // Not yet visible to committed readers.
+        assert_eq!(storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(100));
+        assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(101));
+        assert_eq!(storage.latest_writer(tid, rid).unwrap(), Some(txn));
+        let lsn = storage.commit_writes(txn, 1, &[(tid, rid)]).unwrap();
+        storage.redo().flush_to(lsn);
+        assert_eq!(storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(101));
+        assert_eq!(storage.latest_writer(tid, rid).unwrap(), None);
+        // Undo segment is gone after commit.
+        assert_eq!(storage.undo().segment_len(txn), 0);
+    }
+
+    #[test]
+    fn update_rollback_cycle() {
+        let (storage, tid, rid) = setup();
+        let txn = TxnId(11);
+        storage.begin_txn(txn);
+        storage.apply_update(txn, tid, rid, Row::from_ints(&[1, 999])).unwrap();
+        storage.rollback_writes(txn).unwrap();
+        assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(100));
+        assert_eq!(storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(100));
+    }
+
+    #[test]
+    fn insert_rollback_removes_row() {
+        let (storage, tid, _) = setup();
+        let txn = TxnId(12);
+        storage.begin_txn(txn);
+        let (rid, _) = storage.apply_insert(txn, tid, Row::from_ints(&[2, 200])).unwrap();
+        assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(200));
+        storage.rollback_writes(txn).unwrap();
+        assert!(storage.table(tid).unwrap().lookup_pk(2).is_err());
+    }
+
+    #[test]
+    fn insert_commit_makes_row_visible() {
+        let (storage, tid, _) = setup();
+        let txn = TxnId(13);
+        storage.begin_txn(txn);
+        let (rid, _) = storage.apply_insert(txn, tid, Row::from_ints(&[5, 500])).unwrap();
+        assert!(storage.read_committed(tid, rid).unwrap().is_none());
+        storage.commit_writes(txn, 2, &[(tid, rid)]).unwrap();
+        assert_eq!(storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(500));
+    }
+
+    #[test]
+    fn stacked_uncommitted_updates_roll_back_in_reverse_order() {
+        let (storage, tid, rid) = setup();
+        for (t, v) in [(1u64, 101i64), (2, 102), (3, 103)] {
+            let txn = TxnId(t);
+            storage.begin_txn(txn);
+            storage.apply_update(txn, tid, rid, Row::from_ints(&[1, v])).unwrap();
+        }
+        assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(103));
+        storage.rollback_writes(TxnId(3)).unwrap();
+        storage.rollback_writes(TxnId(2)).unwrap();
+        storage.rollback_writes(TxnId(1)).unwrap();
+        assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(100));
+    }
+
+    #[test]
+    fn hot_update_order_persisted_in_undo_header_and_redo() {
+        let (storage, tid, rid) = setup();
+        let txn = TxnId(21);
+        storage.begin_txn(txn);
+        storage.apply_update(txn, tid, rid, Row::from_ints(&[1, 150])).unwrap();
+        storage.set_hot_update_order(txn, 17);
+        assert_eq!(storage.undo().header(txn).hot_update_order(), Some(17));
+        let has_header_record = storage
+            .redo()
+            .all_records()
+            .iter()
+            .any(|r| matches!(r, RedoRecord::UndoHeader { txn: t, field } if *t == txn && field & crate::undo::HOT_UPDATE_ORDER_FLAG != 0));
+        assert!(has_header_record);
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let (storage, tid, rid) = setup();
+        let txn = TxnId(30);
+        storage.begin_txn(txn);
+        storage.apply_update(txn, tid, rid, Row::from_ints(&[1, 123])).unwrap();
+        storage.commit_writes(txn, 3, &[(tid, rid)]).unwrap();
+        // An uncommitted change must not leak into the checkpoint.
+        let txn2 = TxnId(31);
+        storage.begin_txn(txn2);
+        storage.apply_update(txn2, tid, rid, Row::from_ints(&[1, 999])).unwrap();
+
+        let image = storage.checkpoint();
+        let rebuilt = Storage::from_checkpoint(&image, Duration::ZERO).unwrap();
+        let rid2 = rebuilt.table(tid).unwrap().lookup_pk(1).unwrap();
+        assert_eq!(rebuilt.read_latest(tid, rid2).unwrap().get_int(1), Some(123));
+    }
+
+    #[test]
+    fn duplicate_table_creation_fails() {
+        let storage = Storage::default();
+        storage.create_table(TableSchema::new(TableId(9), "a", 1)).unwrap();
+        assert!(storage.create_table(TableSchema::new(TableId(9), "b", 1)).is_err());
+        assert!(storage.table(TableId(8)).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Tables: a collection of pages plus a primary-key index.
+//!
+//! The primary-key index maps `pk -> RecordId` so workloads can address rows
+//! the way SQL would (`WHERE id = ?`), while the engine internals — lock
+//! manager, hotspot hash, undo/redo — always speak `RecordId`, mirroring the
+//! paper's description of locating a record through its tablespace, page and
+//! heap position (§2.2).
+
+use crate::heap::{Page, RecordSlot};
+use crate::schema::TableSchema;
+use crate::version::RecordVersions;
+use parking_lot::RwLock;
+use txsql_common::fxhash::FxHashMap;
+use txsql_common::{Error, HeapNo, PageNo, RecordId, Result, Row};
+
+/// A table: schema, heap pages and the primary-key index.
+#[derive(Debug)]
+pub struct Table {
+    schema: TableSchema,
+    /// Heap pages.  Pages are only ever appended, so a read lock suffices for
+    /// all record accesses; the write lock is taken only when a new page must
+    /// be allocated.
+    pages: RwLock<Vec<Page>>,
+    /// Primary key -> record id.
+    pk_index: RwLock<FxHashMap<i64, RecordId>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Self {
+            schema,
+            pages: RwLock::new(Vec::new()),
+            pk_index: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live (indexed) rows.
+    pub fn row_count(&self) -> usize {
+        self.pk_index.read().len()
+    }
+
+    /// Inserts a row version chain, allocating heap space and indexing the
+    /// primary key.  Fails on duplicate primary keys.
+    pub fn insert_versions(&self, row_pk: i64, versions: RecordVersions) -> Result<RecordId> {
+        {
+            let index = self.pk_index.read();
+            if index.contains_key(&row_pk) {
+                return Err(Error::DuplicateKey { table: self.schema.id, key: row_pk });
+            }
+        }
+        let record_id = {
+            let mut pages = self.pages.write();
+            let need_new_page = pages.last().map(|p| p.is_full()).unwrap_or(true);
+            if need_new_page {
+                let page_no = pages.len() as PageNo;
+                pages.push(Page::new(self.schema.space_id(), page_no, self.schema.rows_per_page));
+            }
+            let page = pages.last_mut().expect("page just ensured");
+            let heap_no: HeapNo =
+                page.allocate(versions).expect("freshly ensured page cannot be full");
+            RecordId::new(self.schema.space_id(), page.page_no(), heap_no)
+        };
+        let mut index = self.pk_index.write();
+        if index.contains_key(&row_pk) {
+            // Lost the race with a concurrent insert of the same key.  The heap
+            // slot stays allocated but unindexed (same as a rolled-back insert).
+            return Err(Error::DuplicateKey { table: self.schema.id, key: row_pk });
+        }
+        index.insert(row_pk, record_id);
+        Ok(record_id)
+    }
+
+    /// Bulk-load convenience: inserts a committed row.
+    pub fn insert_committed(&self, row: Row) -> Result<RecordId> {
+        let pk = row
+            .primary_key()
+            .ok_or_else(|| Error::Internal { reason: "row has no integer primary key".into() })?;
+        self.insert_versions(pk, RecordVersions::new_committed(row))
+    }
+
+    /// Looks up the record id for a primary key.
+    pub fn lookup_pk(&self, pk: i64) -> Result<RecordId> {
+        self.pk_index
+            .read()
+            .get(&pk)
+            .copied()
+            .ok_or(Error::KeyNotFound { table: self.schema.id, key: pk })
+    }
+
+    /// Removes a primary key from the index (used when rolling back an
+    /// insert).  Returns true if the key was present.
+    pub fn unindex_pk(&self, pk: i64) -> bool {
+        self.pk_index.write().remove(&pk).is_some()
+    }
+
+    /// Returns the record slot for a record id.
+    pub fn slot(&self, record: RecordId) -> Result<RecordSlot> {
+        let pages = self.pages.read();
+        pages
+            .get(record.page_no as usize)
+            .and_then(|p| p.slot(record.heap_no))
+            .cloned()
+            .ok_or(Error::UnknownRecord { record })
+    }
+
+    /// Record ids of every indexed row, in primary-key order (used by scans,
+    /// consistency checks and recovery verification).
+    pub fn all_record_ids(&self) -> Vec<(i64, RecordId)> {
+        let mut rows: Vec<(i64, RecordId)> =
+            self.pk_index.read().iter().map(|(k, v)| (*k, *v)).collect();
+        rows.sort_unstable_by_key(|(k, _)| *k);
+        rows
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsql_common::TableId;
+
+    fn small_table() -> Table {
+        Table::new(TableSchema::new(TableId(1), "t", 2).with_rows_per_page(2))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let t = small_table();
+        let rid = t.insert_committed(Row::from_ints(&[7, 70])).unwrap();
+        assert_eq!(t.lookup_pk(7).unwrap(), rid);
+        assert_eq!(t.row_count(), 1);
+        let slot = t.slot(rid).unwrap();
+        assert_eq!(slot.read().latest_row().unwrap().get_int(1), Some(70));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let t = small_table();
+        t.insert_committed(Row::from_ints(&[1, 1])).unwrap();
+        let err = t.insert_committed(Row::from_ints(&[1, 2])).unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey { key: 1, .. }));
+    }
+
+    #[test]
+    fn pages_overflow_to_new_page() {
+        let t = small_table();
+        for pk in 0..5 {
+            t.insert_committed(Row::from_ints(&[pk, pk])).unwrap();
+        }
+        assert_eq!(t.page_count(), 3);
+        // Records keep the (space, page, heap) addressing.
+        let rid = t.lookup_pk(4).unwrap();
+        assert_eq!(rid.space_id, 1);
+        assert_eq!(rid.page_no, 2);
+        assert_eq!(rid.heap_no, 0);
+    }
+
+    #[test]
+    fn unknown_lookups_fail_cleanly() {
+        let t = small_table();
+        assert!(matches!(t.lookup_pk(99), Err(Error::KeyNotFound { key: 99, .. })));
+        let missing = RecordId::new(1, 9, 9);
+        assert!(matches!(t.slot(missing), Err(Error::UnknownRecord { .. })));
+    }
+
+    #[test]
+    fn unindex_removes_visibility_via_pk() {
+        let t = small_table();
+        t.insert_committed(Row::from_ints(&[3, 30])).unwrap();
+        assert!(t.unindex_pk(3));
+        assert!(!t.unindex_pk(3));
+        assert!(t.lookup_pk(3).is_err());
+    }
+
+    #[test]
+    fn all_record_ids_sorted_by_pk() {
+        let t = small_table();
+        for pk in [5, 1, 3] {
+            t.insert_committed(Row::from_ints(&[pk, pk])).unwrap();
+        }
+        let pks: Vec<i64> = t.all_record_ids().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(pks, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn rows_without_int_pk_rejected() {
+        let t = small_table();
+        let row = Row::new(vec![txsql_common::Value::Str("x".into())]);
+        assert!(t.insert_committed(row).is_err());
+    }
+}

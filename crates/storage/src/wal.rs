@@ -1,0 +1,253 @@
+//! Redo log (write-ahead log) with an explicit durability horizon.
+//!
+//! The log is the engine's only "disk".  Appending is cheap and in-memory;
+//! durability is modelled by [`RedoLog::flush_to`], which advances the
+//! durable LSN after paying the configured fsync latency.  A simulated crash
+//! ([`RedoLog::durable_records`]) keeps only what was flushed — everything
+//! the paper's failure-recovery experiment (§6.4.6) needs.
+//!
+//! The commit pipeline in `txsql-core` writes three kinds of records per
+//! transaction: its row changes (physical redo, including uncommitted ones),
+//! its undo-header updates (so `hot_update_order` survives a crash, §5.3) and
+//! a final `Commit`/`Rollback` marker.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use txsql_common::latency::simulate_delay;
+use txsql_common::{Lsn, RecordId, Row, TableId, TxnId};
+
+/// One redo log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedoRecord {
+    /// Transaction start marker.
+    Begin {
+        /// The starting transaction.
+        txn: TxnId,
+    },
+    /// A row update (physical redo of the after-image).
+    Update {
+        /// Writing transaction.
+        txn: TxnId,
+        /// Table of the row.
+        table: TableId,
+        /// The updated record.
+        record: RecordId,
+        /// Primary key of the row (so recovery can rebuild the index).
+        pk: i64,
+        /// After-image.
+        after: Row,
+    },
+    /// A row insert.
+    Insert {
+        /// Writing transaction.
+        txn: TxnId,
+        /// Table of the row.
+        table: TableId,
+        /// Allocated record id.
+        record: RecordId,
+        /// Primary key.
+        pk: i64,
+        /// Inserted row.
+        row: Row,
+    },
+    /// The undo header field for `txn` changed (carries the raw
+    /// `TRX_UNDO_TRX_NO` field, which may encode a `hot_update_order`).
+    UndoHeader {
+        /// Owning transaction.
+        txn: TxnId,
+        /// Raw header field (see [`crate::undo::UndoHeader`]).
+        field: u64,
+    },
+    /// Commit marker with the commit sequence number.
+    Commit {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Commit sequence number (`trx_no`).
+        trx_no: u64,
+    },
+    /// Rollback marker (the transaction's changes must be undone if replayed).
+    Rollback {
+        /// Rolled-back transaction.
+        txn: TxnId,
+    },
+}
+
+impl RedoRecord {
+    /// The transaction this record belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            RedoRecord::Begin { txn }
+            | RedoRecord::Update { txn, .. }
+            | RedoRecord::Insert { txn, .. }
+            | RedoRecord::UndoHeader { txn, .. }
+            | RedoRecord::Commit { txn, .. }
+            | RedoRecord::Rollback { txn } => *txn,
+        }
+    }
+}
+
+/// The redo log.
+#[derive(Debug)]
+pub struct RedoLog {
+    records: Mutex<Vec<(Lsn, RedoRecord)>>,
+    next_lsn: AtomicU64,
+    durable_lsn: AtomicU64,
+    fsync_latency: Duration,
+    fsync_count: AtomicU64,
+}
+
+impl Default for RedoLog {
+    fn default() -> Self {
+        Self::new(Duration::ZERO)
+    }
+}
+
+impl RedoLog {
+    /// Creates an empty log whose flushes cost `fsync_latency`.
+    pub fn new(fsync_latency: Duration) -> Self {
+        Self {
+            records: Mutex::new(Vec::new()),
+            next_lsn: AtomicU64::new(1),
+            durable_lsn: AtomicU64::new(0),
+            fsync_latency,
+            fsync_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a record, returning its LSN.  The record is *not* durable
+    /// until a flush covers its LSN.
+    pub fn append(&self, record: RedoRecord) -> Lsn {
+        let lsn = Lsn(self.next_lsn.fetch_add(1, Ordering::Relaxed));
+        self.records.lock().push((lsn, record));
+        lsn
+    }
+
+    /// Highest LSN ever assigned.
+    pub fn latest_lsn(&self) -> Lsn {
+        Lsn(self.next_lsn.load(Ordering::Relaxed).saturating_sub(1))
+    }
+
+    /// Highest durable LSN.
+    pub fn durable_lsn(&self) -> Lsn {
+        Lsn(self.durable_lsn.load(Ordering::Relaxed))
+    }
+
+    /// Number of fsyncs performed (group commit reduces this; Figure 13).
+    pub fn fsync_count(&self) -> u64 {
+        self.fsync_count.load(Ordering::Relaxed)
+    }
+
+    /// Makes everything up to `lsn` durable.  Pays one fsync latency if there
+    /// is anything new to flush; callers batching multiple transactions behind
+    /// one flush is exactly the group-commit optimization.
+    pub fn flush_to(&self, lsn: Lsn) {
+        let current = self.durable_lsn.load(Ordering::Acquire);
+        if lsn.0 <= current {
+            return;
+        }
+        simulate_delay(self.fsync_latency);
+        self.fsync_count.fetch_add(1, Ordering::Relaxed);
+        self.durable_lsn.fetch_max(lsn.0, Ordering::AcqRel);
+    }
+
+    /// Flushes everything appended so far.
+    pub fn flush_all(&self) {
+        self.flush_to(self.latest_lsn());
+    }
+
+    /// Records that survive a crash: everything with `lsn <= durable_lsn`.
+    pub fn durable_records(&self) -> Vec<RedoRecord> {
+        let durable = self.durable_lsn();
+        self.records
+            .lock()
+            .iter()
+            .filter(|(lsn, _)| *lsn <= durable)
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// All records regardless of durability (used by replication, which ships
+    /// from the in-memory log buffer, and by tests).
+    pub fn all_records(&self) -> Vec<RedoRecord> {
+        self.records.lock().iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Total number of appended records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(txn: u64, pk: i64, val: i64) -> RedoRecord {
+        RedoRecord::Update {
+            txn: TxnId(txn),
+            table: TableId(1),
+            record: RecordId::new(1, 0, pk as u16),
+            pk,
+            after: Row::from_ints(&[pk, val]),
+        }
+    }
+
+    #[test]
+    fn lsns_are_monotonic() {
+        let log = RedoLog::default();
+        let a = log.append(RedoRecord::Begin { txn: TxnId(1) });
+        let b = log.append(upd(1, 0, 5));
+        assert!(b > a);
+        assert_eq!(log.latest_lsn(), b);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn unflushed_records_do_not_survive_a_crash() {
+        let log = RedoLog::default();
+        log.append(upd(1, 0, 5));
+        let flushed_up_to = log.append(RedoRecord::Commit { txn: TxnId(1), trx_no: 1 });
+        log.flush_to(flushed_up_to);
+        log.append(upd(2, 0, 6)); // never flushed
+        let survived = log.durable_records();
+        assert_eq!(survived.len(), 2);
+        assert!(matches!(survived.last().unwrap(), RedoRecord::Commit { .. }));
+        assert_eq!(log.all_records().len(), 3);
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_monotonic() {
+        let log = RedoLog::default();
+        let lsn = log.append(upd(1, 0, 1));
+        log.flush_to(lsn);
+        let count = log.fsync_count();
+        log.flush_to(lsn); // no new data: no extra fsync
+        log.flush_to(Lsn(0));
+        assert_eq!(log.fsync_count(), count);
+        assert_eq!(log.durable_lsn(), lsn);
+    }
+
+    #[test]
+    fn group_flush_covers_multiple_transactions_with_one_fsync() {
+        let log = RedoLog::default();
+        for t in 1..=10u64 {
+            log.append(upd(t, 0, t as i64));
+            log.append(RedoRecord::Commit { txn: TxnId(t), trx_no: t });
+        }
+        log.flush_all();
+        assert_eq!(log.fsync_count(), 1);
+        assert_eq!(log.durable_records().len(), 20);
+    }
+
+    #[test]
+    fn record_txn_accessor() {
+        assert_eq!(RedoRecord::Rollback { txn: TxnId(3) }.txn(), TxnId(3));
+        assert_eq!(upd(9, 1, 1).txn(), TxnId(9));
+    }
+}

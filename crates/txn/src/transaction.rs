@@ -1,0 +1,240 @@
+//! The per-worker transaction handle.
+
+use std::time::Instant;
+use txsql_common::fxhash::FxHashMap;
+use txsql_common::{RecordId, Row, TableId, TxnId};
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Executing statements.
+    Active,
+    /// In the 2PC prepare/commit pipeline.
+    Preparing,
+    /// Committed durably.
+    Committed,
+    /// Rolled back.
+    Aborted,
+}
+
+/// Role a transaction plays on a particular hot row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotRole {
+    /// Group leader: acquired the real row lock for its group.
+    Leader,
+    /// Follower: executed without locking inside a group.
+    Follower,
+}
+
+/// A transaction: owned by exactly one worker thread.
+#[derive(Debug)]
+pub struct Transaction {
+    /// Transaction id assigned at begin.
+    pub id: TxnId,
+    /// Current lifecycle state.
+    pub state: TxnState,
+    /// Wall-clock start, used for latency accounting.
+    pub started_at: Instant,
+    /// Rows written: `(table, record)` in execution order (duplicates kept out).
+    write_set: Vec<(TableId, RecordId)>,
+    /// Rows read (used by the serializability checker and Aria validation).
+    read_set: Vec<(TableId, RecordId)>,
+    /// Hot rows this transaction updated, with its role and hot-update order.
+    hot_updates: FxHashMap<u64, (HotRole, u64)>,
+    /// Rows whose lock this transaction currently holds through the lock
+    /// manager (leaders and plain-2PL writers; followers hold none).
+    locked_records: Vec<RecordId>,
+    /// Records read from an uncommitted version (Bamboo-style dirty reads),
+    /// together with the writer depended upon.
+    dirty_reads_from: Vec<TxnId>,
+    /// After-images of every change, in execution order — the material the
+    /// binlog (replication) is built from at commit.
+    changes: Vec<(TableId, i64, Row)>,
+    /// Cumulative time spent blocked on locks / queues / commit ordering.
+    blocked: std::time::Duration,
+}
+
+impl Transaction {
+    /// Creates a new active transaction.
+    pub fn new(id: TxnId) -> Self {
+        Self {
+            id,
+            state: TxnState::Active,
+            started_at: Instant::now(),
+            write_set: Vec::new(),
+            read_set: Vec::new(),
+            hot_updates: FxHashMap::default(),
+            locked_records: Vec::new(),
+            dirty_reads_from: Vec::new(),
+            changes: Vec::new(),
+            blocked: std::time::Duration::ZERO,
+        }
+    }
+
+    /// True while the transaction can still execute statements.
+    pub fn is_active(&self) -> bool {
+        self.state == TxnState::Active
+    }
+
+    /// Records a write.  Idempotent per `(table, record)`.
+    pub fn record_write(&mut self, table: TableId, record: RecordId) {
+        if !self.write_set.contains(&(table, record)) {
+            self.write_set.push((table, record));
+        }
+    }
+
+    /// Records a read.
+    pub fn record_read(&mut self, table: TableId, record: RecordId) {
+        if !self.read_set.contains(&(table, record)) {
+            self.read_set.push((table, record));
+        }
+    }
+
+    /// The write set in execution order.
+    pub fn write_set(&self) -> &[(TableId, RecordId)] {
+        &self.write_set
+    }
+
+    /// The read set in execution order.
+    pub fn read_set(&self) -> &[(TableId, RecordId)] {
+        &self.read_set
+    }
+
+    /// Registers participation in a hot-row group.
+    pub fn record_hot_update(&mut self, record: RecordId, role: HotRole, order: u64) {
+        self.hot_updates.insert(record.packed(), (role, order));
+    }
+
+    /// Hot rows this transaction updated (record, role, order).
+    pub fn hot_updates(&self) -> Vec<(RecordId, HotRole, u64)> {
+        self.hot_updates
+            .iter()
+            .map(|(packed, (role, order))| (RecordId::from_packed(*packed), *role, *order))
+            .collect()
+    }
+
+    /// Role on a specific hot row, if the transaction updated it.
+    pub fn hot_role(&self, record: RecordId) -> Option<HotRole> {
+        self.hot_updates.get(&record.packed()).map(|(role, _)| *role)
+    }
+
+    /// True when this transaction updated the given hot row.
+    pub fn updated_hot_row(&self, record: RecordId) -> bool {
+        self.hot_updates.contains_key(&record.packed())
+    }
+
+    /// True when the transaction updated *any* hot row.
+    pub fn has_hot_updates(&self) -> bool {
+        !self.hot_updates.is_empty()
+    }
+
+    /// Remembers that this transaction holds the lock-manager lock on a record.
+    pub fn record_lock(&mut self, record: RecordId) {
+        if !self.locked_records.contains(&record) {
+            self.locked_records.push(record);
+        }
+    }
+
+    /// Records this transaction currently holds locks on.
+    pub fn locked_records(&self) -> &[RecordId] {
+        &self.locked_records
+    }
+
+    /// Records that this transaction read uncommitted data written by `writer`
+    /// (Bamboo early-lock-release path); commit must wait for `writer`.
+    pub fn record_dirty_read_from(&mut self, writer: TxnId) {
+        if writer != self.id && !self.dirty_reads_from.contains(&writer) {
+            self.dirty_reads_from.push(writer);
+        }
+    }
+
+    /// Writers of uncommitted data this transaction depends on.
+    pub fn dirty_reads_from(&self) -> &[TxnId] {
+        &self.dirty_reads_from
+    }
+
+    /// Number of statements' worth of work recorded (reads + writes); used by
+    /// the metrics to compute locks-per-query style ratios.
+    pub fn touched_rows(&self) -> usize {
+        self.read_set.len() + self.write_set.len()
+    }
+
+    /// Records an after-image for the binlog.
+    pub fn record_change(&mut self, table: TableId, pk: i64, after: Row) {
+        self.changes.push((table, pk, after));
+    }
+
+    /// Accumulates time spent blocked (lock waits, hotspot queues, commit-turn
+    /// waits) — the numerator of the blocked share in the CPU-utilisation
+    /// proxy (Figure 6b).
+    pub fn add_blocked(&mut self, blocked: std::time::Duration) {
+        self.blocked += blocked;
+    }
+
+    /// Total blocked time accumulated so far.
+    pub fn blocked_time(&self) -> std::time::Duration {
+        self.blocked
+    }
+
+    /// After-images accumulated so far, in execution order.
+    pub fn changes(&self) -> &[(TableId, i64, Row)] {
+        &self.changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_sets_deduplicate() {
+        let mut t = Transaction::new(TxnId(1));
+        let r = RecordId::new(1, 0, 0);
+        t.record_write(TableId(1), r);
+        t.record_write(TableId(1), r);
+        t.record_read(TableId(1), r);
+        t.record_read(TableId(1), r);
+        assert_eq!(t.write_set().len(), 1);
+        assert_eq!(t.read_set().len(), 1);
+        assert_eq!(t.touched_rows(), 2);
+    }
+
+    #[test]
+    fn hot_update_bookkeeping() {
+        let mut t = Transaction::new(TxnId(2));
+        let hot = RecordId::new(1, 0, 0);
+        let cold = RecordId::new(1, 0, 1);
+        assert!(!t.has_hot_updates());
+        t.record_hot_update(hot, HotRole::Follower, 42);
+        assert!(t.updated_hot_row(hot));
+        assert!(!t.updated_hot_row(cold));
+        assert_eq!(t.hot_role(hot), Some(HotRole::Follower));
+        assert_eq!(t.hot_updates(), vec![(hot, HotRole::Follower, 42)]);
+        assert!(t.has_hot_updates());
+    }
+
+    #[test]
+    fn dirty_read_dependencies_ignore_self_and_duplicates() {
+        let mut t = Transaction::new(TxnId(3));
+        t.record_dirty_read_from(TxnId(3));
+        t.record_dirty_read_from(TxnId(4));
+        t.record_dirty_read_from(TxnId(4));
+        assert_eq!(t.dirty_reads_from(), &[TxnId(4)]);
+    }
+
+    #[test]
+    fn state_starts_active() {
+        let t = Transaction::new(TxnId(5));
+        assert!(t.is_active());
+        assert_eq!(t.state, TxnState::Active);
+    }
+
+    #[test]
+    fn locked_records_deduplicate() {
+        let mut t = Transaction::new(TxnId(6));
+        let r = RecordId::new(2, 1, 0);
+        t.record_lock(r);
+        t.record_lock(r);
+        assert_eq!(t.locked_records(), &[r]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Workload drivers.
+//!
+//! * [`run_closed_loop`] — the academic-style driver: `threads` clients each
+//!   submit transactions back-to-back, retrying contention aborts, for a
+//!   fixed duration.  Used by the throughput/latency figures (2, 6–10, 12,
+//!   13).
+//! * [`run_fixed_tps`] — the industry rate model of §4.6.1: a dispatcher
+//!   issues a fixed number of transactions per second to a worker pool and
+//!   records per-second throughput, failure rate, p95 latency and the
+//!   utilisation proxy — the four panels of Figure 11.
+
+use crate::hotspots::HotspotsTrace;
+use crate::Workload;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txsql_common::metrics::{LatencyHistogram, MetricsSnapshot};
+use txsql_common::rng::XorShiftRng;
+use txsql_core::Database;
+
+/// Options for the closed-loop driver.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopOptions {
+    /// Number of client threads (the paper's X axis, 8–1024).
+    pub threads: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Warm-up discarded before measurement.
+    pub warmup: Duration,
+    /// Base RNG seed (each worker derives its own stream).
+    pub seed: u64,
+    /// Abandon a transaction after this many aborted attempts (it still counts
+    /// as aborted work in the metrics; 0 means retry forever).
+    pub max_retries: usize,
+}
+
+impl Default for ClosedLoopOptions {
+    fn default() -> Self {
+        Self {
+            threads: 8,
+            duration: Duration::from_millis(800),
+            warmup: Duration::from_millis(200),
+            seed: 42,
+            max_retries: 0,
+        }
+    }
+}
+
+impl ClosedLoopOptions {
+    /// Sets the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets warm-up and measurement durations.
+    pub fn with_durations(mut self, warmup: Duration, duration: Duration) -> Self {
+        self.warmup = warmup;
+        self.duration = duration;
+        self
+    }
+}
+
+/// Runs `workload` against `db` with a closed loop of clients and returns the
+/// metrics snapshot of the measurement window.
+pub fn run_closed_loop(
+    db: &Database,
+    workload: &dyn Workload,
+    options: &ClosedLoopOptions,
+) -> MetricsSnapshot {
+    workload.setup(db);
+    let stop = Arc::new(AtomicBool::new(false));
+    let measuring = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for worker in 0..options.threads {
+            let db = db.clone();
+            let stop = Arc::clone(&stop);
+            let seed = options.seed;
+            let max_retries = options.max_retries;
+            let workload_ref: &dyn Workload = workload;
+            scope.spawn(move || {
+                let mut rng = XorShiftRng::for_worker(seed, worker as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let program = workload_ref.next_program(&mut rng);
+                    let mut attempts = 0usize;
+                    loop {
+                        match db.execute_program(&program) {
+                            Ok(_) => break,
+                            Err(err) if err.is_retryable() => {
+                                attempts += 1;
+                                if max_retries > 0 && attempts >= max_retries {
+                                    break;
+                                }
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+            });
+        }
+
+        // Warm-up, then reset metrics and measure.
+        std::thread::sleep(options.warmup);
+        db.reset_metrics();
+        measuring.store(true, Ordering::Relaxed);
+        std::thread::sleep(options.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    db.snapshot_metrics(options.duration)
+}
+
+/// One second of a fixed-TPS run (one X position of Figure 11).
+#[derive(Debug, Clone)]
+pub struct SecondSample {
+    /// Second index from the start of the trace.
+    pub second: u64,
+    /// Target transactions issued this second.
+    pub target_tps: u64,
+    /// Transactions that committed this second.
+    pub committed: u64,
+    /// Transactions that failed (exhausted retries or missed the deadline).
+    pub failed: u64,
+    /// p95 end-to-end latency (ms) of transactions finishing this second.
+    pub p95_latency_ms: f64,
+    /// Useful-work ratio during this second (CPU-utilisation proxy).
+    pub utilization: f64,
+}
+
+impl SecondSample {
+    /// Failure rate in percent (the Figure 11 middle panel).
+    pub fn failure_rate_pct(&self) -> f64 {
+        let total = self.committed + self.failed;
+        if total == 0 {
+            0.0
+        } else {
+            self.failed as f64 / total as f64 * 100.0
+        }
+    }
+}
+
+/// Options for the fixed-TPS driver.
+#[derive(Debug, Clone)]
+pub struct FixedTpsOptions {
+    /// Size of the worker pool serving the dispatched transactions.
+    pub threads: usize,
+    /// Retry budget per transaction before it is reported as a failure.
+    pub retry_limit: usize,
+    /// A transaction that takes longer than this end-to-end is a failure.
+    pub deadline: Duration,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FixedTpsOptions {
+    fn default() -> Self {
+        Self {
+            threads: 16,
+            retry_limit: 3,
+            deadline: Duration::from_millis(500),
+            seed: 7,
+        }
+    }
+}
+
+struct DispatchedJob {
+    second: u64,
+    issued_at: Instant,
+}
+
+/// Runs the composite trace against `db` at its fixed per-second rates.
+pub fn run_fixed_tps(
+    db: &Database,
+    trace: &HotspotsTrace,
+    options: &FixedTpsOptions,
+) -> Vec<SecondSample> {
+    trace.setup(db);
+    let (job_tx, job_rx): (Sender<DispatchedJob>, Receiver<DispatchedJob>) = bounded(65_536);
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let second_latencies = Arc::new(Mutex::new(LatencyHistogram::new()));
+
+    let samples = std::thread::scope(|scope| {
+        for worker in 0..options.threads {
+            let db = db.clone();
+            let job_rx = job_rx.clone();
+            let stop = Arc::clone(&stop);
+            let committed = Arc::clone(&committed);
+            let failed = Arc::clone(&failed);
+            let second_latencies = Arc::clone(&second_latencies);
+            let retry_limit = options.retry_limit;
+            let deadline = options.deadline;
+            let seed = options.seed;
+            let trace_ref: &HotspotsTrace = trace;
+            scope.spawn(move || {
+                let mut rng = XorShiftRng::for_worker(seed, worker as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let Ok(job) = job_rx.recv_timeout(Duration::from_millis(20)) else {
+                        continue;
+                    };
+                    let program = trace_ref.program_at(job.second, &mut rng);
+                    let mut attempts = 0;
+                    let success = loop {
+                        match db.execute_program(&program) {
+                            Ok(outcome) => break outcome.committed,
+                            Err(err) if err.is_retryable() && attempts < retry_limit => {
+                                attempts += 1;
+                            }
+                            Err(_) => break false,
+                        }
+                    };
+                    let elapsed = job.issued_at.elapsed();
+                    second_latencies.lock().record(elapsed);
+                    if success && elapsed <= deadline {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+
+        // Dispatcher: one batch of jobs per second, metrics sampled per second.
+        let mut samples = Vec::new();
+        let total_seconds = trace.total_seconds();
+        for second in 0..total_seconds {
+            let target = trace.target_tps_at(second);
+            db.reset_metrics();
+            committed.store(0, Ordering::Relaxed);
+            failed.store(0, Ordering::Relaxed);
+            second_latencies.lock().reset();
+            let second_start = Instant::now();
+            // Dispatch the whole second's budget in small even slices.
+            let slices = 20u64;
+            for slice in 0..slices {
+                let jobs_this_slice =
+                    target * (slice + 1) / slices - target * slice / slices;
+                for _ in 0..jobs_this_slice {
+                    let _ = job_tx.try_send(DispatchedJob { second, issued_at: Instant::now() });
+                }
+                let slice_deadline =
+                    second_start + Duration::from_millis(1_000 * (slice + 1) / slices as u64);
+                let now = Instant::now();
+                if slice_deadline > now {
+                    std::thread::sleep(slice_deadline - now);
+                }
+            }
+            let utilization = db.metrics().utilization();
+            samples.push(SecondSample {
+                second,
+                target_tps: target,
+                committed: committed.load(Ordering::Relaxed),
+                failed: failed.load(Ordering::Relaxed),
+                p95_latency_ms: second_latencies.lock().p95_millis(),
+                utilization,
+            });
+        }
+        stop.store(true, Ordering::Relaxed);
+        samples
+    });
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sysbench::{SysbenchVariant, SysbenchWorkload};
+    use txsql_core::Protocol;
+
+    #[test]
+    fn closed_loop_driver_produces_throughput() {
+        let db = Database::with_protocol(Protocol::GroupLockingTxsql);
+        let workload = SysbenchWorkload::new(SysbenchVariant::HotspotUpdate, 128);
+        let options = ClosedLoopOptions::default()
+            .with_threads(4)
+            .with_durations(Duration::from_millis(50), Duration::from_millis(200));
+        let snapshot = run_closed_loop(&db, &workload, &options);
+        assert!(snapshot.committed > 0, "no transactions committed");
+        assert!(snapshot.tps > 0.0);
+        db.shutdown();
+    }
+
+    #[test]
+    fn closed_loop_driver_works_for_every_protocol() {
+        for protocol in Protocol::ALL {
+            let db = Database::with_protocol(protocol);
+            let workload =
+                SysbenchWorkload::new(SysbenchVariant::UniformUpdate { length: 2 }, 256);
+            let options = ClosedLoopOptions::default()
+                .with_threads(2)
+                .with_durations(Duration::from_millis(20), Duration::from_millis(100));
+            let snapshot = run_closed_loop(&db, &workload, &options);
+            assert!(snapshot.committed > 0, "{protocol:?} committed nothing");
+            db.shutdown();
+        }
+    }
+
+    #[test]
+    fn fixed_tps_driver_tracks_the_schedule() {
+        let db = Database::with_protocol(Protocol::GroupLockingTxsql);
+        let trace = HotspotsTrace::new(
+            vec![
+                crate::hotspots::TracePhase { seconds: 1, target_tps: 50, hotspot_share: 0.1 },
+                crate::hotspots::TracePhase { seconds: 1, target_tps: 100, hotspot_share: 0.9 },
+            ],
+            256,
+        );
+        let options = FixedTpsOptions { threads: 4, ..Default::default() };
+        let samples = run_fixed_tps(&db, &trace, &options);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].target_tps, 50);
+        assert_eq!(samples[1].target_tps, 100);
+        let total: u64 = samples.iter().map(|s| s.committed).sum();
+        assert!(total > 0, "nothing committed under the fixed-TPS driver");
+        assert!(samples[0].failure_rate_pct() <= 100.0);
+        db.shutdown();
+    }
+}

@@ -1,0 +1,158 @@
+//! The FiT financial workload (§6.1.1).
+//!
+//! Reconstructed from the paper's description of Tencent FiT after
+//! anonymisation: a *hot table* of merchant/account balances that receives a
+//! constant stream of balance updates, and a *non-hot table* (the journal)
+//! that records every transaction.  A FiT transaction updates one hot account
+//! balance, inserts a journal row, and optionally touches a uniformly chosen
+//! cold account — short transactions with a single hotspot, exactly the shape
+//! the paper says dominates production.
+
+use crate::Workload;
+use std::sync::atomic::{AtomicI64, Ordering};
+use txsql_common::rng::XorShiftRng;
+use txsql_common::{Row, TableId};
+use txsql_core::{Database, Operation, TxnProgram};
+use txsql_storage::TableSchema;
+
+/// Hot account-balance table.
+pub const FIT_ACCOUNTS: TableId = TableId(20);
+/// Append-only journal table.
+pub const FIT_JOURNAL: TableId = TableId(21);
+/// Cold per-user account table.
+pub const FIT_USERS: TableId = TableId(22);
+
+/// The FiT workload.
+pub struct FitWorkload {
+    /// Number of hot merchant accounts (small; the paper's hotspot is 1–few).
+    hot_accounts: u64,
+    /// Number of cold user accounts.
+    users: u64,
+    /// Probability that a transaction also updates a cold user row.
+    cold_update_probability: f64,
+    /// Journal primary-key allocator.
+    next_journal_id: AtomicI64,
+    name: String,
+}
+
+impl FitWorkload {
+    /// Creates a FiT workload.
+    pub fn new(hot_accounts: u64, users: u64) -> Self {
+        assert!(hot_accounts > 0 && users > 0);
+        Self {
+            hot_accounts,
+            users,
+            cold_update_probability: 0.5,
+            next_journal_id: AtomicI64::new(1),
+            name: format!("fit-hot{hot_accounts}-users{users}"),
+        }
+    }
+
+    /// The paper-like default: a single hot merchant account and 100k users.
+    pub fn standard() -> Self {
+        Self::new(1, 100_000)
+    }
+
+    /// Number of hot accounts.
+    pub fn hot_accounts(&self) -> u64 {
+        self.hot_accounts
+    }
+}
+
+impl Workload for FitWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn setup(&self, db: &Database) {
+        if db.create_table(TableSchema::new(FIT_ACCOUNTS, "fit_accounts", 2)).is_ok() {
+            for pk in 0..self.hot_accounts as i64 {
+                db.load_row(FIT_ACCOUNTS, Row::from_ints(&[pk, 1_000_000])).unwrap();
+            }
+        }
+        let _ = db.create_table(TableSchema::new(FIT_JOURNAL, "fit_journal", 3));
+        if db.create_table(TableSchema::new(FIT_USERS, "fit_users", 2)).is_ok() {
+            for pk in 0..self.users as i64 {
+                db.load_row(FIT_USERS, Row::from_ints(&[pk, 10_000])).unwrap();
+            }
+        }
+    }
+
+    fn next_program(&self, rng: &mut XorShiftRng) -> TxnProgram {
+        let hot_pk = rng.next_bounded(self.hot_accounts) as i64;
+        let amount = 1 + rng.next_bounded(100) as i64;
+        let journal_pk = self.next_journal_id.fetch_add(1, Ordering::Relaxed)
+            + (rng.next_u64() as i64 & 0x7FFF) * 1_000_000;
+        let mut ops = vec![
+            // Credit the merchant's hot balance.
+            Operation::UpdateAdd { table: FIT_ACCOUNTS, pk: hot_pk, column: 1, delta: amount },
+            // Record the payment in the journal.
+            Operation::Insert { table: FIT_JOURNAL, pk: journal_pk, fill: amount },
+        ];
+        if rng.next_bool(self.cold_update_probability) {
+            let user_pk = rng.next_bounded(self.users) as i64;
+            ops.push(Operation::UpdateAdd {
+                table: FIT_USERS,
+                pk: user_pk,
+                column: 1,
+                delta: -amount,
+            });
+        }
+        TxnProgram::new(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsql_core::Protocol;
+
+    #[test]
+    fn programs_always_touch_the_hot_table() {
+        let w = FitWorkload::new(1, 100);
+        let mut rng = XorShiftRng::new(1);
+        for _ in 0..20 {
+            let p = w.next_program(&mut rng);
+            assert!(p.write_keys().iter().any(|(t, _)| *t == FIT_ACCOUNTS));
+            assert!(p.len() >= 2 && p.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn setup_and_run_against_engine() {
+        let w = FitWorkload::new(1, 64);
+        let db = Database::with_protocol(Protocol::GroupLockingTxsql);
+        w.setup(&db);
+        let mut rng = XorShiftRng::new(2);
+        let mut committed = 0;
+        for _ in 0..20 {
+            if let Ok(outcome) = db.execute_program(&w.next_program(&mut rng)) {
+                if outcome.committed {
+                    committed += 1;
+                }
+            }
+        }
+        assert!(committed > 0);
+        // The hot balance must have increased by the committed credits.
+        let record = db.record_id(FIT_ACCOUNTS, 0).unwrap();
+        let balance =
+            db.storage().read_committed(FIT_ACCOUNTS, record).unwrap().unwrap().get_int(1).unwrap();
+        assert!(balance > 1_000_000);
+        db.shutdown();
+    }
+
+    #[test]
+    fn journal_primary_keys_are_unique_within_a_generator() {
+        let w = FitWorkload::new(2, 10);
+        let mut rng = XorShiftRng::new(3);
+        let mut pks = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let p = w.next_program(&mut rng);
+            for (table, pk) in p.write_keys() {
+                if table == FIT_JOURNAL {
+                    assert!(pks.insert(pk), "duplicate journal pk {pk}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The "Hotspots" composite online trace (§6.1.1, Figure 11).
+//!
+//! Tencent's online figure is a fixed-TPS workload (the industry rate model
+//! of §4.6.1) whose traffic is mostly uniform but suffers bursts during which
+//! nearly every transaction hits one hot row.  [`HotspotsTrace::paper_like`]
+//! encodes a schedule with the same shape as Figure 11: a stable baseline,
+//! a hotspot burst, a higher-rate sustained burst, and a final phase in which
+//! the operator bumps the group-locking batch size (the harness applies that
+//! configuration change; the trace only describes load).
+
+use crate::Workload;
+use txsql_common::rng::XorShiftRng;
+use txsql_common::{Row, TableId};
+use txsql_core::{Database, Operation, TxnProgram};
+use txsql_storage::TableSchema;
+
+/// The application table used by the composite trace.
+pub const APP_TABLE: TableId = TableId(40);
+
+/// One phase of the fixed-TPS schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct TracePhase {
+    /// Phase length in seconds.
+    pub seconds: u64,
+    /// Target transactions per second during the phase.
+    pub target_tps: u64,
+    /// Probability that a transaction updates the hot row instead of a
+    /// uniformly random row.
+    pub hotspot_share: f64,
+}
+
+/// The composite trace.
+pub struct HotspotsTrace {
+    phases: Vec<TracePhase>,
+    table_size: u64,
+    name: String,
+}
+
+impl HotspotsTrace {
+    /// Creates a trace from explicit phases.
+    pub fn new(phases: Vec<TracePhase>, table_size: u64) -> Self {
+        assert!(!phases.is_empty() && table_size > 0);
+        Self { phases, table_size, name: "hotspots-composite".to_string() }
+    }
+
+    /// A laptop-scaled version of the Figure 11 schedule: baseline traffic,
+    /// a hotspot burst, a sustained higher-rate burst, then recovery.
+    pub fn paper_like(base_tps: u64) -> Self {
+        let burst = base_tps * 3;
+        Self::new(
+            vec![
+                TracePhase { seconds: 5, target_tps: base_tps, hotspot_share: 0.05 },
+                TracePhase { seconds: 5, target_tps: burst, hotspot_share: 0.9 },
+                TracePhase { seconds: 5, target_tps: base_tps, hotspot_share: 0.05 },
+                TracePhase { seconds: 5, target_tps: burst * 2, hotspot_share: 0.95 },
+                TracePhase { seconds: 5, target_tps: base_tps, hotspot_share: 0.05 },
+            ],
+            10_000,
+        )
+    }
+
+    /// The phase schedule.
+    pub fn phases(&self) -> &[TracePhase] {
+        &self.phases
+    }
+
+    /// Total trace length in seconds.
+    pub fn total_seconds(&self) -> u64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// The phase active at `second`.
+    pub fn phase_at(&self, second: u64) -> TracePhase {
+        let mut elapsed = 0;
+        for phase in &self.phases {
+            elapsed += phase.seconds;
+            if second < elapsed {
+                return *phase;
+            }
+        }
+        *self.phases.last().expect("non-empty phases")
+    }
+
+    /// Target TPS at `second`.
+    pub fn target_tps_at(&self, second: u64) -> u64 {
+        self.phase_at(second).target_tps
+    }
+
+    /// Generates a program appropriate for `second`.
+    pub fn program_at(&self, second: u64, rng: &mut XorShiftRng) -> TxnProgram {
+        let phase = self.phase_at(second);
+        let pk = if rng.next_bool(phase.hotspot_share) {
+            0
+        } else {
+            1 + rng.next_bounded(self.table_size - 1) as i64
+        };
+        TxnProgram::new(vec![
+            Operation::UpdateAdd { table: APP_TABLE, pk, column: 1, delta: 1 },
+            Operation::Read { table: APP_TABLE, pk: rng.next_bounded(self.table_size) as i64 },
+        ])
+    }
+}
+
+impl Workload for HotspotsTrace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn setup(&self, db: &Database) {
+        if db.create_table(TableSchema::new(APP_TABLE, "app", 2)).is_ok() {
+            for pk in 0..self.table_size as i64 {
+                db.load_row(APP_TABLE, Row::from_ints(&[pk, 0])).unwrap();
+            }
+        }
+    }
+
+    fn next_program(&self, rng: &mut XorShiftRng) -> TxnProgram {
+        self.program_at(0, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_lookup_follows_the_schedule() {
+        let trace = HotspotsTrace::paper_like(100);
+        assert_eq!(trace.total_seconds(), 25);
+        assert_eq!(trace.target_tps_at(0), 100);
+        assert_eq!(trace.target_tps_at(6), 300);
+        assert_eq!(trace.target_tps_at(16), 600);
+        // Past the end: last phase applies.
+        assert_eq!(trace.target_tps_at(1_000), 100);
+    }
+
+    #[test]
+    fn burst_phases_concentrate_on_the_hot_row() {
+        let trace = HotspotsTrace::paper_like(100);
+        let mut rng = XorShiftRng::new(1);
+        let burst_hot = (0..500)
+            .filter(|_| trace.program_at(6, &mut rng).write_keys()[0].1 == 0)
+            .count();
+        let calm_hot = (0..500)
+            .filter(|_| trace.program_at(0, &mut rng).write_keys()[0].1 == 0)
+            .count();
+        assert!(burst_hot > 350, "burst share too low: {burst_hot}");
+        assert!(calm_hot < 100, "calm share too high: {calm_hot}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_schedule_is_rejected() {
+        let _ = HotspotsTrace::new(vec![], 10);
+    }
+}

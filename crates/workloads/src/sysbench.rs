@@ -1,0 +1,263 @@
+//! SysBench-style workloads (§6.1.1).
+//!
+//! The paper's SysBench configurations, expressed over a single `sbtest`
+//! table of `(id, k, pad)` rows:
+//!
+//! | Variant | Paper definition |
+//! |---|---|
+//! | `HotspotUpdate` | RW=0, TL=1, all updates hit one hot row (Figures 2a, 6e, 8) |
+//! | `HotspotReadWrite` | RW=0.5, configurable TL, Zipf-skewed reads + hot-row writes (Figures 7, 13) |
+//! | `HotspotScan` | RW=0, TL=10, updates spread over ten distinct hot rows (Figure 6f) |
+//! | `UniformUpdate` | RW=0, uniformly random row per update (Figure 6g) |
+//! | `UniformReadOnly` | RW=1, uniformly random reads (Figure 6h) |
+//! | `ZipfUpdate` | TL=1 updates over a Zipf-distributed key (Figure 10 right) |
+
+use crate::Workload;
+use txsql_common::rng::XorShiftRng;
+use txsql_common::zipf::ZipfGenerator;
+use txsql_common::{Row, TableId};
+use txsql_core::{Database, Operation, TxnProgram};
+use txsql_storage::TableSchema;
+
+/// The `sbtest` table id.
+pub const SBTEST: TableId = TableId(10);
+/// Column index updated by write statements.
+pub const VALUE_COLUMN: usize = 1;
+
+/// Which SysBench configuration to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SysbenchVariant {
+    /// Single-row hotspot update, transaction length 1.
+    HotspotUpdate,
+    /// Mixed read/write transaction: `writes` hot-row updates and
+    /// `reads` Zipf-distributed snapshot reads.
+    HotspotReadWrite {
+        /// Updates per transaction (all on the hot row).
+        writes: usize,
+        /// Snapshot reads per transaction.
+        reads: usize,
+        /// Zipf skew of the read keys.
+        skew: f64,
+    },
+    /// Updates spread over the first `hot_rows` rows (one statement each).
+    HotspotScan {
+        /// Number of distinct hot rows per transaction.
+        hot_rows: usize,
+    },
+    /// Uniformly random single-row updates, `length` statements.
+    UniformUpdate {
+        /// Statements per transaction.
+        length: usize,
+    },
+    /// Uniformly random reads, `length` statements.
+    UniformReadOnly {
+        /// Statements per transaction.
+        length: usize,
+    },
+    /// Zipf-distributed single-row updates (skew sweep, Figure 10 right).
+    ZipfUpdate {
+        /// Zipf skew factor.
+        skew: f64,
+    },
+}
+
+/// A SysBench workload instance.
+pub struct SysbenchWorkload {
+    variant: SysbenchVariant,
+    table_size: u64,
+    zipf: Option<ZipfGenerator>,
+    name: String,
+}
+
+impl SysbenchWorkload {
+    /// Creates a SysBench workload over `table_size` rows.
+    pub fn new(variant: SysbenchVariant, table_size: u64) -> Self {
+        assert!(table_size > 0);
+        let zipf = match variant {
+            SysbenchVariant::HotspotReadWrite { skew, .. } => {
+                Some(ZipfGenerator::new(table_size, skew))
+            }
+            SysbenchVariant::ZipfUpdate { skew } => Some(ZipfGenerator::new(table_size, skew)),
+            _ => None,
+        };
+        let name = match variant {
+            SysbenchVariant::HotspotUpdate => "sysbench-hotspot-update".to_string(),
+            SysbenchVariant::HotspotReadWrite { writes, reads, skew } => {
+                format!("sysbench-hotspot-rw-w{writes}-r{reads}-sf{skew}")
+            }
+            SysbenchVariant::HotspotScan { hot_rows } => {
+                format!("sysbench-hotspot-scan-{hot_rows}")
+            }
+            SysbenchVariant::UniformUpdate { length } => {
+                format!("sysbench-uniform-update-{length}")
+            }
+            SysbenchVariant::UniformReadOnly { length } => {
+                format!("sysbench-uniform-read-{length}")
+            }
+            SysbenchVariant::ZipfUpdate { skew } => format!("sysbench-zipf-update-{skew}"),
+        };
+        Self { variant, table_size, zipf, name }
+    }
+
+    /// The standard configuration the paper uses: a table of 100k rows.
+    pub fn standard(variant: SysbenchVariant) -> Self {
+        Self::new(variant, 100_000)
+    }
+
+    /// The variant in force.
+    pub fn variant(&self) -> SysbenchVariant {
+        self.variant
+    }
+
+    /// Number of rows in `sbtest`.
+    pub fn table_size(&self) -> u64 {
+        self.table_size
+    }
+}
+
+impl Workload for SysbenchWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn setup(&self, db: &Database) {
+        // (id, value, k) — value is what updates increment.
+        if db.create_table(TableSchema::new(SBTEST, "sbtest", 3)).is_ok() {
+            for pk in 0..self.table_size as i64 {
+                db.load_row(SBTEST, Row::from_ints(&[pk, 0, pk % 997])).unwrap();
+            }
+        }
+    }
+
+    fn next_program(&self, rng: &mut XorShiftRng) -> TxnProgram {
+        let mut ops = Vec::new();
+        match self.variant {
+            SysbenchVariant::HotspotUpdate => {
+                ops.push(Operation::UpdateAdd {
+                    table: SBTEST,
+                    pk: 0,
+                    column: VALUE_COLUMN,
+                    delta: 1,
+                });
+            }
+            SysbenchVariant::HotspotReadWrite { writes, reads, .. } => {
+                let zipf = self.zipf.as_ref().expect("zipf initialised");
+                for _ in 0..reads {
+                    ops.push(Operation::Read { table: SBTEST, pk: zipf.next(rng) as i64 });
+                }
+                for _ in 0..writes {
+                    ops.push(Operation::UpdateAdd {
+                        table: SBTEST,
+                        pk: 0,
+                        column: VALUE_COLUMN,
+                        delta: 1,
+                    });
+                }
+            }
+            SysbenchVariant::HotspotScan { hot_rows } => {
+                for pk in 0..hot_rows as i64 {
+                    ops.push(Operation::UpdateAdd {
+                        table: SBTEST,
+                        pk,
+                        column: VALUE_COLUMN,
+                        delta: 1,
+                    });
+                }
+            }
+            SysbenchVariant::UniformUpdate { length } => {
+                for _ in 0..length.max(1) {
+                    let pk = rng.next_bounded(self.table_size) as i64;
+                    ops.push(Operation::UpdateAdd {
+                        table: SBTEST,
+                        pk,
+                        column: VALUE_COLUMN,
+                        delta: 1,
+                    });
+                }
+            }
+            SysbenchVariant::UniformReadOnly { length } => {
+                for _ in 0..length.max(1) {
+                    let pk = rng.next_bounded(self.table_size) as i64;
+                    ops.push(Operation::Read { table: SBTEST, pk });
+                }
+            }
+            SysbenchVariant::ZipfUpdate { .. } => {
+                let zipf = self.zipf.as_ref().expect("zipf initialised");
+                ops.push(Operation::UpdateAdd {
+                    table: SBTEST,
+                    pk: zipf.next(rng) as i64,
+                    column: VALUE_COLUMN,
+                    delta: 1,
+                });
+            }
+        }
+        TxnProgram::new(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsql_core::Protocol;
+
+    #[test]
+    fn hotspot_update_targets_row_zero_only() {
+        let w = SysbenchWorkload::new(SysbenchVariant::HotspotUpdate, 100);
+        let mut rng = XorShiftRng::new(1);
+        for _ in 0..10 {
+            let p = w.next_program(&mut rng);
+            assert_eq!(p.len(), 1);
+            assert_eq!(p.write_keys(), vec![(SBTEST, 0)]);
+        }
+    }
+
+    #[test]
+    fn uniform_update_spreads_keys() {
+        let w = SysbenchWorkload::new(SysbenchVariant::UniformUpdate { length: 1 }, 1_000);
+        let mut rng = XorShiftRng::new(2);
+        let keys: std::collections::HashSet<i64> =
+            (0..200).map(|_| w.next_program(&mut rng).write_keys()[0].1).collect();
+        assert!(keys.len() > 50, "expected spread, got {} distinct keys", keys.len());
+    }
+
+    #[test]
+    fn read_write_mix_has_expected_shape() {
+        let w = SysbenchWorkload::new(
+            SysbenchVariant::HotspotReadWrite { writes: 3, reads: 7, skew: 0.9 },
+            1_000,
+        );
+        let mut rng = XorShiftRng::new(3);
+        let p = w.next_program(&mut rng);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.operations.iter().filter(|o| o.is_write()).count(), 3);
+    }
+
+    #[test]
+    fn scan_touches_distinct_hot_rows() {
+        let w = SysbenchWorkload::new(SysbenchVariant::HotspotScan { hot_rows: 10 }, 1_000);
+        let mut rng = XorShiftRng::new(4);
+        let p = w.next_program(&mut rng);
+        assert_eq!(p.write_keys().len(), 10);
+    }
+
+    #[test]
+    fn setup_and_execute_against_engine() {
+        let w = SysbenchWorkload::new(SysbenchVariant::HotspotUpdate, 64);
+        let db = Database::with_protocol(Protocol::LightweightO1);
+        w.setup(&db);
+        let mut rng = XorShiftRng::new(5);
+        let outcome = db.execute_program(&w.next_program(&mut rng)).unwrap();
+        assert!(outcome.committed);
+        db.shutdown();
+    }
+
+    #[test]
+    fn zipf_update_prefers_low_keys() {
+        let w = SysbenchWorkload::new(SysbenchVariant::ZipfUpdate { skew: 0.99 }, 10_000);
+        let mut rng = XorShiftRng::new(6);
+        let hot_hits = (0..1_000)
+            .filter(|_| w.next_program(&mut rng).write_keys()[0].1 < 10)
+            .count();
+        assert!(hot_hits > 100, "zipf skew not visible: {hot_hits}");
+    }
+}

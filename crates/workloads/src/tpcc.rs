@@ -1,0 +1,273 @@
+//! A compact TPC-C (§6.1.1, Figure 12).
+//!
+//! The full TPC-C schema is reduced to the parts that drive contention in the
+//! paper's experiment: warehouses, districts, customers, stock, plus
+//! append-only orders and history.  Two transaction profiles are generated in
+//! the standard 10:1 ratio:
+//!
+//! * **NewOrder** — read the customer, bump the district's next-order-id,
+//!   update 5–15 stock rows, insert an order row;
+//! * **Payment** — update warehouse YTD, district YTD and customer balance,
+//!   insert a history row.
+//!
+//! Contention is controlled by the warehouse count: with a single warehouse
+//! its YTD row and the ten district rows become hotspots, which is exactly
+//! what Figure 12 sweeps.
+
+use crate::Workload;
+use std::sync::atomic::{AtomicI64, Ordering};
+use txsql_common::rng::XorShiftRng;
+use txsql_common::{Row, TableId};
+use txsql_core::{Database, Operation, TxnProgram};
+use txsql_storage::TableSchema;
+
+/// Warehouse table: `(w_id, ytd)`.
+pub const WAREHOUSE: TableId = TableId(30);
+/// District table: `(d_key, next_o_id, ytd)`.
+pub const DISTRICT: TableId = TableId(31);
+/// Customer table: `(c_key, balance, payment_cnt)`.
+pub const CUSTOMER: TableId = TableId(32);
+/// Stock table: `(s_key, quantity, order_cnt)`.
+pub const STOCK: TableId = TableId(33);
+/// Orders table (append-only).
+pub const ORDERS: TableId = TableId(34);
+/// History table (append-only).
+pub const HISTORY: TableId = TableId(35);
+
+/// Districts per warehouse (TPC-C standard).
+pub const DISTRICTS_PER_WAREHOUSE: i64 = 10;
+/// Customers loaded per district (scaled down from 3000).
+pub const CUSTOMERS_PER_DISTRICT: i64 = 100;
+/// Stock items per warehouse (scaled down from 100k).
+pub const ITEMS_PER_WAREHOUSE: i64 = 1_000;
+
+/// The TPC-C workload.
+pub struct TpccWorkload {
+    warehouses: i64,
+    next_order_id: AtomicI64,
+    next_history_id: AtomicI64,
+    name: String,
+}
+
+impl TpccWorkload {
+    /// Creates a TPC-C workload over `warehouses` warehouses.
+    pub fn new(warehouses: i64) -> Self {
+        assert!(warehouses > 0);
+        Self {
+            warehouses,
+            next_order_id: AtomicI64::new(1),
+            next_history_id: AtomicI64::new(1),
+            name: format!("tpcc-{warehouses}w"),
+        }
+    }
+
+    /// Number of warehouses.
+    pub fn warehouses(&self) -> i64 {
+        self.warehouses
+    }
+
+    fn district_key(warehouse: i64, district: i64) -> i64 {
+        warehouse * DISTRICTS_PER_WAREHOUSE + district
+    }
+
+    fn customer_key(warehouse: i64, district: i64, customer: i64) -> i64 {
+        Self::district_key(warehouse, district) * CUSTOMERS_PER_DISTRICT + customer
+    }
+
+    fn stock_key(warehouse: i64, item: i64) -> i64 {
+        warehouse * ITEMS_PER_WAREHOUSE + item
+    }
+
+    /// Generates one NewOrder transaction.
+    pub fn new_order(&self, rng: &mut XorShiftRng) -> TxnProgram {
+        let w = rng.next_bounded(self.warehouses as u64) as i64;
+        let d = rng.next_bounded(DISTRICTS_PER_WAREHOUSE as u64) as i64;
+        let c = rng.next_bounded(CUSTOMERS_PER_DISTRICT as u64) as i64;
+        let n_items = 5 + rng.next_bounded(11) as usize;
+        let mut ops = vec![
+            Operation::Read { table: CUSTOMER, pk: Self::customer_key(w, d, c) },
+            Operation::UpdateAdd { table: DISTRICT, pk: Self::district_key(w, d), column: 1, delta: 1 },
+        ];
+        for _ in 0..n_items {
+            let item = rng.next_bounded(ITEMS_PER_WAREHOUSE as u64) as i64;
+            ops.push(Operation::UpdateAdd {
+                table: STOCK,
+                pk: Self::stock_key(w, item),
+                column: 1,
+                delta: -1,
+            });
+        }
+        let order_pk = self.next_order_id.fetch_add(1, Ordering::Relaxed);
+        ops.push(Operation::Insert { table: ORDERS, pk: order_pk, fill: n_items as i64 });
+        TxnProgram::new(ops)
+    }
+
+    /// Generates one Payment transaction.
+    pub fn payment(&self, rng: &mut XorShiftRng) -> TxnProgram {
+        let w = rng.next_bounded(self.warehouses as u64) as i64;
+        let d = rng.next_bounded(DISTRICTS_PER_WAREHOUSE as u64) as i64;
+        let c = rng.next_bounded(CUSTOMERS_PER_DISTRICT as u64) as i64;
+        let amount = 1 + rng.next_bounded(5_000) as i64;
+        let history_pk = self.next_history_id.fetch_add(1, Ordering::Relaxed);
+        TxnProgram::new(vec![
+            Operation::UpdateAdd { table: WAREHOUSE, pk: w, column: 1, delta: amount },
+            Operation::UpdateAdd { table: DISTRICT, pk: Self::district_key(w, d), column: 2, delta: amount },
+            Operation::UpdateAdd {
+                table: CUSTOMER,
+                pk: Self::customer_key(w, d, c),
+                column: 1,
+                delta: -amount,
+            },
+            Operation::Insert { table: HISTORY, pk: history_pk, fill: amount },
+        ])
+    }
+
+    /// Total committed sales recorded against warehouses (used by the §6.4.5
+    /// consistency check: warehouse YTD must equal the sum of district YTDs).
+    pub fn consistency_check(&self, db: &Database) -> bool {
+        for w in 0..self.warehouses {
+            let w_record = match db.record_id(WAREHOUSE, w) {
+                Ok(r) => r,
+                Err(_) => return false,
+            };
+            let w_ytd = db
+                .storage()
+                .read_committed(WAREHOUSE, w_record)
+                .ok()
+                .flatten()
+                .and_then(|r| r.get_int(1))
+                .unwrap_or(0);
+            let mut district_sum = 0;
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                let key = Self::district_key(w, d);
+                if let Ok(record) = db.record_id(DISTRICT, key) {
+                    district_sum += db
+                        .storage()
+                        .read_committed(DISTRICT, record)
+                        .ok()
+                        .flatten()
+                        .and_then(|r| r.get_int(2))
+                        .unwrap_or(0);
+                }
+            }
+            if w_ytd != district_sum {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Workload for TpccWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn setup(&self, db: &Database) {
+        if db.create_table(TableSchema::new(WAREHOUSE, "warehouse", 2)).is_err() {
+            return; // already set up
+        }
+        db.create_table(TableSchema::new(DISTRICT, "district", 3)).unwrap();
+        db.create_table(TableSchema::new(CUSTOMER, "customer", 3)).unwrap();
+        db.create_table(TableSchema::new(STOCK, "stock", 3)).unwrap();
+        db.create_table(TableSchema::new(ORDERS, "orders", 2)).unwrap();
+        db.create_table(TableSchema::new(HISTORY, "history", 2)).unwrap();
+        for w in 0..self.warehouses {
+            db.load_row(WAREHOUSE, Row::from_ints(&[w, 0])).unwrap();
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                db.load_row(DISTRICT, Row::from_ints(&[Self::district_key(w, d), 1, 0])).unwrap();
+                for c in 0..CUSTOMERS_PER_DISTRICT {
+                    db.load_row(
+                        CUSTOMER,
+                        Row::from_ints(&[Self::customer_key(w, d, c), 100_000, 0]),
+                    )
+                    .unwrap();
+                }
+            }
+            for item in 0..ITEMS_PER_WAREHOUSE {
+                db.load_row(STOCK, Row::from_ints(&[Self::stock_key(w, item), 10_000, 0]))
+                    .unwrap();
+            }
+        }
+    }
+
+    fn next_program(&self, rng: &mut XorShiftRng) -> TxnProgram {
+        // Standard TPC-C mix: ~45% NewOrder, ~43% Payment (we fold the minor
+        // profiles into these two, keeping the contention structure).
+        if rng.next_bool(0.5) {
+            self.new_order(rng)
+        } else {
+            self.payment(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsql_core::Protocol;
+
+    #[test]
+    fn setup_loads_expected_row_counts() {
+        let w = TpccWorkload::new(2);
+        let db = Database::with_protocol(Protocol::LightweightO1);
+        w.setup(&db);
+        assert_eq!(db.storage().table(WAREHOUSE).unwrap().row_count(), 2);
+        assert_eq!(db.storage().table(DISTRICT).unwrap().row_count(), 20);
+        assert_eq!(
+            db.storage().table(CUSTOMER).unwrap().row_count(),
+            (2 * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT) as usize
+        );
+        db.shutdown();
+    }
+
+    #[test]
+    fn new_order_touches_district_and_stock() {
+        let w = TpccWorkload::new(1);
+        let mut rng = XorShiftRng::new(1);
+        let p = w.new_order(&mut rng);
+        assert!(p.write_keys().iter().any(|(t, _)| *t == DISTRICT));
+        assert!(p.write_keys().iter().any(|(t, _)| *t == STOCK));
+        assert!(p.len() >= 7);
+    }
+
+    #[test]
+    fn consistency_holds_after_committed_payments() {
+        let w = TpccWorkload::new(1);
+        let db = Database::with_protocol(Protocol::GroupLockingTxsql);
+        w.setup(&db);
+        let mut rng = XorShiftRng::new(2);
+        let mut committed = 0;
+        while committed < 30 {
+            let program = w.payment(&mut rng);
+            if let Ok(outcome) = db.execute_program(&program) {
+                if outcome.committed {
+                    committed += 1;
+                }
+            }
+        }
+        assert!(w.consistency_check(&db), "warehouse YTD != sum of district YTD");
+        db.shutdown();
+    }
+
+    #[test]
+    fn single_warehouse_concentrates_contention() {
+        let w = TpccWorkload::new(1);
+        let mut rng = XorShiftRng::new(3);
+        let keys: std::collections::HashSet<i64> =
+            (0..50).map(|_| w.payment(&mut rng).write_keys()[0].1).collect();
+        // All payments hit warehouse 0's YTD row.
+        let warehouse_keys: std::collections::HashSet<i64> = (0..50)
+            .map(|_| {
+                w.payment(&mut rng)
+                    .write_keys()
+                    .iter()
+                    .find(|(t, _)| *t == WAREHOUSE)
+                    .unwrap()
+                    .1
+            })
+            .collect();
+        assert_eq!(warehouse_keys.len(), 1);
+        let _ = keys;
+    }
+}

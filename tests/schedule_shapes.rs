@@ -1,0 +1,138 @@
+//! Tests that the lock *schedules* have the shapes of Figures 3 and 5:
+//! group locking takes one lock per group instead of one per transaction,
+//! queue locking still locks per transaction, and the hot/non-hot deadlock
+//! example of §4.5 resolves by prevention rather than by timeout.
+
+use std::sync::Arc;
+use std::time::Duration;
+use txsql::prelude::*;
+
+const T: TableId = TableId(1);
+
+fn setup(protocol: Protocol) -> Database {
+    let db = Database::new(
+        EngineConfig::for_protocol(protocol)
+            .with_hotspot_threshold(2)
+            .with_lock_wait_timeout(Duration::from_millis(400)),
+    );
+    db.create_table(TableSchema::new(T, "t", 2)).unwrap();
+    for pk in 0..4 {
+        db.load_row(T, Row::from_ints(&[pk, 0])).unwrap();
+    }
+    db
+}
+
+fn hammer_hot_row(db: &Database, threads: usize, per_thread: usize) {
+    let db = Arc::new(db.clone());
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let db = Arc::clone(&db);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let program = TxnProgram::new(vec![Operation::UpdateAdd {
+                    table: T,
+                    pk: 0,
+                    column: 1,
+                    delta: 1,
+                }]);
+                let mut committed = 0;
+                while committed < per_thread {
+                    if let Ok(o) = db.execute_program(&program) {
+                        if o.committed {
+                            committed += 1;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Figure 3c: within a group only the leader locks, so the number of hotspot
+/// groups formed is (much) smaller than the number of hotspot member updates.
+#[test]
+fn group_locking_locks_once_per_group() {
+    let db = setup(Protocol::GroupLockingTxsql);
+    hammer_hot_row(&db, 8, 25);
+    let groups = db.metrics().groups_formed.get();
+    let members = db.metrics().hotspot_group_entries.get();
+    assert!(members > 0, "hotspot machinery never engaged");
+    assert!(
+        groups < members,
+        "expected several members per group (groups={groups}, members={members})"
+    );
+    db.shutdown();
+}
+
+/// MySQL-style 2PL creates a lock object for every acquisition; group locking
+/// creates far fewer per committed transaction (Figure 6d's shape).
+#[test]
+fn txsql_creates_fewer_lock_objects_than_mysql() {
+    let mysql = setup(Protocol::Mysql2pl);
+    hammer_hot_row(&mysql, 6, 20);
+    let mysql_locks_per_txn =
+        mysql.metrics().locks_created.get() as f64 / mysql.metrics().committed.get() as f64;
+    mysql.shutdown();
+
+    let txsql = setup(Protocol::GroupLockingTxsql);
+    hammer_hot_row(&txsql, 6, 20);
+    let txsql_locks_per_txn =
+        txsql.metrics().locks_created.get() as f64 / txsql.metrics().committed.get() as f64;
+    txsql.shutdown();
+
+    assert!(
+        txsql_locks_per_txn < mysql_locks_per_txn,
+        "TXSQL should need fewer lock objects per transaction \
+         ({txsql_locks_per_txn:.3} vs {mysql_locks_per_txn:.3})"
+    );
+}
+
+/// §4.5 worked example, exactly as in the paper's table: T1 updates the hot
+/// row t1, T2 updates it next, T2 takes the non-hot row t2, and T1 then tries
+/// t2.  Instead of waiting into a deadlock (T2's commit depends on T1, T1
+/// waits for T2's lock), T1 is rolled back *proactively* the moment the
+/// shared hot row is detected, and T2 — which consumed T1's uncommitted hot
+/// update — cascades.  Both end up rolled back and every value reverts.
+#[test]
+fn hot_and_cold_deadlock_example_resolves_by_prevention() {
+    let db = setup(Protocol::GroupLockingTxsql);
+    let hot = db.record_id(T, 0).unwrap();
+    db.hotspots().promote(hot);
+
+    let mut t1 = db.begin();
+    let mut t2 = db.begin();
+    db.update_add(&mut t1, T, 0, 1, 1).unwrap(); // hot row -> 1 (leader)
+    db.update_add(&mut t2, T, 0, 1, 1).unwrap(); // hot row -> 2 (follower)
+    db.update_add(&mut t2, T, 2, 1, 1).unwrap(); // non-hot row locked by T2
+    let started = std::time::Instant::now();
+    let err = db.update_add(&mut t1, T, 2, 1, 1).unwrap_err();
+    assert!(matches!(err, Error::HotspotDeadlockPrevented { .. }), "got {err:?}");
+    // Prevention is immediate — far quicker than the 400 ms lock-wait timeout.
+    assert!(started.elapsed() < Duration::from_millis(200));
+    db.rollback(t1, Some(&err));
+    // T2 read T1's uncommitted hot update, so its commit must cascade.
+    let cascade = db.commit(t2).unwrap_err();
+    assert!(cascade.is_cascading(), "expected cascade, got {cascade:?}");
+
+    for pk in [0, 2] {
+        let record = db.record_id(T, pk).unwrap();
+        let value = db.storage().read_committed(T, record).unwrap().unwrap().get_int(1).unwrap();
+        assert_eq!(value, 0, "row {pk} must revert after both rollbacks");
+    }
+    assert_eq!(db.metrics().abort_causes.get("hotspot_deadlock_prevented"), 1);
+    assert!(db.metrics().cascading_aborts.get() >= 1);
+    db.shutdown();
+}
+
+/// Queue locking (O2) keeps one lock acquisition per transaction: the number
+/// of hotspot entries tracks committed transactions rather than groups.
+#[test]
+fn queue_locking_still_locks_per_transaction() {
+    let db = setup(Protocol::QueueLockingO2);
+    hammer_hot_row(&db, 6, 20);
+    assert!(db.metrics().hotspot_group_entries.get() > 0, "queue locking never engaged");
+    assert_eq!(db.metrics().groups_formed.get(), 0, "O2 must not form groups");
+    db.shutdown();
+}
