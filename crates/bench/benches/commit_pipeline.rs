@@ -21,34 +21,42 @@ fn binlog(txn: u64) -> BinlogTxn {
 
 fn bench_commit_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("commit_pipeline_8_committers");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (label, group_commit) in [("per_txn_sync", false), ("group_commit", true)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &group_commit, |b, &gc| {
-            b.iter_custom(|iters| {
-                let metrics = Arc::new(EngineMetrics::new());
-                let pipeline = Arc::new(CommitPipeline::new(gc, metrics));
-                let redo = Arc::new(RedoLog::new(Duration::from_micros(20)));
-                let hooks: Vec<Arc<dyn CommitHook>> = Vec::new();
-                let per_thread = (iters as usize).max(8) / 8;
-                let start = Instant::now();
-                std::thread::scope(|scope| {
-                    for worker in 0..8u64 {
-                        let pipeline = Arc::clone(&pipeline);
-                        let redo = Arc::clone(&redo);
-                        let hooks = hooks.clone();
-                        scope.spawn(move || {
-                            for i in 0..per_thread {
-                                let txn = worker * 1_000_000 + i as u64;
-                                let lsn =
-                                    redo.append(RedoRecord::Commit { txn: TxnId(txn), trx_no: txn });
-                                pipeline.commit(&redo, lsn, binlog(txn), &hooks);
-                            }
-                        });
-                    }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &group_commit,
+            |b, &gc| {
+                b.iter_custom(|iters| {
+                    let metrics = Arc::new(EngineMetrics::new());
+                    let pipeline = Arc::new(CommitPipeline::new(gc, metrics));
+                    let redo = Arc::new(RedoLog::new(Duration::from_micros(20)));
+                    let hooks: Vec<Arc<dyn CommitHook>> = Vec::new();
+                    let per_thread = (iters as usize).max(8) / 8;
+                    let start = Instant::now();
+                    std::thread::scope(|scope| {
+                        for worker in 0..8u64 {
+                            let pipeline = Arc::clone(&pipeline);
+                            let redo = Arc::clone(&redo);
+                            let hooks = hooks.clone();
+                            scope.spawn(move || {
+                                for i in 0..per_thread {
+                                    let txn = worker * 1_000_000 + i as u64;
+                                    let lsn = redo.append(RedoRecord::Commit {
+                                        txn: TxnId(txn),
+                                        trx_no: txn,
+                                    });
+                                    pipeline.commit(&redo, lsn, binlog(txn), &hooks);
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
                 });
-                start.elapsed()
-            });
-        });
+            },
+        );
     }
     group.finish();
 }

@@ -13,7 +13,9 @@ use txsql_lockmgr::modes::LockMode;
 
 fn bench_uncontended(c: &mut Criterion) {
     let mut group = c.benchmark_group("uncontended_lock_release");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
 
     group.bench_function("lock_sys_per_acquisition_objects", |b| {
         let metrics = Arc::new(EngineMetrics::new());
@@ -45,7 +47,9 @@ fn bench_uncontended(c: &mut Criterion) {
 
 fn bench_conflict_handling(c: &mut Criterion) {
     let mut group = c.benchmark_group("conflicting_request_rejection");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     let record = RecordId::new(1, 0, 0);
 
     group.bench_function("lock_sys_deadlock_detection_path", |b| {
@@ -60,7 +64,8 @@ fn bench_conflict_handling(c: &mut Criterion) {
                     },
                     metrics,
                 );
-                sys.lock_record(TxnId(1), record, LockMode::Exclusive).unwrap();
+                sys.lock_record(TxnId(1), record, LockMode::Exclusive)
+                    .unwrap();
                 sys
             },
             |sys| {
@@ -83,7 +88,9 @@ fn bench_conflict_handling(c: &mut Criterion) {
                     },
                     metrics,
                 );
-                table.lock_record(TxnId(1), record, LockMode::Exclusive).unwrap();
+                table
+                    .lock_record(TxnId(1), record, LockMode::Exclusive)
+                    .unwrap();
                 table
             },
             |table| {
@@ -95,5 +102,40 @@ fn bench_conflict_handling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_uncontended, bench_conflict_handling);
+/// Cost of release-all as a transaction's lock count grows: the walk is
+/// bounded by the transaction's own registry shard, so it must scale with
+/// *its* lock count, not with global lock-table size.
+fn bench_release_all_bookkeeping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("release_all_bookkeeping");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
+
+    for n_locks in [8u64, 64, 256] {
+        group.bench_function(format!("lightweight_{n_locks}_locks"), |b| {
+            let metrics = Arc::new(EngineMetrics::new());
+            let table = LightweightLockTable::new(LightweightConfig::default(), metrics);
+            b.iter_batched(
+                || {
+                    let txn = TxnId(1);
+                    for i in 0..n_locks {
+                        let record = RecordId::new(1, (i / 128) as u32, (i % 128) as u16);
+                        table.lock_record(txn, record, LockMode::Exclusive).unwrap();
+                    }
+                    txn
+                },
+                |txn| table.release_all(txn),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended,
+    bench_conflict_handling,
+    bench_release_all_bookkeeping
+);
 criterion_main!(benches);

@@ -11,10 +11,9 @@ use txsql_storage::TableSchema;
 const TABLE: TableId = TableId(77);
 
 fn setup(protocol: Protocol) -> Database {
-    let db = Database::new(
-        EngineConfig::for_protocol(protocol).with_hotspot_threshold(2),
-    );
-    db.create_table(TableSchema::new(TABLE, "bench", 2)).unwrap();
+    let db = Database::new(EngineConfig::for_protocol(protocol).with_hotspot_threshold(2));
+    db.create_table(TableSchema::new(TABLE, "bench", 2))
+        .unwrap();
     for pk in 0..1_024 {
         db.load_row(TABLE, Row::from_ints(&[pk, 0])).unwrap();
     }
@@ -22,12 +21,19 @@ fn setup(protocol: Protocol) -> Database {
 }
 
 fn hot_update_program() -> TxnProgram {
-    TxnProgram::new(vec![Operation::UpdateAdd { table: TABLE, pk: 0, column: 1, delta: 1 }])
+    TxnProgram::new(vec![Operation::UpdateAdd {
+        table: TABLE,
+        pk: 0,
+        column: 1,
+        delta: 1,
+    }])
 }
 
 fn bench_single_client(c: &mut Criterion) {
     let mut group = c.benchmark_group("hot_update_single_client");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for protocol in [
         Protocol::Mysql2pl,
         Protocol::LightweightO1,
@@ -37,9 +43,13 @@ fn bench_single_client(c: &mut Criterion) {
     ] {
         let db = setup(protocol);
         let program = hot_update_program();
-        group.bench_with_input(BenchmarkId::from_parameter(protocol.label()), &db, |b, db| {
-            b.iter(|| db.execute_program(&program).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &db,
+            |b, db| {
+                b.iter(|| db.execute_program(&program).unwrap());
+            },
+        );
         db.shutdown();
     }
     group.finish();
@@ -47,7 +57,9 @@ fn bench_single_client(c: &mut Criterion) {
 
 fn bench_contended(c: &mut Criterion) {
     let mut group = c.benchmark_group("hot_update_4_clients");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for protocol in [Protocol::Mysql2pl, Protocol::GroupLockingTxsql] {
         group.bench_with_input(
             BenchmarkId::from_parameter(protocol.label()),

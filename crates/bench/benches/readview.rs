@@ -8,7 +8,9 @@ use txsql_txn::{ReadViewMode, TrxSys};
 
 fn bench_readview_creation(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_view_creation");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for active in [16usize, 256, 4096] {
         let sys = TrxSys::new(ReadViewMode::CopyFree);
         let txns: Vec<_> = (0..active).map(|_| sys.begin()).collect();

@@ -1,0 +1,199 @@
+//! Focused lock-manager micro-benchmark backing `BENCH_lockmgr.json`.
+//!
+//! Measures, for both the vanilla [`LockSys`] and the lightweight
+//! record-keyed table:
+//!
+//! * **uncontended acquire/release** — one thread, a rotating set of cold
+//!   records, `lock_record` + `release_all` per iteration.  This is the path
+//!   the decentralized-bookkeeping refactor targets: no global mutex, no
+//!   `OsEvent` allocation.
+//! * **hot-record throughput** — 4 threads hammering a single record with a
+//!   short timeout, counting successful acquire+release cycles.
+//!
+//! Output is a flat JSON object on stdout so runs can be recorded verbatim.
+//! `TXSQL_BENCH_SECONDS` scales the per-cell measurement window.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txsql_common::metrics::EngineMetrics;
+use txsql_common::{RecordId, TxnId};
+use txsql_lockmgr::lightweight::{LightweightConfig, LightweightLockTable};
+use txsql_lockmgr::lock_sys::{DeadlockPolicy, LockSys, LockSysConfig};
+use txsql_lockmgr::modes::LockMode;
+
+/// One lock-table implementation under test.
+trait LockTable: Send + Sync {
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool;
+    fn release_all(&self, txn: TxnId);
+    fn locks_created(&self) -> u64;
+}
+
+struct VanillaTable {
+    sys: LockSys,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl LockTable for VanillaTable {
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool {
+        self.sys.lock_record(txn, record, mode).is_ok()
+    }
+    fn release_all(&self, txn: TxnId) {
+        self.sys.release_all(txn);
+    }
+    fn locks_created(&self) -> u64 {
+        self.metrics.locks_created.get()
+    }
+}
+
+struct LightTable {
+    table: LightweightLockTable,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl LockTable for LightTable {
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool {
+        self.table.lock_record(txn, record, mode).is_ok()
+    }
+    fn release_all(&self, txn: TxnId) {
+        self.table.release_all(txn);
+    }
+    fn locks_created(&self) -> u64 {
+        self.metrics.locks_created.get()
+    }
+}
+
+fn vanilla(timeout: Duration) -> VanillaTable {
+    let metrics = Arc::new(EngineMetrics::new());
+    VanillaTable {
+        sys: LockSys::new(
+            LockSysConfig {
+                deadlock_policy: DeadlockPolicy::TimeoutOnly,
+                lock_wait_timeout: timeout,
+                ..LockSysConfig::default()
+            },
+            Arc::clone(&metrics),
+        ),
+        metrics,
+    }
+}
+
+fn light(timeout: Duration) -> LightTable {
+    let metrics = Arc::new(EngineMetrics::new());
+    LightTable {
+        table: LightweightLockTable::new(
+            LightweightConfig {
+                deadlock_policy: DeadlockPolicy::TimeoutOnly,
+                lock_wait_timeout: timeout,
+                ..LightweightConfig::default()
+            },
+            Arc::clone(&metrics),
+        ),
+        metrics,
+    }
+}
+
+/// Single-threaded cold-record acquire/release loop; returns
+/// (ops/sec, locks_created per op).
+fn bench_uncontended(table: &dyn LockTable, window: Duration) -> (f64, f64) {
+    // Warm up shard maps so steady-state cost is measured.
+    for i in 0..4_096u64 {
+        let txn = TxnId(i + 1);
+        table.lock(txn, record_for(i), LockMode::Exclusive);
+        table.release_all(txn);
+    }
+    let created_before = table.locks_created();
+    let start = Instant::now();
+    let mut ops = 0u64;
+    let mut next_txn = 1_000_000u64;
+    while start.elapsed() < window {
+        // Batch 256 iterations per clock check.
+        for _ in 0..256 {
+            next_txn += 1;
+            let txn = TxnId(next_txn);
+            table.lock(txn, record_for(next_txn), LockMode::Exclusive);
+            table.release_all(txn);
+            ops += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let created = (table.locks_created() - created_before) as f64;
+    (ops as f64 / elapsed, created / ops as f64)
+}
+
+fn record_for(i: u64) -> RecordId {
+    RecordId::new(1, (i % 64) as u32, (i % 1_024) as u16)
+}
+
+/// Multi-threaded single-record hammer; returns successful cycles/sec.
+fn bench_hot(make: &dyn Fn() -> Box<dyn LockTable>, threads: usize, window: Duration) -> f64 {
+    let table: Arc<Box<dyn LockTable>> = Arc::new(make());
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let hot = RecordId::new(7, 0, 0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            scope.spawn(move || {
+                let mut txn_no = (worker as u64 + 1) << 32;
+                let mut ok = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    txn_no += 1;
+                    let txn = TxnId(txn_no);
+                    if table.lock(txn, hot, LockMode::Exclusive) {
+                        ok += 1;
+                    }
+                    table.release_all(txn);
+                }
+                total.fetch_add(ok, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let window = std::env::var("TXSQL_BENCH_SECONDS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_millis(500));
+    let timeout = Duration::from_millis(5);
+
+    let v = vanilla(timeout);
+    let (lock_sys_uncontended, lock_sys_objects_per_op) = bench_uncontended(&v, window);
+    let l = light(timeout);
+    let (lightweight_uncontended, lightweight_objects_per_op) = bench_uncontended(&l, window);
+
+    let lock_sys_hot = bench_hot(
+        &|| Box::new(vanilla(timeout)) as Box<dyn LockTable>,
+        4,
+        window,
+    );
+    let lightweight_hot = bench_hot(
+        &|| Box::new(light(timeout)) as Box<dyn LockTable>,
+        4,
+        window,
+    );
+
+    println!("{{");
+    println!("  \"window_secs\": {},", window.as_secs_f64());
+    println!("  \"uncontended_acquire_release_ops_per_sec\": {{");
+    println!("    \"lock_sys\": {lock_sys_uncontended:.0},");
+    println!("    \"lightweight\": {lightweight_uncontended:.0}");
+    println!("  }},");
+    println!("  \"lock_objects_created_per_uncontended_op\": {{");
+    println!("    \"lock_sys\": {lock_sys_objects_per_op:.3},");
+    println!("    \"lightweight\": {lightweight_objects_per_op:.3}");
+    println!("  }},");
+    println!("  \"hot_record_4_threads_cycles_per_sec\": {{");
+    println!("    \"lock_sys\": {lock_sys_hot:.0},");
+    println!("    \"lightweight\": {lightweight_hot:.0}");
+    println!("  }}");
+    println!("}}");
+}

@@ -10,7 +10,8 @@ use txsql_workloads::{run_closed_loop, FitWorkload, Workload};
 fn main() {
     let mut rows = Vec::new();
     for protocol in [Protocol::Mysql2pl, Protocol::GroupLockingTxsql] {
-        for &threads in &[*short_thread_ladder().last().unwrap()] {
+        {
+            let &threads = short_thread_ladder().last().unwrap();
             let db = build_db(protocol, None);
             let workload = FitWorkload::standard();
             workload.setup(&db);
@@ -32,8 +33,10 @@ fn main() {
                 .unwrap()
                 .get_int(1)
                 .unwrap();
-            let recovered_table =
-                outcome.storage.table(txsql_workloads::fit::FIT_ACCOUNTS).unwrap();
+            let recovered_table = outcome
+                .storage
+                .table(txsql_workloads::fit::FIT_ACCOUNTS)
+                .unwrap();
             let recovered_record = recovered_table.lookup_pk(0).unwrap();
             let recovered_balance = outcome
                 .storage

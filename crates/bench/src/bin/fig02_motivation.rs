@@ -30,13 +30,22 @@ fn main() {
     }
     print_table(
         "Figure 2a: MySQL, SysBench hotspot update (TPS collapses with concurrency)",
-        &["threads".into(), "tps".into(), "p95_ms".into(), "deadlock_checks".into()],
+        &[
+            "threads".into(),
+            "tps".into(),
+            "p95_ms".into(),
+            "deadlock_checks".into(),
+        ],
         &rows,
     );
 
     // Part (b): transaction-length sweep under commit latency.
     let lengths = [1usize, 2, 4, 8, 16];
-    let protocols = [Protocol::Mysql2pl, Protocol::QueueLockingO2, Protocol::GroupLockingTxsql];
+    let protocols = [
+        Protocol::Mysql2pl,
+        Protocol::QueueLockingO2,
+        Protocol::GroupLockingTxsql,
+    ];
     let mut rows = Vec::new();
     for &length in &lengths {
         let mut row = vec![length.to_string()];
@@ -56,7 +65,12 @@ fn main() {
     }
     print_table(
         "Figure 2b: hotspot update TPS vs transaction length (MySQL / Queue / Group)",
-        &["txn_len".into(), "MySQL".into(), "Queue(O2)".into(), "Group(TXSQL)".into()],
+        &[
+            "txn_len".into(),
+            "MySQL".into(),
+            "Queue(O2)".into(),
+            "Group(TXSQL)".into(),
+        ],
         &rows,
     );
 }

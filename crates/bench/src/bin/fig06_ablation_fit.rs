@@ -44,11 +44,19 @@ fn main() {
         .chain(protocols.iter().map(|p| p.label().to_string()))
         .collect();
     print_table("Figure 6a: FiT throughput (TPS)", &headers, &tps_rows);
-    print_table("Figure 6b: FiT CPU utilisation proxy (%)", &headers, &util_rows);
+    print_table(
+        "Figure 6b: FiT CPU utilisation proxy (%)",
+        &headers,
+        &util_rows,
+    );
     print_table(
         "Figure 6c: FiT p95 latency ms (lock-wait share in parentheses)",
         &headers,
         &latency_rows,
     );
-    print_table("Figure 6d: FiT lock objects created per query", &headers, &locks_rows);
+    print_table(
+        "Figure 6d: FiT lock objects created per query",
+        &headers,
+        &locks_rows,
+    );
 }

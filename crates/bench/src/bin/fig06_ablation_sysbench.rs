@@ -11,9 +11,18 @@ use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
 
 fn main() {
     let variants: Vec<(&str, SysbenchVariant)> = vec![
-        ("Figure 6e: SysBench hotspot update (TPS)", SysbenchVariant::HotspotUpdate),
-        ("Figure 6f: SysBench hotspot scan (TPS)", SysbenchVariant::HotspotScan { hot_rows: 10 }),
-        ("Figure 6g: SysBench uniform update (TPS)", SysbenchVariant::UniformUpdate { length: 2 }),
+        (
+            "Figure 6e: SysBench hotspot update (TPS)",
+            SysbenchVariant::HotspotUpdate,
+        ),
+        (
+            "Figure 6f: SysBench hotspot scan (TPS)",
+            SysbenchVariant::HotspotScan { hot_rows: 10 },
+        ),
+        (
+            "Figure 6g: SysBench uniform update (TPS)",
+            SysbenchVariant::UniformUpdate { length: 2 },
+        ),
         (
             "Figure 6h: SysBench uniform read-only (TPS)",
             SysbenchVariant::UniformReadOnly { length: 10 },

@@ -11,9 +11,15 @@ use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
 fn run_mix(protocol: Protocol, writes: usize, reads: usize, threads: usize) -> f64 {
     let db = build_db(protocol, None);
     let variant = if writes == 0 {
-        SysbenchVariant::UniformReadOnly { length: reads.max(1) }
+        SysbenchVariant::UniformReadOnly {
+            length: reads.max(1),
+        }
     } else {
-        SysbenchVariant::HotspotReadWrite { writes, reads, skew: 0.9 }
+        SysbenchVariant::HotspotReadWrite {
+            writes,
+            reads,
+            skew: 0.9,
+        }
     };
     let workload = SysbenchWorkload::standard(variant);
     let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));

@@ -26,6 +26,14 @@ fn main() {
         tps_rows.push(tps);
         p95_rows.push(p95);
     }
-    print_table("Figure 8 (top): SysBench hotspot update TPS", &headers, &tps_rows);
-    print_table("Figure 8 (bottom): SysBench hotspot update p95 latency (ms)", &headers, &p95_rows);
+    print_table(
+        "Figure 8 (top): SysBench hotspot update TPS",
+        &headers,
+        &tps_rows,
+    );
+    print_table(
+        "Figure 8 (bottom): SysBench hotspot update p95 latency (ms)",
+        &headers,
+        &p95_rows,
+    );
 }

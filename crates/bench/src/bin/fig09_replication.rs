@@ -25,8 +25,14 @@ fn main() {
         .chain(protocols.iter().map(|p| p.label().to_string()))
         .collect();
     for (title, mode) in [
-        ("Figure 9a: FiT TPS, synchronous (semi-sync) replication", ReplicationMode::Synchronous),
-        ("Figure 9b: FiT TPS, asynchronous replication", ReplicationMode::Asynchronous),
+        (
+            "Figure 9a: FiT TPS, synchronous (semi-sync) replication",
+            ReplicationMode::Synchronous,
+        ),
+        (
+            "Figure 9b: FiT TPS, asynchronous replication",
+            ReplicationMode::Asynchronous,
+        ),
     ] {
         let mut rows = Vec::new();
         for threads in short_thread_ladder() {

@@ -4,9 +4,7 @@
 
 use txsql_bench::{build_db, closed_loop, fmt, print_table, thread_ladder};
 use txsql_core::{Database, Operation, Protocol};
-use txsql_workloads::{
-    run_closed_loop, SysbenchVariant, SysbenchWorkload, Workload,
-};
+use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload, Workload};
 
 /// A wrapper workload that appends a `ForcedRollback` to a fraction of the
 /// generated transactions (the paper injects 0.5–3% aborts).
@@ -23,10 +21,7 @@ impl<W: Workload> Workload for AbortInjecting<W> {
     fn setup(&self, db: &Database) {
         self.inner.setup(db);
     }
-    fn next_program(
-        &self,
-        rng: &mut txsql_common::rng::XorShiftRng,
-    ) -> txsql_core::TxnProgram {
+    fn next_program(&self, rng: &mut txsql_common::rng::XorShiftRng) -> txsql_core::TxnProgram {
         let mut program = self.inner.next_program(rng);
         if rng.next_bool(self.abort_probability) {
             program.operations.push(Operation::ForcedRollback);

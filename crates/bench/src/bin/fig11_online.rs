@@ -13,7 +13,10 @@ use txsql_workloads::{run_fixed_tps, FixedTpsOptions, HotspotsTrace};
 fn run(label: &str, config: EngineConfig, base_tps: u64) -> Vec<Vec<String>> {
     let db = Database::new(config);
     let trace = HotspotsTrace::paper_like(base_tps);
-    let options = FixedTpsOptions { threads: 16, ..Default::default() };
+    let options = FixedTpsOptions {
+        threads: 16,
+        ..Default::default()
+    };
     let samples = run_fixed_tps(&db, &trace, &options);
     db.shutdown();
     samples

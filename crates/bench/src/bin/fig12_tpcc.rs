@@ -10,7 +10,11 @@ use txsql_workloads::{run_closed_loop, TpccWorkload};
 fn main() {
     let protocols = Protocol::SYSTEMS;
     let threads = *thread_ladder().last().unwrap();
-    let warehouses = if full_scale() { vec![16i64, 8, 4, 2, 1] } else { vec![4i64, 2, 1] };
+    let warehouses = if full_scale() {
+        vec![16i64, 8, 4, 2, 1]
+    } else {
+        vec![4i64, 2, 1]
+    };
     let headers: Vec<String> = std::iter::once("warehouses".to_string())
         .chain(protocols.iter().map(|p| p.label().to_string()))
         .collect();

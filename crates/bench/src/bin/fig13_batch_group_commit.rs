@@ -5,9 +5,7 @@ use txsql_bench::{closed_loop, fmt, full_scale, print_table};
 use txsql_common::latency::LatencyModel;
 use txsql_core::{Database, EngineConfig, Protocol};
 use txsql_replication::{ReplicationHook, ReplicationMode};
-use txsql_workloads::{
-    run_closed_loop, FitWorkload, SysbenchVariant, SysbenchWorkload, Workload,
-};
+use txsql_workloads::{run_closed_loop, FitWorkload, SysbenchVariant, SysbenchWorkload, Workload};
 
 fn run(config: EngineConfig, workload: &dyn Workload, threads: usize) -> f64 {
     let db = Database::new(config);
@@ -90,7 +88,12 @@ fn main() {
     }
     print_table(
         &format!("Figure 13 (right): group commit under replication, FiT, threads={high_threads}"),
-        &["replication".into(), "group commit".into(), "tps".into(), "commit_batches".into()],
+        &[
+            "replication".into(),
+            "group commit".into(),
+            "tps".into(),
+            "commit_batches".into(),
+        ],
         &rows,
     );
 }

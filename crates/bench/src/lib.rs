@@ -27,7 +27,9 @@ use txsql_workloads::ClosedLoopOptions;
 
 /// True when the full (paper-scale) configuration was requested.
 pub fn full_scale() -> bool {
-    std::env::var("TXSQL_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("TXSQL_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The client-thread ladder used by the scalability-style figures.
@@ -100,7 +102,10 @@ pub fn print_table(title: &str, headers: &[String], rows: &[Vec<String>]) {
     };
     print_row(headers);
     print_row(
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<String>>(),
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<String>>(),
     );
     for row in rows {
         print_row(row);

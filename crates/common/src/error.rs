@@ -128,7 +128,10 @@ impl Error {
     /// Returns true when the abort is part of a cascade (used by Figure 10's
     /// cascade-abort-ratio measurement).
     pub fn is_cascading(&self) -> bool {
-        matches!(self, Error::CascadingAbort { .. } | Error::DirtyReadAborted { .. })
+        matches!(
+            self,
+            Error::CascadingAbort { .. } | Error::DirtyReadAborted { .. }
+        )
     }
 
     /// Short machine-readable label used by the metrics registry.
@@ -195,10 +198,15 @@ mod tests {
 
     #[test]
     fn retryable_classification() {
-        let timeout =
-            Error::LockWaitTimeout { txn: TxnId(1), record: RecordId::new(1, 1, 1) };
+        let timeout = Error::LockWaitTimeout {
+            txn: TxnId(1),
+            record: RecordId::new(1, 1, 1),
+        };
         let deadlock = Error::Deadlock { txn: TxnId(1) };
-        let dup = Error::DuplicateKey { table: TableId(1), key: 7 };
+        let dup = Error::DuplicateKey {
+            table: TableId(1),
+            key: 7,
+        };
         assert!(timeout.is_retryable());
         assert!(deadlock.is_retryable());
         assert!(!dup.is_retryable());
@@ -206,10 +214,18 @@ mod tests {
 
     #[test]
     fn cascading_classification() {
-        let cascade = Error::CascadingAbort { txn: TxnId(2), cause: TxnId(1) };
-        let dirty = Error::DirtyReadAborted { txn: TxnId(2), cause: TxnId(1) };
-        let timeout =
-            Error::LockWaitTimeout { txn: TxnId(1), record: RecordId::new(1, 1, 1) };
+        let cascade = Error::CascadingAbort {
+            txn: TxnId(2),
+            cause: TxnId(1),
+        };
+        let dirty = Error::DirtyReadAborted {
+            txn: TxnId(2),
+            cause: TxnId(1),
+        };
+        let timeout = Error::LockWaitTimeout {
+            txn: TxnId(1),
+            record: RecordId::new(1, 1, 1),
+        };
         assert!(cascade.is_cascading());
         assert!(dirty.is_cascading());
         assert!(!timeout.is_cascading());
@@ -219,8 +235,14 @@ mod tests {
     fn labels_are_distinct_for_abort_classes() {
         let errors = [
             Error::Deadlock { txn: TxnId(1) },
-            Error::LockWaitTimeout { txn: TxnId(1), record: RecordId::new(0, 0, 0) },
-            Error::CascadingAbort { txn: TxnId(1), cause: TxnId(2) },
+            Error::LockWaitTimeout {
+                txn: TxnId(1),
+                record: RecordId::new(0, 0, 0),
+            },
+            Error::CascadingAbort {
+                txn: TxnId(1),
+                cause: TxnId(2),
+            },
             Error::AriaValidationFailed { txn: TxnId(1) },
         ];
         let labels: std::collections::HashSet<_> = errors.iter().map(|e| e.label()).collect();

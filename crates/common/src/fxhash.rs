@@ -133,7 +133,10 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
         assert!(min > 0, "some shard received no keys");
-        assert!(max < 4096 / 8, "keys are heavily skewed to one shard: max={max}");
+        assert!(
+            max < 4096 / 8,
+            "keys are heavily skewed to one shard: max={max}"
+        );
     }
 
     #[test]

@@ -103,13 +103,20 @@ impl RecordId {
     /// Builds a record id from its three components.
     #[inline]
     pub const fn new(space_id: SpaceId, page_no: PageNo, heap_no: HeapNo) -> Self {
-        Self { space_id, page_no, heap_no }
+        Self {
+            space_id,
+            page_no,
+            heap_no,
+        }
     }
 
     /// The page this record lives on — the `lock_sys` hash key.
     #[inline]
     pub const fn page(&self) -> PageId {
-        PageId { space_id: self.space_id, page_no: self.page_no }
+        PageId {
+            space_id: self.space_id,
+            page_no: self.page_no,
+        }
     }
 
     /// Packs the record id into a single `u64` (used as an FxHash-friendly key
@@ -132,7 +139,11 @@ impl RecordId {
 
 impl fmt::Display for RecordId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rec({},{},{})", self.space_id, self.page_no, self.heap_no)
+        write!(
+            f,
+            "rec({},{},{})",
+            self.space_id, self.page_no, self.heap_no
+        )
     }
 }
 
@@ -159,7 +170,13 @@ mod tests {
     #[test]
     fn page_id_extraction() {
         let rid = RecordId::new(5, 10, 99);
-        assert_eq!(rid.page(), PageId { space_id: 5, page_no: 10 });
+        assert_eq!(
+            rid.page(),
+            PageId {
+                space_id: 5,
+                page_no: 10
+            }
+        );
     }
 
     #[test]
@@ -174,7 +191,14 @@ mod tests {
         assert_eq!(Lsn(4).to_string(), "lsn:4");
         assert_eq!(TableId(2).to_string(), "table#2");
         assert_eq!(RecordId::new(1, 2, 3).to_string(), "rec(1,2,3)");
-        assert_eq!(PageId { space_id: 1, page_no: 2 }.to_string(), "page(1,2)");
+        assert_eq!(
+            PageId {
+                space_id: 1,
+                page_no: 2
+            }
+            .to_string(),
+            "page(1,2)"
+        );
     }
 
     #[test]

@@ -67,9 +67,7 @@ impl LatencyModel {
 
     /// True when the commit path has any artificial latency at all.
     pub fn is_instant(&self) -> bool {
-        self.fsync.is_zero()
-            && self.network_one_way.is_zero()
-            && self.statement_overhead.is_zero()
+        self.fsync.is_zero() && self.network_one_way.is_zero() && self.statement_overhead.is_zero()
     }
 }
 

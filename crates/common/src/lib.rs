@@ -18,6 +18,8 @@
 //! * [`zipf`] — a Zipfian generator used by the skewed workloads (Figure 10).
 //! * [`metrics`] — lock-free counters and log-scaled latency histograms used
 //!   to produce the paper's TPS / p95-latency / lock-wait breakdowns.
+//! * [`pad`] — [`pad::CachePadded`], cache-line padding for sharded lock and
+//!   bookkeeping structures (kills false sharing between shard mutexes).
 //! * [`latency`] — the [`latency::LatencyModel`] that substitutes for the
 //!   paper's real fsync and replica network round-trips (see `DESIGN.md`,
 //!   substitution table).
@@ -33,10 +35,12 @@ pub mod fxhash;
 pub mod ids;
 pub mod latency;
 pub mod metrics;
+pub mod pad;
 pub mod rng;
 pub mod value;
 pub mod zipf;
 
 pub use error::{Error, Result};
 pub use ids::{HeapNo, Lsn, PageNo, RecordId, SpaceId, TableId, TxnId};
+pub use pad::CachePadded;
 pub use value::{Row, Value};

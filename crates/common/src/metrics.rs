@@ -48,6 +48,33 @@ impl Counter {
     }
 }
 
+/// A sampled gauge: mirrors the current size of a live structure (e.g.
+/// lock-registry entries), written by `set` from the structure's own
+/// (sharded) counts rather than maintained with hot-path arithmetic.
+/// Unlike [`Counter`] it is *not* reset between measurement windows — it
+/// reflects live state, not per-window traffic.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value with a freshly sampled one.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
 /// Number of histogram buckets: sub-microsecond to ~8.9 minutes in
 /// power-of-two steps, which is plenty for transaction latencies.
 const BUCKETS: usize = 40;
@@ -172,8 +199,10 @@ impl LatencyHistogram {
             self.buckets[i].fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         self.count.fetch_add(other.count(), Ordering::Relaxed);
-        self.sum_micros.fetch_add(other.sum_micros.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.max_micros.fetch_max(other.max_micros(), Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add(other.sum_micros.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_micros
+            .fetch_max(other.max_micros(), Ordering::Relaxed);
     }
 }
 
@@ -206,7 +235,12 @@ impl AbortCounters {
 
     /// Count for a specific label.
     pub fn get(&self, label: &str) -> u64 {
-        self.inner.lock().iter().find(|(l, _)| *l == label).map(|(_, c)| *c).unwrap_or(0)
+        self.inner
+            .lock()
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
     }
 
     /// Clears all counters.
@@ -232,6 +266,15 @@ pub struct EngineMetrics {
     pub lock_wait_latency: LatencyHistogram,
     /// Number of `lock_t` objects created (Figure 6d numerator).
     pub locks_created: Counter,
+    /// Record locks released (individually or via release-all), making
+    /// bookkeeping churn observable next to `locks_created`.
+    pub locks_released: Counter,
+    /// Live `(txn, record)` entries across the sharded lock registries —
+    /// the decentralized successor of the global `txn_locks` map.  Sampled
+    /// from the registries' per-shard counts at snapshot time (never updated
+    /// on the lock hot path).  A non-zero value with no active transactions
+    /// indicates leaked bookkeeping.
+    pub lock_registry_entries: Gauge,
     /// Number of lock requests that had to wait.
     pub lock_waits: Counter,
     /// Number of queries (statements) executed (Figure 6d denominator).
@@ -311,6 +354,9 @@ impl EngineMetrics {
         self.txn_latency.reset();
         self.lock_wait_latency.reset();
         self.locks_created.take();
+        self.locks_released.take();
+        // lock_registry_entries is deliberately not reset: it is a live gauge,
+        // and in-flight transactions still own their registry entries.
         self.lock_waits.take();
         self.queries.take();
         self.deadlock_checks.take();
@@ -338,6 +384,8 @@ impl EngineMetrics {
             p95_lock_wait_ms: self.lock_wait_latency.p95_millis(),
             mean_lock_wait_ms: self.lock_wait_latency.mean_micros() / 1_000.0,
             locks_created: self.locks_created.get(),
+            locks_released: self.locks_released.get(),
+            lock_registry_entries: self.lock_registry_entries.get(),
             locks_per_query: self.locks_per_query(),
             lock_waits: self.lock_waits.get(),
             deadlock_checks: self.deadlock_checks.get(),
@@ -382,6 +430,10 @@ pub struct MetricsSnapshot {
     pub mean_lock_wait_ms: f64,
     /// Total lock objects created.
     pub locks_created: u64,
+    /// Record locks released.
+    pub locks_released: u64,
+    /// Live lock-registry entries at snapshot time.
+    pub lock_registry_entries: u64,
     /// Lock objects created per query.
     pub locks_per_query: f64,
     /// Lock requests that had to wait.

@@ -97,7 +97,9 @@ impl Row {
     /// Convenience constructor for all-integer rows (the common case in the
     /// SysBench and FiT schemas).
     pub fn from_ints(ints: &[i64]) -> Self {
-        Self { columns: ints.iter().copied().map(Value::Int).collect() }
+        Self {
+            columns: ints.iter().copied().map(Value::Int).collect(),
+        }
     }
 
     /// Number of columns.

@@ -31,13 +31,27 @@ impl ZipfGenerator {
     /// to avoid the divergent zeta term, matching common benchmark practice).
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipf over an empty key space");
-        assert!(theta.is_finite() && theta >= 0.0, "invalid zipf theta {theta}");
-        let theta = if (theta - 1.0).abs() < 1e-9 { 0.9999 } else { theta };
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "invalid zipf theta {theta}"
+        );
+        let theta = if (theta - 1.0).abs() < 1e-9 {
+            0.9999
+        } else {
+            theta
+        };
         let zetan = Self::zeta(n, theta);
         let zeta2theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
-        Self { n, theta, alpha, zetan, eta, zeta2theta }
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+        }
     }
 
     /// Incremental zeta: `sum_{i=1..n} 1/i^theta`.

@@ -50,7 +50,9 @@ pub struct AriaCoordinator {
 
 impl std::fmt::Debug for AriaCoordinator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AriaCoordinator").field("batch_size", &self.batch_size).finish()
+        f.debug_struct("AriaCoordinator")
+            .field("batch_size", &self.batch_size)
+            .finish()
     }
 }
 
@@ -135,7 +137,12 @@ impl AriaCoordinator {
                         }
                         inner.metrics.queries.inc();
                     }
-                    Operation::UpdateAdd { table, pk, column, delta } => {
+                    Operation::UpdateAdd {
+                        table,
+                        pk,
+                        column,
+                        delta,
+                    } => {
                         inner.metrics.queries.inc();
                         let key = (*table, *pk);
                         let base = if let Some(pending) = writes.get(&key) {
@@ -171,9 +178,16 @@ impl AriaCoordinator {
                     }
                 }
             }
-            let writes: Vec<(TableId, i64, Row)> =
-                writes.into_iter().map(|((t, pk), row)| (t, pk, row)).collect();
-            executed.push(Executed { reads, read_keys, writes, forced_rollback });
+            let writes: Vec<(TableId, i64, Row)> = writes
+                .into_iter()
+                .map(|((t, pk), row)| (t, pk, row))
+                .collect();
+            executed.push(Executed {
+                reads,
+                read_keys,
+                writes,
+                forced_rollback,
+            });
         }
 
         // Validation: write reservations go to the smallest batch index.
@@ -191,14 +205,16 @@ impl AriaCoordinator {
             if exec.forced_rollback {
                 continue;
             }
-            let waw = exec
-                .writes
-                .iter()
-                .any(|(t, pk, _)| reservations.get(&(*t, *pk)).is_some_and(|owner| *owner < idx));
-            let raw = exec
-                .read_keys
-                .iter()
-                .any(|(t, pk)| reservations.get(&(*t, *pk)).is_some_and(|owner| *owner < idx));
+            let waw = exec.writes.iter().any(|(t, pk, _)| {
+                reservations
+                    .get(&(*t, *pk))
+                    .is_some_and(|owner| *owner < idx)
+            });
+            let raw = exec.read_keys.iter().any(|(t, pk)| {
+                reservations
+                    .get(&(*t, *pk))
+                    .is_some_and(|owner| *owner < idx)
+            });
             aborted[idx] = waw || raw;
         }
 
@@ -208,8 +224,10 @@ impl AriaCoordinator {
             if exec.forced_rollback {
                 inner.metrics.aborted.inc();
                 inner.metrics.abort_causes.record("explicit_rollback");
-                *job.result.lock() =
-                    Some(Ok(ProgramOutcome { reads: exec.reads.clone(), committed: false }));
+                *job.result.lock() = Some(Ok(ProgramOutcome {
+                    reads: exec.reads.clone(),
+                    committed: false,
+                }));
                 job.done.set();
                 continue;
             }
@@ -245,7 +263,9 @@ impl AriaCoordinator {
         for (table, pk, row) in writes {
             match db.record_id(*table, *pk) {
                 Ok(record) => {
-                    inner.storage.apply_update(txn.id, *table, record, row.clone())?;
+                    inner
+                        .storage
+                        .apply_update(txn.id, *table, record, row.clone())?;
                     write_set.push((*table, record));
                 }
                 Err(_) => {
@@ -258,14 +278,23 @@ impl AriaCoordinator {
         }
         let trx_no = inner.trx_sys.allocate_trx_no();
         let lsn = inner.storage.commit_writes(txn.id, trx_no, &write_set)?;
-        let binlog =
-            BinlogTxn { txn: txn.id, trx_no, changes, involves_hotspot: false };
-        inner.pipeline.commit(inner.storage.redo(), lsn, binlog, hooks);
+        let binlog = BinlogTxn {
+            txn: txn.id,
+            trx_no,
+            changes,
+            involves_hotspot: false,
+        };
+        inner
+            .pipeline
+            .commit(inner.storage.redo(), lsn, binlog, hooks);
         inner.trx_sys.finish(txn.id, Some(trx_no));
         inner.outcomes.lock().insert(txn.id, true);
         txn.state = txsql_txn::TxnState::Committed;
         inner.metrics.committed.inc();
         inner.metrics.txn_latency.record(job.submitted.elapsed());
-        Ok(ProgramOutcome { reads, committed: true })
+        Ok(ProgramOutcome {
+            reads,
+            committed: true,
+        })
     }
 }

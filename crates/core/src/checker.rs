@@ -70,7 +70,14 @@ impl HistoryRecorder {
         reads: Vec<(RecordId, TxnId)>,
         writes: Vec<RecordId>,
     ) {
-        self.committed.lock().insert(txn, CommittedTxn { trx_no, reads, writes });
+        self.committed.lock().insert(
+            txn,
+            CommittedTxn {
+                trx_no,
+                reads,
+                writes,
+            },
+        );
     }
 
     /// Number of committed transactions recorded.
@@ -85,7 +92,10 @@ impl HistoryRecorder {
         let mut writers_of: FxHashMap<RecordId, Vec<(u64, TxnId)>> = FxHashMap::default();
         for (txn, info) in committed.iter() {
             for record in &info.writes {
-                writers_of.entry(*record).or_default().push((info.trx_no, *txn));
+                writers_of
+                    .entry(*record)
+                    .or_default()
+                    .push((info.trx_no, *txn));
             }
         }
         for writers in writers_of.values_mut() {
@@ -112,10 +122,7 @@ impl HistoryRecorder {
                     add_edge(*version_writer, *reader);
                 }
                 if let Some(writers) = writers_of.get(record) {
-                    let read_from_no = committed
-                        .get(version_writer)
-                        .map(|w| w.trx_no)
-                        .unwrap_or(0);
+                    let read_from_no = committed.get(version_writer).map(|w| w.trx_no).unwrap_or(0);
                     for (no, writer) in writers {
                         if *no > read_from_no {
                             add_edge(*reader, *writer);
@@ -127,7 +134,11 @@ impl HistoryRecorder {
 
         let edge_count = edges.values().map(|s| s.len()).sum();
         let cycle = Self::find_cycle(&edges);
-        SerializabilityReport { transactions: committed.len(), edges: edge_count, cycle }
+        SerializabilityReport {
+            transactions: committed.len(),
+            edges: edge_count,
+            cycle,
+        }
     }
 
     /// Iterative DFS cycle detection with path reconstruction.
@@ -169,10 +180,8 @@ impl HistoryRecorder {
                                         .map(|(n, _)| *n)
                                         .filter(|n| color.get(n) == Some(&Color::Gray))
                                         .collect();
-                                    let mut cycle: Vec<TxnId> = gray
-                                        .into_iter()
-                                        .skip_while(|n| *n != succ)
-                                        .collect();
+                                    let mut cycle: Vec<TxnId> =
+                                        gray.into_iter().skip_while(|n| *n != succ).collect();
                                     cycle.push(succ);
                                     return Some(cycle);
                                 }
@@ -197,8 +206,16 @@ impl HistoryRecorder {
 mod tests {
     use super::*;
 
-    const R: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 0 };
-    const S: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 1 };
+    const R: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 0,
+    };
+    const S: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 1,
+    };
 
     #[test]
     fn serial_history_is_serializable() {

@@ -43,7 +43,9 @@ pub struct CommitPipeline {
 
 impl std::fmt::Debug for CommitPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CommitPipeline").field("group_commit", &self.group_commit).finish()
+        f.debug_struct("CommitPipeline")
+            .field("group_commit", &self.group_commit)
+            .finish()
     }
 }
 
@@ -51,7 +53,11 @@ impl CommitPipeline {
     /// Creates a pipeline.  `group_commit` selects between Figure 5b (off)
     /// and Figure 5c (on).
     pub fn new(group_commit: bool, metrics: Arc<EngineMetrics>) -> Self {
-        Self { group_commit, state: Mutex::new(PipelineState::default()), metrics }
+        Self {
+            group_commit,
+            state: Mutex::new(PipelineState::default()),
+            metrics,
+        }
     }
 
     /// Whether group commit is enabled.
@@ -84,7 +90,11 @@ impl CommitPipeline {
         let done = OsEvent::new();
         let is_leader = {
             let mut state = self.state.lock();
-            state.queue.push(Pending { lsn, binlog, done: Arc::clone(&done) });
+            state.queue.push(Pending {
+                lsn,
+                binlog,
+                done: Arc::clone(&done),
+            });
             if state.flush_in_progress {
                 false
             } else {
@@ -151,7 +161,10 @@ mod tests {
         let hook = Arc::new(CollectingHook::new());
         let hooks: Vec<Arc<dyn CommitHook>> = vec![hook.clone()];
         for t in 1..=5u64 {
-            let lsn = redo.append(RedoRecord::Commit { txn: TxnId(t), trx_no: t });
+            let lsn = redo.append(RedoRecord::Commit {
+                txn: TxnId(t),
+                trx_no: t,
+            });
             pipeline.commit(&redo, lsn, binlog(t), &hooks);
         }
         assert_eq!(redo.fsync_count(), 5);
@@ -174,7 +187,10 @@ mod tests {
             let redo = Arc::clone(&redo);
             let hooks = hooks.clone();
             handles.push(thread::spawn(move || {
-                let lsn = redo.append(RedoRecord::Commit { txn: TxnId(t), trx_no: t });
+                let lsn = redo.append(RedoRecord::Commit {
+                    txn: TxnId(t),
+                    trx_no: t,
+                });
                 pipeline.commit(&redo, lsn, binlog(t), &hooks);
             }));
         }
@@ -199,7 +215,10 @@ mod tests {
         let metrics = Arc::new(EngineMetrics::new());
         let pipeline = CommitPipeline::new(true, metrics);
         let redo = RedoLog::default();
-        let lsn = redo.append(RedoRecord::Commit { txn: TxnId(1), trx_no: 1 });
+        let lsn = redo.append(RedoRecord::Commit {
+            txn: TxnId(1),
+            trx_no: 1,
+        });
         pipeline.commit(&redo, lsn, binlog(1), &[]);
         assert_eq!(redo.durable_lsn(), lsn);
         assert!(pipeline.group_commit_enabled());

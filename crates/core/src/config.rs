@@ -38,8 +38,12 @@ impl Protocol {
     ];
 
     /// The four systems compared in Figures 8–12.
-    pub const SYSTEMS: [Protocol; 4] =
-        [Protocol::Mysql2pl, Protocol::Aria, Protocol::Bamboo, Protocol::GroupLockingTxsql];
+    pub const SYSTEMS: [Protocol; 4] = [
+        Protocol::Mysql2pl,
+        Protocol::Aria,
+        Protocol::Bamboo,
+        Protocol::GroupLockingTxsql,
+    ];
 
     /// The four ablation levels of Figure 6.
     pub const ABLATION: [Protocol; 4] = [

@@ -26,6 +26,7 @@ use txsql_lockmgr::hotspot::HotspotRegistry;
 use txsql_lockmgr::lightweight::{LightweightConfig, LightweightLockTable};
 use txsql_lockmgr::lock_sys::{LockSys, LockSysConfig};
 use txsql_lockmgr::queue_lock::QueueLockTable;
+use txsql_lockmgr::registry::TxnLockRegistry;
 use txsql_storage::storage::CheckpointImage;
 use txsql_storage::{RedoRecord, Storage, TableSchema, VisibilityJudge};
 use txsql_txn::{Transaction, TrxSys, TxnState};
@@ -71,28 +72,44 @@ impl Database {
     pub fn new(config: EngineConfig) -> Self {
         let metrics = Arc::new(EngineMetrics::new());
         let storage = Storage::new(config.latency.fsync);
-        let trx_sys = TrxSys::new(config.read_view_mode);
-        let lock_sys = LockSys::new(
+        // One sharded lock registry per lock table: both are threaded through
+        // TrxSys so transaction teardown can verify the bookkeeping drained.
+        // Shard counts follow the tables they serve (page-sharded baseline
+        // vs record-keyed lightweight table).
+        let lock_sys_registry = Arc::new(TxnLockRegistry::with_metrics(64, Arc::clone(&metrics)));
+        let lightweight_registry =
+            Arc::new(TxnLockRegistry::with_metrics(256, Arc::clone(&metrics)));
+        let trx_sys = TrxSys::new(config.read_view_mode).with_lock_registries(vec![
+            Arc::clone(&lock_sys_registry),
+            Arc::clone(&lightweight_registry),
+        ]);
+        let lock_sys = LockSys::with_registry(
             LockSysConfig {
                 deadlock_policy: config.deadlock_policy,
                 lock_wait_timeout: config.lock_wait_timeout,
                 ..LockSysConfig::default()
             },
             Arc::clone(&metrics),
+            lock_sys_registry,
         );
-        let lightweight = LightweightLockTable::new(
+        let lightweight = LightweightLockTable::with_registry(
             LightweightConfig {
                 deadlock_policy: config.deadlock_policy,
                 lock_wait_timeout: config.lock_wait_timeout,
                 ..LightweightConfig::default()
             },
             Arc::clone(&metrics),
+            lightweight_registry,
         );
         let hotspots = HotspotRegistry::new(config.hotspot.clone());
         let queue_locks = QueueLockTable::new(config.group.hot_wait_timeout);
         let group_locks = GroupLockTable::new(config.group.clone(), Arc::clone(&metrics));
         let pipeline = CommitPipeline::new(config.group_commit, Arc::clone(&metrics));
-        let history = if config.record_history { Some(HistoryRecorder::new()) } else { None };
+        let history = if config.record_history {
+            Some(HistoryRecorder::new())
+        } else {
+            None
+        };
         let aria = AriaCoordinator::new(config.aria_batch_size);
         let inner = Arc::new(DbInner {
             config,
@@ -196,6 +213,11 @@ impl Database {
 
     /// Serialisable metrics snapshot over `elapsed`.
     pub fn snapshot_metrics(&self, elapsed: Duration) -> MetricsSnapshot {
+        // The registry-entry gauge is sampled here rather than maintained on
+        // the lock hot path (per-shard counts stay with their shards).
+        let live = self.inner.lock_sys.registry().total_entries()
+            + self.inner.lightweight.registry().total_entries();
+        self.inner.metrics.lock_registry_entries.set(live as u64);
         self.inner.metrics.snapshot(elapsed)
     }
 
@@ -295,7 +317,9 @@ impl Database {
         if self.protocol() == Protocol::GroupLockingTxsql {
             for (record, role, _) in &hot_updates {
                 if *role == txsql_txn::HotRole::Leader {
-                    self.inner.group_locks.leader_prepare_commit(txn.id, *record);
+                    self.inner
+                        .group_locks
+                        .leader_prepare_commit(txn.id, *record);
                 }
             }
         }
@@ -337,7 +361,10 @@ impl Database {
         // O2: the queue ticket is released after the lock release at the end.
         let trx_no = self.inner.trx_sys.allocate_trx_no();
         let write_set: Vec<(TableId, RecordId)> = txn.write_set().to_vec();
-        let commit_lsn = self.inner.storage.commit_writes(txn.id, trx_no, &write_set)?;
+        let commit_lsn = self
+            .inner
+            .storage
+            .commit_writes(txn.id, trx_no, &write_set)?;
 
         // The dependency-list slot can be released as soon as our commit
         // record is ordered in the log; the durable flush below may then be
@@ -355,7 +382,9 @@ impl Database {
             involves_hotspot: !hot_updates.is_empty(),
         };
         let hooks: Vec<Arc<dyn CommitHook>> = self.inner.hooks.read().clone();
-        self.inner.pipeline.commit(self.inner.storage.redo(), commit_lsn, binlog, &hooks);
+        self.inner
+            .pipeline
+            .commit(self.inner.storage.redo(), commit_lsn, binlog, &hooks);
 
         // Release hotspot queue tickets (O2) now that the lock is gone.
         if self.protocol() == Protocol::QueueLockingO2 {
@@ -389,7 +418,10 @@ impl Database {
         self.inner.metrics.committed.inc();
         self.inner.metrics.txn_latency.record(elapsed);
         let blocked = txn.blocked_time();
-        self.inner.metrics.blocked_nanos.add(blocked.as_nanos() as u64);
+        self.inner
+            .metrics
+            .blocked_nanos
+            .add(blocked.as_nanos() as u64);
         self.inner
             .metrics
             .busy_nanos
@@ -409,7 +441,10 @@ impl Database {
                     if committed {
                         break;
                     }
-                    return Err(Error::DirtyReadAborted { txn: txn.id, cause: dep });
+                    return Err(Error::DirtyReadAborted {
+                        txn: txn.id,
+                        cause: dep,
+                    });
                 }
                 if !self.inner.trx_sys.is_active(dep) {
                     // Finished but not on the board (pruned): treat as committed.
@@ -507,9 +542,14 @@ impl Database {
                         reads.push(row.get_int(1).unwrap_or_default());
                     })
                 }
-                Operation::UpdateAdd { table, pk, column, delta } => {
-                    self.update_add(&mut txn, *table, *pk, *column, *delta).map(|_| ())
-                }
+                Operation::UpdateAdd {
+                    table,
+                    pk,
+                    column,
+                    delta,
+                } => self
+                    .update_add(&mut txn, *table, *pk, *column, *delta)
+                    .map(|_| ()),
                 Operation::Insert { table, pk, fill } => {
                     let n_cols = self
                         .inner
@@ -524,7 +564,10 @@ impl Database {
                 Operation::ForcedRollback => {
                     let err = Error::ExplicitRollback { txn: txn.id };
                     self.rollback_internal(txn, Some(&err));
-                    return Ok(ProgramOutcome { reads, committed: false });
+                    return Ok(ProgramOutcome {
+                        reads,
+                        committed: false,
+                    });
                 }
             };
             if let Err(err) = step {
@@ -533,7 +576,10 @@ impl Database {
             }
         }
         self.commit(txn)?;
-        Ok(ProgramOutcome { reads, committed: true })
+        Ok(ProgramOutcome {
+            reads,
+            committed: true,
+        })
     }
 }
 

@@ -75,7 +75,7 @@ mod tests {
             changes: vec![(TableId(1), 5, Row::from_ints(&[5, 50]))],
             involves_hotspot: true,
         };
-        hook.on_commit_batch(&[event.clone()]);
+        hook.on_commit_batch(std::slice::from_ref(&event));
         hook.on_commit_batch(&[event.clone(), event.clone()]);
         assert_eq!(hook.events().len(), 3);
         assert_eq!(hook.batch_count(), 2);

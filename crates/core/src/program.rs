@@ -148,10 +148,27 @@ mod tests {
 
     fn sample() -> TxnProgram {
         TxnProgram::new(vec![
-            Operation::Read { table: TableId(1), pk: 5 },
-            Operation::UpdateAdd { table: TableId(1), pk: 1, column: 1, delta: 1 },
-            Operation::UpdateAdd { table: TableId(1), pk: 1, column: 1, delta: 2 },
-            Operation::Insert { table: TableId(2), pk: 9, fill: 0 },
+            Operation::Read {
+                table: TableId(1),
+                pk: 5,
+            },
+            Operation::UpdateAdd {
+                table: TableId(1),
+                pk: 1,
+                column: 1,
+                delta: 1,
+            },
+            Operation::UpdateAdd {
+                table: TableId(1),
+                pk: 1,
+                column: 1,
+                delta: 2,
+            },
+            Operation::Insert {
+                table: TableId(2),
+                pk: 9,
+                fill: 0,
+            },
         ])
     }
 
@@ -167,16 +184,33 @@ mod tests {
 
     #[test]
     fn operation_classification() {
-        assert!(Operation::UpdateAdd { table: TableId(1), pk: 1, column: 1, delta: 1 }.is_write());
-        assert!(Operation::SelectForUpdate { table: TableId(1), pk: 1 }.is_write());
-        assert!(!Operation::Read { table: TableId(1), pk: 1 }.is_write());
+        assert!(Operation::UpdateAdd {
+            table: TableId(1),
+            pk: 1,
+            column: 1,
+            delta: 1
+        }
+        .is_write());
+        assert!(Operation::SelectForUpdate {
+            table: TableId(1),
+            pk: 1
+        }
+        .is_write());
+        assert!(!Operation::Read {
+            table: TableId(1),
+            pk: 1
+        }
+        .is_write());
         assert_eq!(Operation::ForcedRollback.key(), None);
         assert!(!Operation::ForcedRollback.is_write());
     }
 
     #[test]
     fn read_only_program_has_no_writes() {
-        let p = TxnProgram::new(vec![Operation::Read { table: TableId(1), pk: 1 }]);
+        let p = TxnProgram::new(vec![Operation::Read {
+            table: TableId(1),
+            pk: 1,
+        }]);
         assert!(!p.has_writes());
         assert!(p.write_keys().is_empty());
     }

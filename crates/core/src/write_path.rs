@@ -60,12 +60,7 @@ impl Database {
     /// returns its current (possibly uncommitted) value without modifying it.
     /// A later `UPDATE` of the same row by the same transaction skips the
     /// hotspot queueing step (§4.6.2).
-    pub fn select_for_update(
-        &self,
-        txn: &mut Transaction,
-        table: TableId,
-        pk: i64,
-    ) -> Result<Row> {
+    pub fn select_for_update(&self, txn: &mut Transaction, table: TableId, pk: i64) -> Result<Row> {
         if !txn.is_active() {
             return Err(Error::TransactionClosed { txn: txn.id });
         }
@@ -82,10 +77,13 @@ impl Database {
             return Err(Error::TransactionClosed { txn: txn.id });
         }
         self.inner.metrics.queries.inc();
-        let pk = row
-            .primary_key()
-            .ok_or_else(|| Error::Internal { reason: "insert without integer pk".into() })?;
-        let (record, _) = self.inner.storage.apply_insert(txn.id, table, row.clone())?;
+        let pk = row.primary_key().ok_or_else(|| Error::Internal {
+            reason: "insert without integer pk".into(),
+        })?;
+        let (record, _) = self
+            .inner
+            .storage
+            .apply_insert(txn.id, table, row.clone())?;
         txn.record_write(table, record);
         txn.record_change(table, pk, row);
         Ok(())
@@ -116,7 +114,9 @@ impl Database {
             }
         }
         mutate(&mut row);
-        self.inner.storage.apply_update(txn.id, table, record, row.clone())?;
+        self.inner
+            .storage
+            .apply_update(txn.id, table, record, row.clone())?;
         txn.record_write(table, record);
         txn.record_change(table, pk, row.clone());
 
@@ -155,7 +155,7 @@ impl Database {
         // A transaction that already has write admission on this record (e.g.
         // SELECT FOR UPDATE followed by UPDATE, or repeated updates) does not
         // queue again (§4.6.2).
-        if txn.write_set().contains(&(table, record)) || txn.locked_records().contains(&record) {
+        if txn.write_set().contains(&(table, record)) || txn.holds_lock(record) {
             return Ok(WriteAdmission::Locked);
         }
         if let Some(role) = txn.hot_role(record) {
@@ -183,8 +183,13 @@ impl Database {
         record: RecordId,
     ) -> Result<WriteAdmission> {
         let start = Instant::now();
-        self.inner.lock_sys.lock_table(txn.id, table, LockMode::IntentionExclusive)?;
-        let result = self.inner.lock_sys.lock_record(txn.id, record, LockMode::Exclusive);
+        self.inner
+            .lock_sys
+            .lock_table(txn.id, table, LockMode::IntentionExclusive)?;
+        let result = self
+            .inner
+            .lock_sys
+            .lock_record(txn.id, record, LockMode::Exclusive);
         txn.add_blocked(start.elapsed());
         result?;
         txn.record_lock(record);
@@ -198,7 +203,10 @@ impl Database {
         record: RecordId,
     ) -> Result<WriteAdmission> {
         let start = Instant::now();
-        let result = self.inner.lightweight.lock_record(txn.id, record, LockMode::Exclusive);
+        let result = self
+            .inner
+            .lightweight
+            .lock_record(txn.id, record, LockMode::Exclusive);
         txn.add_blocked(start.elapsed());
         result?;
         txn.record_lock(record);
@@ -222,13 +230,19 @@ impl Database {
                     self.inner.queue_locks.cancel_wait(txn.id, record);
                     txn.add_blocked(start.elapsed());
                     self.inner.metrics.lock_waits.inc();
-                    return Err(Error::LockWaitTimeout { txn: txn.id, record });
+                    return Err(Error::LockWaitTimeout {
+                        txn: txn.id,
+                        record,
+                    });
                 }
             }
         }
         // Ticket acquired: take the real row lock (the previous holder has
         // already released it, or will very soon).
-        let result = self.inner.lightweight.lock_record(txn.id, record, LockMode::Exclusive);
+        let result = self
+            .inner
+            .lightweight
+            .lock_record(txn.id, record, LockMode::Exclusive);
         txn.add_blocked(start.elapsed());
         match result {
             Ok(()) => {
@@ -260,7 +274,11 @@ impl Database {
                         continue;
                     }
                     for (hot_record, _, _) in txn.hot_updates() {
-                        if self.inner.group_locks.both_updated(hot_record, txn.id, holder) {
+                        if self
+                            .inner
+                            .group_locks
+                            .both_updated(hot_record, txn.id, holder)
+                        {
                             return Err(Error::HotspotDeadlockPrevented {
                                 txn: txn.id,
                                 hot_record,
@@ -280,7 +298,9 @@ impl Database {
             HotExecution::Leader => {
                 // The leader performs the one real lock acquisition per group.
                 let result =
-                    self.inner.lightweight.lock_record(txn.id, record, LockMode::Exclusive);
+                    self.inner
+                        .lightweight
+                        .lock_record(txn.id, record, LockMode::Exclusive);
                 txn.add_blocked(start.elapsed());
                 if let Err(err) = result {
                     self.inner.group_locks.leader_handover(txn.id, record);
@@ -312,10 +332,10 @@ impl Database {
                     }
                     WokenRole::NewLeader => {
                         let lock_start = Instant::now();
-                        let result = self
-                            .inner
-                            .lightweight
-                            .lock_record(txn.id, record, LockMode::Exclusive);
+                        let result =
+                            self.inner
+                                .lightweight
+                                .lock_record(txn.id, record, LockMode::Exclusive);
                         txn.add_blocked(lock_start.elapsed());
                         if let Err(err) = result {
                             self.inner.group_locks.leader_handover(txn.id, record);

@@ -16,8 +16,10 @@ const JOURNAL: TableId = TableId(2);
 /// `n_accounts` rows with balance 1000, and an empty `journal(id, amount)`.
 fn setup(config: EngineConfig, n_accounts: i64) -> Database {
     let db = Database::new(config);
-    db.create_table(TableSchema::new(ACCOUNTS, "accounts", 2)).unwrap();
-    db.create_table(TableSchema::new(JOURNAL, "journal", 2)).unwrap();
+    db.create_table(TableSchema::new(ACCOUNTS, "accounts", 2))
+        .unwrap();
+    db.create_table(TableSchema::new(JOURNAL, "journal", 2))
+        .unwrap();
     for pk in 0..n_accounts {
         db.load_row(ACCOUNTS, Row::from_ints(&[pk, 1_000])).unwrap();
     }
@@ -68,7 +70,12 @@ fn explicit_rollback_restores_old_value_under_every_protocol() {
     for protocol in Protocol::ALL {
         let db = setup(EngineConfig::for_protocol(protocol), 4);
         let program = TxnProgram::new(vec![
-            Operation::UpdateAdd { table: ACCOUNTS, pk: 1, column: 1, delta: 500 },
+            Operation::UpdateAdd {
+                table: ACCOUNTS,
+                pk: 1,
+                column: 1,
+                delta: 500,
+            },
             Operation::ForcedRollback,
         ]);
         let outcome = db.execute_program(&program).unwrap();
@@ -81,7 +88,11 @@ fn explicit_rollback_restores_old_value_under_every_protocol() {
 
 #[test]
 fn snapshot_reads_do_not_observe_uncommitted_updates() {
-    for protocol in [Protocol::Mysql2pl, Protocol::LightweightO1, Protocol::GroupLockingTxsql] {
+    for protocol in [
+        Protocol::Mysql2pl,
+        Protocol::LightweightO1,
+        Protocol::GroupLockingTxsql,
+    ] {
         let db = setup(EngineConfig::for_protocol(protocol), 4);
         let mut writer = db.begin();
         db.update_add(&mut writer, ACCOUNTS, 2, 1, 77).unwrap();
@@ -91,7 +102,10 @@ fn snapshot_reads_do_not_observe_uncommitted_updates() {
         db.rollback(reader, None);
         db.commit(writer).unwrap();
         let mut reader2 = db.begin();
-        assert_eq!(db.read(&mut reader2, ACCOUNTS, 2).unwrap().get_int(1), Some(1_077));
+        assert_eq!(
+            db.read(&mut reader2, ACCOUNTS, 2).unwrap().get_int(1),
+            Some(1_077)
+        );
         db.rollback(reader2, None);
         db.shutdown();
     }
@@ -100,10 +114,18 @@ fn snapshot_reads_do_not_observe_uncommitted_updates() {
 #[test]
 fn insert_and_read_back() {
     let db = setup(EngineConfig::for_protocol(Protocol::LightweightO1), 2);
-    let program = TxnProgram::new(vec![Operation::Insert { table: JOURNAL, pk: 42, fill: 7 }]);
+    let program = TxnProgram::new(vec![Operation::Insert {
+        table: JOURNAL,
+        pk: 42,
+        fill: 7,
+    }]);
     db.execute_program(&program).unwrap();
     let record = db.record_id(JOURNAL, 42).unwrap();
-    let row = db.storage().read_committed(JOURNAL, record).unwrap().unwrap();
+    let row = db
+        .storage()
+        .read_committed(JOURNAL, record)
+        .unwrap()
+        .unwrap();
     assert_eq!(row.get_int(1), Some(7));
     db.shutdown();
 }
@@ -134,9 +156,44 @@ fn select_for_update_blocks_conflicting_writers() {
 // Hotspot correctness: concurrent increments must not lose updates
 // ---------------------------------------------------------------------------
 
+/// How a concurrent-increment run arranges for the hotspot machinery to see
+/// the contended row.  On a single-core runner a microsecond transaction is
+/// essentially never preempted mid-critical-section, so *organic* waiters —
+/// and therefore organic promotion — need help to materialise.
+#[derive(Clone, Copy, PartialEq)]
+enum HotSetup {
+    /// No help: rely on scheduler preemption (fine for sum-conservation runs).
+    Organic,
+    /// Promote the row before any traffic (deterministic hot-path coverage,
+    /// and no transaction ever straddles the promotion boundary).
+    PromoteFirst,
+    /// Hold the row's lock in a pinning transaction for the first ~50 ms so
+    /// workers pile up and the engine *detects* the hotspot itself.
+    PinRow,
+}
+
 fn run_concurrent_increments(protocol: Protocol, threads: usize, per_thread: usize) -> Database {
+    run_concurrent_increments_with(protocol, threads, per_thread, HotSetup::Organic)
+}
+
+fn run_concurrent_increments_with(
+    protocol: Protocol,
+    threads: usize,
+    per_thread: usize,
+    hot_setup: HotSetup,
+) -> Database {
     let db = setup(hot_config(protocol), 2);
     let db = Arc::new(db);
+    if hot_setup == HotSetup::PromoteFirst {
+        db.hotspots().promote(db.record_id(ACCOUNTS, 0).unwrap());
+    }
+    let pin = if hot_setup == HotSetup::PinRow {
+        let mut txn = db.begin();
+        db.update_add(&mut txn, ACCOUNTS, 0, 1, 0).unwrap();
+        Some(txn)
+    } else {
+        None
+    };
     let barrier = Arc::new(std::sync::Barrier::new(threads));
     let mut handles = Vec::new();
     for worker in 0..threads {
@@ -161,6 +218,11 @@ fn run_concurrent_increments(protocol: Protocol, threads: usize, per_thread: usi
             }
         }));
     }
+    if let Some(txn) = pin {
+        // Give the workers time to queue behind the pinned row, then let go.
+        thread::sleep(Duration::from_millis(50));
+        db.commit(txn).unwrap();
+    }
     for h in handles {
         h.join().unwrap();
     }
@@ -171,10 +233,23 @@ fn run_concurrent_increments(protocol: Protocol, threads: usize, per_thread: usi
 fn concurrent_hot_increments_are_not_lost_txsql() {
     let threads = 8;
     let per_thread = 30;
-    let db = run_concurrent_increments(Protocol::GroupLockingTxsql, threads, per_thread);
-    assert_eq!(committed_balance(&db, 0), 1_000 + (threads * per_thread) as i64);
-    // The hot row must actually have been detected and grouped.
-    assert!(db.metrics().hotspot_group_entries.get() > 0, "group locking never engaged");
+    // Promote the row up front so the group path engages deterministically
+    // (organic promotion needs multi-core preemption; see HotSetup).
+    let db = run_concurrent_increments_with(
+        Protocol::GroupLockingTxsql,
+        threads,
+        per_thread,
+        HotSetup::PromoteFirst,
+    );
+    assert_eq!(
+        committed_balance(&db, 0),
+        1_000 + (threads * per_thread) as i64
+    );
+    // The hot row must actually have been grouped.
+    assert!(
+        db.metrics().hotspot_group_entries.get() > 0,
+        "group locking never engaged"
+    );
     db.shutdown();
 }
 
@@ -183,7 +258,10 @@ fn concurrent_hot_increments_are_not_lost_queue_locking() {
     let threads = 8;
     let per_thread = 20;
     let db = run_concurrent_increments(Protocol::QueueLockingO2, threads, per_thread);
-    assert_eq!(committed_balance(&db, 0), 1_000 + (threads * per_thread) as i64);
+    assert_eq!(
+        committed_balance(&db, 0),
+        1_000 + (threads * per_thread) as i64
+    );
     db.shutdown();
 }
 
@@ -207,7 +285,10 @@ fn concurrent_hot_increments_are_not_lost_bamboo() {
     let threads = 4;
     let per_thread = 15;
     let db = run_concurrent_increments(Protocol::Bamboo, threads, per_thread);
-    assert_eq!(committed_balance(&db, 0), 1_000 + (threads * per_thread) as i64);
+    assert_eq!(
+        committed_balance(&db, 0),
+        1_000 + (threads * per_thread) as i64
+    );
     db.shutdown();
 }
 
@@ -216,7 +297,10 @@ fn concurrent_hot_increments_are_not_lost_aria() {
     let threads = 4;
     let per_thread = 15;
     let db = run_concurrent_increments(Protocol::Aria, threads, per_thread);
-    assert_eq!(committed_balance(&db, 0), 1_000 + (threads * per_thread) as i64);
+    assert_eq!(
+        committed_balance(&db, 0),
+        1_000 + (threads * per_thread) as i64
+    );
     db.shutdown();
 }
 
@@ -233,8 +317,16 @@ fn contended_histories_are_serializable_under_txsql() {
         let db = Arc::clone(&db);
         handles.push(thread::spawn(move || {
             let program = TxnProgram::new(vec![
-                Operation::UpdateAdd { table: ACCOUNTS, pk: 0, column: 1, delta: 1 },
-                Operation::Read { table: ACCOUNTS, pk: (worker % 3) as i64 + 1 },
+                Operation::UpdateAdd {
+                    table: ACCOUNTS,
+                    pk: 0,
+                    column: 1,
+                    delta: 1,
+                },
+                Operation::Read {
+                    table: ACCOUNTS,
+                    pk: (worker % 3) as i64 + 1,
+                },
             ]);
             let mut committed = 0;
             while committed < 20 {
@@ -313,7 +405,9 @@ fn cascading_rollback_follows_reverse_update_order() {
     let rollback_t1 = thread::spawn(move || {
         db1.rollback(
             t1,
-            Some(&txsql_common::Error::ExplicitRollback { txn: txsql_common::TxnId(0) }),
+            Some(&txsql_common::Error::ExplicitRollback {
+                txn: txsql_common::TxnId(0),
+            }),
         );
     });
     // T3 commits next: doomed, cascades (blocks until T2 rolled back).
@@ -340,8 +434,8 @@ fn group_locking_reduces_lock_objects_versus_o1() {
     let per_thread = 25;
     let txsql = run_concurrent_increments(Protocol::GroupLockingTxsql, threads, per_thread);
     let o1 = run_concurrent_increments(Protocol::LightweightO1, threads, per_thread);
-    let txsql_locks = txsql.metrics().locks_created.get() as f64
-        / txsql.metrics().committed.get().max(1) as f64;
+    let txsql_locks =
+        txsql.metrics().locks_created.get() as f64 / txsql.metrics().committed.get().max(1) as f64;
     let o1_locks =
         o1.metrics().locks_created.get() as f64 / o1.metrics().committed.get().max(1) as f64;
     assert!(
@@ -367,7 +461,12 @@ fn bamboo_cascades_when_dirty_writer_aborts() {
     let mut t2 = db.begin();
     db.update_add(&mut t2, ACCOUNTS, 0, 1, 10).unwrap();
     // T1 aborts -> T2's commit must cascade.
-    db.rollback(t1, Some(&txsql_common::Error::ExplicitRollback { txn: txsql_common::TxnId(0) }));
+    db.rollback(
+        t1,
+        Some(&txsql_common::Error::ExplicitRollback {
+            txn: txsql_common::TxnId(0),
+        }),
+    );
     let err = db.commit(t2).unwrap_err();
     assert!(err.is_cascading(), "expected cascade, got {err:?}");
     assert_eq!(committed_balance(&db, 0), 1_000);
@@ -409,7 +508,9 @@ fn aria_aborts_one_of_two_conflicting_transactions_in_a_batch() {
 
 #[test]
 fn hotspot_is_detected_then_demoted_when_idle() {
-    let db = run_concurrent_increments(Protocol::GroupLockingTxsql, 8, 20);
+    // Pin the row briefly so waiters pile up and the engine performs an
+    // *organic* promotion even on a single-core runner.
+    let db = run_concurrent_increments_with(Protocol::GroupLockingTxsql, 8, 20, HotSetup::PinRow);
     let hot_record = db.record_id(ACCOUNTS, 0).unwrap();
     assert!(db.hotspots().promotions() > 0, "hotspot was never promoted");
     // With no load, the sweeper (or two manual sweeps) demotes the row.
@@ -519,8 +620,12 @@ fn crash_recovery_discards_uncommitted_hotspot_updates() {
     let checkpoint = db.checkpoint();
 
     // One committed, durable update...
-    let program =
-        TxnProgram::new(vec![Operation::UpdateAdd { table: ACCOUNTS, pk: 0, column: 1, delta: 5 }]);
+    let program = TxnProgram::new(vec![Operation::UpdateAdd {
+        table: ACCOUNTS,
+        pk: 0,
+        column: 1,
+        delta: 5,
+    }]);
     db.execute_program(&program).unwrap();
     db.storage().redo().flush_all();
     // ...and two uncommitted hotspot updates left in flight at the crash.
@@ -534,7 +639,11 @@ fn crash_recovery_discards_uncommitted_hotspot_updates() {
         txsql_storage::recovery::recover(&checkpoint, &db.durable_redo(), Duration::ZERO).unwrap();
     let table = outcome.storage.table(ACCOUNTS).unwrap();
     let rid = table.lookup_pk(0).unwrap();
-    let recovered = outcome.storage.read_committed(ACCOUNTS, rid).unwrap().unwrap();
+    let recovered = outcome
+        .storage
+        .read_committed(ACCOUNTS, rid)
+        .unwrap()
+        .unwrap();
     assert_eq!(recovered.get_int(1), Some(1_005));
     assert_eq!(outcome.rolled_back.len(), 2);
     assert_eq!(outcome.recovered_hot_orders.len(), 2);
@@ -554,7 +663,11 @@ fn string_columns_round_trip_through_updates() {
     .unwrap();
     db.commit(txn).unwrap();
     let record = db.record_id(ACCOUNTS, 1).unwrap();
-    let row = db.storage().read_committed(ACCOUNTS, record).unwrap().unwrap();
+    let row = db
+        .storage()
+        .read_committed(ACCOUNTS, record)
+        .unwrap()
+        .unwrap();
     assert_eq!(row.get(1).unwrap().as_str(), Some("padded"));
     db.shutdown();
 }

@@ -5,10 +5,26 @@
 //! same for hotspot followers.  [`OsEvent`] is the equivalent built on
 //! `parking_lot`'s `Mutex` + `Condvar`: a one-shot, resettable boolean event
 //! with timeout support.
+//!
+//! Waiting is the *only* path that needs an event, and events are reusable,
+//! so the lock tables draw them from a thread-local free list
+//! ([`OsEvent::acquire_pooled`] / [`OsEvent::recycle`]) instead of
+//! allocating per wait.  An event is only returned to the pool once its
+//! `Arc` is unique — i.e. no granter still holds a clone that could `set()`
+//! it later — so a recycled event can never receive a stale wake-up.
 
 use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-thread free list size: enough for the deepest realistic wait nesting,
+/// small enough to be cache-friendly.
+const POOL_CAP: usize = 32;
+
+thread_local! {
+    static EVENT_POOL: RefCell<Vec<Arc<OsEvent>>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A resettable signalling event.
 #[derive(Debug, Default)]
@@ -31,6 +47,33 @@ impl OsEvent {
     /// between the waiting transaction and whoever wakes it).
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    /// Takes an unsignalled event from the current thread's free list, or
+    /// allocates one if the list is empty.
+    pub fn acquire_pooled() -> Arc<Self> {
+        EVENT_POOL
+            .with(|pool| pool.borrow_mut().pop())
+            .inspect(|event| {
+                event.reset();
+            })
+            .unwrap_or_default()
+    }
+
+    /// Returns an event to the current thread's free list if no one else
+    /// still holds a clone of it (a late `set()` through a leftover clone
+    /// must not wake the event's next user); otherwise the `Arc` is simply
+    /// dropped.
+    pub fn recycle(event: Arc<Self>) {
+        if Arc::strong_count(&event) == 1 {
+            EVENT_POOL.with(|pool| {
+                let mut pool = pool.borrow_mut();
+                if pool.len() < POOL_CAP {
+                    event.reset();
+                    pool.push(event);
+                }
+            });
+        }
     }
 
     /// Sets the event, waking all current and future waiters (until reset).
@@ -63,8 +106,16 @@ impl OsEvent {
         let deadline = std::time::Instant::now() + timeout;
         let mut signalled = self.signalled.lock();
         while !*signalled {
-            if self.condvar.wait_until(&mut signalled, deadline).timed_out() {
-                return if *signalled { WaitOutcome::Signalled } else { WaitOutcome::TimedOut };
+            if self
+                .condvar
+                .wait_until(&mut signalled, deadline)
+                .timed_out()
+            {
+                return if *signalled {
+                    WaitOutcome::Signalled
+                } else {
+                    WaitOutcome::TimedOut
+                };
             }
         }
         WaitOutcome::Signalled
@@ -82,7 +133,10 @@ mod tests {
         ev.set();
         assert!(ev.is_set());
         ev.wait();
-        assert_eq!(ev.wait_for(Duration::from_millis(1)), WaitOutcome::Signalled);
+        assert_eq!(
+            ev.wait_for(Duration::from_millis(1)),
+            WaitOutcome::Signalled
+        );
     }
 
     #[test]
@@ -102,7 +156,10 @@ mod tests {
     fn wait_for_times_out_when_never_set() {
         let ev = OsEvent::new();
         let start = std::time::Instant::now();
-        assert_eq!(ev.wait_for(Duration::from_millis(30)), WaitOutcome::TimedOut);
+        assert_eq!(
+            ev.wait_for(Duration::from_millis(30)),
+            WaitOutcome::TimedOut
+        );
         assert!(start.elapsed() >= Duration::from_millis(30));
     }
 
@@ -112,7 +169,34 @@ mod tests {
         ev.set();
         ev.reset();
         assert!(!ev.is_set());
-        assert_eq!(ev.wait_for(Duration::from_millis(10)), WaitOutcome::TimedOut);
+        assert_eq!(
+            ev.wait_for(Duration::from_millis(10)),
+            WaitOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn pooled_events_are_reused_when_unique() {
+        let ev = OsEvent::acquire_pooled();
+        ev.set();
+        let ptr = Arc::as_ptr(&ev);
+        OsEvent::recycle(ev);
+        let again = OsEvent::acquire_pooled();
+        assert_eq!(Arc::as_ptr(&again), ptr, "unique event should be pooled");
+        assert!(!again.is_set(), "recycled event must come back unsignalled");
+        OsEvent::recycle(again);
+    }
+
+    #[test]
+    fn shared_events_are_not_pooled() {
+        let ev = OsEvent::acquire_pooled();
+        let ptr = Arc::as_ptr(&ev);
+        let clone = Arc::clone(&ev);
+        OsEvent::recycle(ev);
+        let next = OsEvent::acquire_pooled();
+        assert_ne!(Arc::as_ptr(&next), ptr, "shared event must not be recycled");
+        drop(clone);
+        OsEvent::recycle(next);
     }
 
     #[test]

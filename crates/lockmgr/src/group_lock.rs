@@ -28,9 +28,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use txsql_common::fxhash::FxHashMap;
+use txsql_common::fxhash::{self, FxHashMap};
 use txsql_common::latency::ut_delay;
 use txsql_common::metrics::EngineMetrics;
+use txsql_common::pad::CachePadded;
 use txsql_common::{Error, RecordId, Result, TxnId};
 
 /// Configuration of group locking.
@@ -76,7 +77,10 @@ pub struct WaitSlot {
 
 impl WaitSlot {
     fn new() -> Arc<Self> {
-        Arc::new(Self { event: OsEvent::new(), role: Mutex::new(None) })
+        Arc::new(Self {
+            event: OsEvent::new(),
+            role: Mutex::new(None),
+        })
     }
 
     /// Role assigned by the waker, if any.
@@ -173,11 +177,19 @@ struct GroupEntry {
     state: Mutex<GroupState>,
 }
 
+/// Number of shards for the hot-row entry map.  Each hot row already has
+/// its own `GroupEntry` mutex; sharding the *lookup* map keeps unrelated hot
+/// rows from contending on one global mutex just to fetch their entry.
+const ENTRY_SHARDS: usize = 64;
+
+/// One shard of the hot-row entry map.
+type EntryShard = CachePadded<Mutex<FxHashMap<u64, Arc<GroupEntry>>>>;
+
 /// The per-hot-row group-locking state (`hot_lock_sys` in the paper).
 #[derive(Debug)]
 pub struct GroupLockTable {
     config: GroupLockConfig,
-    entries: Mutex<FxHashMap<u64, Arc<GroupEntry>>>,
+    entry_shards: Box<[EntryShard]>,
     global_hot_update_order: AtomicU64,
     metrics: Arc<EngineMetrics>,
 }
@@ -187,7 +199,9 @@ impl GroupLockTable {
     pub fn new(config: GroupLockConfig, metrics: Arc<EngineMetrics>) -> Self {
         Self {
             config,
-            entries: Mutex::new(FxHashMap::default()),
+            entry_shards: (0..ENTRY_SHARDS)
+                .map(|_| CachePadded::new(Mutex::new(FxHashMap::default())))
+                .collect(),
             global_hot_update_order: AtomicU64::new(1),
             metrics,
         }
@@ -198,14 +212,20 @@ impl GroupLockTable {
         &self.config
     }
 
+    #[inline]
+    fn entry_shard(&self, record: RecordId) -> &Mutex<FxHashMap<u64, Arc<GroupEntry>>> {
+        let idx = (fxhash::hash_u64(record.packed()) % ENTRY_SHARDS as u64) as usize;
+        &self.entry_shards[idx]
+    }
+
     fn entry(&self, record: RecordId) -> Arc<GroupEntry> {
-        let mut entries = self.entries.lock();
+        let mut entries = self.entry_shard(record).lock();
         Arc::clone(entries.entry(record.packed()).or_default())
     }
 
     fn maybe_gc(&self, record: RecordId, entry: &Arc<GroupEntry>) {
         if entry.state.lock().is_idle() {
-            let mut entries = self.entries.lock();
+            let mut entries = self.entry_shard(record).lock();
             if let Some(existing) = entries.get(&record.packed()) {
                 if Arc::ptr_eq(existing, entry) && existing.state.lock().is_idle() {
                     entries.remove(&record.packed());
@@ -252,7 +272,10 @@ impl GroupLockTable {
             return HotExecution::Follower;
         }
         let slot = WaitSlot::new();
-        state.waiting_updates.push_back(Waiter { txn, slot: Arc::clone(&slot) });
+        state.waiting_updates.push_back(Waiter {
+            txn,
+            slot: Arc::clone(&slot),
+        });
         HotExecution::Wait(slot)
     }
 
@@ -580,7 +603,7 @@ impl GroupLockTable {
     /// True when the hot row still has any group activity (used by the
     /// hotspot sweeper to decide whether to demote).
     pub fn has_activity(&self, record: RecordId) -> bool {
-        let entries = self.entries.lock();
+        let entries = self.entry_shard(record).lock();
         entries
             .get(&record.packed())
             .map(|e| !e.state.lock().is_idle())
@@ -589,13 +612,15 @@ impl GroupLockTable {
 
     /// Current leader of the hot row, if any.
     pub fn leader_of(&self, record: RecordId) -> Option<TxnId> {
-        let entries = self.entries.lock();
-        entries.get(&record.packed()).and_then(|e| e.state.lock().leader)
+        let entries = self.entry_shard(record).lock();
+        entries
+            .get(&record.packed())
+            .and_then(|e| e.state.lock().leader)
     }
 
     /// Number of parked hotspot updates.
     pub fn waiting_len(&self, record: RecordId) -> usize {
-        let entries = self.entries.lock();
+        let entries = self.entry_shard(record).lock();
         entries
             .get(&record.packed())
             .map(|e| e.state.lock().waiting_updates.len())
@@ -612,7 +637,11 @@ impl GroupLockTable {
 mod tests {
     use super::*;
 
-    const HOT: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 0 };
+    const HOT: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 0,
+    };
 
     fn table() -> GroupLockTable {
         GroupLockTable::new(GroupLockConfig::default(), Arc::new(EngineMetrics::new()))
@@ -621,7 +650,10 @@ mod tests {
     #[test]
     fn first_transaction_becomes_leader() {
         let g = table();
-        assert!(matches!(g.begin_hot_update(TxnId(1), HOT), HotExecution::Leader));
+        assert!(matches!(
+            g.begin_hot_update(TxnId(1), HOT),
+            HotExecution::Leader
+        ));
         assert_eq!(g.leader_of(HOT), Some(TxnId(1)));
         let order = g.register_update(TxnId(1), HOT);
         assert!(order >= 1);
@@ -631,7 +663,10 @@ mod tests {
     #[test]
     fn second_transaction_waits_and_is_granted_as_follower() {
         let g = table();
-        assert!(matches!(g.begin_hot_update(TxnId(1), HOT), HotExecution::Leader));
+        assert!(matches!(
+            g.begin_hot_update(TxnId(1), HOT),
+            HotExecution::Leader
+        ));
         g.register_update(TxnId(1), HOT);
         let slot = match g.begin_hot_update(TxnId(2), HOT) {
             HotExecution::Wait(slot) => slot,
@@ -680,7 +715,10 @@ mod tests {
         g.finish_update(TxnId(1), HOT, true);
         // The leader is idle, so the next arrival is granted follower
         // execution immediately (the §4.5 worked-example behaviour).
-        assert!(matches!(g.begin_hot_update(TxnId(2), HOT), HotExecution::Follower));
+        assert!(matches!(
+            g.begin_hot_update(TxnId(2), HOT),
+            HotExecution::Follower
+        ));
         g.register_update(TxnId(2), HOT);
         g.finish_update(TxnId(2), HOT, false);
 
@@ -707,13 +745,19 @@ mod tests {
         assert_eq!(g.leader_handover(TxnId(1), HOT), None);
         assert_eq!(g.leader_of(HOT), None);
         // Next arrival becomes leader immediately.
-        assert!(matches!(g.begin_hot_update(TxnId(2), HOT), HotExecution::Leader));
+        assert!(matches!(
+            g.begin_hot_update(TxnId(2), HOT),
+            HotExecution::Leader
+        ));
     }
 
     #[test]
     fn batch_size_limits_grants_per_group() {
         let g = GroupLockTable::new(
-            GroupLockConfig { batch_size: 1, ..Default::default() },
+            GroupLockConfig {
+                batch_size: 1,
+                ..Default::default()
+            },
             Arc::new(EngineMetrics::new()),
         );
         let _ = g.begin_hot_update(TxnId(1), HOT);
@@ -766,9 +810,15 @@ mod tests {
         let doomed = g.begin_rollback(TxnId(1), HOT);
         assert_eq!(doomed, vec![TxnId(3), TxnId(2)]);
         // Successors cascade in reverse order.
-        assert!(matches!(g.commit_turn(TxnId(2), HOT), CommitTurn::Doomed { cause: TxnId(1) }));
+        assert!(matches!(
+            g.commit_turn(TxnId(2), HOT),
+            CommitTurn::Doomed { cause: TxnId(1) }
+        ));
         g.finish_rollback(TxnId(2), HOT);
-        assert!(matches!(g.commit_turn(TxnId(3), HOT), CommitTurn::Doomed { cause: TxnId(1) }));
+        assert!(matches!(
+            g.commit_turn(TxnId(3), HOT),
+            CommitTurn::Doomed { cause: TxnId(1) }
+        ));
         g.finish_rollback(TxnId(3), HOT);
         // Now T1 is last and may roll back.
         g.wait_rollback_turn(TxnId(1), HOT).unwrap();
@@ -792,7 +842,10 @@ mod tests {
     #[test]
     fn wait_for_grant_times_out_when_never_granted() {
         let g = GroupLockTable::new(
-            GroupLockConfig { hot_wait_timeout: Duration::from_millis(30), ..Default::default() },
+            GroupLockConfig {
+                hot_wait_timeout: Duration::from_millis(30),
+                ..Default::default()
+            },
             Arc::new(EngineMetrics::new()),
         );
         let _ = g.begin_hot_update(TxnId(1), HOT);

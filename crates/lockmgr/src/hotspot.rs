@@ -14,8 +14,19 @@
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use txsql_common::fxhash::{FxHashMap, FxHashSet};
+use txsql_common::fxhash::{self, FxHashMap, FxHashSet};
+use txsql_common::pad::CachePadded;
 use txsql_common::RecordId;
+
+/// Shards for the `hot_row_hash` and the recent-wait counters.  `is_hot` is
+/// consulted on every hotspot-capable acquisition, so even its read lock
+/// must not be a single global cache line.
+const HOT_SHARDS: usize = 64;
+
+/// One shard of the hot-row set.
+type HotShard = CachePadded<RwLock<FxHashSet<u64>>>;
+/// One shard of the recent-wait counters.
+type RecentShard = CachePadded<RwLock<FxHashMap<u64, u64>>>;
 
 /// Configuration of hotspot detection.
 #[derive(Debug, Clone)]
@@ -41,7 +52,10 @@ impl Default for HotspotConfig {
 impl HotspotConfig {
     /// A configuration with hotspot handling disabled.
     pub fn disabled() -> Self {
-        Self { enabled: false, ..Self::default() }
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
     }
 
     /// Overrides the promotion threshold.
@@ -51,14 +65,16 @@ impl HotspotConfig {
     }
 }
 
-/// The `hot_row_hash`: which rows are currently treated as hotspots.
+/// The `hot_row_hash`: which rows are currently treated as hotspots,
+/// sharded by record so promotion checks on unrelated rows never touch the
+/// same lock.
 #[derive(Debug)]
 pub struct HotspotRegistry {
     config: HotspotConfig,
-    hot_rows: RwLock<FxHashSet<u64>>,
+    hot_rows: Box<[HotShard]>,
     /// Cumulative wait observations per record since the last sweep — used by
     /// the sweeper to decide whether a hotspot is still hot.
-    recent_waits: RwLock<FxHashMap<u64, u64>>,
+    recent_waits: Box<[RecentShard]>,
     promotions: AtomicU64,
     demotions: AtomicU64,
 }
@@ -68,11 +84,20 @@ impl HotspotRegistry {
     pub fn new(config: HotspotConfig) -> Self {
         Self {
             config,
-            hot_rows: RwLock::new(FxHashSet::default()),
-            recent_waits: RwLock::new(FxHashMap::default()),
+            hot_rows: (0..HOT_SHARDS)
+                .map(|_| CachePadded::new(RwLock::new(FxHashSet::default())))
+                .collect(),
+            recent_waits: (0..HOT_SHARDS)
+                .map(|_| CachePadded::new(RwLock::new(FxHashMap::default())))
+                .collect(),
             promotions: AtomicU64::new(0),
             demotions: AtomicU64::new(0),
         }
+    }
+
+    #[inline]
+    fn shard_idx(key: u64) -> usize {
+        (fxhash::hash_u64(key) % HOT_SHARDS as u64) as usize
     }
 
     /// The configuration in force.
@@ -86,7 +111,8 @@ impl HotspotRegistry {
         if !self.config.enabled {
             return false;
         }
-        self.hot_rows.read().contains(&record.packed())
+        let key = record.packed();
+        self.hot_rows[Self::shard_idx(key)].read().contains(&key)
     }
 
     /// Reports that a transaction is about to wait for `record` behind
@@ -97,15 +123,16 @@ impl HotspotRegistry {
             return false;
         }
         let key = record.packed();
+        let idx = Self::shard_idx(key);
         {
-            let mut recent = self.recent_waits.write();
+            let mut recent = self.recent_waits[idx].write();
             *recent.entry(key).or_insert(0) += 1;
         }
-        if self.hot_rows.read().contains(&key) {
+        if self.hot_rows[idx].read().contains(&key) {
             return true;
         }
         if queue_len >= self.config.promote_threshold {
-            let mut hot = self.hot_rows.write();
+            let mut hot = self.hot_rows[idx].write();
             if hot.insert(key) {
                 self.promotions.fetch_add(1, Ordering::Relaxed);
             }
@@ -119,14 +146,16 @@ impl HotspotRegistry {
     /// a known hotspot up front, mirroring PolarDB-style hints for
     /// comparison experiments).
     pub fn promote(&self, record: RecordId) {
-        if self.hot_rows.write().insert(record.packed()) {
+        let key = record.packed();
+        if self.hot_rows[Self::shard_idx(key)].write().insert(key) {
             self.promotions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Demotes a record back to plain 2PL.
     pub fn demote(&self, record: RecordId) {
-        if self.hot_rows.write().remove(&record.packed()) {
+        let key = record.packed();
+        if self.hot_rows[Self::shard_idx(key)].write().remove(&key) {
             self.demotions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -138,30 +167,40 @@ impl HotspotRegistry {
         if !self.config.enabled {
             return 0;
         }
-        let recent = std::mem::take(&mut *self.recent_waits.write());
         let mut demoted = 0;
-        let mut hot = self.hot_rows.write();
-        hot.retain(|key| {
-            let record = RecordId::from_packed(*key);
-            let seen_recent_waits = recent.get(key).copied().unwrap_or(0) > 0;
-            let keep = seen_recent_waits || has_waiters(record);
-            if !keep {
-                demoted += 1;
-            }
-            keep
-        });
+        for idx in 0..HOT_SHARDS {
+            let recent = std::mem::take(&mut *self.recent_waits[idx].write());
+            let mut hot = self.hot_rows[idx].write();
+            hot.retain(|key| {
+                let record = RecordId::from_packed(*key);
+                let seen_recent_waits = recent.get(key).copied().unwrap_or(0) > 0;
+                let keep = seen_recent_waits || has_waiters(record);
+                if !keep {
+                    demoted += 1;
+                }
+                keep
+            });
+        }
         self.demotions.fetch_add(demoted as u64, Ordering::Relaxed);
         demoted
     }
 
     /// Number of rows currently marked hot.
     pub fn hot_count(&self) -> usize {
-        self.hot_rows.read().len()
+        self.hot_rows.iter().map(|s| s.read().len()).sum()
     }
 
     /// Currently hot records.
     pub fn hot_records(&self) -> Vec<RecordId> {
-        self.hot_rows.read().iter().map(|k| RecordId::from_packed(*k)).collect()
+        self.hot_rows
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|k| RecordId::from_packed(*k))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     /// Lifetime promotion count.
@@ -179,8 +218,16 @@ impl HotspotRegistry {
 mod tests {
     use super::*;
 
-    const HOT: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 0 };
-    const COLD: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 1 };
+    const HOT: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 0,
+    };
+    const COLD: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 1,
+    };
 
     #[test]
     fn promotion_happens_at_threshold() {

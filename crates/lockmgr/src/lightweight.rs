@@ -11,6 +11,13 @@
 //! * entries are removed as soon as they become empty, so the table stays
 //!   proportional to the number of *contended* rows, not all touched rows.
 //!
+//! Bookkeeping is fully decentralized: shard mutexes are cache-padded, the
+//! per-transaction record map is the sharded
+//! [`TxnLockRegistry`](crate::registry::TxnLockRegistry) (no global mutex on
+//! acquire or release-all), and waiter events come from the thread-local
+//! pool ([`OsEvent::acquire_pooled`]) so even the conflict path allocates
+//! nothing in steady state.
+//!
 //! Deadlock handling remains wait-for-graph detection by default (the paper
 //! notes O1's p95 is slightly inflated by exactly this, Figure 6c); a
 //! timeout-only policy can be selected for the ablation benches.
@@ -19,12 +26,14 @@ use crate::deadlock::WaitForGraph;
 use crate::event::{OsEvent, WaitOutcome};
 use crate::lock_sys::DeadlockPolicy;
 use crate::modes::LockMode;
+use crate::registry::TxnLockRegistry;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txsql_common::fxhash::{self, FxHashMap};
 use txsql_common::metrics::EngineMetrics;
+use txsql_common::pad::CachePadded;
 use txsql_common::{Error, RecordId, Result, TxnId};
 
 /// Configuration of the lightweight lock table.
@@ -108,21 +117,36 @@ struct Shard {
 #[derive(Debug)]
 pub struct LightweightLockTable {
     config: LightweightConfig,
-    shards: Vec<Mutex<Shard>>,
+    shards: Box<[CachePadded<Mutex<Shard>>]>,
     graph: WaitForGraph,
-    txn_locks: Mutex<FxHashMap<TxnId, Vec<RecordId>>>,
+    registry: Arc<TxnLockRegistry>,
     metrics: Arc<EngineMetrics>,
 }
 
 impl LightweightLockTable {
-    /// Creates a lightweight lock table.
+    /// Creates a lightweight lock table with its own private lock registry.
     pub fn new(config: LightweightConfig, metrics: Arc<EngineMetrics>) -> Self {
+        let registry = Arc::new(TxnLockRegistry::with_metrics(
+            (config.n_shards / 4).max(64),
+            Arc::clone(&metrics),
+        ));
+        Self::with_registry(config, metrics, registry)
+    }
+
+    /// Creates a lightweight lock table sharing an externally owned registry.
+    pub fn with_registry(
+        config: LightweightConfig,
+        metrics: Arc<EngineMetrics>,
+        registry: Arc<TxnLockRegistry>,
+    ) -> Self {
         let n = config.n_shards.max(1);
         Self {
             config,
-            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..n)
+                .map(|_| CachePadded::new(Mutex::new(Shard::default())))
+                .collect(),
             graph: WaitForGraph::new(),
-            txn_locks: Mutex::new(FxHashMap::default()),
+            registry,
             metrics,
         }
     }
@@ -132,18 +156,15 @@ impl LightweightLockTable {
         self.config.lock_wait_timeout
     }
 
+    /// The per-transaction lock registry backing release-all.
+    pub fn registry(&self) -> &Arc<TxnLockRegistry> {
+        &self.registry
+    }
+
     #[inline]
     fn shard_for(&self, record: RecordId) -> &Mutex<Shard> {
         let idx = (fxhash::hash_u64(record.packed()) % self.shards.len() as u64) as usize;
         &self.shards[idx]
-    }
-
-    fn remember_lock(&self, txn: TxnId, record: RecordId) {
-        let mut locks = self.txn_locks.lock();
-        let list = locks.entry(txn).or_default();
-        if !list.contains(&record) {
-            list.push(record);
-        }
     }
 
     /// Acquires a record lock, blocking until granted, deadlock or timeout.
@@ -171,16 +192,18 @@ impl LightweightLockTable {
 
             let blockers = entry.conflicts_with(txn, mode);
             if blockers.is_empty() && entry.waiters.is_empty() {
-                // Conflict-free: just record the holder id — no lock object.
+                // Conflict-free: just record the holder id — no lock object,
+                // no event, and only sharded bookkeeping.
                 entry.holders.push((txn, mode));
-                self.remember_lock(txn, record);
+                drop(shard);
+                self.registry.remember_record(txn, record);
                 return Ok(());
             }
 
             // Conflict (or FIFO queue in front of us): only now does a lock
-            // object exist (Figure 6d counts these).
-            self.metrics.locks_created.inc();
-            self.metrics.lock_waits.inc();
+            // object exist (Figure 6d counts these).  Deadlock victims return
+            // before any object or wait is recorded, keeping the counters
+            // truthful.
             if self.config.deadlock_policy == DeadlockPolicy::Detect {
                 self.metrics.deadlock_checks.inc();
                 let mut waits_for = blockers;
@@ -191,15 +214,17 @@ impl LightweightLockTable {
                     return Err(Error::Deadlock { txn });
                 }
             }
-            event = OsEvent::new();
+            self.metrics.locks_created.inc();
+            self.metrics.lock_waits.inc();
+            event = OsEvent::acquire_pooled();
             entry.waiters.push_back(Waiter {
                 txn,
                 mode,
                 granted: false,
                 event: Arc::clone(&event),
             });
-            self.remember_lock(txn, record);
         }
+        self.registry.remember_record(txn, record);
 
         let wait_start = Instant::now();
         let deadline = wait_start + self.config.lock_wait_timeout;
@@ -213,18 +238,39 @@ impl LightweightLockTable {
             let waited = wait_start.elapsed();
             let mut shard = self.shard_for(record).lock();
             let entry = shard.rows.entry(record.packed()).or_default();
-            if entry.holders.iter().any(|(t, m)| *t == txn && m.covers(mode)) {
+            if entry
+                .holders
+                .iter()
+                .any(|(t, m)| *t == txn && m.covers(mode))
+            {
+                drop(shard);
                 self.metrics.lock_wait_latency.record(waited);
                 self.graph.clear_waits_of(txn);
+                OsEvent::recycle(event);
                 return Ok(());
             }
             if outcome == WaitOutcome::TimedOut {
+                // Remove our waiting request, then re-run the grant scan — a
+                // waiter queued behind us may be grantable now that our
+                // conflicting request is gone.
                 entry.waiters.retain(|w| w.txn != txn);
+                let woken = entry.grant_from_front(&self.graph);
+                // A timed-out *upgrade* is still a granted holder — its
+                // registry entry must survive for release-all.
+                let still_holds = entry.holders.iter().any(|(t, _)| *t == txn);
                 if entry.is_empty() {
                     shard.rows.remove(&record.packed());
                 }
+                drop(shard);
+                for woken_event in woken {
+                    woken_event.set();
+                }
+                if !still_holds {
+                    self.registry.forget_record(txn, record);
+                }
                 self.metrics.lock_wait_latency.record(waited);
                 self.graph.clear_waits_of(txn);
+                OsEvent::recycle(event);
                 return Err(Error::LockWaitTimeout { txn, record });
             }
             event.reset();
@@ -249,18 +295,19 @@ impl LightweightLockTable {
         for event in woken {
             event.set();
         }
-        let mut locks = self.txn_locks.lock();
-        if let Some(list) = locks.get_mut(&txn) {
-            list.retain(|r| *r != record);
-        }
+        self.registry.forget_record(txn, record);
     }
 
-    /// Releases everything `txn` holds or waits for.
+    /// Releases everything `txn` holds or waits for.  Walks only the
+    /// transaction's own registry shard and the row shards it touched.
     pub fn release_all(&self, txn: TxnId) {
-        let records = self.txn_locks.lock().remove(&txn).unwrap_or_default();
-        for record in records {
+        let Some(locks) = self.registry.take_all(txn) else {
+            self.graph.remove_txn(txn);
+            return;
+        };
+        for record in &locks.records {
             let woken = {
-                let mut shard = self.shard_for(record).lock();
+                let mut shard = self.shard_for(*record).lock();
                 let Some(entry) = shard.rows.get_mut(&record.packed()) else {
                     continue;
                 };
@@ -282,7 +329,11 @@ impl LightweightLockTable {
     /// Number of transactions waiting for `record` (hotspot detection signal).
     pub fn wait_queue_len(&self, record: RecordId) -> usize {
         let shard = self.shard_for(record).lock();
-        shard.rows.get(&record.packed()).map(|e| e.waiters.len()).unwrap_or(0)
+        shard
+            .rows
+            .get(&record.packed())
+            .map(|e| e.waiters.len())
+            .unwrap_or(0)
     }
 
     /// Current holders of `record`.
@@ -297,7 +348,7 @@ impl LightweightLockTable {
 
     /// Number of records `txn` currently holds or waits on.
     pub fn lock_count_of(&self, txn: TxnId) -> usize {
-        self.txn_locks.lock().get(&txn).map(|v| v.len()).unwrap_or(0)
+        self.registry.record_count_of(txn)
     }
 
     /// The wait-for graph (used by the hot/non-hot deadlock prevention check).
@@ -311,10 +362,21 @@ mod tests {
     use super::*;
     use std::thread;
 
-    const R1: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 0 };
-    const R2: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 1 };
+    const R1: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 0,
+    };
+    const R2: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 1,
+    };
 
-    fn table(policy: DeadlockPolicy, timeout_ms: u64) -> (Arc<LightweightLockTable>, Arc<EngineMetrics>) {
+    fn table(
+        policy: DeadlockPolicy,
+        timeout_ms: u64,
+    ) -> (Arc<LightweightLockTable>, Arc<EngineMetrics>) {
         let metrics = Arc::new(EngineMetrics::new());
         let t = Arc::new(LightweightLockTable::new(
             LightweightConfig {
@@ -334,10 +396,20 @@ mod tests {
             let rid = RecordId::new(1, 0, txn as u16);
             t.lock_record(TxnId(txn), rid, LockMode::Exclusive).unwrap();
         }
-        assert_eq!(metrics.locks_created.get(), 0, "O1 must not create lock objects without conflicts");
+        assert_eq!(
+            metrics.locks_created.get(),
+            0,
+            "O1 must not create lock objects without conflicts"
+        );
         for txn in 1..=10u64 {
             t.release_all(TxnId(txn));
         }
+        assert!(
+            t.registry().is_empty(),
+            "registry must drain after release_all"
+        );
+        assert_eq!(t.registry().total_entries(), 0);
+        assert_eq!(metrics.locks_released.get(), 10);
     }
 
     #[test]
@@ -385,7 +457,9 @@ mod tests {
         let t2 = Arc::clone(&t);
         let h = thread::spawn(move || t2.lock_record(TxnId(1), R2, LockMode::Exclusive));
         thread::sleep(Duration::from_millis(50));
-        let err = t.lock_record(TxnId(2), R1, LockMode::Exclusive).unwrap_err();
+        let err = t
+            .lock_record(TxnId(2), R1, LockMode::Exclusive)
+            .unwrap_err();
         assert!(matches!(err, Error::Deadlock { txn: TxnId(2) }));
         t.release_all(TxnId(2));
         h.join().unwrap().unwrap();
@@ -396,9 +470,62 @@ mod tests {
     fn timeout_when_holder_never_releases() {
         let (t, _) = table(DeadlockPolicy::TimeoutOnly, 40);
         t.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
-        let err = t.lock_record(TxnId(2), R1, LockMode::Exclusive).unwrap_err();
+        let err = t
+            .lock_record(TxnId(2), R1, LockMode::Exclusive)
+            .unwrap_err();
         assert!(matches!(err, Error::LockWaitTimeout { .. }));
         t.release_all(TxnId(1));
+        // The timed-out waiter left no bookkeeping behind.
+        assert_eq!(t.lock_count_of(TxnId(2)), 0);
+        assert!(t.registry().is_empty());
+    }
+
+    #[test]
+    fn timeout_of_front_waiter_grants_compatible_waiter_behind_it() {
+        let (t, _) = table(DeadlockPolicy::TimeoutOnly, 80);
+        t.lock_record(TxnId(1), R1, LockMode::Shared).unwrap();
+        let t2 = Arc::clone(&t);
+        let w2 = thread::spawn(move || t2.lock_record(TxnId(2), R1, LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(30));
+        // T3's Shared is compatible with T1 but queued behind T2's waiting
+        // Exclusive; T2's timeout cleanup (grant_from_front) must grant it —
+        // T3's own deadline is 30 ms later.
+        let t3 = Arc::clone(&t);
+        let w3 = thread::spawn(move || t3.lock_record(TxnId(3), R1, LockMode::Shared));
+        assert!(matches!(
+            w2.join().unwrap().unwrap_err(),
+            Error::LockWaitTimeout { .. }
+        ));
+        w3.join().unwrap().unwrap();
+        assert_eq!(t.holders_of(R1).len(), 2, "T1 and T3 share the record");
+        t.release_all(TxnId(1));
+        t.release_all(TxnId(3));
+        assert!(t.registry().is_empty());
+    }
+
+    #[test]
+    fn timed_out_upgrade_keeps_granted_lock_and_releases_cleanly() {
+        let (t, _) = table(DeadlockPolicy::TimeoutOnly, 40);
+        t.lock_record(TxnId(1), R1, LockMode::Shared).unwrap();
+        t.lock_record(TxnId(2), R1, LockMode::Shared).unwrap();
+        // T1's upgrade to Exclusive blocks on T2's Shared and times out —
+        // but it is still a granted Shared holder, registry included.
+        let err = t
+            .lock_record(TxnId(1), R1, LockMode::Exclusive)
+            .unwrap_err();
+        assert!(matches!(err, Error::LockWaitTimeout { .. }));
+        assert_eq!(t.holders_of(R1).len(), 2, "both Shared holders must remain");
+        assert_eq!(
+            t.lock_count_of(TxnId(1)),
+            1,
+            "registry must still track T1's lock"
+        );
+        t.release_all(TxnId(1));
+        t.release_all(TxnId(2));
+        assert!(t.holders_of(R1).is_empty(), "no phantom holder may remain");
+        t.lock_record(TxnId(3), R1, LockMode::Exclusive).unwrap();
+        t.release_all(TxnId(3));
+        assert!(t.registry().is_empty());
     }
 
     #[test]

@@ -45,15 +45,15 @@ impl LockMode {
     /// in `requested` mode by the *same* transaction (no upgrade needed).
     pub fn covers(self, requested: LockMode) -> bool {
         use LockMode::*;
-        match (self, requested) {
-            (Exclusive, _) => true,
-            (Shared, Shared) | (Shared, IntentionShared) => true,
-            (IntentionExclusive, IntentionExclusive) | (IntentionExclusive, IntentionShared) => {
-                true
-            }
-            (IntentionShared, IntentionShared) => true,
-            _ => false,
-        }
+        matches!(
+            (self, requested),
+            (Exclusive, _)
+                | (Shared, Shared)
+                | (Shared, IntentionShared)
+                | (IntentionExclusive, IntentionExclusive)
+                | (IntentionExclusive, IntentionShared)
+                | (IntentionShared, IntentionShared)
+        )
     }
 
     /// True for record-level modes.
@@ -90,7 +90,11 @@ mod tests {
         let modes = [Shared, Exclusive, IntentionShared, IntentionExclusive];
         for &a in &modes {
             for &b in &modes {
-                assert_eq!(a.is_compatible_with(b), b.is_compatible_with(a), "{a:?} vs {b:?}");
+                assert_eq!(
+                    a.is_compatible_with(b),
+                    b.is_compatible_with(a),
+                    "{a:?} vs {b:?}"
+                );
             }
         }
     }

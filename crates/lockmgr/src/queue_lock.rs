@@ -17,8 +17,16 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
-use txsql_common::fxhash::FxHashMap;
+use txsql_common::fxhash::{self, FxHashMap};
+use txsql_common::pad::CachePadded;
 use txsql_common::{RecordId, TxnId};
+
+/// Number of shards for the ticket-queue map: unrelated hot rows must not
+/// serialize on one global mutex just to reach their own queue.
+const QUEUE_SHARDS: usize = 64;
+
+/// One shard of the ticket-queue map.
+type QueueShard = CachePadded<Mutex<FxHashMap<u64, QueueEntry>>>;
 
 /// Result of asking to proceed on a hot row.
 #[derive(Debug)]
@@ -37,18 +45,29 @@ struct QueueEntry {
     waiters: VecDeque<(TxnId, Arc<OsEvent>)>,
 }
 
-/// The per-hot-row ticket queues.
-#[derive(Debug, Default)]
+/// The per-hot-row ticket queues, sharded by record.
+#[derive(Debug)]
 pub struct QueueLockTable {
-    entries: Mutex<FxHashMap<u64, QueueEntry>>,
+    shards: Box<[QueueShard]>,
     /// Hotspot wait timeout (deadlock handling for hot rows).
     timeout: Duration,
+}
+
+impl Default for QueueLockTable {
+    fn default() -> Self {
+        Self::new(Duration::from_millis(100))
+    }
 }
 
 impl QueueLockTable {
     /// Creates a queue-lock table with the given hotspot wait timeout.
     pub fn new(timeout: Duration) -> Self {
-        Self { entries: Mutex::new(FxHashMap::default()), timeout }
+        Self {
+            shards: (0..QUEUE_SHARDS)
+                .map(|_| CachePadded::new(Mutex::new(FxHashMap::default())))
+                .collect(),
+            timeout,
+        }
     }
 
     /// The hotspot wait timeout.
@@ -56,9 +75,15 @@ impl QueueLockTable {
         self.timeout
     }
 
+    #[inline]
+    fn shard_for(&self, record: RecordId) -> &Mutex<FxHashMap<u64, QueueEntry>> {
+        let idx = (fxhash::hash_u64(record.packed()) % QUEUE_SHARDS as u64) as usize;
+        &self.shards[idx]
+    }
+
     /// Asks to proceed with an update of hot `record`.
     pub fn admit(&self, txn: TxnId, record: RecordId) -> QueueAdmission {
-        let mut entries = self.entries.lock();
+        let mut entries = self.shard_for(record).lock();
         let entry = entries.entry(record.packed()).or_default();
         if entry.active.is_none() && entry.waiters.is_empty() {
             entry.active = Some(txn);
@@ -74,8 +99,10 @@ impl QueueLockTable {
     /// active ticket holder.  Returns false if the transaction is no longer
     /// queued (e.g. it was cancelled concurrently).
     pub fn claim_ticket(&self, txn: TxnId, record: RecordId) -> bool {
-        let mut entries = self.entries.lock();
-        let Some(entry) = entries.get_mut(&record.packed()) else { return false };
+        let mut entries = self.shard_for(record).lock();
+        let Some(entry) = entries.get_mut(&record.packed()) else {
+            return false;
+        };
         if entry.active == Some(txn) {
             return true;
         }
@@ -86,8 +113,10 @@ impl QueueLockTable {
     /// lock at commit/rollback) and wakes the next waiter, if any.
     pub fn release(&self, txn: TxnId, record: RecordId) {
         let to_wake = {
-            let mut entries = self.entries.lock();
-            let Some(entry) = entries.get_mut(&record.packed()) else { return };
+            let mut entries = self.shard_for(record).lock();
+            let Some(entry) = entries.get_mut(&record.packed()) else {
+                return;
+            };
             if entry.active == Some(txn) {
                 entry.active = None;
             } else {
@@ -112,8 +141,10 @@ impl QueueLockTable {
     /// Removes a waiter that gave up (timeout).  Returns true if it was still
     /// queued.
     pub fn cancel_wait(&self, txn: TxnId, record: RecordId) -> bool {
-        let mut entries = self.entries.lock();
-        let Some(entry) = entries.get_mut(&record.packed()) else { return false };
+        let mut entries = self.shard_for(record).lock();
+        let Some(entry) = entries.get_mut(&record.packed()) else {
+            return false;
+        };
         let before = entry.waiters.len();
         entry.waiters.retain(|(t, _)| *t != txn);
         let removed = entry.waiters.len() != before;
@@ -125,12 +156,16 @@ impl QueueLockTable {
 
     /// Number of transactions queued behind the active one.
     pub fn queue_len(&self, record: RecordId) -> usize {
-        self.entries.lock().get(&record.packed()).map(|e| e.waiters.len()).unwrap_or(0)
+        self.shard_for(record)
+            .lock()
+            .get(&record.packed())
+            .map(|e| e.waiters.len())
+            .unwrap_or(0)
     }
 
     /// True when some transaction currently holds the ticket or is queued.
     pub fn has_waiters(&self, record: RecordId) -> bool {
-        self.entries
+        self.shard_for(record)
             .lock()
             .get(&record.packed())
             .map(|e| e.active.is_some() || !e.waiters.is_empty())
@@ -143,7 +178,11 @@ mod tests {
     use super::*;
     use std::thread;
 
-    const HOT: RecordId = RecordId { space_id: 1, page_no: 0, heap_no: 0 };
+    const HOT: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 0,
+    };
 
     #[test]
     fn first_transaction_proceeds_directly() {

@@ -54,8 +54,9 @@ impl std::fmt::Debug for ReplicationHook {
 impl ReplicationHook {
     /// Creates a hook shipping to `n_replicas` replicas.
     pub fn new(mode: ReplicationMode, latency: LatencyModel, n_replicas: usize) -> Arc<Self> {
-        let replicas: Vec<Arc<Replica>> =
-            (0..n_replicas).map(|i| Arc::new(Replica::new(format!("replica-{i}")))).collect();
+        let replicas: Vec<Arc<Replica>> = (0..n_replicas)
+            .map(|i| Arc::new(Replica::new(format!("replica-{i}"))))
+            .collect();
         let (sender, applier) = if mode == ReplicationMode::Asynchronous {
             let (tx, rx): (Sender<ShipMessage>, Receiver<ShipMessage>) = unbounded();
             let replicas_bg = replicas.clone();
@@ -76,7 +77,13 @@ impl ReplicationHook {
         } else {
             (None, None)
         };
-        Arc::new(Self { mode, latency, replicas, sender, applier: Mutex::new(applier) })
+        Arc::new(Self {
+            mode,
+            latency,
+            replicas,
+            sender,
+            applier: Mutex::new(applier),
+        })
     }
 
     /// The replicas this hook ships to.
@@ -166,8 +173,7 @@ mod tests {
 
     #[test]
     fn synchronous_mode_applies_before_returning() {
-        let hook =
-            ReplicationHook::new(ReplicationMode::Synchronous, LatencyModel::in_memory(), 2);
+        let hook = ReplicationHook::new(ReplicationMode::Synchronous, LatencyModel::in_memory(), 2);
         hook.on_commit_batch(&[event(1, 10), event(2, 20)]);
         for replica in hook.replicas() {
             assert_eq!(replica.applied_txns(), 2);
@@ -182,7 +188,10 @@ mod tests {
         hook.on_commit_batch(&[event(1, 10)]);
         hook.on_commit_batch(&[event(2, 20)]);
         assert!(hook.wait_caught_up(2, Duration::from_secs(2)));
-        assert_eq!(hook.replicas()[0].row(TableId(1), 1).unwrap().get_int(1), Some(20));
+        assert_eq!(
+            hook.replicas()[0].row(TableId(1), 1).unwrap().get_int(1),
+            Some(20)
+        );
         hook.shutdown();
     }
 

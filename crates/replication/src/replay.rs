@@ -62,16 +62,23 @@ impl ReplayReport {
 /// memory writes (every row change pays this once).
 const APPLY_COST: Duration = Duration::from_micros(2);
 
+/// Replica-side per-row lock map: `(space_id, pk)` to its row mutex.
+type RowLockMap = Mutex<FxHashMap<(u32, i64), Arc<Mutex<()>>>>;
+
 fn apply_with_locks(
     replica: &Replica,
     event: &BinlogTxn,
-    row_locks: &Mutex<FxHashMap<(u32, i64), Arc<Mutex<()>>>>,
+    row_locks: &RowLockMap,
     conflicts: &Mutex<u64>,
 ) {
     for (table, pk, _) in &event.changes {
         let row_lock = {
             let mut locks = row_locks.lock();
-            Arc::clone(locks.entry((table.0, *pk)).or_insert_with(|| Arc::new(Mutex::new(()))))
+            Arc::clone(
+                locks
+                    .entry((table.0, *pk))
+                    .or_insert_with(|| Arc::new(Mutex::new(()))),
+            )
         };
         // A contended row mutex is exactly the replica-side lock contention
         // the paper observed.
@@ -88,7 +95,7 @@ fn apply_with_locks(
 pub fn replay(events: &[BinlogTxn], mode: ReplayMode) -> (Replica, ReplayReport) {
     let replica = Replica::new("replay-target");
     let start = Instant::now();
-    let row_locks: Mutex<FxHashMap<(u32, i64), Arc<Mutex<()>>>> = Mutex::new(FxHashMap::default());
+    let row_locks: RowLockMap = Mutex::new(FxHashMap::default());
     let conflicts = Mutex::new(0u64);
 
     match mode {
@@ -181,8 +188,10 @@ mod tests {
     fn hotspot_restriction_avoids_parallel_conflicts_on_hot_rows() {
         let events = hotspot_events(200);
         let (_, parallel) = replay(&events, ReplayMode::Parallel { workers: 4 });
-        let (_, restricted) =
-            replay(&events, ReplayMode::ParallelHotspotRestricted { workers: 4 });
+        let (_, restricted) = replay(
+            &events,
+            ReplayMode::ParallelHotspotRestricted { workers: 4 },
+        );
         assert!(
             restricted.conflicts <= parallel.conflicts,
             "restricted replay must not contend more ({} vs {})",
@@ -203,7 +212,10 @@ mod tests {
         let events = hotspot_events(30);
         // With a single hot row, the restricted mode keeps commit order on
         // worker 0, so the final value is the last transaction's.
-        let (replica, _) = replay(&events, ReplayMode::ParallelHotspotRestricted { workers: 4 });
+        let (replica, _) = replay(
+            &events,
+            ReplayMode::ParallelHotspotRestricted { workers: 4 },
+        );
         assert_eq!(replica.row(TableId(1), 1).unwrap().get_int(1), Some(30));
         let (replica, _) = replay(&events, ReplayMode::SingleThreaded);
         assert_eq!(replica.row(TableId(1), 1).unwrap().get_int(1), Some(30));

@@ -82,7 +82,10 @@ impl Replica {
 
     /// Current value of a replicated row.
     pub fn row(&self, table: TableId, pk: i64) -> Option<Row> {
-        self.rows.lock().get(&(table, pk)).map(|(_, row)| row.clone())
+        self.rows
+            .lock()
+            .get(&(table, pk))
+            .map(|(_, row)| row.clone())
     }
 
     /// Number of distinct rows the replica holds.
@@ -98,12 +101,12 @@ impl Replica {
     {
         let rows = self.rows.lock();
         rows.iter()
-            .filter_map(|((table, pk), (_, replica_row))| {
-                match primary_committed(*table, *pk) {
+            .filter_map(
+                |((table, pk), (_, replica_row))| match primary_committed(*table, *pk) {
                     Some(primary_row) if primary_row == *replica_row => None,
                     _ => Some((*table, *pk)),
-                }
-            })
+                },
+            )
             .collect()
     }
 }

@@ -1,0 +1,283 @@
+//! Offline shim for the `criterion` crate (see `crates/shims/README.md`).
+//!
+//! Implements the benchmark-definition API this workspace's `benches/` use —
+//! groups, `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `iter_custom`, `BenchmarkId`, `BatchSize` — with a simple
+//! warmup-then-measure loop instead of criterion's statistical machinery.
+//! Results are printed as `group/name: <mean> ns/iter (<iters> iters)`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (best-effort stable impl).
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost (accepted, not interpreted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier (`group/parameter` display).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver handle passed to registered benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_millis(300),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Registers and immediately runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn target_iters(&self, probe: Duration) -> u64 {
+        if probe.is_zero() {
+            return 1_000;
+        }
+        let per_iter = probe.as_secs_f64();
+        ((self.measurement_time.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 10_000_000)
+    }
+
+    /// Times `routine` repeatedly over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Probe once to size the loop.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed();
+        let iters = self.target_iters(probe);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() + probe;
+        self.iters_done = iters + 1;
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let probe_start = Instant::now();
+        black_box(routine(input));
+        let probe = probe_start.elapsed();
+        let iters = self.target_iters(probe).min(100_000);
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured + probe;
+        self.iters_done = iters + 1;
+    }
+
+    /// Hands full timing control to the routine: it receives an iteration
+    /// count and returns the elapsed time.
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        let probe = routine(1);
+        let iters = if probe.is_zero() {
+            100
+        } else {
+            ((self.measurement_time.as_secs_f64() / probe.as_secs_f64()).ceil() as u64)
+                .clamp(1, 1_000_000)
+        };
+        self.elapsed = routine(iters) + probe;
+        self.iters_done = iters + 1;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters_done == 0 {
+            println!("{group}/{id}: no iterations run");
+            return;
+        }
+        let ns_per_iter = self.elapsed.as_nanos() as f64 / self.iters_done as f64;
+        println!(
+            "{group}/{id}: {ns_per_iter:.0} ns/iter ({} iters)",
+            self.iters_done
+        );
+    }
+}
+
+/// Declares the benchmark entry points (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_iteration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.measurement_time(Duration::from_millis(2));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_uses_returned_duration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.measurement_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &(), |b, _| {
+            b.iter_custom(Duration::from_nanos)
+        });
+        group.finish();
+    }
+}

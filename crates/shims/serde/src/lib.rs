@@ -1,0 +1,308 @@
+//! Offline shim for the `serde` crate (see `crates/shims/README.md`).
+//!
+//! Instead of serde's visitor-based data model, this shim defines a concrete
+//! JSON value tree ([`Json`]) and two traits that convert to and from it.
+//! The companion `serde_derive` proc-macro derives both traits for the struct
+//! and enum shapes this workspace uses; `serde_json` renders and parses the
+//! tree.  The encoding follows real serde's JSON conventions (named structs
+//! as objects, newtypes as their inner value, enum unit variants as strings,
+//! enum newtype variants as single-key objects, `Duration` as
+//! `{"secs":..,"nanos":..}`) so recorded artifacts remain readable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (exact).
+    I64(i64),
+    /// Unsigned integer (exact).
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object: ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced when a [`Json`] tree does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl JsonError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Looks up a field of an object.
+    pub fn field(&self, name: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field `{name}`"))),
+            _ => Err(JsonError::new(format!(
+                "expected object with field `{name}`"
+            ))),
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization into the JSON tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Json`] value.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserialization from the JSON tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Json`] value.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                #[allow(unused_comparisons)]
+                if (*self as i128) < 0 {
+                    Json::I64(*self as i64)
+                } else {
+                    Json::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                match value {
+                    Json::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| JsonError::new("integer out of range")),
+                    Json::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| JsonError::new("integer out of range")),
+                    Json::F64(v) if v.fract() == 0.0 => Ok(*v as $t),
+                    _ => Err(JsonError::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::F64(v) => Ok(*v),
+            Json::I64(v) => Ok(*v as f64),
+            Json::U64(v) => Ok(*v as f64),
+            _ => Err(JsonError::new("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        f64::from_json(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Bool(v) => Ok(*v),
+            _ => Err(JsonError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(JsonError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(JsonError::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Arr(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            _ => Err(JsonError::new("expected 2-element array")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.iter()
+                .map(|(k, v)| Json::Arr(vec![k.to_json(), v.to_json()]))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Duration {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("secs".to_owned(), Json::U64(self.as_secs())),
+            (
+                "nanos".to_owned(),
+                Json::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let secs = u64::from_json(value.field("secs")?)?;
+        let nanos = u32::from_json(value.field("nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_json(&42u64.to_json()).unwrap(), 42);
+        assert_eq!(i64::from_json(&(-7i64).to_json()).unwrap(), -7);
+        assert_eq!(String::from_json(&"hi".to_owned().to_json()).unwrap(), "hi");
+        assert_eq!(
+            Vec::<u32>::from_json(&vec![1u32, 2].to_json()).unwrap(),
+            vec![1, 2]
+        );
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::from_json(&d.to_json()).unwrap(), d);
+        let pair = ("x".to_owned(), 9u64);
+        assert_eq!(<(String, u64)>::from_json(&pair.to_json()).unwrap(), pair);
+    }
+
+    #[test]
+    fn field_lookup_errors_are_descriptive() {
+        let obj = Json::Obj(vec![("a".to_owned(), Json::U64(1))]);
+        assert!(obj.field("a").is_ok());
+        assert!(obj
+            .field("b")
+            .unwrap_err()
+            .message
+            .contains("missing field"));
+        assert!(Json::Null.field("a").is_err());
+    }
+}

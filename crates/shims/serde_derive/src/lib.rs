@@ -1,0 +1,352 @@
+//! Offline shim for `serde_derive` (see `crates/shims/README.md`).
+//!
+//! Derives the shim `serde::Serialize` / `serde::Deserialize` traits (which
+//! convert through the `serde::Json` value tree) for the type shapes this
+//! workspace uses: structs with named fields, tuple structs, and enums whose
+//! variants are units or single-field tuples.  The input is parsed directly
+//! from the proc-macro token stream — no `syn`/`quote` available offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    Named { name: String, fields: Vec<String> },
+    /// `struct S(A, B);` — arity recorded.
+    Tuple { name: String, arity: usize },
+    /// `enum E { Unit, Newtype(T) }`
+    Enum {
+        name: String,
+        variants: Vec<(String, bool)>,
+    },
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name = String::new();
+    // Scan: skip attributes and visibility until `struct`/`enum` + name.
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Skip optional `(crate)` style restriction.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(if s == "struct" { "struct" } else { "enum" });
+                        if let Some(TokenTree::Ident(n)) = tokens.next() {
+                            name = n.to_string();
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    // Reject generics: none of the workspace types use them.
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim does not support generic types");
+        }
+    }
+    let body = tokens.next();
+    match (kind, body) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        _ => panic!("unsupported derive input shape for `{name}`"),
+    }
+}
+
+/// Extracts field names from `a: A, b: B, ...` (attributes/vis skipped, types
+/// consumed with angle-bracket depth tracking so `Map<K, V>` commas don't
+/// split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                // Expect `:`, then skip the type up to a top-level comma.
+                let mut angle_depth = 0i32;
+                for tt in tokens.by_ref() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Extracts `(variant_name, has_payload)` pairs from an enum body.  Only unit
+/// variants and single-field tuple variants are supported.
+fn parse_variants(stream: TokenStream) -> Vec<(String, bool)> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let mut has_payload = false;
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        assert!(
+                            count_tuple_fields(g.stream()) == 1,
+                            "serde_derive shim supports only single-field tuple variants"
+                        );
+                        has_payload = true;
+                        tokens.next();
+                    } else if g.delimiter() == Delimiter::Brace {
+                        panic!("serde_derive shim does not support struct variants");
+                    }
+                }
+                variants.push((name, has_payload));
+                // Skip to the next top-level comma (covers discriminants).
+                while let Some(tt) = tokens.peek() {
+                    if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         ::serde::Json::Obj(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_json(&self) -> ::serde::Json {{\n\
+                             ::serde::Serialize::to_json(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: String = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_json(&self.{i}),"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_json(&self) -> ::serde::Json {{\n\
+                             ::serde::Json::Arr(::std::vec![{items}])\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Json::Obj(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                              ::serde::Serialize::to_json(inner))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Json::Str(::std::string::String::from(\"{v}\")),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_json(value.field(\"{f}\")?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(value: &::serde::Json) \
+                         -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_json(value: &::serde::Json) \
+                             -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                             ::std::result::Result::Ok(Self(\
+                                 ::serde::Deserialize::from_json(value)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let inits: String = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_json(value: &::serde::Json) \
+                             -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                             match value {{\n\
+                                 ::serde::Json::Arr(items) if items.len() == {arity} => \
+                                     ::std::result::Result::Ok(Self({inits})),\n\
+                                 _ => ::std::result::Result::Err(::serde::JsonError::new(\
+                                     \"expected {arity}-element array for {name}\")),\n\
+                             }}\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, has_payload)| !has_payload)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, has_payload)| *has_payload)
+                .map(|(v, _)| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_json(payload)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(value: &::serde::Json) \
+                         -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                         match value {{\n\
+                             ::serde::Json::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::JsonError::new(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Json::Obj(pairs) if pairs.len() == 1 => {{\n\
+                                 let (key, payload) = &pairs[0];\n\
+                                 match key.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     other => ::std::result::Result::Err(\
+                                         ::serde::JsonError::new(::std::format!(\
+                                             \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::JsonError::new(\
+                                 \"expected {name} variant\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

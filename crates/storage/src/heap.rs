@@ -28,7 +28,12 @@ impl Page {
     /// Creates an empty page.
     pub fn new(space_id: SpaceId, page_no: PageNo, capacity: u16) -> Self {
         assert!(capacity > 0, "page capacity must be positive");
-        Self { space_id, page_no, capacity, slots: Vec::new() }
+        Self {
+            space_id,
+            page_no,
+            capacity,
+            slots: Vec::new(),
+        }
     }
 
     /// The page's tablespace.
@@ -88,7 +93,7 @@ mod tests {
         let mut page = Page::new(1, 0, 4);
         for expected in 0..4u16 {
             let heap_no = page.allocate(RecordVersions::new_committed(Row::from_ints(&[
-                expected as i64,
+                expected as i64
             ])));
             assert_eq!(heap_no, Some(expected));
         }

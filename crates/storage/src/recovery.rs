@@ -59,8 +59,10 @@ fn replay_row(storage: &Storage, txn: TxnId, table_id: TableId, pk: i64, row: Ro
             slot.write().push_uncommitted(row, txn);
         }
         Err(_) => {
-            let record = table
-                .insert_versions(pk, crate::version::RecordVersions::new_uncommitted(row, txn))?;
+            let record = table.insert_versions(
+                pk,
+                crate::version::RecordVersions::new_uncommitted(row, txn),
+            )?;
             let _ = record;
         }
     }
@@ -84,7 +86,9 @@ pub fn recover(
         state.last_seq = seq;
         match record {
             RedoRecord::Begin { .. } => {}
-            RedoRecord::Update { table, pk, after, .. } => {
+            RedoRecord::Update {
+                table, pk, after, ..
+            } => {
                 replay_row(&storage, txn, *table, *pk, after.clone())?;
                 state.touched.push((*table, *pk));
                 replayed += 1;
@@ -169,7 +173,13 @@ pub fn recover(
     }
     recovered_hot_orders.sort_by_key(|(_, order)| std::cmp::Reverse(*order));
 
-    Ok(RecoveryOutcome { storage, committed, rolled_back, replayed, recovered_hot_orders })
+    Ok(RecoveryOutcome {
+        storage,
+        committed,
+        rolled_back,
+        replayed,
+        recovered_hot_orders,
+    })
 }
 
 #[cfg(test)]
@@ -195,16 +205,31 @@ mod tests {
         let (storage, tid, hot, _cold, checkpoint) = setup();
         let txn = TxnId(10);
         storage.begin_txn(txn);
-        storage.apply_update(txn, tid, hot, Row::from_ints(&[1, 2])).unwrap();
+        storage
+            .apply_update(txn, tid, hot, Row::from_ints(&[1, 2]))
+            .unwrap();
         let lsn = storage.commit_writes(txn, 1, &[(tid, hot)]).unwrap();
         storage.redo().flush_to(lsn);
 
-        let outcome = recover(&checkpoint, &storage.redo().durable_records(), Duration::ZERO).unwrap();
+        let outcome = recover(
+            &checkpoint,
+            &storage.redo().durable_records(),
+            Duration::ZERO,
+        )
+        .unwrap();
         assert_eq!(outcome.committed, vec![txn]);
         assert!(outcome.rolled_back.is_empty());
         let t = outcome.storage.table(tid).unwrap();
         let rid = t.lookup_pk(1).unwrap();
-        assert_eq!(outcome.storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(2));
+        assert_eq!(
+            outcome
+                .storage
+                .read_committed(tid, rid)
+                .unwrap()
+                .unwrap()
+                .get_int(1),
+            Some(2)
+        );
     }
 
     #[test]
@@ -212,17 +237,32 @@ mod tests {
         let (storage, tid, hot, _cold, checkpoint) = setup();
         let txn = TxnId(10);
         storage.begin_txn(txn);
-        let lsn = storage.apply_update(txn, tid, hot, Row::from_ints(&[1, 2])).unwrap();
+        let lsn = storage
+            .apply_update(txn, tid, hot, Row::from_ints(&[1, 2]))
+            .unwrap();
         storage.redo().flush_to(lsn);
         // Commit marker exists but is NOT flushed.
         storage.commit_writes(txn, 1, &[(tid, hot)]).unwrap();
 
-        let outcome = recover(&checkpoint, &storage.redo().durable_records(), Duration::ZERO).unwrap();
+        let outcome = recover(
+            &checkpoint,
+            &storage.redo().durable_records(),
+            Duration::ZERO,
+        )
+        .unwrap();
         assert!(outcome.committed.is_empty());
         assert_eq!(outcome.rolled_back, vec![txn]);
         let t = outcome.storage.table(tid).unwrap();
         let rid = t.lookup_pk(1).unwrap();
-        assert_eq!(outcome.storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(1));
+        assert_eq!(
+            outcome
+                .storage
+                .read_committed(tid, rid)
+                .unwrap()
+                .unwrap()
+                .get_int(1),
+            Some(1)
+        );
     }
 
     #[test]
@@ -232,12 +272,19 @@ mod tests {
         for (t, order, val) in [(1u64, 1u64, 2i64), (3, 2, 3), (2, 3, 4)] {
             let txn = TxnId(t);
             storage.begin_txn(txn);
-            storage.apply_update(txn, tid, hot, Row::from_ints(&[1, val])).unwrap();
+            storage
+                .apply_update(txn, tid, hot, Row::from_ints(&[1, val]))
+                .unwrap();
             storage.set_hot_update_order(txn, order);
         }
         storage.redo().flush_all();
 
-        let outcome = recover(&checkpoint, &storage.redo().durable_records(), Duration::ZERO).unwrap();
+        let outcome = recover(
+            &checkpoint,
+            &storage.redo().durable_records(),
+            Duration::ZERO,
+        )
+        .unwrap();
         // Reverse hot-update order: order 3 (T2), then order 2 (T3), then order 1 (T1).
         assert_eq!(outcome.rolled_back, vec![TxnId(2), TxnId(3), TxnId(1)]);
         assert_eq!(
@@ -246,7 +293,15 @@ mod tests {
         );
         let t = outcome.storage.table(tid).unwrap();
         let rid = t.lookup_pk(1).unwrap();
-        assert_eq!(outcome.storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(1));
+        assert_eq!(
+            outcome
+                .storage
+                .read_committed(tid, rid)
+                .unwrap()
+                .unwrap()
+                .get_int(1),
+            Some(1)
+        );
     }
 
     #[test]
@@ -254,19 +309,33 @@ mod tests {
         let (storage, tid, _hot, _cold, checkpoint) = setup();
         let committed_txn = TxnId(5);
         storage.begin_txn(committed_txn);
-        let (rid, _) = storage.apply_insert(committed_txn, tid, Row::from_ints(&[10, 10])).unwrap();
-        let lsn = storage.commit_writes(committed_txn, 2, &[(tid, rid)]).unwrap();
+        let (rid, _) = storage
+            .apply_insert(committed_txn, tid, Row::from_ints(&[10, 10]))
+            .unwrap();
+        let lsn = storage
+            .commit_writes(committed_txn, 2, &[(tid, rid)])
+            .unwrap();
         storage.redo().flush_to(lsn);
 
         let active_txn = TxnId(6);
         storage.begin_txn(active_txn);
-        storage.apply_insert(active_txn, tid, Row::from_ints(&[11, 11])).unwrap();
+        storage
+            .apply_insert(active_txn, tid, Row::from_ints(&[11, 11]))
+            .unwrap();
         storage.redo().flush_all();
 
-        let outcome = recover(&checkpoint, &storage.redo().durable_records(), Duration::ZERO).unwrap();
+        let outcome = recover(
+            &checkpoint,
+            &storage.redo().durable_records(),
+            Duration::ZERO,
+        )
+        .unwrap();
         let t = outcome.storage.table(tid).unwrap();
         assert!(t.lookup_pk(10).is_ok(), "committed insert must survive");
-        assert!(t.lookup_pk(11).is_err(), "uncommitted insert must be rolled back");
+        assert!(
+            t.lookup_pk(11).is_err(),
+            "uncommitted insert must be rolled back"
+        );
         assert_eq!(outcome.committed, vec![committed_txn]);
         assert!(outcome.rolled_back.contains(&active_txn));
     }
@@ -279,7 +348,9 @@ mod tests {
         for (t, order, val) in [(1u64, 1u64, 2i64), (2, 2, 3)] {
             let txn = TxnId(t);
             storage.begin_txn(txn);
-            storage.apply_update(txn, tid, hot, Row::from_ints(&[1, val])).unwrap();
+            storage
+                .apply_update(txn, tid, hot, Row::from_ints(&[1, val]))
+                .unwrap();
             storage.set_hot_update_order(txn, order);
         }
         storage.redo().flush_all();
@@ -290,7 +361,12 @@ mod tests {
         let value = |outcome: &RecoveryOutcome| {
             let t = outcome.storage.table(tid).unwrap();
             let rid = t.lookup_pk(1).unwrap();
-            outcome.storage.read_committed(tid, rid).unwrap().unwrap().get_int(1)
+            outcome
+                .storage
+                .read_committed(tid, rid)
+                .unwrap()
+                .unwrap()
+                .get_int(1)
         };
         assert_eq!(value(&first), value(&second));
         assert_eq!(first.rolled_back, second.rolled_back);

@@ -30,8 +30,16 @@ pub struct TableSchema {
 impl TableSchema {
     /// Creates a schema with the default page packing.
     pub fn new(id: TableId, name: impl Into<String>, n_columns: usize) -> Self {
-        assert!(n_columns >= 1, "a table needs at least the primary key column");
-        Self { id, name: name.into(), n_columns, rows_per_page: DEFAULT_ROWS_PER_PAGE }
+        assert!(
+            n_columns >= 1,
+            "a table needs at least the primary key column"
+        );
+        Self {
+            id,
+            name: name.into(),
+            n_columns,
+            rows_per_page: DEFAULT_ROWS_PER_PAGE,
+        }
     }
 
     /// Overrides the number of rows per page (used by tests that want to force

@@ -64,7 +64,9 @@ impl Storage {
     pub fn create_table(&self, schema: TableSchema) -> Result<Arc<Table>> {
         let mut tables = self.tables.write();
         if tables.contains_key(&schema.id) {
-            return Err(Error::Internal { reason: format!("{} already exists", schema.id) });
+            return Err(Error::Internal {
+                reason: format!("{} already exists", schema.id),
+            });
         }
         let table = Arc::new(Table::new(schema.clone()));
         tables.insert(schema.id, Arc::clone(&table));
@@ -73,7 +75,11 @@ impl Storage {
 
     /// Looks up a table.
     pub fn table(&self, id: TableId) -> Result<Arc<Table>> {
-        self.tables.read().get(&id).cloned().ok_or(Error::UnknownTable { table: id })
+        self.tables
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(Error::UnknownTable { table: id })
     }
 
     /// All tables, in id order.
@@ -131,7 +137,11 @@ impl Storage {
     pub fn latest_writer(&self, table: TableId, record: RecordId) -> Result<Option<TxnId>> {
         let slot = self.table(table)?.slot(record)?;
         let guard = slot.read();
-        Ok(if guard.has_uncommitted_head() { guard.latest_writer() } else { None })
+        Ok(if guard.has_uncommitted_head() {
+            guard.latest_writer()
+        } else {
+            None
+        })
     }
 
     // ---------------------------------------------------------------------
@@ -159,26 +169,48 @@ impl Storage {
         {
             let mut guard = slot.write();
             let before = guard.latest_row().ok_or(Error::UnknownRecord { record })?;
-            self.undo.push(txn, UndoRecord::Update { table: table_id, record, before });
+            self.undo.push(
+                txn,
+                UndoRecord::Update {
+                    table: table_id,
+                    record,
+                    before,
+                },
+            );
             guard.push_uncommitted(new_row.clone(), txn);
         }
-        Ok(self.redo.append(RedoRecord::Update { txn, table: table_id, record, pk, after: new_row }))
+        Ok(self.redo.append(RedoRecord::Update {
+            txn,
+            table: table_id,
+            record,
+            pk,
+            after: new_row,
+        }))
     }
 
     /// Applies a transactional insert (uncommitted), recording undo and redo.
-    pub fn apply_insert(
-        &self,
-        txn: TxnId,
-        table_id: TableId,
-        row: Row,
-    ) -> Result<(RecordId, Lsn)> {
+    pub fn apply_insert(&self, txn: TxnId, table_id: TableId, row: Row) -> Result<(RecordId, Lsn)> {
         let table = self.table(table_id)?;
-        let pk = row
-            .primary_key()
-            .ok_or_else(|| Error::Internal { reason: "insert without integer pk".into() })?;
-        let record = table.insert_versions(pk, RecordVersions::new_uncommitted(row.clone(), txn))?;
-        self.undo.push(txn, UndoRecord::Insert { table: table_id, record, pk });
-        let lsn = self.redo.append(RedoRecord::Insert { txn, table: table_id, record, pk, row });
+        let pk = row.primary_key().ok_or_else(|| Error::Internal {
+            reason: "insert without integer pk".into(),
+        })?;
+        let record =
+            table.insert_versions(pk, RecordVersions::new_uncommitted(row.clone(), txn))?;
+        self.undo.push(
+            txn,
+            UndoRecord::Insert {
+                table: table_id,
+                record,
+                pk,
+            },
+        );
+        let lsn = self.redo.append(RedoRecord::Insert {
+            txn,
+            table: table_id,
+            record,
+            pk,
+            row,
+        });
         Ok((record, lsn))
     }
 
@@ -186,7 +218,10 @@ impl Storage {
     pub fn set_hot_update_order(&self, txn: TxnId, order: u64) -> Lsn {
         let header = UndoHeader::with_hot_update_order(order);
         self.undo.set_header(txn, header);
-        self.redo.append(RedoRecord::UndoHeader { txn, field: header.raw() })
+        self.redo.append(RedoRecord::UndoHeader {
+            txn,
+            field: header.raw(),
+        })
     }
 
     /// Marks every version written by `txn` on the given records as committed
@@ -206,7 +241,10 @@ impl Storage {
         }
         let header = UndoHeader::with_trx_no(trx_no);
         self.undo.set_header(txn, header);
-        self.redo.append(RedoRecord::UndoHeader { txn, field: header.raw() });
+        self.redo.append(RedoRecord::UndoHeader {
+            txn,
+            field: header.raw(),
+        });
         let lsn = self.redo.append(RedoRecord::Commit { txn, trx_no });
         self.undo.take(txn);
         Ok(lsn)
@@ -270,7 +308,10 @@ impl Storage {
             }
             tables.push((table.schema().clone(), rows));
         }
-        CheckpointImage { lsn: self.redo.latest_lsn(), tables }
+        CheckpointImage {
+            lsn: self.redo.latest_lsn(),
+            tables,
+        }
     }
 
     /// Rebuilds a storage engine from a checkpoint image (no redo replay; see
@@ -294,7 +335,9 @@ mod tests {
     fn setup() -> (Storage, TableId, RecordId) {
         let storage = Storage::default();
         let tid = TableId(1);
-        storage.create_table(TableSchema::new(tid, "t1", 2)).unwrap();
+        storage
+            .create_table(TableSchema::new(tid, "t1", 2))
+            .unwrap();
         let rid = storage.load_row(tid, Row::from_ints(&[1, 100])).unwrap();
         (storage, tid, rid)
     }
@@ -304,14 +347,30 @@ mod tests {
         let (storage, tid, rid) = setup();
         let txn = TxnId(10);
         storage.begin_txn(txn);
-        storage.apply_update(txn, tid, rid, Row::from_ints(&[1, 101])).unwrap();
+        storage
+            .apply_update(txn, tid, rid, Row::from_ints(&[1, 101]))
+            .unwrap();
         // Not yet visible to committed readers.
-        assert_eq!(storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(100));
+        assert_eq!(
+            storage
+                .read_committed(tid, rid)
+                .unwrap()
+                .unwrap()
+                .get_int(1),
+            Some(100)
+        );
         assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(101));
         assert_eq!(storage.latest_writer(tid, rid).unwrap(), Some(txn));
         let lsn = storage.commit_writes(txn, 1, &[(tid, rid)]).unwrap();
         storage.redo().flush_to(lsn);
-        assert_eq!(storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(101));
+        assert_eq!(
+            storage
+                .read_committed(tid, rid)
+                .unwrap()
+                .unwrap()
+                .get_int(1),
+            Some(101)
+        );
         assert_eq!(storage.latest_writer(tid, rid).unwrap(), None);
         // Undo segment is gone after commit.
         assert_eq!(storage.undo().segment_len(txn), 0);
@@ -322,10 +381,19 @@ mod tests {
         let (storage, tid, rid) = setup();
         let txn = TxnId(11);
         storage.begin_txn(txn);
-        storage.apply_update(txn, tid, rid, Row::from_ints(&[1, 999])).unwrap();
+        storage
+            .apply_update(txn, tid, rid, Row::from_ints(&[1, 999]))
+            .unwrap();
         storage.rollback_writes(txn).unwrap();
         assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(100));
-        assert_eq!(storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(100));
+        assert_eq!(
+            storage
+                .read_committed(tid, rid)
+                .unwrap()
+                .unwrap()
+                .get_int(1),
+            Some(100)
+        );
     }
 
     #[test]
@@ -333,7 +401,9 @@ mod tests {
         let (storage, tid, _) = setup();
         let txn = TxnId(12);
         storage.begin_txn(txn);
-        let (rid, _) = storage.apply_insert(txn, tid, Row::from_ints(&[2, 200])).unwrap();
+        let (rid, _) = storage
+            .apply_insert(txn, tid, Row::from_ints(&[2, 200]))
+            .unwrap();
         assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(200));
         storage.rollback_writes(txn).unwrap();
         assert!(storage.table(tid).unwrap().lookup_pk(2).is_err());
@@ -344,10 +414,19 @@ mod tests {
         let (storage, tid, _) = setup();
         let txn = TxnId(13);
         storage.begin_txn(txn);
-        let (rid, _) = storage.apply_insert(txn, tid, Row::from_ints(&[5, 500])).unwrap();
+        let (rid, _) = storage
+            .apply_insert(txn, tid, Row::from_ints(&[5, 500]))
+            .unwrap();
         assert!(storage.read_committed(tid, rid).unwrap().is_none());
         storage.commit_writes(txn, 2, &[(tid, rid)]).unwrap();
-        assert_eq!(storage.read_committed(tid, rid).unwrap().unwrap().get_int(1), Some(500));
+        assert_eq!(
+            storage
+                .read_committed(tid, rid)
+                .unwrap()
+                .unwrap()
+                .get_int(1),
+            Some(500)
+        );
     }
 
     #[test]
@@ -356,7 +435,9 @@ mod tests {
         for (t, v) in [(1u64, 101i64), (2, 102), (3, 103)] {
             let txn = TxnId(t);
             storage.begin_txn(txn);
-            storage.apply_update(txn, tid, rid, Row::from_ints(&[1, v])).unwrap();
+            storage
+                .apply_update(txn, tid, rid, Row::from_ints(&[1, v]))
+                .unwrap();
         }
         assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(103));
         storage.rollback_writes(TxnId(3)).unwrap();
@@ -370,7 +451,9 @@ mod tests {
         let (storage, tid, rid) = setup();
         let txn = TxnId(21);
         storage.begin_txn(txn);
-        storage.apply_update(txn, tid, rid, Row::from_ints(&[1, 150])).unwrap();
+        storage
+            .apply_update(txn, tid, rid, Row::from_ints(&[1, 150]))
+            .unwrap();
         storage.set_hot_update_order(txn, 17);
         assert_eq!(storage.undo().header(txn).hot_update_order(), Some(17));
         let has_header_record = storage
@@ -386,24 +469,35 @@ mod tests {
         let (storage, tid, rid) = setup();
         let txn = TxnId(30);
         storage.begin_txn(txn);
-        storage.apply_update(txn, tid, rid, Row::from_ints(&[1, 123])).unwrap();
+        storage
+            .apply_update(txn, tid, rid, Row::from_ints(&[1, 123]))
+            .unwrap();
         storage.commit_writes(txn, 3, &[(tid, rid)]).unwrap();
         // An uncommitted change must not leak into the checkpoint.
         let txn2 = TxnId(31);
         storage.begin_txn(txn2);
-        storage.apply_update(txn2, tid, rid, Row::from_ints(&[1, 999])).unwrap();
+        storage
+            .apply_update(txn2, tid, rid, Row::from_ints(&[1, 999]))
+            .unwrap();
 
         let image = storage.checkpoint();
         let rebuilt = Storage::from_checkpoint(&image, Duration::ZERO).unwrap();
         let rid2 = rebuilt.table(tid).unwrap().lookup_pk(1).unwrap();
-        assert_eq!(rebuilt.read_latest(tid, rid2).unwrap().get_int(1), Some(123));
+        assert_eq!(
+            rebuilt.read_latest(tid, rid2).unwrap().get_int(1),
+            Some(123)
+        );
     }
 
     #[test]
     fn duplicate_table_creation_fails() {
         let storage = Storage::default();
-        storage.create_table(TableSchema::new(TableId(9), "a", 1)).unwrap();
-        assert!(storage.create_table(TableSchema::new(TableId(9), "b", 1)).is_err());
+        storage
+            .create_table(TableSchema::new(TableId(9), "a", 1))
+            .unwrap();
+        assert!(storage
+            .create_table(TableSchema::new(TableId(9), "b", 1))
+            .is_err());
         assert!(storage.table(TableId(8)).is_err());
     }
 }

@@ -51,7 +51,10 @@ impl Table {
         {
             let index = self.pk_index.read();
             if index.contains_key(&row_pk) {
-                return Err(Error::DuplicateKey { table: self.schema.id, key: row_pk });
+                return Err(Error::DuplicateKey {
+                    table: self.schema.id,
+                    key: row_pk,
+                });
             }
         }
         let record_id = {
@@ -59,18 +62,26 @@ impl Table {
             let need_new_page = pages.last().map(|p| p.is_full()).unwrap_or(true);
             if need_new_page {
                 let page_no = pages.len() as PageNo;
-                pages.push(Page::new(self.schema.space_id(), page_no, self.schema.rows_per_page));
+                pages.push(Page::new(
+                    self.schema.space_id(),
+                    page_no,
+                    self.schema.rows_per_page,
+                ));
             }
             let page = pages.last_mut().expect("page just ensured");
-            let heap_no: HeapNo =
-                page.allocate(versions).expect("freshly ensured page cannot be full");
+            let heap_no: HeapNo = page
+                .allocate(versions)
+                .expect("freshly ensured page cannot be full");
             RecordId::new(self.schema.space_id(), page.page_no(), heap_no)
         };
         let mut index = self.pk_index.write();
         if index.contains_key(&row_pk) {
             // Lost the race with a concurrent insert of the same key.  The heap
             // slot stays allocated but unindexed (same as a rolled-back insert).
-            return Err(Error::DuplicateKey { table: self.schema.id, key: row_pk });
+            return Err(Error::DuplicateKey {
+                table: self.schema.id,
+                key: row_pk,
+            });
         }
         index.insert(row_pk, record_id);
         Ok(record_id)
@@ -78,9 +89,9 @@ impl Table {
 
     /// Bulk-load convenience: inserts a committed row.
     pub fn insert_committed(&self, row: Row) -> Result<RecordId> {
-        let pk = row
-            .primary_key()
-            .ok_or_else(|| Error::Internal { reason: "row has no integer primary key".into() })?;
+        let pk = row.primary_key().ok_or_else(|| Error::Internal {
+            reason: "row has no integer primary key".into(),
+        })?;
         self.insert_versions(pk, RecordVersions::new_committed(row))
     }
 
@@ -90,7 +101,10 @@ impl Table {
             .read()
             .get(&pk)
             .copied()
-            .ok_or(Error::KeyNotFound { table: self.schema.id, key: pk })
+            .ok_or(Error::KeyNotFound {
+                table: self.schema.id,
+                key: pk,
+            })
     }
 
     /// Removes a primary key from the index (used when rolling back an
@@ -168,7 +182,10 @@ mod tests {
     #[test]
     fn unknown_lookups_fail_cleanly() {
         let t = small_table();
-        assert!(matches!(t.lookup_pk(99), Err(Error::KeyNotFound { key: 99, .. })));
+        assert!(matches!(
+            t.lookup_pk(99),
+            Err(Error::KeyNotFound { key: 99, .. })
+        ));
         let missing = RecordId::new(1, 9, 9);
         assert!(matches!(t.slot(missing), Err(Error::UnknownRecord { .. })));
     }

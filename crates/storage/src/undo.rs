@@ -32,14 +32,22 @@ impl UndoHeader {
 
     /// Encodes a commit sequence number.
     pub fn with_trx_no(trx_no: u64) -> Self {
-        assert!(trx_no & HOT_UPDATE_ORDER_FLAG == 0, "trx_no overflows the header field");
+        assert!(
+            trx_no & HOT_UPDATE_ORDER_FLAG == 0,
+            "trx_no overflows the header field"
+        );
         Self { field: trx_no }
     }
 
     /// Encodes a hot update order (top bit set).
     pub fn with_hot_update_order(order: u64) -> Self {
-        assert!(order & HOT_UPDATE_ORDER_FLAG == 0, "hot_update_order overflows the header field");
-        Self { field: order | HOT_UPDATE_ORDER_FLAG }
+        assert!(
+            order & HOT_UPDATE_ORDER_FLAG == 0,
+            "hot_update_order overflows the header field"
+        );
+        Self {
+            field: order | HOT_UPDATE_ORDER_FLAG,
+        }
     }
 
     /// The raw field value as persisted in the redo log.
@@ -164,7 +172,12 @@ impl UndoLog {
 
     /// Appends an undo record for `txn`.
     pub fn push(&self, txn: TxnId, record: UndoRecord) {
-        self.segments.lock().entry(txn).or_default().records.push(record);
+        self.segments
+            .lock()
+            .entry(txn)
+            .or_default()
+            .records
+            .push(record);
     }
 
     /// Sets the undo header field for `txn`.
@@ -174,7 +187,11 @@ impl UndoLog {
 
     /// Reads the undo header for `txn`.
     pub fn header(&self, txn: TxnId) -> UndoHeader {
-        self.segments.lock().get(&txn).map(|s| s.header).unwrap_or_default()
+        self.segments
+            .lock()
+            .get(&txn)
+            .map(|s| s.header)
+            .unwrap_or_default()
     }
 
     /// Number of undo records accumulated by `txn`.
@@ -249,7 +266,11 @@ mod tests {
         );
         log.push(
             txn,
-            UndoRecord::Insert { table: TableId(1), record: RecordId::new(1, 0, 1), pk: 2 },
+            UndoRecord::Insert {
+                table: TableId(1),
+                record: RecordId::new(1, 0, 1),
+                pk: 2,
+            },
         );
         log.set_header(txn, UndoHeader::with_hot_update_order(3));
         assert_eq!(log.segment_len(txn), 2);
@@ -285,7 +306,11 @@ mod tests {
     #[test]
     fn undo_record_exposes_its_record_id() {
         let r = RecordId::new(4, 5, 6);
-        let rec = UndoRecord::Update { table: TableId(4), record: r, before: Row::default() };
+        let rec = UndoRecord::Update {
+            table: TableId(4),
+            record: r,
+            before: Row::default(),
+        };
         assert_eq!(rec.record(), r);
     }
 }

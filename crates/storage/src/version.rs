@@ -75,7 +75,11 @@ impl RecordVersions {
     /// `commit_no = 0`).
     pub fn new_committed(row: Row) -> Self {
         Self {
-            versions: vec![Version { row, writer: TxnId::INVALID, commit_no: Some(0) }],
+            versions: vec![Version {
+                row,
+                writer: TxnId::INVALID,
+                commit_no: Some(0),
+            }],
             deleted: false,
         }
     }
@@ -83,7 +87,14 @@ impl RecordVersions {
     /// Creates a chain whose base version was written by `writer` and is not
     /// yet committed (transactional insert path).
     pub fn new_uncommitted(row: Row, writer: TxnId) -> Self {
-        Self { versions: vec![Version { row, writer, commit_no: None }], deleted: false }
+        Self {
+            versions: vec![Version {
+                row,
+                writer,
+                commit_no: None,
+            }],
+            deleted: false,
+        }
     }
 
     /// The newest version (the one an updater operates on).
@@ -103,7 +114,10 @@ impl RecordVersions {
 
     /// True when the newest version is not yet committed.
     pub fn has_uncommitted_head(&self) -> bool {
-        self.versions.first().map(|v| !v.is_committed()).unwrap_or(false)
+        self.versions
+            .first()
+            .map(|v| !v.is_committed())
+            .unwrap_or(false)
     }
 
     /// Number of versions currently retained.
@@ -127,7 +141,14 @@ impl RecordVersions {
     /// only pushes onto committed heads because the row lock serialises
     /// writers across commit.
     pub fn push_uncommitted(&mut self, row: Row, writer: TxnId) {
-        self.versions.insert(0, Version { row, writer, commit_no: None });
+        self.versions.insert(
+            0,
+            Version {
+                row,
+                writer,
+                commit_no: None,
+            },
+        );
     }
 
     /// Marks every version written by `writer` as committed with `commit_no`.
@@ -155,7 +176,8 @@ impl RecordVersions {
     /// themselves doomed to cascade, so the final state is still correct.
     pub fn rollback_writer(&mut self, writer: TxnId) -> usize {
         let before = self.versions.len();
-        self.versions.retain(|v| !(v.writer == writer && v.commit_no.is_none()));
+        self.versions
+            .retain(|v| !(v.writer == writer && v.commit_no.is_none()));
         before - self.versions.len()
     }
 
@@ -175,9 +197,7 @@ impl RecordVersions {
     /// the chain short (a stand-in for purge; called opportunistically by the
     /// engine).  Uncommitted versions are never purged.
     pub fn purge_old_committed(&mut self) -> usize {
-        let Some(first_committed) =
-            self.versions.iter().position(|v| v.is_committed())
-        else {
+        let Some(first_committed) = self.versions.iter().position(|v| v.is_committed()) else {
             return 0;
         };
         let before = self.versions.len();
@@ -203,7 +223,10 @@ mod tests {
     #[test]
     fn committed_base_is_visible_to_read_committed() {
         let chain = RecordVersions::new_committed(row(10));
-        assert_eq!(chain.visible_row(&ReadCommitted).unwrap().get_int(1), Some(10));
+        assert_eq!(
+            chain.visible_row(&ReadCommitted).unwrap().get_int(1),
+            Some(10)
+        );
         assert!(!chain.has_uncommitted_head());
     }
 
@@ -214,7 +237,10 @@ mod tests {
         assert!(chain.has_uncommitted_head());
         assert_eq!(chain.latest_row().unwrap().get_int(1), Some(20));
         // Snapshot readers still see the committed value.
-        assert_eq!(chain.visible_row(&ReadCommitted).unwrap().get_int(1), Some(10));
+        assert_eq!(
+            chain.visible_row(&ReadCommitted).unwrap().get_int(1),
+            Some(10)
+        );
     }
 
     #[test]
@@ -222,7 +248,10 @@ mod tests {
         let mut chain = RecordVersions::new_committed(row(10));
         chain.push_uncommitted(row(20), TxnId(5));
         assert_eq!(chain.commit_writer(TxnId(5), 7), 1);
-        assert_eq!(chain.visible_row(&ReadCommitted).unwrap().get_int(1), Some(20));
+        assert_eq!(
+            chain.visible_row(&ReadCommitted).unwrap().get_int(1),
+            Some(20)
+        );
     }
 
     #[test]
@@ -268,7 +297,10 @@ mod tests {
         // One uncommitted head + one committed version remain.
         assert_eq!(chain.version_count(), 2);
         assert_eq!(chain.latest_row().unwrap().get_int(1), Some(99));
-        assert_eq!(chain.visible_row(&ReadCommitted).unwrap().get_int(1), Some(14));
+        assert_eq!(
+            chain.visible_row(&ReadCommitted).unwrap().get_int(1),
+            Some(14)
+        );
     }
 
     #[test]

@@ -212,12 +212,18 @@ mod tests {
     fn unflushed_records_do_not_survive_a_crash() {
         let log = RedoLog::default();
         log.append(upd(1, 0, 5));
-        let flushed_up_to = log.append(RedoRecord::Commit { txn: TxnId(1), trx_no: 1 });
+        let flushed_up_to = log.append(RedoRecord::Commit {
+            txn: TxnId(1),
+            trx_no: 1,
+        });
         log.flush_to(flushed_up_to);
         log.append(upd(2, 0, 6)); // never flushed
         let survived = log.durable_records();
         assert_eq!(survived.len(), 2);
-        assert!(matches!(survived.last().unwrap(), RedoRecord::Commit { .. }));
+        assert!(matches!(
+            survived.last().unwrap(),
+            RedoRecord::Commit { .. }
+        ));
         assert_eq!(log.all_records().len(), 3);
     }
 
@@ -238,7 +244,10 @@ mod tests {
         let log = RedoLog::default();
         for t in 1..=10u64 {
             log.append(upd(t, 0, t as i64));
-            log.append(RedoRecord::Commit { txn: TxnId(t), trx_no: t });
+            log.append(RedoRecord::Commit {
+                txn: TxnId(t),
+                trx_no: t,
+            });
         }
         log.flush_all();
         assert_eq!(log.fsync_count(), 1);

@@ -72,7 +72,11 @@ impl ReadView {
 impl VisibilityJudge for ReadView {
     fn is_visible(&self, writer: TxnId, commit_no: Option<u64>) -> bool {
         match self {
-            ReadView::Copying { active_ids, low_limit, owner } => {
+            ReadView::Copying {
+                active_ids,
+                low_limit,
+                owner,
+            } => {
                 if writer == *owner {
                     return true;
                 }
@@ -90,7 +94,10 @@ impl VisibilityJudge for ReadView {
                 // Active (uncommitted) when the view was created?
                 !active_ids.contains(&writer)
             }
-            ReadView::CopyFree { commit_horizon, owner } => {
+            ReadView::CopyFree {
+                commit_horizon,
+                owner,
+            } => {
                 if writer == *owner {
                     return true;
                 }
@@ -137,7 +144,10 @@ mod tests {
 
     #[test]
     fn copy_free_view_uses_commit_horizon() {
-        let view = ReadView::CopyFree { commit_horizon: 10, owner: TxnId(99) };
+        let view = ReadView::CopyFree {
+            commit_horizon: 10,
+            owner: TxnId(99),
+        };
         assert!(view.is_visible(TxnId(1), Some(10)));
         assert!(view.is_visible(TxnId(1), Some(1)));
         assert!(!view.is_visible(TxnId(1), Some(11)));
@@ -151,7 +161,10 @@ mod tests {
         // A writer that committed before either snapshot must be visible to
         // both; a writer that committed after must be invisible to both.
         let copying_view = copying(&[], 100, 1);
-        let copy_free_view = ReadView::CopyFree { commit_horizon: 50, owner: TxnId(1) };
+        let copy_free_view = ReadView::CopyFree {
+            commit_horizon: 50,
+            owner: TxnId(1),
+        };
         for (writer, commit_no, expected) in
             [(TxnId(10), Some(20u64), true), (TxnId(10), None, false)]
         {
@@ -162,7 +175,10 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let v = ReadView::CopyFree { commit_horizon: 1, owner: TxnId(2) };
+        let v = ReadView::CopyFree {
+            commit_horizon: 1,
+            owner: TxnId(2),
+        };
         assert_eq!(v.owner(), TxnId(2));
         assert_eq!(v.mode(), ReadViewMode::CopyFree);
         let c = copying(&[], 1, 3);

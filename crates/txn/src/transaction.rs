@@ -1,7 +1,7 @@
 //! The per-worker transaction handle.
 
 use std::time::Instant;
-use txsql_common::fxhash::FxHashMap;
+use txsql_common::fxhash::{FxHashMap, FxHashSet};
 use txsql_common::{RecordId, Row, TableId, TxnId};
 
 /// Lifecycle state of a transaction.
@@ -42,8 +42,10 @@ pub struct Transaction {
     /// Hot rows this transaction updated, with its role and hot-update order.
     hot_updates: FxHashMap<u64, (HotRole, u64)>,
     /// Rows whose lock this transaction currently holds through the lock
-    /// manager (leaders and plain-2PL writers; followers hold none).
-    locked_records: Vec<RecordId>,
+    /// manager (leaders and plain-2PL writers; followers hold none).  A hash
+    /// set so the per-statement "already locked?" check is O(1) no matter
+    /// how many rows the transaction touches.
+    locked_records: FxHashSet<RecordId>,
     /// Records read from an uncommitted version (Bamboo-style dirty reads),
     /// together with the writer depended upon.
     dirty_reads_from: Vec<TxnId>,
@@ -64,7 +66,7 @@ impl Transaction {
             write_set: Vec::new(),
             read_set: Vec::new(),
             hot_updates: FxHashMap::default(),
-            locked_records: Vec::new(),
+            locked_records: FxHashSet::default(),
             dirty_reads_from: Vec::new(),
             changes: Vec::new(),
             blocked: std::time::Duration::ZERO,
@@ -115,7 +117,9 @@ impl Transaction {
 
     /// Role on a specific hot row, if the transaction updated it.
     pub fn hot_role(&self, record: RecordId) -> Option<HotRole> {
-        self.hot_updates.get(&record.packed()).map(|(role, _)| *role)
+        self.hot_updates
+            .get(&record.packed())
+            .map(|(role, _)| *role)
     }
 
     /// True when this transaction updated the given hot row.
@@ -130,14 +134,18 @@ impl Transaction {
 
     /// Remembers that this transaction holds the lock-manager lock on a record.
     pub fn record_lock(&mut self, record: RecordId) {
-        if !self.locked_records.contains(&record) {
-            self.locked_records.push(record);
-        }
+        self.locked_records.insert(record);
     }
 
     /// Records this transaction currently holds locks on.
-    pub fn locked_records(&self) -> &[RecordId] {
+    pub fn locked_records(&self) -> &FxHashSet<RecordId> {
         &self.locked_records
+    }
+
+    /// True when this transaction holds the lock-manager lock on `record`.
+    #[inline]
+    pub fn holds_lock(&self, record: RecordId) -> bool {
+        self.locked_records.contains(&record)
     }
 
     /// Records that this transaction read uncommitted data written by `writer`
@@ -235,6 +243,8 @@ mod tests {
         let r = RecordId::new(2, 1, 0);
         t.record_lock(r);
         t.record_lock(r);
-        assert_eq!(t.locked_records(), &[r]);
+        assert_eq!(t.locked_records().len(), 1);
+        assert!(t.holds_lock(r));
+        assert!(!t.holds_lock(RecordId::new(2, 1, 1)));
     }
 }

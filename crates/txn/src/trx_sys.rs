@@ -12,8 +12,10 @@ use crate::readview::{ReadView, ReadViewMode};
 use crate::transaction::Transaction;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use txsql_common::fxhash::FxHashSet;
 use txsql_common::TxnId;
+use txsql_lockmgr::registry::TxnLockRegistry;
 
 /// The transaction system.
 #[derive(Debug)]
@@ -26,6 +28,10 @@ pub struct TrxSys {
     /// The classic active transaction list (locked + copied by copying views).
     active: Mutex<FxHashSet<TxnId>>,
     read_view_mode: ReadViewMode,
+    /// Lock registries checked at transaction teardown: `finish` asserts (in
+    /// debug builds) that `release_all` drained the finished transaction's
+    /// bookkeeping, so leaks surface at the transaction that caused them.
+    lock_registries: Vec<Arc<TxnLockRegistry>>,
 }
 
 impl TrxSys {
@@ -37,7 +43,14 @@ impl TrxSys {
             max_committed_trx_no: AtomicU64::new(0),
             active: Mutex::new(FxHashSet::default()),
             read_view_mode,
+            lock_registries: Vec::new(),
         }
+    }
+
+    /// Attaches the lock registries whose drained state `finish` asserts.
+    pub fn with_lock_registries(mut self, registries: Vec<Arc<TxnLockRegistry>>) -> Self {
+        self.lock_registries = registries;
+        self
     }
 
     /// The configured read-view mode.
@@ -64,6 +77,20 @@ impl TrxSys {
         self.active.lock().remove(&txn);
         if let Some(no) = committed_trx_no {
             self.max_committed_trx_no.fetch_max(no, Ordering::AcqRel);
+        }
+        // A finished transaction must not keep registry entries alive:
+        // release_all already drained them, so this is a debug-only check
+        // (one lookup in the transaction's own shard).  Removing leftovers
+        // here would hide the leak — the page-queue/holder entries they
+        // refer to would stay behind silently.
+        if cfg!(debug_assertions) {
+            for registry in &self.lock_registries {
+                debug_assert_eq!(
+                    registry.record_count_of(txn),
+                    0,
+                    "transaction {txn} finished with lock bookkeeping still registered"
+                );
+            }
         }
     }
 
@@ -99,9 +126,10 @@ impl TrxSys {
                     owner,
                 }
             }
-            ReadViewMode::CopyFree => {
-                ReadView::CopyFree { commit_horizon: self.commit_horizon(), owner }
-            }
+            ReadViewMode::CopyFree => ReadView::CopyFree {
+                commit_horizon: self.commit_horizon(),
+                owner,
+            },
         }
     }
 }
@@ -128,6 +156,33 @@ mod tests {
         sys.finish(a.id, None);
         assert_eq!(sys.active_count(), 1);
         assert!(!sys.is_active(a.id));
+    }
+
+    #[test]
+    fn finish_asserts_registries_drained() {
+        let registry = Arc::new(TxnLockRegistry::new(8));
+        let sys =
+            TrxSys::new(ReadViewMode::CopyFree).with_lock_registries(vec![Arc::clone(&registry)]);
+        // Clean teardown passes the drained-registry check.
+        let t = sys.begin();
+        sys.finish(t.id, None);
+        assert!(registry.is_empty());
+        // A leaked entry is loud in debug builds (and deliberately left
+        // intact rather than silently dropped — it still refers to live
+        // lock-table state).
+        if cfg!(debug_assertions) {
+            let t2 = sys.begin();
+            registry.remember_record(t2.id, txsql_common::RecordId::new(1, 0, 0));
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sys.finish(t2.id, None);
+            }));
+            assert!(caught.is_err(), "debug build must flag leaked bookkeeping");
+            assert_eq!(
+                registry.record_count_of(t2.id),
+                1,
+                "leftover must not be dropped"
+            );
+        }
     }
 
     #[test]

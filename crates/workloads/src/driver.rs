@@ -239,13 +239,15 @@ pub fn run_fixed_tps(
             // Dispatch the whole second's budget in small even slices.
             let slices = 20u64;
             for slice in 0..slices {
-                let jobs_this_slice =
-                    target * (slice + 1) / slices - target * slice / slices;
+                let jobs_this_slice = target * (slice + 1) / slices - target * slice / slices;
                 for _ in 0..jobs_this_slice {
-                    let _ = job_tx.try_send(DispatchedJob { second, issued_at: Instant::now() });
+                    let _ = job_tx.try_send(DispatchedJob {
+                        second,
+                        issued_at: Instant::now(),
+                    });
                 }
                 let slice_deadline =
-                    second_start + Duration::from_millis(1_000 * (slice + 1) / slices as u64);
+                    second_start + Duration::from_millis(1_000 * (slice + 1) / slices);
                 let now = Instant::now();
                 if slice_deadline > now {
                     std::thread::sleep(slice_deadline - now);
@@ -290,8 +292,7 @@ mod tests {
     fn closed_loop_driver_works_for_every_protocol() {
         for protocol in Protocol::ALL {
             let db = Database::with_protocol(protocol);
-            let workload =
-                SysbenchWorkload::new(SysbenchVariant::UniformUpdate { length: 2 }, 256);
+            let workload = SysbenchWorkload::new(SysbenchVariant::UniformUpdate { length: 2 }, 256);
             let options = ClosedLoopOptions::default()
                 .with_threads(2)
                 .with_durations(Duration::from_millis(20), Duration::from_millis(100));
@@ -306,12 +307,23 @@ mod tests {
         let db = Database::with_protocol(Protocol::GroupLockingTxsql);
         let trace = HotspotsTrace::new(
             vec![
-                crate::hotspots::TracePhase { seconds: 1, target_tps: 50, hotspot_share: 0.1 },
-                crate::hotspots::TracePhase { seconds: 1, target_tps: 100, hotspot_share: 0.9 },
+                crate::hotspots::TracePhase {
+                    seconds: 1,
+                    target_tps: 50,
+                    hotspot_share: 0.1,
+                },
+                crate::hotspots::TracePhase {
+                    seconds: 1,
+                    target_tps: 100,
+                    hotspot_share: 0.9,
+                },
             ],
             256,
         );
-        let options = FixedTpsOptions { threads: 4, ..Default::default() };
+        let options = FixedTpsOptions {
+            threads: 4,
+            ..Default::default()
+        };
         let samples = run_fixed_tps(&db, &trace, &options);
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0].target_tps, 50);

@@ -65,15 +65,23 @@ impl Workload for FitWorkload {
     }
 
     fn setup(&self, db: &Database) {
-        if db.create_table(TableSchema::new(FIT_ACCOUNTS, "fit_accounts", 2)).is_ok() {
+        if db
+            .create_table(TableSchema::new(FIT_ACCOUNTS, "fit_accounts", 2))
+            .is_ok()
+        {
             for pk in 0..self.hot_accounts as i64 {
-                db.load_row(FIT_ACCOUNTS, Row::from_ints(&[pk, 1_000_000])).unwrap();
+                db.load_row(FIT_ACCOUNTS, Row::from_ints(&[pk, 1_000_000]))
+                    .unwrap();
             }
         }
         let _ = db.create_table(TableSchema::new(FIT_JOURNAL, "fit_journal", 3));
-        if db.create_table(TableSchema::new(FIT_USERS, "fit_users", 2)).is_ok() {
+        if db
+            .create_table(TableSchema::new(FIT_USERS, "fit_users", 2))
+            .is_ok()
+        {
             for pk in 0..self.users as i64 {
-                db.load_row(FIT_USERS, Row::from_ints(&[pk, 10_000])).unwrap();
+                db.load_row(FIT_USERS, Row::from_ints(&[pk, 10_000]))
+                    .unwrap();
             }
         }
     }
@@ -85,9 +93,18 @@ impl Workload for FitWorkload {
             + (rng.next_u64() as i64 & 0x7FFF) * 1_000_000;
         let mut ops = vec![
             // Credit the merchant's hot balance.
-            Operation::UpdateAdd { table: FIT_ACCOUNTS, pk: hot_pk, column: 1, delta: amount },
+            Operation::UpdateAdd {
+                table: FIT_ACCOUNTS,
+                pk: hot_pk,
+                column: 1,
+                delta: amount,
+            },
             // Record the payment in the journal.
-            Operation::Insert { table: FIT_JOURNAL, pk: journal_pk, fill: amount },
+            Operation::Insert {
+                table: FIT_JOURNAL,
+                pk: journal_pk,
+                fill: amount,
+            },
         ];
         if rng.next_bool(self.cold_update_probability) {
             let user_pk = rng.next_bounded(self.users) as i64;
@@ -135,8 +152,13 @@ mod tests {
         assert!(committed > 0);
         // The hot balance must have increased by the committed credits.
         let record = db.record_id(FIT_ACCOUNTS, 0).unwrap();
-        let balance =
-            db.storage().read_committed(FIT_ACCOUNTS, record).unwrap().unwrap().get_int(1).unwrap();
+        let balance = db
+            .storage()
+            .read_committed(FIT_ACCOUNTS, record)
+            .unwrap()
+            .unwrap()
+            .get_int(1)
+            .unwrap();
         assert!(balance > 1_000_000);
         db.shutdown();
     }

@@ -40,7 +40,11 @@ impl HotspotsTrace {
     /// Creates a trace from explicit phases.
     pub fn new(phases: Vec<TracePhase>, table_size: u64) -> Self {
         assert!(!phases.is_empty() && table_size > 0);
-        Self { phases, table_size, name: "hotspots-composite".to_string() }
+        Self {
+            phases,
+            table_size,
+            name: "hotspots-composite".to_string(),
+        }
     }
 
     /// A laptop-scaled version of the Figure 11 schedule: baseline traffic,
@@ -49,11 +53,31 @@ impl HotspotsTrace {
         let burst = base_tps * 3;
         Self::new(
             vec![
-                TracePhase { seconds: 5, target_tps: base_tps, hotspot_share: 0.05 },
-                TracePhase { seconds: 5, target_tps: burst, hotspot_share: 0.9 },
-                TracePhase { seconds: 5, target_tps: base_tps, hotspot_share: 0.05 },
-                TracePhase { seconds: 5, target_tps: burst * 2, hotspot_share: 0.95 },
-                TracePhase { seconds: 5, target_tps: base_tps, hotspot_share: 0.05 },
+                TracePhase {
+                    seconds: 5,
+                    target_tps: base_tps,
+                    hotspot_share: 0.05,
+                },
+                TracePhase {
+                    seconds: 5,
+                    target_tps: burst,
+                    hotspot_share: 0.9,
+                },
+                TracePhase {
+                    seconds: 5,
+                    target_tps: base_tps,
+                    hotspot_share: 0.05,
+                },
+                TracePhase {
+                    seconds: 5,
+                    target_tps: burst * 2,
+                    hotspot_share: 0.95,
+                },
+                TracePhase {
+                    seconds: 5,
+                    target_tps: base_tps,
+                    hotspot_share: 0.05,
+                },
             ],
             10_000,
         )
@@ -95,8 +119,16 @@ impl HotspotsTrace {
             1 + rng.next_bounded(self.table_size - 1) as i64
         };
         TxnProgram::new(vec![
-            Operation::UpdateAdd { table: APP_TABLE, pk, column: 1, delta: 1 },
-            Operation::Read { table: APP_TABLE, pk: rng.next_bounded(self.table_size) as i64 },
+            Operation::UpdateAdd {
+                table: APP_TABLE,
+                pk,
+                column: 1,
+                delta: 1,
+            },
+            Operation::Read {
+                table: APP_TABLE,
+                pk: rng.next_bounded(self.table_size) as i64,
+            },
         ])
     }
 }
@@ -107,7 +139,10 @@ impl Workload for HotspotsTrace {
     }
 
     fn setup(&self, db: &Database) {
-        if db.create_table(TableSchema::new(APP_TABLE, "app", 2)).is_ok() {
+        if db
+            .create_table(TableSchema::new(APP_TABLE, "app", 2))
+            .is_ok()
+        {
             for pk in 0..self.table_size as i64 {
                 db.load_row(APP_TABLE, Row::from_ints(&[pk, 0])).unwrap();
             }

@@ -24,7 +24,9 @@ pub mod hotspots;
 pub mod sysbench;
 pub mod tpcc;
 
-pub use driver::{run_closed_loop, run_fixed_tps, ClosedLoopOptions, FixedTpsOptions, SecondSample};
+pub use driver::{
+    run_closed_loop, run_fixed_tps, ClosedLoopOptions, FixedTpsOptions, SecondSample,
+};
 pub use fit::FitWorkload;
 pub use hotspots::HotspotsTrace;
 pub use sysbench::{SysbenchVariant, SysbenchWorkload};

@@ -82,7 +82,11 @@ impl SysbenchWorkload {
         };
         let name = match variant {
             SysbenchVariant::HotspotUpdate => "sysbench-hotspot-update".to_string(),
-            SysbenchVariant::HotspotReadWrite { writes, reads, skew } => {
+            SysbenchVariant::HotspotReadWrite {
+                writes,
+                reads,
+                skew,
+            } => {
                 format!("sysbench-hotspot-rw-w{writes}-r{reads}-sf{skew}")
             }
             SysbenchVariant::HotspotScan { hot_rows } => {
@@ -96,7 +100,12 @@ impl SysbenchWorkload {
             }
             SysbenchVariant::ZipfUpdate { skew } => format!("sysbench-zipf-update-{skew}"),
         };
-        Self { variant, table_size, zipf, name }
+        Self {
+            variant,
+            table_size,
+            zipf,
+            name,
+        }
     }
 
     /// The standard configuration the paper uses: a table of 100k rows.
@@ -122,9 +131,13 @@ impl Workload for SysbenchWorkload {
 
     fn setup(&self, db: &Database) {
         // (id, value, k) — value is what updates increment.
-        if db.create_table(TableSchema::new(SBTEST, "sbtest", 3)).is_ok() {
+        if db
+            .create_table(TableSchema::new(SBTEST, "sbtest", 3))
+            .is_ok()
+        {
             for pk in 0..self.table_size as i64 {
-                db.load_row(SBTEST, Row::from_ints(&[pk, 0, pk % 997])).unwrap();
+                db.load_row(SBTEST, Row::from_ints(&[pk, 0, pk % 997]))
+                    .unwrap();
             }
         }
     }
@@ -143,7 +156,10 @@ impl Workload for SysbenchWorkload {
             SysbenchVariant::HotspotReadWrite { writes, reads, .. } => {
                 let zipf = self.zipf.as_ref().expect("zipf initialised");
                 for _ in 0..reads {
-                    ops.push(Operation::Read { table: SBTEST, pk: zipf.next(rng) as i64 });
+                    ops.push(Operation::Read {
+                        table: SBTEST,
+                        pk: zipf.next(rng) as i64,
+                    });
                 }
                 for _ in 0..writes {
                     ops.push(Operation::UpdateAdd {
@@ -215,15 +231,24 @@ mod tests {
     fn uniform_update_spreads_keys() {
         let w = SysbenchWorkload::new(SysbenchVariant::UniformUpdate { length: 1 }, 1_000);
         let mut rng = XorShiftRng::new(2);
-        let keys: std::collections::HashSet<i64> =
-            (0..200).map(|_| w.next_program(&mut rng).write_keys()[0].1).collect();
-        assert!(keys.len() > 50, "expected spread, got {} distinct keys", keys.len());
+        let keys: std::collections::HashSet<i64> = (0..200)
+            .map(|_| w.next_program(&mut rng).write_keys()[0].1)
+            .collect();
+        assert!(
+            keys.len() > 50,
+            "expected spread, got {} distinct keys",
+            keys.len()
+        );
     }
 
     #[test]
     fn read_write_mix_has_expected_shape() {
         let w = SysbenchWorkload::new(
-            SysbenchVariant::HotspotReadWrite { writes: 3, reads: 7, skew: 0.9 },
+            SysbenchVariant::HotspotReadWrite {
+                writes: 3,
+                reads: 7,
+                skew: 0.9,
+            },
             1_000,
         );
         let mut rng = XorShiftRng::new(3);

@@ -85,8 +85,16 @@ impl TpccWorkload {
         let c = rng.next_bounded(CUSTOMERS_PER_DISTRICT as u64) as i64;
         let n_items = 5 + rng.next_bounded(11) as usize;
         let mut ops = vec![
-            Operation::Read { table: CUSTOMER, pk: Self::customer_key(w, d, c) },
-            Operation::UpdateAdd { table: DISTRICT, pk: Self::district_key(w, d), column: 1, delta: 1 },
+            Operation::Read {
+                table: CUSTOMER,
+                pk: Self::customer_key(w, d, c),
+            },
+            Operation::UpdateAdd {
+                table: DISTRICT,
+                pk: Self::district_key(w, d),
+                column: 1,
+                delta: 1,
+            },
         ];
         for _ in 0..n_items {
             let item = rng.next_bounded(ITEMS_PER_WAREHOUSE as u64) as i64;
@@ -98,7 +106,11 @@ impl TpccWorkload {
             });
         }
         let order_pk = self.next_order_id.fetch_add(1, Ordering::Relaxed);
-        ops.push(Operation::Insert { table: ORDERS, pk: order_pk, fill: n_items as i64 });
+        ops.push(Operation::Insert {
+            table: ORDERS,
+            pk: order_pk,
+            fill: n_items as i64,
+        });
         TxnProgram::new(ops)
     }
 
@@ -110,15 +122,29 @@ impl TpccWorkload {
         let amount = 1 + rng.next_bounded(5_000) as i64;
         let history_pk = self.next_history_id.fetch_add(1, Ordering::Relaxed);
         TxnProgram::new(vec![
-            Operation::UpdateAdd { table: WAREHOUSE, pk: w, column: 1, delta: amount },
-            Operation::UpdateAdd { table: DISTRICT, pk: Self::district_key(w, d), column: 2, delta: amount },
+            Operation::UpdateAdd {
+                table: WAREHOUSE,
+                pk: w,
+                column: 1,
+                delta: amount,
+            },
+            Operation::UpdateAdd {
+                table: DISTRICT,
+                pk: Self::district_key(w, d),
+                column: 2,
+                delta: amount,
+            },
             Operation::UpdateAdd {
                 table: CUSTOMER,
                 pk: Self::customer_key(w, d, c),
                 column: 1,
                 delta: -amount,
             },
-            Operation::Insert { table: HISTORY, pk: history_pk, fill: amount },
+            Operation::Insert {
+                table: HISTORY,
+                pk: history_pk,
+                fill: amount,
+            },
         ])
     }
 
@@ -164,18 +190,27 @@ impl Workload for TpccWorkload {
     }
 
     fn setup(&self, db: &Database) {
-        if db.create_table(TableSchema::new(WAREHOUSE, "warehouse", 2)).is_err() {
+        if db
+            .create_table(TableSchema::new(WAREHOUSE, "warehouse", 2))
+            .is_err()
+        {
             return; // already set up
         }
-        db.create_table(TableSchema::new(DISTRICT, "district", 3)).unwrap();
-        db.create_table(TableSchema::new(CUSTOMER, "customer", 3)).unwrap();
-        db.create_table(TableSchema::new(STOCK, "stock", 3)).unwrap();
-        db.create_table(TableSchema::new(ORDERS, "orders", 2)).unwrap();
-        db.create_table(TableSchema::new(HISTORY, "history", 2)).unwrap();
+        db.create_table(TableSchema::new(DISTRICT, "district", 3))
+            .unwrap();
+        db.create_table(TableSchema::new(CUSTOMER, "customer", 3))
+            .unwrap();
+        db.create_table(TableSchema::new(STOCK, "stock", 3))
+            .unwrap();
+        db.create_table(TableSchema::new(ORDERS, "orders", 2))
+            .unwrap();
+        db.create_table(TableSchema::new(HISTORY, "history", 2))
+            .unwrap();
         for w in 0..self.warehouses {
             db.load_row(WAREHOUSE, Row::from_ints(&[w, 0])).unwrap();
             for d in 0..DISTRICTS_PER_WAREHOUSE {
-                db.load_row(DISTRICT, Row::from_ints(&[Self::district_key(w, d), 1, 0])).unwrap();
+                db.load_row(DISTRICT, Row::from_ints(&[Self::district_key(w, d), 1, 0]))
+                    .unwrap();
                 for c in 0..CUSTOMERS_PER_DISTRICT {
                     db.load_row(
                         CUSTOMER,
@@ -185,8 +220,11 @@ impl Workload for TpccWorkload {
                 }
             }
             for item in 0..ITEMS_PER_WAREHOUSE {
-                db.load_row(STOCK, Row::from_ints(&[Self::stock_key(w, item), 10_000, 0]))
-                    .unwrap();
+                db.load_row(
+                    STOCK,
+                    Row::from_ints(&[Self::stock_key(w, item), 10_000, 0]),
+                )
+                .unwrap();
             }
         }
     }
@@ -246,7 +284,10 @@ mod tests {
                 }
             }
         }
-        assert!(w.consistency_check(&db), "warehouse YTD != sum of district YTD");
+        assert!(
+            w.consistency_check(&db),
+            "warehouse YTD != sum of district YTD"
+        );
         db.shutdown();
     }
 
@@ -254,8 +295,9 @@ mod tests {
     fn single_warehouse_concentrates_contention() {
         let w = TpccWorkload::new(1);
         let mut rng = XorShiftRng::new(3);
-        let keys: std::collections::HashSet<i64> =
-            (0..50).map(|_| w.payment(&mut rng).write_keys()[0].1).collect();
+        let keys: std::collections::HashSet<i64> = (0..50)
+            .map(|_| w.payment(&mut rng).write_keys()[0].1)
+            .collect();
         // All payments hit warehouse 0's YTD row.
         let warehouse_keys: std::collections::HashSet<i64> = (0..50)
             .map(|_| {

@@ -20,7 +20,8 @@ fn audit_protocol(protocol: Protocol) {
             .with_hotspot_threshold(4)
             .with_history_recording(true),
     ));
-    db.create_table(TableSchema::new(COUNTERS, "counters", 2)).unwrap();
+    db.create_table(TableSchema::new(COUNTERS, "counters", 2))
+        .unwrap();
     for pk in 0..16 {
         db.load_row(COUNTERS, Row::from_ints(&[pk, 0])).unwrap();
     }
@@ -32,8 +33,16 @@ fn audit_protocol(protocol: Protocol) {
             let db = Arc::clone(&db);
             scope.spawn(move || {
                 let program = TxnProgram::new(vec![
-                    Operation::UpdateAdd { table: COUNTERS, pk: 0, column: 1, delta: 1 },
-                    Operation::Read { table: COUNTERS, pk: (worker % 16) as i64 },
+                    Operation::UpdateAdd {
+                        table: COUNTERS,
+                        pk: 0,
+                        column: 1,
+                        delta: 1,
+                    },
+                    Operation::Read {
+                        table: COUNTERS,
+                        pk: (worker % 16) as i64,
+                    },
                 ]);
                 let mut committed = 0;
                 while committed < per_thread {
@@ -47,8 +56,13 @@ fn audit_protocol(protocol: Protocol) {
     });
 
     let record = db.record_id(COUNTERS, 0).unwrap();
-    let hot_value =
-        db.storage().read_committed(COUNTERS, record).unwrap().unwrap().get_int(1).unwrap();
+    let hot_value = db
+        .storage()
+        .read_committed(COUNTERS, record)
+        .unwrap()
+        .unwrap()
+        .get_int(1)
+        .unwrap();
     let expected = (threads * per_thread) as i64;
     let report = db.history().unwrap().check();
     println!(
@@ -56,22 +70,30 @@ fn audit_protocol(protocol: Protocol) {
         format!("{protocol:?}"),
         hot_value,
         expected,
-        if hot_value == expected { "none" } else { "FOUND" },
+        if hot_value == expected {
+            "none"
+        } else {
+            "FOUND"
+        },
         report.is_serializable(),
         report.transactions,
         report.edges,
     );
     assert_eq!(hot_value, expected, "lost update under {protocol:?}");
-    assert!(report.is_serializable(), "non-serializable history under {protocol:?}");
+    assert!(
+        report.is_serializable(),
+        "non-serializable history under {protocol:?}"
+    );
     db.shutdown();
 }
 
 fn tpcc_reconciliation() {
     let db = Database::with_protocol(Protocol::GroupLockingTxsql);
     let workload = TpccWorkload::new(1);
-    let options = ClosedLoopOptions::default()
-        .with_threads(6)
-        .with_durations(std::time::Duration::from_millis(100), std::time::Duration::from_millis(400));
+    let options = ClosedLoopOptions::default().with_threads(6).with_durations(
+        std::time::Duration::from_millis(100),
+        std::time::Duration::from_millis(400),
+    );
     let snapshot = run_closed_loop(&db, &workload, &options);
     let consistent = workload.consistency_check(&db);
     println!(

@@ -21,12 +21,13 @@ const INITIAL_STOCK: i64 = 2_000;
 const BUYERS: usize = 16;
 
 fn run_sale(protocol: Protocol) -> (f64, u64, i64) {
-    let db = Database::new(
-        EngineConfig::for_protocol(protocol).with_hotspot_threshold(4),
-    );
-    db.create_table(TableSchema::new(PRODUCTS, "products", 2)).unwrap();
-    db.create_table(TableSchema::new(ORDERS, "orders", 2)).unwrap();
-    db.load_row(PRODUCTS, Row::from_ints(&[1, INITIAL_STOCK])).unwrap();
+    let db = Database::new(EngineConfig::for_protocol(protocol).with_hotspot_threshold(4));
+    db.create_table(TableSchema::new(PRODUCTS, "products", 2))
+        .unwrap();
+    db.create_table(TableSchema::new(ORDERS, "orders", 2))
+        .unwrap();
+    db.load_row(PRODUCTS, Row::from_ints(&[1, INITIAL_STOCK]))
+        .unwrap();
 
     let db = Arc::new(db);
     let sold = Arc::new(AtomicU64::new(0));
@@ -72,8 +73,13 @@ fn run_sale(protocol: Protocol) -> (f64, u64, i64) {
     });
     let elapsed = start.elapsed();
     let record = db.record_id(PRODUCTS, 1).unwrap();
-    let final_stock =
-        db.storage().read_committed(PRODUCTS, record).unwrap().unwrap().get_int(1).unwrap();
+    let final_stock = db
+        .storage()
+        .read_committed(PRODUCTS, record)
+        .unwrap()
+        .unwrap()
+        .get_int(1)
+        .unwrap();
     let aborted = db.metrics().aborted.get();
     let tps = sold.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64();
     db.shutdown();

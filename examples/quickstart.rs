@@ -27,8 +27,18 @@ fn main() -> Result<()> {
 
     // Declarative programs: what the workload drivers (and Aria) use.
     let transfer = TxnProgram::new(vec![
-        Operation::UpdateAdd { table: ACCOUNTS, pk: 3, column: 1, delta: -100 },
-        Operation::UpdateAdd { table: ACCOUNTS, pk: 7, column: 1, delta: 100 },
+        Operation::UpdateAdd {
+            table: ACCOUNTS,
+            pk: 3,
+            column: 1,
+            delta: -100,
+        },
+        Operation::UpdateAdd {
+            table: ACCOUNTS,
+            pk: 7,
+            column: 1,
+            delta: 100,
+        },
     ]);
     let outcome = db.execute_program(&transfer)?;
     println!("transfer committed: {}", outcome.committed);

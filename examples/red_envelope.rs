@@ -85,18 +85,30 @@ fn main() -> Result<()> {
     });
 
     let record = db.record_id(ENVELOPES, 1)?;
-    let remaining =
-        db.storage().read_committed(ENVELOPES, record)?.unwrap().get_int(1).unwrap();
+    let remaining = db
+        .storage()
+        .read_committed(ENVELOPES, record)?
+        .unwrap()
+        .get_int(1)
+        .unwrap();
     let claimed = claimed_total.load(Ordering::Relaxed);
     println!("envelope amount : {ENVELOPE_AMOUNT}");
     println!("claimed total   : {claimed}");
     println!("remaining       : {remaining}");
-    assert_eq!(claimed + remaining, ENVELOPE_AMOUNT, "money was created or destroyed!");
+    assert_eq!(
+        claimed + remaining,
+        ENVELOPE_AMOUNT,
+        "money was created or destroyed!"
+    );
 
     let report = db.history().expect("history recording enabled").check();
     println!(
         "serializability : {} ({} committed transactions, {} graph edges)",
-        if report.is_serializable() { "OK (acyclic serialization graph)" } else { "VIOLATED" },
+        if report.is_serializable() {
+            "OK (acyclic serialization graph)"
+        } else {
+            "VIOLATED"
+        },
         report.transactions,
         report.edges
     );

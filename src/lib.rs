@@ -43,9 +43,7 @@ pub use txsql_workloads as workloads;
 pub mod prelude {
     pub use txsql_common::latency::LatencyModel;
     pub use txsql_common::{Error, RecordId, Result, Row, TableId, TxnId, Value};
-    pub use txsql_core::{
-        Database, EngineConfig, Operation, ProgramOutcome, Protocol, TxnProgram,
-    };
+    pub use txsql_core::{Database, EngineConfig, Operation, ProgramOutcome, Protocol, TxnProgram};
     pub use txsql_replication::{ReplicationHook, ReplicationMode};
     pub use txsql_storage::TableSchema;
     pub use txsql_workloads::{
@@ -61,7 +59,8 @@ mod tests {
     #[test]
     fn facade_round_trip() {
         let db = Database::with_protocol(Protocol::LightweightO1);
-        db.create_table(TableSchema::new(TableId(1), "t", 2)).unwrap();
+        db.create_table(TableSchema::new(TableId(1), "t", 2))
+            .unwrap();
         db.load_row(TableId(1), Row::from_ints(&[1, 10])).unwrap();
         let outcome = db
             .execute_program(&TxnProgram::new(vec![Operation::UpdateAdd {

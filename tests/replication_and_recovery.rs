@@ -35,7 +35,8 @@ fn contended_run(db: &Database, threads: usize, per_thread: usize) {
 }
 
 fn setup_accounts(db: &Database, rows: i64) {
-    db.create_table(TableSchema::new(ACCOUNTS, "accounts", 2)).unwrap();
+    db.create_table(TableSchema::new(ACCOUNTS, "accounts", 2))
+        .unwrap();
     for pk in 0..rows {
         db.load_row(ACCOUNTS, Row::from_ints(&[pk, 0])).unwrap();
     }
@@ -80,8 +81,7 @@ fn synchronous_replica_matches_primary_after_contended_run() {
 fn asynchronous_replica_catches_up() {
     let db = Database::with_protocol(Protocol::LightweightO1);
     setup_accounts(&db, 4);
-    let hook =
-        ReplicationHook::new(ReplicationMode::Asynchronous, LatencyModel::in_memory(), 1);
+    let hook = ReplicationHook::new(ReplicationMode::Asynchronous, LatencyModel::in_memory(), 1);
     db.register_commit_hook(hook.clone());
     for _ in 0..20 {
         db.execute_program(&TxnProgram::new(vec![Operation::UpdateAdd {
@@ -93,7 +93,10 @@ fn asynchronous_replica_catches_up() {
         .unwrap();
     }
     assert!(hook.wait_caught_up(20, Duration::from_secs(2)));
-    assert_eq!(hook.replicas()[0].row(ACCOUNTS, 1).unwrap().get_int(1), Some(20));
+    assert_eq!(
+        hook.replicas()[0].row(ACCOUNTS, 1).unwrap().get_int(1),
+        Some(20)
+    );
     hook.shutdown();
     db.shutdown();
 }
@@ -110,18 +113,23 @@ fn crash_recovery_preserves_exactly_the_durable_commits() {
     db.storage().redo().flush_all();
     // A few updates that never become durable.
     let mut in_flight = db.begin();
-    db.update_add(&mut in_flight, ACCOUNTS, 0, 1, 1_000).unwrap();
+    db.update_add(&mut in_flight, ACCOUNTS, 0, 1, 1_000)
+        .unwrap();
 
-    let outcome = txsql::storage::recovery::recover(
-        &checkpoint,
-        &db.durable_redo(),
-        Duration::ZERO,
-    )
-    .unwrap();
+    let outcome =
+        txsql::storage::recovery::recover(&checkpoint, &db.durable_redo(), Duration::ZERO).unwrap();
     let table = outcome.storage.table(ACCOUNTS).unwrap();
     let rid = table.lookup_pk(0).unwrap();
-    let recovered = outcome.storage.read_committed(ACCOUNTS, rid).unwrap().unwrap();
-    assert_eq!(recovered.get_int(1), Some(80), "recovered state must equal durable commits");
+    let recovered = outcome
+        .storage
+        .read_committed(ACCOUNTS, rid)
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        recovered.get_int(1),
+        Some(80),
+        "recovered state must equal durable commits"
+    );
     db.rollback(in_flight, None);
     db.shutdown();
 }
@@ -140,8 +148,10 @@ fn binlog_replay_modes_agree_on_final_state() {
     events.sort_by_key(|e| e.trx_no);
 
     let (single, _) = replay(&events, ReplayMode::SingleThreaded);
-    let (restricted, report) =
-        replay(&events, ReplayMode::ParallelHotspotRestricted { workers: 4 });
+    let (restricted, report) = replay(
+        &events,
+        ReplayMode::ParallelHotspotRestricted { workers: 4 },
+    );
     assert_eq!(
         single.row(ACCOUNTS, 0).unwrap().get_int(1),
         restricted.row(ACCOUNTS, 0).unwrap().get_int(1),

@@ -52,17 +52,47 @@ fn hammer_hot_row(db: &Database, threads: usize, per_thread: usize) {
 
 /// Figure 3c: within a group only the leader locks, so the number of hotspot
 /// groups formed is (much) smaller than the number of hotspot member updates.
+///
+/// The group is built from explicitly overlapping sessions (leader still
+/// uncommitted while the followers update) rather than a timing-dependent
+/// hammer, so the shape is reproducible even on a single-core machine where
+/// organic preemption inside a microsecond transaction is vanishingly rare.
 #[test]
 fn group_locking_locks_once_per_group() {
     let db = setup(Protocol::GroupLockingTxsql);
-    hammer_hot_row(&db, 8, 25);
+    let hot = db.record_id(T, 0).unwrap();
+    db.hotspots().promote(hot);
+
+    // Leader opens the group; two followers join while it is uncommitted.
+    let mut t1 = db.begin();
+    let mut t2 = db.begin();
+    let mut t3 = db.begin();
+    db.update_add(&mut t1, T, 0, 1, 1).unwrap();
+    db.update_add(&mut t2, T, 0, 1, 1).unwrap();
+    db.update_add(&mut t3, T, 0, 1, 1).unwrap();
+    db.commit(t1).unwrap();
+    db.commit(t2).unwrap();
+    db.commit(t3).unwrap();
+
     let groups = db.metrics().groups_formed.get();
     let members = db.metrics().hotspot_group_entries.get();
-    assert!(members > 0, "hotspot machinery never engaged");
+    assert!(
+        members >= 3,
+        "hotspot machinery never engaged (members={members})"
+    );
     assert!(
         groups < members,
         "expected several members per group (groups={groups}, members={members})"
     );
+    // The committed value reflects every member exactly once.
+    let value = db
+        .storage()
+        .read_committed(T, hot)
+        .unwrap()
+        .unwrap()
+        .get_int(1)
+        .unwrap();
+    assert_eq!(value, 3);
     db.shutdown();
 }
 
@@ -108,7 +138,10 @@ fn hot_and_cold_deadlock_example_resolves_by_prevention() {
     db.update_add(&mut t2, T, 2, 1, 1).unwrap(); // non-hot row locked by T2
     let started = std::time::Instant::now();
     let err = db.update_add(&mut t1, T, 2, 1, 1).unwrap_err();
-    assert!(matches!(err, Error::HotspotDeadlockPrevented { .. }), "got {err:?}");
+    assert!(
+        matches!(err, Error::HotspotDeadlockPrevented { .. }),
+        "got {err:?}"
+    );
     // Prevention is immediate — far quicker than the 400 ms lock-wait timeout.
     assert!(started.elapsed() < Duration::from_millis(200));
     db.rollback(t1, Some(&err));
@@ -118,21 +151,52 @@ fn hot_and_cold_deadlock_example_resolves_by_prevention() {
 
     for pk in [0, 2] {
         let record = db.record_id(T, pk).unwrap();
-        let value = db.storage().read_committed(T, record).unwrap().unwrap().get_int(1).unwrap();
+        let value = db
+            .storage()
+            .read_committed(T, record)
+            .unwrap()
+            .unwrap()
+            .get_int(1)
+            .unwrap();
         assert_eq!(value, 0, "row {pk} must revert after both rollbacks");
     }
-    assert_eq!(db.metrics().abort_causes.get("hotspot_deadlock_prevented"), 1);
+    assert_eq!(
+        db.metrics().abort_causes.get("hotspot_deadlock_prevented"),
+        1
+    );
     assert!(db.metrics().cascading_aborts.get() >= 1);
     db.shutdown();
 }
 
 /// Queue locking (O2) keeps one lock acquisition per transaction: the number
 /// of hotspot entries tracks committed transactions rather than groups.
+///
+/// The hot row is promoted explicitly (as the sweeper would after observing
+/// contention) so the queue path engages deterministically; a concurrent
+/// hammer then checks no updates are lost and every admission locked.
 #[test]
 fn queue_locking_still_locks_per_transaction() {
     let db = setup(Protocol::QueueLockingO2);
+    let hot = db.record_id(T, 0).unwrap();
+    db.hotspots().promote(hot);
     hammer_hot_row(&db, 6, 20);
-    assert!(db.metrics().hotspot_group_entries.get() > 0, "queue locking never engaged");
-    assert_eq!(db.metrics().groups_formed.get(), 0, "O2 must not form groups");
+    let entries = db.metrics().hotspot_group_entries.get();
+    assert!(
+        entries >= 6 * 20,
+        "queue locking never engaged (entries={entries})"
+    );
+    assert_eq!(
+        db.metrics().groups_formed.get(),
+        0,
+        "O2 must not form groups"
+    );
+    let value = db
+        .storage()
+        .read_committed(T, hot)
+        .unwrap()
+        .unwrap()
+        .get_int(1)
+        .unwrap();
+    assert_eq!(value, 6 * 20, "every committed increment must be present");
     db.shutdown();
 }
