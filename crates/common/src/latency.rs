@@ -80,6 +80,13 @@ pub fn simulate_delay(d: Duration) {
     if d.is_zero() {
         return;
     }
+    if let Some(handle) = txsql_sim::current() {
+        // Under deterministic simulation the pause consumes *virtual* time
+        // and becomes a preemption point instead of burning wall clock.
+        handle.advance(d);
+        handle.yield_now();
+        return;
+    }
     if d < Duration::from_micros(100) {
         let start = std::time::Instant::now();
         while start.elapsed() < d {
@@ -93,6 +100,14 @@ pub fn simulate_delay(d: Duration) {
 /// The `ut_delay` helper from InnoDB (used in Algorithms 2 and 3): a short
 /// calibrated busy loop, `units` of roughly one microsecond each.
 pub fn ut_delay(units: u32) {
+    if let Some(handle) = txsql_sim::current() {
+        // A busy-wait in a spin-until-condition loop: under simulation the
+        // yield gives whichever thread must change the condition a chance to
+        // run, and the clock advance lets enclosing deadlines expire.
+        handle.advance(Duration::from_micros(units as u64));
+        handle.yield_now();
+        return;
+    }
     let start = std::time::Instant::now();
     let target = Duration::from_micros(units as u64);
     while start.elapsed() < target {

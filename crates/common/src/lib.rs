@@ -37,6 +37,7 @@ pub mod latency;
 pub mod metrics;
 pub mod pad;
 pub mod rng;
+pub mod time;
 pub mod value;
 pub mod zipf;
 

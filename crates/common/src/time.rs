@@ -1,0 +1,10 @@
+//! Sim-aware time for engine deadlines.
+//!
+//! Every deadline the engine computes (lock-wait timeouts, hotspot wait
+//! timeouts, commit-order waits) uses [`SimInstant`] instead of
+//! `std::time::Instant`: outside a `txsql-sim` run it *is* the real monotonic
+//! clock; inside one it reads the scheduler's virtual clock, so timeout paths
+//! fire deterministically under schedule exploration instead of depending on
+//! wall-clock races.
+
+pub use txsql_sim::SimInstant;

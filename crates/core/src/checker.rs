@@ -85,6 +85,19 @@ impl HistoryRecorder {
         self.committed.lock().len()
     }
 
+    /// Snapshot of every recorded footprint (test diagnostics: lets a failing
+    /// schedule test print the full history behind a reported cycle).
+    pub fn committed_snapshot(&self) -> Vec<(TxnId, CommittedTxn)> {
+        let mut all: Vec<(TxnId, CommittedTxn)> = self
+            .committed
+            .lock()
+            .iter()
+            .map(|(t, i)| (*t, i.clone()))
+            .collect();
+        all.sort_by_key(|(_, info)| info.trx_no);
+        all
+    }
+
     /// Builds the direct serialization graph and looks for a cycle.
     pub fn check(&self) -> SerializabilityReport {
         let committed = self.committed.lock();

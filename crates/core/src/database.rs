@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txsql_common::fxhash::FxHashMap;
 use txsql_common::metrics::{EngineMetrics, MetricsSnapshot};
+use txsql_common::time::SimInstant;
 use txsql_common::{Error, RecordId, Result, Row, TableId, TxnId};
 use txsql_lockmgr::group_lock::GroupLockTable;
 use txsql_lockmgr::hotspot::HotspotRegistry;
@@ -287,10 +288,10 @@ impl Database {
         self.inner.metrics.queries.inc();
         let record = self.record_id(table, pk)?;
         let view = self.inner.trx_sys.read_view(txn.id);
-        let (row, _writer) = self
+        let (row, writer) = self
             .mvcc_read(&view, table, record)?
             .ok_or(Error::UnknownRecord { record })?;
-        txn.record_read(table, record);
+        txn.record_read(table, record, writer);
         Ok(row)
     }
 
@@ -313,30 +314,29 @@ impl Database {
         let hot_updates = txn.hot_updates();
 
         // Group locking, leader side (Algorithm 2 lines 2–10): stop granting,
-        // wait for in-flight grants, release the row lock, hand over.
+        // wait for the in-flight grant, release the *hot row* lock and hand
+        // the next group over.  The early row-lock release is the paper's
+        // pipelining lever — group N+1 executes while group N drains its
+        // commit-order waits — and it is safe because the dependency list
+        // (not the row lock) serializes hot-row commit records; every row is
+        // only written through the group path while it is hot.  Cold locks
+        // stay held until the commit record is ordered below.
         if self.protocol() == Protocol::GroupLockingTxsql {
             for (record, role, _) in &hot_updates {
                 if *role == txsql_txn::HotRole::Leader {
                     self.inner
                         .group_locks
                         .leader_prepare_commit(txn.id, *record);
-                }
-            }
-        }
-
-        // Release every lock before the commit phase (Algorithm 2 line 5 —
-        // group locking releases per group; plain 2PL releases here too, which
-        // is safe because the commit record ordering below is what defines the
-        // serialization point).
-        self.release_all_locks(txn.id);
-
-        if self.protocol() == Protocol::GroupLockingTxsql {
-            for (record, role, _) in &hot_updates {
-                if *role == txsql_txn::HotRole::Leader {
+                    self.inner.lightweight.release_record_lock(txn.id, *record);
                     self.inner.group_locks.leader_handover(txn.id, *record);
                 }
             }
-            // Commit-order guarantee (§4.3): wait for all predecessors.
+            // Commit-order guarantee (§4.3): wait for all dependency-list
+            // predecessors before ordering our own commit record.
+            // Predecessors commit without the row lock; a predecessor stuck
+            // on a *cold* lock we hold is pre-empted by the §4.5 deadlock
+            // prevention check, and any residual entanglement resolves
+            // through the wait deadline.
             for (record, _, _) in &hot_updates {
                 let wait_start = Instant::now();
                 match self.inner.group_locks.wait_commit_turn(txn.id, *record) {
@@ -358,13 +358,23 @@ impl Database {
             }
         }
 
-        // O2: the queue ticket is released after the lock release at the end.
+        // Order the commit record while every cold lock is still held
+        // (release-after-ordering).  Releasing first opened a window where a
+        // competing transaction could lock the row, read the *pre-commit*
+        // version and commit with a smaller trx_no — the intermittent
+        // serializability violation the red_envelope example used to trip
+        // over (see `sim_commit_release_ordering` in crates/core/tests).
         let trx_no = self.inner.trx_sys.allocate_trx_no();
         let write_set: Vec<(TableId, RecordId)> = txn.write_set().to_vec();
-        let commit_lsn = self
-            .inner
-            .storage
-            .commit_writes(txn.id, trx_no, &write_set)?;
+        let commit_lsn = match self.inner.storage.commit_writes(txn.id, trx_no, &write_set) {
+            Ok(lsn) => lsn,
+            Err(err) => {
+                // Locks are still held here — propagating without rolling
+                // back would leak them (and the group dep-list slot) forever.
+                self.rollback_internal(txn, Some(&err));
+                return Err(err);
+            }
+        };
 
         // The dependency-list slot can be released as soon as our commit
         // record is ordered in the log; the durable flush below may then be
@@ -374,6 +384,9 @@ impl Database {
                 self.inner.group_locks.finish_commit(txn.id, *record);
             }
         }
+
+        // The remaining (cold) locks go *after* the commit record is ordered.
+        self.release_all_locks(txn.id);
 
         let binlog = BinlogTxn {
             txn: txn.id,
@@ -396,19 +409,10 @@ impl Database {
         self.inner.trx_sys.finish(txn.id, Some(trx_no));
         self.inner.outcomes.lock().insert(txn.id, true);
         if let Some(history) = &self.inner.history {
-            let reads = txn
-                .read_set()
-                .iter()
-                .map(|(t, r)| {
-                    let writer = self
-                        .mvcc_read(&txsql_storage::version::ReadCommitted, *t, *r)
-                        .ok()
-                        .flatten()
-                        .map(|(_, w)| w)
-                        .unwrap_or(TxnId::INVALID);
-                    (*r, writer)
-                })
-                .collect();
+            // The writer of each read version was captured at read time — no
+            // commit-time re-read, which would mis-attribute reads to
+            // whichever writer happened to have committed by now.
+            let reads = txn.read_set().iter().map(|(_, r, w)| (*r, *w)).collect();
             let writes = write_set.iter().map(|(_, r)| *r).collect();
             history.record_commit(txn.id, trx_no, reads, writes);
         }
@@ -431,7 +435,9 @@ impl Database {
 
     fn wait_bamboo_dependencies(&self, txn: &mut Transaction) -> Result<()> {
         let deps: Vec<TxnId> = txn.dirty_reads_from().to_vec();
-        let deadline = Instant::now() + self.inner.config.lock_wait_timeout * 4;
+        // SimInstant: under deterministic simulation this deadline lives on
+        // the scheduler's virtual clock, so the timeout path is explorable.
+        let deadline = SimInstant::now() + self.inner.config.lock_wait_timeout * 4;
         for dep in deps {
             if !dep.is_valid() {
                 continue;
@@ -450,7 +456,7 @@ impl Database {
                     // Finished but not on the board (pruned): treat as committed.
                     break;
                 }
-                if Instant::now() > deadline {
+                if SimInstant::now() > deadline {
                     return Err(Error::LockWaitTimeout {
                         txn: txn.id,
                         record: RecordId::new(0, 0, 0),

@@ -67,8 +67,12 @@ impl Database {
         self.inner.metrics.queries.inc();
         let record = self.record_id(table, pk)?;
         let _admission = self.acquire_for_write(txn, table, record)?;
-        txn.record_read(table, record);
-        self.inner.storage.read_latest(table, record)
+        // The locked read observes the newest version (a predecessor's
+        // uncommitted head for group followers / Bamboo — by design); record
+        // that version's writer so the checker sees the true wr dependency.
+        let (row, writer) = self.inner.storage.read_latest_with_writer(table, record)?;
+        txn.record_read(table, record, writer);
+        Ok(row)
     }
 
     /// Transactional insert.
@@ -226,8 +230,16 @@ impl Database {
                 let outcome = event.wait_for(self.inner.queue_locks.timeout());
                 if outcome == txsql_lockmgr::event::WaitOutcome::TimedOut
                     && !self.inner.queue_locks.claim_ticket(txn.id, record)
+                    // A false return means the grant raced our timeout: the
+                    // releaser already popped us and made us the active
+                    // ticket holder, so bailing out here would wedge the
+                    // queue behind a ticket nobody releases — proceed as
+                    // granted instead.  True means we really left the queue
+                    // (and the queue's event clone with it, so the recycle
+                    // below can pool the event).
+                    && self.inner.queue_locks.cancel_wait(txn.id, record)
                 {
-                    self.inner.queue_locks.cancel_wait(txn.id, record);
+                    txsql_lockmgr::event::OsEvent::recycle(event);
                     txn.add_blocked(start.elapsed());
                     self.inner.metrics.lock_waits.inc();
                     return Err(Error::LockWaitTimeout {
@@ -235,6 +247,7 @@ impl Database {
                         record,
                     });
                 }
+                txsql_lockmgr::event::OsEvent::recycle(event);
             }
         }
         // Ticket acquired: take the real row lock (the previous holder has

@@ -159,7 +159,11 @@ fn select_for_update_blocks_conflicting_writers() {
 /// How a concurrent-increment run arranges for the hotspot machinery to see
 /// the contended row.  On a single-core runner a microsecond transaction is
 /// essentially never preempted mid-critical-section, so *organic* waiters —
-/// and therefore organic promotion — need help to materialise.
+/// and therefore organic promotion — need help to materialise under OS
+/// scheduling.  The organic interleavings themselves are covered by
+/// deterministic schedule exploration in `sim_schedule.rs`
+/// (`sim_organic_hotspot_promotion_loses_no_updates`); the explicit
+/// promote/pin variants here keep wall-clock OS-thread coverage.
 #[derive(Clone, Copy, PartialEq)]
 enum HotSetup {
     /// No help: rely on scheduler preemption (fine for sum-conservation runs).

@@ -11,7 +11,15 @@
 //! ([`OsEvent::acquire_pooled`] / [`OsEvent::recycle`]) instead of
 //! allocating per wait.  An event is only returned to the pool once its
 //! `Arc` is unique — i.e. no granter still holds a clone that could `set()`
-//! it later — so a recycled event can never receive a stale wake-up.
+//! it later — so a recycled event can never receive a stale wake-up.  That
+//! unique-`Arc` rule is what lets *every* waiting path — the lock tables,
+//! group-lock wait slots, queue-lock tickets and commit-turn waits — drain
+//! its event back to the pool on success, timeout and cancellation alike.
+//!
+//! Under deterministic simulation (`txsql-sim`), `wait`/`wait_for`/`set`
+//! route through the cooperative scheduler: waiters park in the sim (on the
+//! virtual clock for timed waits) instead of the OS condvar, which makes
+//! lost-wakeup and stale-wake bugs reproducible from a seed.
 
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
@@ -76,11 +84,23 @@ impl OsEvent {
         }
     }
 
+    /// Number of events currently in the calling thread's free list (test
+    /// observability for the recycle paths).
+    pub fn pooled_count() -> usize {
+        EVENT_POOL.with(|pool| pool.borrow().len())
+    }
+
     /// Sets the event, waking all current and future waiters (until reset).
     pub fn set(&self) {
         let mut signalled = self.signalled.lock();
         *signalled = true;
         self.condvar.notify_all();
+        drop(signalled);
+        // Under deterministic simulation, waiters are parked in the scheduler
+        // on this event's key rather than on the condvar.
+        if let Some(handle) = txsql_sim::current() {
+            handle.unpark_all(txsql_sim::key_of(self));
+        }
     }
 
     /// Clears the event so the next wait blocks again.
@@ -95,6 +115,18 @@ impl OsEvent {
 
     /// Blocks until the event is set.
     pub fn wait(&self) {
+        if let Some(handle) = txsql_sim::current() {
+            // Sim path: park in the scheduler.  Cooperative scheduling makes
+            // the check-then-park atomic with respect to other sim threads,
+            // so a `set` between the two is impossible.
+            let key = txsql_sim::key_of(self);
+            loop {
+                if *self.signalled.lock() {
+                    return;
+                }
+                handle.park(key);
+            }
+        }
         let mut signalled = self.signalled.lock();
         while !*signalled {
             self.condvar.wait(&mut signalled);
@@ -103,6 +135,28 @@ impl OsEvent {
 
     /// Blocks until the event is set or `timeout` elapses.
     pub fn wait_for(&self, timeout: Duration) -> WaitOutcome {
+        if let Some(handle) = txsql_sim::current() {
+            // Sim path: timed park on the virtual clock — the deadline fires
+            // deterministically when the scheduler has nothing else to run.
+            let key = txsql_sim::key_of(self);
+            let deadline = handle.now().saturating_add(timeout);
+            loop {
+                if *self.signalled.lock() {
+                    return WaitOutcome::Signalled;
+                }
+                let now = handle.now();
+                if now >= deadline {
+                    return WaitOutcome::TimedOut;
+                }
+                if handle.park_timeout(key, deadline - now) {
+                    return if *self.signalled.lock() {
+                        WaitOutcome::Signalled
+                    } else {
+                        WaitOutcome::TimedOut
+                    };
+                }
+            }
+        }
         let deadline = std::time::Instant::now() + timeout;
         let mut signalled = self.signalled.lock();
         while !*signalled {

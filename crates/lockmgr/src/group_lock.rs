@@ -27,11 +27,12 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use txsql_common::fxhash::{self, FxHashMap};
 use txsql_common::latency::ut_delay;
 use txsql_common::metrics::EngineMetrics;
 use txsql_common::pad::CachePadded;
+use txsql_common::time::SimInstant;
 use txsql_common::{Error, RecordId, Result, TxnId};
 
 /// Configuration of group locking.
@@ -68,24 +69,42 @@ pub enum WokenRole {
 }
 
 /// A parked hotspot update waiting to be granted.
+///
+/// The wake-up event is drawn from the thread-local pool and recycled when
+/// the last `Arc<WaitSlot>` clone drops — whichever side (waiter, granter, or
+/// the queue on cancellation) lets go last returns it, and the unique-`Arc`
+/// rule in [`OsEvent::recycle`] guarantees a slot torn down mid-grant can
+/// never leak a stale wake into the pool.
 #[derive(Debug)]
 pub struct WaitSlot {
-    /// The event the owner waits on.
-    pub event: Arc<OsEvent>,
+    event: Option<Arc<OsEvent>>,
     role: Mutex<Option<WokenRole>>,
 }
 
 impl WaitSlot {
     fn new() -> Arc<Self> {
         Arc::new(Self {
-            event: OsEvent::new(),
+            event: Some(OsEvent::acquire_pooled()),
             role: Mutex::new(None),
         })
+    }
+
+    /// The event the owner waits on.
+    pub fn event(&self) -> &Arc<OsEvent> {
+        self.event.as_ref().expect("slot event present until drop")
     }
 
     /// Role assigned by the waker, if any.
     pub fn role(&self) -> Option<WokenRole> {
         *self.role.lock()
+    }
+}
+
+impl Drop for WaitSlot {
+    fn drop(&mut self) {
+        if let Some(event) = self.event.take() {
+            OsEvent::recycle(event);
+        }
     }
 }
 
@@ -154,6 +173,11 @@ struct GroupState {
     rollback_pause: bool,
     /// Transactions waiting for their commit turn.
     commit_waiters: Vec<(TxnId, Arc<OsEvent>)>,
+    /// Set (under this state's mutex) when `maybe_gc` removed the entry from
+    /// the shard map.  A thread that fetched the entry's `Arc` *before* the
+    /// removal discovers the flag after locking and retries through the map
+    /// — the fetch-then-lock lifecycle race that used to orphan waiters.
+    dead: bool,
 }
 
 impl GroupState {
@@ -223,13 +247,62 @@ impl GroupLockTable {
         Arc::clone(entries.entry(record.packed()).or_default())
     }
 
-    fn maybe_gc(&self, record: RecordId, entry: &Arc<GroupEntry>) {
-        if entry.state.lock().is_idle() {
-            let mut entries = self.entry_shard(record).lock();
-            if let Some(existing) = entries.get(&record.packed()) {
-                if Arc::ptr_eq(existing, entry) && existing.state.lock().is_idle() {
-                    entries.remove(&record.packed());
-                }
+    /// Runs `f` on the record's *live* group state.
+    ///
+    /// Every public operation routes through here.  The shard map hands out
+    /// `Arc<GroupEntry>` clones without holding the entry's state mutex, so a
+    /// caller can fetch an entry, lose the CPU, and find that `maybe_gc`
+    /// removed it from the map in between — enqueueing on such an orphan used
+    /// to strand the waiter until `hot_wait_timeout` (and could elect two
+    /// leaders for one hot row).  GC therefore marks removed entries `dead`
+    /// under their own state mutex, and this helper re-validates after
+    /// locking, retrying through the map until it holds a live entry.
+    fn with_state<R>(&self, record: RecordId, mut f: impl FnMut(&mut GroupState) -> R) -> R {
+        loop {
+            let entry = self.entry(record);
+            let mut state = entry.state.lock();
+            if state.dead {
+                continue;
+            }
+            return f(&mut state);
+        }
+    }
+
+    /// Like [`Self::with_state`], but never creates an entry: read-only
+    /// queries and post-timeout cleanup must not resurrect a GC'd row (the
+    /// §4.5 prevention check probes `both_updated` on every cold-lock
+    /// conflict, which would otherwise repopulate the shard maps with empty
+    /// entries nothing collects).  Returns `None` when the row has no live
+    /// group state.
+    fn with_existing_state<R>(
+        &self,
+        record: RecordId,
+        mut f: impl FnMut(&mut GroupState) -> R,
+    ) -> Option<R> {
+        loop {
+            let entry = {
+                let entries = self.entry_shard(record).lock();
+                Arc::clone(entries.get(&record.packed())?)
+            };
+            let mut state = entry.state.lock();
+            if state.dead {
+                continue;
+            }
+            return Some(f(&mut state));
+        }
+    }
+
+    fn maybe_gc(&self, record: RecordId) {
+        // Shard lock first, then the entry's state lock (the same nesting
+        // order `entry()` + `with_state` compose to), so the idle check, the
+        // dead mark and the map removal are one atomic step.
+        let mut entries = self.entry_shard(record).lock();
+        if let Some(existing) = entries.get(&record.packed()) {
+            let mut state = existing.state.lock();
+            if state.is_idle() {
+                state.dead = true;
+                drop(state);
+                entries.remove(&record.packed());
             }
         }
     }
@@ -246,37 +319,37 @@ impl GroupLockTable {
     /// arriving update is granted follower execution immediately instead of
     /// parking.
     pub fn begin_hot_update(&self, txn: TxnId, record: RecordId) -> HotExecution {
-        let entry = self.entry(record);
-        let mut state = entry.state.lock();
-        if state.leader.is_none() && state.waiting_updates.is_empty() && !state.rollback_pause {
-            state.leader = Some(txn);
-            state.switching_new_leader = false;
-            state.granted_in_group = 0;
-            state.granting_new_trx = true;
-            state.executing = Some(txn);
-            self.metrics.groups_formed.inc();
-            return HotExecution::Leader;
-        }
-        let batch_open =
-            self.config.batch_size == 0 || state.granted_in_group < self.config.batch_size;
-        if !state.granting_new_trx
-            && !state.switching_new_leader
-            && !state.rollback_pause
-            && state.waiting_updates.is_empty()
-            && state.leader.is_some()
-            && batch_open
-        {
-            state.granting_new_trx = true;
-            state.granted_in_group += 1;
-            state.executing = Some(txn);
-            return HotExecution::Follower;
-        }
-        let slot = WaitSlot::new();
-        state.waiting_updates.push_back(Waiter {
-            txn,
-            slot: Arc::clone(&slot),
-        });
-        HotExecution::Wait(slot)
+        self.with_state(record, |state| {
+            if state.leader.is_none() && state.waiting_updates.is_empty() && !state.rollback_pause {
+                state.leader = Some(txn);
+                state.switching_new_leader = false;
+                state.granted_in_group = 0;
+                state.granting_new_trx = true;
+                state.executing = Some(txn);
+                self.metrics.groups_formed.inc();
+                return HotExecution::Leader;
+            }
+            let batch_open =
+                self.config.batch_size == 0 || state.granted_in_group < self.config.batch_size;
+            if !state.granting_new_trx
+                && !state.switching_new_leader
+                && !state.rollback_pause
+                && state.waiting_updates.is_empty()
+                && state.leader.is_some()
+                && batch_open
+            {
+                state.granting_new_trx = true;
+                state.granted_in_group += 1;
+                state.executing = Some(txn);
+                return HotExecution::Follower;
+            }
+            let slot = WaitSlot::new();
+            state.waiting_updates.push_back(Waiter {
+                txn,
+                slot: Arc::clone(&slot),
+            });
+            HotExecution::Wait(slot)
+        })
     }
 
     /// Parks on `slot` until granted, returning the role, or times out.
@@ -286,14 +359,14 @@ impl GroupLockTable {
         record: RecordId,
         slot: &Arc<WaitSlot>,
     ) -> Result<WokenRole> {
-        let start = Instant::now();
+        let start = SimInstant::now();
         let deadline = start + self.config.hot_wait_timeout;
         loop {
             if let Some(role) = slot.role() {
                 self.metrics.lock_wait_latency.record(start.elapsed());
                 return Ok(role);
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(SimInstant::now());
             if remaining.is_zero() {
                 return match self.cancel_hot_wait(txn, record) {
                     CancelOutcome::AlreadyGranted(role) => {
@@ -306,27 +379,27 @@ impl GroupLockTable {
                     }
                 };
             }
-            let _ = slot.event.wait_for(remaining);
-            slot.event.reset();
+            let _ = slot.event().wait_for(remaining);
+            slot.event().reset();
         }
     }
 
     /// Removes a parked transaction that gave up waiting.
     pub fn cancel_hot_wait(&self, txn: TxnId, record: RecordId) -> CancelOutcome {
-        let entry = self.entry(record);
-        let mut state = entry.state.lock();
-        if let Some(pos) = state.waiting_updates.iter().position(|w| w.txn == txn) {
-            state.waiting_updates.remove(pos);
-            return CancelOutcome::Cancelled;
-        }
-        // Not queued any more: the grant must have raced ahead of us.  The
-        // role is recorded on the slot the granter holds a clone of; look it
-        // up through the doomed/leader/dep_list state instead.
-        if state.leader == Some(txn) {
-            CancelOutcome::AlreadyGranted(WokenRole::NewLeader)
-        } else {
-            CancelOutcome::AlreadyGranted(WokenRole::Follower)
-        }
+        self.with_state(record, |state| {
+            if let Some(pos) = state.waiting_updates.iter().position(|w| w.txn == txn) {
+                state.waiting_updates.remove(pos);
+                return CancelOutcome::Cancelled;
+            }
+            // Not queued any more: the grant must have raced ahead of us.  The
+            // role is recorded on the slot the granter holds a clone of; look
+            // it up through the doomed/leader/dep_list state instead.
+            if state.leader == Some(txn) {
+                CancelOutcome::AlreadyGranted(WokenRole::NewLeader)
+            } else {
+                CancelOutcome::AlreadyGranted(WokenRole::Follower)
+            }
+        })
     }
 
     /// Registers an executed update (Algorithm 1, lines 7–9): assigns the
@@ -334,11 +407,11 @@ impl GroupLockTable {
     /// dependency list.
     pub fn register_update(&self, txn: TxnId, record: RecordId) -> u64 {
         let order = self.global_hot_update_order.fetch_add(1, Ordering::Relaxed);
-        let entry = self.entry(record);
-        let mut state = entry.state.lock();
-        if !state.dep_list.contains(&txn) {
-            state.dep_list.push(txn);
-        }
+        self.with_state(record, |state| {
+            if !state.dep_list.contains(&txn) {
+                state.dep_list.push(txn);
+            }
+        });
         self.metrics.hotspot_group_entries.inc();
         order
     }
@@ -346,27 +419,28 @@ impl GroupLockTable {
     /// Completes an update and grants the next follower if allowed
     /// (Algorithm 1, lines 11–20).
     pub fn finish_update(&self, txn: TxnId, record: RecordId, is_leader: bool) {
-        let entry = self.entry(record);
-        let mut state = entry.state.lock();
-        // Whoever just finished (leader or follower) is no longer mid-update.
-        state.granting_new_trx = false;
-        state.executing = None;
-        if is_leader && state.leader == Some(txn) {
-            state.switching_new_leader = false;
-        }
-        if state.switching_new_leader || state.rollback_pause {
-            return;
-        }
-        if self.config.batch_size > 0 && state.granted_in_group >= self.config.batch_size {
-            return;
-        }
-        if let Some(waiter) = state.waiting_updates.pop_front() {
-            state.granting_new_trx = true;
-            state.granted_in_group += 1;
-            state.executing = Some(waiter.txn);
-            *waiter.slot.role.lock() = Some(WokenRole::Follower);
-            waiter.slot.event.set();
-        }
+        self.with_state(record, |state| {
+            // Whoever just finished (leader or follower) is no longer
+            // mid-update.
+            state.granting_new_trx = false;
+            state.executing = None;
+            if is_leader && state.leader == Some(txn) {
+                state.switching_new_leader = false;
+            }
+            if state.switching_new_leader || state.rollback_pause {
+                return;
+            }
+            if self.config.batch_size > 0 && state.granted_in_group >= self.config.batch_size {
+                return;
+            }
+            if let Some(waiter) = state.waiting_updates.pop_front() {
+                state.granting_new_trx = true;
+                state.granted_in_group += 1;
+                state.executing = Some(waiter.txn);
+                *waiter.slot.role.lock() = Some(WokenRole::Follower);
+                waiter.slot.event().set();
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -376,24 +450,24 @@ impl GroupLockTable {
     /// Leader-side commit preparation (Algorithm 2, lines 2–4): stop granting
     /// and wait for the in-flight granted follower to complete its update.
     pub fn leader_prepare_commit(&self, txn: TxnId, record: RecordId) {
-        let entry = self.entry(record);
-        let deadline = Instant::now() + self.config.hot_wait_timeout * 4;
+        let deadline = SimInstant::now() + self.config.hot_wait_timeout * 4;
         loop {
-            {
-                let mut state = entry.state.lock();
+            let quiesced = self.with_state(record, |state| {
                 if state.leader == Some(txn) {
                     state.switching_new_leader = true;
                 }
-                if !state.granting_new_trx {
-                    return;
-                }
+                !state.granting_new_trx
+            });
+            if quiesced {
+                return;
             }
-            if Instant::now() > deadline {
+            if SimInstant::now() > deadline {
                 // A granted follower disappeared without calling finish_update
                 // (it aborted on an unrelated error).  Proceed rather than
                 // wedging the whole hot row.
-                let mut state = entry.state.lock();
-                state.granting_new_trx = false;
+                self.with_state(record, |state| {
+                    state.granting_new_trx = false;
+                });
                 return;
             }
             ut_delay(10);
@@ -404,58 +478,77 @@ impl GroupLockTable {
     /// 7–10): promotes the next waiter to leader of a new group.  Returns the
     /// new leader, if any (with the dynamic batch size there may be none).
     pub fn leader_handover(&self, txn: TxnId, record: RecordId) -> Option<TxnId> {
-        let entry = self.entry(record);
-        let mut state = entry.state.lock();
-        if state.leader == Some(txn) {
-            state.leader = None;
-        }
-        if state.rollback_pause {
-            return None;
-        }
-        if let Some(waiter) = state.waiting_updates.pop_front() {
-            state.leader = Some(waiter.txn);
-            state.granted_in_group = 0;
-            state.switching_new_leader = false;
-            // The new leader's own update is considered in flight until it
-            // calls `finish_update`, so nobody can slip in between.
-            state.granting_new_trx = true;
-            state.executing = Some(waiter.txn);
-            self.metrics.groups_formed.inc();
-            *waiter.slot.role.lock() = Some(WokenRole::NewLeader);
-            waiter.slot.event.set();
-            Some(waiter.txn)
-        } else {
-            // Dynamic batch size: release without nominating a leader; the
-            // next arrival starts a fresh group immediately.
-            state.switching_new_leader = false;
-            state.granting_new_trx = false;
-            state.executing = None;
-            None
-        }
+        self.with_state(record, |state| {
+            if state.leader == Some(txn) {
+                state.leader = None;
+            } else if state.leader.is_some() {
+                // Another transaction's group already owns this row (our own
+                // entry went idle, was GC'd, and the map entry was re-created
+                // since): nothing to hand over, and the live group's in-flight
+                // flags must not be clobbered.
+                return None;
+            }
+            if state.rollback_pause {
+                return None;
+            }
+            if let Some(waiter) = state.waiting_updates.pop_front() {
+                state.leader = Some(waiter.txn);
+                state.granted_in_group = 0;
+                state.switching_new_leader = false;
+                // The new leader's own update is considered in flight until it
+                // calls `finish_update`, so nobody can slip in between.
+                state.granting_new_trx = true;
+                state.executing = Some(waiter.txn);
+                self.metrics.groups_formed.inc();
+                *waiter.slot.role.lock() = Some(WokenRole::NewLeader);
+                waiter.slot.event().set();
+                Some(waiter.txn)
+            } else {
+                // Dynamic batch size: release without nominating a leader; the
+                // next arrival starts a fresh group immediately.
+                state.switching_new_leader = false;
+                state.granting_new_trx = false;
+                state.executing = None;
+                None
+            }
+        })
     }
 
     /// Asks whether `txn` may commit now (commit-order guarantee, §4.3).
     pub fn commit_turn(&self, txn: TxnId, record: RecordId) -> CommitTurn {
-        let entry = self.entry(record);
-        let mut state = entry.state.lock();
-        if let Some(cause) = state.doomed.get(&txn) {
-            return CommitTurn::Doomed { cause: *cause };
-        }
-        match state.dep_list.first() {
-            Some(first) if *first == txn => CommitTurn::Ready,
-            None => CommitTurn::Ready,
-            Some(_) if !state.dep_list.contains(&txn) => CommitTurn::Ready,
-            Some(_) => {
-                let event = OsEvent::new();
-                state.commit_waiters.push((txn, Arc::clone(&event)));
-                CommitTurn::Wait(event)
+        self.with_state(record, |state| {
+            if let Some(cause) = state.doomed.get(&txn) {
+                return CommitTurn::Doomed { cause: *cause };
             }
-        }
+            match state.dep_list.first() {
+                Some(first) if *first == txn => CommitTurn::Ready,
+                None => CommitTurn::Ready,
+                Some(_) if !state.dep_list.contains(&txn) => CommitTurn::Ready,
+                Some(_) => {
+                    let event = OsEvent::acquire_pooled();
+                    state.commit_waiters.push((txn, Arc::clone(&event)));
+                    CommitTurn::Wait(event)
+                }
+            }
+        })
+    }
+
+    /// Detaches a commit-turn event after its wait ended (woken or timed out)
+    /// and drains it back to the thread-local pool.  Removing the state's
+    /// clone first is what makes the event unique and therefore recyclable;
+    /// an event a granter still holds is simply dropped, never pooled.
+    fn retire_commit_wait(&self, txn: TxnId, record: RecordId, event: Arc<OsEvent>) {
+        self.with_existing_state(record, |state| {
+            state
+                .commit_waiters
+                .retain(|(t, e)| !(*t == txn && Arc::ptr_eq(e, &event)));
+        });
+        OsEvent::recycle(event);
     }
 
     /// Blocks until `txn` may commit (or must cascade-abort).
     pub fn wait_commit_turn(&self, txn: TxnId, record: RecordId) -> Result<()> {
-        let deadline = Instant::now() + self.config.hot_wait_timeout * 4;
+        let deadline = SimInstant::now() + self.config.hot_wait_timeout * 4;
         loop {
             match self.commit_turn(txn, record) {
                 CommitTurn::Ready => return Ok(()),
@@ -463,10 +556,12 @@ impl GroupLockTable {
                     return Err(Error::CascadingAbort { txn, cause });
                 }
                 CommitTurn::Wait(event) => {
-                    if Instant::now() > deadline {
+                    if SimInstant::now() > deadline {
+                        self.retire_commit_wait(txn, record, event);
                         return Err(Error::LockWaitTimeout { txn, record });
                     }
                     let _ = event.wait_for(Duration::from_millis(50));
+                    self.retire_commit_wait(txn, record, event);
                 }
             }
         }
@@ -475,9 +570,7 @@ impl GroupLockTable {
     /// Finalises a commit: removes `txn` from the dependency list and wakes
     /// commit waiters (Algorithm 2, lines 11–12).
     pub fn finish_commit(&self, txn: TxnId, record: RecordId) {
-        let entry = self.entry(record);
-        {
-            let mut state = entry.state.lock();
+        self.with_state(record, |state| {
             state.dep_list.retain(|t| *t != txn);
             state.doomed.remove(&txn);
             if state.leader == Some(txn) {
@@ -486,8 +579,8 @@ impl GroupLockTable {
                 state.leader = None;
             }
             state.wake_commit_waiters();
-        }
-        self.maybe_gc(record, &entry);
+        });
+        self.maybe_gc(record);
     }
 
     // ------------------------------------------------------------------
@@ -498,44 +591,44 @@ impl GroupLockTable {
     /// rollback optimization): pauses granting, dooms every dependency-list
     /// successor and returns them (they must cascade-abort first).
     pub fn begin_rollback(&self, txn: TxnId, record: RecordId) -> Vec<TxnId> {
-        let entry = self.entry(record);
-        let mut state = entry.state.lock();
-        state.rollback_pause = true;
-        if state.leader == Some(txn) {
-            state.switching_new_leader = false;
-        }
-        if state.executing == Some(txn) {
-            // The rolling-back transaction was itself mid-update (it aborted
-            // between register and finish): clear the in-flight flag so the
-            // rollback-order wait below does not wait for itself.
-            state.granting_new_trx = false;
-            state.executing = None;
-        }
-        let successors: Vec<TxnId> = match state.dep_list.iter().position(|t| *t == txn) {
-            Some(pos) => state.dep_list[pos + 1..].to_vec(),
-            None => Vec::new(),
-        };
-        for succ in &successors {
-            state.doomed.entry(*succ).or_insert(txn);
-        }
-        state.wake_commit_waiters();
-        successors
+        self.with_state(record, |state| {
+            state.rollback_pause = true;
+            if state.leader == Some(txn) {
+                state.switching_new_leader = false;
+            }
+            if state.executing == Some(txn) {
+                // The rolling-back transaction was itself mid-update (it
+                // aborted between register and finish): clear the in-flight
+                // flag so the rollback-order wait below does not wait for
+                // itself.
+                state.granting_new_trx = false;
+                state.executing = None;
+            }
+            let successors: Vec<TxnId> = match state.dep_list.iter().position(|t| *t == txn) {
+                Some(pos) => state.dep_list[pos + 1..].to_vec(),
+                None => Vec::new(),
+            };
+            for succ in &successors {
+                state.doomed.entry(*succ).or_insert(txn);
+            }
+            state.wake_commit_waiters();
+            successors
+        })
     }
 
     /// Blocks until `txn` is the newest entry of the dependency list and no
     /// grant is in flight (Algorithm 3, lines 6–7).
     pub fn wait_rollback_turn(&self, txn: TxnId, record: RecordId) -> Result<()> {
-        let entry = self.entry(record);
-        let deadline = Instant::now() + self.config.hot_wait_timeout * 4;
+        let deadline = SimInstant::now() + self.config.hot_wait_timeout * 4;
         loop {
-            {
-                let state = entry.state.lock();
+            let my_turn = self.with_state(record, |state| {
                 let is_last = state.dep_list.last().map(|t| *t == txn).unwrap_or(true);
-                if is_last && !state.granting_new_trx && !state.switching_new_leader {
-                    return Ok(());
-                }
+                is_last && !state.granting_new_trx && !state.switching_new_leader
+            });
+            if my_turn {
+                return Ok(());
             }
-            if Instant::now() > deadline {
+            if SimInstant::now() > deadline {
                 return Err(Error::LockWaitTimeout { txn, record });
             }
             ut_delay(10);
@@ -545,40 +638,44 @@ impl GroupLockTable {
     /// Finalises a rollback: removes `txn` from the dependency list, clears
     /// its doomed mark and wakes commit waiters (Algorithm 3, lines 8–9).
     pub fn finish_rollback(&self, txn: TxnId, record: RecordId) {
-        let entry = self.entry(record);
-        {
-            let mut state = entry.state.lock();
+        self.with_state(record, |state| {
             state.dep_list.retain(|t| *t != txn);
             state.doomed.remove(&txn);
             if state.leader == Some(txn) {
                 state.leader = None;
             }
             state.wake_commit_waiters();
-        }
-        self.maybe_gc(record, &entry);
+        });
+        self.maybe_gc(record);
     }
 
     /// Resumes granting after a server-initiated rollback completed (§4.4).
     /// If the row lock was left free, the next parked transaction is promoted
     /// to leader so the queue does not stall.
     pub fn resume_granting(&self, record: RecordId) -> Option<TxnId> {
-        let entry = self.entry(record);
-        let mut state = entry.state.lock();
-        state.rollback_pause = false;
-        if state.leader.is_none() {
-            if let Some(waiter) = state.waiting_updates.pop_front() {
-                state.leader = Some(waiter.txn);
-                state.granted_in_group = 0;
-                state.switching_new_leader = false;
-                state.granting_new_trx = true;
-                state.executing = Some(waiter.txn);
-                self.metrics.groups_formed.inc();
-                *waiter.slot.role.lock() = Some(WokenRole::NewLeader);
-                waiter.slot.event.set();
-                return Some(waiter.txn);
+        let promoted = self.with_state(record, |state| {
+            state.rollback_pause = false;
+            if state.leader.is_none() {
+                if let Some(waiter) = state.waiting_updates.pop_front() {
+                    state.leader = Some(waiter.txn);
+                    state.granted_in_group = 0;
+                    state.switching_new_leader = false;
+                    state.granting_new_trx = true;
+                    state.executing = Some(waiter.txn);
+                    self.metrics.groups_formed.inc();
+                    *waiter.slot.role.lock() = Some(WokenRole::NewLeader);
+                    waiter.slot.event().set();
+                    return Some(waiter.txn);
+                }
             }
+            None
+        });
+        if promoted.is_none() {
+            // A rollback that left the row fully idle must not keep the map
+            // entry alive.
+            self.maybe_gc(record);
         }
-        None
+        promoted
     }
 
     // ------------------------------------------------------------------
@@ -588,16 +685,16 @@ impl GroupLockTable {
     /// True when both transactions have executed uncommitted updates on this
     /// hot row — the §4.5 deadlock-prevention predicate.
     pub fn both_updated(&self, record: RecordId, a: TxnId, b: TxnId) -> bool {
-        let entry = self.entry(record);
-        let state = entry.state.lock();
-        state.dep_list.contains(&a) && state.dep_list.contains(&b)
+        self.with_existing_state(record, |state| {
+            state.dep_list.contains(&a) && state.dep_list.contains(&b)
+        })
+        .unwrap_or(false)
     }
 
     /// Current dependency list (update order) of a hot row.
     pub fn dep_list(&self, record: RecordId) -> Vec<TxnId> {
-        let entry = self.entry(record);
-        let state = entry.state.lock();
-        state.dep_list.clone()
+        self.with_existing_state(record, |state| state.dep_list.clone())
+            .unwrap_or_default()
     }
 
     /// True when the hot row still has any group activity (used by the
@@ -676,7 +773,7 @@ mod tests {
         // Leader finishes its update: follower is granted.
         g.finish_update(TxnId(1), HOT, true);
         assert_eq!(slot.role(), Some(WokenRole::Follower));
-        assert!(slot.event.is_set());
+        assert!(slot.event().is_set());
         let order2 = g.register_update(TxnId(2), HOT);
         g.finish_update(TxnId(2), HOT, false);
         assert_eq!(g.dep_list(HOT), vec![TxnId(1), TxnId(2)]);

@@ -59,6 +59,30 @@
 //! sharded wait-for graph), [`registry`] (the per-transaction lock registry)
 //! and [`hotspot`] (hotspot detection and the `hot_row_hash` registry shared
 //! by queue and group locking).
+//!
+//! ## Deterministic testing
+//!
+//! Everything in this crate is interleaving-sensitive, and a 1-CPU CI box
+//! essentially never preempts a microsecond critical section — organic
+//! dangerous schedules simply do not occur.  The crate is therefore fully
+//! explorable under the `txsql-sim` cooperative scheduler:
+//!
+//! * blocking acquisitions of the `parking_lot` shim's `Mutex`/`RwLock` are
+//!   yield points, and contended acquisitions park the logical thread in the
+//!   scheduler instead of the OS;
+//! * [`event::OsEvent::wait`]/`wait_for`/`set` route the same way, with timed
+//!   waits parked on the scheduler's **virtual clock**;
+//! * every deadline in this crate (`lock_wait_timeout`, `hot_wait_timeout`
+//!   and their multiples) is computed with `txsql_common::time::SimInstant`,
+//!   which reads the virtual clock inside a sim run — timeout paths fire
+//!   deterministically instead of depending on wall-clock races.
+//!
+//! There is no `#[cfg]` split: the exact code that ships is the code the
+//! simulator schedules.  `crates/lockmgr/tests/sim_lock.rs` explores the
+//! grant/timeout/GC interleavings (including regression tests for the
+//! `group_lock` entry-lifecycle race) across hundreds of seeded schedules;
+//! see `crates/sim/README.md` for how to write a sim test and replay a
+//! failing seed.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

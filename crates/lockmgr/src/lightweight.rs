@@ -30,10 +30,11 @@ use crate::registry::TxnLockRegistry;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use txsql_common::fxhash::{self, FxHashMap};
 use txsql_common::metrics::EngineMetrics;
 use txsql_common::pad::CachePadded;
+use txsql_common::time::SimInstant;
 use txsql_common::{Error, RecordId, Result, TxnId};
 
 /// Configuration of the lightweight lock table.
@@ -226,10 +227,11 @@ impl LightweightLockTable {
         }
         self.registry.remember_record(txn, record);
 
-        let wait_start = Instant::now();
+        // SimInstant: virtual-clock deadline under deterministic simulation.
+        let wait_start = SimInstant::now();
         let deadline = wait_start + self.config.lock_wait_timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(SimInstant::now());
             let outcome = if remaining.is_zero() {
                 WaitOutcome::TimedOut
             } else {

@@ -33,11 +33,12 @@ use crate::modes::LockMode;
 use crate::registry::TxnLockRegistry;
 use parking_lot::Mutex;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use txsql_common::fxhash::{self, FxHashMap};
 use txsql_common::ids::PageId;
 use txsql_common::metrics::EngineMetrics;
 use txsql_common::pad::CachePadded;
+use txsql_common::time::SimInstant;
 use txsql_common::{Error, HeapNo, RecordId, Result, TableId, TxnId};
 
 /// Number of table-lock shards.  Tables are few and intention modes almost
@@ -261,11 +262,13 @@ impl LockSys {
         }
         self.registry.remember_record(txn, record);
 
-        // Park outside the shard mutex.
-        let wait_start = Instant::now();
+        // Park outside the shard mutex.  SimInstant: under deterministic
+        // simulation the deadline lives on the virtual clock, so timeout
+        // schedules are explorable.
+        let wait_start = SimInstant::now();
         let deadline = wait_start + self.config.lock_wait_timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(SimInstant::now());
             let outcome = if remaining.is_zero() {
                 WaitOutcome::TimedOut
             } else {

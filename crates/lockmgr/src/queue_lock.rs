@@ -89,7 +89,10 @@ impl QueueLockTable {
             entry.active = Some(txn);
             QueueAdmission::Proceed
         } else {
-            let event = OsEvent::new();
+            // Pooled: the waiting side recycles the event after its wait ends
+            // (grant or cancellation); the unique-`Arc` rule keeps an event
+            // the queue still references out of the pool.
+            let event = OsEvent::acquire_pooled();
             entry.waiters.push_back((txn, Arc::clone(&event)));
             QueueAdmission::Wait(event)
         }
@@ -248,6 +251,23 @@ mod tests {
         q.release(TxnId(1), HOT);
         assert!(q.claim_ticket(TxnId(3), HOT));
         assert_eq!(q.queue_len(HOT), 0);
+    }
+
+    #[test]
+    fn grant_racing_a_timeout_is_detectable_via_cancel_wait() {
+        // The O2 write path's timeout handling relies on this contract: when
+        // the previous holder's release() pops a waiter to active just as
+        // that waiter times out, cancel_wait returns false (it is no longer
+        // *queued*) and the waiter must proceed as the active ticket holder
+        // instead of abandoning a ticket nobody would ever release.
+        let q = QueueLockTable::new(Duration::from_millis(10));
+        assert!(matches!(q.admit(TxnId(1), HOT), QueueAdmission::Proceed));
+        let _ = q.admit(TxnId(2), HOT);
+        q.release(TxnId(1), HOT); // grants txn 2 concurrently with its timeout
+        assert!(!q.cancel_wait(TxnId(2), HOT), "no longer queued");
+        assert!(q.claim_ticket(TxnId(2), HOT), "the grant raced ahead");
+        q.release(TxnId(2), HOT);
+        assert!(!q.has_waiters(HOT));
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! Deterministic schedule exploration of the lock manager (`txsql-sim`).
+//!
+//! Every test here runs the *production* lock-manager code under the
+//! cooperative scheduler: shim `Mutex`/`RwLock` acquisitions and
+//! `OsEvent::wait/set` are the preemption points, and timeouts fire on the
+//! virtual clock.  A failing seed prints a replayable failure artifact; see
+//! `crates/sim/README.md` for how to replay it.
+//!
+//! The seed set is `TXSQL_SIM_SEEDS`-overridable (CI pins `0..200`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use txsql_common::latency::ut_delay;
+use txsql_common::metrics::EngineMetrics;
+use txsql_common::{RecordId, Result, TxnId};
+use txsql_lockmgr::event::OsEvent;
+use txsql_lockmgr::group_lock::{
+    CancelOutcome, GroupLockConfig, GroupLockTable, HotExecution, WokenRole,
+};
+use txsql_lockmgr::lightweight::{LightweightConfig, LightweightLockTable};
+use txsql_lockmgr::lock_sys::{DeadlockPolicy, LockSys, LockSysConfig};
+use txsql_lockmgr::modes::LockMode;
+use txsql_lockmgr::queue_lock::{QueueAdmission, QueueLockTable};
+
+const HOT: RecordId = RecordId {
+    space_id: 1,
+    page_no: 0,
+    heap_no: 0,
+};
+
+/// Runs one seeded schedule and panics with the replayable artifact on
+/// failure (deadlock, lost wakeup, or an assertion inside a sim thread).
+fn run_seed(seed: u64, build: impl Fn(&mut txsql_sim::Sim)) {
+    let report = txsql_sim::run_with_seed(seed, build);
+    if let Some(failure) = report.failure {
+        panic!(
+            "seed {seed} failed: {failure}\nschedule: {:?}\nreproduce: txsql_sim::replay(&schedule, build)",
+            report.schedule
+        );
+    }
+}
+
+fn group_table() -> GroupLockTable {
+    GroupLockTable::new(
+        GroupLockConfig {
+            hot_wait_timeout: Duration::from_millis(100),
+            ..GroupLockConfig::default()
+        },
+        Arc::new(EngineMetrics::new()),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// group_lock entry()/maybe_gc lifecycle race (ROADMAP pre-existing bug)
+// ---------------------------------------------------------------------------
+
+/// Drives the fetch → deschedule → gc → enqueue interleaving that used to
+/// orphan hot-row state: `begin_hot_update` fetched the `GroupEntry` Arc from
+/// the shard map, and if the committing leader's `finish_commit` ran
+/// `maybe_gc` before the joiner locked the entry's state, the joiner elected
+/// itself leader of (or parked on) an entry no longer reachable through the
+/// map — invisible to every later `entry()` lookup.
+///
+/// On the pre-fix code this fails within the first few seeds in two ways:
+/// the joiner's `leader_of(HOT)` assertion sees `None`/a stale leader because
+/// its leadership lives on the orphaned entry, or the joiner times out in
+/// `wait_for_grant` because its wait slot is queued where no granter will
+/// ever look (the artifact then shows `LockWaitTimeout` after a virtual-clock
+/// jump).  Post-fix, `with_state` re-validates the entry after locking (the
+/// `dead` generation mark), so every seed passes.
+#[test]
+fn group_entry_gc_race_is_closed_under_exploration() {
+    for seed in txsql_sim::ci_seeds(200) {
+        let g = Arc::new(group_table());
+        const T1: TxnId = TxnId(1);
+        const T2: TxnId = TxnId(2);
+        // T1 is an established leader that has finished its update and is
+        // about to commit (the state in which finish_commit can GC).
+        assert!(matches!(g.begin_hot_update(T1, HOT), HotExecution::Leader));
+        g.register_update(T1, HOT);
+        g.finish_update(T1, HOT, true);
+
+        let committer = Arc::clone(&g);
+        let joiner = Arc::clone(&g);
+        run_seed(seed, move |sim| {
+            let g1 = Arc::clone(&committer);
+            sim.spawn("committer", move || {
+                g1.leader_prepare_commit(T1, HOT);
+                g1.wait_commit_turn(T1, HOT).unwrap();
+                g1.finish_commit(T1, HOT); // may remove the map entry
+                g1.leader_handover(T1, HOT);
+            });
+            let g2 = Arc::clone(&joiner);
+            sim.spawn("joiner", move || {
+                let role = match g2.begin_hot_update(T2, HOT) {
+                    HotExecution::Leader => WokenRole::NewLeader,
+                    HotExecution::Follower => WokenRole::Follower,
+                    HotExecution::Wait(slot) => g2.wait_for_grant(T2, HOT, &slot).unwrap(),
+                };
+                g2.register_update(T2, HOT);
+                if role == WokenRole::NewLeader {
+                    // Leadership must be visible through the shard map: a
+                    // leader recorded on an orphaned entry is the bug.
+                    assert_eq!(
+                        g2.leader_of(HOT),
+                        Some(T2),
+                        "joiner's leadership is not visible through the entry map"
+                    );
+                }
+                assert!(
+                    g2.dep_list(HOT).contains(&T2),
+                    "joiner's update landed on an orphaned dependency list"
+                );
+                g2.finish_update(T2, HOT, role == WokenRole::NewLeader);
+                if role == WokenRole::NewLeader {
+                    g2.leader_prepare_commit(T2, HOT);
+                }
+                g2.wait_commit_turn(T2, HOT).unwrap();
+                g2.finish_commit(T2, HOT);
+                if role == WokenRole::NewLeader {
+                    g2.leader_handover(T2, HOT);
+                }
+            });
+        });
+
+        // Whatever the schedule, the hot row must end fully drained.
+        assert!(
+            g.dep_list(HOT).is_empty(),
+            "seed {seed}: dep list not drained"
+        );
+        assert_eq!(g.leader_of(HOT), None, "seed {seed}: leader not cleared");
+        assert!(!g.has_activity(HOT), "seed {seed}: entry still live");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// grant_waiters FIFO / compatibility invariants (both lock tables)
+// ---------------------------------------------------------------------------
+
+/// The slice of the two lock tables' APIs the schedule tests exercise.
+trait LockTable: Send + Sync + 'static {
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()>;
+    fn release_all(&self, txn: TxnId);
+    fn wait_queue_len(&self, record: RecordId) -> usize;
+    /// Records the registry tracks for `txn` (granted or waiting).  The
+    /// registry entry is written immediately before the wait deadline is
+    /// captured (no yield point in between), so tests can gate on it to
+    /// order virtual-clock deadlines deterministically.
+    fn tracked_locks(&self, txn: TxnId) -> usize;
+}
+
+impl LockTable for LockSys {
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
+        self.lock_record(txn, record, mode)
+    }
+    fn release_all(&self, txn: TxnId) {
+        LockSys::release_all(self, txn)
+    }
+    fn wait_queue_len(&self, record: RecordId) -> usize {
+        LockSys::wait_queue_len(self, record)
+    }
+    fn tracked_locks(&self, txn: TxnId) -> usize {
+        self.registry().record_count_of(txn)
+    }
+}
+
+impl LockTable for LightweightLockTable {
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
+        self.lock_record(txn, record, mode)
+    }
+    fn release_all(&self, txn: TxnId) {
+        LightweightLockTable::release_all(self, txn)
+    }
+    fn wait_queue_len(&self, record: RecordId) -> usize {
+        LightweightLockTable::wait_queue_len(self, record)
+    }
+    fn tracked_locks(&self, txn: TxnId) -> usize {
+        self.registry().record_count_of(txn)
+    }
+}
+
+fn lock_sys_table() -> Arc<LockSys> {
+    Arc::new(LockSys::new(
+        LockSysConfig {
+            n_shards: 8,
+            deadlock_policy: DeadlockPolicy::TimeoutOnly,
+            lock_wait_timeout: Duration::from_millis(200),
+        },
+        Arc::new(EngineMetrics::new()),
+    ))
+}
+
+fn lightweight_table() -> Arc<LightweightLockTable> {
+    Arc::new(LightweightLockTable::new(
+        LightweightConfig {
+            n_shards: 64,
+            deadlock_policy: DeadlockPolicy::TimeoutOnly,
+            lock_wait_timeout: Duration::from_millis(200),
+        },
+        Arc::new(EngineMetrics::new()),
+    ))
+}
+
+/// Exclusive waiters staged in a known arrival order must be granted in that
+/// order, and none may be lost: a lost wakeup surfaces as either a
+/// virtual-clock timeout (`unwrap` fails) or a sim deadlock artifact.
+fn fifo_grant_order<T: LockTable>(table: Arc<T>, seed: u64) {
+    const WAITERS: usize = 3;
+    let order = Arc::new(parking_lot::Mutex::new(Vec::<usize>::new()));
+    let holder_txn = TxnId(1);
+    // The holder takes the lock before any sim thread runs.
+    table.lock(holder_txn, HOT, LockMode::Exclusive).unwrap();
+
+    let t = Arc::clone(&table);
+    let o = Arc::clone(&order);
+    run_seed(seed, move |sim| {
+        for i in 0..WAITERS {
+            let table = Arc::clone(&t);
+            let order = Arc::clone(&o);
+            sim.spawn(format!("waiter-{i}"), move || {
+                let h = txsql_sim::current().unwrap();
+                // Stage arrivals: waiter i enqueues only once i earlier
+                // waiters are already parked in the queue.
+                while table.wait_queue_len(HOT) != i {
+                    h.yield_now();
+                }
+                table
+                    .lock(TxnId(10 + i as u64), HOT, LockMode::Exclusive)
+                    .unwrap();
+                order.lock().push(i);
+                table.release_all(TxnId(10 + i as u64));
+            });
+        }
+        let table = Arc::clone(&t);
+        sim.spawn("releaser", move || {
+            let h = txsql_sim::current().unwrap();
+            while table.wait_queue_len(HOT) != WAITERS {
+                h.yield_now();
+            }
+            table.release_all(holder_txn);
+        });
+    });
+
+    assert_eq!(
+        *order.lock(),
+        (0..WAITERS).collect::<Vec<_>>(),
+        "seed {seed}: grants out of FIFO order"
+    );
+}
+
+#[test]
+fn fifo_grant_order_under_exploration_lock_sys() {
+    for seed in txsql_sim::ci_seeds(200) {
+        fifo_grant_order(lock_sys_table(), seed);
+    }
+}
+
+#[test]
+fn fifo_grant_order_under_exploration_lightweight() {
+    for seed in txsql_sim::ci_seeds(200) {
+        fifo_grant_order(lightweight_table(), seed);
+    }
+}
+
+/// A Shared waiter queued behind an earlier conflicting Exclusive waiter must
+/// not jump the queue while the Exclusive wait is pending — but when that
+/// front waiter *times out*, the timeout cleanup must re-run the grant scan
+/// and wake the compatible waiter behind it (no lost wakeup on the timeout
+/// path).  The virtual clock makes the timeout fire deterministically in
+/// every explored schedule.
+fn timeout_grants_compatible_waiter_behind<T: LockTable>(table: Arc<T>, seed: u64) {
+    let holder_txn = TxnId(1);
+    table.lock(holder_txn, HOT, LockMode::Shared).unwrap();
+    let granted_shared = Arc::new(AtomicUsize::new(0));
+
+    let t = Arc::clone(&table);
+    let g = Arc::clone(&granted_shared);
+    run_seed(seed, move |sim| {
+        let table = Arc::clone(&t);
+        sim.spawn("exclusive-waiter", move || {
+            // Conflicts with the Shared holder; nobody releases, so this wait
+            // can only end through the (virtual-clock) timeout.
+            let err = table.lock(TxnId(2), HOT, LockMode::Exclusive).unwrap_err();
+            assert!(
+                matches!(err, txsql_common::Error::LockWaitTimeout { .. }),
+                "unexpected error: {err:?}"
+            );
+        });
+        let table = Arc::clone(&t);
+        let granted = Arc::clone(&g);
+        sim.spawn("shared-waiter", move || {
+            let h = txsql_sim::current().unwrap();
+            // Enqueue strictly behind the Exclusive waiter, with a later
+            // virtual-clock deadline: gate on the registry entry (written
+            // just before the Exclusive waiter captures its deadline, with
+            // no yield point in between) so the ut_delay below advances the
+            // clock strictly after that capture.
+            while table.wait_queue_len(HOT) != 1 || table.tracked_locks(TxnId(2)) != 1 {
+                h.yield_now();
+            }
+            ut_delay(1_000);
+            // FIFO fairness keeps us waiting behind the Exclusive request;
+            // its timeout cleanup must then grant us.
+            table.lock(TxnId(3), HOT, LockMode::Shared).unwrap();
+            granted.fetch_add(1, Ordering::Relaxed);
+            table.release_all(TxnId(3));
+        });
+    });
+
+    assert_eq!(
+        granted_shared.load(Ordering::Relaxed),
+        1,
+        "seed {seed}: compatible waiter was never granted"
+    );
+    table.release_all(holder_txn);
+}
+
+#[test]
+fn timeout_wakes_compatible_waiter_lock_sys() {
+    for seed in txsql_sim::ci_seeds(200) {
+        timeout_grants_compatible_waiter_behind(lock_sys_table(), seed);
+    }
+}
+
+#[test]
+fn timeout_wakes_compatible_waiter_lightweight() {
+    for seed in txsql_sim::ci_seeds(200) {
+        timeout_grants_compatible_waiter_behind(lightweight_table(), seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event-pool draining on the timeout / cancellation paths
+// ---------------------------------------------------------------------------
+
+/// A cancelled group-lock wait must drain its pooled event back to the
+/// thread-local free list: cancellation removes the queue's `WaitSlot` clone,
+/// so the waiter's drop is the last one and recycles the (unique) event.
+#[test]
+fn cancelled_group_wait_drains_event_to_pool() {
+    let g = group_table();
+    assert!(matches!(
+        g.begin_hot_update(TxnId(1), HOT),
+        HotExecution::Leader
+    ));
+    g.register_update(TxnId(1), HOT);
+    let slot = match g.begin_hot_update(TxnId(2), HOT) {
+        HotExecution::Wait(slot) => slot,
+        other => panic!("expected Wait, got {other:?}"),
+    };
+    let before = OsEvent::pooled_count();
+    assert_eq!(g.cancel_hot_wait(TxnId(2), HOT), CancelOutcome::Cancelled);
+    drop(slot);
+    assert_eq!(
+        OsEvent::pooled_count(),
+        before + 1,
+        "cancelled wait slot must recycle its event"
+    );
+}
+
+/// A slot whose granter still holds a clone must NOT recycle a shared event:
+/// the unique-`Arc` rule protects the pool from stale wakes.
+#[test]
+fn granted_slot_event_is_not_pooled_while_shared() {
+    let g = group_table();
+    let _ = g.begin_hot_update(TxnId(1), HOT);
+    g.register_update(TxnId(1), HOT);
+    let slot = match g.begin_hot_update(TxnId(2), HOT) {
+        HotExecution::Wait(slot) => slot,
+        other => panic!("expected Wait, got {other:?}"),
+    };
+    let stale_granter_clone = Arc::clone(slot.event());
+    g.finish_update(TxnId(1), HOT, true); // grants T2, queue drops its slot clone
+    let before = OsEvent::pooled_count();
+    drop(slot);
+    assert_eq!(
+        OsEvent::pooled_count(),
+        before,
+        "event with an outstanding granter clone must not be pooled"
+    );
+    drop(stale_granter_clone);
+}
+
+/// A timed-out queue-lock wait must be recyclable after `cancel_wait`
+/// removed the queue's clone.
+#[test]
+fn cancelled_queue_wait_drains_event_to_pool() {
+    let q = QueueLockTable::new(Duration::from_millis(10));
+    assert!(matches!(q.admit(TxnId(1), HOT), QueueAdmission::Proceed));
+    let event = match q.admit(TxnId(2), HOT) {
+        QueueAdmission::Wait(event) => event,
+        other => panic!("expected Wait, got {other:?}"),
+    };
+    assert!(q.cancel_wait(TxnId(2), HOT));
+    let before = OsEvent::pooled_count();
+    OsEvent::recycle(event);
+    assert_eq!(OsEvent::pooled_count(), before + 1);
+    q.release(TxnId(1), HOT);
+}
+
+/// A commit-turn wait that times out under an explored schedule must retire
+/// its event (remove the state's clone) instead of leaking one commit-waiter
+/// entry per 50 ms poll — observable as a stable waiter list and a recycled
+/// event even though nobody ever woke the waiter.
+#[test]
+fn timed_out_commit_wait_retires_its_event_under_sim() {
+    for seed in txsql_sim::ci_seeds(20) {
+        let g = Arc::new(GroupLockTable::new(
+            GroupLockConfig {
+                hot_wait_timeout: Duration::from_millis(20),
+                ..GroupLockConfig::default()
+            },
+            Arc::new(EngineMetrics::new()),
+        ));
+        const T1: TxnId = TxnId(1);
+        const T2: TxnId = TxnId(2);
+        // T1 precedes T2 in the dependency list and never commits, so T2's
+        // commit turn can only end in a (virtual clock) timeout.
+        let _ = g.begin_hot_update(T1, HOT);
+        g.register_update(T1, HOT);
+        g.finish_update(T1, HOT, true);
+        assert!(matches!(
+            g.begin_hot_update(T2, HOT),
+            HotExecution::Follower
+        ));
+        g.register_update(T2, HOT);
+        g.finish_update(T2, HOT, false);
+
+        let gt = Arc::clone(&g);
+        run_seed(seed, move |sim| {
+            let g2 = Arc::clone(&gt);
+            sim.spawn("commit-waiter", move || {
+                let pooled_before = OsEvent::pooled_count();
+                let err = g2.wait_commit_turn(T2, HOT).unwrap_err();
+                assert!(matches!(err, txsql_common::Error::LockWaitTimeout { .. }));
+                // The retired events went back to this thread's pool (capped
+                // by the pool size); at minimum the last one must be there.
+                assert!(
+                    OsEvent::pooled_count() > pooled_before.saturating_sub(1),
+                    "retired commit-turn event was not recycled"
+                );
+            });
+        });
+        // No abandoned commit-waiter entries may survive the timeout.
+        g.finish_rollback(T2, HOT);
+        g.finish_rollback(T1, HOT);
+        assert!(!g.has_activity(HOT), "seed {seed}: entry still live");
+    }
+}

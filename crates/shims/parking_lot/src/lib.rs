@@ -4,6 +4,22 @@
 //! `Mutex`, `RwLock` and `Condvar` with non-poisoning guards — on top of
 //! `std::sync`.  Poisoning is translated into "take the lock anyway", which
 //! matches `parking_lot` semantics (a panicking holder does not poison).
+//!
+//! ## Deterministic-simulation instrumentation
+//!
+//! Because every crate in the workspace synchronises through this shim, it is
+//! also the instrumentation point for the `txsql-sim` cooperative scheduler:
+//! when the calling thread carries a sim handle (`txsql_sim::current()`),
+//! blocking acquisitions become *yield points* and contended acquisitions
+//! park the logical thread **in the scheduler** instead of the OS.  Guard
+//! drops wake sim threads parked on the lock.  Threads without a handle (the
+//! normal case — the check is one relaxed atomic load) use `std::sync`
+//! exactly as before, so production behaviour is unchanged and there is no
+//! `#[cfg]` split between tested and shipped code.
+//!
+//! One rule follows from this design: within a sim run, instrumented locks
+//! must only be shared among sim-spawned threads — a non-sim thread's guard
+//! drop does not wake sim waiters.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -35,26 +51,55 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// Non-blocking acquisition of the underlying std mutex (poison-stripping).
+    #[inline]
+    fn raw_try_lock(&self) -> Option<std::sync::MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(poison)) => Some(poison.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires the mutex, blocking until it is available.
     #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(handle) = txsql_sim::current() {
+            let key = txsql_sim::key_of(self);
+            // Preemption point: any other runnable thread may be scheduled
+            // before we contend for the lock.
+            handle.yield_now();
+            loop {
+                if let Some(guard) = self.raw_try_lock() {
+                    return MutexGuard {
+                        lock: self,
+                        inner: Some(guard),
+                        sim_key: Some(key),
+                    };
+                }
+                handle.park(key);
+            }
+        }
         let guard = match self.inner.lock() {
             Ok(g) => g,
             Err(poison) => poison.into_inner(),
         };
-        MutexGuard { inner: Some(guard) }
+        MutexGuard {
+            lock: self,
+            inner: Some(guard),
+            sim_key: None,
+        }
     }
 
     /// Attempts to acquire the mutex without blocking.
     #[inline]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(poison)) => Some(MutexGuard {
-                inner: Some(poison.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let sim_key = txsql_sim::current().map(|_| txsql_sim::key_of(self));
+        self.raw_try_lock().map(|g| MutexGuard {
+            lock: self,
+            inner: Some(g),
+            sim_key,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -77,8 +122,13 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 
 /// RAII guard returned by [`Mutex::lock`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    /// The owning shim mutex — needed so `Condvar` can re-acquire under sim.
+    lock: &'a Mutex<T>,
     // `Option` so Condvar::wait can move the std guard out and back.
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Sim resource key when acquired by a sim thread; guard drop then wakes
+    /// sim threads parked on the lock.
+    sim_key: Option<usize>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -93,6 +143,18 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     #[inline]
     fn deref_mut(&mut self) -> &mut T {
         self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the lock first, then wake sim waiters.
+        self.inner.take();
+        if let Some(key) = self.sim_key {
+            if let Some(handle) = txsql_sim::current() {
+                handle.unpark_all(key);
+            }
+        }
     }
 }
 
@@ -121,48 +183,94 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[inline]
+    fn raw_try_read(&self) -> Option<std::sync::RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    #[inline]
+    fn raw_try_write(&self) -> Option<std::sync::RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires shared read access.
     #[inline]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some(handle) = txsql_sim::current() {
+            let key = txsql_sim::key_of(self);
+            handle.yield_now();
+            loop {
+                if let Some(guard) = self.raw_try_read() {
+                    return RwLockReadGuard {
+                        inner: Some(guard),
+                        sim_key: Some(key),
+                    };
+                }
+                handle.park(key);
+            }
+        }
         let guard = match self.inner.read() {
             Ok(g) => g,
             Err(poison) => poison.into_inner(),
         };
-        RwLockReadGuard { inner: guard }
+        RwLockReadGuard {
+            inner: Some(guard),
+            sim_key: None,
+        }
     }
 
     /// Acquires exclusive write access.
     #[inline]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some(handle) = txsql_sim::current() {
+            let key = txsql_sim::key_of(self);
+            handle.yield_now();
+            loop {
+                if let Some(guard) = self.raw_try_write() {
+                    return RwLockWriteGuard {
+                        inner: Some(guard),
+                        sim_key: Some(key),
+                    };
+                }
+                handle.park(key);
+            }
+        }
         let guard = match self.inner.write() {
             Ok(g) => g,
             Err(poison) => poison.into_inner(),
         };
-        RwLockWriteGuard { inner: guard }
+        RwLockWriteGuard {
+            inner: Some(guard),
+            sim_key: None,
+        }
     }
 
     /// Attempts shared read access without blocking.
     #[inline]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
-                inner: p.into_inner(),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let sim_key = txsql_sim::current().map(|_| txsql_sim::key_of(self));
+        self.raw_try_read().map(|g| RwLockReadGuard {
+            inner: Some(g),
+            sim_key,
+        })
     }
 
     /// Attempts exclusive write access without blocking.
     #[inline]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
-                inner: p.into_inner(),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let sim_key = txsql_sim::current().map(|_| txsql_sim::key_of(self));
+        self.raw_try_write().map(|g| RwLockWriteGuard {
+            inner: Some(g),
+            sim_key,
+        })
     }
 }
 
@@ -177,34 +285,58 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
 
 /// RAII guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
-    inner: std::sync::RwLockReadGuard<'a, T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    sim_key: Option<usize>,
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     #[inline]
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some(key) = self.sim_key {
+            if let Some(handle) = txsql_sim::current() {
+                handle.unpark_all(key);
+            }
+        }
     }
 }
 
 /// RAII guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
-    inner: std::sync::RwLockWriteGuard<'a, T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    sim_key: Option<usize>,
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     #[inline]
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("guard present")
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     #[inline]
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some(key) = self.sim_key {
+            if let Some(handle) = txsql_sim::current() {
+                handle.unpark_all(key);
+            }
+        }
     }
 }
 
@@ -239,9 +371,45 @@ impl Condvar {
         }
     }
 
+    /// Sim path shared by `wait` and `wait_for`: release the mutex, park on
+    /// the condvar key, re-acquire.  Returns whether the park timed out.
+    fn sim_wait<T: ?Sized>(
+        &self,
+        handle: &txsql_sim::SimHandle,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Option<Duration>,
+    ) -> bool {
+        let mutex_key = txsql_sim::key_of(guard.lock);
+        let cv_key = txsql_sim::key_of(self);
+        // Release the lock (waking sim threads parked on it), then park on
+        // the condvar.  Cooperative scheduling makes release+park atomic with
+        // respect to other sim threads, so notifies cannot be lost.
+        guard.inner.take();
+        handle.unpark_all(mutex_key);
+        let timed_out = match timeout {
+            Some(t) => handle.park_timeout(cv_key, t),
+            None => {
+                handle.park(cv_key);
+                false
+            }
+        };
+        // Re-acquire the mutex before returning, as a condvar must.
+        loop {
+            if let Some(g) = guard.lock.raw_try_lock() {
+                guard.inner = Some(g);
+                return timed_out;
+            }
+            handle.park(mutex_key);
+        }
+    }
+
     /// Blocks until notified.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         self._used.store(true, Ordering::Relaxed);
+        if let Some(handle) = txsql_sim::current() {
+            self.sim_wait(&handle, guard, None);
+            return;
+        }
         let std_guard = guard.inner.take().expect("guard present");
         let std_guard = match self.inner.wait(std_guard) {
             Ok(g) => g,
@@ -266,6 +434,10 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        if let Some(handle) = txsql_sim::current() {
+            let timed_out = self.sim_wait(&handle, guard, Some(timeout));
+            return WaitTimeoutResult { timed_out };
+        }
         let std_guard = guard.inner.take().expect("guard present");
         let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
             Ok((g, r)) => (g, r),
@@ -284,6 +456,11 @@ impl Condvar {
     #[inline]
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
+        if let Some(handle) = txsql_sim::current() {
+            // Sim waiters re-check their condition on wake, so waking all is
+            // a sound (spurious-wakeup-compatible) notify_one.
+            handle.unpark_all(txsql_sim::key_of(self));
+        }
         true
     }
 
@@ -291,6 +468,9 @@ impl Condvar {
     #[inline]
     pub fn notify_all(&self) -> usize {
         self.inner.notify_all();
+        if let Some(handle) = txsql_sim::current() {
+            handle.unpark_all(txsql_sim::key_of(self));
+        }
         0
     }
 }
@@ -371,5 +551,67 @@ mod tests {
         }
         drop(done);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn sim_threads_interleave_inside_critical_sections() {
+        // Mutual exclusion must hold across every explored schedule, and the
+        // shim's yield points must let the scheduler preempt at lock
+        // boundaries.
+        txsql_sim::explore(0..20, |sim| {
+            let m = Arc::new(Mutex::new((0u64, false)));
+            for i in 0..3 {
+                let m = Arc::clone(&m);
+                sim.spawn(format!("locker-{i}"), move || {
+                    for _ in 0..3 {
+                        let mut g = m.lock();
+                        assert!(!g.1, "two threads inside one critical section");
+                        g.1 = true;
+                        txsql_sim::current().unwrap().yield_now();
+                        g.1 = false;
+                        g.0 += 1;
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sim_condvar_wakes_parked_thread() {
+        txsql_sim::explore(0..20, |sim| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p1 = Arc::clone(&pair);
+            sim.spawn("waiter", move || {
+                let (m, cv) = &*p1;
+                let mut ready = m.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            });
+            let p2 = Arc::clone(&pair);
+            sim.spawn("setter", move || {
+                let (m, cv) = &*p2;
+                *m.lock() = true;
+                cv.notify_all();
+            });
+        });
+    }
+
+    #[test]
+    fn sim_rwlock_writer_waits_for_readers() {
+        txsql_sim::explore(0..20, |sim| {
+            let l = Arc::new(RwLock::new(0u64));
+            for i in 0..2 {
+                let l = Arc::clone(&l);
+                sim.spawn(format!("reader-{i}"), move || {
+                    let v = *l.read();
+                    assert!(v == 0 || v == 7);
+                });
+            }
+            let l2 = Arc::clone(&l);
+            sim.spawn("writer", move || {
+                *l2.write() = 7;
+            });
+        });
     }
 }

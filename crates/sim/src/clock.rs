@@ -1,0 +1,90 @@
+//! Sim-aware instants: real monotonic time outside a sim run, virtual
+//! scheduler time inside one.
+//!
+//! Engine code that computes deadlines (`lock_wait_timeout`,
+//! `hot_wait_timeout`, …) uses [`SimInstant::now`] instead of
+//! `std::time::Instant::now()`.  Outside a sim run this is a zero-cost
+//! wrapper over the real clock; inside one it reads the scheduler's virtual
+//! clock, so timeouts fire deterministically (and instantly in wall-clock
+//! terms) when the scheduler advances virtual time.
+
+use std::ops::Add;
+use std::time::{Duration, Instant};
+
+/// A point in time on whichever clock the calling thread lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimInstant {
+    /// Virtual scheduler time (the thread runs under `txsql-sim`).
+    ///
+    /// Declared first so that `Virtual < Real` if the two are ever compared;
+    /// in practice a thread stays on one clock for its whole life, so mixed
+    /// comparisons do not occur.
+    Virtual(Duration),
+    /// Real monotonic time.
+    Real(Instant),
+}
+
+impl SimInstant {
+    /// The current instant on the calling thread's clock.
+    pub fn now() -> Self {
+        match crate::current() {
+            Some(handle) => SimInstant::Virtual(handle.now()),
+            None => SimInstant::Real(Instant::now()),
+        }
+    }
+
+    /// Time elapsed since this instant.
+    pub fn elapsed(&self) -> Duration {
+        SimInstant::now().saturating_duration_since(*self)
+    }
+
+    /// `self - earlier`, or zero when `earlier` is later (or the two instants
+    /// come from different clocks).
+    pub fn saturating_duration_since(&self, earlier: SimInstant) -> Duration {
+        match (self, earlier) {
+            (SimInstant::Real(a), SimInstant::Real(b)) => a.saturating_duration_since(b),
+            (SimInstant::Virtual(a), SimInstant::Virtual(b)) => a.saturating_sub(b),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+impl Add<Duration> for SimInstant {
+    type Output = SimInstant;
+
+    fn add(self, rhs: Duration) -> SimInstant {
+        match self {
+            SimInstant::Real(i) => SimInstant::Real(i + rhs),
+            SimInstant::Virtual(d) => SimInstant::Virtual(d.saturating_add(rhs)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_instants_behave_like_instants() {
+        let a = SimInstant::now();
+        let b = a + Duration::from_millis(10);
+        assert!(b > a);
+        assert_eq!(b.saturating_duration_since(a), Duration::from_millis(10));
+        assert_eq!(a.saturating_duration_since(b), Duration::ZERO);
+        assert!(a.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn virtual_instants_follow_the_sim_clock() {
+        crate::explore([0], |sim| {
+            sim.spawn("clock", || {
+                let start = SimInstant::now();
+                assert!(matches!(start, SimInstant::Virtual(_)));
+                crate::current().unwrap().advance(Duration::from_millis(5));
+                assert_eq!(start.elapsed(), Duration::from_millis(5));
+                let deadline = start + Duration::from_millis(3);
+                assert!(SimInstant::now() > deadline);
+            });
+        });
+    }
+}

@@ -1,0 +1,619 @@
+//! The cooperative scheduler: N logical threads, exactly one running at a
+//! time, the next runnable one picked by a seeded RNG (exploration) or a
+//! recorded schedule (replay).
+//!
+//! Every instrumented synchronisation operation (shim `Mutex`/`RwLock`
+//! acquisition, `OsEvent::wait`/`set`, `ut_delay`) funnels into
+//! [`Scheduler::reschedule`], which parks the calling OS thread on a condvar
+//! until the scheduler hands the baton back.  Blocked threads are parked *in
+//! the sim* (state [`RunState::Blocked`]), never in the OS, so the scheduler
+//! always knows the full wait graph: if nothing is runnable it either
+//! advances the virtual clock to the earliest deadline (timeouts fire
+//! deterministically and instantly) or reports a genuine lost-wakeup /
+//! deadlock with a per-thread diagnostic.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Sentinel panic payload used to unwind secondary threads once a run has
+/// already failed; never reported as a failure itself.
+pub(crate) struct SimTeardown;
+
+/// How one logical thread is currently doing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RunState {
+    /// Can be picked by the scheduler.
+    Ready,
+    /// Parked on a resource key (a lock, event or condvar address), with an
+    /// optional virtual-clock deadline.
+    Blocked {
+        key: usize,
+        deadline: Option<Duration>,
+    },
+    /// Ran to completion (or unwound).
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSlot {
+    name: String,
+    state: RunState,
+    /// Set when the thread was made ready by the virtual clock reaching its
+    /// deadline rather than by an `unpark_all`.
+    woke_by_timeout: bool,
+}
+
+pub(crate) struct SchedState {
+    threads: Vec<ThreadSlot>,
+    /// Thread currently holding the baton (`None` once all finished).
+    current: Option<usize>,
+    /// Virtual nanoseconds since the run started.  Only advances when nothing
+    /// is runnable (jump to the earliest deadline) or through `advance`
+    /// (`ut_delay` under sim).
+    virtual_now: Duration,
+    rng: u64,
+    /// Recorded schedule to replay instead of random picks.
+    replay: Option<Vec<u32>>,
+    /// Every pick made so far — the replayable schedule trace.
+    pub(crate) trace: Vec<u32>,
+    steps: u64,
+    max_steps: u64,
+    /// Set once a failure is recorded: all other threads unwind.
+    poisoned: bool,
+    pub(crate) failure: Option<String>,
+    finished: usize,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    pub(crate) fn new(
+        names: Vec<String>,
+        seed: u64,
+        replay: Option<Vec<u32>>,
+        max_steps: u64,
+    ) -> Arc<Self> {
+        let threads = names
+            .into_iter()
+            .map(|name| ThreadSlot {
+                name,
+                state: RunState::Ready,
+                woke_by_timeout: false,
+            })
+            .collect();
+        Arc::new(Self {
+            state: Mutex::new(SchedState {
+                threads,
+                current: None,
+                virtual_now: Duration::ZERO,
+                // xorshift* must not start at 0; fold the seed in.
+                rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                replay,
+                trace: Vec::new(),
+                steps: 0,
+                max_steps,
+                poisoned: false,
+                failure: None,
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Locks the state, recovering from poison (a panicking sim thread may
+    /// have been holding the lock while unwinding through `fail`).
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn rng_next(st: &mut SchedState) -> u64 {
+        let mut x = st.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        st.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Records a failure (first one wins), poisons the run and unwinds the
+    /// calling thread.
+    fn fail(&self, st: &mut SchedState, msg: String) -> ! {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.poisoned = true;
+        self.cv.notify_all();
+        panic::panic_any(SimTeardown);
+    }
+
+    /// Chooses the next thread to run.  Must make progress: if nothing is
+    /// runnable, advances the virtual clock to the earliest deadline; if
+    /// there is none, the run is deadlocked (or every thread finished).
+    fn pick_next(&self, st: &mut SchedState) {
+        loop {
+            let ready: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == RunState::Ready)
+                .map(|(i, _)| i)
+                .collect();
+            if !ready.is_empty() {
+                let pos = st.trace.len();
+                let replayed = st
+                    .replay
+                    .as_ref()
+                    .and_then(|r| r.get(pos).copied())
+                    .map(|id| id as usize)
+                    .filter(|id| ready.contains(id));
+                let pick = match replayed {
+                    Some(id) => id,
+                    // Off-schedule (or no replay): fall back to the seeded RNG
+                    // so a divergent replay still terminates.
+                    None => ready[(Self::rng_next(st) % ready.len() as u64) as usize],
+                };
+                st.trace.push(pick as u32);
+                st.steps += 1;
+                if st.steps > st.max_steps {
+                    let msg = format!(
+                        "sim: step budget of {} exceeded (livelock?); vclock={:?}",
+                        st.max_steps, st.virtual_now
+                    );
+                    self.fail(st, msg);
+                }
+                st.current = Some(pick);
+                return;
+            }
+
+            // Nothing runnable.  All done?
+            if st.threads.iter().all(|t| t.state == RunState::Finished) {
+                st.current = None;
+                return;
+            }
+
+            // Advance the virtual clock to the earliest deadline, waking every
+            // timed wait whose deadline is reached.
+            let earliest = st
+                .threads
+                .iter()
+                .filter_map(|t| match t.state {
+                    RunState::Blocked {
+                        deadline: Some(d), ..
+                    } => Some(d),
+                    _ => None,
+                })
+                .min();
+            match earliest {
+                Some(deadline) => {
+                    st.virtual_now = st.virtual_now.max(deadline);
+                    let now = st.virtual_now;
+                    for t in st.threads.iter_mut() {
+                        if let RunState::Blocked {
+                            deadline: Some(d), ..
+                        } = t.state
+                        {
+                            if d <= now {
+                                t.state = RunState::Ready;
+                                t.woke_by_timeout = true;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Genuine deadlock / lost wakeup: nobody runnable, nobody
+                    // with a timeout.  Report who waits on what.
+                    let mut diag = String::from("sim: deadlock — no runnable thread:");
+                    for t in st.threads.iter() {
+                        if let RunState::Blocked { key, .. } = t.state {
+                            diag.push_str(&format!("\n  {} blocked on key {key:#x}", t.name));
+                        }
+                    }
+                    let msg = format!("{diag}\n  vclock={:?}", st.virtual_now);
+                    self.fail(st, msg);
+                }
+            }
+        }
+    }
+
+    /// Gives up the baton with `new_state` for the caller and parks until the
+    /// scheduler hands it back.  Returns true when the thread was woken by
+    /// its deadline rather than an `unpark_all`.
+    /// Unwinds the calling sim thread on a poisoned run — unless it is
+    /// *already* unwinding (a `Drop` along a panicking frame hit an
+    /// instrumented primitive), where a second panic would abort the whole
+    /// process and eat the failure artifact.  Returns false so such callers
+    /// simply proceed and finish their unwind.
+    fn teardown_or_continue() -> bool {
+        if std::thread::panicking() {
+            return false;
+        }
+        panic::panic_any(SimTeardown);
+    }
+
+    fn reschedule(&self, me: usize, new_state: RunState) -> bool {
+        let mut st = self.lock_state();
+        if st.poisoned {
+            drop(st);
+            return Self::teardown_or_continue();
+        }
+        st.threads[me].state = new_state;
+        st.threads[me].woke_by_timeout = false;
+        self.pick_next(&mut st);
+        if st.current != Some(me) {
+            self.cv.notify_all();
+            loop {
+                st = match self.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                if st.poisoned {
+                    drop(st);
+                    return Self::teardown_or_continue();
+                }
+                if st.current == Some(me) {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(st.threads[me].state, RunState::Ready);
+        std::mem::take(&mut st.threads[me].woke_by_timeout)
+    }
+
+    pub(crate) fn yield_now(&self, me: usize) {
+        self.reschedule(me, RunState::Ready);
+    }
+
+    pub(crate) fn park(&self, me: usize, key: usize) {
+        self.reschedule(
+            me,
+            RunState::Blocked {
+                key,
+                deadline: None,
+            },
+        );
+    }
+
+    pub(crate) fn park_timeout(&self, me: usize, key: usize, timeout: Duration) -> bool {
+        let deadline = {
+            let st = self.lock_state();
+            st.virtual_now.saturating_add(timeout)
+        };
+        self.reschedule(
+            me,
+            RunState::Blocked {
+                key,
+                deadline: Some(deadline),
+            },
+        )
+    }
+
+    /// Makes every thread parked on `key` runnable again (they re-check their
+    /// condition when next scheduled).  Does not switch.
+    pub(crate) fn unpark_all(&self, key: usize) {
+        let mut st = self.lock_state();
+        for t in st.threads.iter_mut() {
+            if matches!(t.state, RunState::Blocked { key: k, .. } if k == key) {
+                t.state = RunState::Ready;
+                t.woke_by_timeout = false;
+            }
+        }
+    }
+
+    pub(crate) fn now(&self) -> Duration {
+        self.lock_state().virtual_now
+    }
+
+    /// Advances the virtual clock (a sim thread "spending time" in a busy
+    /// wait), firing any timed waits whose deadline is reached.
+    pub(crate) fn advance(&self, d: Duration) {
+        let mut st = self.lock_state();
+        st.virtual_now = st.virtual_now.saturating_add(d);
+        let now = st.virtual_now;
+        for t in st.threads.iter_mut() {
+            if let RunState::Blocked {
+                deadline: Some(dl), ..
+            } = t.state
+            {
+                if dl <= now {
+                    t.state = RunState::Ready;
+                    t.woke_by_timeout = true;
+                }
+            }
+        }
+    }
+
+    /// First hand-off: called by the runner after all OS threads exist.
+    fn start(&self) {
+        let mut st = self.lock_state();
+        self.pick_next(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Parks the freshly spawned OS thread until its first turn.  Returns
+    /// false when the run was poisoned before this thread ever ran.
+    fn wait_for_first_turn(&self, me: usize) -> bool {
+        let mut st = self.lock_state();
+        loop {
+            if st.poisoned {
+                return false;
+            }
+            if st.current == Some(me) {
+                return true;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Marks a thread finished (recording its panic, if any, as the run's
+    /// failure) and hands the baton onward.
+    fn finish_thread(&self, me: usize, outcome: Result<(), Box<dyn std::any::Any + Send>>) {
+        let mut st = self.lock_state();
+        st.threads[me].state = RunState::Finished;
+        st.finished += 1;
+        if let Err(payload) = outcome {
+            if payload.downcast_ref::<SimTeardown>().is_none() && st.failure.is_none() {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                st.failure = Some(format!("thread '{}' panicked: {msg}", st.threads[me].name));
+                st.poisoned = true;
+            }
+        }
+        if !st.poisoned {
+            self.pick_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the (non-sim) runner thread until every sim thread finished.
+    fn wait_all_finished(&self, n: usize) {
+        let mut st = self.lock_state();
+        while st.finished < n {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local handle
+// ---------------------------------------------------------------------------
+
+/// Count of live sim runs in the process: the fast path for
+/// [`current`] — instrumented primitives pay one relaxed load when no sim is
+/// active anywhere.
+static ACTIVE_SIMS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<SimHandle>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Handle installed in each sim thread's TLS; the hook instrumented
+/// primitives route through.
+#[derive(Clone)]
+pub struct SimHandle {
+    sched: Arc<Scheduler>,
+    id: usize,
+}
+
+impl std::fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHandle").field("id", &self.id).finish()
+    }
+}
+
+impl SimHandle {
+    /// A preemption point: the scheduler may hand the baton to any other
+    /// runnable thread before returning.
+    pub fn yield_now(&self) {
+        self.sched.yield_now(self.id);
+    }
+
+    /// Parks the thread on `key` until some thread calls
+    /// [`SimHandle::unpark_all`] with the same key.  The caller re-checks its
+    /// condition in a loop — cooperative scheduling makes check-then-park
+    /// atomic with respect to other sim threads, so no wakeup can be lost
+    /// between the check and the park.
+    pub fn park(&self, key: usize) {
+        self.sched.park(self.id, key);
+    }
+
+    /// Parks on `key` with a virtual-clock deadline.  Returns true when the
+    /// wait ended because the deadline was reached.
+    pub fn park_timeout(&self, key: usize, timeout: Duration) -> bool {
+        self.sched.park_timeout(self.id, key, timeout)
+    }
+
+    /// Wakes every thread parked on `key`.
+    pub fn unpark_all(&self, key: usize) {
+        self.sched.unpark_all(key);
+    }
+
+    /// Virtual time since the run started.
+    pub fn now(&self) -> Duration {
+        self.sched.now()
+    }
+
+    /// Advances the virtual clock (models a busy wait consuming time).
+    pub fn advance(&self, d: Duration) {
+        self.sched.advance(d);
+    }
+}
+
+/// The calling thread's sim handle, when it is a sim logical thread.
+/// Costs one relaxed atomic load when no sim run is active in the process.
+pub fn current() -> Option<SimHandle> {
+    if ACTIVE_SIMS.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Derives a stable resource key from a shared object's address.
+pub fn key_of<T: ?Sized>(t: &T) -> usize {
+    t as *const T as *const () as usize
+}
+
+// ---------------------------------------------------------------------------
+// Run driver
+// ---------------------------------------------------------------------------
+
+/// Builder collecting the logical threads of one schedule run.
+#[derive(Default)]
+pub struct Sim {
+    threads: Vec<(String, Box<dyn FnOnce() + Send>)>,
+    max_steps: Option<u64>,
+}
+
+impl Sim {
+    /// Registers a logical thread.  Threads are identified by registration
+    /// order in the schedule trace (thread 0 is the first spawned).
+    pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce() + Send + 'static) {
+        self.threads.push((name.into(), Box::new(f)));
+    }
+
+    /// Overrides the default step budget (500_000 picks per run).
+    pub fn set_step_limit(&mut self, max_steps: u64) {
+        self.max_steps = Some(max_steps);
+    }
+}
+
+/// Outcome of one explored (or replayed) schedule.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Seed the schedule was generated from (0 for pure replays).
+    pub seed: u64,
+    /// The complete schedule: the thread id picked at every step.  Feed it
+    /// back through [`replay`] to reproduce this run exactly.
+    pub schedule: Vec<u32>,
+    /// Scheduling decisions made.
+    pub steps: u64,
+    /// Virtual time consumed (timeouts and `ut_delay`s, not wall clock).
+    pub virtual_time: Duration,
+    /// The failure artifact: panic message or deadlock diagnostic.
+    pub failure: Option<String>,
+}
+
+fn run_inner(seed: u64, replay: Option<Vec<u32>>, build: &dyn Fn(&mut Sim)) -> RunReport {
+    let mut sim = Sim::default();
+    build(&mut sim);
+    let max_steps = sim.max_steps.unwrap_or(500_000);
+    let names: Vec<String> = sim.threads.iter().map(|(n, _)| n.clone()).collect();
+    let n = names.len();
+    let sched = Scheduler::new(names, seed, replay, max_steps);
+
+    ACTIVE_SIMS.fetch_add(1, Ordering::SeqCst);
+    let mut handles = Vec::with_capacity(n);
+    for (id, (name, f)) in sim.threads.into_iter().enumerate() {
+        let sched = Arc::clone(&sched);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("sim-{id}-{name}"))
+                .spawn(move || {
+                    CURRENT.with(|c| {
+                        *c.borrow_mut() = Some(SimHandle {
+                            sched: Arc::clone(&sched),
+                            id,
+                        });
+                    });
+                    let outcome = if sched.wait_for_first_turn(id) {
+                        panic::catch_unwind(AssertUnwindSafe(f))
+                    } else {
+                        Ok(())
+                    };
+                    CURRENT.with(|c| c.borrow_mut().take());
+                    sched.finish_thread(id, outcome);
+                })
+                .expect("spawn sim thread"),
+        );
+    }
+    sched.start();
+    sched.wait_all_finished(n);
+    for h in handles {
+        // Secondary teardown panics already produced the failure artifact.
+        let _ = h.join();
+    }
+    ACTIVE_SIMS.fetch_sub(1, Ordering::SeqCst);
+
+    let st = sched.lock_state();
+    RunReport {
+        seed,
+        schedule: st.trace.clone(),
+        steps: st.steps,
+        virtual_time: st.virtual_now,
+        failure: st.failure.clone(),
+    }
+}
+
+/// Runs one schedule chosen by `seed`.  `build` registers the logical
+/// threads; it is called once per run so closures can capture fresh state.
+pub fn run_with_seed(seed: u64, build: impl Fn(&mut Sim)) -> RunReport {
+    run_inner(seed, None, &build)
+}
+
+/// Replays a recorded schedule (the `schedule` field of a failing
+/// [`RunReport`]).  Divergence falls back to seeded picks so the run still
+/// terminates.
+pub fn replay(schedule: &[u32], build: impl Fn(&mut Sim)) -> RunReport {
+    run_inner(0, Some(schedule.to_vec()), &build)
+}
+
+/// Explores one schedule per seed and panics on the first failure, printing
+/// the failure artifact (losing seed + full schedule trace) so the run can be
+/// replayed with [`replay`] or `run_with_seed(seed, ..)`.
+pub fn explore(seeds: impl IntoIterator<Item = u64>, build: impl Fn(&mut Sim)) {
+    for seed in seeds {
+        let report = run_with_seed(seed, &build);
+        if let Some(failure) = report.failure {
+            eprintln!("==== txsql-sim failure artifact ====");
+            eprintln!("seed     : {seed}");
+            eprintln!("steps    : {}", report.steps);
+            eprintln!("vclock   : {:?}", report.virtual_time);
+            eprintln!("schedule : {:?}", report.schedule);
+            eprintln!("failure  : {failure}");
+            eprintln!("reproduce: txsql_sim::run_with_seed({seed}, build)");
+            panic!("sim: seed {seed} failed: {failure}");
+        }
+    }
+}
+
+/// The seed set used by exploration suites: `TXSQL_SIM_SEEDS` may be a count
+/// (`"200"`), a range (`"0..200"`) or a comma list (`"7,13,42"`); the default
+/// is `0..default_count`.
+pub fn ci_seeds(default_count: u64) -> Vec<u64> {
+    match std::env::var("TXSQL_SIM_SEEDS") {
+        Ok(spec) => {
+            let spec = spec.trim();
+            if let Some((a, b)) = spec.split_once("..") {
+                let a: u64 = a.trim().parse().unwrap_or(0);
+                let b: u64 = b.trim().parse().unwrap_or(default_count);
+                (a..b).collect()
+            } else if spec.contains(',') {
+                spec.split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect()
+            } else if let Ok(n) = spec.parse::<u64>() {
+                (0..n).collect()
+            } else {
+                (0..default_count).collect()
+            }
+        }
+        Err(_) => (0..default_count).collect(),
+    }
+}

@@ -116,6 +116,22 @@ impl Storage {
         guard.latest_row().ok_or(Error::UnknownRecord { record })
     }
 
+    /// Reads the newest (possibly uncommitted) row image together with its
+    /// writer (`TxnId::INVALID` for a bulk-loaded base version), in a single
+    /// slot read — the locked-read hot path records both.
+    pub fn read_latest_with_writer(
+        &self,
+        table: TableId,
+        record: RecordId,
+    ) -> Result<(Row, TxnId)> {
+        let slot = self.table(table)?.slot(record)?;
+        let guard = slot.read();
+        guard
+            .latest()
+            .map(|v| (v.row.clone(), v.writer))
+            .ok_or(Error::UnknownRecord { record })
+    }
+
     /// Reads the newest version visible to `judge` (the MVCC read path).
     pub fn read_visible<J: VisibilityJudge>(
         &self,
@@ -133,7 +149,8 @@ impl Storage {
         self.read_visible(table, record, &ReadCommitted)
     }
 
-    /// Writer of the newest version of a record, if any.
+    /// Writer of the newest version of a record *if that version is still
+    /// uncommitted* (the Bamboo dirty-read dependency signal).
     pub fn latest_writer(&self, table: TableId, record: RecordId) -> Result<Option<TxnId>> {
         let slot = self.table(table)?.slot(record)?;
         let guard = slot.read();
@@ -142,6 +159,16 @@ impl Storage {
         } else {
             None
         })
+    }
+
+    /// Writer of the newest version of a record, committed or not
+    /// (`TxnId::INVALID` for a bulk-loaded base version).  This is the
+    /// version a locked read (`SELECT ... FOR UPDATE`, `update_row`)
+    /// observes, recorded in the read set for the serializability checker.
+    pub fn latest_version_writer(&self, table: TableId, record: RecordId) -> Result<Option<TxnId>> {
+        let slot = self.table(table)?.slot(record)?;
+        let guard = slot.read();
+        Ok(guard.latest_writer())
     }
 
     // ---------------------------------------------------------------------

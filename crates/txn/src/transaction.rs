@@ -37,8 +37,12 @@ pub struct Transaction {
     pub started_at: Instant,
     /// Rows written: `(table, record)` in execution order (duplicates kept out).
     write_set: Vec<(TableId, RecordId)>,
-    /// Rows read (used by the serializability checker and Aria validation).
-    read_set: Vec<(TableId, RecordId)>,
+    /// Rows read, with the writer of the version actually observed (used by
+    /// the serializability checker and Aria validation).  Capturing the
+    /// writer *at read time* — instead of re-reading the chain at commit —
+    /// is what lets the checker attribute `wr`/`rw` edges to the version a
+    /// statement really saw, even when later writers commit in between.
+    read_set: Vec<(TableId, RecordId, TxnId)>,
     /// Hot rows this transaction updated, with its role and hot-update order.
     hot_updates: FxHashMap<u64, (HotRole, u64)>,
     /// Rows whose lock this transaction currently holds through the lock
@@ -85,10 +89,17 @@ impl Transaction {
         }
     }
 
-    /// Records a read.
-    pub fn record_read(&mut self, table: TableId, record: RecordId) {
-        if !self.read_set.contains(&(table, record)) {
-            self.read_set.push((table, record));
+    /// Records a read of the version produced by `writer`
+    /// (`TxnId::INVALID` for a bulk-loaded base version).  The first
+    /// observation wins: re-reading a row does not overwrite the version the
+    /// transaction's logic actually consumed.
+    pub fn record_read(&mut self, table: TableId, record: RecordId, writer: TxnId) {
+        if !self
+            .read_set
+            .iter()
+            .any(|(t, r, _)| *t == table && *r == record)
+        {
+            self.read_set.push((table, record, writer));
         }
     }
 
@@ -97,8 +108,8 @@ impl Transaction {
         &self.write_set
     }
 
-    /// The read set in execution order.
-    pub fn read_set(&self) -> &[(TableId, RecordId)] {
+    /// The read set in execution order: `(table, record, version writer)`.
+    pub fn read_set(&self) -> &[(TableId, RecordId, TxnId)] {
         &self.read_set
     }
 
@@ -200,10 +211,12 @@ mod tests {
         let r = RecordId::new(1, 0, 0);
         t.record_write(TableId(1), r);
         t.record_write(TableId(1), r);
-        t.record_read(TableId(1), r);
-        t.record_read(TableId(1), r);
+        t.record_read(TableId(1), r, TxnId(7));
+        t.record_read(TableId(1), r, TxnId(8));
         assert_eq!(t.write_set().len(), 1);
         assert_eq!(t.read_set().len(), 1);
+        // First observation wins: the version the logic consumed is kept.
+        assert_eq!(t.read_set()[0].2, TxnId(7));
         assert_eq!(t.touched_rows(), 2);
     }
 
