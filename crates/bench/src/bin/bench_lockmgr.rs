@@ -9,6 +9,14 @@
 //!   `OsEvent` allocation.
 //! * **hot-record throughput** — 4 threads hammering a single record with a
 //!   short timeout, counting successful acquire+release cycles.
+//! * **populated hot page** — one page pre-loaded with 512 granted locks on
+//!   other heap_nos, then a single thread acquiring/releasing one further
+//!   record on that page.  This isolates the cost a page-level lock table
+//!   pays for page *population* even without any conflict: flat-vector
+//!   layouts scan every request on the page, per-record queues do not.
+//! * **two hot records, one page** — 4 threads in two pairs, each pair
+//!   hammering its own heap_no on the same page.  Grant scans and conflict
+//!   checks of one record must not pay for the other record's queue.
 //!
 //! Output is a flat JSON object on stdout so runs can be recorded verbatim.
 //! `TXSQL_BENCH_SECONDS` scales the per-cell measurement window.
@@ -157,6 +165,69 @@ fn bench_hot(make: &dyn Fn() -> Box<dyn LockTable>, threads: usize, window: Dura
     total.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Single thread acquiring/releasing one record on a page pre-populated with
+/// `population` granted locks on *other* heap_nos (one parked transaction
+/// each).  Returns ops/sec: the page-population tax of the lock layout.
+fn bench_hot_page_populated(table: &dyn LockTable, population: u16, window: Duration) -> f64 {
+    for heap in 0..population {
+        let txn = TxnId(1 + heap as u64);
+        assert!(
+            table.lock(txn, RecordId::new(11, 0, heap), LockMode::Exclusive),
+            "populating lock must not conflict"
+        );
+    }
+    let target = RecordId::new(11, 0, population);
+    let start = Instant::now();
+    let mut ops = 0u64;
+    let mut next_txn = 10_000_000u64;
+    while start.elapsed() < window {
+        // Batch 64 iterations per clock check.
+        for _ in 0..64 {
+            next_txn += 1;
+            let txn = TxnId(next_txn);
+            table.lock(txn, target, LockMode::Exclusive);
+            table.release_all(txn);
+            ops += 1;
+        }
+    }
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Two hot records on one page, two threads per record: intra-record
+/// contention with cross-record independence.  Returns successful
+/// acquire+release cycles/sec across all threads.
+fn bench_hot_page_two_records(make: &dyn Fn() -> Box<dyn LockTable>, window: Duration) -> f64 {
+    let table: Arc<Box<dyn LockTable>> = Arc::new(make());
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            // Workers 0/1 share heap 0, workers 2/3 share heap 1.
+            let record = RecordId::new(12, 0, (worker / 2) as u16);
+            scope.spawn(move || {
+                let mut txn_no = (worker as u64 + 1) << 32;
+                let mut ok = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    txn_no += 1;
+                    let txn = TxnId(txn_no);
+                    if table.lock(txn, record, LockMode::Exclusive) {
+                        ok += 1;
+                    }
+                    table.release_all(txn);
+                }
+                total.fetch_add(ok, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
 fn main() {
     let window = std::env::var("TXSQL_BENCH_SECONDS")
         .ok()
@@ -181,6 +252,16 @@ fn main() {
         window,
     );
 
+    let v = vanilla(timeout);
+    let lock_sys_populated = bench_hot_page_populated(&v, 512, window);
+    let l = light(timeout);
+    let lightweight_populated = bench_hot_page_populated(&l, 512, window);
+
+    let lock_sys_two_records =
+        bench_hot_page_two_records(&|| Box::new(vanilla(timeout)) as Box<dyn LockTable>, window);
+    let lightweight_two_records =
+        bench_hot_page_two_records(&|| Box::new(light(timeout)) as Box<dyn LockTable>, window);
+
     println!("{{");
     println!("  \"window_secs\": {},", window.as_secs_f64());
     println!("  \"uncontended_acquire_release_ops_per_sec\": {{");
@@ -194,6 +275,14 @@ fn main() {
     println!("  \"hot_record_4_threads_cycles_per_sec\": {{");
     println!("    \"lock_sys\": {lock_sys_hot:.0},");
     println!("    \"lightweight\": {lightweight_hot:.0}");
+    println!("  }},");
+    println!("  \"hot_page_populated_512_ops_per_sec\": {{");
+    println!("    \"lock_sys\": {lock_sys_populated:.0},");
+    println!("    \"lightweight\": {lightweight_populated:.0}");
+    println!("  }},");
+    println!("  \"hot_page_two_records_4_threads_cycles_per_sec\": {{");
+    println!("    \"lock_sys\": {lock_sys_two_records:.0},");
+    println!("    \"lightweight\": {lightweight_two_records:.0}");
     println!("  }}");
     println!("}}");
 }

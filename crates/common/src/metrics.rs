@@ -277,6 +277,12 @@ pub struct EngineMetrics {
     pub lock_registry_entries: Gauge,
     /// Number of lock requests that had to wait.
     pub lock_waits: Counter,
+    /// Length of each grant scan (requests examined per scan), recorded via
+    /// `record_micros(len)` — the log2 buckets hold request counts here, not
+    /// times.  With per-record wait queues this must stay bounded by the
+    /// queue on *one* record; growth with page population indicates the
+    /// O(page) scan regression the queue layout exists to prevent.
+    pub grant_scan_len: LatencyHistogram,
     /// Number of queries (statements) executed (Figure 6d denominator).
     pub queries: Counter,
     /// Number of deadlock-detector runs.
@@ -358,6 +364,7 @@ impl EngineMetrics {
         // lock_registry_entries is deliberately not reset: it is a live gauge,
         // and in-flight transactions still own their registry entries.
         self.lock_waits.take();
+        self.grant_scan_len.reset();
         self.queries.take();
         self.deadlock_checks.take();
         self.hotspot_group_entries.take();
@@ -388,6 +395,8 @@ impl EngineMetrics {
             lock_registry_entries: self.lock_registry_entries.get(),
             locks_per_query: self.locks_per_query(),
             lock_waits: self.lock_waits.get(),
+            mean_grant_scan_len: self.grant_scan_len.mean_micros(),
+            max_grant_scan_len: self.grant_scan_len.max_micros(),
             deadlock_checks: self.deadlock_checks.get(),
             hotspot_group_entries: self.hotspot_group_entries.get(),
             groups_formed: self.groups_formed.get(),
@@ -438,6 +447,10 @@ pub struct MetricsSnapshot {
     pub locks_per_query: f64,
     /// Lock requests that had to wait.
     pub lock_waits: u64,
+    /// Mean grant-scan length (requests examined per scan).
+    pub mean_grant_scan_len: f64,
+    /// Longest grant scan observed (requests examined).
+    pub max_grant_scan_len: u64,
     /// Deadlock detector invocations.
     pub deadlock_checks: u64,
     /// Transactions that joined hotspot groups.

@@ -299,6 +299,11 @@ impl Database {
     // Commit / rollback
     // ------------------------------------------------------------------
 
+    /// Drops every lock the transaction holds in both lock tables.  Each
+    /// `release_all` drains the registry's page-grouped record list, so the
+    /// page-sharded `lock_sys` takes one shard lock per page the transaction
+    /// touched (not one per record); only the table that actually served the
+    /// protocol holds anything, the other is a registry no-op.
     fn release_all_locks(&self, txn_id: TxnId) {
         self.inner.lightweight.release_all(txn_id);
         self.inner.lock_sys.release_all(txn_id);

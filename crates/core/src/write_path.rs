@@ -128,8 +128,12 @@ impl Database {
             WriteAdmission::Locked => {
                 // Bamboo: release the record lock immediately after the update
                 // (the 2PL violation that gives early lock release its name).
+                // Goes through the batched release path so the lock-table and
+                // registry bookkeeping drain per batch, not per row.
                 if self.protocol() == Protocol::Bamboo {
-                    self.inner.lightweight.release_record_lock(txn.id, record);
+                    self.inner
+                        .lightweight
+                        .release_record_locks(txn.id, &[record]);
                 }
                 // Group-locking leaders still grant followers after each of
                 // their own updates on the hot row.

@@ -30,9 +30,28 @@
 //! waiter behind one detection mutex is the standard choice for sharded
 //! detectors; debuggers of abort-rate anomalies should keep the false-
 //! positive mode in mind.
+//!
+//! ## Victim selection
+//!
+//! [`WaitForGraph::find_cycle_from`] returns the full membership of the
+//! detected cycle so the caller can choose a victim ([`select_victim`],
+//! driven by [`VictimPolicy`]).  Always aborting the requester (the MySQL
+//! baseline, [`VictimPolicy::Requester`]) wastes the requester's work even
+//! when another cycle member has barely started; weight-based selection
+//! ([`VictimPolicy::FewestLocks`], the default) rolls back the member with
+//! the fewest registry-tracked locks instead (Brook-2PL makes the same
+//! argument for contention-aware victim choice).  A victim other than the
+//! requester is necessarily *waiting* (every cycle member is), so each
+//! waiter parks its wake-up event in its graph entry
+//! ([`WaitForGraph::attach_waiter_event`]); [`WaitForGraph::doom`] marks the
+//! victim and fires that event, and the victim's wait loop observes the mark
+//! ([`WaitForGraph::take_doomed`]) and returns a deadlock error from its own
+//! `lock_record` call.
 
+use crate::event::OsEvent;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use txsql_common::fxhash::{self, FxHashMap, FxHashSet};
 use txsql_common::pad::CachePadded;
 use txsql_common::TxnId;
@@ -42,7 +61,47 @@ use txsql_common::TxnId;
 /// contention).
 const DEFAULT_SHARDS: usize = 64;
 
-type Shard = FxHashMap<TxnId, FxHashSet<TxnId>>;
+/// How a deadlock victim is chosen among the members of a detected cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimPolicy {
+    /// Always roll back the transaction that closed the cycle (the MySQL
+    /// baseline behaviour).
+    Requester,
+    /// Roll back the cycle member holding the fewest registry-tracked locks
+    /// (least work lost); ties go to the youngest `TxnId`.
+    #[default]
+    FewestLocks,
+}
+
+/// Picks the victim among `cycle` members under `policy`.  `cycle[0]` is the
+/// requesting transaction; `lock_count` reports registry-tracked locks.
+pub fn select_victim(
+    cycle: &[TxnId],
+    policy: VictimPolicy,
+    lock_count: impl Fn(TxnId) -> usize,
+) -> TxnId {
+    match policy {
+        VictimPolicy::Requester => cycle[0],
+        VictimPolicy::FewestLocks => cycle
+            .iter()
+            .copied()
+            // Ties go to the youngest transaction — the largest id, since ids
+            // are handed out monotonically at BEGIN.
+            .min_by_key(|t| (lock_count(*t), std::cmp::Reverse(t.0)))
+            .expect("cycle is never empty"),
+    }
+}
+
+/// One waiter's graph state: its out-edges plus the machinery remote victim
+/// selection needs (the parked event to fire and the doomed mark).
+#[derive(Debug, Default)]
+struct WaiterEntry {
+    out: FxHashSet<TxnId>,
+    event: Option<Arc<OsEvent>>,
+    doomed: bool,
+}
+
+type Shard = FxHashMap<TxnId, WaiterEntry>;
 
 /// A dynamic wait-for graph, sharded by waiter.
 #[derive(Debug)]
@@ -91,7 +150,8 @@ impl WaitForGraph {
 
     /// Declares that `waiter` now waits for each transaction in `holders`.
     /// Existing edges from `waiter` are replaced (a transaction waits for at
-    /// most one lock at a time), touching only the waiter's own shard.
+    /// most one lock at a time), touching only the waiter's own shard.  A
+    /// fresh wait starts with no parked event and no doomed mark.
     pub fn set_waits_for(&self, waiter: TxnId, holders: impl IntoIterator<Item = TxnId>) {
         let set: FxHashSet<TxnId> = holders.into_iter().filter(|h| *h != waiter).collect();
         let mut shard = self.shard_for(waiter).lock();
@@ -99,8 +159,15 @@ impl WaitForGraph {
             if shard.remove(&waiter).is_some() {
                 self.approx_waiters.fetch_sub(1, Ordering::Relaxed);
             }
-        } else if shard.insert(waiter, set).is_none() {
-            self.approx_waiters.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let entry = WaiterEntry {
+                out: set,
+                event: None,
+                doomed: false,
+            };
+            if shard.insert(waiter, entry).is_none() {
+                self.approx_waiters.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -109,13 +176,13 @@ impl WaitForGraph {
     pub fn add_waits_for(&self, waiter: TxnId, holders: impl IntoIterator<Item = TxnId>) {
         let mut shard = self.shard_for(waiter).lock();
         let existed = shard.contains_key(&waiter);
-        let set = shard.entry(waiter).or_default();
+        let entry = shard.entry(waiter).or_default();
         for h in holders {
             if h != waiter {
-                set.insert(h);
+                entry.out.insert(h);
             }
         }
-        let now_exists = if set.is_empty() {
+        let now_exists = if entry.out.is_empty() {
             shard.remove(&waiter);
             false
         } else {
@@ -129,6 +196,57 @@ impl WaitForGraph {
                 self.approx_waiters.fetch_sub(1, Ordering::Relaxed);
             }
             _ => {}
+        }
+    }
+
+    /// Parks the waiter's wake-up event in its graph entry so a later
+    /// detection pass can [`WaitForGraph::doom`] it.  A no-op when the entry
+    /// is already gone (the wait was granted before the event was parked).
+    pub fn attach_waiter_event(&self, waiter: TxnId, event: Arc<OsEvent>) {
+        if let Some(entry) = self.shard_for(waiter).lock().get_mut(&waiter) {
+            entry.event = Some(event);
+        }
+    }
+
+    /// Marks `victim` as the chosen deadlock victim and fires its parked
+    /// event so it re-checks its wait immediately.  Returns false when the
+    /// victim is no longer waiting (its entry is gone): the cycle evidence
+    /// was stale and the cycle is already broken, so callers may simply
+    /// ignore the return — the requester's own lock-wait timeout backstops
+    /// any cycle a racing edge change re-forms.
+    ///
+    /// Staleness in the other direction is also possible: if the victim's
+    /// blocking wait resolved *between* detection and this call and it
+    /// already started a new, cycle-free wait, the mark lands on that new
+    /// wait and aborts it — a spurious deadlock of the same (safe,
+    /// retried) kind the sharded DFS itself can report under edge churn;
+    /// see the module docs.  The window is a few instructions wide
+    /// (requester descheduled between dropping its page guard and dooming).
+    pub fn doom(&self, victim: TxnId) -> bool {
+        let event = {
+            let mut shard = self.shard_for(victim).lock();
+            match shard.get_mut(&victim) {
+                Some(entry) => {
+                    entry.doomed = true;
+                    entry.event.clone()
+                }
+                None => return false,
+            }
+        };
+        // Fire outside the shard guard; a victim whose event is not parked
+        // yet still observes the mark before parking (`take_doomed`).
+        if let Some(event) = event {
+            event.set();
+        }
+        true
+    }
+
+    /// Consumes the doomed mark of `txn`, if set.  Called by the waiter on
+    /// every wake-up; a true return means some detection pass sacrificed it.
+    pub fn take_doomed(&self, txn: TxnId) -> bool {
+        match self.shard_for(txn).lock().get_mut(&txn) {
+            Some(entry) => std::mem::take(&mut entry.doomed),
+            None => false,
         }
     }
 
@@ -146,10 +264,10 @@ impl WaitForGraph {
         for shard in &self.shards {
             let mut guard = shard.lock();
             let before = guard.len();
-            for set in guard.values_mut() {
-                set.remove(&txn);
+            for entry in guard.values_mut() {
+                entry.out.remove(&txn);
             }
-            guard.retain(|_, set| !set.is_empty());
+            guard.retain(|_, entry| !entry.out.is_empty());
             let removed = before - guard.len();
             if removed > 0 {
                 self.approx_waiters.fetch_sub(removed, Ordering::Relaxed);
@@ -170,28 +288,42 @@ impl WaitForGraph {
         self.shard_for(waiter)
             .lock()
             .get(&waiter)
-            .map(|set| set.iter().copied().collect())
+            .map(|entry| entry.out.iter().copied().collect())
     }
 
     /// Depth-first search: does a cycle pass through `start`?
     ///
-    /// Returns the victim to roll back — this implementation always chooses
-    /// the requesting transaction (`start`), matching the behaviour the
-    /// engine's baseline needs; more elaborate victim selection is not
-    /// relevant to the experiments.  Each node's edges are read under that
-    /// node's shard guard only.
-    pub fn find_cycle_from(&self, start: TxnId) -> Option<TxnId> {
+    /// Returns the members of the detected cycle, `start` first, so the
+    /// caller can pick a victim with [`select_victim`].  Each node's edges
+    /// are read under that node's shard guard only.
+    pub fn find_cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
         let mut visited: FxHashSet<TxnId> = FxHashSet::default();
-        let mut stack: Vec<TxnId> = self.out_edges(start).unwrap_or_default();
-        while let Some(current) = stack.pop() {
+        let mut pred: FxHashMap<TxnId, TxnId> = FxHashMap::default();
+        let mut stack: Vec<(TxnId, TxnId)> = self
+            .out_edges(start)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|next| (next, start))
+            .collect();
+        while let Some((current, from)) = stack.pop() {
             if current == start {
-                return Some(start);
+                // Walk the predecessor chain back to `start` to materialise
+                // the cycle membership (`from` was visited before its edges
+                // were pushed, so its chain is complete).
+                let mut cycle = vec![start];
+                let mut node = from;
+                while node != start {
+                    cycle.push(node);
+                    node = pred[&node];
+                }
+                return Some(cycle);
             }
             if !visited.insert(current) {
                 continue;
             }
+            pred.insert(current, from);
             if let Some(nexts) = self.out_edges(current) {
-                stack.extend(nexts);
+                stack.extend(nexts.into_iter().map(|next| (next, current)));
             }
         }
         None
@@ -207,7 +339,12 @@ impl WaitForGraph {
     pub fn edge_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().values().map(|set| set.len()).sum::<usize>())
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .map(|entry| entry.out.len())
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -231,8 +368,11 @@ mod tests {
         let g = WaitForGraph::new();
         g.set_waits_for(TxnId(1), [TxnId(2)]);
         g.set_waits_for(TxnId(2), [TxnId(1)]);
-        assert_eq!(g.find_cycle_from(TxnId(2)), Some(TxnId(2)));
-        assert_eq!(g.find_cycle_from(TxnId(1)), Some(TxnId(1)));
+        let cycle = g.find_cycle_from(TxnId(2)).unwrap();
+        assert_eq!(cycle[0], TxnId(2), "requester leads the cycle");
+        assert!(cycle.contains(&TxnId(1)));
+        assert_eq!(cycle.len(), 2);
+        assert!(g.find_cycle_from(TxnId(1)).is_some());
     }
 
     #[test]
@@ -244,7 +384,9 @@ mod tests {
             g.set_waits_for(TxnId(i), [TxnId(i + 1)]);
         }
         g.set_waits_for(TxnId(10), [TxnId(1)]);
-        assert_eq!(g.find_cycle_from(TxnId(10)), Some(TxnId(10)));
+        let cycle = g.find_cycle_from(TxnId(10)).unwrap();
+        assert_eq!(cycle[0], TxnId(10));
+        assert_eq!(cycle.len(), 10, "every member of the ring is reported");
         assert_eq!(g.edge_count(), 10);
     }
 
@@ -274,7 +416,7 @@ mod tests {
         g.add_waits_for(TxnId(1), [TxnId(2)]);
         g.add_waits_for(TxnId(1), [TxnId(3)]);
         g.set_waits_for(TxnId(3), [TxnId(1)]);
-        assert_eq!(g.find_cycle_from(TxnId(1)), Some(TxnId(1)));
+        assert!(g.find_cycle_from(TxnId(1)).is_some());
         g.clear_waits_of(TxnId(1));
         assert_eq!(g.find_cycle_from(TxnId(1)), None);
         // Txn 3 still waits for 1.
@@ -295,8 +437,38 @@ mod tests {
         let g = WaitForGraph::with_shards(1);
         g.set_waits_for(TxnId(1), [TxnId(2)]);
         g.set_waits_for(TxnId(2), [TxnId(1)]);
-        assert_eq!(g.find_cycle_from(TxnId(1)), Some(TxnId(1)));
+        assert!(g.find_cycle_from(TxnId(1)).is_some());
         g.remove_txn(TxnId(1));
         assert_eq!(g.waiting_count(), 0);
+    }
+
+    #[test]
+    fn fewest_locks_victim_prefers_lightest_then_youngest() {
+        let cycle = [TxnId(5), TxnId(2), TxnId(9)];
+        // Distinct weights: TxnId(2) holds the fewest locks.
+        let victim = select_victim(&cycle, VictimPolicy::FewestLocks, |t| t.0 as usize);
+        assert_eq!(victim, TxnId(2));
+        // All weights equal: the youngest (largest id) loses the tie.
+        let victim = select_victim(&cycle, VictimPolicy::FewestLocks, |_| 3);
+        assert_eq!(victim, TxnId(9));
+        // Baseline policy: always the requester (cycle[0]).
+        let victim = select_victim(&cycle, VictimPolicy::Requester, |t| t.0 as usize);
+        assert_eq!(victim, TxnId(5));
+    }
+
+    #[test]
+    fn doom_fires_parked_event_and_is_consumed_once() {
+        let g = WaitForGraph::new();
+        g.set_waits_for(TxnId(1), [TxnId(2)]);
+        let event = OsEvent::acquire_pooled();
+        g.attach_waiter_event(TxnId(1), Arc::clone(&event));
+        assert!(g.doom(TxnId(1)));
+        assert!(event.is_set(), "doom must fire the parked event");
+        assert!(g.take_doomed(TxnId(1)));
+        assert!(!g.take_doomed(TxnId(1)), "the mark is consumed on read");
+        // A transaction with no graph entry cannot be doomed.
+        assert!(!g.doom(TxnId(42)));
+        g.clear_waits_of(TxnId(1));
+        assert!(!g.take_doomed(TxnId(1)), "cleared entries drop the mark");
     }
 }

@@ -8,10 +8,15 @@
 //!
 //! 1. [`lock_sys`] — the vanilla InnoDB-style lock system: a hash table
 //!    sharded by *page* (`<space_id, page_no>`), a `lock_t`-like request
-//!    object created for **every** acquisition, FIFO wait queues, and
-//!    wait-for-graph deadlock detection that scans the queue while holding
-//!    the shard mutex.  This is the "MySQL" baseline whose collapse under
-//!    hotspot load motivates the paper (Figure 2a).
+//!    entry created for **every** acquisition, FIFO wait queues, and
+//!    wait-for-graph deadlock detection run while holding the shard mutex.
+//!    This is the "MySQL" baseline whose collapse under hotspot load
+//!    motivates the paper (Figure 2a).  Within a page, requests live in
+//!    **per-`heap_no` record queues** (holders split from the waiter FIFO),
+//!    so conflict checks and grant scans are O(requests on that record)
+//!    rather than O(all requests on the page) — the page-level shard mutex
+//!    remains the faithful bottleneck, but nothing scans other records'
+//!    requests any more.
 //! 2. [`lightweight`] — the general lock optimization (§3.1.1, "O1"): a
 //!    record-keyed `trx_lock_wait` map with many more shards, which only
 //!    materialises lock objects when a conflict actually exists.
@@ -33,7 +38,7 @@
 //!
 //! * **Per-transaction lock lists are sharded by `TxnId`** in the
 //!   [`registry::TxnLockRegistry`]: acquisition records `(txn, record)` in
-//!   the transaction's own cache-padded shard (`FxHashSet`-backed, O(1)
+//!   the transaction's own cache-padded shard (page-grouped map, O(1)
 //!   dedupe), and `release_all` takes the whole entry out with one shard
 //!   lock — there is no global `txn_locks` map to serialize on.  The
 //!   registry also tracks which tables a transaction intention-locked, so
@@ -41,18 +46,34 @@
 //!   table.  Registry size is observable via the
 //!   `lock_registry_entries` gauge and `locks_released` counter in
 //!   `EngineMetrics`.
+//! * **Release is batched per page**: `take_all` hands records back
+//!   pre-grouped by page, so the page-sharded `lock_sys` takes each page's
+//!   shard mutex at most once per `release_all`, and the
+//!   `release_record_locks` batch APIs (Bamboo's early lock release) drain
+//!   lock-table state per page and registry bookkeeping with one shard
+//!   lock per batch ([`registry::TxnLockRegistry::forget_records`]).
 //! * **The wait-for graph is sharded by waiter** ([`deadlock`]): a
 //!   transaction waits for at most one lock at a time, so its out-edge set
 //!   lives in a per-waiter-shard slot; `set_waits_for` / `clear_waits_of`
 //!   never contend across unrelated waiters, and the cycle DFS takes
 //!   per-shard guards one node at a time instead of freezing the whole
-//!   graph.
+//!   graph.  Detection reports the full cycle membership, and
+//!   [`deadlock::VictimPolicy`] decides who dies: the requester (baseline)
+//!   or, by default, the member with the fewest registry-tracked locks
+//!   (ties to the youngest id); a remote victim is woken through the event
+//!   parked in its graph entry and aborts out of its own wait.
 //! * **Uncontended grants allocate nothing**: a request that does not wait
-//!   carries no `OsEvent` (`Option<Arc<OsEvent>>` in `lock_sys`, holder ids
-//!   only in `lightweight`), and requests that *do* wait draw their event
-//!   from a thread-local free list ([`event::OsEvent::acquire_pooled`] /
-//!   [`event::OsEvent::recycle`]) — an event is only pooled again once its
-//!   `Arc` is unique, so a recycled event can never receive a stale wake.
+//!   carries no `OsEvent` (waiters-only request objects in `lock_sys`'s
+//!   record queues, holder ids only in `lightweight`), and requests that
+//!   *do* wait draw their event from a thread-local free list
+//!   ([`event::OsEvent::acquire_pooled`] / [`event::OsEvent::recycle`]) —
+//!   an event is only pooled again once its `Arc` is unique, so a recycled
+//!   event can never receive a stale wake.
+//!
+//! Every grant scan records how many requests it examined in the
+//! `grant_scan_len` histogram; with per-record queues this stays bounded by
+//! one record's queue depth, so growth with page population is a layout
+//! regression (the stress tests assert flatness).
 //!
 //! Supporting modules: [`event`] (the `os_event` wait/wake primitive and its
 //! pool), [`modes`] (lock modes and conflict matrix), [`deadlock`] (the
@@ -97,7 +118,7 @@ pub mod modes;
 pub mod queue_lock;
 pub mod registry;
 
-pub use deadlock::WaitForGraph;
+pub use deadlock::{VictimPolicy, WaitForGraph};
 pub use event::OsEvent;
 pub use group_lock::{GroupLockTable, HotExecution};
 pub use hotspot::{HotspotConfig, HotspotRegistry};

@@ -22,7 +22,7 @@
 //! notes O1's p95 is slightly inflated by exactly this, Figure 6c); a
 //! timeout-only policy can be selected for the ablation benches.
 
-use crate::deadlock::WaitForGraph;
+use crate::deadlock::{select_victim, VictimPolicy, WaitForGraph};
 use crate::event::{OsEvent, WaitOutcome};
 use crate::lock_sys::DeadlockPolicy;
 use crate::modes::LockMode;
@@ -45,6 +45,8 @@ pub struct LightweightConfig {
     pub n_shards: usize,
     /// Deadlock handling policy.
     pub deadlock_policy: DeadlockPolicy,
+    /// How the victim is chosen when detection finds a cycle.
+    pub victim_policy: VictimPolicy,
     /// Lock wait timeout.
     pub lock_wait_timeout: Duration,
 }
@@ -54,6 +56,7 @@ impl Default for LightweightConfig {
         Self {
             n_shards: 1024,
             deadlock_policy: DeadlockPolicy::Detect,
+            victim_policy: VictimPolicy::default(),
             lock_wait_timeout: Duration::from_millis(200),
         }
     }
@@ -88,8 +91,16 @@ impl RowEntry {
             .collect()
     }
 
-    /// Grants waiters from the front while they are compatible with holders.
-    fn grant_from_front(&mut self, graph: &WaitForGraph) -> Vec<Arc<OsEvent>> {
+    /// Grants waiters from the front while they are compatible with holders,
+    /// recording the scan length (requests examined) in `grant_scan_len`.
+    fn grant_from_front(
+        &mut self,
+        graph: &WaitForGraph,
+        metrics: &EngineMetrics,
+    ) -> Vec<Arc<OsEvent>> {
+        metrics
+            .grant_scan_len
+            .record_micros((self.holders.len() + self.waiters.len()) as u64);
         let mut woken = Vec::new();
         while let Some(front) = self.waiters.front() {
             let compatible = self
@@ -172,16 +183,29 @@ impl LightweightLockTable {
     pub fn lock_record(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
         debug_assert!(mode.is_record_mode());
         let event;
+        let mut doom_victim = None;
         {
             let mut shard = self.shard_for(record).lock();
             let entry = shard.rows.entry(record.packed()).or_default();
 
-            // Re-entrant / upgrade fast path.
-            if let Some((_, held)) = entry.holders.iter().find(|(t, _)| *t == txn) {
+            // Re-entrant fast path.
+            let held = entry
+                .holders
+                .iter()
+                .find(|(t, _)| *t == txn)
+                .map(|(_, m)| *m);
+            if let Some(held) = held {
                 if held.covers(mode) {
                     return Ok(());
                 }
-                if entry.conflicts_with(txn, mode).is_empty() {
+            }
+
+            // One conflict scan serves the upgrade, fresh-grant and wait
+            // paths alike.
+            let blockers = entry.conflicts_with(txn, mode);
+            if blockers.is_empty() {
+                if held.is_some() {
+                    // Lock upgrade (S -> X) in place.
                     for (t, m) in entry.holders.iter_mut() {
                         if *t == txn {
                             *m = LockMode::Exclusive;
@@ -189,30 +213,35 @@ impl LightweightLockTable {
                     }
                     return Ok(());
                 }
-            }
-
-            let blockers = entry.conflicts_with(txn, mode);
-            if blockers.is_empty() && entry.waiters.is_empty() {
-                // Conflict-free: just record the holder id — no lock object,
-                // no event, and only sharded bookkeeping.
-                entry.holders.push((txn, mode));
-                drop(shard);
-                self.registry.remember_record(txn, record);
-                return Ok(());
+                if entry.waiters.is_empty() {
+                    // Conflict-free: just record the holder id — no lock
+                    // object, no event, and only sharded bookkeeping.
+                    entry.holders.push((txn, mode));
+                    drop(shard);
+                    self.registry.remember_record(txn, record);
+                    return Ok(());
+                }
             }
 
             // Conflict (or FIFO queue in front of us): only now does a lock
-            // object exist (Figure 6d counts these).  Deadlock victims return
-            // before any object or wait is recorded, keeping the counters
-            // truthful.
+            // object exist (Figure 6d counts these).  A requester chosen as
+            // deadlock victim returns before any object or wait is recorded,
+            // keeping the counters truthful; a *remote* victim is doomed
+            // after the shard guard drops.
             if self.config.deadlock_policy == DeadlockPolicy::Detect {
                 self.metrics.deadlock_checks.inc();
                 let mut waits_for = blockers;
                 waits_for.extend(entry.waiters.iter().map(|w| w.txn));
                 self.graph.set_waits_for(txn, waits_for);
-                if self.graph.find_cycle_from(txn).is_some() {
-                    self.graph.clear_waits_of(txn);
-                    return Err(Error::Deadlock { txn });
+                if let Some(cycle) = self.graph.find_cycle_from(txn) {
+                    let victim = select_victim(&cycle, self.config.victim_policy, |t| {
+                        self.registry.record_count_of(t)
+                    });
+                    if victim == txn {
+                        self.graph.clear_waits_of(txn);
+                        return Err(Error::Deadlock { txn });
+                    }
+                    doom_victim = Some(victim);
                 }
             }
             self.metrics.locks_created.inc();
@@ -226,42 +255,59 @@ impl LightweightLockTable {
             });
         }
         self.registry.remember_record(txn, record);
+        if self.config.deadlock_policy == DeadlockPolicy::Detect {
+            self.graph.attach_waiter_event(txn, Arc::clone(&event));
+            if let Some(victim) = doom_victim {
+                self.graph.doom(victim);
+            }
+        }
 
         // SimInstant: virtual-clock deadline under deterministic simulation.
+        let detect = self.config.deadlock_policy == DeadlockPolicy::Detect;
         let wait_start = SimInstant::now();
         let deadline = wait_start + self.config.lock_wait_timeout;
         loop {
+            // Consume a doom *before* parking: one delivered before our event
+            // was parked in the graph (or wiped by the reset below) must
+            // abort us now, not after the full timeout.
+            let pre_doomed = detect && self.graph.take_doomed(txn);
             let remaining = deadline.saturating_duration_since(SimInstant::now());
-            let outcome = if remaining.is_zero() {
+            let outcome = if pre_doomed || remaining.is_zero() {
                 WaitOutcome::TimedOut
             } else {
                 event.wait_for(remaining)
             };
             let waited = wait_start.elapsed();
             let mut shard = self.shard_for(record).lock();
-            let entry = shard.rows.entry(record.packed()).or_default();
-            if entry
-                .holders
-                .iter()
-                .any(|(t, m)| *t == txn && m.covers(mode))
-            {
+            // A pruned row entry means our request is gone; never resurrect
+            // it with `or_default` — missing state is not-granted.
+            let granted = shard
+                .rows
+                .get(&record.packed())
+                .is_some_and(|e| e.holders.iter().any(|(t, m)| *t == txn && m.covers(mode)));
+            if granted {
                 drop(shard);
                 self.metrics.lock_wait_latency.record(waited);
                 self.graph.clear_waits_of(txn);
                 OsEvent::recycle(event);
                 return Ok(());
             }
-            if outcome == WaitOutcome::TimedOut {
+            let doomed = pre_doomed || (detect && self.graph.take_doomed(txn));
+            if doomed || outcome == WaitOutcome::TimedOut {
                 // Remove our waiting request, then re-run the grant scan — a
                 // waiter queued behind us may be grantable now that our
                 // conflicting request is gone.
-                entry.waiters.retain(|w| w.txn != txn);
-                let woken = entry.grant_from_front(&self.graph);
-                // A timed-out *upgrade* is still a granted holder — its
-                // registry entry must survive for release-all.
-                let still_holds = entry.holders.iter().any(|(t, _)| *t == txn);
-                if entry.is_empty() {
-                    shard.rows.remove(&record.packed());
+                let mut woken = Vec::new();
+                let mut still_holds = false;
+                if let Some(entry) = shard.rows.get_mut(&record.packed()) {
+                    entry.waiters.retain(|w| w.txn != txn);
+                    woken = entry.grant_from_front(&self.graph, &self.metrics);
+                    // A timed-out *upgrade* is still a granted holder — its
+                    // registry entry must survive for release-all.
+                    still_holds = entry.holders.iter().any(|(t, _)| *t == txn);
+                    if entry.is_empty() {
+                        shard.rows.remove(&record.packed());
+                    }
                 }
                 drop(shard);
                 for woken_event in woken {
@@ -273,7 +319,11 @@ impl LightweightLockTable {
                 self.metrics.lock_wait_latency.record(waited);
                 self.graph.clear_waits_of(txn);
                 OsEvent::recycle(event);
-                return Err(Error::LockWaitTimeout { txn, record });
+                return Err(if doomed {
+                    Error::Deadlock { txn }
+                } else {
+                    Error::LockWaitTimeout { txn, record }
+                });
             }
             event.reset();
         }
@@ -281,6 +331,25 @@ impl LightweightLockTable {
 
     /// Releases one record lock and grants unblocked waiters.
     pub fn release_record_lock(&self, txn: TxnId, record: RecordId) {
+        self.release_record_locks(txn, std::slice::from_ref(&record));
+    }
+
+    /// Releases a batch of record locks (Bamboo's early lock release).  The
+    /// table is record-keyed, so each record still visits its own shard, but
+    /// the registry bookkeeping drains with one shard lock for the batch.
+    pub fn release_record_locks(&self, txn: TxnId, records: &[RecordId]) {
+        if records.is_empty() {
+            return;
+        }
+        for record in records {
+            self.drop_row_locks(txn, *record);
+        }
+        self.registry.forget_records(txn, records);
+    }
+
+    /// Removes `txn`'s requests on one row and grants whatever unblocks
+    /// (lock-table state only; registry bookkeeping is the caller's).
+    fn drop_row_locks(&self, txn: TxnId, record: RecordId) {
         let woken = {
             let mut shard = self.shard_for(record).lock();
             let Some(entry) = shard.rows.get_mut(&record.packed()) else {
@@ -288,7 +357,7 @@ impl LightweightLockTable {
             };
             entry.holders.retain(|(t, _)| *t != txn);
             entry.waiters.retain(|w| w.txn != txn);
-            let woken = entry.grant_from_front(&self.graph);
+            let woken = entry.grant_from_front(&self.graph, &self.metrics);
             if entry.is_empty() {
                 shard.rows.remove(&record.packed());
             }
@@ -297,7 +366,6 @@ impl LightweightLockTable {
         for event in woken {
             event.set();
         }
-        self.registry.forget_record(txn, record);
     }
 
     /// Releases everything `txn` holds or waits for.  Walks only the
@@ -308,22 +376,7 @@ impl LightweightLockTable {
             return;
         };
         for record in &locks.records {
-            let woken = {
-                let mut shard = self.shard_for(*record).lock();
-                let Some(entry) = shard.rows.get_mut(&record.packed()) else {
-                    continue;
-                };
-                entry.holders.retain(|(t, _)| *t != txn);
-                entry.waiters.retain(|w| w.txn != txn);
-                let woken = entry.grant_from_front(&self.graph);
-                if entry.is_empty() {
-                    shard.rows.remove(&record.packed());
-                }
-                woken
-            };
-            for event in woken {
-                event.set();
-            }
+            self.drop_row_locks(txn, *record);
         }
         self.graph.remove_txn(txn);
     }
@@ -385,6 +438,7 @@ mod tests {
                 n_shards: 64,
                 deadlock_policy: policy,
                 lock_wait_timeout: Duration::from_millis(timeout_ms),
+                ..LightweightConfig::default()
             },
             Arc::clone(&metrics),
         ));

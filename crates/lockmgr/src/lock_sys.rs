@@ -1,16 +1,31 @@
 //! The vanilla, InnoDB-style lock system (`lock_sys`) — the MySQL baseline.
 //!
 //! Structure (paper §2.2): a hash table keyed by `(space_id, page_no)` whose
-//! value is the list of lock requests (`lock_t`) on that page.  Every
-//! acquisition creates a request object, even without contention — the first
-//! shortcoming §3.1.1 calls out.  The table is sharded, but a hot page still
-//! funnels every acquisition, release, grant scan *and* deadlock check
-//! through one shard mutex, which is the second shortcoming (Figure 6c).
+//! value holds the lock requests on that page.  Every acquisition creates a
+//! request entry, even without contention — the first shortcoming §3.1.1
+//! calls out.  The table is sharded, but a hot page still funnels every
+//! acquisition, release, grant scan *and* deadlock check through one shard
+//! mutex, which is the second shortcoming (Figure 6c).
 //!
 //! What is deliberately **kept** faithful to the baseline: the page-level
-//! sharding, the per-acquisition request object, and the FIFO queue scan.
-//! What is decentralized (this engine has to scale even in baseline mode):
+//! sharding (two hot rows on the same page still contend on one mutex), the
+//! per-acquisition request accounting (`locks_created` counts one per
+//! acquisition) and the FIFO queue discipline.  What is decentralized (this
+//! engine has to scale even in baseline mode):
 //!
+//! * **per-`heap_no` record queues**: a page's requests live in
+//!   `FxHashMap<HeapNo, RecordQueue>` with granted holders split from the
+//!   waiter FIFO, so conflict checks, the grant scan, `wait_queue_len` and
+//!   `holders_of` are O(requests on that record) instead of O(all requests
+//!   on the page) — the flat `Vec<lock_t>` rescans (the O(queue²) grant scan
+//!   under the hottest mutex in the system) are gone, while the shard mutex
+//!   itself still serializes the page exactly like the baseline;
+//! * **batched release**: the registry hands `release_all` its records
+//!   pre-grouped by page, so commit/rollback takes each page's shard mutex
+//!   once per page (not once per record), and
+//!   [`LockSys::release_record_locks`] batches early lock release (Bamboo)
+//!   the same way — page shard and registry shard are each locked once per
+//!   batch;
 //! * per-transaction bookkeeping lives in the sharded
 //!   [`TxnLockRegistry`](crate::registry::TxnLockRegistry) instead of one
 //!   global `txn_locks` mutex;
@@ -21,25 +36,32 @@
 //!   `OsEvent` — events exist only for requests that actually wait, drawn
 //!   from a thread-local pool ([`OsEvent::acquire_pooled`]).
 //!
-//! Waiting requests park on an [`OsEvent`]; the releasing transaction scans
-//! the page queue in FIFO order and grants whatever no longer conflicts.
-//! Deadlock handling is configurable ([`DeadlockPolicy`]): wait-for-graph
-//! detection run at every wait (MySQL default) or a plain timeout (what the
-//! paper's hotspot paths prefer, §3.2).
+//! Waiting requests park on an [`OsEvent`]; the releasing transaction grants
+//! from the front of the record's FIFO whatever no longer conflicts, and
+//! every grant scan records its length in the `grant_scan_len` histogram
+//! (flat-by-construction here; an O(page) regression would show up as
+//! growth with page population).  Deadlock handling is configurable
+//! ([`DeadlockPolicy`]): wait-for-graph detection run at every wait (MySQL
+//! default) or a plain timeout (what the paper's hotspot paths prefer,
+//! §3.2).  Under detection, the victim is chosen by [`VictimPolicy`]
+//! (weight-based by default — fewest registry-tracked locks, ties to the
+//! youngest transaction); a victim other than the requester is woken through
+//! its graph-parked event and aborts out of its own wait.
 
-use crate::deadlock::WaitForGraph;
+use crate::deadlock::{select_victim, VictimPolicy, WaitForGraph};
 use crate::event::{OsEvent, WaitOutcome};
 use crate::modes::LockMode;
 use crate::registry::TxnLockRegistry;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 use txsql_common::fxhash::{self, FxHashMap};
-use txsql_common::ids::PageId;
+use txsql_common::ids::{HeapNo, PageId};
 use txsql_common::metrics::EngineMetrics;
 use txsql_common::pad::CachePadded;
 use txsql_common::time::SimInstant;
-use txsql_common::{Error, HeapNo, RecordId, Result, TableId, TxnId};
+use txsql_common::{Error, RecordId, Result, TableId, TxnId};
 
 /// Number of table-lock shards.  Tables are few and intention modes almost
 /// never conflict; 16 shards removes the global choke point without bloating
@@ -63,6 +85,8 @@ pub struct LockSysConfig {
     pub n_shards: usize,
     /// Deadlock handling policy.
     pub deadlock_policy: DeadlockPolicy,
+    /// How the victim is chosen when detection finds a cycle.
+    pub victim_policy: VictimPolicy,
     /// Lock wait timeout.
     pub lock_wait_timeout: Duration,
 }
@@ -72,25 +96,85 @@ impl Default for LockSysConfig {
         Self {
             n_shards: 64,
             deadlock_policy: DeadlockPolicy::Detect,
+            victim_policy: VictimPolicy::default(),
             lock_wait_timeout: Duration::from_millis(200),
         }
     }
 }
 
-/// A `lock_t`-like request.  `event` is `None` for requests granted without
-/// waiting — the uncontended path allocates no wake-up machinery.
+/// A waiting `lock_t`-like request.  Only waiters carry full request objects
+/// (with their wake-up event); granted locks are just `(txn, mode)` holder
+/// entries on the record queue.
 #[derive(Debug)]
-struct LockRequest {
+struct WaitingRequest {
     txn: TxnId,
-    heap_no: HeapNo,
     mode: LockMode,
-    granted: bool,
-    event: Option<Arc<OsEvent>>,
+    event: Arc<OsEvent>,
 }
 
+/// Per-`heap_no` lock queue: granted holders split from the waiter FIFO,
+/// mirroring the lightweight table's `RowEntry` shape.  Every operation on
+/// one record is O(requests on that record).
+#[derive(Debug, Default)]
+struct RecordQueue {
+    holders: Vec<(TxnId, LockMode)>,
+    waiters: VecDeque<WaitingRequest>,
+}
+
+impl RecordQueue {
+    fn is_empty(&self) -> bool {
+        self.holders.is_empty() && self.waiters.is_empty()
+    }
+
+    /// Transactions among the current holders that conflict with a request
+    /// by `txn` for `mode`.
+    fn conflicting_holders(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        self.holders
+            .iter()
+            .filter(|(t, m)| *t != txn && !m.is_compatible_with(mode))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// FIFO grant scan: grants waiters from the front while they are
+    /// compatible with the remaining holders.  Records the scan length
+    /// (requests examined) and pushes the events to fire once the caller
+    /// has dropped the shard guard.
+    fn grant_from_front(
+        &mut self,
+        graph: &WaitForGraph,
+        metrics: &EngineMetrics,
+        woken: &mut Vec<Arc<OsEvent>>,
+    ) {
+        metrics
+            .grant_scan_len
+            .record_micros((self.holders.len() + self.waiters.len()) as u64);
+        while let Some(front) = self.waiters.front() {
+            let compatible = self
+                .holders
+                .iter()
+                .all(|(t, m)| *t == front.txn || m.is_compatible_with(front.mode));
+            if !compatible {
+                break;
+            }
+            let waiter = self.waiters.pop_front().expect("front exists");
+            self.holders.push((waiter.txn, waiter.mode));
+            graph.clear_waits_of(waiter.txn);
+            woken.push(waiter.event);
+        }
+    }
+}
+
+/// Lock state of one page.  Record queues are pruned as soon as they drain,
+/// but the `PageLocks` shell (and the capacity of its inner map) is retained
+/// once created: a page that saw locking once will see it again, and reusing
+/// the map's allocation keeps the uncontended acquire/release cycle
+/// allocation-free in steady state.  Memory is bounded by the number of
+/// distinct pages that ever carried a lock (a shell is ~100 bytes — the
+/// moral equivalent of InnoDB's persistent lock-hash buckets).
 #[derive(Debug, Default)]
 struct PageLocks {
-    requests: Vec<LockRequest>,
+    records: FxHashMap<HeapNo, RecordQueue>,
 }
 
 #[derive(Debug, Default)]
@@ -169,107 +253,109 @@ impl LockSys {
         &self.table_shards[idx]
     }
 
-    /// Transactions whose *granted* or earlier-queued requests conflict with a
-    /// request by `txn` for (`heap_no`, `mode`).  Mirrors InnoDB's
-    /// `lock_rec_has_to_wait_in_queue`: the scan is O(queue length) and runs
-    /// under the shard mutex.
-    fn conflicting_txns(
-        page: &PageLocks,
-        txn: TxnId,
-        heap_no: HeapNo,
-        mode: LockMode,
-    ) -> Vec<TxnId> {
-        let mut blockers = Vec::new();
-        for req in &page.requests {
-            if req.txn == txn || req.heap_no != heap_no {
-                continue;
-            }
-            if !req.mode.is_compatible_with(mode) {
-                blockers.push(req.txn);
-            }
-        }
-        blockers
-    }
-
     /// Acquires a record lock, blocking until granted, deadlock or timeout.
     pub fn lock_record(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
         debug_assert!(mode.is_record_mode());
         let event;
+        let mut doom_victim = None;
         {
             let shard = self.shard_for(record.page());
             let mut guard = shard.lock();
             let page = guard.pages.entry(record.page()).or_default();
+            let queue = page.records.entry(record.heap_no).or_default();
 
-            // Re-entrant fast path: an existing granted lock that covers the
-            // request needs no new lock object.
-            let existing_idx = page
-                .requests
+            let held = queue
+                .holders
                 .iter()
-                .position(|r| r.txn == txn && r.heap_no == record.heap_no && r.granted);
-            if let Some(idx) = existing_idx {
-                if page.requests[idx].mode.covers(mode) {
+                .find(|(t, _)| *t == txn)
+                .map(|(_, m)| *m);
+            if let Some(held) = held {
+                // Re-entrant fast path: an existing granted lock that covers
+                // the request needs no new lock entry.
+                if held.covers(mode) {
                     return Ok(());
                 }
             }
 
-            // One conflict scan serves both the upgrade and the fresh-request
-            // paths (it runs under the hottest mutex in the system).
-            let blockers = Self::conflicting_txns(page, txn, record.heap_no, mode);
-            if let Some(idx) = existing_idx {
-                // Lock upgrade (S -> X) with no other holders: upgrade in place.
-                if blockers.is_empty() {
-                    page.requests[idx].mode = LockMode::Exclusive;
-                    return Ok(());
+            // One conflict scan serves the upgrade, fresh-grant and wait
+            // paths alike (it runs under the hottest mutex in the system).
+            let blockers = queue.conflicting_holders(txn, mode);
+            if blockers.is_empty() && queue.waiters.is_empty() {
+                if held.is_some() {
+                    // Lock upgrade (S -> X) in place — allowed only with no
+                    // conflicting holder and no waiter queued (FIFO fairness:
+                    // an upgrade may not jump an earlier waiting request).
+                    for (t, m) in queue.holders.iter_mut() {
+                        if *t == txn {
+                            *m = LockMode::Exclusive;
+                        }
+                    }
+                } else {
+                    // Uncontended grant: no OsEvent, no global bookkeeping —
+                    // just the record-queue holder entry and the transaction's
+                    // registry shard (updated after the page guard drops).
+                    self.metrics.locks_created.inc();
+                    queue.holders.push((txn, mode));
+                    drop(guard);
+                    self.registry.remember_record(txn, record);
                 }
-            }
-            if blockers.is_empty() {
-                // Uncontended grant: no OsEvent, no global bookkeeping — just
-                // the page queue entry and the transaction's registry shard
-                // (updated after the page guard drops).
-                self.metrics.locks_created.inc();
-                page.requests.push(LockRequest {
-                    txn,
-                    heap_no: record.heap_no,
-                    mode,
-                    granted: true,
-                    event: None,
-                });
-                drop(guard);
-                self.registry.remember_record(txn, record);
                 return Ok(());
             }
 
-            // Must wait.  Deadlock victims return before any lock object or
-            // wait is recorded, so the Figure-6d counters stay truthful.
+            // Must wait.  A requester chosen as deadlock victim returns
+            // before any lock entry or wait is recorded, so the Figure-6d
+            // counters stay truthful; a *remote* victim is doomed after the
+            // guard drops.
             if self.config.deadlock_policy == DeadlockPolicy::Detect {
                 self.metrics.deadlock_checks.inc();
-                self.graph.set_waits_for(txn, blockers.iter().copied());
-                if self.graph.find_cycle_from(txn).is_some() {
-                    self.graph.clear_waits_of(txn);
-                    return Err(Error::Deadlock { txn });
+                let mut waits_for = blockers;
+                waits_for.extend(queue.waiters.iter().map(|w| w.txn));
+                self.graph.set_waits_for(txn, waits_for);
+                if let Some(cycle) = self.graph.find_cycle_from(txn) {
+                    let victim = select_victim(&cycle, self.config.victim_policy, |t| {
+                        self.registry.record_count_of(t)
+                    });
+                    if victim == txn {
+                        self.graph.clear_waits_of(txn);
+                        return Err(Error::Deadlock { txn });
+                    }
+                    doom_victim = Some(victim);
                 }
             }
             self.metrics.locks_created.inc();
             event = OsEvent::acquire_pooled();
-            page.requests.push(LockRequest {
+            queue.waiters.push_back(WaitingRequest {
                 txn,
-                heap_no: record.heap_no,
                 mode,
-                granted: false,
-                event: Some(Arc::clone(&event)),
+                event: Arc::clone(&event),
             });
             self.metrics.lock_waits.inc();
         }
         self.registry.remember_record(txn, record);
+        if self.config.deadlock_policy == DeadlockPolicy::Detect {
+            // Park our event in the graph so a later detection pass can doom
+            // us, then doom the victim this pass chose (if it stopped
+            // waiting meanwhile the evidence was stale — our own timeout is
+            // the backstop).
+            self.graph.attach_waiter_event(txn, Arc::clone(&event));
+            if let Some(victim) = doom_victim {
+                self.graph.doom(victim);
+            }
+        }
 
         // Park outside the shard mutex.  SimInstant: under deterministic
         // simulation the deadline lives on the virtual clock, so timeout
         // schedules are explorable.
+        let detect = self.config.deadlock_policy == DeadlockPolicy::Detect;
         let wait_start = SimInstant::now();
         let deadline = wait_start + self.config.lock_wait_timeout;
         loop {
+            // Consume a doom *before* parking: one delivered before our event
+            // was parked in the graph (or wiped by the reset below) must
+            // abort us now, not after the full timeout.
+            let pre_doomed = detect && self.graph.take_doomed(txn);
             let remaining = deadline.saturating_duration_since(SimInstant::now());
-            let outcome = if remaining.is_zero() {
+            let outcome = if pre_doomed || remaining.is_zero() {
                 WaitOutcome::TimedOut
             } else {
                 event.wait_for(remaining)
@@ -277,10 +363,13 @@ impl LockSys {
             let waited = wait_start.elapsed();
             let shard = self.shard_for(record.page());
             let mut guard = shard.lock();
-            let page = guard.pages.entry(record.page()).or_default();
-            let granted = page.requests.iter().any(|r| {
-                r.txn == txn && r.heap_no == record.heap_no && r.granted && r.mode.covers(mode)
-            });
+            // A pruned page or record entry means our request is gone; never
+            // resurrect it with `or_default` — missing state is not-granted.
+            let granted = guard
+                .pages
+                .get(&record.page())
+                .and_then(|p| p.records.get(&record.heap_no))
+                .is_some_and(|q| q.holders.iter().any(|(t, m)| *t == txn && m.covers(mode)));
             if granted {
                 drop(guard);
                 self.metrics.lock_wait_latency.record(waited);
@@ -288,30 +377,41 @@ impl LockSys {
                 OsEvent::recycle(event);
                 return Ok(());
             }
-            if outcome == WaitOutcome::TimedOut {
+            let doomed = pre_doomed || (detect && self.graph.take_doomed(txn));
+            if doomed || outcome == WaitOutcome::TimedOut {
                 // Give up: remove our waiting request, then re-run the grant
                 // scan — a waiter queued behind us may be grantable now that
                 // our conflicting request is gone.
-                page.requests
-                    .retain(|r| !(r.txn == txn && r.heap_no == record.heap_no && !r.granted));
-                Self::grant_waiters(page, record.heap_no, &self.graph);
-                // A timed-out *upgrade* still holds its original granted
-                // request — the registry entry must survive for release-all.
-                let still_holds = page
-                    .requests
-                    .iter()
-                    .any(|r| r.txn == txn && r.heap_no == record.heap_no);
-                if page.requests.is_empty() {
-                    guard.pages.remove(&record.page());
+                let mut woken = Vec::new();
+                let mut still_holds = false;
+                if let Some(page) = guard.pages.get_mut(&record.page()) {
+                    if let Some(queue) = page.records.get_mut(&record.heap_no) {
+                        queue.waiters.retain(|w| w.txn != txn);
+                        queue.grant_from_front(&self.graph, &self.metrics, &mut woken);
+                        // A timed-out *upgrade* still holds its original
+                        // granted lock — the registry entry must survive for
+                        // release-all.
+                        still_holds = queue.holders.iter().any(|(t, _)| *t == txn);
+                        if queue.is_empty() {
+                            page.records.remove(&record.heap_no);
+                        }
+                    }
                 }
                 drop(guard);
+                for woken_event in woken {
+                    woken_event.set();
+                }
                 if !still_holds {
                     self.registry.forget_record(txn, record);
                 }
                 self.metrics.lock_wait_latency.record(waited);
                 self.graph.clear_waits_of(txn);
                 OsEvent::recycle(event);
-                return Err(Error::LockWaitTimeout { txn, record });
+                return Err(if doomed {
+                    Error::Deadlock { txn }
+                } else {
+                    Error::LockWaitTimeout { txn, record }
+                });
             }
             // Spurious wake-up (event set but our grant was raced away): reset
             // and wait again.
@@ -344,43 +444,80 @@ impl LockSys {
         Ok(())
     }
 
-    /// Releases a single record lock held by `txn` and grants any waiters that
-    /// no longer conflict.  Used by Bamboo's early lock release.
+    /// Releases a single record lock held by `txn` and grants any waiters
+    /// that no longer conflict.
     pub fn release_record_lock(&self, txn: TxnId, record: RecordId) {
-        let shard = self.shard_for(record.page());
-        let mut guard = shard.lock();
-        if let Some(page) = guard.pages.get_mut(&record.page()) {
-            page.requests
-                .retain(|r| !(r.txn == txn && r.heap_no == record.heap_no));
-            Self::grant_waiters(page, record.heap_no, &self.graph);
-            if page.requests.is_empty() {
-                guard.pages.remove(&record.page());
+        self.release_record_locks(txn, std::slice::from_ref(&record));
+    }
+
+    /// Releases a batch of record locks (Bamboo's early lock release):
+    /// records are grouped by page so each page's shard mutex is taken once
+    /// per page, and the registry bookkeeping drains with one shard lock for
+    /// the whole batch.
+    pub fn release_record_locks(&self, txn: TxnId, records: &[RecordId]) {
+        match records {
+            [] => return,
+            [single] => {
+                self.release_page_locks(txn, single.page(), std::iter::once(single.heap_no));
+            }
+            _ => {
+                let mut by_page: FxHashMap<PageId, Vec<HeapNo>> = FxHashMap::default();
+                for record in records {
+                    by_page
+                        .entry(record.page())
+                        .or_default()
+                        .push(record.heap_no);
+                }
+                for (page_id, heaps) in by_page {
+                    self.release_page_locks(txn, page_id, heaps);
+                }
             }
         }
-        drop(guard);
-        self.registry.forget_record(txn, record);
+        self.registry.forget_records(txn, records);
+    }
+
+    /// Removes `txn`'s requests on the given heap_nos of one page under a
+    /// single shard-lock acquisition, granting whatever unblocks.
+    fn release_page_locks(
+        &self,
+        txn: TxnId,
+        page_id: PageId,
+        heaps: impl IntoIterator<Item = HeapNo>,
+    ) {
+        let mut woken = Vec::new();
+        {
+            let shard = self.shard_for(page_id);
+            let mut guard = shard.lock();
+            if let Some(page) = guard.pages.get_mut(&page_id) {
+                for heap_no in heaps {
+                    if let Some(queue) = page.records.get_mut(&heap_no) {
+                        queue.holders.retain(|(t, _)| *t != txn);
+                        queue.waiters.retain(|w| w.txn != txn);
+                        queue.grant_from_front(&self.graph, &self.metrics, &mut woken);
+                        if queue.is_empty() {
+                            page.records.remove(&heap_no);
+                        }
+                    }
+                }
+            }
+        }
+        for event in woken {
+            event.set();
+        }
     }
 
     /// Releases every lock `txn` holds (and abandons any waits), granting
-    /// whatever unblocks.  Called at commit and rollback.  Walks only the
-    /// transaction's own registry shard and the shards of the records and
-    /// tables it actually touched — no global mutex, no full-table scan.
+    /// whatever unblocks.  Called at commit and rollback.  The registry hands
+    /// back the transaction's records pre-grouped by page, so each page's
+    /// shard mutex is taken at most once, and table release visits only the
+    /// tables it actually locked — no global mutex, no full-table scan.
     pub fn release_all(&self, txn: TxnId) {
         let Some(locks) = self.registry.take_all(txn) else {
             self.graph.remove_txn(txn);
             return;
         };
-        for record in &locks.records {
-            let shard = self.shard_for(record.page());
-            let mut guard = shard.lock();
-            if let Some(page) = guard.pages.get_mut(&record.page()) {
-                page.requests
-                    .retain(|r| !(r.txn == txn && r.heap_no == record.heap_no));
-                Self::grant_waiters(page, record.heap_no, &self.graph);
-                if page.requests.is_empty() {
-                    guard.pages.remove(&record.page());
-                }
-            }
+        for (page_id, records) in locks.page_groups() {
+            self.release_page_locks(txn, page_id, records.iter().map(|r| r.heap_no));
         }
         for table in &locks.tables {
             let mut tables = self.table_shard_for(*table).lock();
@@ -394,50 +531,6 @@ impl LockSys {
         self.graph.remove_txn(txn);
     }
 
-    /// FIFO grant scan over one heap position.
-    fn grant_waiters(page: &mut PageLocks, heap_no: HeapNo, graph: &WaitForGraph) {
-        // Collect currently granted modes per transaction on this heap_no.
-        let mut newly_granted: Vec<Arc<OsEvent>> = Vec::new();
-        for i in 0..page.requests.len() {
-            if page.requests[i].heap_no != heap_no || page.requests[i].granted {
-                continue;
-            }
-            let candidate_txn = page.requests[i].txn;
-            let candidate_mode = page.requests[i].mode;
-            let conflicts = page
-                .requests
-                .iter()
-                .take(i)
-                .chain(page.requests.iter().skip(i + 1))
-                .any(|r| {
-                    r.heap_no == heap_no
-                        && r.txn != candidate_txn
-                        && r.granted
-                        && !r.mode.is_compatible_with(candidate_mode)
-                });
-            // FIFO fairness: an earlier waiting request from another txn that
-            // conflicts blocks this grant too.
-            let earlier_conflict = page.requests.iter().take(i).any(|r| {
-                r.heap_no == heap_no
-                    && r.txn != candidate_txn
-                    && !r.granted
-                    && !r.mode.is_compatible_with(candidate_mode)
-            });
-            if !conflicts && !earlier_conflict {
-                page.requests[i].granted = true;
-                graph.clear_waits_of(candidate_txn);
-                // Hand the event back to the waiter: the request no longer
-                // needs it, and the waiter recycles its own Arc on wake-up.
-                if let Some(event) = page.requests[i].event.take() {
-                    newly_granted.push(event);
-                }
-            }
-        }
-        for event in newly_granted {
-            event.set();
-        }
-    }
-
     /// Length of the wait queue (waiting requests only) on a record — the
     /// paper's hotspot-detection signal (§4.1).
     pub fn wait_queue_len(&self, record: RecordId) -> usize {
@@ -446,12 +539,8 @@ impl LockSys {
         guard
             .pages
             .get(&record.page())
-            .map(|p| {
-                p.requests
-                    .iter()
-                    .filter(|r| r.heap_no == record.heap_no && !r.granted)
-                    .count()
-            })
+            .and_then(|p| p.records.get(&record.heap_no))
+            .map(|q| q.waiters.len())
             .unwrap_or(0)
     }
 
@@ -467,13 +556,8 @@ impl LockSys {
         guard
             .pages
             .get(&record.page())
-            .map(|p| {
-                p.requests
-                    .iter()
-                    .filter(|r| r.heap_no == record.heap_no && r.granted)
-                    .map(|r| r.txn)
-                    .collect()
-            })
+            .and_then(|p| p.records.get(&record.heap_no))
+            .map(|q| q.holders.iter().map(|(t, _)| *t).collect())
             .unwrap_or_default()
     }
 
@@ -495,6 +579,7 @@ mod tests {
                 n_shards: 8,
                 deadlock_policy: policy,
                 lock_wait_timeout: Duration::from_millis(timeout_ms),
+                ..LockSysConfig::default()
             },
             Arc::new(EngineMetrics::new()),
         ))
@@ -611,7 +696,9 @@ mod tests {
         // T1 waits for R2 (held by T2).
         let h = thread::spawn(move || s2.lock_record(TxnId(1), R2, LockMode::Exclusive));
         thread::sleep(Duration::from_millis(50));
-        // T2 requesting R1 closes the cycle and must be chosen as victim.
+        // T2 requesting R1 closes the cycle.  Under the weight-based policy
+        // T2 is the victim: it holds 1 registry-tracked lock against T1's 2
+        // (T1's wait on R2 is registry-tracked too).
         let err = s
             .lock_record(TxnId(2), R1, LockMode::Exclusive)
             .unwrap_err();
@@ -620,6 +707,68 @@ mod tests {
         s.release_all(TxnId(2));
         h.join().unwrap().unwrap();
         s.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn requester_policy_always_sacrifices_the_requester() {
+        let s = Arc::new(LockSys::new(
+            LockSysConfig {
+                n_shards: 8,
+                deadlock_policy: DeadlockPolicy::Detect,
+                victim_policy: VictimPolicy::Requester,
+                lock_wait_timeout: Duration::from_millis(5_000),
+            },
+            Arc::new(EngineMetrics::new()),
+        ));
+        s.lock_record(TxnId(1), R1, LockMode::Exclusive).unwrap();
+        s.lock_record(TxnId(2), R2, LockMode::Exclusive).unwrap();
+        let s2 = Arc::clone(&s);
+        let h = thread::spawn(move || s2.lock_record(TxnId(1), R2, LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(50));
+        let err = s
+            .lock_record(TxnId(2), R1, LockMode::Exclusive)
+            .unwrap_err();
+        assert!(matches!(err, Error::Deadlock { txn: TxnId(2) }));
+        s.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        s.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn heavier_requester_dooms_the_lighter_waiter() {
+        // T1 holds only R2 and waits for R1; T2 holds R1 plus two ballast
+        // locks.  When T2 closes the cycle the weight-based policy must doom
+        // T1 (1+1 registry entries vs T2's 3) — the requester keeps waiting
+        // and is granted once T1's rollback releases R2... but T1 only
+        // *waited* on R1, so T2's grant comes from T1's abandoned wait.
+        let s = sys(DeadlockPolicy::Detect, 5_000);
+        let ballast_a = RecordId::new(2, 0, 0);
+        let ballast_b = RecordId::new(2, 0, 1);
+        s.lock_record(TxnId(2), R1, LockMode::Exclusive).unwrap();
+        s.lock_record(TxnId(2), ballast_a, LockMode::Exclusive)
+            .unwrap();
+        s.lock_record(TxnId(2), ballast_b, LockMode::Exclusive)
+            .unwrap();
+        s.lock_record(TxnId(1), R2, LockMode::Exclusive).unwrap();
+        let s1 = Arc::clone(&s);
+        // T1 waits for R1 (held by T2): the remote victim-to-be.
+        let h = thread::spawn(move || s1.lock_record(TxnId(1), R1, LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(50));
+        // T2 requesting R2 closes the cycle; T1 is lighter (2 entries vs 4)
+        // and must be doomed remotely while T2 keeps waiting.
+        let s2 = Arc::clone(&s);
+        let requester = thread::spawn(move || s2.lock_record(TxnId(2), R2, LockMode::Exclusive));
+        let victim_err = h.join().unwrap().unwrap_err();
+        assert!(
+            matches!(victim_err, Error::Deadlock { txn: TxnId(1) }),
+            "doomed waiter must abort with a deadlock error, got {victim_err:?}"
+        );
+        // T1's rollback releases R2, unblocking the requester.
+        s.release_all(TxnId(1));
+        requester.join().unwrap().unwrap();
+        s.release_all(TxnId(2));
+        assert!(s.registry().is_empty());
+        assert_eq!(s.wait_for_graph().waiting_count(), 0);
     }
 
     #[test]
@@ -665,6 +814,31 @@ mod tests {
         assert!(s.holders_of(R1).is_empty());
         assert_eq!(s.holders_of(R2), vec![TxnId(1)]);
         assert_eq!(s.lock_count_of(TxnId(1)), 1);
+    }
+
+    #[test]
+    fn batched_release_spans_pages_and_wakes_waiters() {
+        let s = sys(DeadlockPolicy::TimeoutOnly, 2_000);
+        // Three records over two pages, all held by T1.
+        let other_page = RecordId::new(1, 9, 4);
+        for r in [R1, R2, other_page] {
+            s.lock_record(TxnId(1), r, LockMode::Exclusive).unwrap();
+        }
+        let s2 = Arc::clone(&s);
+        let w = thread::spawn(move || s2.lock_record(TxnId(2), other_page, LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(s.wait_queue_len(other_page), 1);
+        // One batched call releases R1 and the other page's record: the
+        // waiter must be granted, R2 must stay held, registry must drop to 1.
+        s.release_record_locks(TxnId(1), &[R1, other_page]);
+        w.join().unwrap().unwrap();
+        assert_eq!(s.holders_of(other_page), vec![TxnId(2)]);
+        assert!(s.holders_of(R1).is_empty());
+        assert_eq!(s.holders_of(R2), vec![TxnId(1)]);
+        assert_eq!(s.lock_count_of(TxnId(1)), 1);
+        s.release_all(TxnId(1));
+        s.release_all(TxnId(2));
+        assert!(s.registry().is_empty());
     }
 
     #[test]
@@ -745,6 +919,7 @@ mod tests {
                 n_shards: 8,
                 deadlock_policy: DeadlockPolicy::Detect,
                 lock_wait_timeout: Duration::from_millis(100),
+                ..LockSysConfig::default()
             },
             Arc::clone(&metrics),
         );
@@ -757,5 +932,46 @@ mod tests {
         s.release_all(TxnId(1));
         assert_eq!(s.registry().total_entries(), 0);
         assert_eq!(metrics.locks_released.get(), 2);
+    }
+
+    #[test]
+    fn grant_scan_length_is_per_record_not_per_page() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let s = LockSys::new(
+            LockSysConfig {
+                n_shards: 8,
+                deadlock_policy: DeadlockPolicy::TimeoutOnly,
+                lock_wait_timeout: Duration::from_millis(200),
+                ..LockSysConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        // Populate one page with 100 granted locks on other heap_nos.
+        for heap in 10..110u16 {
+            s.lock_record(
+                TxnId(heap as u64),
+                RecordId::new(1, 0, heap),
+                LockMode::Exclusive,
+            )
+            .unwrap();
+        }
+        // A release that grants a real waiter on R1: the grant scan must
+        // examine only that record's queue (one waiter), not the 100 other
+        // requests on the page.
+        let s = Arc::new(s);
+        s.lock_record(TxnId(500), R1, LockMode::Exclusive).unwrap();
+        let s2 = Arc::clone(&s);
+        let w = thread::spawn(move || s2.lock_record(TxnId(501), R1, LockMode::Exclusive));
+        while s.wait_queue_len(R1) != 1 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        s.release_record_lock(TxnId(500), R1);
+        w.join().unwrap().unwrap();
+        assert!(
+            metrics.grant_scan_len.max_micros() <= 2,
+            "grant scan examined {} requests — it must not scale with page population",
+            metrics.grant_scan_len.max_micros()
+        );
+        s.release_all(TxnId(501));
     }
 }

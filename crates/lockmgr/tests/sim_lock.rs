@@ -143,10 +143,12 @@ trait LockTable: Send + Sync + 'static {
     fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()>;
     fn release_all(&self, txn: TxnId);
     fn wait_queue_len(&self, record: RecordId) -> usize;
-    /// Records the registry tracks for `txn` (granted or waiting).  The
-    /// registry entry is written immediately before the wait deadline is
-    /// captured (no yield point in between), so tests can gate on it to
-    /// order virtual-clock deadlines deterministically.
+    fn holders_of(&self, record: RecordId) -> Vec<TxnId>;
+    /// Records the registry tracks for `txn` (granted or waiting).  Under
+    /// the timeout-only policy the registry entry is written immediately
+    /// before the wait deadline is captured (no yield point in between —
+    /// detection would add the graph's event-attach lock there), so tests
+    /// can gate on it to order virtual-clock deadlines deterministically.
     fn tracked_locks(&self, txn: TxnId) -> usize;
 }
 
@@ -159,6 +161,9 @@ impl LockTable for LockSys {
     }
     fn wait_queue_len(&self, record: RecordId) -> usize {
         LockSys::wait_queue_len(self, record)
+    }
+    fn holders_of(&self, record: RecordId) -> Vec<TxnId> {
+        LockSys::holders_of(self, record)
     }
     fn tracked_locks(&self, txn: TxnId) -> usize {
         self.registry().record_count_of(txn)
@@ -175,6 +180,9 @@ impl LockTable for LightweightLockTable {
     fn wait_queue_len(&self, record: RecordId) -> usize {
         LightweightLockTable::wait_queue_len(self, record)
     }
+    fn holders_of(&self, record: RecordId) -> Vec<TxnId> {
+        LightweightLockTable::holders_of(self, record)
+    }
     fn tracked_locks(&self, txn: TxnId) -> usize {
         self.registry().record_count_of(txn)
     }
@@ -186,6 +194,7 @@ fn lock_sys_table() -> Arc<LockSys> {
             n_shards: 8,
             deadlock_policy: DeadlockPolicy::TimeoutOnly,
             lock_wait_timeout: Duration::from_millis(200),
+            ..Default::default()
         },
         Arc::new(EngineMetrics::new()),
     ))
@@ -197,6 +206,7 @@ fn lightweight_table() -> Arc<LightweightLockTable> {
             n_shards: 64,
             deadlock_policy: DeadlockPolicy::TimeoutOnly,
             lock_wait_timeout: Duration::from_millis(200),
+            ..Default::default()
         },
         Arc::new(EngineMetrics::new()),
     ))
@@ -314,6 +324,141 @@ fn timeout_grants_compatible_waiter_behind<T: LockTable>(table: Arc<T>, seed: u6
         "seed {seed}: compatible waiter was never granted"
     );
     table.release_all(holder_txn);
+}
+
+/// Two hot heap_nos on ONE page: FIFO and compatibility invariants must hold
+/// independently per record, and one record's timeout churn must never wake
+/// (or time out) the other record's waiters.  On the page-sharded `lock_sys`
+/// both records share a shard mutex, so this is exactly the per-record-queue
+/// guarantee; the record-keyed lightweight table gets it structurally.
+///
+/// Virtual-clock layout: record A's waiter captures its 200 ms deadline
+/// first; record B's two waiters push the clock forward (150 ms / 10 ms)
+/// before queueing, so firing A's timeout (the +60 ms jump at 220 ms) leaves
+/// B's deadlines (350 ms / 360 ms) unexpired — B's waiters can only proceed
+/// through a genuine grant.
+fn per_record_queues_are_independent<T: LockTable>(table: Arc<T>, seed: u64) {
+    const A: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 0,
+    };
+    const B: RecordId = RecordId {
+        space_id: 1,
+        page_no: 0,
+        heap_no: 1,
+    };
+    let holder_a = TxnId(1);
+    let holder_b = TxnId(2);
+    table.lock(holder_a, A, LockMode::Exclusive).unwrap();
+    table.lock(holder_b, B, LockMode::Exclusive).unwrap();
+    let order = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+    let a_timed_out = Arc::new(AtomicUsize::new(0));
+
+    let t = Arc::clone(&table);
+    let o = Arc::clone(&order);
+    let flag = Arc::clone(&a_timed_out);
+    run_seed(seed, move |sim| {
+        // A's waiter: its holder never releases, so only the virtual-clock
+        // timeout can end this wait — and its cleanup (the grant scan on A)
+        // must not leak into B's queue.
+        let table = Arc::clone(&t);
+        let flag2 = Arc::clone(&flag);
+        sim.spawn("a-waiter", move || {
+            let err = table.lock(TxnId(3), A, LockMode::Exclusive).unwrap_err();
+            assert!(
+                matches!(err, txsql_common::Error::LockWaitTimeout { .. }),
+                "A's waiter must end by timeout, got {err:?}"
+            );
+            flag2.store(1, Ordering::Relaxed);
+        });
+        // B's first waiter queues after A's deadline is captured, with a
+        // +150 ms clock push so its own deadline lands well past A's.
+        let table = Arc::clone(&t);
+        let order = Arc::clone(&o);
+        sim.spawn("b-waiter-4", move || {
+            let h = txsql_sim::current().unwrap();
+            while table.wait_queue_len(A) != 1 || table.tracked_locks(TxnId(3)) != 1 {
+                h.yield_now();
+            }
+            ut_delay(150_000);
+            table.lock(TxnId(4), B, LockMode::Exclusive).unwrap();
+            order.lock().push(4);
+            table.release_all(TxnId(4));
+        });
+        // B's second waiter queues strictly behind the first (FIFO).
+        let table = Arc::clone(&t);
+        let order = Arc::clone(&o);
+        sim.spawn("b-waiter-5", move || {
+            let h = txsql_sim::current().unwrap();
+            while table.wait_queue_len(B) != 1 {
+                h.yield_now();
+            }
+            ut_delay(10_000);
+            table.lock(TxnId(5), B, LockMode::Exclusive).unwrap();
+            order.lock().push(5);
+            table.release_all(TxnId(5));
+        });
+        // The driver: once everyone queued, fire A's timeout, verify B's
+        // queue survived the churn untouched, then release B for real.
+        let table = Arc::clone(&t);
+        let order = Arc::clone(&o);
+        let a_flag = Arc::clone(&flag);
+        sim.spawn("b-releaser", move || {
+            let h = txsql_sim::current().unwrap();
+            while table.wait_queue_len(A) != 1 || table.wait_queue_len(B) != 2 {
+                h.yield_now();
+            }
+            // Jump to 220 ms: past A's 200 ms deadline, short of B's 350 ms.
+            ut_delay(60_000);
+            while a_flag.load(Ordering::Relaxed) == 0 {
+                h.yield_now();
+            }
+            // A's timeout cleanup ran its grant scan; B must be untouched.
+            assert_eq!(
+                table.holders_of(B),
+                vec![holder_b],
+                "seed {seed}: A's timeout churn must not change B's holders"
+            );
+            assert_eq!(
+                table.wait_queue_len(B),
+                2,
+                "seed {seed}: A's timeout churn must not wake B's waiters"
+            );
+            assert!(
+                order.lock().is_empty(),
+                "seed {seed}: no B waiter may be granted before B is released"
+            );
+            table.release_all(holder_b);
+        });
+    });
+
+    assert_eq!(
+        *order.lock(),
+        vec![4, 5],
+        "seed {seed}: B's grants out of FIFO order"
+    );
+    assert_eq!(
+        table.holders_of(A),
+        vec![holder_a],
+        "seed {seed}: A's holder must survive all the churn"
+    );
+    assert_eq!(table.wait_queue_len(A), 0);
+    table.release_all(holder_a);
+}
+
+#[test]
+fn per_record_queue_independence_under_exploration_lock_sys() {
+    for seed in txsql_sim::ci_seeds(200) {
+        per_record_queues_are_independent(lock_sys_table(), seed);
+    }
+}
+
+#[test]
+fn per_record_queue_independence_under_exploration_lightweight() {
+    for seed in txsql_sim::ci_seeds(200) {
+        per_record_queues_are_independent(lightweight_table(), seed);
+    }
 }
 
 #[test]

@@ -10,7 +10,11 @@
 //!   exclusively, it must be the only holder the table reports;
 //! * bookkeeping drains — after every thread has issued `release_all`, the
 //!   per-transaction registry and the wait-for graph are empty (this is the
-//!   race the timeout-removal vs `grant_waiters` interplay can leak on).
+//!   race the timeout-removal vs grant-scan interplay can leak on);
+//! * grant scans stay per-record — every cold record lives on one shared
+//!   page, so a layout that scanned the whole page's request population
+//!   would show up as growth in the `grant_scan_len` histogram; with
+//!   per-heap_no queues it must stay bounded by one record's queue depth.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -75,7 +79,7 @@ impl Table for LightweightLockTable {
     }
 }
 
-fn stress(table: Arc<dyn Table>) {
+fn stress(table: Arc<dyn Table>, metrics: &EngineMetrics) {
     let counter = Arc::new(AtomicU64::new(0));
     let grants = Arc::new(AtomicU64::new(0));
     let barrier = Arc::new(std::sync::Barrier::new(THREADS));
@@ -92,8 +96,10 @@ fn stress(table: Arc<dyn Table>) {
                 for op in 0..OPS_PER_THREAD {
                     txn_no += 1;
                     let txn = TxnId(txn_no);
-                    // A disjoint cold record per thread, always uncontended.
-                    let cold = RecordId::new(9, 1 + worker as u32, (op % 512) as u16);
+                    // A disjoint cold record per thread, always uncontended —
+                    // but all cold records share ONE page, so a page-global
+                    // grant scan would see every thread's requests.
+                    let cold = RecordId::new(9, 1, (worker * OPS_PER_THREAD + op) as u16 % 4_096);
                     assert!(
                         table.lock(txn, cold, LockMode::Exclusive),
                         "cold record acquisition must never fail"
@@ -135,6 +141,14 @@ fn stress(table: Arc<dyn Table>) {
         table.registry().total_entries()
     );
     assert_eq!(table.waiting_count(), 0, "wait-for graph must drain");
+    // Grant scans must stay per-record: at most the hot record's one holder
+    // plus THREADS-1 waiters.  All cold records live on one page, so a scan
+    // that grew with page population would blow through this bound.
+    assert!(
+        metrics.grant_scan_len.max_micros() <= THREADS as u64 + 1,
+        "grant scan examined {} requests — scans must not scale with page population",
+        metrics.grant_scan_len.max_micros()
+    );
 }
 
 #[test]
@@ -145,11 +159,11 @@ fn lock_sys_hot_and_cold_stress() {
             n_shards: 16,
             deadlock_policy: DeadlockPolicy::TimeoutOnly,
             lock_wait_timeout: Duration::from_millis(10),
+            ..Default::default()
         },
         Arc::clone(&metrics),
     );
-    stress(Arc::new(sys));
-    let _ = metrics;
+    stress(Arc::new(sys), &metrics);
 }
 
 #[test]
@@ -160,10 +174,11 @@ fn lightweight_hot_and_cold_stress() {
             n_shards: 128,
             deadlock_policy: DeadlockPolicy::TimeoutOnly,
             lock_wait_timeout: Duration::from_millis(10),
+            ..Default::default()
         },
         Arc::clone(&metrics),
     );
-    stress(Arc::new(table));
+    stress(Arc::new(table), &metrics);
     // Lightweight only creates lock objects for waits; releases must cover
     // every registry entry ever created.
     assert_eq!(
@@ -183,6 +198,7 @@ fn deadlock_detection_survives_concurrent_churn() {
             n_shards: 64,
             deadlock_policy: DeadlockPolicy::Detect,
             lock_wait_timeout: Duration::from_millis(20),
+            ..Default::default()
         },
         metrics,
     ));
