@@ -17,6 +17,13 @@
 //! * **two hot records, one page** — 4 threads in two pairs, each pair
 //!   hammering its own heap_no on the same page.  Grant scans and conflict
 //!   checks of one record must not pay for the other record's queue.
+//! * **early-release batching** — one thread acquires a statement's worth of
+//!   records (same page) and early-releases them either one
+//!   `release_record_locks` call per record (the pre-batching Bamboo write
+//!   path) or one batched call per statement boundary.  Reports both ops/sec
+//!   and release-path **shard-lock acquisitions per released record** (the
+//!   `release_shard_locks` counter: page/row-shard takes plus registry-shard
+//!   takes), which batching amortizes.
 //!
 //! Output is a flat JSON object on stdout so runs can be recorded verbatim.
 //! `TXSQL_BENCH_SECONDS` scales the per-cell measurement window.
@@ -34,7 +41,9 @@ use txsql_lockmgr::modes::LockMode;
 trait LockTable: Send + Sync {
     fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool;
     fn release_all(&self, txn: TxnId);
+    fn release_batch(&self, txn: TxnId, records: &[RecordId]);
     fn locks_created(&self) -> u64;
+    fn release_shard_locks(&self) -> u64;
 }
 
 struct VanillaTable {
@@ -49,8 +58,14 @@ impl LockTable for VanillaTable {
     fn release_all(&self, txn: TxnId) {
         self.sys.release_all(txn);
     }
+    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
+        self.sys.release_record_locks(txn, records);
+    }
     fn locks_created(&self) -> u64 {
         self.metrics.locks_created.get()
+    }
+    fn release_shard_locks(&self) -> u64 {
+        self.metrics.release_shard_locks.get()
     }
 }
 
@@ -66,8 +81,14 @@ impl LockTable for LightTable {
     fn release_all(&self, txn: TxnId) {
         self.table.release_all(txn);
     }
+    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
+        self.table.release_record_locks(txn, records);
+    }
     fn locks_created(&self) -> u64 {
         self.metrics.locks_created.get()
+    }
+    fn release_shard_locks(&self) -> u64 {
+        self.metrics.release_shard_locks.get()
     }
 }
 
@@ -228,6 +249,57 @@ fn bench_hot_page_two_records(make: &dyn Fn() -> Box<dyn LockTable>, window: Dur
     total.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Statement-boundary early-release batching: one thread repeatedly acquires
+/// a statement's worth of `batch` records (all on one page — the shape of a
+/// multi-row update) and early-releases them, either one
+/// `release_record_locks` call per record (`batched = false`, the pre-PR-4
+/// Bamboo write path) or one batched call at the statement boundary.
+/// Returns (released locks/sec, release-path shard-lock acquisitions per
+/// released lock).
+fn bench_early_release(
+    table: &dyn LockTable,
+    batch: usize,
+    batched: bool,
+    window: Duration,
+) -> (f64, f64) {
+    let records: Vec<RecordId> = (0..batch)
+        .map(|heap| RecordId::new(21, 0, heap as u16))
+        .collect();
+    // Warm up shard maps.
+    for warm in 0..1_024u64 {
+        let txn = TxnId(warm + 1);
+        for r in &records {
+            table.lock(txn, *r, LockMode::Exclusive);
+        }
+        table.release_batch(txn, &records);
+    }
+    let takes_before = table.release_shard_locks();
+    let start = Instant::now();
+    let mut released = 0u64;
+    let mut next_txn = 50_000_000u64;
+    while start.elapsed() < window {
+        // Batch 64 statements per clock check.
+        for _ in 0..64 {
+            next_txn += 1;
+            let txn = TxnId(next_txn);
+            for r in &records {
+                table.lock(txn, *r, LockMode::Exclusive);
+            }
+            if batched {
+                table.release_batch(txn, &records);
+            } else {
+                for r in &records {
+                    table.release_batch(txn, std::slice::from_ref(r));
+                }
+            }
+            released += batch as u64;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let takes = (table.release_shard_locks() - takes_before) as f64;
+    (released as f64 / elapsed, takes / released as f64)
+}
+
 fn main() {
     let window = std::env::var("TXSQL_BENCH_SECONDS")
         .ok()
@@ -262,6 +334,20 @@ fn main() {
     let lightweight_two_records =
         bench_hot_page_two_records(&|| Box::new(light(timeout)) as Box<dyn LockTable>, window);
 
+    const EARLY_RELEASE_BATCH: usize = 4;
+    let v = vanilla(timeout);
+    let (ls_er_unbatched_ops, ls_er_unbatched_takes) =
+        bench_early_release(&v, EARLY_RELEASE_BATCH, false, window);
+    let v = vanilla(timeout);
+    let (ls_er_batched_ops, ls_er_batched_takes) =
+        bench_early_release(&v, EARLY_RELEASE_BATCH, true, window);
+    let l = light(timeout);
+    let (lw_er_unbatched_ops, lw_er_unbatched_takes) =
+        bench_early_release(&l, EARLY_RELEASE_BATCH, false, window);
+    let l = light(timeout);
+    let (lw_er_batched_ops, lw_er_batched_takes) =
+        bench_early_release(&l, EARLY_RELEASE_BATCH, true, window);
+
     println!("{{");
     println!("  \"window_secs\": {},", window.as_secs_f64());
     println!("  \"uncontended_acquire_release_ops_per_sec\": {{");
@@ -283,6 +369,20 @@ fn main() {
     println!("  \"hot_page_two_records_4_threads_cycles_per_sec\": {{");
     println!("    \"lock_sys\": {lock_sys_two_records:.0},");
     println!("    \"lightweight\": {lightweight_two_records:.0}");
+    println!("  }},");
+    println!("  \"early_release_batch_{EARLY_RELEASE_BATCH}_same_page\": {{");
+    println!("    \"lock_sys\": {{");
+    println!("      \"unbatched_locks_per_sec\": {ls_er_unbatched_ops:.0},");
+    println!("      \"batched_locks_per_sec\": {ls_er_batched_ops:.0},");
+    println!("      \"unbatched_shard_lock_takes_per_lock\": {ls_er_unbatched_takes:.3},");
+    println!("      \"batched_shard_lock_takes_per_lock\": {ls_er_batched_takes:.3}");
+    println!("    }},");
+    println!("    \"lightweight\": {{");
+    println!("      \"unbatched_locks_per_sec\": {lw_er_unbatched_ops:.0},");
+    println!("      \"batched_locks_per_sec\": {lw_er_batched_ops:.0},");
+    println!("      \"unbatched_shard_lock_takes_per_lock\": {lw_er_unbatched_takes:.3},");
+    println!("      \"batched_shard_lock_takes_per_lock\": {lw_er_batched_takes:.3}");
+    println!("    }}");
     println!("  }}");
     println!("}}");
 }

@@ -277,6 +277,12 @@ pub struct EngineMetrics {
     pub lock_registry_entries: Gauge,
     /// Number of lock requests that had to wait.
     pub lock_waits: Counter,
+    /// Shard-mutex acquisitions on the lock **release** paths: one per page
+    /// (or row-shard) group drained by the lock tables and one per registry
+    /// batch (`forget_records` / `take_all`).  The denominator for release
+    /// batching: batching early releases to statement boundaries amortizes
+    /// these, so takes-per-released-lock should drop as batch size grows.
+    pub release_shard_locks: Counter,
     /// Length of each grant scan (requests examined per scan), recorded via
     /// `record_micros(len)` — the log2 buckets hold request counts here, not
     /// times.  With per-record wait queues this must stay bounded by the
@@ -364,6 +370,7 @@ impl EngineMetrics {
         // lock_registry_entries is deliberately not reset: it is a live gauge,
         // and in-flight transactions still own their registry entries.
         self.lock_waits.take();
+        self.release_shard_locks.take();
         self.grant_scan_len.reset();
         self.queries.take();
         self.deadlock_checks.take();
@@ -395,6 +402,7 @@ impl EngineMetrics {
             lock_registry_entries: self.lock_registry_entries.get(),
             locks_per_query: self.locks_per_query(),
             lock_waits: self.lock_waits.get(),
+            release_shard_locks: self.release_shard_locks.get(),
             mean_grant_scan_len: self.grant_scan_len.mean_micros(),
             max_grant_scan_len: self.grant_scan_len.max_micros(),
             deadlock_checks: self.deadlock_checks.get(),
@@ -447,6 +455,8 @@ pub struct MetricsSnapshot {
     pub locks_per_query: f64,
     /// Lock requests that had to wait.
     pub lock_waits: u64,
+    /// Shard-mutex acquisitions on the release paths (lock tables + registry).
+    pub release_shard_locks: u64,
     /// Mean grant-scan length (requests examined per scan).
     pub mean_grant_scan_len: f64,
     /// Longest grant scan observed (requests examined).

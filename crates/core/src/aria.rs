@@ -1,5 +1,5 @@
 //! Aria: batched deterministic execution (the SOTA deterministic baseline,
-//! [43] in the paper).
+//! \[43\] in the paper).
 //!
 //! Transactions are collected into batches.  Every transaction in a batch
 //! *executes against the same committed snapshot* (reads never block), its

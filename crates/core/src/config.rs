@@ -97,6 +97,19 @@ pub struct EngineConfig {
     pub group_commit: bool,
     /// Aria batch size (transactions per deterministic batch).
     pub aria_batch_size: usize,
+    /// Statement-boundary batching of Bamboo's early lock release: the write
+    /// path defers early releases into the transaction's pending buffer and
+    /// flushes them through **one** batched `release_record_locks` call once
+    /// this many are pending.  `1` (the default) releases every statement's
+    /// lock immediately — the classic Bamboo behavior; larger values
+    /// amortize the lock-table and registry shard locking at the cost of
+    /// holding each released lock until the end of the batch's statement.
+    pub early_release_batch: usize,
+    /// Empty-shell eviction budget for the page-sharded `lock_sys` (per
+    /// shard).  `None` retains shells for allocation-free steady state;
+    /// `Some(limit)` sweeps a shard's empty shells when they exceed the
+    /// limit — see `LockSysConfig::shell_sweep_limit`.
+    pub lock_shell_sweep_limit: Option<usize>,
     /// Record read/write sets of committed transactions so the
     /// serializability checker can audit the run (§6.4.5).
     pub record_history: bool,
@@ -133,6 +146,8 @@ impl EngineConfig {
             group: GroupLockConfig::default(),
             group_commit: true,
             aria_batch_size: 64,
+            early_release_batch: 1,
+            lock_shell_sweep_limit: None,
             record_history: false,
             start_sweeper: protocol.uses_hotspots(),
         }
@@ -186,6 +201,19 @@ impl EngineConfig {
         self.aria_batch_size = batch.max(1);
         self
     }
+
+    /// Sets how many Bamboo early releases are batched per
+    /// statement-boundary flush (1 = release immediately).
+    pub fn with_early_release_batch(mut self, batch: usize) -> Self {
+        self.early_release_batch = batch.max(1);
+        self
+    }
+
+    /// Sets the `lock_sys` empty-shell sweep budget (`None` = retain shells).
+    pub fn with_shell_sweep_limit(mut self, limit: Option<usize>) -> Self {
+        self.lock_shell_sweep_limit = limit;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +241,9 @@ mod tests {
             .with_lock_wait_timeout(Duration::from_millis(77))
             .with_aria_batch_size(0)
             .with_history_recording(true)
-            .with_dynamic_batch(false);
+            .with_dynamic_batch(false)
+            .with_early_release_batch(0)
+            .with_shell_sweep_limit(Some(16));
         assert_eq!(cfg.group.batch_size, 64);
         assert!(!cfg.group_commit);
         assert_eq!(cfg.hotspot.promote_threshold, 4);
@@ -222,6 +252,11 @@ mod tests {
         assert_eq!(cfg.aria_batch_size, 1);
         assert!(cfg.record_history);
         assert!(!cfg.group.dynamic_batch);
+        assert_eq!(cfg.early_release_batch, 1, "batch of 0 clamps to 1");
+        assert_eq!(cfg.lock_shell_sweep_limit, Some(16));
+        let default = EngineConfig::for_protocol(Protocol::Bamboo);
+        assert_eq!(default.early_release_batch, 1);
+        assert_eq!(default.lock_shell_sweep_limit, None);
     }
 
     #[test]

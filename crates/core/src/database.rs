@@ -88,6 +88,7 @@ impl Database {
             LockSysConfig {
                 deadlock_policy: config.deadlock_policy,
                 lock_wait_timeout: config.lock_wait_timeout,
+                shell_sweep_limit: config.lock_shell_sweep_limit,
                 ..LockSysConfig::default()
             },
             Arc::clone(&metrics),
@@ -232,6 +233,12 @@ impl Database {
         &self.inner.hotspots
     }
 
+    /// Transactions currently holding a lightweight-table lock on `record`
+    /// (introspection for tests of the early-release batching).
+    pub fn lock_holders(&self, record: RecordId) -> Vec<TxnId> {
+        self.inner.lightweight.holders_of(record)
+    }
+
     /// The serializability history recorder, when enabled.
     pub fn history(&self) -> Option<&HistoryRecorder> {
         self.inner.history.as_ref()
@@ -355,8 +362,11 @@ impl Database {
             }
         }
 
-        // Bamboo: wait for every transaction whose dirty data we read.
+        // Bamboo: flush any early releases still deferred in the statement
+        // buffer (so waiters on our rows can proceed while we block below),
+        // then wait for every transaction whose dirty data we read.
         if self.protocol() == Protocol::Bamboo {
+            self.flush_early_releases(&mut txn);
             if let Err(err) = self.wait_bamboo_dependencies(&mut txn) {
                 self.rollback_internal(txn, Some(&err));
                 return Err(err);

@@ -10,8 +10,8 @@
 //! | `LightweightO1` | O1 | record-keyed `trx_lock_wait` map, lock objects only on conflict, copy-free read views |
 //! | `QueueLockingO2` | O2 | O1 + FIFO ticket queues in front of detected hot rows, timeouts instead of detection |
 //! | `GroupLockingTxsql` | TXSQL | O1 + group locking: leader/follower groups, dependency list, ordered commit/rollback, group commit |
-//! | `Bamboo` | Bamboo [29] | early lock release with dirty-read commit dependencies and cascading aborts |
-//! | `Aria` | Aria [43] | batched deterministic execution with read/write-set validation |
+//! | `Bamboo` | Bamboo \[29\] | early lock release with dirty-read commit dependencies and cascading aborts |
+//! | `Aria` | Aria \[43\] | batched deterministic execution with read/write-set validation |
 //!
 //! The public entry point is [`Database`]: create one with an
 //! [`EngineConfig`], load tables, then run transactions either through the

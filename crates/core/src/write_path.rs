@@ -126,14 +126,19 @@ impl Database {
 
         match admission {
             WriteAdmission::Locked => {
-                // Bamboo: release the record lock immediately after the update
-                // (the 2PL violation that gives early lock release its name).
-                // Goes through the batched release path so the lock-table and
-                // registry bookkeeping drain per batch, not per row.
+                // Bamboo: release the record lock after the update (the 2PL
+                // violation that gives early lock release its name).  The
+                // release is deferred into the transaction's pending buffer
+                // and flushed at the statement boundary once
+                // `early_release_batch` records are pending, so one batched
+                // `release_record_locks` call drains the lock-table state
+                // per shard group and the registry with one shard lock per
+                // batch, not one of each per row.
                 if self.protocol() == Protocol::Bamboo {
-                    self.inner
-                        .lightweight
-                        .release_record_locks(txn.id, &[record]);
+                    txn.defer_early_release(record);
+                    if txn.pending_early_releases().len() >= self.early_release_batch() {
+                        self.flush_early_releases(txn);
+                    }
                 }
                 // Group-locking leaders still grant followers after each of
                 // their own updates on the hot row.
@@ -148,6 +153,22 @@ impl Database {
             }
         }
         Ok(row)
+    }
+
+    /// The configured statement-boundary early-release batch size (≥ 1).
+    fn early_release_batch(&self) -> usize {
+        self.inner.config.early_release_batch.max(1)
+    }
+
+    /// Flushes the transaction's deferred Bamboo early releases through one
+    /// batched `release_record_locks` call (no-op when nothing is pending).
+    pub(crate) fn flush_early_releases(&self, txn: &mut Transaction) {
+        let pending = txn.take_pending_early_releases();
+        if !pending.is_empty() {
+            self.inner
+                .lightweight
+                .release_record_locks(txn.id, &pending);
+        }
     }
 
     // ------------------------------------------------------------------

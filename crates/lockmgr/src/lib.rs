@@ -29,6 +29,21 @@
 //!    dependency list that fixes commit and rollback order, and the
 //!    dynamic-batch-size latency optimization.
 //!
+//! ## One queue core, two lock tables
+//!
+//! Generations 1 and 2 implement the same per-record grant/wait machinery —
+//! the holder/waiter split, the mode-compatibility conflict check, the
+//! from-front FIFO grant scan, timeout/cancel removal, and the doom-aware
+//! wait loop.  That machinery is **single-source** in [`record_queue`]:
+//! both tables route through [`record_queue::RecordQueue`] and
+//! [`record_queue::wait_until_granted`], and differ only in what
+//! [`record_queue::QueuePolicy`] and their [`record_queue::QueueAccess`]
+//! impls encode — sharding key (page vs. record), upgrade fairness (the
+//! baseline's FIFO `S→X` rule vs. O1's holder-only check) and
+//! `locks_created` accounting (per acquisition vs. per conflict).  A grant,
+//! doom or wake fix lands once and both tables get it; the sim suites prove
+//! the equivalence across hundreds of seeded schedules.
+//!
 //! ## Decentralized bookkeeping
 //!
 //! Whatever the locking generation, the *bookkeeping around* lock state must
@@ -46,12 +61,18 @@
 //!   table.  Registry size is observable via the
 //!   `lock_registry_entries` gauge and `locks_released` counter in
 //!   `EngineMetrics`.
-//! * **Release is batched per page**: `take_all` hands records back
+//! * **Release is batched per shard group**: `take_all` hands records back
 //!   pre-grouped by page, so the page-sharded `lock_sys` takes each page's
-//!   shard mutex at most once per `release_all`, and the
-//!   `release_record_locks` batch APIs (Bamboo's early lock release) drain
-//!   lock-table state per page and registry bookkeeping with one shard
-//!   lock per batch ([`registry::TxnLockRegistry::forget_records`]).
+//!   shard mutex at most once per `release_all` (the lightweight table
+//!   groups by row shard the same way), and the `release_record_locks`
+//!   batch APIs (Bamboo's early lock release) drain lock-table state per
+//!   shard group and registry bookkeeping with one shard lock per batch
+//!   ([`registry::TxnLockRegistry::forget_records`]).  The engine's write
+//!   path widens those batches to **statement boundaries**: early releases
+//!   accumulate in the transaction's pending buffer and flush through one
+//!   batched call (the `early_release_batch` engine knob), and the
+//!   `release_shard_locks` counter in `EngineMetrics` makes the
+//!   amortization observable.
 //! * **The wait-for graph is sharded by waiter** ([`deadlock`]): a
 //!   transaction waits for at most one lock at a time, so its out-edge set
 //!   lives in a per-waiter-shard slot; `set_waits_for` / `clear_waits_of`
@@ -75,11 +96,12 @@
 //! one record's queue depth, so growth with page population is a layout
 //! regression (the stress tests assert flatness).
 //!
-//! Supporting modules: [`event`] (the `os_event` wait/wake primitive and its
-//! pool), [`modes`] (lock modes and conflict matrix), [`deadlock`] (the
-//! sharded wait-for graph), [`registry`] (the per-transaction lock registry)
-//! and [`hotspot`] (hotspot detection and the `hot_row_hash` registry shared
-//! by queue and group locking).
+//! Supporting modules: [`record_queue`] (the shared per-record queue core),
+//! [`event`] (the `os_event` wait/wake primitive and its pool), [`modes`]
+//! (lock modes and conflict matrix), [`deadlock`] (the sharded wait-for
+//! graph), [`registry`] (the per-transaction lock registry) and [`hotspot`]
+//! (hotspot detection and the `hot_row_hash` registry shared by queue and
+//! group locking).
 //!
 //! ## Deterministic testing
 //!
@@ -116,6 +138,7 @@ pub mod lightweight;
 pub mod lock_sys;
 pub mod modes;
 pub mod queue_lock;
+pub mod record_queue;
 pub mod registry;
 
 pub use deadlock::{VictimPolicy, WaitForGraph};
@@ -126,4 +149,5 @@ pub use lightweight::LightweightLockTable;
 pub use lock_sys::{DeadlockPolicy, LockSys, LockSysConfig};
 pub use modes::LockMode;
 pub use queue_lock::QueueLockTable;
+pub use record_queue::{QueuePolicy, RecordQueue};
 pub use registry::{TxnLockRegistry, TxnLocks};

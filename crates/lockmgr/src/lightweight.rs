@@ -13,29 +13,47 @@
 //!
 //! Bookkeeping is fully decentralized: shard mutexes are cache-padded, the
 //! per-transaction record map is the sharded
-//! [`TxnLockRegistry`](crate::registry::TxnLockRegistry) (no global mutex on
+//! [`TxnLockRegistry`] (no global mutex on
 //! acquire or release-all), and waiter events come from the thread-local
-//! pool ([`OsEvent::acquire_pooled`]) so even the conflict path allocates
+//! pool ([`OsEvent::acquire_pooled`](crate::event::OsEvent::acquire_pooled)) so even the conflict path allocates
 //! nothing in steady state.
 //!
 //! Deadlock handling remains wait-for-graph detection by default (the paper
 //! notes O1's p95 is slightly inflated by exactly this, Figure 6c); a
 //! timeout-only policy can be selected for the ablation benches.
+//!
+//! ## Shared queue core vs. table-specific shell
+//!
+//! The per-record grant/wait machinery — conflict check, try-acquire,
+//! from-front FIFO grant scan, deadlock check on wait, and the doom-aware
+//! wait loop — lives in [`crate::record_queue`] and is shared verbatim with
+//! the page-sharded baseline.  This module owns only what is genuinely
+//! O1-specific: the record-keyed sharding (the
+//! [`QueueAccess`] impl looks rows up by packed record id,
+//! and empty rows are pruned immediately — there are no page shells to
+//! sweep), and the [`QueuePolicy`] choices
+//! (`upgrade_respects_queue = false` — an `S→X` upgrade proceeds whenever no
+//! *holder* conflicts, and `count_uncontended_grants = false` — lock objects
+//! are only counted for requests that actually wait, the whole point of O1).
+//! Batched release additionally groups records by **shard** so one batch
+//! takes each shard mutex once (see
+//! [`LightweightLockTable::release_record_locks`]).
 
-use crate::deadlock::{select_victim, VictimPolicy, WaitForGraph};
-use crate::event::{OsEvent, WaitOutcome};
+use crate::deadlock::{VictimPolicy, WaitForGraph};
 use crate::lock_sys::DeadlockPolicy;
 use crate::modes::LockMode;
+use crate::record_queue::{
+    deadlock_check_on_wait, wait_until_granted, AcquireOutcome, QueueAccess, QueuePolicy,
+    RecordQueue, WaitParams,
+};
 use crate::registry::TxnLockRegistry;
 use parking_lot::Mutex;
-use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 use txsql_common::fxhash::{self, FxHashMap};
 use txsql_common::metrics::EngineMetrics;
 use txsql_common::pad::CachePadded;
-use txsql_common::time::SimInstant;
-use txsql_common::{Error, RecordId, Result, TxnId};
+use txsql_common::{RecordId, Result, TxnId};
 
 /// Configuration of the lightweight lock table.
 #[derive(Debug, Clone)]
@@ -62,67 +80,19 @@ impl Default for LightweightConfig {
     }
 }
 
-#[derive(Debug)]
-struct Waiter {
-    txn: TxnId,
-    mode: LockMode,
-    granted: bool,
-    event: Arc<OsEvent>,
-}
-
-#[derive(Debug, Default)]
-struct RowEntry {
-    /// Current holders: just `(txn, mode)` pairs, no lock objects.
-    holders: Vec<(TxnId, LockMode)>,
-    /// Waiting transactions (lock objects exist only here).
-    waiters: VecDeque<Waiter>,
-}
-
-impl RowEntry {
-    fn is_empty(&self) -> bool {
-        self.holders.is_empty() && self.waiters.is_empty()
-    }
-
-    fn conflicts_with(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
-        self.holders
-            .iter()
-            .filter(|(t, m)| *t != txn && !m.is_compatible_with(mode))
-            .map(|(t, _)| *t)
-            .collect()
-    }
-
-    /// Grants waiters from the front while they are compatible with holders,
-    /// recording the scan length (requests examined) in `grant_scan_len`.
-    fn grant_from_front(
-        &mut self,
-        graph: &WaitForGraph,
-        metrics: &EngineMetrics,
-    ) -> Vec<Arc<OsEvent>> {
-        metrics
-            .grant_scan_len
-            .record_micros((self.holders.len() + self.waiters.len()) as u64);
-        let mut woken = Vec::new();
-        while let Some(front) = self.waiters.front() {
-            let compatible = self
-                .holders
-                .iter()
-                .all(|(t, m)| *t == front.txn || m.is_compatible_with(front.mode));
-            if !compatible {
-                break;
-            }
-            let mut waiter = self.waiters.pop_front().expect("front exists");
-            waiter.granted = true;
-            self.holders.push((waiter.txn, waiter.mode));
-            graph.clear_waits_of(waiter.txn);
-            woken.push(waiter.event);
-        }
-        woken
-    }
-}
+/// The table-specific [`QueuePolicy`]: an upgrade proceeds whenever no
+/// holder conflicts (no FIFO upgrade barrier), and lock objects are only
+/// counted for requests that actually wait (§3.1.1's whole point).
+const POLICY: QueuePolicy = QueuePolicy {
+    upgrade_respects_queue: false,
+    count_uncontended_grants: false,
+};
 
 #[derive(Debug, Default)]
 struct Shard {
-    rows: FxHashMap<u64, RowEntry>,
+    /// Rows keyed by packed record id; entries are pruned the moment they
+    /// drain, so the table stays proportional to *contended* rows.
+    rows: FxHashMap<u64, RecordQueue>,
 }
 
 /// The record-keyed lightweight lock table.
@@ -174,12 +144,19 @@ impl LightweightLockTable {
     }
 
     #[inline]
+    fn shard_index(&self, record: RecordId) -> usize {
+        (fxhash::hash_u64(record.packed()) % self.shards.len() as u64) as usize
+    }
+
+    #[inline]
     fn shard_for(&self, record: RecordId) -> &Mutex<Shard> {
-        let idx = (fxhash::hash_u64(record.packed()) % self.shards.len() as u64) as usize;
-        &self.shards[idx]
+        &self.shards[self.shard_index(record)]
     }
 
     /// Acquires a record lock, blocking until granted, deadlock or timeout.
+    /// The grant/wait machinery is the shared [`crate::record_queue`] core;
+    /// this method only navigates the record-keyed sharding and applies the
+    /// lightweight [`QueuePolicy`].
     pub fn lock_record(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
         debug_assert!(mode.is_record_mode());
         let event;
@@ -188,71 +165,36 @@ impl LightweightLockTable {
             let mut shard = self.shard_for(record).lock();
             let entry = shard.rows.entry(record.packed()).or_default();
 
-            // Re-entrant fast path.
-            let held = entry
-                .holders
-                .iter()
-                .find(|(t, _)| *t == txn)
-                .map(|(_, m)| *m);
-            if let Some(held) = held {
-                if held.covers(mode) {
-                    return Ok(());
-                }
-            }
-
-            // One conflict scan serves the upgrade, fresh-grant and wait
-            // paths alike.
-            let blockers = entry.conflicts_with(txn, mode);
-            if blockers.is_empty() {
-                if held.is_some() {
-                    // Lock upgrade (S -> X) in place.
-                    for (t, m) in entry.holders.iter_mut() {
-                        if *t == txn {
-                            *m = LockMode::Exclusive;
-                        }
-                    }
-                    return Ok(());
-                }
-                if entry.waiters.is_empty() {
-                    // Conflict-free: just record the holder id — no lock
-                    // object, no event, and only sharded bookkeeping.
-                    entry.holders.push((txn, mode));
+            match entry.try_acquire(txn, mode, POLICY, &self.metrics) {
+                AcquireOutcome::AlreadyHeld | AcquireOutcome::Upgraded => return Ok(()),
+                AcquireOutcome::Granted => {
+                    // Conflict-free: just the holder id — no lock object, no
+                    // event, and only sharded bookkeeping.
                     drop(shard);
                     self.registry.remember_record(txn, record);
                     return Ok(());
                 }
-            }
-
-            // Conflict (or FIFO queue in front of us): only now does a lock
-            // object exist (Figure 6d counts these).  A requester chosen as
-            // deadlock victim returns before any object or wait is recorded,
-            // keeping the counters truthful; a *remote* victim is doomed
-            // after the shard guard drops.
-            if self.config.deadlock_policy == DeadlockPolicy::Detect {
-                self.metrics.deadlock_checks.inc();
-                let mut waits_for = blockers;
-                waits_for.extend(entry.waiters.iter().map(|w| w.txn));
-                self.graph.set_waits_for(txn, waits_for);
-                if let Some(cycle) = self.graph.find_cycle_from(txn) {
-                    let victim = select_victim(&cycle, self.config.victim_policy, |t| {
-                        self.registry.record_count_of(t)
-                    });
-                    if victim == txn {
-                        self.graph.clear_waits_of(txn);
-                        return Err(Error::Deadlock { txn });
+                AcquireOutcome::MustWait(blockers) => {
+                    // Conflict (or FIFO queue in front of us): only now does
+                    // a lock object exist (Figure 6d counts these).  A
+                    // requester chosen as deadlock victim returns before any
+                    // object or wait is recorded, keeping the counters
+                    // truthful; a *remote* victim is doomed after the shard
+                    // guard drops.
+                    if self.config.deadlock_policy == DeadlockPolicy::Detect {
+                        doom_victim = deadlock_check_on_wait(
+                            entry,
+                            &self.graph,
+                            &self.registry,
+                            &self.metrics,
+                            self.config.victim_policy,
+                            txn,
+                            blockers,
+                        )?;
                     }
-                    doom_victim = Some(victim);
+                    event = entry.enqueue_waiter(txn, mode, &self.metrics);
                 }
             }
-            self.metrics.locks_created.inc();
-            self.metrics.lock_waits.inc();
-            event = OsEvent::acquire_pooled();
-            entry.waiters.push_back(Waiter {
-                txn,
-                mode,
-                granted: false,
-                event: Arc::clone(&event),
-            });
         }
         self.registry.remember_record(txn, record);
         if self.config.deadlock_policy == DeadlockPolicy::Detect {
@@ -261,72 +203,23 @@ impl LightweightLockTable {
                 self.graph.doom(victim);
             }
         }
-
-        // SimInstant: virtual-clock deadline under deterministic simulation.
-        let detect = self.config.deadlock_policy == DeadlockPolicy::Detect;
-        let wait_start = SimInstant::now();
-        let deadline = wait_start + self.config.lock_wait_timeout;
-        loop {
-            // Consume a doom *before* parking: one delivered before our event
-            // was parked in the graph (or wiped by the reset below) must
-            // abort us now, not after the full timeout.
-            let pre_doomed = detect && self.graph.take_doomed(txn);
-            let remaining = deadline.saturating_duration_since(SimInstant::now());
-            let outcome = if pre_doomed || remaining.is_zero() {
-                WaitOutcome::TimedOut
-            } else {
-                event.wait_for(remaining)
-            };
-            let waited = wait_start.elapsed();
-            let mut shard = self.shard_for(record).lock();
-            // A pruned row entry means our request is gone; never resurrect
-            // it with `or_default` — missing state is not-granted.
-            let granted = shard
-                .rows
-                .get(&record.packed())
-                .is_some_and(|e| e.holders.iter().any(|(t, m)| *t == txn && m.covers(mode)));
-            if granted {
-                drop(shard);
-                self.metrics.lock_wait_latency.record(waited);
-                self.graph.clear_waits_of(txn);
-                OsEvent::recycle(event);
-                return Ok(());
-            }
-            let doomed = pre_doomed || (detect && self.graph.take_doomed(txn));
-            if doomed || outcome == WaitOutcome::TimedOut {
-                // Remove our waiting request, then re-run the grant scan — a
-                // waiter queued behind us may be grantable now that our
-                // conflicting request is gone.
-                let mut woken = Vec::new();
-                let mut still_holds = false;
-                if let Some(entry) = shard.rows.get_mut(&record.packed()) {
-                    entry.waiters.retain(|w| w.txn != txn);
-                    woken = entry.grant_from_front(&self.graph, &self.metrics);
-                    // A timed-out *upgrade* is still a granted holder — its
-                    // registry entry must survive for release-all.
-                    still_holds = entry.holders.iter().any(|(t, _)| *t == txn);
-                    if entry.is_empty() {
-                        shard.rows.remove(&record.packed());
-                    }
-                }
-                drop(shard);
-                for woken_event in woken {
-                    woken_event.set();
-                }
-                if !still_holds {
-                    self.registry.forget_record(txn, record);
-                }
-                self.metrics.lock_wait_latency.record(waited);
-                self.graph.clear_waits_of(txn);
-                OsEvent::recycle(event);
-                return Err(if doomed {
-                    Error::Deadlock { txn }
-                } else {
-                    Error::LockWaitTimeout { txn, record }
-                });
-            }
-            event.reset();
-        }
+        wait_until_granted(
+            WaitParams {
+                txn,
+                record,
+                mode,
+                event,
+                detect: self.config.deadlock_policy == DeadlockPolicy::Detect,
+                timeout: self.config.lock_wait_timeout,
+                graph: &self.graph,
+                registry: &self.registry,
+                metrics: &self.metrics,
+            },
+            &RowSlot {
+                table: self,
+                record,
+            },
+        )
     }
 
     /// Releases one record lock and grants unblocked waiters.
@@ -334,15 +227,16 @@ impl LightweightLockTable {
         self.release_record_locks(txn, std::slice::from_ref(&record));
     }
 
-    /// Releases a batch of record locks (Bamboo's early lock release).  The
-    /// table is record-keyed, so each record still visits its own shard, but
-    /// the registry bookkeeping drains with one shard lock for the batch.
+    /// Releases a batch of record locks (Bamboo's early lock release, now
+    /// flushed per statement boundary by the write path).  The table is
+    /// record-keyed, so records are grouped by **shard**: each shard mutex
+    /// is taken once per batch (not once per record), and the registry
+    /// bookkeeping drains with one registry-shard lock for the whole batch.
     pub fn release_record_locks(&self, txn: TxnId, records: &[RecordId]) {
-        if records.is_empty() {
-            return;
-        }
-        for record in records {
-            self.drop_row_locks(txn, *record);
+        match records {
+            [] => return,
+            [single] => self.drop_row_locks(txn, *single),
+            _ => self.drop_rows_grouped(txn, records),
         }
         self.registry.forget_records(txn, records);
     }
@@ -350,33 +244,61 @@ impl LightweightLockTable {
     /// Removes `txn`'s requests on one row and grants whatever unblocks
     /// (lock-table state only; registry bookkeeping is the caller's).
     fn drop_row_locks(&self, txn: TxnId, record: RecordId) {
-        let woken = {
-            let mut shard = self.shard_for(record).lock();
-            let Some(entry) = shard.rows.get_mut(&record.packed()) else {
-                return;
-            };
-            entry.holders.retain(|(t, _)| *t != txn);
-            entry.waiters.retain(|w| w.txn != txn);
-            let woken = entry.grant_from_front(&self.graph, &self.metrics);
-            if entry.is_empty() {
-                shard.rows.remove(&record.packed());
+        self.drop_shard_rows(txn, self.shard_index(record), [record.packed()]);
+    }
+
+    /// Drains `txn`'s requests on a batch of rows, grouped by shard so each
+    /// shard mutex is taken once per batch: a sorted `(shard, key)` scratch
+    /// vec (cheaper than a hash-map group-by for statement-sized batches)
+    /// yields one contiguous run per shard.
+    fn drop_rows_grouped(&self, txn: TxnId, records: &[RecordId]) {
+        let mut keyed: Vec<(usize, u64)> = records
+            .iter()
+            .map(|r| (self.shard_index(*r), r.packed()))
+            .collect();
+        keyed.sort_unstable();
+        for chunk in keyed.chunk_by(|a, b| a.0 == b.0) {
+            self.drop_shard_rows(txn, chunk[0].0, chunk.iter().map(|(_, key)| *key));
+        }
+    }
+
+    /// Removes `txn`'s requests on the given rows of one shard under a
+    /// single shard-lock acquisition, granting whatever unblocks.
+    fn drop_shard_rows(&self, txn: TxnId, shard_idx: usize, keys: impl IntoIterator<Item = u64>) {
+        let mut woken = Vec::new();
+        {
+            let mut shard = self.shards[shard_idx].lock();
+            self.metrics.release_shard_locks.inc();
+            for key in keys {
+                let prune = if let Some(entry) = shard.rows.get_mut(&key) {
+                    entry.remove_requests_of(txn);
+                    entry.grant_from_front(&self.graph, &self.metrics, &mut woken);
+                    entry.is_empty()
+                } else {
+                    false
+                };
+                if prune {
+                    shard.rows.remove(&key);
+                }
             }
-            woken
-        };
+        }
         for event in woken {
             event.set();
         }
     }
 
     /// Releases everything `txn` holds or waits for.  Walks only the
-    /// transaction's own registry shard and the row shards it touched.
+    /// transaction's own registry shard and the row shards it touched —
+    /// grouped by shard, so each shard mutex is taken once per release-all.
     pub fn release_all(&self, txn: TxnId) {
         let Some(locks) = self.registry.take_all(txn) else {
             self.graph.remove_txn(txn);
             return;
         };
-        for record in &locks.records {
-            self.drop_row_locks(txn, *record);
+        match locks.records.as_slice() {
+            [] => {}
+            [single] => self.drop_row_locks(txn, *single),
+            records => self.drop_rows_grouped(txn, records),
         }
         self.graph.remove_txn(txn);
     }
@@ -387,7 +309,7 @@ impl LightweightLockTable {
         shard
             .rows
             .get(&record.packed())
-            .map(|e| e.waiters.len())
+            .map(|e| e.waiter_count())
             .unwrap_or(0)
     }
 
@@ -397,7 +319,7 @@ impl LightweightLockTable {
         shard
             .rows
             .get(&record.packed())
-            .map(|e| e.holders.iter().map(|(t, _)| *t).collect())
+            .map(|e| e.holder_ids())
             .unwrap_or_default()
     }
 
@@ -412,10 +334,32 @@ impl LightweightLockTable {
     }
 }
 
+/// The record-keyed [`QueueAccess`] for the shared wait loop: locks the
+/// row's shard, looks the queue up by packed record id, and prunes the row
+/// the moment the wait-loop cleanup empties it (no shells in this table).
+struct RowSlot<'a> {
+    table: &'a LightweightLockTable,
+    record: RecordId,
+}
+
+impl QueueAccess for RowSlot<'_> {
+    fn with_queue<R>(&self, f: impl FnOnce(&mut RecordQueue) -> R) -> Option<R> {
+        let key = self.record.packed();
+        let mut shard = self.table.shard_for(self.record).lock();
+        let entry = shard.rows.get_mut(&key)?;
+        let result = f(entry);
+        if entry.is_empty() {
+            shard.rows.remove(&key);
+        }
+        Some(result)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::thread;
+    use txsql_common::Error;
 
     const R1: RecordId = RecordId {
         space_id: 1,

@@ -27,16 +27,16 @@
 //!   the same way — page shard and registry shard are each locked once per
 //!   batch;
 //! * per-transaction bookkeeping lives in the sharded
-//!   [`TxnLockRegistry`](crate::registry::TxnLockRegistry) instead of one
+//!   [`TxnLockRegistry`] instead of one
 //!   global `txn_locks` mutex;
 //! * table locks are sharded by `TableId`, and release-all visits only the
 //!   tables the transaction actually locked (tracked by the registry)
 //!   instead of scanning every table's holder list;
 //! * shard mutexes are cache-padded, and an uncontended grant allocates no
 //!   `OsEvent` — events exist only for requests that actually wait, drawn
-//!   from a thread-local pool ([`OsEvent::acquire_pooled`]).
+//!   from a thread-local pool ([`OsEvent::acquire_pooled`](crate::event::OsEvent::acquire_pooled)).
 //!
-//! Waiting requests park on an [`OsEvent`]; the releasing transaction grants
+//! Waiting requests park on an [`OsEvent`](crate::event::OsEvent); the releasing transaction grants
 //! from the front of the record's FIFO whatever no longer conflicts, and
 //! every grant scan records its length in the `grant_scan_len` histogram
 //! (flat-by-construction here; an O(page) regression would show up as
@@ -47,20 +47,38 @@
 //! (weight-based by default — fewest registry-tracked locks, ties to the
 //! youngest transaction); a victim other than the requester is woken through
 //! its graph-parked event and aborts out of its own wait.
+//!
+//! ## Shared queue core vs. table-specific shell
+//!
+//! The per-record machinery itself — conflict check, try-acquire,
+//! from-front FIFO grant scan, deadlock check on wait, and the doom-aware
+//! wait loop — is **not** implemented here: it lives in
+//! [`crate::record_queue`] and is shared verbatim with the lightweight
+//! table, so grant/doom/wake fixes are single-source.  This module owns only
+//! what is genuinely baseline-specific: the page-keyed sharding (the
+//! [`crate::record_queue::QueueAccess`] impl that navigates
+//! `page → heap_no`, including the empty-shell accounting behind
+//! [`LockSysConfig::shell_sweep_limit`]), the
+//! [`crate::record_queue::QueuePolicy`] choices (`upgrade_respects_queue` —
+//! an `S→X` upgrade may not jump earlier queued waiters, and
+//! `count_uncontended_grants` — one `lock_t`-like object per acquisition,
+//! the Figure-6d accounting), the table locks, and the page-grouped release
+//! batching.
 
-use crate::deadlock::{select_victim, VictimPolicy, WaitForGraph};
-use crate::event::{OsEvent, WaitOutcome};
-use crate::modes::LockMode;
+use crate::deadlock::{VictimPolicy, WaitForGraph};
+use crate::record_queue::{
+    deadlock_check_on_wait, wait_until_granted, AcquireOutcome, QueueAccess, QueuePolicy,
+    RecordQueue, WaitParams,
+};
 use crate::registry::TxnLockRegistry;
+use crate::LockMode;
 use parking_lot::Mutex;
-use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 use txsql_common::fxhash::{self, FxHashMap};
 use txsql_common::ids::{HeapNo, PageId};
 use txsql_common::metrics::EngineMetrics;
 use txsql_common::pad::CachePadded;
-use txsql_common::time::SimInstant;
 use txsql_common::{Error, RecordId, Result, TableId, TxnId};
 
 /// Number of table-lock shards.  Tables are few and intention modes almost
@@ -89,6 +107,20 @@ pub struct LockSysConfig {
     pub victim_policy: VictimPolicy,
     /// Lock wait timeout.
     pub lock_wait_timeout: Duration,
+    /// Empty-shell eviction budget, per shard (the ROADMAP "shell sweep").
+    ///
+    /// `None` (default) retains every `PageLocks` shell forever: a page
+    /// that saw locking once will see it again, and reusing the shell's map
+    /// allocation keeps the uncontended acquire/release cycle
+    /// allocation-free in steady state — memory is then bounded by the
+    /// number of distinct pages that ever carried a lock (~100 bytes per
+    /// shell).  `Some(limit)` caps the number of *empty* shells a shard may
+    /// retain: when a release empties a shell and pushes the shard past the
+    /// limit, the shard sweeps every empty shell in one `retain` pass.  The
+    /// trade: truly huge key spaces stay bounded, but a swept page pays one
+    /// map allocation when locking next touches it, so hot steady-state
+    /// workloads should keep this disabled or generous.
+    pub shell_sweep_limit: Option<usize>,
 }
 
 impl Default for LockSysConfig {
@@ -98,80 +130,24 @@ impl Default for LockSysConfig {
             deadlock_policy: DeadlockPolicy::Detect,
             victim_policy: VictimPolicy::default(),
             lock_wait_timeout: Duration::from_millis(200),
+            shell_sweep_limit: None,
         }
     }
 }
 
-/// A waiting `lock_t`-like request.  Only waiters carry full request objects
-/// (with their wake-up event); granted locks are just `(txn, mode)` holder
-/// entries on the record queue.
-#[derive(Debug)]
-struct WaitingRequest {
-    txn: TxnId,
-    mode: LockMode,
-    event: Arc<OsEvent>,
-}
+/// The table-specific [`QueuePolicy`]: the baseline keeps InnoDB's FIFO
+/// upgrade fairness (an upgrade may not jump an earlier waiting request) and
+/// counts one created lock object per acquisition (Figure 6d).
+const POLICY: QueuePolicy = QueuePolicy {
+    upgrade_respects_queue: true,
+    count_uncontended_grants: true,
+};
 
-/// Per-`heap_no` lock queue: granted holders split from the waiter FIFO,
-/// mirroring the lightweight table's `RowEntry` shape.  Every operation on
-/// one record is O(requests on that record).
-#[derive(Debug, Default)]
-struct RecordQueue {
-    holders: Vec<(TxnId, LockMode)>,
-    waiters: VecDeque<WaitingRequest>,
-}
-
-impl RecordQueue {
-    fn is_empty(&self) -> bool {
-        self.holders.is_empty() && self.waiters.is_empty()
-    }
-
-    /// Transactions among the current holders that conflict with a request
-    /// by `txn` for `mode`.
-    fn conflicting_holders(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
-        self.holders
-            .iter()
-            .filter(|(t, m)| *t != txn && !m.is_compatible_with(mode))
-            .map(|(t, _)| *t)
-            .collect()
-    }
-
-    /// FIFO grant scan: grants waiters from the front while they are
-    /// compatible with the remaining holders.  Records the scan length
-    /// (requests examined) and pushes the events to fire once the caller
-    /// has dropped the shard guard.
-    fn grant_from_front(
-        &mut self,
-        graph: &WaitForGraph,
-        metrics: &EngineMetrics,
-        woken: &mut Vec<Arc<OsEvent>>,
-    ) {
-        metrics
-            .grant_scan_len
-            .record_micros((self.holders.len() + self.waiters.len()) as u64);
-        while let Some(front) = self.waiters.front() {
-            let compatible = self
-                .holders
-                .iter()
-                .all(|(t, m)| *t == front.txn || m.is_compatible_with(front.mode));
-            if !compatible {
-                break;
-            }
-            let waiter = self.waiters.pop_front().expect("front exists");
-            self.holders.push((waiter.txn, waiter.mode));
-            graph.clear_waits_of(waiter.txn);
-            woken.push(waiter.event);
-        }
-    }
-}
-
-/// Lock state of one page.  Record queues are pruned as soon as they drain,
-/// but the `PageLocks` shell (and the capacity of its inner map) is retained
-/// once created: a page that saw locking once will see it again, and reusing
-/// the map's allocation keeps the uncontended acquire/release cycle
-/// allocation-free in steady state.  Memory is bounded by the number of
-/// distinct pages that ever carried a lock (a shell is ~100 bytes — the
-/// moral equivalent of InnoDB's persistent lock-hash buckets).
+/// Lock state of one page: per-`heap_no` [`RecordQueue`]s (the shared queue
+/// core).  Record queues are pruned as soon as they drain; what happens to
+/// the emptied `PageLocks` shell is governed by
+/// [`LockSysConfig::shell_sweep_limit`] (retained by default so steady state
+/// stays allocation-free, swept under a per-shard cap when configured).
 #[derive(Debug, Default)]
 struct PageLocks {
     records: FxHashMap<HeapNo, RecordQueue>,
@@ -180,6 +156,10 @@ struct PageLocks {
 #[derive(Debug, Default)]
 struct Shard {
     pages: FxHashMap<PageId, PageLocks>,
+    /// Number of retained empty `PageLocks` shells in this shard, maintained
+    /// only when shell sweeping is enabled (guarded by the shard mutex, so
+    /// it costs nothing extra on the hot path).
+    empty_shells: usize,
 }
 
 type TableShard = FxHashMap<TableId, Vec<(TxnId, LockMode)>>;
@@ -253,7 +233,21 @@ impl LockSys {
         &self.table_shards[idx]
     }
 
+    /// Sweeps a shard's empty `PageLocks` shells when the configured budget
+    /// is exceeded (no-op while `shell_sweep_limit` is `None`).
+    fn maybe_sweep_shells(&self, shard: &mut Shard) {
+        if let Some(limit) = self.config.shell_sweep_limit {
+            if shard.empty_shells > limit {
+                shard.pages.retain(|_, p| !p.records.is_empty());
+                shard.empty_shells = 0;
+            }
+        }
+    }
+
     /// Acquires a record lock, blocking until granted, deadlock or timeout.
+    /// The grant/wait machinery is the shared [`crate::record_queue`] core;
+    /// this method only navigates the page-keyed sharding and applies the
+    /// baseline's [`QueuePolicy`].
     pub fn lock_record(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
         debug_assert!(mode.is_record_mode());
         let event;
@@ -261,75 +255,50 @@ impl LockSys {
         {
             let shard = self.shard_for(record.page());
             let mut guard = shard.lock();
-            let page = guard.pages.entry(record.page()).or_default();
+            let shard_ref = &mut *guard;
+            if self.config.shell_sweep_limit.is_some() {
+                // Re-animating an empty shell: it stops counting toward the
+                // sweep budget (every path below leaves the queue non-empty).
+                if shard_ref
+                    .pages
+                    .get(&record.page())
+                    .is_some_and(|p| p.records.is_empty())
+                {
+                    shard_ref.empty_shells = shard_ref.empty_shells.saturating_sub(1);
+                }
+            }
+            let page = shard_ref.pages.entry(record.page()).or_default();
             let queue = page.records.entry(record.heap_no).or_default();
 
-            let held = queue
-                .holders
-                .iter()
-                .find(|(t, _)| *t == txn)
-                .map(|(_, m)| *m);
-            if let Some(held) = held {
-                // Re-entrant fast path: an existing granted lock that covers
-                // the request needs no new lock entry.
-                if held.covers(mode) {
-                    return Ok(());
-                }
-            }
-
-            // One conflict scan serves the upgrade, fresh-grant and wait
-            // paths alike (it runs under the hottest mutex in the system).
-            let blockers = queue.conflicting_holders(txn, mode);
-            if blockers.is_empty() && queue.waiters.is_empty() {
-                if held.is_some() {
-                    // Lock upgrade (S -> X) in place — allowed only with no
-                    // conflicting holder and no waiter queued (FIFO fairness:
-                    // an upgrade may not jump an earlier waiting request).
-                    for (t, m) in queue.holders.iter_mut() {
-                        if *t == txn {
-                            *m = LockMode::Exclusive;
-                        }
-                    }
-                } else {
+            match queue.try_acquire(txn, mode, POLICY, &self.metrics) {
+                AcquireOutcome::AlreadyHeld | AcquireOutcome::Upgraded => return Ok(()),
+                AcquireOutcome::Granted => {
                     // Uncontended grant: no OsEvent, no global bookkeeping —
-                    // just the record-queue holder entry and the transaction's
-                    // registry shard (updated after the page guard drops).
-                    self.metrics.locks_created.inc();
-                    queue.holders.push((txn, mode));
+                    // just the holder entry and the transaction's registry
+                    // shard (updated after the page guard drops).
                     drop(guard);
                     self.registry.remember_record(txn, record);
+                    return Ok(());
                 }
-                return Ok(());
-            }
-
-            // Must wait.  A requester chosen as deadlock victim returns
-            // before any lock entry or wait is recorded, so the Figure-6d
-            // counters stay truthful; a *remote* victim is doomed after the
-            // guard drops.
-            if self.config.deadlock_policy == DeadlockPolicy::Detect {
-                self.metrics.deadlock_checks.inc();
-                let mut waits_for = blockers;
-                waits_for.extend(queue.waiters.iter().map(|w| w.txn));
-                self.graph.set_waits_for(txn, waits_for);
-                if let Some(cycle) = self.graph.find_cycle_from(txn) {
-                    let victim = select_victim(&cycle, self.config.victim_policy, |t| {
-                        self.registry.record_count_of(t)
-                    });
-                    if victim == txn {
-                        self.graph.clear_waits_of(txn);
-                        return Err(Error::Deadlock { txn });
+                AcquireOutcome::MustWait(blockers) => {
+                    // A requester chosen as deadlock victim returns before
+                    // any lock entry or wait is recorded, so the Figure-6d
+                    // counters stay truthful; a *remote* victim is doomed
+                    // after the guard drops.
+                    if self.config.deadlock_policy == DeadlockPolicy::Detect {
+                        doom_victim = deadlock_check_on_wait(
+                            queue,
+                            &self.graph,
+                            &self.registry,
+                            &self.metrics,
+                            self.config.victim_policy,
+                            txn,
+                            blockers,
+                        )?;
                     }
-                    doom_victim = Some(victim);
+                    event = queue.enqueue_waiter(txn, mode, &self.metrics);
                 }
             }
-            self.metrics.locks_created.inc();
-            event = OsEvent::acquire_pooled();
-            queue.waiters.push_back(WaitingRequest {
-                txn,
-                mode,
-                event: Arc::clone(&event),
-            });
-            self.metrics.lock_waits.inc();
         }
         self.registry.remember_record(txn, record);
         if self.config.deadlock_policy == DeadlockPolicy::Detect {
@@ -342,81 +311,20 @@ impl LockSys {
                 self.graph.doom(victim);
             }
         }
-
-        // Park outside the shard mutex.  SimInstant: under deterministic
-        // simulation the deadline lives on the virtual clock, so timeout
-        // schedules are explorable.
-        let detect = self.config.deadlock_policy == DeadlockPolicy::Detect;
-        let wait_start = SimInstant::now();
-        let deadline = wait_start + self.config.lock_wait_timeout;
-        loop {
-            // Consume a doom *before* parking: one delivered before our event
-            // was parked in the graph (or wiped by the reset below) must
-            // abort us now, not after the full timeout.
-            let pre_doomed = detect && self.graph.take_doomed(txn);
-            let remaining = deadline.saturating_duration_since(SimInstant::now());
-            let outcome = if pre_doomed || remaining.is_zero() {
-                WaitOutcome::TimedOut
-            } else {
-                event.wait_for(remaining)
-            };
-            let waited = wait_start.elapsed();
-            let shard = self.shard_for(record.page());
-            let mut guard = shard.lock();
-            // A pruned page or record entry means our request is gone; never
-            // resurrect it with `or_default` — missing state is not-granted.
-            let granted = guard
-                .pages
-                .get(&record.page())
-                .and_then(|p| p.records.get(&record.heap_no))
-                .is_some_and(|q| q.holders.iter().any(|(t, m)| *t == txn && m.covers(mode)));
-            if granted {
-                drop(guard);
-                self.metrics.lock_wait_latency.record(waited);
-                self.graph.clear_waits_of(txn);
-                OsEvent::recycle(event);
-                return Ok(());
-            }
-            let doomed = pre_doomed || (detect && self.graph.take_doomed(txn));
-            if doomed || outcome == WaitOutcome::TimedOut {
-                // Give up: remove our waiting request, then re-run the grant
-                // scan — a waiter queued behind us may be grantable now that
-                // our conflicting request is gone.
-                let mut woken = Vec::new();
-                let mut still_holds = false;
-                if let Some(page) = guard.pages.get_mut(&record.page()) {
-                    if let Some(queue) = page.records.get_mut(&record.heap_no) {
-                        queue.waiters.retain(|w| w.txn != txn);
-                        queue.grant_from_front(&self.graph, &self.metrics, &mut woken);
-                        // A timed-out *upgrade* still holds its original
-                        // granted lock — the registry entry must survive for
-                        // release-all.
-                        still_holds = queue.holders.iter().any(|(t, _)| *t == txn);
-                        if queue.is_empty() {
-                            page.records.remove(&record.heap_no);
-                        }
-                    }
-                }
-                drop(guard);
-                for woken_event in woken {
-                    woken_event.set();
-                }
-                if !still_holds {
-                    self.registry.forget_record(txn, record);
-                }
-                self.metrics.lock_wait_latency.record(waited);
-                self.graph.clear_waits_of(txn);
-                OsEvent::recycle(event);
-                return Err(if doomed {
-                    Error::Deadlock { txn }
-                } else {
-                    Error::LockWaitTimeout { txn, record }
-                });
-            }
-            // Spurious wake-up (event set but our grant was raced away): reset
-            // and wait again.
-            event.reset();
-        }
+        wait_until_granted(
+            WaitParams {
+                txn,
+                record,
+                mode,
+                event,
+                detect: self.config.deadlock_policy == DeadlockPolicy::Detect,
+                timeout: self.config.lock_wait_timeout,
+                graph: &self.graph,
+                registry: &self.registry,
+                metrics: &self.metrics,
+            },
+            &PageSlot { sys: self, record },
+        )
     }
 
     /// Acquires a table lock.  Intention modes never conflict in the paper's
@@ -461,15 +369,13 @@ impl LockSys {
                 self.release_page_locks(txn, single.page(), std::iter::once(single.heap_no));
             }
             _ => {
-                let mut by_page: FxHashMap<PageId, Vec<HeapNo>> = FxHashMap::default();
-                for record in records {
-                    by_page
-                        .entry(record.page())
-                        .or_default()
-                        .push(record.heap_no);
-                }
-                for (page_id, heaps) in by_page {
-                    self.release_page_locks(txn, page_id, heaps);
+                // Sort the batch page-major (RecordId's ordering) so each
+                // page forms one contiguous run — cheaper than a hash-map
+                // group-by for statement-sized batches.
+                let mut sorted = records.to_vec();
+                sorted.sort_unstable();
+                for chunk in sorted.chunk_by(|a, b| a.page() == b.page()) {
+                    self.release_page_locks(txn, chunk[0].page(), chunk.iter().map(|r| r.heap_no));
                 }
             }
         }
@@ -488,17 +394,25 @@ impl LockSys {
         {
             let shard = self.shard_for(page_id);
             let mut guard = shard.lock();
-            if let Some(page) = guard.pages.get_mut(&page_id) {
+            self.metrics.release_shard_locks.inc();
+            let shard_ref = &mut *guard;
+            let mut emptied_page = false;
+            if let Some(page) = shard_ref.pages.get_mut(&page_id) {
+                let had_records = !page.records.is_empty();
                 for heap_no in heaps {
                     if let Some(queue) = page.records.get_mut(&heap_no) {
-                        queue.holders.retain(|(t, _)| *t != txn);
-                        queue.waiters.retain(|w| w.txn != txn);
+                        queue.remove_requests_of(txn);
                         queue.grant_from_front(&self.graph, &self.metrics, &mut woken);
                         if queue.is_empty() {
                             page.records.remove(&heap_no);
                         }
                     }
                 }
+                emptied_page = had_records && page.records.is_empty();
+            }
+            if emptied_page && self.config.shell_sweep_limit.is_some() {
+                shard_ref.empty_shells += 1;
+                self.maybe_sweep_shells(shard_ref);
             }
         }
         for event in woken {
@@ -540,8 +454,21 @@ impl LockSys {
             .pages
             .get(&record.page())
             .and_then(|p| p.records.get(&record.heap_no))
-            .map(|q| q.waiters.len())
+            .map(|q| q.waiter_count())
             .unwrap_or(0)
+    }
+
+    /// Number of `PageLocks` shells currently retained (empty or not) across
+    /// all shards — the quantity the shell sweep bounds.  O(shards);
+    /// introspection for tests and capacity monitoring.
+    pub fn page_shell_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().pages.len()).sum()
+    }
+
+    /// Number of retained *empty* shells across all shards (only maintained
+    /// while [`LockSysConfig::shell_sweep_limit`] is set).
+    pub fn empty_shell_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().empty_shells).sum()
     }
 
     /// Number of lock objects currently held or waited on by `txn`.
@@ -557,7 +484,7 @@ impl LockSys {
             .pages
             .get(&record.page())
             .and_then(|p| p.records.get(&record.heap_no))
-            .map(|q| q.holders.iter().map(|(t, _)| *t).collect())
+            .map(|q| q.holder_ids())
             .unwrap_or_default()
     }
 
@@ -565,6 +492,36 @@ impl LockSys {
     /// logic and for tests).
     pub fn wait_for_graph(&self) -> &WaitForGraph {
         &self.graph
+    }
+}
+
+/// The page-keyed [`QueueAccess`] for the shared wait loop: locks the page's
+/// shard, navigates `page → heap_no`, and applies the same prune-and-shell
+/// bookkeeping as the release paths when the wait-loop cleanup empties the
+/// queue.
+struct PageSlot<'a> {
+    sys: &'a LockSys,
+    record: RecordId,
+}
+
+impl QueueAccess for PageSlot<'_> {
+    fn with_queue<R>(&self, f: impl FnOnce(&mut RecordQueue) -> R) -> Option<R> {
+        let page_id = self.record.page();
+        let mut guard = self.sys.shard_for(page_id).lock();
+        let shard = &mut *guard;
+        let page = shard.pages.get_mut(&page_id)?;
+        let queue = page.records.get_mut(&self.record.heap_no)?;
+        let result = f(queue);
+        let pruned = queue.is_empty();
+        if pruned {
+            page.records.remove(&self.record.heap_no);
+        }
+        let page_empty = page.records.is_empty();
+        if pruned && page_empty && self.sys.config.shell_sweep_limit.is_some() {
+            shard.empty_shells += 1;
+            self.sys.maybe_sweep_shells(shard);
+        }
+        Some(result)
     }
 }
 
@@ -717,6 +674,7 @@ mod tests {
                 deadlock_policy: DeadlockPolicy::Detect,
                 victim_policy: VictimPolicy::Requester,
                 lock_wait_timeout: Duration::from_millis(5_000),
+                shell_sweep_limit: None,
             },
             Arc::new(EngineMetrics::new()),
         ));
@@ -909,6 +867,48 @@ mod tests {
         s.lock_record(TxnId(3), R1, LockMode::Exclusive).unwrap();
         s.release_all(TxnId(3));
         assert!(s.registry().is_empty());
+    }
+
+    #[test]
+    fn shell_sweep_bounds_retained_pages() {
+        let s = LockSys::new(
+            LockSysConfig {
+                n_shards: 1,
+                deadlock_policy: DeadlockPolicy::TimeoutOnly,
+                lock_wait_timeout: Duration::from_millis(50),
+                shell_sweep_limit: Some(4),
+                ..LockSysConfig::default()
+            },
+            Arc::new(EngineMetrics::new()),
+        );
+        for page in 0..100u32 {
+            let r = RecordId::new(1, page, 0);
+            s.lock_record(TxnId(1), r, LockMode::Exclusive).unwrap();
+            s.release_record_lock(TxnId(1), r);
+        }
+        assert!(
+            s.page_shell_count() <= 5,
+            "sweep must bound empty shells, kept {}",
+            s.page_shell_count()
+        );
+        assert!(s.empty_shell_count() <= 5);
+        // Re-locking a surviving or swept page must still work normally.
+        s.lock_record(TxnId(2), RecordId::new(1, 0, 0), LockMode::Exclusive)
+            .unwrap();
+        s.release_all(TxnId(2));
+        assert!(s.registry().is_empty());
+
+        // Default config: every page's shell is retained for steady-state
+        // allocation reuse.
+        let retain = sys(DeadlockPolicy::TimeoutOnly, 50);
+        for page in 0..100u32 {
+            let r = RecordId::new(1, page, 0);
+            retain
+                .lock_record(TxnId(1), r, LockMode::Exclusive)
+                .unwrap();
+            retain.release_record_lock(TxnId(1), r);
+        }
+        assert_eq!(retain.page_shell_count(), 100);
     }
 
     #[test]

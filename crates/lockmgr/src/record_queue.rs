@@ -1,0 +1,576 @@
+//! The single-source per-record lock-queue core shared by both lock tables.
+//!
+//! [`lock_sys`](crate::lock_sys) (the page-sharded InnoDB baseline) and
+//! [`lightweight`](crate::lightweight) (the record-keyed `trx_lock_wait`
+//! table, §3.1.1) implement the same per-record grant/wait machinery — the
+//! holder/waiter split, the mode-compatibility conflict check, the from-front
+//! FIFO grant scan, timeout/cancel removal, and the doom-aware wait loop.
+//! They used to carry near-duplicate copies of it, which meant every grant or
+//! doom fix had to land twice.  This module is the one copy both tables now
+//! route through.
+//!
+//! What the tables still own (their *real* differences):
+//!
+//! * **sharding key** — `lock_sys` shards by page and nests
+//!   `heap_no → RecordQueue` maps inside a page shell; `lightweight` shards
+//!   by packed record id.  The shared wait loop reaches a queue through the
+//!   owning table's [`QueueAccess`] implementation, so the core never knows
+//!   how queues are keyed or pruned;
+//! * **upgrade fairness** — the baseline keeps InnoDB's FIFO rule that an
+//!   `S→X` upgrade may not jump earlier queued waiters, while the lightweight
+//!   table upgrades in place whenever no *holder* conflicts
+//!   ([`QueuePolicy::upgrade_respects_queue`]);
+//! * **`locks_created` accounting** — the baseline counts one `lock_t`-like
+//!   object per acquisition (the Figure 6d cost the paper measures), the
+//!   lightweight table only counts requests that actually wait
+//!   ([`QueuePolicy::count_uncontended_grants`]).
+//!
+//! Everything else — [`RecordQueue::try_acquire`], the
+//! [`deadlock_check_on_wait`] run before queueing, and
+//! [`wait_until_granted`] — is shared verbatim, so the sim suites
+//! (`per_record_queue_independence_*`, the FIFO/compat invariants) prove both
+//! tables' behavior with one body of code.
+
+use crate::deadlock::{select_victim, VictimPolicy, WaitForGraph};
+use crate::event::{OsEvent, WaitOutcome};
+use crate::modes::LockMode;
+use crate::registry::TxnLockRegistry;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+use txsql_common::metrics::EngineMetrics;
+use txsql_common::time::SimInstant;
+use txsql_common::{Error, RecordId, Result, TxnId};
+
+/// The knobs on which the two lock tables genuinely differ.  Everything not
+/// captured here (conflict scan, grant order, wait-loop behavior) is shared.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuePolicy {
+    /// FIFO upgrade fairness: when true, an in-place lock upgrade (`S→X` by
+    /// an existing holder) is only allowed while no other request is queued —
+    /// an upgrade may not jump an earlier waiting request.  The InnoDB-style
+    /// baseline sets this; the lightweight table upgrades whenever no holder
+    /// conflicts.
+    pub upgrade_respects_queue: bool,
+    /// Figure-6d accounting: when true, every fresh uncontended grant counts
+    /// one created lock object (the baseline keeps a `lock_t` entry per
+    /// acquisition).  The lightweight table only materialises — and counts —
+    /// lock objects for requests that wait.
+    pub count_uncontended_grants: bool,
+}
+
+/// A waiting request.  Only waiters carry full request objects (with their
+/// wake-up event); granted locks are plain `(txn, mode)` holder entries.
+#[derive(Debug)]
+struct WaitingRequest {
+    txn: TxnId,
+    mode: LockMode,
+    event: Arc<OsEvent>,
+}
+
+/// How [`RecordQueue::try_acquire`] resolved a request under the shard guard.
+#[derive(Debug)]
+pub enum AcquireOutcome {
+    /// An existing granted lock already covers the request — nothing changed,
+    /// no bookkeeping needed.
+    AlreadyHeld,
+    /// The existing holder entry was upgraded in place (`S→X`); the record is
+    /// already registry-tracked, so nothing else to do.
+    Upgraded,
+    /// A fresh holder entry was pushed (uncontended grant).  The caller must
+    /// remember the record in its registry *after* dropping the shard guard.
+    Granted,
+    /// Conflicting holders (or FIFO order behind queued waiters) force a
+    /// wait.  Carries the conflicting holder ids for the deadlock check; the
+    /// caller runs [`deadlock_check_on_wait`] and then
+    /// [`RecordQueue::enqueue_waiter`].
+    MustWait(Vec<TxnId>),
+}
+
+/// One record's lock queue: granted holders split from the waiter FIFO, so
+/// every operation on the record is O(requests on that record) — never
+/// O(page population) or O(table population).
+#[derive(Debug, Default)]
+pub struct RecordQueue {
+    holders: Vec<(TxnId, LockMode)>,
+    waiters: VecDeque<WaitingRequest>,
+}
+
+impl RecordQueue {
+    /// True when no holder and no waiter remains — the owning table prunes
+    /// the queue from its map at this point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.holders.is_empty() && self.waiters.is_empty()
+    }
+
+    /// Number of waiting requests (the paper's hotspot-detection signal).
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Transactions currently holding a granted lock.
+    pub fn holder_ids(&self) -> Vec<TxnId> {
+        self.holders.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// True when `txn` holds a granted lock (any mode) on this record.
+    pub fn holds_any(&self, txn: TxnId) -> bool {
+        self.holders.iter().any(|(t, _)| *t == txn)
+    }
+
+    /// True when `txn` holds a granted lock covering `mode`.
+    #[inline]
+    fn is_granted(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .any(|(t, m)| *t == txn && m.covers(mode))
+    }
+
+    /// Transactions among the current holders that conflict with a request
+    /// by `txn` for `mode`.
+    fn conflicting_holders(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        self.holders
+            .iter()
+            .filter(|(t, m)| *t != txn && !m.is_compatible_with(mode))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Resolves an acquisition attempt under the owning shard's guard: the
+    /// re-entrant fast path, the in-place upgrade, the uncontended grant and
+    /// the must-wait decision, in one conflict scan.  `metrics` feeds the
+    /// `locks_created` counter per `policy`.
+    #[inline]
+    pub fn try_acquire(
+        &mut self,
+        txn: TxnId,
+        mode: LockMode,
+        policy: QueuePolicy,
+        metrics: &EngineMetrics,
+    ) -> AcquireOutcome {
+        let held = self
+            .holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m);
+        if let Some(held) = held {
+            // Re-entrant fast path: an existing granted lock that covers the
+            // request needs no new lock entry.
+            if held.covers(mode) {
+                return AcquireOutcome::AlreadyHeld;
+            }
+        }
+
+        // One conflict scan serves the upgrade, fresh-grant and wait paths
+        // alike (it may run under the hottest mutex in the system).
+        let blockers = self.conflicting_holders(txn, mode);
+        if blockers.is_empty() {
+            if held.is_some() && (!policy.upgrade_respects_queue || self.waiters.is_empty()) {
+                // Lock upgrade (S -> X) in place.  Under FIFO upgrade
+                // fairness this is only reached with an empty waiter queue.
+                for (t, m) in self.holders.iter_mut() {
+                    if *t == txn {
+                        *m = LockMode::Exclusive;
+                    }
+                }
+                return AcquireOutcome::Upgraded;
+            }
+            if held.is_none() && self.waiters.is_empty() {
+                // Uncontended grant: no OsEvent, no lock object unless the
+                // table's accounting says every acquisition creates one.
+                if policy.count_uncontended_grants {
+                    metrics.locks_created.inc();
+                }
+                self.holders.push((txn, mode));
+                return AcquireOutcome::Granted;
+            }
+        }
+        AcquireOutcome::MustWait(blockers)
+    }
+
+    /// Queues a waiting request behind the current FIFO, drawing its wake-up
+    /// event from the thread-local pool, and counts the lock object and the
+    /// wait.  Returns the event the caller parks on (a second clone stays
+    /// with the queued request).
+    pub fn enqueue_waiter(
+        &mut self,
+        txn: TxnId,
+        mode: LockMode,
+        metrics: &EngineMetrics,
+    ) -> Arc<OsEvent> {
+        metrics.locks_created.inc();
+        metrics.lock_waits.inc();
+        let event = OsEvent::acquire_pooled();
+        self.waiters.push_back(WaitingRequest {
+            txn,
+            mode,
+            event: Arc::clone(&event),
+        });
+        event
+    }
+
+    /// Removes every request `txn` has on this record (granted holders and
+    /// waiting entries alike) without granting — the release paths call this
+    /// and then [`RecordQueue::grant_from_front`].
+    #[inline]
+    pub fn remove_requests_of(&mut self, txn: TxnId) {
+        self.holders.retain(|(t, _)| *t != txn);
+        self.waiters.retain(|w| w.txn != txn);
+    }
+
+    /// Removes `txn`'s *waiting* entry only (timeout/doom cleanup: a granted
+    /// holder entry — e.g. the surviving pre-upgrade lock — must stay).
+    fn remove_waiter(&mut self, txn: TxnId) {
+        self.waiters.retain(|w| w.txn != txn);
+    }
+
+    /// FIFO grant scan: grants waiters from the front while they are
+    /// compatible with the remaining holders.  Records the scan length
+    /// (requests examined) in the `grant_scan_len` histogram and pushes the
+    /// events to fire once the caller has dropped the shard guard.
+    #[inline]
+    pub fn grant_from_front(
+        &mut self,
+        graph: &WaitForGraph,
+        metrics: &EngineMetrics,
+        woken: &mut Vec<Arc<OsEvent>>,
+    ) {
+        metrics
+            .grant_scan_len
+            .record_micros((self.holders.len() + self.waiters.len()) as u64);
+        while let Some(front) = self.waiters.front() {
+            let compatible = self
+                .holders
+                .iter()
+                .all(|(t, m)| *t == front.txn || m.is_compatible_with(front.mode));
+            if !compatible {
+                break;
+            }
+            let waiter = self.waiters.pop_front().expect("front exists");
+            if let Some((_, held)) = self.holders.iter_mut().find(|(t, _)| *t == waiter.txn) {
+                // Granting a queued *upgrade*: overwrite the transaction's
+                // existing holder entry (its old Shared grant) instead of
+                // pushing a duplicate — duplicate entries would defeat the
+                // re-entrant fast path and double-count in holders_of.
+                *held = waiter.mode;
+            } else {
+                self.holders.push((waiter.txn, waiter.mode));
+            }
+            graph.clear_waits_of(waiter.txn);
+            woken.push(waiter.event);
+        }
+    }
+}
+
+/// Runs wait-for-graph deadlock detection for a request that is about to
+/// queue behind `queue` (called under the shard guard, before the waiter is
+/// enqueued, so the Figure-6d counters stay truthful when the requester is
+/// chosen as victim and returns without ever creating a lock object).
+///
+/// Returns `Err(Deadlock)` when the requester itself must die (its graph
+/// entry is already cleared), `Ok(Some(victim))` when a *remote* cycle member
+/// was chosen — the caller dooms it through the graph **after** dropping the
+/// shard guard — and `Ok(None)` when no cycle was found.
+pub fn deadlock_check_on_wait(
+    queue: &RecordQueue,
+    graph: &WaitForGraph,
+    registry: &TxnLockRegistry,
+    metrics: &EngineMetrics,
+    victim_policy: VictimPolicy,
+    txn: TxnId,
+    blockers: Vec<TxnId>,
+) -> Result<Option<TxnId>> {
+    metrics.deadlock_checks.inc();
+    let mut waits_for = blockers;
+    waits_for.extend(queue.waiters.iter().map(|w| w.txn));
+    graph.set_waits_for(txn, waits_for);
+    if let Some(cycle) = graph.find_cycle_from(txn) {
+        let victim = select_victim(&cycle, victim_policy, |t| registry.record_count_of(t));
+        if victim == txn {
+            graph.clear_waits_of(txn);
+            return Err(Error::Deadlock { txn });
+        }
+        return Ok(Some(victim));
+    }
+    Ok(None)
+}
+
+/// How the shared wait loop reaches its record's queue through the owning
+/// table's sharding.  An implementation locks the table-specific shard, runs
+/// the closure on the queue **if it still exists** (`None` means the queue
+/// was pruned — our request is gone, which the wait loop treats as
+/// not-granted, never resurrecting state), prunes the queue when the closure
+/// leaves it empty, and drops the shard guard before returning — so woken
+/// events collected inside the closure are always fired outside the lock.
+pub trait QueueAccess {
+    /// Locks the owning shard and runs `f` on the still-existing queue.
+    fn with_queue<R>(&self, f: impl FnOnce(&mut RecordQueue) -> R) -> Option<R>;
+}
+
+/// Everything [`wait_until_granted`] needs from the owning table.
+pub struct WaitParams<'a> {
+    /// The waiting transaction.
+    pub txn: TxnId,
+    /// The record being waited on (for error values and registry cleanup).
+    pub record: RecordId,
+    /// The requested mode (the grant check looks for a covering holder).
+    pub mode: LockMode,
+    /// The event enqueued with the waiter ([`RecordQueue::enqueue_waiter`]).
+    pub event: Arc<OsEvent>,
+    /// Whether wait-for-graph detection is active (doom checks are skipped
+    /// under the timeout-only policy).
+    pub detect: bool,
+    /// The lock-wait timeout; the deadline lives on [`SimInstant`], so under
+    /// deterministic simulation it fires on the virtual clock.
+    pub timeout: Duration,
+    /// The owning table's wait-for graph.
+    pub graph: &'a WaitForGraph,
+    /// The owning table's per-transaction registry (timeout cleanup forgets
+    /// the record unless a granted holder entry survives).
+    pub registry: &'a TxnLockRegistry,
+    /// Metrics sink (`lock_wait_latency`, grant-scan lengths).
+    pub metrics: &'a EngineMetrics,
+}
+
+/// What one wake-up/poll iteration of the wait loop decided under the guard.
+enum WaitPoll {
+    Granted,
+    GaveUp {
+        doomed: bool,
+        woken: Vec<Arc<OsEvent>>,
+        still_holds: bool,
+    },
+    KeepWaiting,
+}
+
+/// The doom-aware wait loop both lock tables park in after enqueueing a
+/// waiter: park outside the shard mutex, consume dooms delivered before the
+/// event was parked in the graph, re-check the grant under the shard guard on
+/// every wake-up, and — on timeout or doom — remove the waiting request,
+/// re-run the grant scan for waiters queued behind it, and clean up the
+/// registry entry unless a granted holder entry (a timed-out *upgrade*'s
+/// original lock) survives.
+pub fn wait_until_granted(params: WaitParams<'_>, slot: &impl QueueAccess) -> Result<()> {
+    let WaitParams {
+        txn,
+        record,
+        mode,
+        event,
+        detect,
+        timeout,
+        graph,
+        registry,
+        metrics,
+    } = params;
+    let wait_start = SimInstant::now();
+    let deadline = wait_start + timeout;
+    loop {
+        // Consume a doom *before* parking: one delivered before our event
+        // was parked in the graph (or wiped by the reset below) must abort
+        // us now, not after the full timeout.
+        let pre_doomed = detect && graph.take_doomed(txn);
+        let remaining = deadline.saturating_duration_since(SimInstant::now());
+        let outcome = if pre_doomed || remaining.is_zero() {
+            WaitOutcome::TimedOut
+        } else {
+            event.wait_for(remaining)
+        };
+        let waited = wait_start.elapsed();
+        // One shard acquisition serves both the grant check and the give-up
+        // cleanup.  A pruned queue means our request is gone; missing state
+        // is not-granted and must never be resurrected.
+        let poll = slot
+            .with_queue(|queue| {
+                if queue.is_granted(txn, mode) {
+                    return WaitPoll::Granted;
+                }
+                let doomed = pre_doomed || (detect && graph.take_doomed(txn));
+                if doomed || outcome == WaitOutcome::TimedOut {
+                    // Give up: remove our waiting request, then re-run the
+                    // grant scan — a waiter queued behind us may be grantable
+                    // now that our conflicting request is gone.
+                    let mut woken = Vec::new();
+                    queue.remove_waiter(txn);
+                    queue.grant_from_front(graph, metrics, &mut woken);
+                    // A timed-out *upgrade* still holds its original granted
+                    // lock — the registry entry must survive for release-all.
+                    let still_holds = queue.holds_any(txn);
+                    WaitPoll::GaveUp {
+                        doomed,
+                        woken,
+                        still_holds,
+                    }
+                } else {
+                    WaitPoll::KeepWaiting
+                }
+            })
+            .unwrap_or_else(|| {
+                let doomed = pre_doomed || (detect && graph.take_doomed(txn));
+                if doomed || outcome == WaitOutcome::TimedOut {
+                    WaitPoll::GaveUp {
+                        doomed,
+                        woken: Vec::new(),
+                        still_holds: false,
+                    }
+                } else {
+                    WaitPoll::KeepWaiting
+                }
+            });
+        match poll {
+            WaitPoll::Granted => {
+                metrics.lock_wait_latency.record(waited);
+                graph.clear_waits_of(txn);
+                OsEvent::recycle(event);
+                return Ok(());
+            }
+            WaitPoll::GaveUp {
+                doomed,
+                woken,
+                still_holds,
+            } => {
+                // The shard guard dropped inside with_queue; fire the grants.
+                for woken_event in woken {
+                    woken_event.set();
+                }
+                if !still_holds {
+                    registry.forget_record(txn, record);
+                }
+                metrics.lock_wait_latency.record(waited);
+                graph.clear_waits_of(txn);
+                OsEvent::recycle(event);
+                return Err(if doomed {
+                    Error::Deadlock { txn }
+                } else {
+                    Error::LockWaitTimeout { txn, record }
+                });
+            }
+            // Spurious wake-up (event set but our grant was raced away):
+            // reset and wait again.
+            WaitPoll::KeepWaiting => event.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: QueuePolicy = QueuePolicy {
+        upgrade_respects_queue: true,
+        count_uncontended_grants: false,
+    };
+
+    #[test]
+    fn try_acquire_grant_reentrant_upgrade_and_wait() {
+        let metrics = EngineMetrics::new();
+        let mut q = RecordQueue::default();
+        assert!(matches!(
+            q.try_acquire(TxnId(1), LockMode::Shared, POLICY, &metrics),
+            AcquireOutcome::Granted
+        ));
+        assert!(matches!(
+            q.try_acquire(TxnId(1), LockMode::Shared, POLICY, &metrics),
+            AcquireOutcome::AlreadyHeld
+        ));
+        assert!(matches!(
+            q.try_acquire(TxnId(1), LockMode::Exclusive, POLICY, &metrics),
+            AcquireOutcome::Upgraded
+        ));
+        match q.try_acquire(TxnId(2), LockMode::Exclusive, POLICY, &metrics) {
+            AcquireOutcome::MustWait(blockers) => assert_eq!(blockers, vec![TxnId(1)]),
+            other => panic!("expected MustWait, got {other:?}"),
+        }
+        assert_eq!(metrics.locks_created.get(), 0);
+    }
+
+    #[test]
+    fn upgrade_fairness_is_policy_controlled() {
+        let metrics = EngineMetrics::new();
+        let fair = QueuePolicy {
+            upgrade_respects_queue: true,
+            count_uncontended_grants: false,
+        };
+        let jumping = QueuePolicy {
+            upgrade_respects_queue: false,
+            count_uncontended_grants: false,
+        };
+        // Holder T1 (Shared) with a queued Exclusive waiter T2: an S→X
+        // upgrade by T1 must wait under FIFO fairness but may jump without.
+        let mk = || {
+            let mut q = RecordQueue::default();
+            q.try_acquire(TxnId(1), LockMode::Shared, fair, &metrics);
+            q.enqueue_waiter(TxnId(2), LockMode::Exclusive, &metrics);
+            q
+        };
+        assert!(matches!(
+            mk().try_acquire(TxnId(1), LockMode::Exclusive, fair, &metrics),
+            AcquireOutcome::MustWait(_)
+        ));
+        assert!(matches!(
+            mk().try_acquire(TxnId(1), LockMode::Exclusive, jumping, &metrics),
+            AcquireOutcome::Upgraded
+        ));
+    }
+
+    #[test]
+    fn uncontended_grant_accounting_is_policy_controlled() {
+        let metrics = EngineMetrics::new();
+        let counting = QueuePolicy {
+            upgrade_respects_queue: true,
+            count_uncontended_grants: true,
+        };
+        let mut q = RecordQueue::default();
+        q.try_acquire(TxnId(1), LockMode::Exclusive, counting, &metrics);
+        assert_eq!(metrics.locks_created.get(), 1);
+        let mut q2 = RecordQueue::default();
+        q2.try_acquire(TxnId(2), LockMode::Exclusive, POLICY, &metrics);
+        assert_eq!(
+            metrics.locks_created.get(),
+            1,
+            "lightweight-style grant is free"
+        );
+    }
+
+    #[test]
+    fn granted_upgrade_replaces_holder_entry_instead_of_duplicating() {
+        let metrics = EngineMetrics::new();
+        let graph = WaitForGraph::new();
+        let mut q = RecordQueue::default();
+        // T1 and T2 share the record; T1's queued upgrade is blocked by T2.
+        q.try_acquire(TxnId(1), LockMode::Shared, POLICY, &metrics);
+        q.try_acquire(TxnId(2), LockMode::Shared, POLICY, &metrics);
+        assert!(matches!(
+            q.try_acquire(TxnId(1), LockMode::Exclusive, POLICY, &metrics),
+            AcquireOutcome::MustWait(_)
+        ));
+        q.enqueue_waiter(TxnId(1), LockMode::Exclusive, &metrics);
+        // T2 releases: the grant scan must upgrade T1's existing entry in
+        // place, not append a duplicate holder.
+        q.remove_requests_of(TxnId(2));
+        let mut woken = Vec::new();
+        q.grant_from_front(&graph, &metrics, &mut woken);
+        assert_eq!(woken.len(), 1);
+        assert_eq!(q.holder_ids(), vec![TxnId(1)], "exactly one holder entry");
+        assert!(q.is_granted(TxnId(1), LockMode::Exclusive));
+        assert_eq!(q.waiter_count(), 0);
+    }
+
+    #[test]
+    fn grant_scan_is_fifo_and_compat_bounded() {
+        let metrics = EngineMetrics::new();
+        let graph = WaitForGraph::new();
+        let mut q = RecordQueue::default();
+        q.try_acquire(TxnId(1), LockMode::Exclusive, POLICY, &metrics);
+        q.enqueue_waiter(TxnId(2), LockMode::Shared, &metrics);
+        q.enqueue_waiter(TxnId(3), LockMode::Shared, &metrics);
+        q.enqueue_waiter(TxnId(4), LockMode::Exclusive, &metrics);
+        q.remove_requests_of(TxnId(1));
+        let mut woken = Vec::new();
+        q.grant_from_front(&graph, &metrics, &mut woken);
+        // Both Shared waiters are granted together; the Exclusive stays.
+        assert_eq!(woken.len(), 2);
+        assert_eq!(q.holder_ids(), vec![TxnId(2), TxnId(3)]);
+        assert_eq!(q.waiter_count(), 1);
+    }
+}

@@ -23,7 +23,14 @@
 //! re-locking the shard once per record.
 //! [`TxnLockRegistry::forget_records`] batches the early-release
 //! bookkeeping (Bamboo) the same way — one shard lock per batch, not one
-//! per row.
+//! per row.  Since the queue-core unification both lock tables feed this
+//! registry identically (the shared wait loop forgets a timed-out waiter's
+//! record, `release_record_locks` forgets a whole statement-boundary batch);
+//! the registry is table-agnostic — each table owns its own instance, and
+//! only the shard counts differ (page-sharded baseline vs. record-keyed
+//! lightweight table).  Release-path shard acquisitions (here and in the
+//! lock tables) are counted in `EngineMetrics::release_shard_locks`, the
+//! denominator for the batching amortization the bench records.
 //!
 //! The registry also remembers which **tables** a transaction holds
 //! intention locks on, so table-lock release no longer scans every table's
@@ -165,11 +172,15 @@ impl TxnLockRegistry {
     }
 
     /// Forgets a batch of records with one shard lock for the whole batch
-    /// (the bookkeeping half of batched early lock release).  Returns how
-    /// many of them were actually tracked.
+    /// (the bookkeeping half of batched early lock release — the write path
+    /// accumulates a statement's early releases and flushes them through one
+    /// call here).  Returns how many of them were actually tracked.
     pub fn forget_records(&self, txn: TxnId, records: &[RecordId]) -> usize {
         let removed = {
             let mut shard = self.shard_for(txn).lock();
+            if let Some(metrics) = &self.metrics {
+                metrics.release_shard_locks.inc();
+            }
             let mut removed = 0usize;
             if let Some(entry) = shard.txns.get_mut(&txn) {
                 for record in records {
@@ -210,6 +221,9 @@ impl TxnLockRegistry {
     pub fn take_all(&self, txn: TxnId) -> Option<TxnLocks> {
         let taken = {
             let mut shard = self.shard_for(txn).lock();
+            if let Some(metrics) = &self.metrics {
+                metrics.release_shard_locks.inc();
+            }
             let taken = shard.txns.remove(&txn);
             if let Some(entry) = &taken {
                 shard.live_records -= entry.records.len() as u64;

@@ -142,6 +142,7 @@ fn group_entry_gc_race_is_closed_under_exploration() {
 trait LockTable: Send + Sync + 'static {
     fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()>;
     fn release_all(&self, txn: TxnId);
+    fn release_batch(&self, txn: TxnId, records: &[RecordId]);
     fn wait_queue_len(&self, record: RecordId) -> usize;
     fn holders_of(&self, record: RecordId) -> Vec<TxnId>;
     /// Records the registry tracks for `txn` (granted or waiting).  Under
@@ -158,6 +159,9 @@ impl LockTable for LockSys {
     }
     fn release_all(&self, txn: TxnId) {
         LockSys::release_all(self, txn)
+    }
+    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
+        self.release_record_locks(txn, records)
     }
     fn wait_queue_len(&self, record: RecordId) -> usize {
         LockSys::wait_queue_len(self, record)
@@ -176,6 +180,9 @@ impl LockTable for LightweightLockTable {
     }
     fn release_all(&self, txn: TxnId) {
         LightweightLockTable::release_all(self, txn)
+    }
+    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
+        self.release_record_locks(txn, records)
     }
     fn wait_queue_len(&self, record: RecordId) -> usize {
         LightweightLockTable::wait_queue_len(self, record)
@@ -445,6 +452,86 @@ fn per_record_queues_are_independent<T: LockTable>(table: Arc<T>, seed: u64) {
     );
     assert_eq!(table.wait_queue_len(A), 0);
     table.release_all(holder_a);
+}
+
+/// A statement-boundary **batched** release (`release_record_locks` over
+/// several records at once — the wider Bamboo early-release batch) must wake
+/// every eligible waiter exactly once: no lost wakeup (every waiter is
+/// granted — a lost one would surface as a virtual-clock timeout or a sim
+/// deadlock artifact) and no double grant (each exclusive grantee observes
+/// itself as the record's only holder).  On the page-sharded table all
+/// records share one page, so the whole batch drains under a single shard
+/// acquisition — exactly the path the statement-boundary flush exercises.
+fn batched_release_wakes_each_waiter_exactly_once<T: LockTable>(table: Arc<T>, seed: u64) {
+    const RECORDS: usize = 3;
+    let records: Vec<RecordId> = (0..RECORDS)
+        .map(|heap| RecordId::new(1, 0, heap as u16))
+        .collect();
+    let holder = TxnId(1);
+    for record in &records {
+        table.lock(holder, *record, LockMode::Exclusive).unwrap();
+    }
+    let grants = Arc::new(AtomicUsize::new(0));
+
+    let t = Arc::clone(&table);
+    let g = Arc::clone(&grants);
+    let rs = records.clone();
+    run_seed(seed, move |sim| {
+        for (i, record) in rs.iter().enumerate() {
+            let table = Arc::clone(&t);
+            let grants = Arc::clone(&g);
+            let record = *record;
+            let txn = TxnId(10 + i as u64);
+            sim.spawn(format!("waiter-{i}"), move || {
+                table.lock(txn, record, LockMode::Exclusive).unwrap();
+                // Exactly-once: an exclusive grant must be the sole holder;
+                // a double grant would show a second transaction here.
+                assert_eq!(
+                    table.holders_of(record),
+                    vec![txn],
+                    "double grant on {record}"
+                );
+                grants.fetch_add(1, Ordering::Relaxed);
+                table.release_all(txn);
+            });
+        }
+        let table = Arc::clone(&t);
+        let rs2 = rs.clone();
+        sim.spawn("batch-releaser", move || {
+            let h = txsql_sim::current().unwrap();
+            while rs2.iter().any(|r| table.wait_queue_len(*r) != 1) {
+                h.yield_now();
+            }
+            table.release_batch(holder, &rs2);
+        });
+    });
+
+    assert_eq!(
+        grants.load(Ordering::Relaxed),
+        RECORDS,
+        "seed {seed}: every waiter must be woken exactly once by the batch"
+    );
+    for record in &records {
+        assert!(
+            table.holders_of(*record).is_empty(),
+            "seed {seed}: {record} must drain"
+        );
+    }
+    assert_eq!(table.tracked_locks(holder), 0, "seed {seed}: registry leak");
+}
+
+#[test]
+fn batched_release_wakes_each_waiter_exactly_once_lock_sys() {
+    for seed in txsql_sim::ci_seeds(200) {
+        batched_release_wakes_each_waiter_exactly_once(lock_sys_table(), seed);
+    }
+}
+
+#[test]
+fn batched_release_wakes_each_waiter_exactly_once_lightweight() {
+    for seed in txsql_sim::ci_seeds(200) {
+        batched_release_wakes_each_waiter_exactly_once(lightweight_table(), seed);
+    }
 }
 
 #[test]

@@ -14,7 +14,10 @@
 //! * grant scans stay per-record — every cold record lives on one shared
 //!   page, so a layout that scanned the whole page's request population
 //!   would show up as growth in the `grant_scan_len` histogram; with
-//!   per-heap_no queues it must stay bounded by one record's queue depth.
+//!   per-heap_no queues (the shared `record_queue` core both tables now
+//!   route through) it must stay bounded by one record's queue depth, and
+//!   the batched `release_record_locks` path the cold records go through
+//!   must keep it flat too.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,6 +41,7 @@ const OPS_PER_THREAD: usize = 200;
 trait Table: Send + Sync {
     fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool;
     fn release_all(&self, txn: TxnId);
+    fn release_batch(&self, txn: TxnId, records: &[RecordId]);
     fn holders_of(&self, record: RecordId) -> Vec<TxnId>;
     fn registry(&self) -> &Arc<TxnLockRegistry>;
     fn waiting_count(&self) -> usize;
@@ -49,6 +53,9 @@ impl Table for LockSys {
     }
     fn release_all(&self, txn: TxnId) {
         LockSys::release_all(self, txn);
+    }
+    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
+        self.release_record_locks(txn, records);
     }
     fn holders_of(&self, record: RecordId) -> Vec<TxnId> {
         LockSys::holders_of(self, record)
@@ -67,6 +74,9 @@ impl Table for LightweightLockTable {
     }
     fn release_all(&self, txn: TxnId) {
         LightweightLockTable::release_all(self, txn);
+    }
+    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
+        self.release_record_locks(txn, records);
     }
     fn holders_of(&self, record: RecordId) -> Vec<TxnId> {
         LightweightLockTable::holders_of(self, record)
@@ -96,14 +106,19 @@ fn stress(table: Arc<dyn Table>, metrics: &EngineMetrics) {
                 for op in 0..OPS_PER_THREAD {
                     txn_no += 1;
                     let txn = TxnId(txn_no);
-                    // A disjoint cold record per thread, always uncontended —
-                    // but all cold records share ONE page, so a page-global
-                    // grant scan would see every thread's requests.
-                    let cold = RecordId::new(9, 1, (worker * OPS_PER_THREAD + op) as u16 % 4_096);
-                    assert!(
-                        table.lock(txn, cold, LockMode::Exclusive),
-                        "cold record acquisition must never fail"
-                    );
+                    // Two disjoint cold records per thread, always
+                    // uncontended — but all cold records share ONE page, so
+                    // a page-global grant scan would see every thread's
+                    // requests (and a page-global release would churn them).
+                    let base = (worker * OPS_PER_THREAD + op) * 2;
+                    let cold_a = RecordId::new(9, 1, (base % 4_096) as u16);
+                    let cold_b = RecordId::new(9, 1, ((base + 1) % 4_096) as u16);
+                    for cold in [cold_a, cold_b] {
+                        assert!(
+                            table.lock(txn, cold, LockMode::Exclusive),
+                            "cold record acquisition must never fail"
+                        );
+                    }
                     // The shared hot record: may time out under contention,
                     // but a grant must be exclusive.
                     if table.lock(txn, HOT, LockMode::Exclusive) {
@@ -116,6 +131,11 @@ fn stress(table: Arc<dyn Table>, metrics: &EngineMetrics) {
                         counter.fetch_add(1, Ordering::Relaxed);
                         grants.fetch_add(1, Ordering::Relaxed);
                     }
+                    // The cold records go through the statement-boundary
+                    // batched early-release path (one shard-group drain +
+                    // one registry batch), the hot one through release_all.
+                    table.release_batch(txn, &[cold_a, cold_b]);
+                    assert!(table.holders_of(cold_a).is_empty());
                     table.release_all(txn);
                 }
             });
@@ -180,10 +200,11 @@ fn lightweight_hot_and_cold_stress() {
     );
     stress(Arc::new(table), &metrics);
     // Lightweight only creates lock objects for waits; releases must cover
-    // every registry entry ever created.
+    // every registry entry ever created (two batched cold releases plus the
+    // hot record per op).
     assert_eq!(
         metrics.locks_released.get(),
-        (THREADS * OPS_PER_THREAD) as u64 * 2
+        (THREADS * OPS_PER_THREAD) as u64 * 3
     );
 }
 

@@ -13,7 +13,7 @@
 //!   commit batch to the replicas either *synchronously* (the commit blocks
 //!   for the simulated network round trip — semi-sync) or *asynchronously*
 //!   (a background applier drains a channel and the primary never waits);
-//! * [`replay`] — offline binlog replay in single-threaded and parallel
+//! * [`mod@replay`] — offline binlog replay in single-threaded and parallel
 //!   modes, including the §4.6.3 restriction that hotspot transactions are
 //!   never replayed in parallel.
 
