@@ -6,7 +6,10 @@
 //! * **uncontended acquire/release** — one thread, a rotating set of cold
 //!   records, `lock_record` + `release_all` per iteration.  This is the path
 //!   the decentralized-bookkeeping refactor targets: no global mutex, no
-//!   `OsEvent` allocation.
+//!   `OsEvent` allocation — and, since the fast-path overhaul, no heap
+//!   allocation (inline holders), no waiter deque, and no shared-atomic
+//!   metrics (every cell drives the tables through a `MetricsScratch`, the
+//!   engine's per-transaction shape, flushed once per cell).
 //! * **hot-record throughput** — 4 threads hammering a single record with a
 //!   short timeout, counting successful acquire+release cycles.
 //! * **populated hot page** — one page pre-loaded with 512 granted locks on
@@ -24,6 +27,12 @@
 //!   and release-path **shard-lock acquisitions per released record** (the
 //!   `release_shard_locks` counter: page/row-shard takes plus registry-shard
 //!   takes), which batching amortizes.
+//! * **commit handover** — a group-locking leader commits N hot rows (same
+//!   page): either the per-record prepare → release → handover sequence or
+//!   the batched `begin_leader_commit` / one `release_record_locks` /
+//!   `finish_leader_handover` path.  Reports hot records committed per
+//!   second and group-table **entry-shard-lock takes per hot record** (the
+//!   `handover_shard_locks` counter) — the amortization ISSUE 5 targets.
 //!
 //! Output is a flat JSON object on stdout so runs can be recorded verbatim.
 //! `TXSQL_BENCH_SECONDS` scales the per-cell measurement window.
@@ -31,19 +40,20 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use txsql_common::metrics::EngineMetrics;
+use txsql_common::metrics::{EngineMetrics, MetricsScratch};
 use txsql_common::{RecordId, TxnId};
+use txsql_lockmgr::group_lock::{GroupLockConfig, GroupLockTable, HotExecution};
 use txsql_lockmgr::lightweight::{LightweightConfig, LightweightLockTable};
 use txsql_lockmgr::lock_sys::{DeadlockPolicy, LockSys, LockSysConfig};
 use txsql_lockmgr::modes::LockMode;
 
-/// One lock-table implementation under test.
+/// One lock-table implementation under test.  The lock/release entry points
+/// take the caller's `MetricsScratch` — the engine's per-transaction shape.
 trait LockTable: Send + Sync {
-    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool;
-    fn release_all(&self, txn: TxnId);
-    fn release_batch(&self, txn: TxnId, records: &[RecordId]);
-    fn locks_created(&self) -> u64;
-    fn release_shard_locks(&self) -> u64;
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode, scratch: &MetricsScratch) -> bool;
+    fn release_all(&self, txn: TxnId, scratch: &MetricsScratch);
+    fn release_batch(&self, txn: TxnId, records: &[RecordId], scratch: &MetricsScratch);
+    fn metrics(&self) -> &EngineMetrics;
 }
 
 struct VanillaTable {
@@ -52,20 +62,17 @@ struct VanillaTable {
 }
 
 impl LockTable for VanillaTable {
-    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool {
-        self.sys.lock_record(txn, record, mode).is_ok()
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode, scratch: &MetricsScratch) -> bool {
+        self.sys.lock_record_in(txn, record, mode, scratch).is_ok()
     }
-    fn release_all(&self, txn: TxnId) {
-        self.sys.release_all(txn);
+    fn release_all(&self, txn: TxnId, scratch: &MetricsScratch) {
+        self.sys.release_all_in(txn, scratch);
     }
-    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
-        self.sys.release_record_locks(txn, records);
+    fn release_batch(&self, txn: TxnId, records: &[RecordId], scratch: &MetricsScratch) {
+        self.sys.release_record_locks_in(txn, records, scratch);
     }
-    fn locks_created(&self) -> u64 {
-        self.metrics.locks_created.get()
-    }
-    fn release_shard_locks(&self) -> u64 {
-        self.metrics.release_shard_locks.get()
+    fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
     }
 }
 
@@ -75,20 +82,19 @@ struct LightTable {
 }
 
 impl LockTable for LightTable {
-    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool {
-        self.table.lock_record(txn, record, mode).is_ok()
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode, scratch: &MetricsScratch) -> bool {
+        self.table
+            .lock_record_in(txn, record, mode, scratch)
+            .is_ok()
     }
-    fn release_all(&self, txn: TxnId) {
-        self.table.release_all(txn);
+    fn release_all(&self, txn: TxnId, scratch: &MetricsScratch) {
+        self.table.release_all_in(txn, scratch);
     }
-    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
-        self.table.release_record_locks(txn, records);
+    fn release_batch(&self, txn: TxnId, records: &[RecordId], scratch: &MetricsScratch) {
+        self.table.release_record_locks_in(txn, records, scratch);
     }
-    fn locks_created(&self) -> u64 {
-        self.metrics.locks_created.get()
-    }
-    fn release_shard_locks(&self) -> u64 {
-        self.metrics.release_shard_locks.get()
+    fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
     }
 }
 
@@ -125,13 +131,15 @@ fn light(timeout: Duration) -> LightTable {
 /// Single-threaded cold-record acquire/release loop; returns
 /// (ops/sec, locks_created per op).
 fn bench_uncontended(table: &dyn LockTable, window: Duration) -> (f64, f64) {
+    let scratch = MetricsScratch::new();
     // Warm up shard maps so steady-state cost is measured.
     for i in 0..4_096u64 {
         let txn = TxnId(i + 1);
-        table.lock(txn, record_for(i), LockMode::Exclusive);
-        table.release_all(txn);
+        table.lock(txn, record_for(i), LockMode::Exclusive, &scratch);
+        table.release_all(txn, &scratch);
     }
-    let created_before = table.locks_created();
+    scratch.flush(table.metrics());
+    let created_before = table.metrics().locks_created.get();
     let start = Instant::now();
     let mut ops = 0u64;
     let mut next_txn = 1_000_000u64;
@@ -140,13 +148,14 @@ fn bench_uncontended(table: &dyn LockTable, window: Duration) -> (f64, f64) {
         for _ in 0..256 {
             next_txn += 1;
             let txn = TxnId(next_txn);
-            table.lock(txn, record_for(next_txn), LockMode::Exclusive);
-            table.release_all(txn);
+            table.lock(txn, record_for(next_txn), LockMode::Exclusive, &scratch);
+            table.release_all(txn, &scratch);
             ops += 1;
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let created = (table.locks_created() - created_before) as f64;
+    scratch.flush(table.metrics());
+    let created = (table.metrics().locks_created.get() - created_before) as f64;
     (ops as f64 / elapsed, created / ops as f64)
 }
 
@@ -167,16 +176,18 @@ fn bench_hot(make: &dyn Fn() -> Box<dyn LockTable>, threads: usize, window: Dura
             let stop = Arc::clone(&stop);
             let total = Arc::clone(&total);
             scope.spawn(move || {
+                let scratch = MetricsScratch::new();
                 let mut txn_no = (worker as u64 + 1) << 32;
                 let mut ok = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     txn_no += 1;
                     let txn = TxnId(txn_no);
-                    if table.lock(txn, hot, LockMode::Exclusive) {
+                    if table.lock(txn, hot, LockMode::Exclusive, &scratch) {
                         ok += 1;
                     }
-                    table.release_all(txn);
+                    table.release_all(txn, &scratch);
                 }
+                scratch.flush(table.metrics());
                 total.fetch_add(ok, Ordering::Relaxed);
             });
         }
@@ -190,10 +201,16 @@ fn bench_hot(make: &dyn Fn() -> Box<dyn LockTable>, threads: usize, window: Dura
 /// `population` granted locks on *other* heap_nos (one parked transaction
 /// each).  Returns ops/sec: the page-population tax of the lock layout.
 fn bench_hot_page_populated(table: &dyn LockTable, population: u16, window: Duration) -> f64 {
+    let scratch = MetricsScratch::new();
     for heap in 0..population {
         let txn = TxnId(1 + heap as u64);
         assert!(
-            table.lock(txn, RecordId::new(11, 0, heap), LockMode::Exclusive),
+            table.lock(
+                txn,
+                RecordId::new(11, 0, heap),
+                LockMode::Exclusive,
+                &scratch
+            ),
             "populating lock must not conflict"
         );
     }
@@ -206,11 +223,12 @@ fn bench_hot_page_populated(table: &dyn LockTable, population: u16, window: Dura
         for _ in 0..64 {
             next_txn += 1;
             let txn = TxnId(next_txn);
-            table.lock(txn, target, LockMode::Exclusive);
-            table.release_all(txn);
+            table.lock(txn, target, LockMode::Exclusive, &scratch);
+            table.release_all(txn, &scratch);
             ops += 1;
         }
     }
+    scratch.flush(table.metrics());
     ops as f64 / start.elapsed().as_secs_f64()
 }
 
@@ -230,16 +248,18 @@ fn bench_hot_page_two_records(make: &dyn Fn() -> Box<dyn LockTable>, window: Dur
             // Workers 0/1 share heap 0, workers 2/3 share heap 1.
             let record = RecordId::new(12, 0, (worker / 2) as u16);
             scope.spawn(move || {
+                let scratch = MetricsScratch::new();
                 let mut txn_no = (worker as u64 + 1) << 32;
                 let mut ok = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     txn_no += 1;
                     let txn = TxnId(txn_no);
-                    if table.lock(txn, record, LockMode::Exclusive) {
+                    if table.lock(txn, record, LockMode::Exclusive, &scratch) {
                         ok += 1;
                     }
-                    table.release_all(txn);
+                    table.release_all(txn, &scratch);
                 }
+                scratch.flush(table.metrics());
                 total.fetch_add(ok, Ordering::Relaxed);
             });
         }
@@ -262,6 +282,7 @@ fn bench_early_release(
     batched: bool,
     window: Duration,
 ) -> (f64, f64) {
+    let scratch = MetricsScratch::new();
     let records: Vec<RecordId> = (0..batch)
         .map(|heap| RecordId::new(21, 0, heap as u16))
         .collect();
@@ -269,11 +290,12 @@ fn bench_early_release(
     for warm in 0..1_024u64 {
         let txn = TxnId(warm + 1);
         for r in &records {
-            table.lock(txn, *r, LockMode::Exclusive);
+            table.lock(txn, *r, LockMode::Exclusive, &scratch);
         }
-        table.release_batch(txn, &records);
+        table.release_batch(txn, &records, &scratch);
     }
-    let takes_before = table.release_shard_locks();
+    scratch.flush(table.metrics());
+    let takes_before = table.metrics().release_shard_locks.get();
     let start = Instant::now();
     let mut released = 0u64;
     let mut next_txn = 50_000_000u64;
@@ -283,21 +305,100 @@ fn bench_early_release(
             next_txn += 1;
             let txn = TxnId(next_txn);
             for r in &records {
-                table.lock(txn, *r, LockMode::Exclusive);
+                table.lock(txn, *r, LockMode::Exclusive, &scratch);
             }
             if batched {
-                table.release_batch(txn, &records);
+                table.release_batch(txn, &records, &scratch);
             } else {
                 for r in &records {
-                    table.release_batch(txn, std::slice::from_ref(r));
+                    table.release_batch(txn, std::slice::from_ref(r), &scratch);
                 }
             }
             released += batch as u64;
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let takes = (table.release_shard_locks() - takes_before) as f64;
+    scratch.flush(table.metrics());
+    let takes = (table.metrics().release_shard_locks.get() - takes_before) as f64;
     (released as f64 / elapsed, takes / released as f64)
+}
+
+/// Commit-time hot-row handover: a group-locking leader repeatedly owns
+/// `n_hot` hot rows (same page — the multi-row flash-sale shape) and commits
+/// them, either through the per-record prepare → release-lock → handover
+/// sequence (`batched = false`) or the batched
+/// `begin_leader_commit` → one `release_record_locks` →
+/// `finish_leader_handover` path.  Returns (hot records committed/sec,
+/// group-table entry-shard-lock takes per hot record — the
+/// `handover_shard_locks` counter).
+fn bench_commit_handover(n_hot: usize, batched: bool, window: Duration) -> (f64, f64) {
+    let metrics = Arc::new(EngineMetrics::new());
+    let group = GroupLockTable::new(GroupLockConfig::default(), Arc::clone(&metrics));
+    let table = LightweightLockTable::new(
+        LightweightConfig {
+            deadlock_policy: DeadlockPolicy::TimeoutOnly,
+            lock_wait_timeout: Duration::from_millis(5),
+            ..LightweightConfig::default()
+        },
+        Arc::clone(&metrics),
+    );
+    let scratch = MetricsScratch::new();
+    let records: Vec<RecordId> = (0..n_hot)
+        .map(|heap| RecordId::new(31, 0, heap as u16))
+        .collect();
+    let mut next_txn = 90_000_000u64;
+    let run_cycle = |txn: TxnId| {
+        // Execute phase: the leader updates each hot row (Algorithm 1).
+        for r in &records {
+            assert!(
+                matches!(group.begin_hot_update(txn, *r), HotExecution::Leader),
+                "single leader must own every hot row"
+            );
+            assert!(table
+                .lock_record_in(txn, *r, LockMode::Exclusive, &scratch)
+                .is_ok());
+            group.register_update(txn, *r);
+            group.finish_update(txn, *r, true);
+        }
+        // Commit phase (Algorithm 2, leader side).
+        if batched {
+            let prepared = group.begin_leader_commit(txn, &records);
+            table.release_record_locks_in(txn, &records, &scratch);
+            group.finish_leader_handover(txn, prepared);
+        } else {
+            for r in &records {
+                group.leader_prepare_commit(txn, *r);
+                table.release_record_locks_in(txn, std::slice::from_ref(r), &scratch);
+                group.leader_handover(txn, *r);
+            }
+        }
+        for r in &records {
+            group.finish_commit(txn, *r);
+        }
+    };
+    // Warm up the entry shards and lock-table shards.
+    for _ in 0..1_024 {
+        next_txn += 1;
+        run_cycle(TxnId(next_txn));
+    }
+    let takes_before = metrics.handover_shard_locks.get();
+    let start = Instant::now();
+    let mut committed_records = 0u64;
+    while start.elapsed() < window {
+        // Batch 16 commits per clock check.
+        for _ in 0..16 {
+            next_txn += 1;
+            run_cycle(TxnId(next_txn));
+            committed_records += n_hot as u64;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    scratch.flush(&metrics);
+    let takes = (metrics.handover_shard_locks.get() - takes_before) as f64;
+    (
+        committed_records as f64 / elapsed,
+        takes / committed_records as f64,
+    )
 }
 
 fn main() {
@@ -348,6 +449,11 @@ fn main() {
     let (lw_er_batched_ops, lw_er_batched_takes) =
         bench_early_release(&l, EARLY_RELEASE_BATCH, true, window);
 
+    const HANDOVER_HOT_ROWS: usize = 4;
+    let (ho_unbatched_ops, ho_unbatched_takes) =
+        bench_commit_handover(HANDOVER_HOT_ROWS, false, window);
+    let (ho_batched_ops, ho_batched_takes) = bench_commit_handover(HANDOVER_HOT_ROWS, true, window);
+
     println!("{{");
     println!("  \"window_secs\": {},", window.as_secs_f64());
     println!("  \"uncontended_acquire_release_ops_per_sec\": {{");
@@ -383,6 +489,12 @@ fn main() {
     println!("      \"unbatched_shard_lock_takes_per_lock\": {lw_er_unbatched_takes:.3},");
     println!("      \"batched_shard_lock_takes_per_lock\": {lw_er_batched_takes:.3}");
     println!("    }}");
+    println!("  }},");
+    println!("  \"commit_handover_{HANDOVER_HOT_ROWS}_hot_rows_same_page\": {{");
+    println!("    \"unbatched_hot_records_per_sec\": {ho_unbatched_ops:.0},");
+    println!("    \"batched_hot_records_per_sec\": {ho_batched_ops:.0},");
+    println!("    \"unbatched_handover_shard_lock_takes_per_record\": {ho_unbatched_takes:.3},");
+    println!("    \"batched_handover_shard_lock_takes_per_record\": {ho_batched_takes:.3}");
     println!("  }}");
     println!("}}");
 }

@@ -11,6 +11,7 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -206,6 +207,173 @@ impl LatencyHistogram {
     }
 }
 
+/// Where the lock system's *per-cycle* hot-path counts go.
+///
+/// The uncontended acquire/release cycle used to pay 2+ relaxed atomic RMWs
+/// (and 4 more per grant-scan histogram record) straight into
+/// [`EngineMetrics`].  The hot paths now write through this trait instead:
+/// the engine hands them the transaction's [`MetricsScratch`] (plain `Cell`
+/// arithmetic, flushed to the shared counters once per statement/commit),
+/// while stand-alone callers keep passing [`EngineMetrics`] itself, which
+/// implements the trait by doing the atomic increment immediately.
+///
+/// Only the counters that fire on *every* cycle are routed this way; the
+/// wait/deadlock/latency paths are already rare enough that they record into
+/// [`EngineMetrics`] directly.
+pub trait MetricsSink {
+    /// One lock object was created (Figure 6d numerator).
+    fn on_lock_created(&self);
+    /// `n` record locks were released.
+    fn on_locks_released(&self, n: u64);
+    /// One release-path shard mutex acquisition (lock table or registry).
+    fn on_release_shard_lock(&self);
+    /// One grant scan examined `len` requests.
+    fn on_grant_scan(&self, len: u64);
+}
+
+impl MetricsSink for EngineMetrics {
+    #[inline]
+    fn on_lock_created(&self) {
+        self.locks_created.inc();
+    }
+    #[inline]
+    fn on_locks_released(&self, n: u64) {
+        self.locks_released.add(n);
+    }
+    #[inline]
+    fn on_release_shard_lock(&self) {
+        self.release_shard_locks.inc();
+    }
+    #[inline]
+    fn on_grant_scan(&self, len: u64) {
+        self.grant_scan_len.record_micros(len);
+    }
+}
+
+/// A single-owner (per-transaction or per-bench-thread) scratch pad for the
+/// hot-path lock counters.
+///
+/// All fields are `Cell`s: recording is plain integer arithmetic with no
+/// atomics and no sharing.  [`MetricsScratch::flush`] drains the accumulated
+/// counts into an [`EngineMetrics`] with one batch of atomic operations —
+/// the owner calls it at a statement boundary or commit (the engine's
+/// `TxnMetrics` wrapper additionally flushes on drop so abort paths cannot
+/// lose counts).  Grant-scan lengths keep full histogram fidelity: the
+/// scratch accumulates per-bucket counts and the flush merges them bucket by
+/// bucket.
+#[derive(Debug)]
+pub struct MetricsScratch {
+    locks_created: Cell<u64>,
+    locks_released: Cell<u64>,
+    release_shard_locks: Cell<u64>,
+    grant_scan_buckets: [Cell<u64>; BUCKETS],
+    grant_scan_count: Cell<u64>,
+    grant_scan_sum: Cell<u64>,
+    grant_scan_max: Cell<u64>,
+}
+
+impl Default for MetricsScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsScratch {
+    /// Creates an empty scratch pad.
+    pub fn new() -> Self {
+        Self {
+            locks_created: Cell::new(0),
+            locks_released: Cell::new(0),
+            release_shard_locks: Cell::new(0),
+            grant_scan_buckets: std::array::from_fn(|_| Cell::new(0)),
+            grant_scan_count: Cell::new(0),
+            grant_scan_sum: Cell::new(0),
+            grant_scan_max: Cell::new(0),
+        }
+    }
+
+    /// True when nothing has been recorded since the last flush.
+    pub fn is_empty(&self) -> bool {
+        self.locks_created.get() == 0
+            && self.locks_released.get() == 0
+            && self.release_shard_locks.get() == 0
+            && self.grant_scan_count.get() == 0
+    }
+
+    /// Locks created recorded since the last flush (test observability).
+    pub fn pending_locks_created(&self) -> u64 {
+        self.locks_created.get()
+    }
+
+    /// Locks released recorded since the last flush (test observability).
+    pub fn pending_locks_released(&self) -> u64 {
+        self.locks_released.get()
+    }
+
+    /// Release-path shard acquisitions since the last flush.
+    pub fn pending_release_shard_locks(&self) -> u64 {
+        self.release_shard_locks.get()
+    }
+
+    /// Drains every accumulated count into `metrics`, leaving the scratch
+    /// empty.  One atomic operation per non-zero counter/bucket.
+    pub fn flush(&self, metrics: &EngineMetrics) {
+        let created = self.locks_created.take();
+        if created > 0 {
+            metrics.locks_created.add(created);
+        }
+        let released = self.locks_released.take();
+        if released > 0 {
+            metrics.locks_released.add(released);
+        }
+        let shard = self.release_shard_locks.take();
+        if shard > 0 {
+            metrics.release_shard_locks.add(shard);
+        }
+        if self.grant_scan_count.take() > 0 {
+            for (i, bucket) in self.grant_scan_buckets.iter().enumerate() {
+                let n = bucket.take();
+                if n > 0 {
+                    metrics.grant_scan_len.buckets[i].fetch_add(n, Ordering::Relaxed);
+                    metrics.grant_scan_len.count.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            metrics
+                .grant_scan_len
+                .sum_micros
+                .fetch_add(self.grant_scan_sum.take(), Ordering::Relaxed);
+            metrics
+                .grant_scan_len
+                .max_micros
+                .fetch_max(self.grant_scan_max.take(), Ordering::Relaxed);
+        }
+    }
+}
+
+impl MetricsSink for MetricsScratch {
+    #[inline]
+    fn on_lock_created(&self) {
+        self.locks_created.set(self.locks_created.get() + 1);
+    }
+    #[inline]
+    fn on_locks_released(&self, n: u64) {
+        self.locks_released.set(self.locks_released.get() + n);
+    }
+    #[inline]
+    fn on_release_shard_lock(&self) {
+        self.release_shard_locks
+            .set(self.release_shard_locks.get() + 1);
+    }
+    #[inline]
+    fn on_grant_scan(&self, len: u64) {
+        let bucket = &self.grant_scan_buckets[LatencyHistogram::bucket_for(len)];
+        bucket.set(bucket.get() + 1);
+        self.grant_scan_count.set(self.grant_scan_count.get() + 1);
+        self.grant_scan_sum.set(self.grant_scan_sum.get() + len);
+        self.grant_scan_max.set(self.grant_scan_max.get().max(len));
+    }
+}
+
 /// Labelled abort counters, keyed by [`crate::error::Error::label`].
 #[derive(Debug, Default)]
 pub struct AbortCounters {
@@ -283,6 +451,13 @@ pub struct EngineMetrics {
     /// batching: batching early releases to statement boundaries amortizes
     /// these, so takes-per-released-lock should drop as batch size grows.
     pub release_shard_locks: Counter,
+    /// Group-table entry-map shard acquisitions on the leader's **commit
+    /// handover** path (prepare + handover).  The denominator for handover
+    /// batching: collecting a leader's hot records and fetching their group
+    /// entries shard by shard amortizes these, so takes-per-hot-record should
+    /// drop below 1.0 as the records-per-commit count grows (vs 2.0 for the
+    /// per-record prepare+handover sequence).
+    pub handover_shard_locks: Counter,
     /// Length of each grant scan (requests examined per scan), recorded via
     /// `record_micros(len)` — the log2 buckets hold request counts here, not
     /// times.  With per-record wait queues this must stay bounded by the
@@ -371,6 +546,7 @@ impl EngineMetrics {
         // and in-flight transactions still own their registry entries.
         self.lock_waits.take();
         self.release_shard_locks.take();
+        self.handover_shard_locks.take();
         self.grant_scan_len.reset();
         self.queries.take();
         self.deadlock_checks.take();
@@ -403,6 +579,7 @@ impl EngineMetrics {
             locks_per_query: self.locks_per_query(),
             lock_waits: self.lock_waits.get(),
             release_shard_locks: self.release_shard_locks.get(),
+            handover_shard_locks: self.handover_shard_locks.get(),
             mean_grant_scan_len: self.grant_scan_len.mean_micros(),
             max_grant_scan_len: self.grant_scan_len.max_micros(),
             deadlock_checks: self.deadlock_checks.get(),
@@ -457,6 +634,8 @@ pub struct MetricsSnapshot {
     pub lock_waits: u64,
     /// Shard-mutex acquisitions on the release paths (lock tables + registry).
     pub release_shard_locks: u64,
+    /// Group-table shard acquisitions on the leader commit-handover path.
+    pub handover_shard_locks: u64,
     /// Mean grant-scan length (requests examined per scan).
     pub mean_grant_scan_len: f64,
     /// Longest grant scan observed (requests examined).
@@ -568,6 +747,48 @@ mod tests {
         m.reset();
         assert_eq!(m.committed.get(), 0);
         assert_eq!(m.abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn scratch_accumulates_locally_and_flushes_once() {
+        let m = EngineMetrics::new();
+        let scratch = MetricsScratch::new();
+        scratch.on_lock_created();
+        scratch.on_lock_created();
+        scratch.on_locks_released(3);
+        scratch.on_release_shard_lock();
+        scratch.on_grant_scan(1);
+        scratch.on_grant_scan(5);
+        // Nothing reaches the shared counters until the flush.
+        assert_eq!(m.locks_created.get(), 0);
+        assert_eq!(m.grant_scan_len.count(), 0);
+        assert!(!scratch.is_empty());
+        assert_eq!(scratch.pending_locks_created(), 2);
+        scratch.flush(&m);
+        assert!(scratch.is_empty());
+        assert_eq!(m.locks_created.get(), 2);
+        assert_eq!(m.locks_released.get(), 3);
+        assert_eq!(m.release_shard_locks.get(), 1);
+        assert_eq!(m.grant_scan_len.count(), 2);
+        assert_eq!(m.grant_scan_len.max_micros(), 5);
+        assert!((m.grant_scan_len.mean_micros() - 3.0).abs() < 1e-9);
+        // A second flush is a no-op.
+        scratch.flush(&m);
+        assert_eq!(m.grant_scan_len.count(), 2);
+    }
+
+    #[test]
+    fn engine_metrics_is_a_passthrough_sink() {
+        let m = EngineMetrics::new();
+        MetricsSink::on_lock_created(&m);
+        MetricsSink::on_locks_released(&m, 2);
+        MetricsSink::on_release_shard_lock(&m);
+        MetricsSink::on_grant_scan(&m, 7);
+        assert_eq!(m.locks_created.get(), 1);
+        assert_eq!(m.locks_released.get(), 2);
+        assert_eq!(m.release_shard_locks.get(), 1);
+        assert_eq!(m.grant_scan_len.count(), 1);
+        assert_eq!(m.grant_scan_len.max_micros(), 7);
     }
 
     #[test]

@@ -105,6 +105,19 @@ pub struct EngineConfig {
     /// amortize the lock-table and registry shard locking at the cost of
     /// holding each released lock until the end of the batch's statement.
     pub early_release_batch: usize,
+    /// Batch the group-locking leader's commit-time hot-row handover: the
+    /// commit path collects the leader's hot records, fetches their group
+    /// entries with one entry-map shard lock per shard, releases the row
+    /// locks in one batched lock-table call and promotes all successor
+    /// leaders with their wake-ups fired outside every guard.  `false`
+    /// restores the per-record prepare → release → handover *sequence* for
+    /// A/B measurement; note it is emulated on the batched machinery
+    /// (per-record `begin_leader_commit`/`finish_leader_handover` calls),
+    /// which pays a few small per-record allocations the original
+    /// pre-batching loops did not, so throughput A/Bs are slightly
+    /// pessimistic about the baseline.  The `handover_shard_locks` counter
+    /// (shard-lock takes, allocation-independent) is the faithful metric.
+    pub batch_commit_handover: bool,
     /// Empty-shell eviction budget for the page-sharded `lock_sys` (per
     /// shard).  `None` retains shells for allocation-free steady state;
     /// `Some(limit)` sweeps a shard's empty shells when they exceed the
@@ -147,6 +160,7 @@ impl EngineConfig {
             group_commit: true,
             aria_batch_size: 64,
             early_release_batch: 1,
+            batch_commit_handover: true,
             lock_shell_sweep_limit: None,
             record_history: false,
             start_sweeper: protocol.uses_hotspots(),
@@ -214,6 +228,13 @@ impl EngineConfig {
         self.lock_shell_sweep_limit = limit;
         self
     }
+
+    /// Enables or disables the batched commit-time hot-row handover
+    /// (`true` by default; `false` restores the per-record sequence).
+    pub fn with_batch_commit_handover(mut self, batched: bool) -> Self {
+        self.batch_commit_handover = batched;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +264,7 @@ mod tests {
             .with_history_recording(true)
             .with_dynamic_batch(false)
             .with_early_release_batch(0)
+            .with_batch_commit_handover(false)
             .with_shell_sweep_limit(Some(16));
         assert_eq!(cfg.group.batch_size, 64);
         assert!(!cfg.group_commit);
@@ -253,9 +275,11 @@ mod tests {
         assert!(cfg.record_history);
         assert!(!cfg.group.dynamic_batch);
         assert_eq!(cfg.early_release_batch, 1, "batch of 0 clamps to 1");
+        assert!(!cfg.batch_commit_handover);
         assert_eq!(cfg.lock_shell_sweep_limit, Some(16));
         let default = EngineConfig::for_protocol(Protocol::Bamboo);
         assert_eq!(default.early_release_batch, 1);
+        assert!(default.batch_commit_handover);
         assert_eq!(default.lock_shell_sweep_limit, None);
     }
 

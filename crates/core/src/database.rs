@@ -80,10 +80,15 @@ impl Database {
         let lock_sys_registry = Arc::new(TxnLockRegistry::with_metrics(64, Arc::clone(&metrics)));
         let lightweight_registry =
             Arc::new(TxnLockRegistry::with_metrics(256, Arc::clone(&metrics)));
-        let trx_sys = TrxSys::new(config.read_view_mode).with_lock_registries(vec![
-            Arc::clone(&lock_sys_registry),
-            Arc::clone(&lightweight_registry),
-        ]);
+        let trx_sys = TrxSys::new(config.read_view_mode)
+            .with_lock_registries(vec![
+                Arc::clone(&lock_sys_registry),
+                Arc::clone(&lightweight_registry),
+            ])
+            // Every transaction carries a Cell-based metrics scratch that
+            // flushes here when it drops — the lock hot paths pay no shared
+            // atomics per cycle (see txsql_txn::TxnMetrics).
+            .with_engine_metrics(Arc::clone(&metrics));
         let lock_sys = LockSys::with_registry(
             LockSysConfig {
                 deadlock_policy: config.deadlock_policy,
@@ -310,10 +315,16 @@ impl Database {
     /// `release_all` drains the registry's page-grouped record list, so the
     /// page-sharded `lock_sys` takes one shard lock per page the transaction
     /// touched (not one per record); only the table that actually served the
-    /// protocol holds anything, the other is a registry no-op.
-    fn release_all_locks(&self, txn_id: TxnId) {
-        self.inner.lightweight.release_all(txn_id);
-        self.inner.lock_sys.release_all(txn_id);
+    /// protocol holds anything, the other is a registry no-op.  Release-path
+    /// counters go to the transaction's metrics scratch (flushed when the
+    /// transaction drops).
+    fn release_all_locks(&self, txn: &Transaction) {
+        self.inner
+            .lightweight
+            .release_all_in(txn.id, txn.metrics_sink());
+        self.inner
+            .lock_sys
+            .release_all_in(txn.id, txn.metrics_sink());
     }
 
     /// Commits a transaction.  On a cascading abort or commit-time conflict the
@@ -333,14 +344,45 @@ impl Database {
         // (not the row lock) serializes hot-row commit records; every row is
         // only written through the group path while it is hot.  Cold locks
         // stay held until the commit record is ordered below.
+        //
+        // The handover is batched across the leader's hot records (the
+        // default): one entry-map fetch per group-table shard covers prepare
+        // AND handover, the row locks drain in one batched lock-table call,
+        // and every promoted leader is woken after the guards drop — see
+        // `GroupLockTable::begin_leader_commit`.  The per-record sequence
+        // stays available behind `EngineConfig::batch_commit_handover`.
         if self.protocol() == Protocol::GroupLockingTxsql {
-            for (record, role, _) in &hot_updates {
-                if *role == txsql_txn::HotRole::Leader {
+            let leader_records: Vec<RecordId> = hot_updates
+                .iter()
+                .filter(|(_, role, _)| *role == txsql_txn::HotRole::Leader)
+                .map(|(record, _, _)| *record)
+                .collect();
+            if !leader_records.is_empty() {
+                if self.inner.config.batch_commit_handover {
+                    let prepared = self
+                        .inner
+                        .group_locks
+                        .begin_leader_commit(txn.id, &leader_records);
+                    self.inner.lightweight.release_record_locks_in(
+                        txn.id,
+                        &leader_records,
+                        txn.metrics_sink(),
+                    );
                     self.inner
                         .group_locks
-                        .leader_prepare_commit(txn.id, *record);
-                    self.inner.lightweight.release_record_lock(txn.id, *record);
-                    self.inner.group_locks.leader_handover(txn.id, *record);
+                        .finish_leader_handover(txn.id, prepared);
+                } else {
+                    for record in &leader_records {
+                        self.inner
+                            .group_locks
+                            .leader_prepare_commit(txn.id, *record);
+                        self.inner.lightweight.release_record_locks_in(
+                            txn.id,
+                            std::slice::from_ref(record),
+                            txn.metrics_sink(),
+                        );
+                        self.inner.group_locks.leader_handover(txn.id, *record);
+                    }
                 }
             }
             // Commit-order guarantee (§4.3): wait for all dependency-list
@@ -401,7 +443,7 @@ impl Database {
         }
 
         // The remaining (cold) locks go *after* the commit record is ordered.
-        self.release_all_locks(txn.id);
+        self.release_all_locks(&txn);
 
         let binlog = BinlogTxn {
             txn: txn.id,
@@ -517,7 +559,7 @@ impl Database {
             }
         }
 
-        self.release_all_locks(txn.id);
+        self.release_all_locks(&txn);
         if self.protocol() == Protocol::QueueLockingO2 {
             for (record, _, _) in &hot_updates {
                 self.inner.queue_locks.release(txn.id, *record);

@@ -162,12 +162,13 @@ impl Database {
 
     /// Flushes the transaction's deferred Bamboo early releases through one
     /// batched `release_record_locks` call (no-op when nothing is pending).
+    /// Release counters land in the transaction's metrics scratch.
     pub(crate) fn flush_early_releases(&self, txn: &mut Transaction) {
         let pending = txn.take_pending_early_releases();
         if !pending.is_empty() {
             self.inner
                 .lightweight
-                .release_record_locks(txn.id, &pending);
+                .release_record_locks_in(txn.id, &pending, txn.metrics_sink());
         }
     }
 
@@ -204,7 +205,8 @@ impl Database {
         }
     }
 
-    /// MySQL baseline: IX table lock + record lock in `lock_sys`.
+    /// MySQL baseline: IX table lock + record lock in `lock_sys`.  The
+    /// per-cycle lock counters go to the transaction's metrics scratch.
     fn acquire_mysql(
         &self,
         txn: &mut Transaction,
@@ -215,27 +217,32 @@ impl Database {
         self.inner
             .lock_sys
             .lock_table(txn.id, table, LockMode::IntentionExclusive)?;
-        let result = self
-            .inner
-            .lock_sys
-            .lock_record(txn.id, record, LockMode::Exclusive);
+        let result = self.inner.lock_sys.lock_record_in(
+            txn.id,
+            record,
+            LockMode::Exclusive,
+            txn.metrics_sink(),
+        );
         txn.add_blocked(start.elapsed());
         result?;
         txn.record_lock(record);
         Ok(WriteAdmission::Locked)
     }
 
-    /// O1 / Bamboo (and Aria's apply phase): lightweight record lock.
+    /// O1 / Bamboo (and Aria's apply phase): lightweight record lock.  The
+    /// per-cycle lock counters go to the transaction's metrics scratch.
     fn acquire_lightweight(
         &self,
         txn: &mut Transaction,
         record: RecordId,
     ) -> Result<WriteAdmission> {
         let start = Instant::now();
-        let result = self
-            .inner
-            .lightweight
-            .lock_record(txn.id, record, LockMode::Exclusive);
+        let result = self.inner.lightweight.lock_record_in(
+            txn.id,
+            record,
+            LockMode::Exclusive,
+            txn.metrics_sink(),
+        );
         txn.add_blocked(start.elapsed());
         result?;
         txn.record_lock(record);
@@ -277,10 +284,12 @@ impl Database {
         }
         // Ticket acquired: take the real row lock (the previous holder has
         // already released it, or will very soon).
-        let result = self
-            .inner
-            .lightweight
-            .lock_record(txn.id, record, LockMode::Exclusive);
+        let result = self.inner.lightweight.lock_record_in(
+            txn.id,
+            record,
+            LockMode::Exclusive,
+            txn.metrics_sink(),
+        );
         txn.add_blocked(start.elapsed());
         match result {
             Ok(()) => {
@@ -335,10 +344,12 @@ impl Database {
         match self.inner.group_locks.begin_hot_update(txn.id, record) {
             HotExecution::Leader => {
                 // The leader performs the one real lock acquisition per group.
-                let result =
-                    self.inner
-                        .lightweight
-                        .lock_record(txn.id, record, LockMode::Exclusive);
+                let result = self.inner.lightweight.lock_record_in(
+                    txn.id,
+                    record,
+                    LockMode::Exclusive,
+                    txn.metrics_sink(),
+                );
                 txn.add_blocked(start.elapsed());
                 if let Err(err) = result {
                     self.inner.group_locks.leader_handover(txn.id, record);
@@ -370,10 +381,12 @@ impl Database {
                     }
                     WokenRole::NewLeader => {
                         let lock_start = Instant::now();
-                        let result =
-                            self.inner
-                                .lightweight
-                                .lock_record(txn.id, record, LockMode::Exclusive);
+                        let result = self.inner.lightweight.lock_record_in(
+                            txn.id,
+                            record,
+                            LockMode::Exclusive,
+                            txn.metrics_sink(),
+                        );
                         txn.add_blocked(lock_start.elapsed());
                         if let Err(err) = result {
                             self.inner.group_locks.leader_handover(txn.id, record);

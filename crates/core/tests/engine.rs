@@ -48,6 +48,82 @@ fn committed_balance(db: &Database, pk: i64) -> i64 {
 // ---------------------------------------------------------------------------
 
 #[test]
+fn per_txn_metrics_scratch_loses_no_counts_across_abort_paths() {
+    // Every transaction's lock counters now accumulate in a per-transaction
+    // scratch that only reaches EngineMetrics when the transaction drops
+    // (TxnMetrics flush-on-drop).  This storm mixes commits, explicit
+    // rollbacks and lock-wait-timeout aborts on a contended row: if any
+    // path lost its scratch, the `locks_released` total could not balance
+    // against the app-side count of records the registry ever tracked, and
+    // leftover bookkeeping would show in the `lock_registry_entries` gauge.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let db = setup(
+        EngineConfig::for_protocol(Protocol::LightweightO1)
+            .with_lock_wait_timeout(Duration::from_millis(10)),
+        64,
+    );
+    const THREADS: usize = 6;
+    const TXNS_PER_THREAD: usize = 60;
+    const HOT_PK: i64 = 0;
+    let tracked = Arc::new(AtomicU64::new(0));
+    thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let db = db.clone();
+            let tracked = Arc::clone(&tracked);
+            scope.spawn(move || {
+                for i in 0..TXNS_PER_THREAD {
+                    let mut txn = db.begin();
+                    // Two cold records in a range PRIVATE to this worker
+                    // (pks 1 + worker*10 .. 10 + worker*10), so the cold
+                    // acquisitions never cross-contend and the unwrap below
+                    // cannot trip on another worker's 10 ms timeout.
+                    let base = (1 + worker * 10 + i % 5) as i64;
+                    for pk in [base, base + 5] {
+                        db.update_add(&mut txn, ACCOUNTS, pk, 1, 1).unwrap();
+                        tracked.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // The contended row: a grant is one more tracked record;
+                    // a timed-out wait is also tracked (then forgotten by
+                    // the wait loop's cleanup) — both must be released
+                    // exactly once.
+                    match db.update_add(&mut txn, ACCOUNTS, HOT_PK, 1, 1) {
+                        Ok(_) => {
+                            tracked.fetch_add(1, Ordering::Relaxed);
+                            if i % 3 == 0 {
+                                db.rollback(txn, None);
+                            } else {
+                                db.commit(txn).unwrap();
+                            }
+                        }
+                        Err(err) => {
+                            tracked.fetch_add(1, Ordering::Relaxed);
+                            db.rollback(txn, Some(&err));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // All transactions finished and dropped: every scratch has flushed.
+    assert_eq!(
+        db.metrics().locks_released.get(),
+        tracked.load(Ordering::Relaxed),
+        "released-lock total must balance the records ever tracked — a \
+         mismatch means an abort path lost its metrics scratch"
+    );
+    let snapshot = db.snapshot_metrics(Duration::from_secs(1));
+    assert_eq!(
+        snapshot.lock_registry_entries, 0,
+        "registry must drain to zero after the storm"
+    );
+    assert!(
+        snapshot.release_shard_locks > 0,
+        "scratch counts must flush"
+    );
+    db.shutdown();
+}
+
+#[test]
 fn commit_makes_updates_visible_under_every_protocol() {
     for protocol in Protocol::ALL {
         let db = setup(EngineConfig::for_protocol(protocol), 4);

@@ -155,6 +155,7 @@ impl WaitForGraph {
     pub fn set_waits_for(&self, waiter: TxnId, holders: impl IntoIterator<Item = TxnId>) {
         let set: FxHashSet<TxnId> = holders.into_iter().filter(|h| *h != waiter).collect();
         let mut shard = self.shard_for(waiter).lock();
+        let _scope = crate::wake_check::GuardScope::enter();
         if set.is_empty() {
             if shard.remove(&waiter).is_some() {
                 self.approx_waiters.fetch_sub(1, Ordering::Relaxed);
@@ -175,6 +176,7 @@ impl WaitForGraph {
     /// discovers additional blockers).
     pub fn add_waits_for(&self, waiter: TxnId, holders: impl IntoIterator<Item = TxnId>) {
         let mut shard = self.shard_for(waiter).lock();
+        let _scope = crate::wake_check::GuardScope::enter();
         let existed = shard.contains_key(&waiter);
         let entry = shard.entry(waiter).or_default();
         for h in holders {
@@ -203,7 +205,9 @@ impl WaitForGraph {
     /// detection pass can [`WaitForGraph::doom`] it.  A no-op when the entry
     /// is already gone (the wait was granted before the event was parked).
     pub fn attach_waiter_event(&self, waiter: TxnId, event: Arc<OsEvent>) {
-        if let Some(entry) = self.shard_for(waiter).lock().get_mut(&waiter) {
+        let mut shard = self.shard_for(waiter).lock();
+        let _scope = crate::wake_check::GuardScope::enter();
+        if let Some(entry) = shard.get_mut(&waiter) {
             entry.event = Some(event);
         }
     }
@@ -225,6 +229,7 @@ impl WaitForGraph {
     pub fn doom(&self, victim: TxnId) -> bool {
         let event = {
             let mut shard = self.shard_for(victim).lock();
+            let _scope = crate::wake_check::GuardScope::enter();
             match shard.get_mut(&victim) {
                 Some(entry) => {
                     entry.doomed = true;
@@ -244,7 +249,9 @@ impl WaitForGraph {
     /// Consumes the doomed mark of `txn`, if set.  Called by the waiter on
     /// every wake-up; a true return means some detection pass sacrificed it.
     pub fn take_doomed(&self, txn: TxnId) -> bool {
-        match self.shard_for(txn).lock().get_mut(&txn) {
+        let mut shard = self.shard_for(txn).lock();
+        let _scope = crate::wake_check::GuardScope::enter();
+        match shard.get_mut(&txn) {
             Some(entry) => std::mem::take(&mut entry.doomed),
             None => false,
         }
@@ -263,6 +270,7 @@ impl WaitForGraph {
         self.clear_waits_of(txn);
         for shard in &self.shards {
             let mut guard = shard.lock();
+            let _scope = crate::wake_check::GuardScope::enter();
             let before = guard.len();
             for entry in guard.values_mut() {
                 entry.out.remove(&txn);
@@ -278,15 +286,18 @@ impl WaitForGraph {
     /// Removes only the outgoing edges of `txn` (it stopped waiting but may
     /// still block others).  One shard lock, no cross-waiter contention.
     pub fn clear_waits_of(&self, txn: TxnId) {
-        if self.shard_for(txn).lock().remove(&txn).is_some() {
+        let mut shard = self.shard_for(txn).lock();
+        let _scope = crate::wake_check::GuardScope::enter();
+        if shard.remove(&txn).is_some() {
             self.approx_waiters.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
     /// Snapshot of one waiter's out-edges (locks only that waiter's shard).
     fn out_edges(&self, waiter: TxnId) -> Option<Vec<TxnId>> {
-        self.shard_for(waiter)
-            .lock()
+        let shard = self.shard_for(waiter).lock();
+        let _scope = crate::wake_check::GuardScope::enter();
+        shard
             .get(&waiter)
             .map(|entry| entry.out.iter().copied().collect())
     }

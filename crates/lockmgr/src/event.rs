@@ -91,7 +91,15 @@ impl OsEvent {
     }
 
     /// Sets the event, waking all current and future waiters (until reset).
+    ///
+    /// Debug builds assert the **wake-outside-lock** invariant here: a set
+    /// while the calling thread holds a lockmgr shard/state guard is a
+    /// latent convoy (the woken thread immediately blocks on that guard) —
+    /// every release/grant/handover path collects its events under the guard
+    /// and fires them after dropping it (see the private `wake_check`
+    /// module; the crate docs' fast-path section describes the invariant).
     pub fn set(&self) {
+        crate::wake_check::assert_wake_outside_guard();
         let mut signalled = self.signalled.lock();
         *signalled = true;
         self.condvar.notify_all();

@@ -21,8 +21,29 @@
 //!
 //! The state machine below follows Algorithms 1–3 of the paper; the method
 //! names map to the pseudo-code lines noted in their doc comments.
+//!
+//! ## Batched commit handover
+//!
+//! The leader side of Algorithm 2 touches the group table twice per hot
+//! record: once to quiesce ([`GroupLockTable::leader_prepare_commit`]) and
+//! once to promote the next leader ([`GroupLockTable::leader_handover`]) —
+//! each paying one entry-map shard lock to fetch the record's
+//! `Arc<GroupEntry>`.  A leader committing N hot rows therefore took 2N+
+//! shard locks and woke each promoted leader while still iterating.  The
+//! batched path ([`GroupLockTable::begin_leader_commit`] /
+//! [`GroupLockTable::finish_leader_handover`]) collects the leader's hot
+//! records, groups them by entry shard, fetches every entry with **one
+//! shard-lock take per shard** (the entry map is sharded by *page*, so the
+//! multi-row flash-sale shape — several hot rows loaded together on one page
+//! — resolves in a single take), caches the `Arc`s across prepare *and*
+//! handover, and sets every promoted leader's event only after the last
+//! state guard is dropped (wake-outside-lock).  The `handover_shard_locks`
+//! counter in `EngineMetrics` records exactly these entry-map takes, making
+//! the amortization observable the same way `release_shard_locks` does for
+//! release batching.
 
 use crate::event::OsEvent;
+use crate::wake_check::GuardScope;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -189,10 +210,30 @@ impl GroupState {
             && self.doomed.is_empty()
     }
 
-    fn wake_commit_waiters(&mut self) {
-        for (_, event) in self.commit_waiters.drain(..) {
-            event.set();
-        }
+    /// Drains the commit waiters for the caller to wake **after** dropping
+    /// the state guard (wake-outside-lock).
+    #[must_use = "fire these events after dropping the state guard"]
+    fn take_commit_waiters(&mut self) -> Vec<Arc<OsEvent>> {
+        self.commit_waiters
+            .drain(..)
+            .map(|(_, event)| event)
+            .collect()
+    }
+
+    /// Promotes the next parked update to leader of a fresh group.  The
+    /// caller fires the returned slot's event after dropping the guard.
+    fn promote_next_leader(&mut self, metrics: &EngineMetrics) -> Option<(TxnId, Arc<WaitSlot>)> {
+        let waiter = self.waiting_updates.pop_front()?;
+        self.leader = Some(waiter.txn);
+        self.granted_in_group = 0;
+        self.switching_new_leader = false;
+        // The new leader's own update is considered in flight until it
+        // calls `finish_update`, so nobody can slip in between.
+        self.granting_new_trx = true;
+        self.executing = Some(waiter.txn);
+        metrics.groups_formed.inc();
+        *waiter.slot.role.lock() = Some(WokenRole::NewLeader);
+        Some((waiter.txn, waiter.slot))
     }
 }
 
@@ -201,9 +242,42 @@ struct GroupEntry {
     state: Mutex<GroupState>,
 }
 
+/// Prepared state of a leader's **batched** commit handover: the leader's
+/// hot records with their group entries already fetched (one entry-map
+/// shard-lock take per shard) and quiesced by
+/// [`GroupLockTable::begin_leader_commit`].  Handing this back to
+/// [`GroupLockTable::finish_leader_handover`] promotes the next leaders
+/// without ever going through the entry map again.
+#[derive(Debug)]
+pub struct LeaderCommit {
+    entries: Vec<(RecordId, Arc<GroupEntry>)>,
+}
+
+impl LeaderCommit {
+    /// Number of hot records in this commit batch.
+    pub fn record_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// Number of shards for the hot-row entry map.  Each hot row already has
 /// its own `GroupEntry` mutex; sharding the *lookup* map keeps unrelated hot
 /// rows from contending on one global mutex just to fetch their entry.
+///
+/// The map is sharded by **page**, not by record: all group-state mutation
+/// happens under the per-row `GroupEntry` mutex, so the shard lock is only
+/// held to clone an `Arc` out of the map — and page locality is exactly what
+/// lets the batched commit handover fetch a leader's co-located hot records
+/// with one shard-lock take (hot rows of one flash sale are loaded together
+/// and land on the same page).
+///
+/// Trade: same-page hot rows now share one shard mutex for *every* entry
+/// fetch (`begin_hot_update`, `register_update`, `commit_turn`, …), where
+/// record-keyed sharding spread them across up to 64 shards.  The hold is a
+/// hash plus an `Arc` clone — all group-state mutation still happens under
+/// the per-row `GroupEntry` mutex — but workloads hammering several hot rows
+/// of one page from many threads pay a new cross-row fetch serialization
+/// point in exchange for the amortized commit handover.
 const ENTRY_SHARDS: usize = 64;
 
 /// One shard of the hot-row entry map.
@@ -237,14 +311,31 @@ impl GroupLockTable {
     }
 
     #[inline]
+    fn entry_shard_index(&self, record: RecordId) -> usize {
+        // Page-keyed sharding: see the ENTRY_SHARDS docs.
+        let page = record.page();
+        let key = ((page.space_id as u64) << 32) | page.page_no as u64;
+        (fxhash::hash_u64(key) % ENTRY_SHARDS as u64) as usize
+    }
+
+    #[inline]
     fn entry_shard(&self, record: RecordId) -> &Mutex<FxHashMap<u64, Arc<GroupEntry>>> {
-        let idx = (fxhash::hash_u64(record.packed()) % ENTRY_SHARDS as u64) as usize;
-        &self.entry_shards[idx]
+        &self.entry_shards[self.entry_shard_index(record)]
     }
 
     fn entry(&self, record: RecordId) -> Arc<GroupEntry> {
         let mut entries = self.entry_shard(record).lock();
+        let _scope = GuardScope::enter();
         Arc::clone(entries.entry(record.packed()).or_default())
+    }
+
+    /// Fetches one record's entry on the **commit-handover path**, counting
+    /// the entry-map shard take in `handover_shard_locks` (the unbatched
+    /// prepare/handover pair pays two of these per record; the batched path
+    /// amortizes them across shard groups).
+    fn entry_counted(&self, record: RecordId) -> Arc<GroupEntry> {
+        self.metrics.handover_shard_locks.inc();
+        self.entry(record)
     }
 
     /// Runs `f` on the record's *live* group state.
@@ -261,10 +352,34 @@ impl GroupLockTable {
         loop {
             let entry = self.entry(record);
             let mut state = entry.state.lock();
+            let _scope = GuardScope::enter();
             if state.dead {
                 continue;
             }
             return f(&mut state);
+        }
+    }
+
+    /// Runs `f` on a record's live state through a **cached** entry `Arc`
+    /// (the batched commit path fetches entries once per shard group and
+    /// reuses them across prepare + handover).  A cached entry that `maybe_gc`
+    /// killed in the meantime is replaced through the map — one more counted
+    /// shard take — and the closure retried on the live entry.
+    fn with_cached_state<R>(
+        &self,
+        record: RecordId,
+        entry: &mut Arc<GroupEntry>,
+        mut f: impl FnMut(&mut GroupState) -> R,
+    ) -> R {
+        loop {
+            {
+                let mut state = entry.state.lock();
+                let _scope = GuardScope::enter();
+                if !state.dead {
+                    return f(&mut state);
+                }
+            }
+            *entry = self.entry_counted(record);
         }
     }
 
@@ -282,9 +397,11 @@ impl GroupLockTable {
         loop {
             let entry = {
                 let entries = self.entry_shard(record).lock();
+                let _scope = GuardScope::enter();
                 Arc::clone(entries.get(&record.packed())?)
             };
             let mut state = entry.state.lock();
+            let _scope = GuardScope::enter();
             if state.dead {
                 continue;
             }
@@ -297,6 +414,7 @@ impl GroupLockTable {
         // order `entry()` + `with_state` compose to), so the idle check, the
         // dead mark and the map removal are one atomic step.
         let mut entries = self.entry_shard(record).lock();
+        let _scope = GuardScope::enter();
         if let Some(existing) = entries.get(&record.packed()) {
             let mut state = existing.state.lock();
             if state.is_idle() {
@@ -417,9 +535,10 @@ impl GroupLockTable {
     }
 
     /// Completes an update and grants the next follower if allowed
-    /// (Algorithm 1, lines 11–20).
+    /// (Algorithm 1, lines 11–20).  The granted follower's event fires after
+    /// the state guard is dropped.
     pub fn finish_update(&self, txn: TxnId, record: RecordId, is_leader: bool) {
-        self.with_state(record, |state| {
+        let granted = self.with_state(record, |state| {
             // Whoever just finished (leader or follower) is no longer
             // mid-update.
             state.granting_new_trx = false;
@@ -428,90 +547,166 @@ impl GroupLockTable {
                 state.switching_new_leader = false;
             }
             if state.switching_new_leader || state.rollback_pause {
-                return;
+                return None;
             }
             if self.config.batch_size > 0 && state.granted_in_group >= self.config.batch_size {
-                return;
+                return None;
             }
-            if let Some(waiter) = state.waiting_updates.pop_front() {
-                state.granting_new_trx = true;
-                state.granted_in_group += 1;
-                state.executing = Some(waiter.txn);
-                *waiter.slot.role.lock() = Some(WokenRole::Follower);
-                waiter.slot.event().set();
-            }
+            let waiter = state.waiting_updates.pop_front()?;
+            state.granting_new_trx = true;
+            state.granted_in_group += 1;
+            state.executing = Some(waiter.txn);
+            *waiter.slot.role.lock() = Some(WokenRole::Follower);
+            Some(waiter.slot)
         });
+        if let Some(slot) = granted {
+            slot.event().set();
+        }
     }
 
     // ------------------------------------------------------------------
     // Algorithm 2 — Commit
     // ------------------------------------------------------------------
 
-    /// Leader-side commit preparation (Algorithm 2, lines 2–4): stop granting
-    /// and wait for the in-flight granted follower to complete its update.
-    pub fn leader_prepare_commit(&self, txn: TxnId, record: RecordId) {
-        let deadline = SimInstant::now() + self.config.hot_wait_timeout * 4;
-        loop {
-            let quiesced = self.with_state(record, |state| {
-                if state.leader == Some(txn) {
-                    state.switching_new_leader = true;
-                }
-                !state.granting_new_trx
-            });
-            if quiesced {
-                return;
+    /// Fetches the entries for a leader's hot records, grouped by entry
+    /// shard: each distinct shard's map lock is taken **once** for all the
+    /// records it hosts (counted in `handover_shard_locks`).
+    fn fetch_hot_entries(&self, records: &[RecordId]) -> Vec<(RecordId, Arc<GroupEntry>)> {
+        let mut keyed: Vec<(usize, RecordId)> = records
+            .iter()
+            .map(|r| (self.entry_shard_index(*r), *r))
+            .collect();
+        keyed.sort_unstable();
+        let mut entries = Vec::with_capacity(records.len());
+        for chunk in keyed.chunk_by(|a, b| a.0 == b.0) {
+            self.metrics.handover_shard_locks.inc();
+            let mut shard = self.entry_shards[chunk[0].0].lock();
+            let _scope = GuardScope::enter();
+            for (_, record) in chunk {
+                entries.push((
+                    *record,
+                    Arc::clone(shard.entry(record.packed()).or_default()),
+                ));
             }
-            if SimInstant::now() > deadline {
-                // A granted follower disappeared without calling finish_update
-                // (it aborted on an unrelated error).  Proceed rather than
-                // wedging the whole hot row.
-                self.with_state(record, |state| {
-                    state.granting_new_trx = false;
-                });
-                return;
-            }
-            ut_delay(10);
         }
+        entries
     }
 
-    /// Leader-side handover after releasing the row lock (Algorithm 2, lines
-    /// 7–10): promotes the next waiter to leader of a new group.  Returns the
-    /// new leader, if any (with the dynamic batch size there may be none).
+    /// Batched leader-side commit preparation (Algorithm 2, lines 2–4, for a
+    /// whole commit): fetches every hot record's entry with one shard-lock
+    /// take per entry shard, marks each group `switching_new_leader` and
+    /// waits until no granted follower is mid-update on any of them.  The
+    /// returned handle caches the entry `Arc`s so
+    /// [`GroupLockTable::finish_leader_handover`] promotes without going back
+    /// through the entry map.
+    ///
+    /// The caller releases the real row locks **between** the two calls —
+    /// ideally as one batched `release_record_locks` call — so every promoted
+    /// leader finds its row lock free.
+    pub fn begin_leader_commit(&self, txn: TxnId, records: &[RecordId]) -> LeaderCommit {
+        let mut entries = self.fetch_hot_entries(records);
+        for (record, entry) in entries.iter_mut() {
+            // Per-record quiesce budget, matching the per-record
+            // leader_prepare_commit this replaces: one stalled record's
+            // vanished follower must not eat later records' wait budget and
+            // force-clear their healthy in-flight followers.
+            let deadline = SimInstant::now() + self.config.hot_wait_timeout * 4;
+            loop {
+                let quiesced = self.with_cached_state(*record, entry, |state| {
+                    if state.leader == Some(txn) {
+                        state.switching_new_leader = true;
+                    }
+                    !state.granting_new_trx
+                });
+                if quiesced {
+                    break;
+                }
+                if SimInstant::now() > deadline {
+                    // A granted follower disappeared without calling
+                    // finish_update (it aborted on an unrelated error).
+                    // Proceed rather than wedging the whole hot row.
+                    self.with_cached_state(*record, entry, |state| {
+                        state.granting_new_trx = false;
+                    });
+                    break;
+                }
+                ut_delay(10);
+            }
+        }
+        LeaderCommit { entries }
+    }
+
+    /// Batched leader-side handover after the row locks were released
+    /// (Algorithm 2, lines 7–10): promotes the next waiter of each prepared
+    /// hot record to leader of a new group — reusing the entry `Arc`s cached
+    /// by [`GroupLockTable::begin_leader_commit`], no entry-map locks — and
+    /// fires every promoted leader's event only after the last state guard
+    /// is dropped.  Returns the promotion per record (`None` with the
+    /// dynamic batch size when the queue was empty).
+    pub fn finish_leader_handover(
+        &self,
+        txn: TxnId,
+        commit: LeaderCommit,
+    ) -> Vec<(RecordId, Option<TxnId>)> {
+        let LeaderCommit { mut entries } = commit;
+        let mut promotions = Vec::with_capacity(entries.len());
+        let mut to_wake: Vec<Arc<WaitSlot>> = Vec::new();
+        for (record, entry) in entries.iter_mut() {
+            let promoted = self.with_cached_state(*record, entry, |state| {
+                if state.leader == Some(txn) {
+                    state.leader = None;
+                } else if state.leader.is_some() {
+                    // Another transaction's group already owns this row (our
+                    // own entry went idle, was GC'd, and the map entry was
+                    // re-created since): nothing to hand over, and the live
+                    // group's in-flight flags must not be clobbered.
+                    return None;
+                }
+                if state.rollback_pause {
+                    return None;
+                }
+                if let Some((new_leader, slot)) = state.promote_next_leader(&self.metrics) {
+                    to_wake.push(slot);
+                    Some(new_leader)
+                } else {
+                    // Dynamic batch size: release without nominating a
+                    // leader; the next arrival starts a fresh group
+                    // immediately.
+                    state.switching_new_leader = false;
+                    state.granting_new_trx = false;
+                    state.executing = None;
+                    None
+                }
+            });
+            promotions.push((*record, promoted));
+        }
+        // Every guard is dropped: fire the promoted leaders' events.
+        for slot in to_wake {
+            slot.event().set();
+        }
+        promotions
+    }
+
+    /// Leader-side commit preparation for a single record (Algorithm 2,
+    /// lines 2–4): stop granting and wait for the in-flight granted follower
+    /// to complete its update.  One record of the batched
+    /// [`GroupLockTable::begin_leader_commit`]; kept for the write path's
+    /// error handling and per-record callers.
+    pub fn leader_prepare_commit(&self, txn: TxnId, record: RecordId) {
+        let _ = self.begin_leader_commit(txn, std::slice::from_ref(&record));
+    }
+
+    /// Leader-side handover for a single record after releasing the row lock
+    /// (Algorithm 2, lines 7–10): promotes the next waiter to leader of a new
+    /// group.  Returns the new leader, if any (with the dynamic batch size
+    /// there may be none).
     pub fn leader_handover(&self, txn: TxnId, record: RecordId) -> Option<TxnId> {
-        self.with_state(record, |state| {
-            if state.leader == Some(txn) {
-                state.leader = None;
-            } else if state.leader.is_some() {
-                // Another transaction's group already owns this row (our own
-                // entry went idle, was GC'd, and the map entry was re-created
-                // since): nothing to hand over, and the live group's in-flight
-                // flags must not be clobbered.
-                return None;
-            }
-            if state.rollback_pause {
-                return None;
-            }
-            if let Some(waiter) = state.waiting_updates.pop_front() {
-                state.leader = Some(waiter.txn);
-                state.granted_in_group = 0;
-                state.switching_new_leader = false;
-                // The new leader's own update is considered in flight until it
-                // calls `finish_update`, so nobody can slip in between.
-                state.granting_new_trx = true;
-                state.executing = Some(waiter.txn);
-                self.metrics.groups_formed.inc();
-                *waiter.slot.role.lock() = Some(WokenRole::NewLeader);
-                waiter.slot.event().set();
-                Some(waiter.txn)
-            } else {
-                // Dynamic batch size: release without nominating a leader; the
-                // next arrival starts a fresh group immediately.
-                state.switching_new_leader = false;
-                state.granting_new_trx = false;
-                state.executing = None;
-                None
-            }
-        })
+        let commit = LeaderCommit {
+            entries: vec![(record, self.entry_counted(record))],
+        };
+        self.finish_leader_handover(txn, commit)
+            .pop()
+            .and_then(|(_, promoted)| promoted)
     }
 
     /// Asks whether `txn` may commit now (commit-order guarantee, §4.3).
@@ -568,9 +763,10 @@ impl GroupLockTable {
     }
 
     /// Finalises a commit: removes `txn` from the dependency list and wakes
-    /// commit waiters (Algorithm 2, lines 11–12).
+    /// commit waiters (Algorithm 2, lines 11–12) — after dropping the state
+    /// guard.
     pub fn finish_commit(&self, txn: TxnId, record: RecordId) {
-        self.with_state(record, |state| {
+        let woken = self.with_state(record, |state| {
             state.dep_list.retain(|t| *t != txn);
             state.doomed.remove(&txn);
             if state.leader == Some(txn) {
@@ -578,8 +774,11 @@ impl GroupLockTable {
                 // committed leader can never keep the entry alive.
                 state.leader = None;
             }
-            state.wake_commit_waiters();
+            state.take_commit_waiters()
         });
+        for event in woken {
+            event.set();
+        }
         self.maybe_gc(record);
     }
 
@@ -591,7 +790,7 @@ impl GroupLockTable {
     /// rollback optimization): pauses granting, dooms every dependency-list
     /// successor and returns them (they must cascade-abort first).
     pub fn begin_rollback(&self, txn: TxnId, record: RecordId) -> Vec<TxnId> {
-        self.with_state(record, |state| {
+        let (successors, woken) = self.with_state(record, |state| {
             state.rollback_pause = true;
             if state.leader == Some(txn) {
                 state.switching_new_leader = false;
@@ -611,9 +810,12 @@ impl GroupLockTable {
             for succ in &successors {
                 state.doomed.entry(*succ).or_insert(txn);
             }
-            state.wake_commit_waiters();
-            successors
-        })
+            (successors, state.take_commit_waiters())
+        });
+        for event in woken {
+            event.set();
+        }
+        successors
     }
 
     /// Blocks until `txn` is the newest entry of the dependency list and no
@@ -636,16 +838,20 @@ impl GroupLockTable {
     }
 
     /// Finalises a rollback: removes `txn` from the dependency list, clears
-    /// its doomed mark and wakes commit waiters (Algorithm 3, lines 8–9).
+    /// its doomed mark and wakes commit waiters (Algorithm 3, lines 8–9) —
+    /// after dropping the state guard.
     pub fn finish_rollback(&self, txn: TxnId, record: RecordId) {
-        self.with_state(record, |state| {
+        let woken = self.with_state(record, |state| {
             state.dep_list.retain(|t| *t != txn);
             state.doomed.remove(&txn);
             if state.leader == Some(txn) {
                 state.leader = None;
             }
-            state.wake_commit_waiters();
+            state.take_commit_waiters()
         });
+        for event in woken {
+            event.set();
+        }
         self.maybe_gc(record);
     }
 
@@ -656,26 +862,23 @@ impl GroupLockTable {
         let promoted = self.with_state(record, |state| {
             state.rollback_pause = false;
             if state.leader.is_none() {
-                if let Some(waiter) = state.waiting_updates.pop_front() {
-                    state.leader = Some(waiter.txn);
-                    state.granted_in_group = 0;
-                    state.switching_new_leader = false;
-                    state.granting_new_trx = true;
-                    state.executing = Some(waiter.txn);
-                    self.metrics.groups_formed.inc();
-                    *waiter.slot.role.lock() = Some(WokenRole::NewLeader);
-                    waiter.slot.event().set();
-                    return Some(waiter.txn);
-                }
+                return state.promote_next_leader(&self.metrics);
             }
             None
         });
-        if promoted.is_none() {
-            // A rollback that left the row fully idle must not keep the map
-            // entry alive.
-            self.maybe_gc(record);
+        match promoted {
+            Some((new_leader, slot)) => {
+                // State guard dropped: fire the promotion.
+                slot.event().set();
+                Some(new_leader)
+            }
+            None => {
+                // A rollback that left the row fully idle must not keep the
+                // map entry alive.
+                self.maybe_gc(record);
+                None
+            }
         }
-        promoted
     }
 
     // ------------------------------------------------------------------
@@ -877,6 +1080,62 @@ mod tests {
         g.leader_prepare_commit(TxnId(1), HOT);
         assert_eq!(g.leader_handover(TxnId(1), HOT), Some(TxnId(3)));
         assert_eq!(slot3.role(), Some(WokenRole::NewLeader));
+    }
+
+    #[test]
+    fn batched_handover_amortizes_entry_shard_takes_and_promotes_each_row() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let g = GroupLockTable::new(GroupLockConfig::default(), Arc::clone(&metrics));
+        // Four hot rows on ONE page: page-keyed entry sharding puts them in
+        // one shard, so the batched fetch is a single counted take.
+        let records: Vec<RecordId> = (0..4).map(|heap| RecordId::new(1, 0, heap)).collect();
+        let mut slots = Vec::new();
+        for (i, record) in records.iter().enumerate() {
+            assert!(matches!(
+                g.begin_hot_update(TxnId(1), *record),
+                HotExecution::Leader
+            ));
+            g.register_update(TxnId(1), *record);
+            g.finish_update(TxnId(1), *record, true);
+            // Park one waiter per row while the leader is idle — force the
+            // Wait path by marking the leader committing first.
+            g.with_state(*record, |state| state.switching_new_leader = true);
+            let slot = match g.begin_hot_update(TxnId(10 + i as u64), *record) {
+                HotExecution::Wait(slot) => slot,
+                other => panic!("expected Wait, got {other:?}"),
+            };
+            g.with_state(*record, |state| state.switching_new_leader = false);
+            slots.push(slot);
+        }
+
+        let takes_before = metrics.handover_shard_locks.get();
+        let prepared = g.begin_leader_commit(TxnId(1), &records);
+        assert_eq!(prepared.record_count(), 4);
+        let promotions = g.finish_leader_handover(TxnId(1), prepared);
+        assert_eq!(
+            metrics.handover_shard_locks.get() - takes_before,
+            1,
+            "four same-page rows must resolve in one entry-shard take"
+        );
+        for ((record, promoted), (i, slot)) in promotions.iter().zip(slots.iter().enumerate()) {
+            assert_eq!(
+                *promoted,
+                Some(TxnId(10 + i as u64)),
+                "waiter on {record} must be promoted to leader"
+            );
+            assert_eq!(slot.role(), Some(WokenRole::NewLeader));
+            assert!(slot.event().is_set(), "promotion must fire the event");
+            assert_eq!(g.leader_of(*record), Some(TxnId(10 + i as u64)));
+        }
+        // The unbatched pair pays two counted takes for one record.
+        let single = RecordId::new(2, 0, 0);
+        let _ = g.begin_hot_update(TxnId(2), single);
+        g.register_update(TxnId(2), single);
+        g.finish_update(TxnId(2), single, true);
+        let takes_before = metrics.handover_shard_locks.get();
+        g.leader_prepare_commit(TxnId(2), single);
+        g.leader_handover(TxnId(2), single);
+        assert_eq!(metrics.handover_shard_locks.get() - takes_before, 2);
     }
 
     #[test]

@@ -52,10 +52,11 @@
 //! every hot path free of global mutexes:
 //!
 //! * **Per-transaction lock lists are sharded by `TxnId`** in the
-//!   [`registry::TxnLockRegistry`]: acquisition records `(txn, record)` in
-//!   the transaction's own cache-padded shard (page-grouped map, O(1)
-//!   dedupe), and `release_all` takes the whole entry out with one shard
-//!   lock — there is no global `txn_locks` map to serialize on.  The
+//!   [`registry::TxnLockRegistry`]: acquisition appends `(txn, record)` to
+//!   the transaction's own cache-padded shard (an unsorted append log — the
+//!   page-major sort is deferred to release), and `release_all` takes the
+//!   whole entry out with one shard lock, sorting and deduplicating it once
+//!   — there is no global `txn_locks` map to serialize on.  The
 //!   registry also tracks which tables a transaction intention-locked, so
 //!   table-lock release visits only those shards instead of scanning every
 //!   table.  Registry size is observable via the
@@ -95,6 +96,47 @@
 //! `grant_scan_len` histogram; with per-record queues this stays bounded by
 //! one record's queue depth, so growth with page population is a layout
 //! regression (the stress tests assert flatness).
+//!
+//! ## The uncontended fast path
+//!
+//! The zero-conflict acquire/release cycle — the path every cold record
+//! takes, and the one the contended optimizations must not tax — is kept
+//! allocation- and contention-minimal end to end:
+//!
+//! * **inline holders, lazy waiters**: a [`record_queue::RecordQueue`]
+//!   stores its single holder inline (no `Vec` until a second *shared*
+//!   holder appears) and has no waiter deque at all until the first conflict
+//!   boxes one into existence — an uncontended acquire/release cycle
+//!   performs **zero heap allocations** in either lock table;
+//! * **per-transaction metrics scratch**: the per-cycle counters
+//!   (`locks_created`, `locks_released`, `release_shard_locks`, grant-scan
+//!   lengths) flow through a
+//!   [`MetricsSink`](txsql_common::metrics::MetricsSink) — the engine passes
+//!   each transaction's `Cell`-based scratch (`txsql_txn::TxnMetrics`,
+//!   flushed to `EngineMetrics` once per commit and on drop, so abort paths
+//!   lose nothing) instead of hammering shared atomics 2+ times per cycle;
+//!   the lock tables' `*_in` entry points (`lock_record_in`,
+//!   `release_all_in`, `release_record_locks_in`) accept the sink, and the
+//!   sink-less names remain as shared-metrics conveniences;
+//! * **append-log registry inserts**: [`registry::TxnLockRegistry`] records
+//!   an acquisition with a plain `Vec::push`; the page-major sort the
+//!   grouped release paths rely on is deferred to `take_all` — paid once per
+//!   transaction at release, where batching already amortizes everything
+//!   else, instead of a sorted insert on every acquisition.
+//!
+//! The same pass made the **wake-outside-lock** rule uniform and checked:
+//! every path that wakes a waiter (grant scans, batched release, the group
+//! tables' follower grants, leader handover and commit-waiter wakes)
+//! collects its events under the shard/state guard and fires them after
+//! dropping it, and `OsEvent::set` debug-asserts the calling thread holds no
+//! lockmgr guard (the private `wake_check` module).
+//!
+//! The other end of the lifecycle is batched too: a group-locking leader's
+//! commit-time handover of several hot rows fetches their group entries with
+//! one entry-map shard lock per shard and promotes all successor leaders
+//! before firing any wake-up — see
+//! [`group_lock::GroupLockTable::begin_leader_commit`] and the
+//! `handover_shard_locks` counter.
 //!
 //! Supporting modules: [`record_queue`] (the shared per-record queue core),
 //! [`event`] (the `os_event` wait/wake primitive and its pool), [`modes`]
@@ -140,6 +182,7 @@ pub mod modes;
 pub mod queue_lock;
 pub mod record_queue;
 pub mod registry;
+mod wake_check;
 
 pub use deadlock::{VictimPolicy, WaitForGraph};
 pub use event::OsEvent;

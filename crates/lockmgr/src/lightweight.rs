@@ -47,11 +47,12 @@ use crate::record_queue::{
     RecordQueue, WaitParams,
 };
 use crate::registry::TxnLockRegistry;
+use crate::wake_check::GuardScope;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 use txsql_common::fxhash::{self, FxHashMap};
-use txsql_common::metrics::EngineMetrics;
+use txsql_common::metrics::{EngineMetrics, MetricsSink};
 use txsql_common::pad::CachePadded;
 use txsql_common::{RecordId, Result, TxnId};
 
@@ -153,23 +154,40 @@ impl LightweightLockTable {
         &self.shards[self.shard_index(record)]
     }
 
+    /// Acquires a record lock, blocking until granted, deadlock or timeout,
+    /// counting the hot-path metrics straight into the shared
+    /// [`EngineMetrics`].
+    pub fn lock_record(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
+        self.lock_record_in(txn, record, mode, &*self.metrics)
+    }
+
     /// Acquires a record lock, blocking until granted, deadlock or timeout.
     /// The grant/wait machinery is the shared [`crate::record_queue`] core;
     /// this method only navigates the record-keyed sharding and applies the
-    /// lightweight [`QueuePolicy`].
-    pub fn lock_record(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
+    /// lightweight [`QueuePolicy`].  `sink` receives the per-cycle counters
+    /// — the engine passes the transaction's metrics scratch so the
+    /// uncontended fast path performs no atomic RMW.
+    pub fn lock_record_in<S: MetricsSink + ?Sized>(
+        &self,
+        txn: TxnId,
+        record: RecordId,
+        mode: LockMode,
+        sink: &S,
+    ) -> Result<()> {
         debug_assert!(mode.is_record_mode());
         let event;
         let mut doom_victim = None;
         {
             let mut shard = self.shard_for(record).lock();
+            let _scope = GuardScope::enter();
             let entry = shard.rows.entry(record.packed()).or_default();
 
-            match entry.try_acquire(txn, mode, POLICY, &self.metrics) {
+            match entry.try_acquire(txn, mode, POLICY, sink) {
                 AcquireOutcome::AlreadyHeld | AcquireOutcome::Upgraded => return Ok(()),
                 AcquireOutcome::Granted => {
                     // Conflict-free: just the holder id — no lock object, no
                     // event, and only sharded bookkeeping.
+                    drop(_scope);
                     drop(shard);
                     self.registry.remember_record(txn, record);
                     return Ok(());
@@ -227,52 +245,76 @@ impl LightweightLockTable {
         self.release_record_locks(txn, std::slice::from_ref(&record));
     }
 
+    /// [`LightweightLockTable::release_record_locks`] counting into the
+    /// shared metrics.
+    pub fn release_record_locks(&self, txn: TxnId, records: &[RecordId]) {
+        self.release_record_locks_in(txn, records, &*self.metrics);
+    }
+
     /// Releases a batch of record locks (Bamboo's early lock release, now
     /// flushed per statement boundary by the write path).  The table is
     /// record-keyed, so records are grouped by **shard**: each shard mutex
     /// is taken once per batch (not once per record), and the registry
     /// bookkeeping drains with one registry-shard lock for the whole batch.
-    pub fn release_record_locks(&self, txn: TxnId, records: &[RecordId]) {
+    /// Release-path counters go through `sink`.
+    pub fn release_record_locks_in<S: MetricsSink + ?Sized>(
+        &self,
+        txn: TxnId,
+        records: &[RecordId],
+        sink: &S,
+    ) {
         match records {
             [] => return,
-            [single] => self.drop_row_locks(txn, *single),
-            _ => self.drop_rows_grouped(txn, records),
+            [single] => self.drop_row_locks(txn, *single, sink),
+            _ => self.drop_rows_grouped(txn, records, sink),
         }
-        self.registry.forget_records(txn, records);
+        self.registry.forget_records_in(txn, records, sink);
     }
 
     /// Removes `txn`'s requests on one row and grants whatever unblocks
     /// (lock-table state only; registry bookkeeping is the caller's).
-    fn drop_row_locks(&self, txn: TxnId, record: RecordId) {
-        self.drop_shard_rows(txn, self.shard_index(record), [record.packed()]);
+    fn drop_row_locks<S: MetricsSink + ?Sized>(&self, txn: TxnId, record: RecordId, sink: &S) {
+        self.drop_shard_rows(txn, self.shard_index(record), [record.packed()], sink);
     }
 
     /// Drains `txn`'s requests on a batch of rows, grouped by shard so each
     /// shard mutex is taken once per batch: a sorted `(shard, key)` scratch
     /// vec (cheaper than a hash-map group-by for statement-sized batches)
     /// yields one contiguous run per shard.
-    fn drop_rows_grouped(&self, txn: TxnId, records: &[RecordId]) {
+    fn drop_rows_grouped<S: MetricsSink + ?Sized>(
+        &self,
+        txn: TxnId,
+        records: &[RecordId],
+        sink: &S,
+    ) {
         let mut keyed: Vec<(usize, u64)> = records
             .iter()
             .map(|r| (self.shard_index(*r), r.packed()))
             .collect();
         keyed.sort_unstable();
         for chunk in keyed.chunk_by(|a, b| a.0 == b.0) {
-            self.drop_shard_rows(txn, chunk[0].0, chunk.iter().map(|(_, key)| *key));
+            self.drop_shard_rows(txn, chunk[0].0, chunk.iter().map(|(_, key)| *key), sink);
         }
     }
 
     /// Removes `txn`'s requests on the given rows of one shard under a
     /// single shard-lock acquisition, granting whatever unblocks.
-    fn drop_shard_rows(&self, txn: TxnId, shard_idx: usize, keys: impl IntoIterator<Item = u64>) {
+    fn drop_shard_rows<S: MetricsSink + ?Sized>(
+        &self,
+        txn: TxnId,
+        shard_idx: usize,
+        keys: impl IntoIterator<Item = u64>,
+        sink: &S,
+    ) {
         let mut woken = Vec::new();
         {
             let mut shard = self.shards[shard_idx].lock();
-            self.metrics.release_shard_locks.inc();
+            let _scope = GuardScope::enter();
+            sink.on_release_shard_lock();
             for key in keys {
                 let prune = if let Some(entry) = shard.rows.get_mut(&key) {
                     entry.remove_requests_of(txn);
-                    entry.grant_from_front(&self.graph, &self.metrics, &mut woken);
+                    entry.grant_from_front(&self.graph, sink, &mut woken);
                     entry.is_empty()
                 } else {
                     false
@@ -287,18 +329,26 @@ impl LightweightLockTable {
         }
     }
 
+    /// [`LightweightLockTable::release_all`] counting into the shared
+    /// metrics.
+    pub fn release_all(&self, txn: TxnId) {
+        self.release_all_in(txn, &*self.metrics);
+    }
+
     /// Releases everything `txn` holds or waits for.  Walks only the
     /// transaction's own registry shard and the row shards it touched —
     /// grouped by shard, so each shard mutex is taken once per release-all.
-    pub fn release_all(&self, txn: TxnId) {
-        let Some(locks) = self.registry.take_all(txn) else {
+    /// Release-path counters go through `sink` (the engine passes the
+    /// transaction's metrics scratch).
+    pub fn release_all_in<S: MetricsSink + ?Sized>(&self, txn: TxnId, sink: &S) {
+        let Some(locks) = self.registry.take_all_in(txn, sink) else {
             self.graph.remove_txn(txn);
             return;
         };
         match locks.records.as_slice() {
             [] => {}
-            [single] => self.drop_row_locks(txn, *single),
-            records => self.drop_rows_grouped(txn, records),
+            [single] => self.drop_row_locks(txn, *single, sink),
+            records => self.drop_rows_grouped(txn, records, sink),
         }
         self.graph.remove_txn(txn);
     }
@@ -346,6 +396,7 @@ impl QueueAccess for RowSlot<'_> {
     fn with_queue<R>(&self, f: impl FnOnce(&mut RecordQueue) -> R) -> Option<R> {
         let key = self.record.packed();
         let mut shard = self.table.shard_for(self.record).lock();
+        let _scope = GuardScope::enter();
         let entry = shard.rows.get_mut(&key)?;
         let result = f(entry);
         if entry.is_empty() {

@@ -71,13 +71,14 @@ use crate::record_queue::{
     RecordQueue, WaitParams,
 };
 use crate::registry::TxnLockRegistry;
+use crate::wake_check::GuardScope;
 use crate::LockMode;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 use txsql_common::fxhash::{self, FxHashMap};
 use txsql_common::ids::{HeapNo, PageId};
-use txsql_common::metrics::EngineMetrics;
+use txsql_common::metrics::{EngineMetrics, MetricsSink};
 use txsql_common::pad::CachePadded;
 use txsql_common::{Error, RecordId, Result, TableId, TxnId};
 
@@ -244,17 +245,33 @@ impl LockSys {
         }
     }
 
+    /// Acquires a record lock, blocking until granted, deadlock or timeout,
+    /// counting the hot-path metrics straight into the shared
+    /// [`EngineMetrics`].
+    pub fn lock_record(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
+        self.lock_record_in(txn, record, mode, &*self.metrics)
+    }
+
     /// Acquires a record lock, blocking until granted, deadlock or timeout.
     /// The grant/wait machinery is the shared [`crate::record_queue`] core;
     /// this method only navigates the page-keyed sharding and applies the
-    /// baseline's [`QueuePolicy`].
-    pub fn lock_record(&self, txn: TxnId, record: RecordId, mode: LockMode) -> Result<()> {
+    /// baseline's [`QueuePolicy`].  `sink` receives the per-cycle counters
+    /// (`locks_created`) — the engine passes the transaction's metrics
+    /// scratch so the uncontended fast path performs no atomic RMW.
+    pub fn lock_record_in<S: MetricsSink + ?Sized>(
+        &self,
+        txn: TxnId,
+        record: RecordId,
+        mode: LockMode,
+        sink: &S,
+    ) -> Result<()> {
         debug_assert!(mode.is_record_mode());
         let event;
         let mut doom_victim = None;
         {
             let shard = self.shard_for(record.page());
             let mut guard = shard.lock();
+            let _scope = GuardScope::enter();
             let shard_ref = &mut *guard;
             if self.config.shell_sweep_limit.is_some() {
                 // Re-animating an empty shell: it stops counting toward the
@@ -270,12 +287,13 @@ impl LockSys {
             let page = shard_ref.pages.entry(record.page()).or_default();
             let queue = page.records.entry(record.heap_no).or_default();
 
-            match queue.try_acquire(txn, mode, POLICY, &self.metrics) {
+            match queue.try_acquire(txn, mode, POLICY, sink) {
                 AcquireOutcome::AlreadyHeld | AcquireOutcome::Upgraded => return Ok(()),
                 AcquireOutcome::Granted => {
                     // Uncontended grant: no OsEvent, no global bookkeeping —
                     // just the holder entry and the transaction's registry
                     // shard (updated after the page guard drops).
+                    drop(_scope);
                     drop(guard);
                     self.registry.remember_record(txn, record);
                     return Ok(());
@@ -333,6 +351,7 @@ impl LockSys {
     /// scenarios).
     pub fn lock_table(&self, txn: TxnId, table: TableId, mode: LockMode) -> Result<()> {
         let mut tables = self.table_shard_for(table).lock();
+        let _scope = GuardScope::enter();
         let holders = tables.entry(table).or_default();
         if holders
             .iter()
@@ -358,15 +377,26 @@ impl LockSys {
         self.release_record_locks(txn, std::slice::from_ref(&record));
     }
 
+    /// [`LockSys::release_record_locks`] counting into the shared metrics.
+    pub fn release_record_locks(&self, txn: TxnId, records: &[RecordId]) {
+        self.release_record_locks_in(txn, records, &*self.metrics);
+    }
+
     /// Releases a batch of record locks (Bamboo's early lock release):
     /// records are grouped by page so each page's shard mutex is taken once
     /// per page, and the registry bookkeeping drains with one shard lock for
-    /// the whole batch.
-    pub fn release_record_locks(&self, txn: TxnId, records: &[RecordId]) {
+    /// the whole batch.  Release-path counters (`release_shard_locks`,
+    /// `locks_released`, grant-scan lengths) go through `sink`.
+    pub fn release_record_locks_in<S: MetricsSink + ?Sized>(
+        &self,
+        txn: TxnId,
+        records: &[RecordId],
+        sink: &S,
+    ) {
         match records {
             [] => return,
             [single] => {
-                self.release_page_locks(txn, single.page(), std::iter::once(single.heap_no));
+                self.release_page_locks(txn, single.page(), std::iter::once(single.heap_no), sink);
             }
             _ => {
                 // Sort the batch page-major (RecordId's ordering) so each
@@ -375,26 +405,33 @@ impl LockSys {
                 let mut sorted = records.to_vec();
                 sorted.sort_unstable();
                 for chunk in sorted.chunk_by(|a, b| a.page() == b.page()) {
-                    self.release_page_locks(txn, chunk[0].page(), chunk.iter().map(|r| r.heap_no));
+                    self.release_page_locks(
+                        txn,
+                        chunk[0].page(),
+                        chunk.iter().map(|r| r.heap_no),
+                        sink,
+                    );
                 }
             }
         }
-        self.registry.forget_records(txn, records);
+        self.registry.forget_records_in(txn, records, sink);
     }
 
     /// Removes `txn`'s requests on the given heap_nos of one page under a
     /// single shard-lock acquisition, granting whatever unblocks.
-    fn release_page_locks(
+    fn release_page_locks<S: MetricsSink + ?Sized>(
         &self,
         txn: TxnId,
         page_id: PageId,
         heaps: impl IntoIterator<Item = HeapNo>,
+        sink: &S,
     ) {
         let mut woken = Vec::new();
         {
             let shard = self.shard_for(page_id);
             let mut guard = shard.lock();
-            self.metrics.release_shard_locks.inc();
+            let _scope = GuardScope::enter();
+            sink.on_release_shard_lock();
             let shard_ref = &mut *guard;
             let mut emptied_page = false;
             if let Some(page) = shard_ref.pages.get_mut(&page_id) {
@@ -402,7 +439,7 @@ impl LockSys {
                 for heap_no in heaps {
                     if let Some(queue) = page.records.get_mut(&heap_no) {
                         queue.remove_requests_of(txn);
-                        queue.grant_from_front(&self.graph, &self.metrics, &mut woken);
+                        queue.grant_from_front(&self.graph, sink, &mut woken);
                         if queue.is_empty() {
                             page.records.remove(&heap_no);
                         }
@@ -420,18 +457,25 @@ impl LockSys {
         }
     }
 
+    /// [`LockSys::release_all`] counting into the shared metrics.
+    pub fn release_all(&self, txn: TxnId) {
+        self.release_all_in(txn, &*self.metrics);
+    }
+
     /// Releases every lock `txn` holds (and abandons any waits), granting
     /// whatever unblocks.  Called at commit and rollback.  The registry hands
     /// back the transaction's records pre-grouped by page, so each page's
     /// shard mutex is taken at most once, and table release visits only the
     /// tables it actually locked — no global mutex, no full-table scan.
-    pub fn release_all(&self, txn: TxnId) {
-        let Some(locks) = self.registry.take_all(txn) else {
+    /// Release-path counters go through `sink` (the engine passes the
+    /// transaction's metrics scratch).
+    pub fn release_all_in<S: MetricsSink + ?Sized>(&self, txn: TxnId, sink: &S) {
+        let Some(locks) = self.registry.take_all_in(txn, sink) else {
             self.graph.remove_txn(txn);
             return;
         };
         for (page_id, records) in locks.page_groups() {
-            self.release_page_locks(txn, page_id, records.iter().map(|r| r.heap_no));
+            self.release_page_locks(txn, page_id, records.iter().map(|r| r.heap_no), sink);
         }
         for table in &locks.tables {
             let mut tables = self.table_shard_for(*table).lock();
@@ -508,6 +552,7 @@ impl QueueAccess for PageSlot<'_> {
     fn with_queue<R>(&self, f: impl FnOnce(&mut RecordQueue) -> R) -> Option<R> {
         let page_id = self.record.page();
         let mut guard = self.sys.shard_for(page_id).lock();
+        let _scope = GuardScope::enter();
         let shard = &mut *guard;
         let page = shard.pages.get_mut(&page_id)?;
         let queue = page.records.get_mut(&self.record.heap_no)?;

@@ -13,6 +13,7 @@
 //! per-transaction latency grows (Figure 2b).
 
 use crate::event::OsEvent;
+use crate::wake_check::GuardScope;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -84,6 +85,7 @@ impl QueueLockTable {
     /// Asks to proceed with an update of hot `record`.
     pub fn admit(&self, txn: TxnId, record: RecordId) -> QueueAdmission {
         let mut entries = self.shard_for(record).lock();
+        let _scope = GuardScope::enter();
         let entry = entries.entry(record.packed()).or_default();
         if entry.active.is_none() && entry.waiters.is_empty() {
             entry.active = Some(txn);
@@ -117,6 +119,7 @@ impl QueueLockTable {
     pub fn release(&self, txn: TxnId, record: RecordId) {
         let to_wake = {
             let mut entries = self.shard_for(record).lock();
+            let _scope = GuardScope::enter();
             let Some(entry) = entries.get_mut(&record.packed()) else {
                 return;
             };
@@ -145,6 +148,7 @@ impl QueueLockTable {
     /// queued.
     pub fn cancel_wait(&self, txn: TxnId, record: RecordId) -> bool {
         let mut entries = self.shard_for(record).lock();
+        let _scope = GuardScope::enter();
         let Some(entry) = entries.get_mut(&record.packed()) else {
             return false;
         };

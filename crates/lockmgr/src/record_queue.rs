@@ -30,6 +30,27 @@
 //! [`wait_until_granted`] — is shared verbatim, so the sim suites
 //! (`per_record_queue_independence_*`, the FIFO/compat invariants) prove both
 //! tables' behavior with one body of code.
+//!
+//! ## The uncontended fast path
+//!
+//! The zero-conflict acquire/release cycle is the layout's first-class
+//! citizen (see the crate docs' "fast path" section):
+//!
+//! * **holders are stored inline** — [`RecordQueue`] keeps its granted
+//!   holders in a three-state enum (`None` / one inline entry / spilled
+//!   `Vec`), so the overwhelmingly common single-holder record costs **no
+//!   heap allocation**; only shared-mode records with 2+ holders spill;
+//! * **the waiter deque is lazily allocated** — a record that never sees a
+//!   conflict never materialises its `VecDeque` (it lives behind an
+//!   `Option<Box<…>>` created by the first [`RecordQueue::enqueue_waiter`]),
+//!   which also keeps the queue struct small inside the tables' shard maps;
+//! * **hot counters go through a [`MetricsSink`]** — [`RecordQueue::try_acquire`]
+//!   and [`RecordQueue::grant_from_front`] are generic over the sink, so the
+//!   engine routes the per-cycle counts (`locks_created`, grant-scan lengths)
+//!   into the transaction's `Cell`-based
+//!   [`MetricsScratch`](txsql_common::metrics::MetricsScratch) instead of
+//!   shared atomics; the slow paths (waits, deadlock checks) still record
+//!   into [`EngineMetrics`] directly.
 
 use crate::deadlock::{select_victim, VictimPolicy, WaitForGraph};
 use crate::event::{OsEvent, WaitOutcome};
@@ -38,7 +59,7 @@ use crate::registry::TxnLockRegistry;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
-use txsql_common::metrics::EngineMetrics;
+use txsql_common::metrics::{EngineMetrics, MetricsSink};
 use txsql_common::time::SimInstant;
 use txsql_common::{Error, RecordId, Result, TxnId};
 
@@ -87,13 +108,103 @@ pub enum AcquireOutcome {
     MustWait(Vec<TxnId>),
 }
 
+/// Granted holders of one record, stored inline for the 1-holder common
+/// case.  A record held by a single transaction (the shape of virtually
+/// every exclusive lock) costs no heap allocation; only shared-mode records
+/// with two or more simultaneous holders spill into a `Vec`.
+#[derive(Debug, Default)]
+enum Holders {
+    /// Nobody holds the record.
+    #[default]
+    None,
+    /// Exactly one holder, stored inline — the uncontended fast path.
+    One((TxnId, LockMode)),
+    /// Two or more holders (shared locks) spilled to the heap.
+    Many(Vec<(TxnId, LockMode)>),
+}
+
+impl Holders {
+    #[inline]
+    fn as_slice(&self) -> &[(TxnId, LockMode)] {
+        match self {
+            Holders::None => &[],
+            Holders::One(h) => std::slice::from_ref(h),
+            Holders::Many(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [(TxnId, LockMode)] {
+        match self {
+            Holders::None => &mut [],
+            Holders::One(h) => std::slice::from_mut(h),
+            Holders::Many(v) => v,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Holders::None => 0,
+            Holders::One(_) => 1,
+            Holders::Many(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn push(&mut self, holder: (TxnId, LockMode)) {
+        match std::mem::take(self) {
+            Holders::None => *self = Holders::One(holder),
+            Holders::One(first) => *self = Holders::Many(vec![first, holder]),
+            Holders::Many(mut v) => {
+                v.push(holder);
+                *self = Holders::Many(v);
+            }
+        }
+    }
+
+    fn retain(&mut self, mut keep: impl FnMut(&(TxnId, LockMode)) -> bool) {
+        match self {
+            Holders::None => {}
+            Holders::One(h) => {
+                if !keep(h) {
+                    *self = Holders::None;
+                }
+            }
+            Holders::Many(v) => {
+                v.retain(|h| keep(h));
+                match v.len() {
+                    // Collapse back to the allocation-free states so a record
+                    // that momentarily spilled does not pin its Vec forever.
+                    0 => *self = Holders::None,
+                    1 => *self = Holders::One(v[0]),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
 /// One record's lock queue: granted holders split from the waiter FIFO, so
 /// every operation on the record is O(requests on that record) — never
-/// O(page population) or O(table population).
+/// O(page population) or O(table population).  The default (empty) queue owns
+/// no heap memory at all: holders are inline (the private `Holders` enum) and the waiter
+/// deque is only boxed into existence by the first conflicting request.
 #[derive(Debug, Default)]
 pub struct RecordQueue {
-    holders: Vec<(TxnId, LockMode)>,
-    waiters: VecDeque<WaitingRequest>,
+    holders: Holders,
+    /// Boxed on purpose (`clippy::box_collection` notwithstanding): the
+    /// deque is absent on every uncontended record, and `Option<Box<…>>` is
+    /// one pointer instead of `VecDeque`'s four words — the queues live by
+    /// the thousand inside the tables' shard maps, so the common-case struct
+    /// stays small and the indirection is only ever paid on the wait path.
+    #[allow(clippy::box_collection)]
+    waiters: Option<Box<VecDeque<WaitingRequest>>>,
 }
 
 impl RecordQueue {
@@ -101,28 +212,30 @@ impl RecordQueue {
     /// the queue from its map at this point.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.holders.is_empty() && self.waiters.is_empty()
+        self.holders.is_empty() && self.waiter_count() == 0
     }
 
     /// Number of waiting requests (the paper's hotspot-detection signal).
+    #[inline]
     pub fn waiter_count(&self) -> usize {
-        self.waiters.len()
+        self.waiters.as_ref().map_or(0, |w| w.len())
     }
 
     /// Transactions currently holding a granted lock.
     pub fn holder_ids(&self) -> Vec<TxnId> {
-        self.holders.iter().map(|(t, _)| *t).collect()
+        self.holders.as_slice().iter().map(|(t, _)| *t).collect()
     }
 
     /// True when `txn` holds a granted lock (any mode) on this record.
     pub fn holds_any(&self, txn: TxnId) -> bool {
-        self.holders.iter().any(|(t, _)| *t == txn)
+        self.holders.as_slice().iter().any(|(t, _)| *t == txn)
     }
 
     /// True when `txn` holds a granted lock covering `mode`.
     #[inline]
     fn is_granted(&self, txn: TxnId, mode: LockMode) -> bool {
         self.holders
+            .as_slice()
             .iter()
             .any(|(t, m)| *t == txn && m.covers(mode))
     }
@@ -131,6 +244,7 @@ impl RecordQueue {
     /// by `txn` for `mode`.
     fn conflicting_holders(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
         self.holders
+            .as_slice()
             .iter()
             .filter(|(t, m)| *t != txn && !m.is_compatible_with(mode))
             .map(|(t, _)| *t)
@@ -139,18 +253,21 @@ impl RecordQueue {
 
     /// Resolves an acquisition attempt under the owning shard's guard: the
     /// re-entrant fast path, the in-place upgrade, the uncontended grant and
-    /// the must-wait decision, in one conflict scan.  `metrics` feeds the
-    /// `locks_created` counter per `policy`.
+    /// the must-wait decision, in one conflict scan.  `sink` receives the
+    /// `locks_created` count per `policy` — the engine passes the
+    /// transaction's metrics scratch here so the uncontended grant costs no
+    /// atomic RMW.
     #[inline]
-    pub fn try_acquire(
+    pub fn try_acquire<S: MetricsSink + ?Sized>(
         &mut self,
         txn: TxnId,
         mode: LockMode,
         policy: QueuePolicy,
-        metrics: &EngineMetrics,
+        sink: &S,
     ) -> AcquireOutcome {
         let held = self
             .holders
+            .as_slice()
             .iter()
             .find(|(t, _)| *t == txn)
             .map(|(_, m)| *m);
@@ -166,21 +283,22 @@ impl RecordQueue {
         // alike (it may run under the hottest mutex in the system).
         let blockers = self.conflicting_holders(txn, mode);
         if blockers.is_empty() {
-            if held.is_some() && (!policy.upgrade_respects_queue || self.waiters.is_empty()) {
+            let no_waiters = self.waiter_count() == 0;
+            if held.is_some() && (!policy.upgrade_respects_queue || no_waiters) {
                 // Lock upgrade (S -> X) in place.  Under FIFO upgrade
                 // fairness this is only reached with an empty waiter queue.
-                for (t, m) in self.holders.iter_mut() {
+                for (t, m) in self.holders.as_mut_slice() {
                     if *t == txn {
                         *m = LockMode::Exclusive;
                     }
                 }
                 return AcquireOutcome::Upgraded;
             }
-            if held.is_none() && self.waiters.is_empty() {
+            if held.is_none() && no_waiters {
                 // Uncontended grant: no OsEvent, no lock object unless the
                 // table's accounting says every acquisition creates one.
                 if policy.count_uncontended_grants {
-                    metrics.locks_created.inc();
+                    sink.on_lock_created();
                 }
                 self.holders.push((txn, mode));
                 return AcquireOutcome::Granted;
@@ -191,8 +309,9 @@ impl RecordQueue {
 
     /// Queues a waiting request behind the current FIFO, drawing its wake-up
     /// event from the thread-local pool, and counts the lock object and the
-    /// wait.  Returns the event the caller parks on (a second clone stays
-    /// with the queued request).
+    /// wait.  The first waiter on a record materialises the boxed deque.
+    /// Returns the event the caller parks on (a second clone stays with the
+    /// queued request).
     pub fn enqueue_waiter(
         &mut self,
         txn: TxnId,
@@ -202,11 +321,13 @@ impl RecordQueue {
         metrics.locks_created.inc();
         metrics.lock_waits.inc();
         let event = OsEvent::acquire_pooled();
-        self.waiters.push_back(WaitingRequest {
-            txn,
-            mode,
-            event: Arc::clone(&event),
-        });
+        self.waiters
+            .get_or_insert_with(Default::default)
+            .push_back(WaitingRequest {
+                txn,
+                mode,
+                event: Arc::clone(&event),
+            });
         event
     }
 
@@ -216,39 +337,55 @@ impl RecordQueue {
     #[inline]
     pub fn remove_requests_of(&mut self, txn: TxnId) {
         self.holders.retain(|(t, _)| *t != txn);
-        self.waiters.retain(|w| w.txn != txn);
+        if let Some(waiters) = &mut self.waiters {
+            waiters.retain(|w| w.txn != txn);
+        }
     }
 
     /// Removes `txn`'s *waiting* entry only (timeout/doom cleanup: a granted
     /// holder entry — e.g. the surviving pre-upgrade lock — must stay).
     fn remove_waiter(&mut self, txn: TxnId) {
-        self.waiters.retain(|w| w.txn != txn);
+        if let Some(waiters) = &mut self.waiters {
+            waiters.retain(|w| w.txn != txn);
+        }
+    }
+
+    /// Iterator over the transactions currently waiting (FIFO order).
+    fn waiter_ids(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.waiters.iter().flat_map(|w| w.iter()).map(|w| w.txn)
     }
 
     /// FIFO grant scan: grants waiters from the front while they are
     /// compatible with the remaining holders.  Records the scan length
-    /// (requests examined) in the `grant_scan_len` histogram and pushes the
-    /// events to fire once the caller has dropped the shard guard.
+    /// (requests examined) through `sink` and pushes the events to fire once
+    /// the caller has dropped the shard guard.
     #[inline]
-    pub fn grant_from_front(
+    pub fn grant_from_front<S: MetricsSink + ?Sized>(
         &mut self,
         graph: &WaitForGraph,
-        metrics: &EngineMetrics,
+        sink: &S,
         woken: &mut Vec<Arc<OsEvent>>,
     ) {
-        metrics
-            .grant_scan_len
-            .record_micros((self.holders.len() + self.waiters.len()) as u64);
-        while let Some(front) = self.waiters.front() {
+        sink.on_grant_scan((self.holders.len() + self.waiter_count()) as u64);
+        let Some(waiters) = self.waiters.as_mut() else {
+            return;
+        };
+        while let Some(front) = waiters.front() {
             let compatible = self
                 .holders
+                .as_slice()
                 .iter()
                 .all(|(t, m)| *t == front.txn || m.is_compatible_with(front.mode));
             if !compatible {
                 break;
             }
-            let waiter = self.waiters.pop_front().expect("front exists");
-            if let Some((_, held)) = self.holders.iter_mut().find(|(t, _)| *t == waiter.txn) {
+            let waiter = waiters.pop_front().expect("front exists");
+            if let Some((_, held)) = self
+                .holders
+                .as_mut_slice()
+                .iter_mut()
+                .find(|(t, _)| *t == waiter.txn)
+            {
                 // Granting a queued *upgrade*: overwrite the transaction's
                 // existing holder entry (its old Shared grant) instead of
                 // pushing a duplicate — duplicate entries would defeat the
@@ -259,6 +396,11 @@ impl RecordQueue {
             }
             graph.clear_waits_of(waiter.txn);
             woken.push(waiter.event);
+        }
+        if waiters.is_empty() {
+            // Contention drained: drop the boxed deque so the record is back
+            // to its allocation-free shape (the next conflict re-boxes it).
+            self.waiters = None;
         }
     }
 }
@@ -283,7 +425,7 @@ pub fn deadlock_check_on_wait(
 ) -> Result<Option<TxnId>> {
     metrics.deadlock_checks.inc();
     let mut waits_for = blockers;
-    waits_for.extend(queue.waiters.iter().map(|w| w.txn));
+    waits_for.extend(queue.waiter_ids());
     graph.set_waits_for(txn, waits_for);
     if let Some(cycle) = graph.find_cycle_from(txn) {
         let victim = select_victim(&cycle, victim_policy, |t| registry.record_count_of(t));
@@ -529,6 +671,68 @@ mod tests {
             metrics.locks_created.get(),
             1,
             "lightweight-style grant is free"
+        );
+    }
+
+    #[test]
+    fn try_acquire_routes_counts_through_a_scratch_sink() {
+        use txsql_common::metrics::MetricsScratch;
+        let metrics = EngineMetrics::new();
+        let scratch = MetricsScratch::new();
+        let counting = QueuePolicy {
+            upgrade_respects_queue: true,
+            count_uncontended_grants: true,
+        };
+        let mut q = RecordQueue::default();
+        let graph = WaitForGraph::new();
+        q.try_acquire(TxnId(1), LockMode::Exclusive, counting, &scratch);
+        q.remove_requests_of(TxnId(1));
+        let mut woken = Vec::new();
+        q.grant_from_front(&graph, &scratch, &mut woken);
+        // Nothing hit the shared counters yet; the scratch holds the counts.
+        assert_eq!(metrics.locks_created.get(), 0);
+        assert_eq!(metrics.grant_scan_len.count(), 0);
+        assert_eq!(scratch.pending_locks_created(), 1);
+        scratch.flush(&metrics);
+        assert_eq!(metrics.locks_created.get(), 1);
+        assert_eq!(metrics.grant_scan_len.count(), 1);
+    }
+
+    #[test]
+    fn single_holder_stays_inline_and_shared_holders_spill_and_collapse() {
+        let metrics = EngineMetrics::new();
+        let mut q = RecordQueue::default();
+        q.try_acquire(TxnId(1), LockMode::Shared, POLICY, &metrics);
+        assert!(matches!(q.holders, Holders::One(_)));
+        q.try_acquire(TxnId(2), LockMode::Shared, POLICY, &metrics);
+        assert!(matches!(q.holders, Holders::Many(_)));
+        assert_eq!(q.holder_ids(), vec![TxnId(1), TxnId(2)]);
+        q.remove_requests_of(TxnId(1));
+        assert!(
+            matches!(q.holders, Holders::One(_)),
+            "shrinking to one holder must collapse back to the inline state"
+        );
+        q.remove_requests_of(TxnId(2));
+        assert!(matches!(q.holders, Holders::None));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn waiter_deque_is_lazy_and_freed_when_drained() {
+        let metrics = EngineMetrics::new();
+        let graph = WaitForGraph::new();
+        let mut q = RecordQueue::default();
+        q.try_acquire(TxnId(1), LockMode::Exclusive, POLICY, &metrics);
+        assert!(q.waiters.is_none(), "no conflict, no deque");
+        q.enqueue_waiter(TxnId(2), LockMode::Exclusive, &metrics);
+        assert!(q.waiters.is_some());
+        q.remove_requests_of(TxnId(1));
+        let mut woken = Vec::new();
+        q.grant_from_front(&graph, &metrics, &mut woken);
+        assert_eq!(woken.len(), 1);
+        assert!(
+            q.waiters.is_none(),
+            "drained waiter deque must be released back to the lazy state"
         );
     }
 

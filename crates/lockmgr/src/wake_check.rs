@@ -1,0 +1,97 @@
+//! Debug-only enforcement of the **wake-outside-lock** invariant.
+//!
+//! Every wake path in this crate follows the same discipline: collect the
+//! events to fire while holding a shard/state mutex, drop the guard, *then*
+//! call [`OsEvent::set`](crate::event::OsEvent::set).  Waking while holding
+//! the guard is a latent convoy — the woken thread immediately contends on
+//! the mutex its waker still holds — and historically each call site
+//! re-derived the rule by hand (the grant scan accumulated `woken`, the
+//! group-lock paths set events inline).
+//!
+//! This module makes the invariant uniform and *checked*: the critical
+//! sections that hand out wakeups wrap themselves in a [`GuardScope`]
+//! (a debug-only thread-local depth counter; a zero-cost no-op in release
+//! builds), and `OsEvent::set` asserts the calling thread holds no such
+//! guard.  A regression — an `event.set()` sneaking back under a lockmgr
+//! guard — fails loudly in every debug test run instead of shipping as a
+//! convoy.
+
+#[cfg(debug_assertions)]
+use std::cell::Cell;
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// How many lockmgr shard/state guards the current thread holds.
+    static GUARD_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// RAII marker for "this thread is inside a lockmgr shard/state critical
+/// section".  Construct with [`GuardScope::enter`] immediately after taking
+/// the guard; the marker must drop no later than the guard does.
+#[must_use = "the scope only covers the marker's lifetime"]
+#[derive(Debug)]
+pub(crate) struct GuardScope {
+    // Non-Send token so a scope cannot migrate off its thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl GuardScope {
+    /// Marks the current thread as holding a lockmgr guard.
+    #[inline]
+    pub(crate) fn enter() -> Self {
+        #[cfg(debug_assertions)]
+        GUARD_DEPTH.with(|depth| depth.set(depth.get() + 1));
+        Self {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for GuardScope {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        GUARD_DEPTH.with(|depth| depth.set(depth.get() - 1));
+    }
+}
+
+/// Asserts (debug builds only) that the calling thread is not inside a
+/// lockmgr shard/state critical section — called by
+/// [`OsEvent::set`](crate::event::OsEvent::set).
+#[inline]
+pub(crate) fn assert_wake_outside_guard() {
+    #[cfg(debug_assertions)]
+    GUARD_DEPTH.with(|depth| {
+        debug_assert_eq!(
+            depth.get(),
+            0,
+            "OsEvent::set called while holding a lockmgr shard/state guard — \
+             collect the event and fire it after dropping the lock"
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_tracks_depth_and_assert_passes_outside() {
+        assert_wake_outside_guard();
+        {
+            let _scope = GuardScope::enter();
+            let _nested = GuardScope::enter();
+        }
+        assert_wake_outside_guard();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn assert_fires_inside_a_scope() {
+        let caught = std::panic::catch_unwind(|| {
+            let _scope = GuardScope::enter();
+            assert_wake_outside_guard();
+        });
+        assert!(caught.is_err(), "waking under a guard must be flagged");
+    }
+}

@@ -135,6 +135,194 @@ fn group_entry_gc_race_is_closed_under_exploration() {
 }
 
 // ---------------------------------------------------------------------------
+// Batched commit handover (PR 5): one promotion per hot row, timeout-safe
+// ---------------------------------------------------------------------------
+
+/// The batched leader commit (`begin_leader_commit` + `finish_leader_handover`
+/// across several hot rows at once) must behave exactly like the per-record
+/// sequence under every interleaving with waiter timeouts:
+///
+/// * **exactly one new leader per hot row** — each parked waiter is either
+///   promoted (role `NewLeader`, leadership visible through the entry map) or
+///   it cancels out on timeout and the row is left leaderless (dynamic batch),
+///   never both and never two leaders;
+/// * **no lost promotion** — a waiter that stays queued through the handover
+///   is always woken (a lost wake surfaces as a virtual-clock timeout with the
+///   waiter still queued, or a sim deadlock artifact);
+/// * **no double-leader when a follower times out mid-handover** — the
+///   `cancel_hot_wait` vs `promote_next_leader` race resolves to one side:
+///   `AlreadyGranted(NewLeader)` (the waiter proceeds as the promoted leader)
+///   or `Cancelled` (the promotion never happened; the queue entry is gone).
+///
+/// The committing leader's `ut_delay` lines the handover up against the
+/// waiters' wait deadline so both orders of the race are explored across the
+/// seed set.
+#[test]
+fn batched_handover_promotes_exactly_one_leader_per_row_under_exploration() {
+    const ROWS: usize = 2;
+    const LEADER: TxnId = TxnId(1);
+    for seed in txsql_sim::ci_seeds(200) {
+        let g = Arc::new(GroupLockTable::new(
+            GroupLockConfig {
+                hot_wait_timeout: Duration::from_millis(100),
+                ..GroupLockConfig::default()
+            },
+            Arc::new(EngineMetrics::new()),
+        ));
+        // Same page on purpose: the batched fetch takes the entry shard once.
+        let records: Vec<RecordId> = (0..ROWS).map(|h| RecordId::new(1, 0, h as u16)).collect();
+        for record in &records {
+            assert!(matches!(
+                g.begin_hot_update(LEADER, *record),
+                HotExecution::Leader
+            ));
+            g.register_update(LEADER, *record);
+            g.finish_update(LEADER, *record, true);
+        }
+        // Per row: how often the waiter acted as a leader (promoted by the
+        // handover, or fresh leader of the next group), executed as a
+        // follower of the old group, or cancelled out on timeout.
+        let led = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let followed = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let cancelled = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+
+        let gt = Arc::clone(&g);
+        let led2 = Arc::clone(&led);
+        let followed2 = Arc::clone(&followed);
+        let cancelled2 = Arc::clone(&cancelled);
+        let rs = records.clone();
+        run_seed(seed, move |sim| {
+            for (i, record) in rs.iter().enumerate() {
+                let g2 = Arc::clone(&gt);
+                let led = Arc::clone(&led2);
+                let followed = Arc::clone(&followed2);
+                let cancelled = Arc::clone(&cancelled2);
+                let record = *record;
+                let txn = TxnId(10 + i as u64);
+                sim.spawn(format!("waiter-{i}"), move || {
+                    let commit_as_leader = |g: &GroupLockTable| {
+                        // The write path's leader shape: leadership must be
+                        // visible through the entry map (a leader recorded on
+                        // an orphaned/duplicate entry is the double-leader
+                        // bug), then the full Algorithm-2 commit.
+                        assert_eq!(
+                            g.leader_of(record),
+                            Some(txn),
+                            "leadership not visible through the entry map"
+                        );
+                        g.register_update(txn, record);
+                        g.finish_update(txn, record, true);
+                        g.leader_prepare_commit(txn, record);
+                        g.leader_handover(txn, record);
+                        g.wait_commit_turn(txn, record).unwrap();
+                        g.finish_commit(txn, record);
+                    };
+                    match g2.begin_hot_update(txn, record) {
+                        // Arrived after the whole handover drained the row
+                        // (dynamic batch left it leaderless): fresh group.
+                        HotExecution::Leader => {
+                            led[i].fetch_add(1, Ordering::Relaxed);
+                            commit_as_leader(&g2);
+                        }
+                        // Arrived while the old group's leader was idle
+                        // before its commit: granted follower execution.
+                        HotExecution::Follower => {
+                            followed[i].fetch_add(1, Ordering::Relaxed);
+                            g2.register_update(txn, record);
+                            g2.finish_update(txn, record, false);
+                            g2.wait_commit_turn(txn, record).unwrap();
+                            g2.finish_commit(txn, record);
+                        }
+                        HotExecution::Wait(slot) => {
+                            match g2.wait_for_grant(txn, record, &slot) {
+                                Ok(WokenRole::NewLeader) => {
+                                    led[i].fetch_add(1, Ordering::Relaxed);
+                                    commit_as_leader(&g2);
+                                }
+                                Ok(WokenRole::Follower) => {
+                                    panic!("a commit handover must promote, not grant a follower")
+                                }
+                                Err(err) => {
+                                    assert!(
+                                        matches!(err, txsql_common::Error::LockWaitTimeout { .. }),
+                                        "unexpected waiter error: {err:?}"
+                                    );
+                                    cancelled[i].fetch_add(1, Ordering::Relaxed);
+                                    // A cancelled waiter must not be (or
+                                    // become) the leader — that would be the
+                                    // double-leader bug.
+                                    assert_ne!(
+                                        g2.leader_of(record),
+                                        Some(txn),
+                                        "cancelled waiter still recorded as leader"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let g2 = Arc::clone(&gt);
+            let rs2 = rs.clone();
+            sim.spawn("committer", move || {
+                // Prepare first: a waiter arriving after this parks
+                // (`switching_new_leader`); one arriving before executes as a
+                // follower of the old group — both orders occur across seeds.
+                let prepared = g2.begin_leader_commit(LEADER, &rs2);
+                assert_eq!(prepared.record_count(), ROWS);
+                // Stall mid-handover past the waiters' 100 ms deadline: their
+                // timeouts fire on the virtual clock *while* the handover is
+                // pending, so `cancel_hot_wait` races `promote_next_leader`
+                // in both orders across the seed set.
+                ut_delay(105_000);
+                let promotions = g2.finish_leader_handover(LEADER, prepared);
+                assert_eq!(promotions.len(), ROWS);
+                for record in &rs2 {
+                    g2.finish_commit(LEADER, *record);
+                }
+            });
+        });
+
+        for (i, record) in records.iter().enumerate() {
+            let l = led[i].load(Ordering::Relaxed);
+            let f = followed[i].load(Ordering::Relaxed);
+            let c = cancelled[i].load(Ordering::Relaxed);
+            assert_eq!(
+                l + f + c,
+                1,
+                "seed {seed}, row {record}: waiter must lead XOR follow XOR cancel \
+                 (led={l}, followed={f}, cancelled={c})"
+            );
+            // Whatever the race outcome, the row must end fully drained: no
+            // leader, no parked waiter, no dependency-list residue.  A lost
+            // promotion would leave the waiter parked (or surface above as
+            // its timeout); a double promotion would trip the leader_of
+            // assertions inside the threads.
+            assert_eq!(
+                g.waiting_len(*record),
+                0,
+                "seed {seed}, row {record}: lost promotion left a parked waiter"
+            );
+            if c == 1 {
+                assert_eq!(
+                    g.leader_of(*record),
+                    None,
+                    "seed {seed}, row {record}: cancelled row must be leaderless"
+                );
+            }
+            assert!(
+                g.dep_list(*record).is_empty(),
+                "seed {seed}, row {record}: dep list not drained"
+            );
+            assert!(
+                !g.has_activity(*record),
+                "seed {seed}, row {record}: entry still live"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // grant_waiters FIFO / compatibility invariants (both lock tables)
 // ---------------------------------------------------------------------------
 

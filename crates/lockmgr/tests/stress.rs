@@ -17,12 +17,19 @@
 //!   per-heap_no queues (the shared `record_queue` core both tables now
 //!   route through) it must stay bounded by one record's queue depth, and
 //!   the batched `release_record_locks` path the cold records go through
-//!   must keep it flat too.
+//!   must keep it flat too;
+//! * the per-transaction metrics scratch loses no counts — every worker
+//!   drives the tables through its own `MetricsScratch` (the engine shape:
+//!   `lock_record_in` / `release_record_locks_in` / `release_all_in`) and
+//!   flushes at the end, so the `locks_released` totals asserted below
+//!   would come up short if any scratch count were dropped, and the
+//!   grant-scan flatness assertions prove histogram fidelity survives the
+//!   scratch's bucketed accumulation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use txsql_common::metrics::EngineMetrics;
+use txsql_common::metrics::{EngineMetrics, MetricsScratch};
 use txsql_common::{RecordId, TxnId};
 use txsql_lockmgr::lightweight::{LightweightConfig, LightweightLockTable};
 use txsql_lockmgr::lock_sys::{DeadlockPolicy, LockSys, LockSysConfig};
@@ -38,24 +45,26 @@ const THREADS: usize = 8;
 const OPS_PER_THREAD: usize = 200;
 
 /// Facade over the two lock-table generations so one driver exercises both.
+/// The lock/release entry points take the worker's `MetricsScratch`, the
+/// exact shape the engine drives the tables in.
 trait Table: Send + Sync {
-    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool;
-    fn release_all(&self, txn: TxnId);
-    fn release_batch(&self, txn: TxnId, records: &[RecordId]);
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode, scratch: &MetricsScratch) -> bool;
+    fn release_all(&self, txn: TxnId, scratch: &MetricsScratch);
+    fn release_batch(&self, txn: TxnId, records: &[RecordId], scratch: &MetricsScratch);
     fn holders_of(&self, record: RecordId) -> Vec<TxnId>;
     fn registry(&self) -> &Arc<TxnLockRegistry>;
     fn waiting_count(&self) -> usize;
 }
 
 impl Table for LockSys {
-    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool {
-        self.lock_record(txn, record, mode).is_ok()
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode, scratch: &MetricsScratch) -> bool {
+        self.lock_record_in(txn, record, mode, scratch).is_ok()
     }
-    fn release_all(&self, txn: TxnId) {
-        LockSys::release_all(self, txn);
+    fn release_all(&self, txn: TxnId, scratch: &MetricsScratch) {
+        self.release_all_in(txn, scratch);
     }
-    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
-        self.release_record_locks(txn, records);
+    fn release_batch(&self, txn: TxnId, records: &[RecordId], scratch: &MetricsScratch) {
+        self.release_record_locks_in(txn, records, scratch);
     }
     fn holders_of(&self, record: RecordId) -> Vec<TxnId> {
         LockSys::holders_of(self, record)
@@ -69,14 +78,14 @@ impl Table for LockSys {
 }
 
 impl Table for LightweightLockTable {
-    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode) -> bool {
-        self.lock_record(txn, record, mode).is_ok()
+    fn lock(&self, txn: TxnId, record: RecordId, mode: LockMode, scratch: &MetricsScratch) -> bool {
+        self.lock_record_in(txn, record, mode, scratch).is_ok()
     }
-    fn release_all(&self, txn: TxnId) {
-        LightweightLockTable::release_all(self, txn);
+    fn release_all(&self, txn: TxnId, scratch: &MetricsScratch) {
+        self.release_all_in(txn, scratch);
     }
-    fn release_batch(&self, txn: TxnId, records: &[RecordId]) {
-        self.release_record_locks(txn, records);
+    fn release_batch(&self, txn: TxnId, records: &[RecordId], scratch: &MetricsScratch) {
+        self.release_record_locks_in(txn, records, scratch);
     }
     fn holders_of(&self, record: RecordId) -> Vec<TxnId> {
         LightweightLockTable::holders_of(self, record)
@@ -102,6 +111,11 @@ fn stress(table: Arc<dyn Table>, metrics: &EngineMetrics) {
             let barrier = Arc::clone(&barrier);
             scope.spawn(move || {
                 barrier.wait();
+                // The worker's private metrics scratch — per-cycle counts
+                // accumulate here and flush in one batch at the end (the
+                // engine flushes per transaction; one flush per worker makes
+                // any lost count equally visible in the totals below).
+                let scratch = MetricsScratch::new();
                 let mut txn_no = ((worker as u64) + 1) << 32;
                 for op in 0..OPS_PER_THREAD {
                     txn_no += 1;
@@ -115,13 +129,13 @@ fn stress(table: Arc<dyn Table>, metrics: &EngineMetrics) {
                     let cold_b = RecordId::new(9, 1, ((base + 1) % 4_096) as u16);
                     for cold in [cold_a, cold_b] {
                         assert!(
-                            table.lock(txn, cold, LockMode::Exclusive),
+                            table.lock(txn, cold, LockMode::Exclusive, &scratch),
                             "cold record acquisition must never fail"
                         );
                     }
                     // The shared hot record: may time out under contention,
                     // but a grant must be exclusive.
-                    if table.lock(txn, HOT, LockMode::Exclusive) {
+                    if table.lock(txn, HOT, LockMode::Exclusive, &scratch) {
                         let holders = table.holders_of(HOT);
                         assert_eq!(
                             holders,
@@ -134,10 +148,11 @@ fn stress(table: Arc<dyn Table>, metrics: &EngineMetrics) {
                     // The cold records go through the statement-boundary
                     // batched early-release path (one shard-group drain +
                     // one registry batch), the hot one through release_all.
-                    table.release_batch(txn, &[cold_a, cold_b]);
+                    table.release_batch(txn, &[cold_a, cold_b], &scratch);
                     assert!(table.holders_of(cold_a).is_empty());
-                    table.release_all(txn);
+                    table.release_all(txn, &scratch);
                 }
+                scratch.flush(metrics);
             });
         }
     });

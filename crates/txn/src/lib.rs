@@ -22,10 +22,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod metrics;
 pub mod readview;
 pub mod transaction;
 pub mod trx_sys;
 
+pub use metrics::TxnMetrics;
 pub use readview::{ReadView, ReadViewMode};
 pub use transaction::{HotRole, Transaction, TxnState};
 pub use trx_sys::TrxSys;

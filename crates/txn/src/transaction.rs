@@ -1,7 +1,10 @@
 //! The per-worker transaction handle.
 
+use crate::metrics::TxnMetrics;
+use std::sync::Arc;
 use std::time::Instant;
 use txsql_common::fxhash::{FxHashMap, FxHashSet};
+use txsql_common::metrics::{EngineMetrics, MetricsScratch};
 use txsql_common::{RecordId, Row, TableId, TxnId};
 
 /// Lifecycle state of a transaction.
@@ -64,11 +67,27 @@ pub struct Transaction {
     changes: Vec<(TableId, i64, Row)>,
     /// Cumulative time spent blocked on locks / queues / commit ordering.
     blocked: std::time::Duration,
+    /// Transaction-private metrics scratch: the lock tables' hot-path
+    /// counters accumulate here (plain `Cell` arithmetic) and flush to the
+    /// engine's shared `EngineMetrics` once, when the transaction drops —
+    /// commit, rollback and abort paths alike (see [`TxnMetrics`]).
+    metrics: TxnMetrics,
 }
 
 impl Transaction {
-    /// Creates a new active transaction.
+    /// Creates a new active transaction with a detached metrics scratch
+    /// (counts are kept but never flushed — tests and stand-alone use).
     pub fn new(id: TxnId) -> Self {
+        Self::with_metrics(id, TxnMetrics::detached())
+    }
+
+    /// Creates a new active transaction attached to the engine's metrics:
+    /// the scratch flushes there when the transaction finishes.
+    pub fn attached_to(id: TxnId, engine_metrics: Arc<EngineMetrics>) -> Self {
+        Self::with_metrics(id, TxnMetrics::attached(engine_metrics))
+    }
+
+    fn with_metrics(id: TxnId, metrics: TxnMetrics) -> Self {
         Self {
             id,
             state: TxnState::Active,
@@ -81,7 +100,21 @@ impl Transaction {
             pending_early_releases: Vec::new(),
             changes: Vec::new(),
             blocked: std::time::Duration::ZERO,
+            metrics,
         }
+    }
+
+    /// The transaction's metrics scratch in sink form — what the engine
+    /// passes to the lock tables' `*_in` entry points so per-cycle counters
+    /// cost no atomic RMW.
+    #[inline]
+    pub fn metrics_sink(&self) -> &MetricsScratch {
+        self.metrics.sink()
+    }
+
+    /// The transaction's metrics scratch (flush control / introspection).
+    pub fn metrics(&self) -> &TxnMetrics {
+        &self.metrics
     }
 
     /// True while the transaction can still execute statements.

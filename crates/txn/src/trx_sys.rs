@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use txsql_common::fxhash::FxHashSet;
+use txsql_common::metrics::EngineMetrics;
 use txsql_common::TxnId;
 use txsql_lockmgr::registry::TxnLockRegistry;
 
@@ -32,6 +33,9 @@ pub struct TrxSys {
     /// debug builds) that `release_all` drained the finished transaction's
     /// bookkeeping, so leaks surface at the transaction that caused them.
     lock_registries: Vec<Arc<TxnLockRegistry>>,
+    /// Engine metrics handle threaded into every transaction at `begin` so
+    /// its per-transaction scratch (`TxnMetrics`) can flush on drop.
+    engine_metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl TrxSys {
@@ -44,6 +48,7 @@ impl TrxSys {
             active: Mutex::new(FxHashSet::default()),
             read_view_mode,
             lock_registries: Vec::new(),
+            engine_metrics: None,
         }
     }
 
@@ -53,16 +58,27 @@ impl TrxSys {
         self
     }
 
+    /// Attaches the engine metrics every transaction's scratch flushes to.
+    pub fn with_engine_metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.engine_metrics = Some(metrics);
+        self
+    }
+
     /// The configured read-view mode.
     pub fn read_view_mode(&self) -> ReadViewMode {
         self.read_view_mode
     }
 
-    /// Starts a transaction: allocates an id and registers it active.
+    /// Starts a transaction: allocates an id and registers it active.  The
+    /// transaction's metrics scratch is attached to the engine metrics when
+    /// configured ([`TrxSys::with_engine_metrics`]).
     pub fn begin(&self) -> Transaction {
         let id = TxnId(self.next_txn_id.fetch_add(1, Ordering::Relaxed));
         self.active.lock().insert(id);
-        Transaction::new(id)
+        match &self.engine_metrics {
+            Some(metrics) => Transaction::attached_to(id, Arc::clone(metrics)),
+            None => Transaction::new(id),
+        }
     }
 
     /// Allocates a commit sequence number for a committing transaction.
