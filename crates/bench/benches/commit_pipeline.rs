@@ -48,7 +48,7 @@ fn bench_commit_pipeline(c: &mut Criterion) {
                                         txn: TxnId(txn),
                                         trx_no: txn,
                                     });
-                                    pipeline.commit(&redo, lsn, binlog(txn), &hooks);
+                                    pipeline.commit(&redo, lsn, binlog(txn), &hooks).unwrap();
                                 }
                             });
                         }

@@ -1,8 +1,10 @@
-//! §6.4.6 — failure recovery: run a hotspot-heavy FiT load, crash, recover,
-//! and report the recovery duration, how many in-flight transactions were
-//! rolled back and whether committed data survived intact.
+//! §6.4.6 — failure recovery: run a hotspot-heavy FiT load, crash, restart
+//! the engine through [`txsql_core::Database::restart_from_crash`], and
+//! report the recovery duration, how many in-flight transactions were rolled
+//! back, the group-commit fsync count of the run and whether committed data
+//! survived intact in the restarted engine.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 use txsql_bench::{build_db, closed_loop, fmt, print_table, short_thread_ladder};
 use txsql_core::Protocol;
 use txsql_workloads::{run_closed_loop, FitWorkload, Workload};
@@ -15,16 +17,11 @@ fn main() {
             let db = build_db(protocol, None);
             let workload = FitWorkload::standard();
             workload.setup(&db);
-            let checkpoint = db.checkpoint();
+            db.checkpoint().unwrap();
             let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
             // "Crash": only the durable prefix of the redo log survives.
-            db.storage().redo().flush_all();
-            let durable = db.durable_redo();
-            let started = Instant::now();
-            let outcome =
-                txsql_storage::recovery::recover(&checkpoint, &durable, Duration::ZERO).unwrap();
-            let recovery_time = started.elapsed();
-            // Committed hot balance must be reproducible after recovery.
+            db.storage().redo().flush_all().unwrap();
+            let fsyncs = db.storage().redo().fsync_count();
             let primary_record = db.record_id(txsql_workloads::fit::FIT_ACCOUNTS, 0).unwrap();
             let primary_balance = db
                 .storage()
@@ -33,28 +30,37 @@ fn main() {
                 .unwrap()
                 .get_int(1)
                 .unwrap();
-            let recovered_table = outcome
-                .storage
-                .table(txsql_workloads::fit::FIT_ACCOUNTS)
+            let started = Instant::now();
+            let (recovered, report) = db.restart_from_crash().unwrap();
+            let recovery_time = started.elapsed();
+            // Committed hot balance must be reproducible in the restarted
+            // engine, and the engine must be fully working again.
+            let recovered_record = recovered
+                .record_id(txsql_workloads::fit::FIT_ACCOUNTS, 0)
                 .unwrap();
-            let recovered_record = recovered_table.lookup_pk(0).unwrap();
-            let recovered_balance = outcome
-                .storage
+            let recovered_balance = recovered
+                .storage()
                 .read_committed(txsql_workloads::fit::FIT_ACCOUNTS, recovered_record)
                 .unwrap()
                 .unwrap()
                 .get_int(1)
                 .unwrap();
+            let mut probe = recovered.begin();
+            recovered
+                .update_add(&mut probe, txsql_workloads::fit::FIT_ACCOUNTS, 0, 1, 0)
+                .unwrap();
+            recovered.commit(probe).unwrap();
             rows.push(vec![
                 protocol.label().to_string(),
                 threads.to_string(),
                 snapshot.committed.to_string(),
-                outcome.replayed.to_string(),
-                outcome.rolled_back.len().to_string(),
+                report.replayed.to_string(),
+                report.rolled_back.len().to_string(),
+                fsyncs.to_string(),
                 fmt(recovery_time.as_secs_f64() * 1_000.0),
                 (primary_balance == recovered_balance).to_string(),
             ]);
-            db.shutdown();
+            recovered.shutdown();
         }
     }
     print_table(
@@ -65,6 +71,7 @@ fn main() {
             "committed".into(),
             "redo_replayed".into(),
             "rolled_back".into(),
+            "group_fsyncs".into(),
             "recovery_ms".into(),
             "state_matches".into(),
         ],

@@ -97,6 +97,19 @@ pub enum Error {
     },
     /// The engine is shutting down; new work is rejected.
     ShuttingDown,
+    /// An injected crash fired: the simulated process died at the named crash
+    /// point.  Everything after this error is the crash image — the only
+    /// legitimate continuation is recovery (`Database::restart_from_crash`).
+    Crashed {
+        /// The crash point that fired (see `txsql_storage::fault::CrashPoint`).
+        point: &'static str,
+    },
+    /// The engine degraded to read-only (a persistent fsync failure): reads
+    /// keep working, writes and flushes are rejected.
+    ReadOnly {
+        /// Why the engine degraded.
+        reason: &'static str,
+    },
     /// Recovery found a corrupt or truncated log record.
     CorruptLog {
         /// Human-readable description of the corruption.
@@ -150,6 +163,8 @@ impl Error {
             Error::DuplicateKey { .. } => "duplicate_key",
             Error::TransactionClosed { .. } => "transaction_closed",
             Error::ShuttingDown => "shutting_down",
+            Error::Crashed { .. } => "crash_injected",
+            Error::ReadOnly { .. } => "read_only",
             Error::CorruptLog { .. } => "corrupt_log",
             Error::Internal { .. } => "internal",
         }
@@ -183,6 +198,8 @@ impl fmt::Display for Error {
             Error::DuplicateKey { table, key } => write!(f, "duplicate key {key} in {table}"),
             Error::TransactionClosed { txn } => write!(f, "{txn} is already finished"),
             Error::ShuttingDown => write!(f, "engine is shutting down"),
+            Error::Crashed { point } => write!(f, "injected crash fired at {point}"),
+            Error::ReadOnly { reason } => write!(f, "engine is read-only: {reason}"),
             Error::CorruptLog { reason } => write!(f, "corrupt log: {reason}"),
             Error::Internal { reason } => write!(f, "internal error: {reason}"),
         }
@@ -210,6 +227,23 @@ mod tests {
         assert!(timeout.is_retryable());
         assert!(deadlock.is_retryable());
         assert!(!dup.is_retryable());
+    }
+
+    #[test]
+    fn crash_and_read_only_are_terminal() {
+        // Neither error class may be retried by a workload driver: the only
+        // legitimate continuation is a restart (crash) or an operator
+        // intervention (read-only degradation).
+        let crashed = Error::Crashed { point: "mid_flush" };
+        let read_only = Error::ReadOnly {
+            reason: "fsync failed persistently",
+        };
+        assert!(!crashed.is_retryable());
+        assert!(!read_only.is_retryable());
+        assert_eq!(crashed.label(), "crash_injected");
+        assert_eq!(read_only.label(), "read_only");
+        assert!(crashed.to_string().contains("mid_flush"));
+        assert!(read_only.to_string().contains("fsync"));
     }
 
     #[test]

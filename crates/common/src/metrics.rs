@@ -480,6 +480,14 @@ pub struct EngineMetrics {
     pub commit_batches: Counter,
     /// Transactions that went through the binlog sync stage.
     pub commit_synced: Counter,
+    /// Injected crash points that fired (fault-injection runs only).
+    pub crash_injected: Counter,
+    /// Fsync attempts retried after a transient injected error.
+    pub fsync_retries: Counter,
+    /// Redo records replayed by `Database::restart_from_crash`.
+    pub recovery_replayed: Counter,
+    /// Redo records dropped by checkpoint-time log truncation.
+    pub wal_truncated_records: Counter,
 }
 
 impl EngineMetrics {
@@ -556,6 +564,10 @@ impl EngineMetrics {
         self.blocked_nanos.take();
         self.commit_batches.take();
         self.commit_synced.take();
+        self.crash_injected.take();
+        self.fsync_retries.take();
+        self.recovery_replayed.take();
+        self.wal_truncated_records.take();
     }
 
     /// Takes a serialisable snapshot, computing TPS over `elapsed`.
@@ -587,6 +599,10 @@ impl EngineMetrics {
             groups_formed: self.groups_formed.get(),
             utilization: self.utilization(),
             commit_batches: self.commit_batches.get(),
+            crash_injected: self.crash_injected.get(),
+            fsync_retries: self.fsync_retries.get(),
+            recovery_replayed: self.recovery_replayed.get(),
+            wal_truncated_records: self.wal_truncated_records.get(),
             abort_causes: self
                 .abort_causes
                 .snapshot()
@@ -650,6 +666,14 @@ pub struct MetricsSnapshot {
     pub utilization: f64,
     /// Group-commit batches.
     pub commit_batches: u64,
+    /// Injected crash points that fired.
+    pub crash_injected: u64,
+    /// Fsync attempts retried after transient injected errors.
+    pub fsync_retries: u64,
+    /// Redo records replayed during crash restart.
+    pub recovery_replayed: u64,
+    /// Redo records dropped by checkpoint truncation.
+    pub wal_truncated_records: u64,
     /// Per-cause abort counts.
     pub abort_causes: Vec<(String, u64)>,
 }

@@ -284,12 +284,18 @@ impl AriaCoordinator {
             changes,
             involves_hotspot: false,
         };
-        inner
+        let pipeline_result = inner
             .pipeline
             .commit(inner.storage.redo(), lsn, binlog, hooks);
         inner.trx_sys.finish(txn.id, Some(trx_no));
         inner.outcomes.lock().insert(txn.id, true);
         txn.state = txsql_txn::TxnState::Committed;
+        if let Err(err) = pipeline_result {
+            // The flush failed (injected crash / read-only): stamped in
+            // memory but not durable — do not acknowledge the commit.
+            inner.metrics.abort_causes.record(err.label());
+            return Err(err);
+        }
         inner.metrics.committed.inc();
         inner.metrics.txn_latency.record(job.submitted.elapsed());
         Ok(ProgramOutcome {

@@ -18,7 +18,7 @@ use crate::hooks::{BinlogTxn, CommitHook};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use txsql_common::metrics::EngineMetrics;
-use txsql_common::Lsn;
+use txsql_common::{Error, Lsn, Result};
 use txsql_lockmgr::event::OsEvent;
 use txsql_storage::RedoLog;
 
@@ -26,6 +26,9 @@ struct Pending {
     lsn: Lsn,
     binlog: BinlogTxn,
     done: Arc<OsEvent>,
+    /// Set by the flush leader when the batch's flush failed (injected crash
+    /// or read-only degradation): the commit was NOT made durable.
+    err: Arc<Mutex<Option<Error>>>,
 }
 
 #[derive(Default)]
@@ -67,33 +70,37 @@ impl CommitPipeline {
 
     /// Runs the Flush/Sync/Commit stages for one transaction whose commit
     /// record was appended at `lsn`.  Blocks until the commit is durable and
-    /// every hook has observed it.
+    /// every hook has observed it.  An error means the commit was **not**
+    /// made durable (injected crash or read-only degradation) and must not
+    /// be acknowledged to the client.
     pub fn commit(
         &self,
         redo: &RedoLog,
         lsn: Lsn,
         binlog: BinlogTxn,
         hooks: &[Arc<dyn CommitHook>],
-    ) {
+    ) -> Result<()> {
         if !self.group_commit {
             // Per-transaction Sync: one fsync and one hook round-trip each.
-            redo.flush_to(lsn);
+            redo.flush_to(lsn)?;
             let batch = [binlog];
             for hook in hooks {
                 hook.on_commit_batch(&batch);
             }
             self.metrics.commit_batches.inc();
             self.metrics.commit_synced.inc();
-            return;
+            return Ok(());
         }
 
         let done = OsEvent::new();
+        let my_err: Arc<Mutex<Option<Error>>> = Arc::new(Mutex::new(None));
         let is_leader = {
             let mut state = self.state.lock();
             state.queue.push(Pending {
                 lsn,
                 binlog,
                 done: Arc::clone(&done),
+                err: Arc::clone(&my_err),
             });
             if state.flush_in_progress {
                 false
@@ -107,7 +114,11 @@ impl CommitPipeline {
             // Follower: the current flush leader will sync us (possibly in the
             // next batch it picks up).
             done.wait();
-            return;
+            let err = my_err.lock().take();
+            return match err {
+                Some(err) => Err(err),
+                None => Ok(()),
+            };
         }
 
         // Flush leader: drain and sync batches until the queue is empty.
@@ -121,16 +132,35 @@ impl CommitPipeline {
                 std::mem::take(&mut state.queue)
             };
             let max_lsn = batch.iter().map(|p| p.lsn).max().unwrap_or(lsn);
-            redo.flush_to(max_lsn);
-            let events: Vec<BinlogTxn> = batch.iter().map(|p| p.binlog.clone()).collect();
-            for hook in hooks {
-                hook.on_commit_batch(&events);
+            match redo.flush_to(max_lsn) {
+                Ok(()) => {
+                    let events: Vec<BinlogTxn> = batch.iter().map(|p| p.binlog.clone()).collect();
+                    for hook in hooks {
+                        hook.on_commit_batch(&events);
+                    }
+                    self.metrics.commit_batches.inc();
+                    self.metrics.commit_synced.add(batch.len() as u64);
+                    for pending in batch {
+                        pending.done.set();
+                    }
+                }
+                Err(err) => {
+                    // The whole batch failed to reach disk: every member gets
+                    // the error, no hook sees the batch, nothing counts as
+                    // synced.  Keep draining — post-crash flushes fail fast,
+                    // so queued followers are released promptly rather than
+                    // left hanging.
+                    for pending in batch {
+                        *pending.err.lock() = Some(err.clone());
+                        pending.done.set();
+                    }
+                }
             }
-            self.metrics.commit_batches.inc();
-            self.metrics.commit_synced.add(batch.len() as u64);
-            for pending in batch {
-                pending.done.set();
-            }
+        }
+        let err = my_err.lock().take();
+        match err {
+            Some(err) => Err(err),
+            None => Ok(()),
         }
     }
 }
@@ -165,7 +195,7 @@ mod tests {
                 txn: TxnId(t),
                 trx_no: t,
             });
-            pipeline.commit(&redo, lsn, binlog(t), &hooks);
+            pipeline.commit(&redo, lsn, binlog(t), &hooks).unwrap();
         }
         assert_eq!(redo.fsync_count(), 5);
         assert_eq!(hook.batch_count(), 5);
@@ -191,7 +221,7 @@ mod tests {
                     txn: TxnId(t),
                     trx_no: t,
                 });
-                pipeline.commit(&redo, lsn, binlog(t), &hooks);
+                pipeline.commit(&redo, lsn, binlog(t), &hooks).unwrap();
             }));
         }
         for h in handles {
@@ -219,8 +249,32 @@ mod tests {
             txn: TxnId(1),
             trx_no: 1,
         });
-        pipeline.commit(&redo, lsn, binlog(1), &[]);
+        pipeline.commit(&redo, lsn, binlog(1), &[]).unwrap();
         assert_eq!(redo.durable_lsn(), lsn);
         assert!(pipeline.group_commit_enabled());
+    }
+
+    #[test]
+    fn failed_group_flush_is_not_acknowledged_and_skips_hooks() {
+        use txsql_storage::fault::{FaultInjector, FaultPlan};
+        let metrics = Arc::new(EngineMetrics::new());
+        let pipeline = CommitPipeline::new(true, Arc::clone(&metrics));
+        let redo = RedoLog::with_faults(
+            Duration::ZERO,
+            FaultInjector::new(FaultPlan::none().with_persistent_fsync_failure()),
+        );
+        let hook = Arc::new(CollectingHook::new());
+        let hooks: Vec<Arc<dyn CommitHook>> = vec![hook.clone()];
+        let lsn = redo.append(RedoRecord::Commit {
+            txn: TxnId(1),
+            trx_no: 1,
+        });
+        let err = pipeline.commit(&redo, lsn, binlog(1), &hooks).unwrap_err();
+        assert!(matches!(err, Error::ReadOnly { .. }));
+        // No hook observed the batch, nothing counts as synced, nothing is
+        // durable.
+        assert_eq!(hook.batch_count(), 0);
+        assert_eq!(metrics.commit_synced.get(), 0);
+        assert_eq!(redo.durable_lsn(), Lsn(0));
     }
 }

@@ -6,6 +6,7 @@ use txsql_common::latency::LatencyModel;
 use txsql_lockmgr::group_lock::GroupLockConfig;
 use txsql_lockmgr::hotspot::HotspotConfig;
 use txsql_lockmgr::lock_sys::DeadlockPolicy;
+use txsql_storage::fault::FaultPlan;
 use txsql_txn::ReadViewMode;
 
 /// The concurrency-control protocol / optimization level to run.
@@ -128,6 +129,10 @@ pub struct EngineConfig {
     pub record_history: bool,
     /// Spawn the background hotspot sweeper thread (§4.1).
     pub start_sweeper: bool,
+    /// Crash-fault injection plan (`None` = no injected faults).  Seeded
+    /// plans drive the sim crash exploration; see
+    /// `txsql_storage::fault::FaultPlan`.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -164,6 +169,7 @@ impl EngineConfig {
             lock_shell_sweep_limit: None,
             record_history: false,
             start_sweeper: protocol.uses_hotspots(),
+            fault_plan: None,
         }
     }
 
@@ -235,6 +241,12 @@ impl EngineConfig {
         self.batch_commit_handover = batched;
         self
     }
+
+    /// Installs a crash-fault injection plan (sim crash exploration).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -265,8 +277,10 @@ mod tests {
             .with_dynamic_batch(false)
             .with_early_release_batch(0)
             .with_batch_commit_handover(false)
-            .with_shell_sweep_limit(Some(16));
+            .with_shell_sweep_limit(Some(16))
+            .with_fault_plan(FaultPlan::seeded(7));
         assert_eq!(cfg.group.batch_size, 64);
+        assert!(cfg.fault_plan.is_some());
         assert!(!cfg.group_commit);
         assert_eq!(cfg.hotspot.promote_threshold, 4);
         assert_eq!(cfg.lock_wait_timeout, Duration::from_millis(77));

@@ -21,13 +21,15 @@ use std::time::{Duration, Instant};
 use txsql_common::fxhash::FxHashMap;
 use txsql_common::metrics::{EngineMetrics, MetricsSnapshot};
 use txsql_common::time::SimInstant;
-use txsql_common::{Error, RecordId, Result, Row, TableId, TxnId};
+use txsql_common::{Error, Lsn, RecordId, Result, Row, TableId, TxnId};
 use txsql_lockmgr::group_lock::GroupLockTable;
 use txsql_lockmgr::hotspot::HotspotRegistry;
 use txsql_lockmgr::lightweight::{LightweightConfig, LightweightLockTable};
 use txsql_lockmgr::lock_sys::{LockSys, LockSysConfig};
 use txsql_lockmgr::queue_lock::QueueLockTable;
 use txsql_lockmgr::registry::TxnLockRegistry;
+use txsql_storage::fault::{CrashPoint, FaultInjector};
+use txsql_storage::recovery::{self, RecoveryReport};
 use txsql_storage::storage::CheckpointImage;
 use txsql_storage::{RedoRecord, Storage, TableSchema, VisibilityJudge};
 use txsql_txn::{Transaction, TrxSys, TxnState};
@@ -49,6 +51,11 @@ pub(crate) struct DbInner {
     pub(crate) hooks: RwLock<Vec<Arc<dyn CommitHook>>>,
     pub(crate) history: Option<HistoryRecorder>,
     pub(crate) aria: AriaCoordinator,
+    /// The newest checkpoint image — what `restart_from_crash` recovers from.
+    /// Starts empty (LSN 0, no tables): engines that never checkpoint after
+    /// schema setup recover nothing but the log, so take a baseline
+    /// checkpoint once tables are loaded.
+    pub(crate) last_checkpoint: Mutex<CheckpointImage>,
     sweeper_stop: Arc<AtomicBool>,
     sweeper_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -72,7 +79,24 @@ impl Database {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
         let metrics = Arc::new(EngineMetrics::new());
-        let storage = Storage::new(config.latency.fsync);
+        let faults = match &config.fault_plan {
+            Some(plan) => FaultInjector::with_metrics(plan.clone(), Arc::clone(&metrics)),
+            None => FaultInjector::disabled(),
+        };
+        let storage = Storage::with_faults(config.latency.fsync, faults);
+        Self::assemble(config, storage, metrics, None)
+    }
+
+    /// Wires an engine around an existing storage (fresh start or the
+    /// recovered engine after a crash).  `trx_seed` re-seeds the transaction
+    /// system's id and commit-sequence counters past everything the
+    /// recovered log used.
+    fn assemble(
+        config: EngineConfig,
+        storage: Storage,
+        metrics: Arc<EngineMetrics>,
+        trx_seed: Option<(u64, u64)>,
+    ) -> Self {
         // One sharded lock registry per lock table: both are threaded through
         // TrxSys so transaction teardown can verify the bookkeeping drained.
         // Shard counts follow the tables they serve (page-sharded baseline
@@ -80,7 +104,7 @@ impl Database {
         let lock_sys_registry = Arc::new(TxnLockRegistry::with_metrics(64, Arc::clone(&metrics)));
         let lightweight_registry =
             Arc::new(TxnLockRegistry::with_metrics(256, Arc::clone(&metrics)));
-        let trx_sys = TrxSys::new(config.read_view_mode)
+        let mut trx_sys = TrxSys::new(config.read_view_mode)
             .with_lock_registries(vec![
                 Arc::clone(&lock_sys_registry),
                 Arc::clone(&lightweight_registry),
@@ -89,6 +113,9 @@ impl Database {
             // flushes here when it drops — the lock hot paths pay no shared
             // atomics per cycle (see txsql_txn::TxnMetrics).
             .with_engine_metrics(Arc::clone(&metrics));
+        if let Some((next_txn_id, next_trx_no)) = trx_seed {
+            trx_sys = trx_sys.with_start(next_txn_id, next_trx_no);
+        }
         let lock_sys = LockSys::with_registry(
             LockSysConfig {
                 deadlock_policy: config.deadlock_policy,
@@ -133,6 +160,10 @@ impl Database {
             hooks: RwLock::new(Vec::new()),
             history,
             aria,
+            last_checkpoint: Mutex::new(CheckpointImage {
+                lsn: Lsn(0),
+                tables: Vec::new(),
+            }),
             sweeper_stop: Arc::new(AtomicBool::new(false)),
             sweeper_handle: Mutex::new(None),
         });
@@ -254,9 +285,85 @@ impl Database {
         self.inner.hooks.write().push(hook);
     }
 
-    /// Captures a checkpoint image (recovery experiments).
-    pub fn checkpoint(&self) -> CheckpointImage {
-        self.inner.storage.checkpoint()
+    /// Captures a checkpoint image, makes it the engine's recovery baseline
+    /// and truncates the redo log behind it.
+    ///
+    /// The truncation is safe by construction: it never cuts past the
+    /// durable horizon (`truncate_to` clamps to it) nor past the first LSN
+    /// of the oldest transaction that was active when the image was started,
+    /// so every record recovery could still need survives.  The image is
+    /// published as the baseline *before* the log is truncated — a crash
+    /// between the two recovers from the new image plus an un-truncated
+    /// (merely redundant) log, which idempotent replay tolerates.
+    pub fn checkpoint(&self) -> Result<CheckpointImage> {
+        // The floor must be read before the capture: a transaction active
+        // now may have pre-image records the image does not reflect.
+        let floor = self.inner.storage.active_txn_floor();
+        let image = self.inner.storage.checkpoint();
+        let redo = self.inner.storage.redo();
+        // The image is only a valid baseline once everything it reflects is
+        // durable.
+        redo.flush_to(image.lsn)?;
+        // Crash point: the image exists but was never published — recovery
+        // falls back to the previous baseline.
+        redo.crash_point(CrashPoint::Checkpoint)?;
+        *self.inner.last_checkpoint.lock() = image.clone();
+        let limit = match floor {
+            Some(first) => Lsn(image.lsn.0.min(first.0.saturating_sub(1))),
+            None => image.lsn,
+        };
+        let removed = redo.truncate_to(limit);
+        self.inner.metrics.wal_truncated_records.add(removed);
+        Ok(image)
+    }
+
+    /// Restarts the engine from its crash image: recovers from the last
+    /// published checkpoint plus the durable redo suffix (scan-stopping at a
+    /// torn tail), rebuilds the transaction system with counters seeded past
+    /// everything in the recovered log, and returns a fully working engine
+    /// together with the recovery report.
+    ///
+    /// Works on a healthy engine too (an orderly restart); the redo log of
+    /// the *new* engine starts empty, with a fresh baseline checkpoint of
+    /// the recovered state installed.
+    pub fn restart_from_crash(&self) -> Result<(Database, RecoveryReport)> {
+        self.shutdown();
+        let image = self.inner.last_checkpoint.lock().clone();
+        let frames = self.inner.storage.redo().durable_frames();
+        let outcome = recovery::recover_frames(&image, &frames, self.inner.config.latency.fsync)?;
+        let report = outcome.report;
+        let metrics = Arc::new(EngineMetrics::new());
+        metrics.recovery_replayed.add(report.replayed as u64);
+        // The restarted engine runs fault-free: the plan described one crash,
+        // and it already fired.
+        let mut config = self.inner.config.clone();
+        config.fault_plan = None;
+        let db = Self::assemble(
+            config,
+            outcome.storage,
+            metrics,
+            Some((report.max_txn_id + 1, report.max_trx_no + 1)),
+        );
+        // The recovered state is the new engine's baseline: a second crash
+        // before its first explicit checkpoint recovers to at least here.
+        *db.inner.last_checkpoint.lock() = db.inner.storage.checkpoint();
+        Ok((db, report))
+    }
+
+    /// The crash-fault injector (disabled unless a fault plan was configured).
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        self.inner.storage.faults()
+    }
+
+    /// True once an injected crash fired: the engine is a crash image and
+    /// the only legitimate continuation is [`Database::restart_from_crash`].
+    pub fn has_crashed(&self) -> bool {
+        self.inner.storage.faults().crashed()
+    }
+
+    /// True once the engine degraded to read-only (persistent fsync failure).
+    pub fn is_read_only(&self) -> bool {
+        self.inner.storage.faults().is_read_only()
     }
 
     /// Redo records that would survive a crash right now.
@@ -452,9 +559,10 @@ impl Database {
             involves_hotspot: !hot_updates.is_empty(),
         };
         let hooks: Vec<Arc<dyn CommitHook>> = self.inner.hooks.read().clone();
-        self.inner
-            .pipeline
-            .commit(self.inner.storage.redo(), commit_lsn, binlog, &hooks);
+        let pipeline_result =
+            self.inner
+                .pipeline
+                .commit(self.inner.storage.redo(), commit_lsn, binlog, &hooks);
 
         // Release hotspot queue tickets (O2) now that the lock is gone.
         if self.protocol() == Protocol::QueueLockingO2 {
@@ -465,6 +573,19 @@ impl Database {
 
         self.inner.trx_sys.finish(txn.id, Some(trx_no));
         self.inner.outcomes.lock().insert(txn.id, true);
+
+        if let Err(err) = pipeline_result {
+            // The flush failed (injected crash or read-only degradation): the
+            // commit was stamped in memory — dependents that read our
+            // versions must not cascade, so the outcome board and trx_sys
+            // horizon above still record a commit — but it never became
+            // durable, so it must NOT be acknowledged to the client.  The
+            // recovery oracle counts only `Ok` returns as acknowledged.
+            txn.state = TxnState::Committed;
+            self.inner.metrics.abort_causes.record(err.label());
+            return Err(err);
+        }
+
         if let Some(history) = &self.inner.history {
             // The writer of each read version was captured at read time — no
             // commit-time re-read, which would mis-attribute reads to

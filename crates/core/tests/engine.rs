@@ -759,7 +759,7 @@ fn crash_recovery_discards_uncommitted_hotspot_updates() {
     let db = setup(hot_config(Protocol::GroupLockingTxsql), 2);
     let hot_record = db.record_id(ACCOUNTS, 0).unwrap();
     db.hotspots().promote(hot_record);
-    let checkpoint = db.checkpoint();
+    let checkpoint = db.checkpoint().unwrap();
 
     // One committed, durable update...
     let program = TxnProgram::new(vec![Operation::UpdateAdd {
@@ -769,13 +769,13 @@ fn crash_recovery_discards_uncommitted_hotspot_updates() {
         delta: 5,
     }]);
     db.execute_program(&program).unwrap();
-    db.storage().redo().flush_all();
+    db.storage().redo().flush_all().unwrap();
     // ...and two uncommitted hotspot updates left in flight at the crash.
     let mut t_a = db.begin();
     let mut t_b = db.begin();
     db.update_add(&mut t_a, ACCOUNTS, 0, 1, 100).unwrap();
     db.update_add(&mut t_b, ACCOUNTS, 0, 1, 100).unwrap();
-    db.storage().redo().flush_all();
+    db.storage().redo().flush_all().unwrap();
 
     let outcome =
         txsql_storage::recovery::recover(&checkpoint, &db.durable_redo(), Duration::ZERO).unwrap();
@@ -787,8 +787,8 @@ fn crash_recovery_discards_uncommitted_hotspot_updates() {
         .unwrap()
         .unwrap();
     assert_eq!(recovered.get_int(1), Some(1_005));
-    assert_eq!(outcome.rolled_back.len(), 2);
-    assert_eq!(outcome.recovered_hot_orders.len(), 2);
+    assert_eq!(outcome.report.rolled_back.len(), 2);
+    assert_eq!(outcome.report.recovered_hot_orders.len(), 2);
     // Leave the in-flight transactions to clean up normally.
     db.rollback(t_a, None);
     db.rollback(t_b, None);

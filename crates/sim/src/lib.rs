@@ -26,7 +26,11 @@
 //! * `txsql_lockmgr::event::OsEvent::wait`/`wait_for`/`set` route the same
 //!   way,
 //! * `txsql_common::latency::ut_delay` / `simulate_delay` become virtual
-//!   clock advances plus a yield.
+//!   clock advances plus a yield,
+//! * every *crash point* of the storage fault injector
+//!   (`txsql_storage::fault::FaultInjector::hit`) is a yield point too, so
+//!   seeded crash plans land at explored positions inside commits, flush
+//!   batches and checkpoints (`crates/core/tests/sim_crash.rs`).
 //!
 //! Because exactly one logical thread runs at a time, a check-then-park in an
 //! instrumented primitive is atomic with respect to every other sim thread —

@@ -15,8 +15,11 @@
 //!   sequence number or the `hot_update_order` (paper §5.3) ([`undo`]),
 //! * a redo log / WAL with an explicit durability horizon so crashes can be
 //!   simulated ([`wal`]),
-//! * and crash recovery that replays the redo log and rolls back uncommitted
-//!   transactions in the correct (hotspot-aware) order ([`recovery`]).
+//! * crash-fault injection that kills the simulated process at named crash
+//!   points from a seeded plan ([`fault`]),
+//! * and crash recovery that replays the durable redo suffix (scan-stopping
+//!   at a torn tail) and rolls back uncommitted transactions in the correct
+//!   (hotspot-aware) order ([`recovery`]).
 //!
 //! The [`Storage`] facade ties these together and is what the transaction
 //! layer (`txsql-txn`, `txsql-core`) talks to.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod fault;
 pub mod heap;
 pub mod recovery;
 pub mod schema;
@@ -33,9 +37,10 @@ pub mod undo;
 pub mod version;
 pub mod wal;
 
+pub use fault::{CrashPoint, FaultInjector, FaultPlan};
 pub use schema::TableSchema;
 pub use storage::Storage;
 pub use table::Table;
 pub use undo::{UndoHeader, UndoRecord, UndoSegment};
 pub use version::{RecordVersions, Version, VisibilityJudge};
-pub use wal::{RedoLog, RedoRecord};
+pub use wal::{LogFrame, RedoLog, RedoRecord};

@@ -15,12 +15,13 @@
 //! * `checkpoint` — capture the committed state, the starting point for the
 //!   failure-recovery experiment (§6.4.6).
 
+use crate::fault::{CrashPoint, FaultInjector};
 use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::undo::{UndoHeader, UndoLog, UndoRecord, UndoSegment};
 use crate::version::{ReadCommitted, RecordVersions, VisibilityJudge};
 use crate::wal::{RedoLog, RedoRecord};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 use std::time::Duration;
 use txsql_common::fxhash::FxHashMap;
@@ -41,6 +42,10 @@ pub struct Storage {
     tables: RwLock<FxHashMap<TableId, Arc<Table>>>,
     redo: RedoLog,
     undo: UndoLog,
+    faults: Arc<FaultInjector>,
+    /// First redo LSN of every active (unfinished) transaction; checkpoint
+    /// truncation must never cut past the oldest of these.
+    first_lsn: Mutex<FxHashMap<TxnId, Lsn>>,
 }
 
 impl Default for Storage {
@@ -51,13 +56,32 @@ impl Default for Storage {
 
 impl Storage {
     /// Creates an empty storage engine whose redo flushes cost
-    /// `fsync_latency`.
+    /// `fsync_latency` and that never experiences injected faults.
     pub fn new(fsync_latency: Duration) -> Self {
+        Self::with_faults(fsync_latency, FaultInjector::disabled())
+    }
+
+    /// Creates an empty storage engine wired to a fault injector (shared with
+    /// its redo log, so crash points fire consistently across both).
+    pub fn with_faults(fsync_latency: Duration, faults: Arc<FaultInjector>) -> Self {
         Self {
             tables: RwLock::new(FxHashMap::default()),
-            redo: RedoLog::new(fsync_latency),
+            redo: RedoLog::with_faults(fsync_latency, Arc::clone(&faults)),
             undo: UndoLog::new(),
+            faults,
+            first_lsn: Mutex::new(FxHashMap::default()),
         }
+    }
+
+    /// The fault injector shared by this storage engine and its redo log.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// First redo LSN of the oldest active transaction, if any — the floor
+    /// below which checkpoint truncation must not cut the log.
+    pub fn active_txn_floor(&self) -> Option<Lsn> {
+        self.first_lsn.lock().values().min().copied()
     }
 
     /// Creates a table.  Returns an error if the id is already in use.
@@ -178,7 +202,9 @@ impl Storage {
     /// Registers a transaction with the undo log and writes its Begin record.
     pub fn begin_txn(&self, txn: TxnId) -> Lsn {
         self.undo.register(txn);
-        self.redo.append(RedoRecord::Begin { txn })
+        let lsn = self.redo.append(RedoRecord::Begin { txn });
+        self.first_lsn.lock().insert(txn, lsn);
+        lsn
     }
 
     /// Applies an update as a new uncommitted version, recording undo and
@@ -190,6 +216,7 @@ impl Storage {
         record: RecordId,
         new_row: Row,
     ) -> Result<Lsn> {
+        self.redo.crash_point(CrashPoint::PreAppend)?;
         let table = self.table(table_id)?;
         let slot = table.slot(record)?;
         let pk = new_row.primary_key().unwrap_or_default();
@@ -206,17 +233,20 @@ impl Storage {
             );
             guard.push_uncommitted(new_row.clone(), txn);
         }
-        Ok(self.redo.append(RedoRecord::Update {
+        let lsn = self.redo.append(RedoRecord::Update {
             txn,
             table: table_id,
             record,
             pk,
             after: new_row,
-        }))
+        });
+        self.redo.crash_point(CrashPoint::PostAppendPreFlush)?;
+        Ok(lsn)
     }
 
     /// Applies a transactional insert (uncommitted), recording undo and redo.
     pub fn apply_insert(&self, txn: TxnId, table_id: TableId, row: Row) -> Result<(RecordId, Lsn)> {
+        self.redo.crash_point(CrashPoint::PreAppend)?;
         let table = self.table(table_id)?;
         let pk = row.primary_key().ok_or_else(|| Error::Internal {
             reason: "insert without integer pk".into(),
@@ -238,6 +268,7 @@ impl Storage {
             pk,
             row,
         });
+        self.redo.crash_point(CrashPoint::PostAppendPreFlush)?;
         Ok((record, lsn))
     }
 
@@ -261,6 +292,7 @@ impl Storage {
         trx_no: u64,
         writes: &[(TableId, RecordId)],
     ) -> Result<Lsn> {
+        self.redo.crash_point(CrashPoint::PreAppend)?;
         for (table_id, record) in writes {
             let table = self.table(*table_id)?;
             let slot = table.slot(*record)?;
@@ -274,12 +306,23 @@ impl Storage {
         });
         let lsn = self.redo.append(RedoRecord::Commit { txn, trx_no });
         self.undo.take(txn);
+        self.first_lsn.lock().remove(&txn);
+        // A crash here leaves the commit marker in the log buffer but never
+        // flushed: the transaction was stamped in memory yet its commit is
+        // not durable and must not be acknowledged.
+        self.redo.crash_point(CrashPoint::PostAppendPreFlush)?;
         Ok(lsn)
     }
 
     /// Rolls back every change `txn` made, using its undo segment, and appends
     /// the rollback marker.  Changes are undone in reverse execution order.
+    ///
+    /// Deliberately *not* gated on crash points or read-only degradation:
+    /// rollback must keep working after an fsync failure degraded the engine
+    /// (it only restores in-memory before-images), and after a crash it is a
+    /// harmless no-op on the dead process image.
     pub fn rollback_writes(&self, txn: TxnId) -> Result<Lsn> {
+        self.first_lsn.lock().remove(&txn);
         let segment: Option<UndoSegment> = self.undo.take(txn);
         if let Some(segment) = segment {
             for undo in segment.rollback_order() {
@@ -322,7 +365,13 @@ impl Storage {
     /// Captures the committed state of every table together with the current
     /// log position.  Recovery starts from this image and replays the durable
     /// redo suffix.
+    ///
+    /// The LSN is read *before* the rows: a commit that lands mid-capture is
+    /// then both in the image and (redundantly) replayed from the log, which
+    /// idempotent replay tolerates — reading the LSN last could instead
+    /// truncate away a commit the image missed.
     pub fn checkpoint(&self) -> CheckpointImage {
+        let lsn = self.redo.latest_lsn();
         let mut tables = Vec::new();
         for table in self.tables() {
             let mut rows = Vec::new();
@@ -335,10 +384,7 @@ impl Storage {
             }
             tables.push((table.schema().clone(), rows));
         }
-        CheckpointImage {
-            lsn: self.redo.latest_lsn(),
-            tables,
-        }
+        CheckpointImage { lsn, tables }
     }
 
     /// Rebuilds a storage engine from a checkpoint image (no redo replay; see
@@ -389,7 +435,7 @@ mod tests {
         assert_eq!(storage.read_latest(tid, rid).unwrap().get_int(1), Some(101));
         assert_eq!(storage.latest_writer(tid, rid).unwrap(), Some(txn));
         let lsn = storage.commit_writes(txn, 1, &[(tid, rid)]).unwrap();
-        storage.redo().flush_to(lsn);
+        storage.redo().flush_to(lsn).unwrap();
         assert_eq!(
             storage
                 .read_committed(tid, rid)
@@ -514,6 +560,49 @@ mod tests {
             rebuilt.read_latest(tid, rid2).unwrap().get_int(1),
             Some(123)
         );
+    }
+
+    #[test]
+    fn active_txn_floor_tracks_oldest_unfinished_txn() {
+        let (storage, tid, rid) = setup();
+        assert_eq!(storage.active_txn_floor(), None);
+        let a = TxnId(1);
+        let b = TxnId(2);
+        let floor = storage.begin_txn(a);
+        storage.begin_txn(b);
+        assert_eq!(storage.active_txn_floor(), Some(floor));
+        storage
+            .apply_update(a, tid, rid, Row::from_ints(&[1, 101]))
+            .unwrap();
+        storage.commit_writes(a, 1, &[(tid, rid)]).unwrap();
+        // The floor advances to the younger transaction once `a` finishes.
+        assert!(storage.active_txn_floor().unwrap() > floor);
+        storage.rollback_writes(b).unwrap();
+        assert_eq!(storage.active_txn_floor(), None);
+    }
+
+    #[test]
+    fn crash_during_commit_is_not_acknowledged() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        // The crash fires after the commit marker is appended but before any
+        // flush covers it: commit_writes must surface the crash instead of
+        // acknowledging the commit.
+        let plan = FaultPlan::none().crash_at(CrashPoint::PostAppendPreFlush, 2);
+        let storage = Storage::with_faults(Duration::ZERO, FaultInjector::new(plan));
+        let tid = TableId(1);
+        storage
+            .create_table(TableSchema::new(tid, "t1", 2))
+            .unwrap();
+        let rid = storage.load_row(tid, Row::from_ints(&[1, 100])).unwrap();
+        let txn = TxnId(7);
+        storage.begin_txn(txn);
+        storage
+            .apply_update(txn, tid, rid, Row::from_ints(&[1, 101]))
+            .unwrap(); // first PostAppendPreFlush hit passes
+        let err = storage.commit_writes(txn, 1, &[(tid, rid)]).unwrap_err();
+        assert!(matches!(err, Error::Crashed { .. }));
+        // Nothing was ever flushed: the durable image has no trace of txn.
+        assert!(storage.redo().durable_records().is_empty());
     }
 
     #[test]

@@ -58,6 +58,21 @@ impl TrxSys {
         self
     }
 
+    /// Seeds the id and commit-sequence counters — used when rebuilding the
+    /// transaction system after crash recovery, so a restarted engine never
+    /// re-issues a transaction id or `trx_no` that appears in the recovered
+    /// log.  The copy-free visibility horizon starts at `next_trx_no - 1`
+    /// (everything recovered as committed is visible).
+    pub fn with_start(self, next_txn_id: u64, next_trx_no: u64) -> Self {
+        self.next_txn_id
+            .store(next_txn_id.max(1), Ordering::Relaxed);
+        self.next_trx_no
+            .store(next_trx_no.max(1), Ordering::Relaxed);
+        self.max_committed_trx_no
+            .store(next_trx_no.max(1) - 1, Ordering::Relaxed);
+        self
+    }
+
     /// Attaches the engine metrics every transaction's scratch flushes to.
     pub fn with_engine_metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
         self.engine_metrics = Some(metrics);
@@ -199,6 +214,17 @@ mod tests {
                 "leftover must not be dropped"
             );
         }
+    }
+
+    #[test]
+    fn with_start_seeds_counters_past_recovered_ids() {
+        let sys = TrxSys::default().with_start(42, 17);
+        let t = sys.begin();
+        assert_eq!(t.id, TxnId(42));
+        assert_eq!(sys.allocate_trx_no(), 17);
+        // Everything recovered as committed (trx_no <= 16) is visible.
+        assert_eq!(sys.commit_horizon(), 16);
+        sys.finish(t.id, None);
     }
 
     #[test]

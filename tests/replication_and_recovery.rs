@@ -107,10 +107,10 @@ fn crash_recovery_preserves_exactly_the_durable_commits() {
         EngineConfig::for_protocol(Protocol::GroupLockingTxsql).with_hotspot_threshold(2),
     );
     setup_accounts(&db, 4);
-    let checkpoint = db.checkpoint();
+    let checkpoint = db.checkpoint().unwrap();
 
     contended_run(&db, 4, 20);
-    db.storage().redo().flush_all();
+    db.storage().redo().flush_all().unwrap();
     // A few updates that never become durable.
     let mut in_flight = db.begin();
     db.update_add(&mut in_flight, ACCOUNTS, 0, 1, 1_000)
