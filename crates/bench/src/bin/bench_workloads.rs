@@ -1,0 +1,177 @@
+//! The workload-grid experiment harness (ISSUE 7 tentpole).
+//!
+//! Runs a declarative grid of protocol × workload × threads × replication
+//! cells and optionally records the result as a per-PR block in
+//! `BENCH_workloads.json`.
+//!
+//! ```text
+//! bench_workloads                     # run the paper grid, print only
+//! bench_workloads --smoke             # run the small CI grid, print + validate
+//! bench_workloads --record pr7       # run the paper grid, merge block `pr7`
+//! bench_workloads --smoke --record smoke --out target/smoke.json
+//! bench_workloads --check BENCH_workloads.json   # validate an existing file
+//! bench_workloads --seed 7            # override the base RNG seed
+//! ```
+//!
+//! Cell durations follow the usual knobs (`TXSQL_BENCH_SECONDS`,
+//! `TXSQL_BENCH_FULL`); open-loop cells run for their trace length instead.
+
+use std::path::PathBuf;
+use txsql_bench::harness::{block_json, merge_block, paper_grid, record, smoke_grid, Provenance};
+use txsql_bench::{fmt, measure_duration, print_table, warmup_duration};
+
+struct Args {
+    smoke: bool,
+    record: Option<String>,
+    out: PathBuf,
+    check: Option<PathBuf>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        record: None,
+        out: PathBuf::from("BENCH_workloads.json"),
+        check: None,
+        seed: 42,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--record" => {
+                args.record = Some(iter.next().ok_or("--record needs a block key (e.g. pr7)")?);
+            }
+            "--out" => {
+                args.out = PathBuf::from(iter.next().ok_or("--out needs a path")?);
+            }
+            "--check" => {
+                args.check = Some(PathBuf::from(iter.next().ok_or("--check needs a path")?));
+            }
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer")?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("bench_workloads: {err}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(path) = &args.check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("bench_workloads: cannot read {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        };
+        match record::validate_file(&text) {
+            Ok(cells) => {
+                println!("{}: schema ok ({cells} cells)", path.display());
+                return;
+            }
+            Err(err) => {
+                eprintln!("bench_workloads: {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let grid = if args.smoke {
+        smoke_grid(args.seed)
+    } else {
+        paper_grid(args.seed)
+    };
+    println!(
+        "grid `{}`: {} cells, warmup {:.2}s + measure {:.2}s per closed-loop cell, seed {}",
+        grid.name,
+        grid.cells.len(),
+        warmup_duration().as_secs_f64(),
+        measure_duration().as_secs_f64(),
+        args.seed
+    );
+
+    let outcomes = grid.run(|outcome| {
+        println!(
+            "cell {:<55} goodput={:>9} tps  aborts={:>6.2}%  p95={} ms",
+            outcome.id(),
+            fmt(outcome.goodput_tps),
+            outcome.abort_rate_pct,
+            fmt(outcome.p95_ms),
+        );
+    });
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.id(),
+                fmt(o.goodput_tps),
+                format!("{:.2}%", o.abort_rate_pct),
+                fmt(o.p50_ms),
+                fmt(o.p95_ms),
+                fmt(o.p99_ms),
+                match o.tpcc_consistent {
+                    Some(true) => "ok".to_string(),
+                    Some(false) => "VIOLATED".to_string(),
+                    None => "-".to_string(),
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("workload grid `{}`", grid.name),
+        &[
+            "cell".into(),
+            "goodput".into(),
+            "aborts".into(),
+            "p50_ms".into(),
+            "p95_ms".into(),
+            "p99_ms".into(),
+            "tpcc".into(),
+        ],
+        &rows,
+    );
+
+    let provenance = Provenance {
+        grid: grid.name.clone(),
+        seed: args.seed,
+        warmup_secs: warmup_duration().as_secs_f64(),
+        measure_secs: measure_duration().as_secs_f64(),
+        note: "1-CPU container; open-loop cells run their trace length; shapes over absolutes"
+            .to_string(),
+    };
+    let block = block_json(&outcomes, &provenance);
+    match record::validate_block(&block) {
+        Ok(cells) => println!("block schema: ok ({cells} cells)"),
+        Err(err) => {
+            eprintln!("bench_workloads: emitted block failed validation: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(key) = &args.record {
+        if let Err(err) = merge_block(&args.out, key, &block) {
+            eprintln!(
+                "bench_workloads: cannot record to {}: {err}",
+                args.out.display()
+            );
+            std::process::exit(1);
+        }
+        println!("recorded block `{key}` to {}", args.out.display());
+    }
+}

@@ -8,25 +8,28 @@
 //!     semi-sync commit latency enabled): queue locking's benefit shrinks,
 //!     group locking's does not.
 
-use txsql_bench::{build_db, closed_loop, fmt, print_table, thread_ladder};
+use txsql_bench::harness::CellSpec;
+use txsql_bench::{fmt, print_table, thread_ladder};
 use txsql_common::latency::LatencyModel;
 use txsql_core::Protocol;
-use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
+use txsql_workloads::{SysbenchVariant, WorkloadSpec};
 
 fn main() {
     // Part (a): MySQL hotspot update vs thread count.
     let mut rows = Vec::new();
     for threads in thread_ladder() {
-        let db = build_db(Protocol::Mysql2pl, None);
-        let workload = SysbenchWorkload::standard(SysbenchVariant::HotspotUpdate);
-        let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
+        let outcome = CellSpec::new(
+            Protocol::Mysql2pl,
+            WorkloadSpec::sysbench(SysbenchVariant::HotspotUpdate),
+        )
+        .threads(threads)
+        .run();
         rows.push(vec![
             threads.to_string(),
-            fmt(snapshot.tps),
-            fmt(snapshot.p95_latency_ms),
-            snapshot.deadlock_checks.to_string(),
+            fmt(outcome.goodput_tps),
+            fmt(outcome.p95_ms),
+            outcome.snapshot().deadlock_checks.to_string(),
         ]);
-        db.shutdown();
     }
     print_table(
         "Figure 2a: MySQL, SysBench hotspot update (TPS collapses with concurrency)",
@@ -46,20 +49,23 @@ fn main() {
         Protocol::QueueLockingO2,
         Protocol::GroupLockingTxsql,
     ];
+    let threads = *thread_ladder().last().unwrap();
     let mut rows = Vec::new();
     for &length in &lengths {
         let mut row = vec![length.to_string()];
         for &protocol in &protocols {
-            let db = build_db(protocol, Some(LatencyModel::semi_sync_replication()));
-            let workload = SysbenchWorkload::standard(SysbenchVariant::HotspotReadWrite {
-                writes: 1,
-                reads: length.saturating_sub(1),
-                skew: 0.7,
-            });
-            let threads = *thread_ladder().last().unwrap();
-            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
-            row.push(fmt(snapshot.tps));
-            db.shutdown();
+            let outcome = CellSpec::new(
+                protocol,
+                WorkloadSpec::sysbench(SysbenchVariant::HotspotReadWrite {
+                    writes: 1,
+                    reads: length.saturating_sub(1),
+                    skew: 0.7,
+                }),
+            )
+            .threads(threads)
+            .latency(LatencyModel::semi_sync_replication())
+            .run();
+            row.push(fmt(outcome.goodput_tps));
         }
         rows.push(row);
     }

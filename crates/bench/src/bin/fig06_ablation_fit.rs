@@ -4,9 +4,10 @@
 //! CPU-utilisation proxy, p95 latency with its lock-wait share, and lock
 //! objects created per query.
 
-use txsql_bench::{build_db, closed_loop, fmt, print_table, short_thread_ladder};
+use txsql_bench::harness::CellSpec;
+use txsql_bench::{fmt, print_table, short_thread_ladder};
 use txsql_core::Protocol;
-use txsql_workloads::{run_closed_loop, FitWorkload};
+use txsql_workloads::WorkloadSpec;
 
 fn main() {
     let protocols = Protocol::ABLATION;
@@ -21,18 +22,18 @@ fn main() {
         let mut latency = vec![threads.to_string()];
         let mut locks = vec![threads.to_string()];
         for protocol in protocols {
-            let db = build_db(protocol, None);
-            let workload = FitWorkload::standard();
-            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
-            tps.push(fmt(snapshot.tps));
+            let outcome = CellSpec::new(protocol, WorkloadSpec::fit_standard())
+                .threads(threads)
+                .run();
+            let snapshot = outcome.snapshot();
+            tps.push(fmt(outcome.goodput_tps));
             util.push(fmt(snapshot.utilization * 100.0));
             latency.push(format!(
                 "{} ({})",
-                fmt(snapshot.p95_latency_ms),
+                fmt(outcome.p95_ms),
                 fmt(snapshot.p95_lock_wait_ms)
             ));
             locks.push(fmt(snapshot.locks_per_query));
-            db.shutdown();
         }
         tps_rows.push(tps);
         util_rows.push(util);

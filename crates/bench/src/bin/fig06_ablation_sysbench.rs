@@ -5,9 +5,10 @@
 //! In the uniform (and scan) cases O2/TXSQL must *not* improve over O1 — the
 //! hotspot machinery never engages — which is exactly what the paper reports.
 
-use txsql_bench::{build_db, closed_loop, fmt, print_table, short_thread_ladder};
+use txsql_bench::harness::CellSpec;
+use txsql_bench::{fmt, print_table, short_thread_ladder};
 use txsql_core::Protocol;
-use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
+use txsql_workloads::{SysbenchVariant, WorkloadSpec};
 
 fn main() {
     let variants: Vec<(&str, SysbenchVariant)> = vec![
@@ -38,11 +39,10 @@ fn main() {
         for threads in short_thread_ladder() {
             let mut row = vec![threads.to_string()];
             for protocol in protocols {
-                let db = build_db(protocol, None);
-                let workload = SysbenchWorkload::new(variant, 100_000);
-                let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
-                row.push(fmt(snapshot.tps));
-                db.shutdown();
+                let outcome = CellSpec::new(protocol, WorkloadSpec::sysbench(variant))
+                    .threads(threads)
+                    .run();
+                row.push(fmt(outcome.goodput_tps));
             }
             rows.push(row);
         }

@@ -4,27 +4,23 @@
 //!     (transaction length 20), at the largest thread count of the ladder.
 //! (b) Transaction length swept from 2 to 16 at a 50% write ratio.
 
-use txsql_bench::{build_db, closed_loop, fmt, print_table, thread_ladder};
+use txsql_bench::harness::CellSpec;
+use txsql_bench::{fmt, print_table, thread_ladder};
 use txsql_core::Protocol;
-use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
+use txsql_workloads::{SysbenchVariant, WorkloadSpec};
 
-fn run_mix(protocol: Protocol, writes: usize, reads: usize, threads: usize) -> f64 {
-    let db = build_db(protocol, None);
-    let variant = if writes == 0 {
-        SysbenchVariant::UniformReadOnly {
+fn mix_spec(writes: usize, reads: usize) -> WorkloadSpec {
+    if writes == 0 {
+        WorkloadSpec::sysbench(SysbenchVariant::UniformReadOnly {
             length: reads.max(1),
-        }
+        })
     } else {
-        SysbenchVariant::HotspotReadWrite {
+        WorkloadSpec::sysbench(SysbenchVariant::HotspotReadWrite {
             writes,
             reads,
             skew: 0.9,
-        }
-    };
-    let workload = SysbenchWorkload::standard(variant);
-    let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
-    db.shutdown();
-    snapshot.tps
+        })
+    }
 }
 
 fn main() {
@@ -39,10 +35,12 @@ fn main() {
     for write_pct in [0usize, 25, 50, 75] {
         let total = 20usize;
         let writes = total * write_pct / 100;
-        let reads = total - writes;
         let mut row = vec![format!("{write_pct}%")];
         for protocol in protocols {
-            row.push(fmt(run_mix(protocol, writes, reads, threads)));
+            let outcome = CellSpec::new(protocol, mix_spec(writes, total - writes))
+                .threads(threads)
+                .run();
+            row.push(fmt(outcome.goodput_tps));
         }
         rows.push(row);
     }
@@ -56,10 +54,12 @@ fn main() {
     let mut rows = Vec::new();
     for length in [2usize, 4, 8, 16] {
         let writes = length / 2;
-        let reads = length - writes;
         let mut row = vec![length.to_string()];
         for protocol in protocols {
-            row.push(fmt(run_mix(protocol, writes, reads, threads)));
+            let outcome = CellSpec::new(protocol, mix_spec(writes, length - writes))
+                .threads(threads)
+                .run();
+            row.push(fmt(outcome.goodput_tps));
         }
         rows.push(row);
     }

@@ -1,9 +1,10 @@
 //! Figure 8 — scalability on the SysBench hotspot update: MySQL / Aria /
 //! Bamboo / TXSQL throughput and p95 latency as the thread count grows.
 
-use txsql_bench::{build_db, closed_loop, fmt, print_table, thread_ladder};
+use txsql_bench::harness::CellSpec;
+use txsql_bench::{fmt, print_table, thread_ladder};
 use txsql_core::Protocol;
-use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload};
+use txsql_workloads::{SysbenchVariant, WorkloadSpec};
 
 fn main() {
     let protocols = Protocol::SYSTEMS;
@@ -16,12 +17,14 @@ fn main() {
         let mut tps = vec![threads.to_string()];
         let mut p95 = vec![threads.to_string()];
         for protocol in protocols {
-            let db = build_db(protocol, None);
-            let workload = SysbenchWorkload::standard(SysbenchVariant::HotspotUpdate);
-            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
-            tps.push(fmt(snapshot.tps));
-            p95.push(fmt(snapshot.p95_latency_ms));
-            db.shutdown();
+            let outcome = CellSpec::new(
+                protocol,
+                WorkloadSpec::sysbench(SysbenchVariant::HotspotUpdate),
+            )
+            .threads(threads)
+            .run();
+            tps.push(fmt(outcome.goodput_tps));
+            p95.push(fmt(outcome.p95_ms));
         }
         tps_rows.push(tps);
         p95_rows.push(p95);

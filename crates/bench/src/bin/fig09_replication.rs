@@ -1,23 +1,11 @@
 //! Figure 9 — FiT throughput under synchronous (semi-sync) and asynchronous
 //! replication to two replicas, MySQL / Aria / Bamboo / TXSQL.
 
-use txsql_bench::{build_db, closed_loop, fmt, print_table, short_thread_ladder};
-use txsql_common::latency::LatencyModel;
+use txsql_bench::harness::CellSpec;
+use txsql_bench::{fmt, print_table, short_thread_ladder};
 use txsql_core::Protocol;
-use txsql_replication::{ReplicationHook, ReplicationMode};
-use txsql_workloads::{run_closed_loop, FitWorkload};
-
-fn run(protocol: Protocol, mode: ReplicationMode, threads: usize) -> f64 {
-    let latency = LatencyModel::semi_sync_replication();
-    let db = build_db(protocol, Some(latency));
-    let hook = ReplicationHook::new(mode, latency, 2);
-    db.register_commit_hook(hook.clone());
-    let workload = FitWorkload::standard();
-    let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
-    hook.shutdown();
-    db.shutdown();
-    snapshot.tps
-}
+use txsql_replication::ReplicationMode;
+use txsql_workloads::WorkloadSpec;
 
 fn main() {
     let protocols = Protocol::SYSTEMS;
@@ -38,7 +26,11 @@ fn main() {
         for threads in short_thread_ladder() {
             let mut row = vec![threads.to_string()];
             for protocol in protocols {
-                row.push(fmt(run(protocol, mode, threads)));
+                let outcome = CellSpec::new(protocol, WorkloadSpec::fit_standard())
+                    .threads(threads)
+                    .replication(mode)
+                    .run();
+                row.push(fmt(outcome.goodput_tps));
             }
             rows.push(row);
         }

@@ -2,33 +2,10 @@
 //! for TXSQL vs Bamboo; (right) effect of Zipf skew on throughput for the
 //! four compared systems.
 
-use txsql_bench::{build_db, closed_loop, fmt, print_table, thread_ladder};
-use txsql_core::{Database, Operation, Protocol};
-use txsql_workloads::{run_closed_loop, SysbenchVariant, SysbenchWorkload, Workload};
-
-/// A wrapper workload that appends a `ForcedRollback` to a fraction of the
-/// generated transactions (the paper injects 0.5–3% aborts).
-struct AbortInjecting<W> {
-    inner: W,
-    abort_probability: f64,
-    name: String,
-}
-
-impl<W: Workload> Workload for AbortInjecting<W> {
-    fn name(&self) -> &str {
-        &self.name
-    }
-    fn setup(&self, db: &Database) {
-        self.inner.setup(db);
-    }
-    fn next_program(&self, rng: &mut txsql_common::rng::XorShiftRng) -> txsql_core::TxnProgram {
-        let mut program = self.inner.next_program(rng);
-        if rng.next_bool(self.abort_probability) {
-            program.operations.push(Operation::ForcedRollback);
-        }
-        program
-    }
-}
+use txsql_bench::harness::CellSpec;
+use txsql_bench::{fmt, print_table, thread_ladder};
+use txsql_core::Protocol;
+use txsql_workloads::{SysbenchVariant, WorkloadSpec};
 
 fn main() {
     let threads = *thread_ladder().last().unwrap();
@@ -38,19 +15,24 @@ fn main() {
     for inject_pct in [0.5f64, 1.0, 2.0, 3.0] {
         let mut row = vec![format!("{inject_pct}%")];
         for protocol in [Protocol::GroupLockingTxsql, Protocol::Bamboo] {
-            let db = build_db(protocol, None);
-            let workload = AbortInjecting {
-                inner: SysbenchWorkload::standard(SysbenchVariant::HotspotReadWrite {
-                    writes: 8,
-                    reads: 8,
-                    skew: 0.9,
-                }),
-                abort_probability: inject_pct / 100.0,
-                name: format!("abort-inject-{inject_pct}"),
-            };
-            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
-            row.push(format!("{:.2}%", snapshot.cascade_abort_ratio * 100.0));
-            db.shutdown();
+            let outcome = CellSpec::new(
+                protocol,
+                WorkloadSpec::SysbenchAbortInject {
+                    variant: SysbenchVariant::HotspotReadWrite {
+                        writes: 8,
+                        reads: 8,
+                        skew: 0.9,
+                    },
+                    table_size: 100_000,
+                    inject_pct,
+                },
+            )
+            .threads(threads)
+            .run();
+            row.push(format!(
+                "{:.2}%",
+                outcome.snapshot().cascade_abort_ratio * 100.0
+            ));
         }
         rows.push(row);
     }
@@ -69,11 +51,13 @@ fn main() {
     for skew in [0.7f64, 0.8, 0.9, 0.95, 0.99] {
         let mut row = vec![skew.to_string()];
         for protocol in protocols {
-            let db = build_db(protocol, None);
-            let workload = SysbenchWorkload::standard(SysbenchVariant::ZipfUpdate { skew });
-            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
-            row.push(fmt(snapshot.tps));
-            db.shutdown();
+            let outcome = CellSpec::new(
+                protocol,
+                WorkloadSpec::sysbench(SysbenchVariant::ZipfUpdate { skew }),
+            )
+            .threads(threads)
+            .run();
+            row.push(fmt(outcome.goodput_tps));
         }
         rows.push(row);
     }

@@ -6,20 +6,16 @@
 //! locking with a larger batch size (the 00:18 bump).  Per second we report
 //! achieved throughput, failure rate, p95 latency and the utilisation proxy.
 
+use txsql_bench::harness::CellSpec;
 use txsql_bench::{fmt, full_scale, print_table};
-use txsql_core::{Database, EngineConfig, Protocol};
-use txsql_workloads::{run_fixed_tps, FixedTpsOptions, HotspotsTrace};
+use txsql_core::{ConfigDelta, Protocol};
+use txsql_workloads::WorkloadSpec;
 
-fn run(label: &str, config: EngineConfig, base_tps: u64) -> Vec<Vec<String>> {
-    let db = Database::new(config);
-    let trace = HotspotsTrace::paper_like(base_tps);
-    let options = FixedTpsOptions {
-        threads: 16,
-        ..Default::default()
-    };
-    let samples = run_fixed_tps(&db, &trace, &options);
-    db.shutdown();
-    samples
+fn run(label: &str, cell: CellSpec) -> Vec<Vec<String>> {
+    let outcome = cell.run();
+    outcome
+        .seconds
+        .expect("open-loop cell has per-second samples")
         .iter()
         .map(|s| {
             vec![
@@ -37,21 +33,24 @@ fn run(label: &str, config: EngineConfig, base_tps: u64) -> Vec<Vec<String>> {
 
 fn main() {
     let base_tps = if full_scale() { 2_000 } else { 300 };
+    let trace = WorkloadSpec::Hotspots {
+        base_tps,
+        phase_seconds: 5,
+    };
     let mut rows = Vec::new();
     rows.extend(run(
         "O2 (pre-23:55)",
-        EngineConfig::for_protocol(Protocol::QueueLockingO2),
-        base_tps,
+        CellSpec::new(Protocol::QueueLockingO2, trace).threads(16),
     ));
     rows.extend(run(
         "TXSQL batch=10",
-        EngineConfig::for_protocol(Protocol::GroupLockingTxsql),
-        base_tps,
+        CellSpec::new(Protocol::GroupLockingTxsql, trace).threads(16),
     ));
     rows.extend(run(
         "TXSQL batch=64",
-        EngineConfig::for_protocol(Protocol::GroupLockingTxsql).with_batch_size(64),
-        base_tps,
+        CellSpec::new(Protocol::GroupLockingTxsql, trace)
+            .threads(16)
+            .delta(ConfigDelta::BatchSize(64)),
     ));
     print_table(
         "Figure 11: online fixed-TPS trace with hotspot bursts (per second)",

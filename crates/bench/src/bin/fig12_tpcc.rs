@@ -3,9 +3,10 @@
 //! TXSQL.  Fewer warehouses means more contention on the warehouse and
 //! district rows.
 
-use txsql_bench::{build_db, closed_loop, fmt, full_scale, print_table, thread_ladder};
+use txsql_bench::harness::CellSpec;
+use txsql_bench::{fmt, full_scale, print_table, thread_ladder};
 use txsql_core::Protocol;
-use txsql_workloads::{run_closed_loop, TpccWorkload};
+use txsql_workloads::WorkloadSpec;
 
 fn main() {
     let protocols = Protocol::SYSTEMS;
@@ -24,18 +25,18 @@ fn main() {
         let mut tps = vec![w.to_string()];
         let mut latency = vec![w.to_string()];
         for protocol in protocols {
-            let db = build_db(protocol, None);
-            let workload = TpccWorkload::new(w);
-            let snapshot = run_closed_loop(&db, &workload, &closed_loop(threads));
-            tps.push(fmt(snapshot.tps));
-            latency.push(fmt(snapshot.mean_latency_ms));
+            let outcome = CellSpec::new(protocol, WorkloadSpec::tpcc(w))
+                .threads(threads)
+                .run();
+            tps.push(fmt(outcome.goodput_tps));
+            latency.push(fmt(outcome.snapshot().mean_latency_ms));
             // §6.4.5-style consistency check: warehouse YTD == sum of districts.
             // (Reported rather than asserted: the Bamboo baseline's early lock
             // release can leak an aborted delta into a dependent after-image
             // under multi-statement transactions — a known limitation of this
             // reproduction's Bamboo cascade handling, documented in
             // EXPERIMENTS.md.  TXSQL/MySQL/Aria must always pass.)
-            let consistent = workload.consistency_check(&db);
+            let consistent = outcome.tpcc_consistent.expect("tpcc cell runs the check");
             if !consistent {
                 println!(
                     "  !! consistency check failed under {:?} with {} warehouses",
@@ -48,7 +49,6 @@ fn main() {
                     "TPC-C consistency violated under {protocol:?} with {w} warehouses"
                 );
             }
-            db.shutdown();
         }
         tps_rows.push(tps);
         latency_rows.push(latency);

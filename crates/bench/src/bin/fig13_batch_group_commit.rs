@@ -1,44 +1,42 @@
 //! Figure 13 — effect of the group-locking batch size (left) and of group
 //! commit under synchronous / asynchronous replication (right).
 
-use txsql_bench::{closed_loop, fmt, full_scale, print_table};
-use txsql_common::latency::LatencyModel;
-use txsql_core::{Database, EngineConfig, Protocol};
-use txsql_replication::{ReplicationHook, ReplicationMode};
-use txsql_workloads::{run_closed_loop, FitWorkload, SysbenchVariant, SysbenchWorkload, Workload};
+use txsql_bench::harness::CellSpec;
+use txsql_bench::{fmt, full_scale, print_table};
+use txsql_core::{ConfigDelta, Protocol};
+use txsql_replication::ReplicationMode;
+use txsql_workloads::{SysbenchVariant, WorkloadSpec};
 
-fn run(config: EngineConfig, workload: &dyn Workload, threads: usize) -> f64 {
-    let db = Database::new(config);
-    let snapshot = run_closed_loop(&db, workload, &closed_loop(threads));
-    db.shutdown();
-    snapshot.tps
+fn batch_cell(batch: usize, workload: WorkloadSpec, threads: usize) -> CellSpec {
+    CellSpec::new(Protocol::GroupLockingTxsql, workload)
+        .threads(threads)
+        .delta(ConfigDelta::BatchSize(batch))
+        .delta(ConfigDelta::DynamicBatch(false))
 }
 
 fn main() {
     let (high_threads, low_threads) = if full_scale() { (512, 32) } else { (128, 32) };
     let batch_sizes = [1usize, 4, 16, 64, 256];
+    let hrw = WorkloadSpec::sysbench(SysbenchVariant::HotspotReadWrite {
+        writes: 8,
+        reads: 8,
+        skew: 0.9,
+    });
+    let hu = WorkloadSpec::sysbench(SysbenchVariant::HotspotReadWrite {
+        writes: 16,
+        reads: 0,
+        skew: 0.9,
+    });
 
     // Left: fixed batch size sweep for FIT / HRW / HU at two thread counts.
     let mut rows = Vec::new();
     for &batch in &batch_sizes {
         let mut row = vec![batch.to_string()];
         for &threads in &[high_threads, low_threads] {
-            let config = EngineConfig::for_protocol(Protocol::GroupLockingTxsql)
-                .with_batch_size(batch)
-                .with_dynamic_batch(false);
-            row.push(fmt(run(config.clone(), &FitWorkload::standard(), threads)));
-            let hrw = SysbenchWorkload::standard(SysbenchVariant::HotspotReadWrite {
-                writes: 8,
-                reads: 8,
-                skew: 0.9,
-            });
-            row.push(fmt(run(config.clone(), &hrw, threads)));
-            let hu = SysbenchWorkload::standard(SysbenchVariant::HotspotReadWrite {
-                writes: 16,
-                reads: 0,
-                skew: 0.9,
-            });
-            row.push(fmt(run(config, &hu, threads)));
+            for workload in [WorkloadSpec::fit_standard(), hrw, hu] {
+                let outcome = batch_cell(batch, workload, threads).run();
+                row.push(fmt(outcome.goodput_tps));
+            }
         }
         rows.push(row);
     }
@@ -67,22 +65,16 @@ fn main() {
         ("async", ReplicationMode::Asynchronous),
     ] {
         for group_commit in [false, true] {
-            let latency = LatencyModel::semi_sync_replication();
-            let config = EngineConfig::for_protocol(Protocol::GroupLockingTxsql)
-                .with_latency(latency)
-                .with_group_commit(group_commit);
-            let db = Database::new(config);
-            let hook = ReplicationHook::new(mode, latency, 2);
-            db.register_commit_hook(hook.clone());
-            let workload = FitWorkload::standard();
-            let snapshot = run_closed_loop(&db, &workload, &closed_loop(high_threads));
-            hook.shutdown();
-            db.shutdown();
+            let outcome = CellSpec::new(Protocol::GroupLockingTxsql, WorkloadSpec::fit_standard())
+                .threads(high_threads)
+                .delta(ConfigDelta::GroupCommit(group_commit))
+                .replication(mode)
+                .run();
             rows.push(vec![
                 mode_label.to_string(),
                 if group_commit { "with GC" } else { "w/o GC" }.to_string(),
-                fmt(snapshot.tps),
-                snapshot.commit_batches.to_string(),
+                fmt(outcome.goodput_tps),
+                outcome.snapshot().commit_batches.to_string(),
             ]);
         }
     }

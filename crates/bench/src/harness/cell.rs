@@ -1,0 +1,262 @@
+//! One benchmark cell: a declarative spec and its measured outcome.
+
+use crate::{measure_duration, warmup_duration};
+use txsql_common::latency::LatencyModel;
+use txsql_common::metrics::MetricsSnapshot;
+use txsql_core::{ConfigDelta, Database, EngineConfig, Protocol};
+use txsql_replication::{ReplicationHook, ReplicationMode};
+use txsql_workloads::{
+    run_closed_loop, run_fixed_tps_report, BuiltWorkload, ClosedLoopOptions, FixedTpsOptions,
+    SecondSample, WorkloadSpec,
+};
+
+/// One point of an experiment grid, as pure data.
+///
+/// `run` builds the [`Database`] from the protocol plus [`ConfigDelta`]s,
+/// optionally registers a replication hook, runs the workload under the
+/// driver the spec's workload family requires (closed-loop for SysBench /
+/// FiT / TPC-C, fixed-TPS open loop for Hotspots), and tears everything
+/// down — the setup/measure/report glue every figure binary used to
+/// copy-paste.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Concurrency-control protocol under test.
+    pub protocol: Protocol,
+    /// Workload family and parameters.
+    pub workload: WorkloadSpec,
+    /// Client threads (closed loop) or worker-pool size (open loop).
+    pub threads: usize,
+    /// Configuration knobs applied on top of the protocol defaults.
+    pub deltas: Vec<ConfigDelta>,
+    /// Replication hook to register, if any (two replicas).
+    pub replication: Option<ReplicationMode>,
+    /// Latency model override (defaults to semi-sync timings when a
+    /// replication mode is set, instant otherwise).
+    pub latency: Option<LatencyModel>,
+    /// Base RNG seed for the driver's worker streams.
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// A cell with default threads (8), no deltas, no replication, seed 42.
+    pub fn new(protocol: Protocol, workload: WorkloadSpec) -> Self {
+        Self {
+            protocol,
+            workload,
+            threads: 8,
+            deltas: Vec::new(),
+            replication: None,
+            latency: None,
+            seed: 42,
+        }
+    }
+
+    /// Sets the thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Adds a configuration delta.
+    pub fn delta(mut self, delta: ConfigDelta) -> Self {
+        self.deltas.push(delta);
+        self
+    }
+
+    /// Enables the replication hook in `mode`.
+    pub fn replication(mut self, mode: ReplicationMode) -> Self {
+        self.replication = Some(mode);
+        self
+    }
+
+    /// Overrides the latency model.
+    pub fn latency(mut self, model: LatencyModel) -> Self {
+        self.latency = Some(model);
+        self
+    }
+
+    /// Overrides the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A stable cell id: `workload/protocol/tN[/delta...][/repl-...]`.
+    pub fn id(&self) -> String {
+        let mut id = format!(
+            "{}/{}/t{}",
+            self.workload.label(),
+            self.protocol.label().to_lowercase(),
+            self.threads
+        );
+        for delta in &self.deltas {
+            id.push('/');
+            id.push_str(&delta.label());
+        }
+        match self.replication {
+            Some(ReplicationMode::Synchronous) => id.push_str("/repl-sync"),
+            Some(ReplicationMode::Asynchronous) => id.push_str("/repl-async"),
+            None => {}
+        }
+        id
+    }
+
+    /// Runs the cell and returns its outcome.
+    pub fn run(&self) -> CellOutcome {
+        let mut config = EngineConfig::for_protocol(self.protocol).with_deltas(&self.deltas);
+        let latency = self.latency.or(self
+            .replication
+            .map(|_| LatencyModel::semi_sync_replication()));
+        if let Some(model) = latency {
+            config = config.with_latency(model);
+        }
+        let db = Database::new(config);
+        let hook = self.replication.map(|mode| {
+            let hook = ReplicationHook::new(mode, latency.expect("latency set above"), 2);
+            db.register_commit_hook(hook.clone());
+            hook
+        });
+
+        let mut outcome = match self.workload.build() {
+            BuiltWorkload::Closed(workload) => {
+                let options = ClosedLoopOptions {
+                    threads: self.threads,
+                    duration: measure_duration(),
+                    warmup: warmup_duration(),
+                    seed: self.seed,
+                    max_retries: 0,
+                };
+                let snapshot = run_closed_loop(&db, workload.as_ref(), &options);
+                CellOutcome {
+                    spec: self.clone(),
+                    goodput_tps: snapshot.tps,
+                    abort_rate_pct: snapshot.abort_ratio * 100.0,
+                    p50_ms: snapshot.p50_latency_ms,
+                    p95_ms: snapshot.p95_latency_ms,
+                    p99_ms: snapshot.p99_latency_ms,
+                    committed: snapshot.committed,
+                    failed: snapshot.aborted,
+                    snapshot: Some(snapshot),
+                    seconds: None,
+                    tpcc_consistent: None,
+                }
+            }
+            BuiltWorkload::Open(trace) => {
+                let options = FixedTpsOptions {
+                    threads: self.threads,
+                    seed: self.seed,
+                    ..Default::default()
+                };
+                let report = run_fixed_tps_report(&db, &trace, &options);
+                CellOutcome {
+                    spec: self.clone(),
+                    goodput_tps: report.goodput_tps(),
+                    abort_rate_pct: report.failure_rate_pct(),
+                    p50_ms: report.latencies.p50_millis(),
+                    p95_ms: report.latencies.p95_millis(),
+                    p99_ms: report.latencies.p99_millis(),
+                    committed: report.total_committed(),
+                    failed: report.total_failed(),
+                    snapshot: None,
+                    seconds: Some(report.samples),
+                    tpcc_consistent: None,
+                }
+            }
+        };
+
+        if let Some(checker) = self.workload.tpcc_checker() {
+            outcome.tpcc_consistent = Some(checker.consistency_check(&db));
+        }
+        if let Some(hook) = hook {
+            hook.shutdown();
+        }
+        db.shutdown();
+        outcome
+    }
+}
+
+/// The measured result of one cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The spec that produced this outcome.
+    pub spec: CellSpec,
+    /// Committed (and, open-loop, within-deadline) transactions per second.
+    pub goodput_tps: f64,
+    /// Closed loop: engine abort ratio; open loop: failure rate.  Percent.
+    pub abort_rate_pct: f64,
+    /// Median end-to-end latency (ms).
+    pub p50_ms: f64,
+    /// 95th percentile end-to-end latency (ms).
+    pub p95_ms: f64,
+    /// 99th percentile end-to-end latency (ms).
+    pub p99_ms: f64,
+    /// Committed transactions in the measurement window.
+    pub committed: u64,
+    /// Aborted (closed loop) or failed/late (open loop) transactions.
+    pub failed: u64,
+    /// Full engine snapshot — closed-loop cells only (the open-loop driver
+    /// resets engine metrics every second for its per-second panels).
+    pub snapshot: Option<MetricsSnapshot>,
+    /// Per-second samples — open-loop cells only.
+    pub seconds: Option<Vec<SecondSample>>,
+    /// TPC-C warehouse/district YTD consistency — TPC-C cells only.
+    pub tpcc_consistent: Option<bool>,
+}
+
+impl CellOutcome {
+    /// The cell id of the producing spec.
+    pub fn id(&self) -> String {
+        self.spec.id()
+    }
+
+    /// The snapshot, for figure code that knows the cell was closed-loop.
+    pub fn snapshot(&self) -> &MetricsSnapshot {
+        self.snapshot
+            .as_ref()
+            .expect("closed-loop cell has a snapshot")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txsql_workloads::SysbenchVariant;
+
+    #[test]
+    fn cell_ids_encode_every_axis() {
+        let spec = CellSpec::new(
+            Protocol::GroupLockingTxsql,
+            WorkloadSpec::Sysbench {
+                variant: SysbenchVariant::HotspotUpdate,
+                table_size: 1_000,
+            },
+        )
+        .threads(32)
+        .delta(ConfigDelta::BatchSize(64))
+        .replication(ReplicationMode::Synchronous);
+        assert_eq!(
+            spec.id(),
+            "sysbench-hotspot-update/txsql/t32/batch=64/repl-sync"
+        );
+
+        let plain = CellSpec::new(Protocol::Mysql2pl, WorkloadSpec::Tpcc { warehouses: 2 });
+        assert_eq!(plain.id(), "tpcc-w2/mysql/t8");
+    }
+
+    #[test]
+    fn builders_apply() {
+        let spec = CellSpec::new(
+            Protocol::Aria,
+            WorkloadSpec::Fit {
+                hot_accounts: 1,
+                users: 100,
+            },
+        )
+        .threads(0)
+        .seed(9)
+        .latency(LatencyModel::local_ssd());
+        assert_eq!(spec.threads, 1, "thread count is clamped to >= 1");
+        assert_eq!(spec.seed, 9);
+        assert!(spec.latency.is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! Named experiment grids.
+
+use super::cell::{CellOutcome, CellSpec};
+use txsql_core::Protocol;
+use txsql_replication::ReplicationMode;
+use txsql_workloads::{SysbenchVariant, WorkloadSpec};
+
+/// A named list of cells.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Grid name, recorded in the block provenance.
+    pub name: String,
+    /// The cells, run in order.
+    pub cells: Vec<CellSpec>,
+}
+
+impl GridSpec {
+    /// Runs every cell sequentially, invoking `progress` after each one.
+    pub fn run(&self, mut progress: impl FnMut(&CellOutcome)) -> Vec<CellOutcome> {
+        self.cells
+            .iter()
+            .map(|cell| {
+                let outcome = cell.run();
+                progress(&outcome);
+                outcome
+            })
+            .collect()
+    }
+}
+
+/// The recorded grid: the paper's four compared systems on all four workload
+/// families, two thread counts on the contended SysBench hotspot, semi-sync
+/// replication toggled on FiT, and the Hotspots trace driven open-loop.
+pub fn paper_grid(seed: u64) -> GridSpec {
+    let sysbench = WorkloadSpec::Sysbench {
+        variant: SysbenchVariant::HotspotUpdate,
+        table_size: 100_000,
+    };
+    let fit = WorkloadSpec::Fit {
+        hot_accounts: 1,
+        users: 100_000,
+    };
+    let tpcc = WorkloadSpec::Tpcc { warehouses: 2 };
+    let hotspots = WorkloadSpec::Hotspots {
+        base_tps: 300,
+        phase_seconds: 1,
+    };
+
+    let mut cells = Vec::new();
+    for protocol in Protocol::SYSTEMS {
+        for threads in [8usize, 64] {
+            cells.push(
+                CellSpec::new(protocol, sysbench)
+                    .threads(threads)
+                    .seed(seed),
+            );
+        }
+        cells.push(CellSpec::new(protocol, fit).threads(64).seed(seed));
+        cells.push(
+            CellSpec::new(protocol, fit)
+                .threads(64)
+                .replication(ReplicationMode::Synchronous)
+                .seed(seed),
+        );
+        cells.push(CellSpec::new(protocol, tpcc).threads(64).seed(seed));
+        cells.push(CellSpec::new(protocol, hotspots).threads(16).seed(seed));
+    }
+    GridSpec {
+        name: "paper".to_string(),
+        cells,
+    }
+}
+
+/// The CI grid: two protocols, small tables, one replication cell, one
+/// short open-loop trace — fast enough for every push.
+pub fn smoke_grid(seed: u64) -> GridSpec {
+    let sysbench = WorkloadSpec::Sysbench {
+        variant: SysbenchVariant::HotspotUpdate,
+        table_size: 10_000,
+    };
+    let tpcc = WorkloadSpec::Tpcc { warehouses: 2 };
+
+    let mut cells = Vec::new();
+    for protocol in [Protocol::Mysql2pl, Protocol::GroupLockingTxsql] {
+        cells.push(CellSpec::new(protocol, sysbench).threads(8).seed(seed));
+        cells.push(CellSpec::new(protocol, tpcc).threads(8).seed(seed));
+    }
+    cells.push(
+        CellSpec::new(
+            Protocol::GroupLockingTxsql,
+            WorkloadSpec::Fit {
+                hot_accounts: 1,
+                users: 10_000,
+            },
+        )
+        .threads(8)
+        .replication(ReplicationMode::Synchronous)
+        .seed(seed),
+    );
+    cells.push(
+        CellSpec::new(
+            Protocol::GroupLockingTxsql,
+            WorkloadSpec::Hotspots {
+                base_tps: 50,
+                phase_seconds: 1,
+            },
+        )
+        .threads(4)
+        .seed(seed),
+    );
+    GridSpec {
+        name: "smoke".to_string(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn family(cell: &CellSpec) -> &'static str {
+        match cell.workload {
+            WorkloadSpec::Sysbench { .. } | WorkloadSpec::SysbenchAbortInject { .. } => "sysbench",
+            WorkloadSpec::Fit { .. } => "fit",
+            WorkloadSpec::Tpcc { .. } => "tpcc",
+            WorkloadSpec::Hotspots { .. } => "hotspots",
+        }
+    }
+
+    #[test]
+    fn paper_grid_covers_the_acceptance_matrix() {
+        let grid = paper_grid(42);
+        let protocols: BTreeSet<String> = grid
+            .cells
+            .iter()
+            .map(|c| c.protocol.label().to_string())
+            .collect();
+        assert!(protocols.len() >= 4, "need >= 4 protocols: {protocols:?}");
+        let families: BTreeSet<&str> = grid.cells.iter().map(family).collect();
+        assert_eq!(
+            families,
+            BTreeSet::from(["sysbench", "fit", "tpcc", "hotspots"])
+        );
+        assert!(
+            grid.cells.iter().any(|c| c.replication.is_some()),
+            "replication must be toggled on at least one workload"
+        );
+        assert!(
+            grid.cells.iter().any(|c| c.workload.is_open_loop()),
+            "hotspots must run open-loop"
+        );
+        let ids: BTreeSet<String> = grid.cells.iter().map(CellSpec::id).collect();
+        assert_eq!(ids.len(), grid.cells.len(), "cell ids must be unique");
+    }
+
+    #[test]
+    fn smoke_grid_is_small_and_still_representative() {
+        let grid = smoke_grid(42);
+        assert!(grid.cells.len() <= 8, "smoke grid must stay CI-fast");
+        assert!(grid.cells.iter().any(|c| c.replication.is_some()));
+        assert!(grid.cells.iter().any(|c| c.workload.is_open_loop()));
+        assert!(grid
+            .cells
+            .iter()
+            .any(|c| c.id() == "sysbench-hotspot-update/mysql/t8"));
+    }
+}

@@ -1,0 +1,26 @@
+//! The experiment-harness subsystem: declarative grids of benchmark cells.
+//!
+//! The paper's evidence is a grid of *cells* — one (protocol, workload,
+//! thread count, configuration, replication) point each, measured with the
+//! closed-loop or fixed-TPS driver.  This module makes that grid data
+//! instead of code:
+//!
+//! * [`cell`] — [`CellSpec`] (one declarative cell) and [`CellOutcome`]
+//!   (goodput, abort rate, p50/p95/p99, metrics snapshot, per-second
+//!   samples for open-loop cells);
+//! * [`grid`] — named grids: the recorded [`paper_grid`] and the CI
+//!   [`smoke_grid`];
+//! * [`record`] — JSON rendering of outcomes and the append-a-block-per-PR
+//!   protocol of `BENCH_workloads.json`.
+//!
+//! The per-figure binaries (`fig02`–`fig13`) are thin grid declarations on
+//! top of [`CellSpec::run`]; `bench_workloads` runs the named grids and
+//! records them.
+
+pub mod cell;
+pub mod grid;
+pub mod record;
+
+pub use cell::{CellOutcome, CellSpec};
+pub use grid::{paper_grid, smoke_grid, GridSpec};
+pub use record::{block_json, cell_json, merge_block, render_json, validate_block, Provenance};

@@ -16,9 +16,15 @@
 //!   longer measurement windows; default is a quick laptop-scale ladder.
 //! * `TXSQL_BENCH_SECONDS` — measurement window per cell in seconds
 //!   (fractional values allowed; default 0.4, or 2.0 with `TXSQL_BENCH_FULL`).
+//!
+//! The [`harness`] module is the experiment-harness subsystem: declarative
+//! cell/grid specs, the shared cell runner every figure binary is built on,
+//! and the `BENCH_workloads.json` recording protocol.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+
+pub mod harness;
 
 use std::time::Duration;
 use txsql_common::latency::LatencyModel;

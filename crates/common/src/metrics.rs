@@ -100,6 +100,24 @@ impl Default for LatencyHistogram {
     }
 }
 
+impl Clone for LatencyHistogram {
+    /// Snapshots the atomics (relaxed, so a clone taken while writers are
+    /// active is a consistent-enough point-in-time copy for reporting).
+    fn clone(&self) -> Self {
+        let copy = Self::new();
+        for (dst, src) in copy.buckets.iter().zip(self.buckets.iter()) {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        copy.count
+            .store(self.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy.sum_micros
+            .store(self.sum_micros.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy.max_micros
+            .store(self.max_micros.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy
+    }
+}
+
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
@@ -178,9 +196,24 @@ impl LatencyHistogram {
         self.max_micros()
     }
 
+    /// Arbitrary percentile in milliseconds.
+    pub fn percentile_millis(&self, q: f64) -> f64 {
+        self.percentile_micros(q) as f64 / 1_000.0
+    }
+
+    /// Median latency in milliseconds.
+    pub fn p50_millis(&self) -> f64 {
+        self.percentile_millis(0.50)
+    }
+
     /// 95th percentile latency in milliseconds — the unit the paper plots.
     pub fn p95_millis(&self) -> f64 {
-        self.percentile_micros(0.95) as f64 / 1_000.0
+        self.percentile_millis(0.95)
+    }
+
+    /// 99th percentile latency in milliseconds (tail the workload grid records).
+    pub fn p99_millis(&self) -> f64 {
+        self.percentile_millis(0.99)
     }
 
     /// Resets all buckets.
@@ -417,6 +450,73 @@ impl AbortCounters {
     }
 }
 
+/// Structured abort-reason breakdown for one measurement window.
+///
+/// The raw [`AbortCounters`] list is keyed by `Error::label` strings; this
+/// struct folds those labels into the classes the paper's contention analysis
+/// distinguishes (deadlock vs wait-timeout vs Aria conflict vs cascade), plus
+/// the driver-side retry count, so every recorded benchmark cell states *why*
+/// its aborted share aborted without string matching at read time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AbortBreakdown {
+    /// Wait-for-graph deadlock victims (`deadlock`).
+    pub deadlocks: u64,
+    /// Lock-wait timeouts (`lock_wait_timeout`), the §3.2 hot-row mechanism.
+    pub wait_timeouts: u64,
+    /// Proactive hot/non-hot deadlock rollbacks (`hotspot_deadlock_prevented`).
+    pub hotspot_prevented: u64,
+    /// Group-locking cascades (`cascading_abort`).
+    pub cascading: u64,
+    /// Bamboo dirty-read cascades (`dirty_read_aborted`).
+    pub dirty_reads: u64,
+    /// Aria batch-validation conflicts (`aria_validation_failed`).
+    pub aria_conflicts: u64,
+    /// Explicit / injected rollbacks (`explicit_rollback`).
+    pub explicit_rollbacks: u64,
+    /// Aborts with any other label (integrity errors surfaced mid-run, ...).
+    pub other: u64,
+    /// Driver-side retries after a retryable abort — the front-door
+    /// admission-retry traffic a scheduling layer would absorb.  Counted by
+    /// the workload drivers, not the engine, so it is *not* a subset of the
+    /// abort totals above: one transaction can retry many times.
+    pub admission_retries: u64,
+}
+
+impl AbortBreakdown {
+    /// Folds `(label, count)` pairs into the structured classes.
+    pub fn from_causes(causes: &[(String, u64)], admission_retries: u64) -> Self {
+        let mut breakdown = AbortBreakdown {
+            admission_retries,
+            ..Default::default()
+        };
+        for (label, count) in causes {
+            match label.as_str() {
+                "deadlock" => breakdown.deadlocks += count,
+                "lock_wait_timeout" => breakdown.wait_timeouts += count,
+                "hotspot_deadlock_prevented" => breakdown.hotspot_prevented += count,
+                "cascading_abort" => breakdown.cascading += count,
+                "dirty_read_aborted" => breakdown.dirty_reads += count,
+                "aria_validation_failed" => breakdown.aria_conflicts += count,
+                "explicit_rollback" => breakdown.explicit_rollbacks += count,
+                _ => breakdown.other += count,
+            }
+        }
+        breakdown
+    }
+
+    /// Total engine-side aborts across all classes (excludes driver retries).
+    pub fn total(&self) -> u64 {
+        self.deadlocks
+            + self.wait_timeouts
+            + self.hotspot_prevented
+            + self.cascading
+            + self.dirty_reads
+            + self.aria_conflicts
+            + self.explicit_rollbacks
+            + self.other
+    }
+}
+
 /// All metrics the engine maintains while running a workload.
 #[derive(Debug, Default)]
 pub struct EngineMetrics {
@@ -445,6 +545,11 @@ pub struct EngineMetrics {
     pub lock_registry_entries: Gauge,
     /// Number of lock requests that had to wait.
     pub lock_waits: Counter,
+    /// Driver-side retries after a retryable abort: each time a closed-loop
+    /// or fixed-TPS worker re-submits a transaction that aborted on
+    /// contention.  This is the retry-storm traffic arriving at the front
+    /// door — the signal the ROADMAP's admission-control layer will consume.
+    pub admission_retries: Counter,
     /// Shard-mutex acquisitions on the lock **release** paths: one per page
     /// (or row-shard) group drained by the lock tables and one per registry
     /// batch (`forget_records` / `take_all`).  The denominator for release
@@ -553,6 +658,7 @@ impl EngineMetrics {
         // lock_registry_entries is deliberately not reset: it is a live gauge,
         // and in-flight transactions still own their registry entries.
         self.lock_waits.take();
+        self.admission_retries.take();
         self.release_shard_locks.take();
         self.handover_shard_locks.take();
         self.grant_scan_len.reset();
@@ -570,6 +676,17 @@ impl EngineMetrics {
         self.wal_truncated_records.take();
     }
 
+    /// Structured abort-reason breakdown of the current window.
+    pub fn abort_breakdown(&self) -> AbortBreakdown {
+        let causes: Vec<(String, u64)> = self
+            .abort_causes
+            .snapshot()
+            .into_iter()
+            .map(|(l, c)| (l.to_owned(), c))
+            .collect();
+        AbortBreakdown::from_causes(&causes, self.admission_retries.get())
+    }
+
     /// Takes a serialisable snapshot, computing TPS over `elapsed`.
     pub fn snapshot(&self, elapsed: Duration) -> MetricsSnapshot {
         let secs = elapsed.as_secs_f64().max(1e-9);
@@ -581,6 +698,8 @@ impl EngineMetrics {
             tps: self.committed.get() as f64 / secs,
             abort_ratio: self.abort_ratio(),
             cascade_abort_ratio: self.cascade_abort_ratio(),
+            p50_latency_ms: self.txn_latency.p50_millis(),
+            p99_latency_ms: self.txn_latency.p99_millis(),
             p95_latency_ms: self.txn_latency.p95_millis(),
             mean_latency_ms: self.txn_latency.mean_micros() / 1_000.0,
             p95_lock_wait_ms: self.lock_wait_latency.p95_millis(),
@@ -603,6 +722,8 @@ impl EngineMetrics {
             fsync_retries: self.fsync_retries.get(),
             recovery_replayed: self.recovery_replayed.get(),
             wal_truncated_records: self.wal_truncated_records.get(),
+            admission_retries: self.admission_retries.get(),
+            abort_breakdown: self.abort_breakdown(),
             abort_causes: self
                 .abort_causes
                 .snapshot()
@@ -630,6 +751,10 @@ pub struct MetricsSnapshot {
     pub abort_ratio: f64,
     /// cascading aborts / (aborted + committed).
     pub cascade_abort_ratio: f64,
+    /// Median end-to-end latency (ms).
+    pub p50_latency_ms: f64,
+    /// 99th percentile end-to-end latency (ms).
+    pub p99_latency_ms: f64,
     /// 95th percentile end-to-end latency (ms).
     pub p95_latency_ms: f64,
     /// Mean end-to-end latency (ms).
@@ -674,6 +799,10 @@ pub struct MetricsSnapshot {
     pub recovery_replayed: u64,
     /// Redo records dropped by checkpoint truncation.
     pub wal_truncated_records: u64,
+    /// Driver-side retries after retryable aborts.
+    pub admission_retries: u64,
+    /// Structured abort-reason breakdown (see [`AbortBreakdown`]).
+    pub abort_breakdown: AbortBreakdown,
     /// Per-cause abort counts.
     pub abort_causes: Vec<(String, u64)>,
 }
@@ -813,6 +942,55 @@ mod tests {
         assert_eq!(m.release_shard_locks.get(), 1);
         assert_eq!(m.grant_scan_len.count(), 1);
         assert_eq!(m.grant_scan_len.max_micros(), 7);
+    }
+
+    #[test]
+    fn abort_breakdown_folds_labels_into_classes() {
+        let m = EngineMetrics::new();
+        m.abort_causes.record("deadlock");
+        m.abort_causes.record("deadlock");
+        m.abort_causes.record("lock_wait_timeout");
+        m.abort_causes.record("aria_validation_failed");
+        m.abort_causes.record("cascading_abort");
+        m.abort_causes.record("dirty_read_aborted");
+        m.abort_causes.record("hotspot_deadlock_prevented");
+        m.abort_causes.record("explicit_rollback");
+        m.abort_causes.record("duplicate_key");
+        m.admission_retries.add(17);
+        let b = m.abort_breakdown();
+        assert_eq!(b.deadlocks, 2);
+        assert_eq!(b.wait_timeouts, 1);
+        assert_eq!(b.aria_conflicts, 1);
+        assert_eq!(b.cascading, 1);
+        assert_eq!(b.dirty_reads, 1);
+        assert_eq!(b.hotspot_prevented, 1);
+        assert_eq!(b.explicit_rollbacks, 1);
+        assert_eq!(b.other, 1);
+        assert_eq!(b.admission_retries, 17);
+        assert_eq!(b.total(), 9, "driver retries are not engine aborts");
+        // The breakdown rides along in the serialisable snapshot.
+        let snap = m.snapshot(Duration::from_secs(1));
+        assert_eq!(snap.abort_breakdown, b);
+        assert_eq!(snap.admission_retries, 17);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.abort_breakdown.deadlocks, 2);
+        // Resetting clears the retry counter with the rest of the window.
+        m.reset();
+        assert_eq!(m.abort_breakdown().total(), 0);
+        assert_eq!(m.admission_retries.get(), 0);
+    }
+
+    #[test]
+    fn snapshot_percentiles_are_ordered() {
+        let m = EngineMetrics::new();
+        for i in 1..=1_000u64 {
+            m.txn_latency.record_micros(i * 100);
+        }
+        let snap = m.snapshot(Duration::from_secs(1));
+        assert!(snap.p50_latency_ms > 0.0);
+        assert!(snap.p50_latency_ms <= snap.p95_latency_ms);
+        assert!(snap.p95_latency_ms <= snap.p99_latency_ms);
     }
 
     #[test]

@@ -77,6 +77,66 @@ impl Protocol {
     }
 }
 
+/// One declarative knob override for an experiment-grid cell.
+///
+/// The `bench_workloads` harness describes each cell as *data* — protocol ×
+/// workload × threads × knob overrides — so the knobs themselves must be
+/// values rather than closures.  [`EngineConfig::with_deltas`] applies a list
+/// of these on top of [`EngineConfig::for_protocol`], and
+/// [`ConfigDelta::label`] renders the override into the cell id recorded in
+/// `BENCH_workloads.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigDelta {
+    /// Group-locking batch size (0 = unbounded), see `with_batch_size`.
+    BatchSize(usize),
+    /// Dynamic batch sizing on/off (§4.6.1).
+    DynamicBatch(bool),
+    /// Group commit on/off (Figure 13 ablation).
+    GroupCommit(bool),
+    /// Aria deterministic batch size.
+    AriaBatchSize(usize),
+    /// Bamboo statement-boundary early-release batch.
+    EarlyReleaseBatch(usize),
+    /// Hotspot promotion threshold.
+    HotspotThreshold(usize),
+    /// Lock-wait timeout in milliseconds (both lock tables + hotspot queues).
+    LockWaitTimeoutMs(u64),
+    /// Batched commit-time hot-row handover on/off.
+    BatchCommitHandover(bool),
+}
+
+impl ConfigDelta {
+    /// Applies the override to a configuration.
+    pub fn apply(self, config: EngineConfig) -> EngineConfig {
+        match self {
+            ConfigDelta::BatchSize(n) => config.with_batch_size(n),
+            ConfigDelta::DynamicBatch(on) => config.with_dynamic_batch(on),
+            ConfigDelta::GroupCommit(on) => config.with_group_commit(on),
+            ConfigDelta::AriaBatchSize(n) => config.with_aria_batch_size(n),
+            ConfigDelta::EarlyReleaseBatch(n) => config.with_early_release_batch(n),
+            ConfigDelta::HotspotThreshold(n) => config.with_hotspot_threshold(n),
+            ConfigDelta::LockWaitTimeoutMs(ms) => {
+                config.with_lock_wait_timeout(Duration::from_millis(ms))
+            }
+            ConfigDelta::BatchCommitHandover(on) => config.with_batch_commit_handover(on),
+        }
+    }
+
+    /// Short `key=value` label used in recorded cell ids.
+    pub fn label(&self) -> String {
+        match self {
+            ConfigDelta::BatchSize(n) => format!("batch={n}"),
+            ConfigDelta::DynamicBatch(on) => format!("dynbatch={on}"),
+            ConfigDelta::GroupCommit(on) => format!("gc={on}"),
+            ConfigDelta::AriaBatchSize(n) => format!("ariabatch={n}"),
+            ConfigDelta::EarlyReleaseBatch(n) => format!("erbatch={n}"),
+            ConfigDelta::HotspotThreshold(n) => format!("hotthresh={n}"),
+            ConfigDelta::LockWaitTimeoutMs(ms) => format!("lockwait={ms}ms"),
+            ConfigDelta::BatchCommitHandover(on) => format!("handover={on}"),
+        }
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -247,6 +307,13 @@ impl EngineConfig {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Applies a list of declarative knob overrides in order.
+    pub fn with_deltas(self, deltas: &[ConfigDelta]) -> Self {
+        deltas
+            .iter()
+            .fold(self, |config, delta| delta.apply(config))
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +362,34 @@ mod tests {
         assert_eq!(default.early_release_batch, 1);
         assert!(default.batch_commit_handover);
         assert_eq!(default.lock_shell_sweep_limit, None);
+    }
+
+    #[test]
+    fn config_deltas_apply_declaratively() {
+        let deltas = [
+            ConfigDelta::BatchSize(64),
+            ConfigDelta::GroupCommit(false),
+            ConfigDelta::AriaBatchSize(8),
+            ConfigDelta::EarlyReleaseBatch(4),
+            ConfigDelta::HotspotThreshold(5),
+            ConfigDelta::LockWaitTimeoutMs(99),
+            ConfigDelta::DynamicBatch(false),
+            ConfigDelta::BatchCommitHandover(false),
+        ];
+        let cfg = EngineConfig::for_protocol(Protocol::GroupLockingTxsql).with_deltas(&deltas);
+        assert_eq!(cfg.group.batch_size, 64);
+        assert!(!cfg.group_commit);
+        assert_eq!(cfg.aria_batch_size, 8);
+        assert_eq!(cfg.early_release_batch, 4);
+        assert_eq!(cfg.hotspot.promote_threshold, 5);
+        assert_eq!(cfg.lock_wait_timeout, Duration::from_millis(99));
+        assert!(!cfg.group.dynamic_batch);
+        assert!(!cfg.batch_commit_handover);
+        assert_eq!(ConfigDelta::BatchSize(64).label(), "batch=64");
+        assert_eq!(ConfigDelta::LockWaitTimeoutMs(99).label(), "lockwait=99ms");
+        // Labels are distinct per knob kind.
+        let labels: std::collections::HashSet<String> = deltas.iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), deltas.len());
     }
 
     #[test]

@@ -275,6 +275,27 @@ impl Database {
         self.inner.lightweight.holders_of(record)
     }
 
+    /// Current group leader of a hot row (introspection for tests and
+    /// diagnostics).
+    pub fn group_leader_of(&self, record: RecordId) -> Option<TxnId> {
+        self.inner.group_locks.leader_of(record)
+    }
+
+    /// Current dependency list of a hot row, in update order.
+    pub fn group_dep_list(&self, record: RecordId) -> Vec<TxnId> {
+        self.inner.group_locks.dep_list(record)
+    }
+
+    /// Number of updates parked on a hot row's group.
+    pub fn group_waiting_len(&self, record: RecordId) -> usize {
+        self.inner.group_locks.waiting_len(record)
+    }
+
+    /// One-line rendering of a hot row's full group state (diagnostics).
+    pub fn group_debug_state(&self, record: RecordId) -> String {
+        self.inner.group_locks.debug_state(record)
+    }
+
     /// The serializability history recorder, when enabled.
     pub fn history(&self) -> Option<&HistoryRecorder> {
         self.inner.history.as_ref()
@@ -675,6 +696,9 @@ impl Database {
 
         if self.protocol() == Protocol::GroupLockingTxsql && !hot_updates.is_empty() {
             for (record, _, _) in &hot_updates {
+                // The undo above removed our version from the record's head:
+                // registrants from here on read clean data and need no doom.
+                self.inner.group_locks.mark_undone(txn.id, *record);
                 self.inner.group_locks.finish_rollback(txn.id, *record);
                 self.inner.group_locks.resume_granting(*record);
             }

@@ -33,7 +33,7 @@ pub mod write_path;
 
 pub use checker::{HistoryRecorder, SerializabilityReport};
 pub use commit::CommitPipeline;
-pub use config::{EngineConfig, Protocol};
+pub use config::{ConfigDelta, EngineConfig, Protocol};
 pub use database::Database;
 pub use hooks::{BinlogTxn, CommitHook};
 pub use program::{Operation, ProgramOutcome, TxnProgram};

@@ -305,15 +305,70 @@ impl Database {
         }
     }
 
+    /// The §4.5 prevention check extended to hot-row *registration*: joining
+    /// `record`'s group behind a transaction that is ordered **after** us on
+    /// another hot row we both updated would create a cross-record
+    /// commit-order cycle — each of us first on one dependency list and
+    /// second on the other — which the per-record FIFO commit waits can only
+    /// resolve by timing out.  Aborting now converts a multi-second wedge of
+    /// the whole hot row into one quick retried abort.  (The check snapshots
+    /// the dependency lists without nesting group-entry locks; the rare
+    /// registration that races past it still resolves through the
+    /// commit-turn deadline.)
+    fn check_hot_inversion(&self, txn: &Transaction, record: RecordId) -> Result<()> {
+        if !txn.has_hot_updates() {
+            return Ok(());
+        }
+        let members = self.inner.group_locks.dep_list(record);
+        if members.is_empty() {
+            return Ok(());
+        }
+        for (prior, _, _) in txn.hot_updates() {
+            if prior == record {
+                continue;
+            }
+            let prior_list = self.inner.group_locks.dep_list(prior);
+            let Some(my_pos) = prior_list.iter().position(|t| *t == txn.id) else {
+                continue;
+            };
+            for member in &members {
+                if let Some(member_pos) = prior_list.iter().position(|t| t == member) {
+                    if member_pos > my_pos {
+                        return Err(Error::HotspotDeadlockPrevented {
+                            txn: txn.id,
+                            hot_record: record,
+                            blocker: *member,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// TXSQL group locking (Algorithm 1) plus the §4.5 prevention check for
     /// non-hot rows.
     fn acquire_group(&self, txn: &mut Transaction, record: RecordId) -> Result<WriteAdmission> {
+        // Fail fast if a predecessor's rollback already doomed us on a hot
+        // row we updated: every statement from here on is wasted work, and
+        // the aborter's rollback (with granting paused on that row) cannot
+        // finish until we cascade.  Aborting at the next admission instead of
+        // at commit shortens the whole drain.
+        for (prior, _, _) in txn.hot_updates() {
+            if let Some(cause) = self.inner.group_locks.doomed_cause(txn.id, prior) {
+                return Err(Error::CascadingAbort { txn: txn.id, cause });
+            }
+        }
         if !self.inner.hotspots.is_hot(record) {
             // §4.5 deadlock prevention: if we already updated a hot row and
             // one of the transactions currently holding the lock we are about
             // to wait for updated the *same* hot row, waiting would very
             // likely deadlock (its commit depends on us, or ours on it) — roll
-            // back proactively instead.
+            // back proactively instead.  The check is deliberately
+            // non-directional, as in the paper: waiting even behind a holder
+            // that commits before us convoys the hot row's commit FIFO behind
+            // a 200 ms cold-lock timeout, which measures far worse than the
+            // quick abort-and-retry this produces.
             if txn.has_hot_updates() {
                 let holders = self.inner.lightweight.holders_of(record);
                 for holder in holders {
@@ -356,6 +411,12 @@ impl Database {
                     return Err(err);
                 }
                 txn.record_lock(record);
+                if let Err(err) = self.check_hot_inversion(txn, record) {
+                    // The row lock we hold drains with the rollback's
+                    // release; hand leadership over so the queue moves on.
+                    self.inner.group_locks.leader_handover(txn.id, record);
+                    return Err(err);
+                }
                 let order = self.inner.group_locks.register_update(txn.id, record);
                 self.inner.storage.set_hot_update_order(txn.id, order);
                 txn.record_hot_update(record, HotRole::Leader, order);
@@ -363,6 +424,11 @@ impl Database {
             }
             HotExecution::Follower => {
                 txn.add_blocked(start.elapsed());
+                if let Err(err) = self.check_hot_inversion(txn, record) {
+                    // Clear the in-flight grant so the group keeps granting.
+                    self.inner.group_locks.finish_update(txn.id, record, false);
+                    return Err(err);
+                }
                 let order = self.inner.group_locks.register_update(txn.id, record);
                 self.inner.storage.set_hot_update_order(txn.id, order);
                 txn.record_hot_update(record, HotRole::Follower, order);
@@ -374,6 +440,10 @@ impl Database {
                 self.inner.metrics.lock_waits.inc();
                 match role? {
                     WokenRole::Follower => {
+                        if let Err(err) = self.check_hot_inversion(txn, record) {
+                            self.inner.group_locks.finish_update(txn.id, record, false);
+                            return Err(err);
+                        }
                         let order = self.inner.group_locks.register_update(txn.id, record);
                         self.inner.storage.set_hot_update_order(txn.id, order);
                         txn.record_hot_update(record, HotRole::Follower, order);
@@ -393,6 +463,10 @@ impl Database {
                             return Err(err);
                         }
                         txn.record_lock(record);
+                        if let Err(err) = self.check_hot_inversion(txn, record) {
+                            self.inner.group_locks.leader_handover(txn.id, record);
+                            return Err(err);
+                        }
                         let order = self.inner.group_locks.register_update(txn.id, record);
                         self.inner.storage.set_hot_update_order(txn.id, order);
                         txn.record_hot_update(record, HotRole::Leader, order);

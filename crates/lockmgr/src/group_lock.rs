@@ -192,6 +192,17 @@ struct GroupState {
     /// Server-initiated rollback in progress (§4.4 rollback optimization):
     /// no new grants, no leader handover.
     rollback_pause: bool,
+    /// Transactions between `begin_rollback` and `finish_rollback` on this
+    /// record (granting stays paused until the last one resumes).
+    rolling_back: Vec<TxnId>,
+    /// The subset of `rolling_back` whose storage undo has not completed
+    /// yet.  An update that registers while this is non-empty may have read
+    /// a rolling-back transaction's uncommitted head (it was granted before
+    /// the pause and registers after the doom scan), so it is doomed on
+    /// registration — otherwise it could commit a value derived from an
+    /// aborted write.  Once the undo has run (`mark_undone`) the head is
+    /// clean again and later registrants need no doom.
+    undo_pending: Vec<TxnId>,
     /// Transactions waiting for their commit turn.
     commit_waiters: Vec<(TxnId, Arc<OsEvent>)>,
     /// Set (under this state's mutex) when `maybe_gc` removed the entry from
@@ -208,6 +219,7 @@ impl GroupState {
             && self.leader.is_none()
             && self.commit_waiters.is_empty()
             && self.doomed.is_empty()
+            && self.rolling_back.is_empty()
     }
 
     /// Drains the commit waiters for the caller to wake **after** dropping
@@ -529,6 +541,13 @@ impl GroupLockTable {
             if !state.dep_list.contains(&txn) {
                 state.dep_list.push(txn);
             }
+            // A registrant arriving while an undo is still pending was granted
+            // before the pause but slipped past `begin_rollback`'s doom scan:
+            // its upcoming read may observe the aborting transaction's head,
+            // so it must cascade-abort too (see `GroupState::undo_pending`).
+            if let Some(cause) = state.undo_pending.iter().find(|t| **t != txn).copied() {
+                state.doomed.entry(txn).or_insert(cause);
+            }
         });
         self.metrics.hotspot_group_entries.inc();
         order
@@ -655,6 +674,13 @@ impl GroupLockTable {
             let promoted = self.with_cached_state(*record, entry, |state| {
                 if state.leader == Some(txn) {
                     state.leader = None;
+                    // The committing leader is stepping down: its
+                    // `switching_new_leader` mark must not outlive it.  Left
+                    // set (as the rollback-pause return below used to), it
+                    // wedges `wait_rollback_turn` — which requires the flag
+                    // clear — for the full rollback deadline, freezing the
+                    // hot row.
+                    state.switching_new_leader = false;
                 } else if state.leader.is_some() {
                     // Another transaction's group already owns this row (our
                     // own entry went idle, was GC'd, and the map entry was
@@ -663,6 +689,8 @@ impl GroupLockTable {
                     return None;
                 }
                 if state.rollback_pause {
+                    // No promotion while a rollback is draining; the last
+                    // `resume_granting` promotes instead.
                     return None;
                 }
                 if let Some((new_leader, slot)) = state.promote_next_leader(&self.metrics) {
@@ -771,8 +799,10 @@ impl GroupLockTable {
             state.doomed.remove(&txn);
             if state.leader == Some(txn) {
                 // Normally leader_handover already ran; clear defensively so a
-                // committed leader can never keep the entry alive.
+                // committed leader can never keep the entry alive (nor its
+                // commit-in-progress mark wedge later rollback turns).
                 state.leader = None;
+                state.switching_new_leader = false;
             }
             state.take_commit_waiters()
         });
@@ -792,6 +822,12 @@ impl GroupLockTable {
     pub fn begin_rollback(&self, txn: TxnId, record: RecordId) -> Vec<TxnId> {
         let (successors, woken) = self.with_state(record, |state| {
             state.rollback_pause = true;
+            if !state.rolling_back.contains(&txn) {
+                state.rolling_back.push(txn);
+            }
+            if !state.undo_pending.contains(&txn) {
+                state.undo_pending.push(txn);
+            }
             if state.leader == Some(txn) {
                 state.switching_new_leader = false;
             }
@@ -837,12 +873,24 @@ impl GroupLockTable {
         }
     }
 
+    /// Records that `txn`'s storage undo for `record` has completed: the
+    /// record's head no longer carries the aborted write, so transactions
+    /// registering from here on read clean data and are not doomed.  Call
+    /// between the storage rollback and `finish_rollback`.
+    pub fn mark_undone(&self, txn: TxnId, record: RecordId) {
+        self.with_state(record, |state| {
+            state.undo_pending.retain(|t| *t != txn);
+        });
+    }
+
     /// Finalises a rollback: removes `txn` from the dependency list, clears
     /// its doomed mark and wakes commit waiters (Algorithm 3, lines 8–9) —
     /// after dropping the state guard.
     pub fn finish_rollback(&self, txn: TxnId, record: RecordId) {
         let woken = self.with_state(record, |state| {
             state.dep_list.retain(|t| *t != txn);
+            state.rolling_back.retain(|t| *t != txn);
+            state.undo_pending.retain(|t| *t != txn);
             state.doomed.remove(&txn);
             if state.leader == Some(txn) {
                 state.leader = None;
@@ -860,6 +908,12 @@ impl GroupLockTable {
     /// to leader so the queue does not stall.
     pub fn resume_granting(&self, record: RecordId) -> Option<TxnId> {
         let promoted = self.with_state(record, |state| {
+            // Another transaction may still be between `begin_rollback` and
+            // `finish_rollback` on this record; granting stays paused until
+            // the last of them resumes.
+            if !state.rolling_back.is_empty() {
+                return None;
+            }
             state.rollback_pause = false;
             if state.leader.is_none() {
                 return state.promote_next_leader(&self.metrics);
@@ -892,6 +946,14 @@ impl GroupLockTable {
             state.dep_list.contains(&a) && state.dep_list.contains(&b)
         })
         .unwrap_or(false)
+    }
+
+    /// Returns the transaction that doomed `txn` on this hot row, if any
+    /// (lets the write path cascade-abort at the next statement instead of
+    /// running to commit while the paused group waits on it).
+    pub fn doomed_cause(&self, txn: TxnId, record: RecordId) -> Option<TxnId> {
+        self.with_existing_state(record, |state| state.doomed.get(&txn).copied())
+            .flatten()
     }
 
     /// Current dependency list (update order) of a hot row.
@@ -930,6 +992,38 @@ impl GroupLockTable {
     /// The next value the global hot-update order counter will hand out.
     pub fn next_hot_update_order(&self) -> u64 {
         self.global_hot_update_order.load(Ordering::Relaxed)
+    }
+
+    /// One-line rendering of a hot row's full group state (diagnostics).
+    pub fn debug_state(&self, record: RecordId) -> String {
+        self.with_existing_state(record, |state| {
+            format!(
+                "leader={:?} dep={:?} doomed={:?} waiting={:?} executing={:?} \
+                 granting={} switching={} pause={} rolling_back={:?} undo_pending={:?} \
+                 granted_in_group={} commit_waiters={:?}",
+                state.leader,
+                state.dep_list,
+                state.doomed.keys().collect::<Vec<_>>(),
+                state
+                    .waiting_updates
+                    .iter()
+                    .map(|w| w.txn)
+                    .collect::<Vec<_>>(),
+                state.executing,
+                state.granting_new_trx,
+                state.switching_new_leader,
+                state.rollback_pause,
+                state.rolling_back,
+                state.undo_pending,
+                state.granted_in_group,
+                state
+                    .commit_waiters
+                    .iter()
+                    .map(|(t, _)| *t)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .unwrap_or_else(|| "idle (no entry)".to_string())
     }
 }
 
@@ -1182,6 +1276,37 @@ mod tests {
         g.resume_granting(HOT);
         assert!(g.dep_list(HOT).is_empty());
         assert!(!g.has_activity(HOT));
+    }
+
+    #[test]
+    fn late_registrant_during_rollback_is_doomed() {
+        let g = table();
+        // T1 is the leader and has an uncommitted update; T2 was granted
+        // follower execution but has not registered yet when T1 begins its
+        // rollback — the race `begin_rollback`'s doom scan cannot see.
+        let _ = g.begin_hot_update(TxnId(1), HOT);
+        g.register_update(TxnId(1), HOT);
+        g.finish_update(TxnId(1), HOT, true);
+        let doomed = g.begin_rollback(TxnId(1), HOT);
+        assert!(doomed.is_empty(), "T2 has not registered yet");
+        // T2 registers mid-rollback: it may have read T1's doomed head, so it
+        // must cascade-abort instead of committing a value derived from it.
+        g.register_update(TxnId(2), HOT);
+        assert!(matches!(
+            g.commit_turn(TxnId(2), HOT),
+            CommitTurn::Doomed { cause: TxnId(1) }
+        ));
+        g.finish_rollback(TxnId(2), HOT);
+        g.wait_rollback_turn(TxnId(1), HOT).unwrap();
+        g.finish_rollback(TxnId(1), HOT);
+        // Granting resumes only once no rollback is in flight.
+        g.resume_granting(HOT);
+        assert!(!g.has_activity(HOT));
+        // A registrant arriving after the rollback fully finished is clean.
+        let _ = g.begin_hot_update(TxnId(3), HOT);
+        g.register_update(TxnId(3), HOT);
+        assert!(matches!(g.commit_turn(TxnId(3), HOT), CommitTurn::Ready));
+        g.finish_commit(TxnId(3), HOT);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Deterministic digests of workload streams.
+//!
+//! Recorded benchmark cells are only reproducible across PRs if the same
+//! seed yields the same transaction stream.  These helpers fold a canonical
+//! encoding of every operation into an FNV-1a hash, so the determinism tests
+//! can pin one `u64` per workload family and fail loudly if a generator's
+//! RNG consumption pattern ever changes.
+
+use crate::hotspots::HotspotsTrace;
+use crate::Workload;
+use txsql_common::rng::XorShiftRng;
+use txsql_core::{Operation, TxnProgram};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a over 8-byte words.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a fresh hash.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds one word into the hash.
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn fold_operation(hash: &mut Fnv1a, op: &Operation) {
+    match op {
+        Operation::Read { table, pk } => {
+            hash.write_u64(1);
+            hash.write_u64(u64::from(table.0));
+            hash.write_u64(*pk as u64);
+        }
+        Operation::SelectForUpdate { table, pk } => {
+            hash.write_u64(2);
+            hash.write_u64(u64::from(table.0));
+            hash.write_u64(*pk as u64);
+        }
+        Operation::UpdateAdd {
+            table,
+            pk,
+            column,
+            delta,
+        } => {
+            hash.write_u64(3);
+            hash.write_u64(u64::from(table.0));
+            hash.write_u64(*pk as u64);
+            hash.write_u64(*column as u64);
+            hash.write_u64(*delta as u64);
+        }
+        Operation::Insert { table, pk, fill } => {
+            hash.write_u64(4);
+            hash.write_u64(u64::from(table.0));
+            hash.write_u64(*pk as u64);
+            hash.write_u64(*fill as u64);
+        }
+        Operation::ForcedRollback => hash.write_u64(5),
+    }
+}
+
+/// Digest of a single program.
+pub fn program_digest(program: &TxnProgram) -> u64 {
+    let mut hash = Fnv1a::new();
+    fold_program(&mut hash, program);
+    hash.finish()
+}
+
+fn fold_program(hash: &mut Fnv1a, program: &TxnProgram) {
+    hash.write_u64(program.operations.len() as u64);
+    for op in &program.operations {
+        fold_operation(hash, op);
+    }
+}
+
+/// Digest of the first `count` programs a workload generates for one client
+/// seeded with `seed` (the same derivation the closed-loop driver uses for
+/// worker 0).
+pub fn stream_digest(workload: &dyn Workload, seed: u64, count: usize) -> u64 {
+    let mut rng = XorShiftRng::for_worker(seed, 0);
+    let mut hash = Fnv1a::new();
+    for _ in 0..count {
+        fold_program(&mut hash, &workload.next_program(&mut rng));
+    }
+    hash.finish()
+}
+
+/// Digest of `per_second` programs at every second of a fixed-TPS trace,
+/// covering all phases of the schedule.
+pub fn trace_digest(trace: &HotspotsTrace, seed: u64, per_second: usize) -> u64 {
+    let mut rng = XorShiftRng::for_worker(seed, 0);
+    let mut hash = Fnv1a::new();
+    for second in 0..trace.total_seconds() {
+        hash.write_u64(second);
+        hash.write_u64(trace.target_tps_at(second));
+        for _ in 0..per_second {
+            fold_program(&mut hash, &trace.program_at(second, &mut rng));
+        }
+    }
+    hash.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sysbench::{SysbenchVariant, SysbenchWorkload};
+    use txsql_common::TableId;
+
+    #[test]
+    fn digest_is_seed_deterministic_and_seed_sensitive() {
+        let workload = SysbenchWorkload::new(SysbenchVariant::UniformUpdate { length: 2 }, 128);
+        let a = stream_digest(&workload, 42, 50);
+        let b = stream_digest(&workload, 42, 50);
+        let c = stream_digest(&workload, 43, 50);
+        assert_eq!(a, b, "same seed must give the same stream");
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn program_digest_separates_operation_kinds() {
+        let read = TxnProgram::new(vec![Operation::Read {
+            table: TableId(1),
+            pk: 7,
+        }]);
+        let lock = TxnProgram::new(vec![Operation::SelectForUpdate {
+            table: TableId(1),
+            pk: 7,
+        }]);
+        assert_ne!(program_digest(&read), program_digest(&lock));
+    }
+}

@@ -18,7 +18,40 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txsql_common::metrics::{LatencyHistogram, MetricsSnapshot};
 use txsql_common::rng::XorShiftRng;
-use txsql_core::Database;
+use txsql_core::{Database, TxnProgram};
+
+/// Executes one transaction with bounded retries on contention aborts.
+///
+/// The stop flag is consulted after every failed attempt, so a livelocked
+/// transaction (`max_retries == 0`, retry forever) can never run past the
+/// measurement deadline and hang a harness cell.  Every retry is counted
+/// into [`txsql_common::metrics::EngineMetrics::admission_retries`] so the
+/// abort breakdown can distinguish driver-side retry pressure from
+/// engine-side aborts.  Returns whether the transaction finally committed.
+fn execute_with_retries(
+    db: &Database,
+    program: &TxnProgram,
+    max_retries: usize,
+    stop: &AtomicBool,
+) -> bool {
+    let mut attempts = 0usize;
+    loop {
+        match db.execute_program(program) {
+            Ok(outcome) => return outcome.committed,
+            Err(err) if err.is_retryable() => {
+                attempts += 1;
+                db.metrics().admission_retries.inc();
+                if max_retries > 0 && attempts >= max_retries {
+                    return false;
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
 
 /// Options for the closed-loop driver.
 #[derive(Debug, Clone)]
@@ -85,22 +118,7 @@ pub fn run_closed_loop(
                 let mut rng = XorShiftRng::for_worker(seed, worker as u64);
                 while !stop.load(Ordering::Relaxed) {
                     let program = workload_ref.next_program(&mut rng);
-                    let mut attempts = 0usize;
-                    loop {
-                        match db.execute_program(&program) {
-                            Ok(_) => break,
-                            Err(err) if err.is_retryable() => {
-                                attempts += 1;
-                                if max_retries > 0 && attempts >= max_retries {
-                                    break;
-                                }
-                                if stop.load(Ordering::Relaxed) {
-                                    break;
-                                }
-                            }
-                            Err(_) => break,
-                        }
-                    }
+                    execute_with_retries(&db, &program, max_retries, &stop);
                 }
             });
         }
@@ -173,18 +191,77 @@ struct DispatchedJob {
     issued_at: Instant,
 }
 
-/// Runs the composite trace against `db` at its fixed per-second rates.
+/// Everything a fixed-TPS run produced: the per-second Figure 11 panels plus
+/// a cumulative latency histogram spanning the whole trace.
+///
+/// [`run_fixed_tps`] resets the engine metrics every second to produce the
+/// per-second panels, so a harness cell that wants whole-run p50/p95/p99 must
+/// read them from this driver-side histogram rather than from a
+/// [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct FixedTpsReport {
+    /// One entry per trace second.
+    pub samples: Vec<SecondSample>,
+    /// End-to-end latency of every dispatched transaction across the run.
+    pub latencies: LatencyHistogram,
+}
+
+impl FixedTpsReport {
+    /// Transactions that committed within their deadline, over the whole run.
+    pub fn total_committed(&self) -> u64 {
+        self.samples.iter().map(|s| s.committed).sum()
+    }
+
+    /// Transactions that failed or missed their deadline, over the whole run.
+    pub fn total_failed(&self) -> u64 {
+        self.samples.iter().map(|s| s.failed).sum()
+    }
+
+    /// Whole-run goodput: committed-in-deadline transactions per second.
+    pub fn goodput_tps(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.total_committed() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Whole-run failure rate in percent.
+    pub fn failure_rate_pct(&self) -> f64 {
+        let total = self.total_committed() + self.total_failed();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_failed() as f64 / total as f64 * 100.0
+        }
+    }
+}
+
+/// Runs the composite trace against `db` at its fixed per-second rates,
+/// returning only the per-second samples.  See [`run_fixed_tps_report`] for
+/// the whole-run latency histogram as well.
 pub fn run_fixed_tps(
     db: &Database,
     trace: &HotspotsTrace,
     options: &FixedTpsOptions,
 ) -> Vec<SecondSample> {
+    run_fixed_tps_report(db, trace, options).samples
+}
+
+/// Runs the composite trace against `db` and returns the full
+/// [`FixedTpsReport`].
+pub fn run_fixed_tps_report(
+    db: &Database,
+    trace: &HotspotsTrace,
+    options: &FixedTpsOptions,
+) -> FixedTpsReport {
     trace.setup(db);
     let (job_tx, job_rx): (Sender<DispatchedJob>, Receiver<DispatchedJob>) = bounded(65_536);
     let stop = Arc::new(AtomicBool::new(false));
     let committed = Arc::new(AtomicU64::new(0));
     let failed = Arc::new(AtomicU64::new(0));
     let second_latencies = Arc::new(Mutex::new(LatencyHistogram::new()));
+    let run_latencies = Arc::new(Mutex::new(LatencyHistogram::new()));
 
     let samples = std::thread::scope(|scope| {
         for worker in 0..options.threads {
@@ -194,6 +271,7 @@ pub fn run_fixed_tps(
             let committed = Arc::clone(&committed);
             let failed = Arc::clone(&failed);
             let second_latencies = Arc::clone(&second_latencies);
+            let run_latencies = Arc::clone(&run_latencies);
             let retry_limit = options.retry_limit;
             let deadline = options.deadline;
             let seed = options.seed;
@@ -205,18 +283,14 @@ pub fn run_fixed_tps(
                         continue;
                     };
                     let program = trace_ref.program_at(job.second, &mut rng);
-                    let mut attempts = 0;
-                    let success = loop {
-                        match db.execute_program(&program) {
-                            Ok(outcome) => break outcome.committed,
-                            Err(err) if err.is_retryable() && attempts < retry_limit => {
-                                attempts += 1;
-                            }
-                            Err(_) => break false,
-                        }
-                    };
+                    // `retry_limit` retries on top of the first attempt; the
+                    // stop flag inside the helper bounds the loop by the
+                    // measurement deadline.
+                    let success =
+                        execute_with_retries(&db, &program, retry_limit.saturating_add(1), &stop);
                     let elapsed = job.issued_at.elapsed();
                     second_latencies.lock().record(elapsed);
+                    run_latencies.lock().record(elapsed);
                     if success && elapsed <= deadline {
                         committed.fetch_add(1, Ordering::Relaxed);
                     } else {
@@ -266,7 +340,8 @@ pub fn run_fixed_tps(
         stop.store(true, Ordering::Relaxed);
         samples
     });
-    samples
+    let latencies = run_latencies.lock().clone();
+    FixedTpsReport { samples, latencies }
 }
 
 #[cfg(test)]

@@ -50,31 +50,37 @@ impl HotspotsTrace {
     /// A laptop-scaled version of the Figure 11 schedule: baseline traffic,
     /// a hotspot burst, a sustained higher-rate burst, then recovery.
     pub fn paper_like(base_tps: u64) -> Self {
+        Self::paper_like_scaled(base_tps, 5)
+    }
+
+    /// The Figure 11 schedule with an explicit per-phase length, so harness
+    /// smoke cells can run the same five-phase shape in a few seconds.
+    pub fn paper_like_scaled(base_tps: u64, phase_seconds: u64) -> Self {
         let burst = base_tps * 3;
         Self::new(
             vec![
                 TracePhase {
-                    seconds: 5,
+                    seconds: phase_seconds,
                     target_tps: base_tps,
                     hotspot_share: 0.05,
                 },
                 TracePhase {
-                    seconds: 5,
+                    seconds: phase_seconds,
                     target_tps: burst,
                     hotspot_share: 0.9,
                 },
                 TracePhase {
-                    seconds: 5,
+                    seconds: phase_seconds,
                     target_tps: base_tps,
                     hotspot_share: 0.05,
                 },
                 TracePhase {
-                    seconds: 5,
+                    seconds: phase_seconds,
                     target_tps: burst * 2,
                     hotspot_share: 0.95,
                 },
                 TracePhase {
-                    seconds: 5,
+                    seconds: phase_seconds,
                     target_tps: base_tps,
                     hotspot_share: 0.05,
                 },

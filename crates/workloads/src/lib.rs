@@ -14,21 +14,28 @@
 //!   loop with hotspot bursts at known offsets (Figure 11).
 //! * [`driver`] — closed-loop (thread-per-client, retry-on-abort) and
 //!   fixed-TPS open-loop drivers that produce the numbers the figures plot.
+//! * [`spec`] — declarative workload specifications ([`WorkloadSpec`]) the
+//!   experiment harness grids are written in.
+//! * [`digest`] — seed-determinism digests pinning each family's stream.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod digest;
 pub mod driver;
 pub mod fit;
 pub mod hotspots;
+pub mod spec;
 pub mod sysbench;
 pub mod tpcc;
 
 pub use driver::{
-    run_closed_loop, run_fixed_tps, ClosedLoopOptions, FixedTpsOptions, SecondSample,
+    run_closed_loop, run_fixed_tps, run_fixed_tps_report, ClosedLoopOptions, FixedTpsOptions,
+    FixedTpsReport, SecondSample,
 };
 pub use fit::FitWorkload;
 pub use hotspots::HotspotsTrace;
+pub use spec::{AbortInjecting, BuiltWorkload, WorkloadSpec};
 pub use sysbench::{SysbenchVariant, SysbenchWorkload};
 pub use tpcc::TpccWorkload;
 

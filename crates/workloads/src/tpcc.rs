@@ -96,8 +96,16 @@ impl TpccWorkload {
                 delta: 1,
             },
         ];
-        for _ in 0..n_items {
-            let item = rng.next_bounded(ITEMS_PER_WAREHOUSE as u64) as i64;
+        // Order lines are sorted by stock key, as real TPC-C drivers do:
+        // two orders updating overlapping hot stock rows in inverted order
+        // would otherwise form a commit-order cycle that 2PL resolves by
+        // deadlock detection but the group-locking dependency lists can only
+        // time out of — at high thread counts that wedges every transaction.
+        let mut items: Vec<i64> = (0..n_items)
+            .map(|_| rng.next_bounded(ITEMS_PER_WAREHOUSE as u64) as i64)
+            .collect();
+        items.sort_unstable();
+        for item in items {
             ops.push(Operation::UpdateAdd {
                 table: STOCK,
                 pk: Self::stock_key(w, item),
