@@ -106,13 +106,23 @@ fn main() {
     );
 
     let outcomes = grid.run(|outcome| {
-        println!(
+        let mut line = format!(
             "cell {:<55} goodput={:>9} tps  aborts={:>6.2}%  p95={} ms",
             outcome.id(),
             fmt(outcome.goodput_tps),
             outcome.abort_rate_pct,
             fmt(outcome.p95_ms),
         );
+        if let Some(repl) = &outcome.replication {
+            line.push_str(&format!(
+                "  degraded_commits={} timeouts={} resyncs={} caught_up={}",
+                repl.degraded_commits,
+                repl.semi_sync_timeouts,
+                repl.semi_sync_resyncs,
+                repl.caught_up,
+            ));
+        }
+        println!("{line}");
     });
 
     let rows: Vec<Vec<String>> = outcomes

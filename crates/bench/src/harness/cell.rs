@@ -1,10 +1,12 @@
 //! One benchmark cell: a declarative spec and its measured outcome.
 
 use crate::{measure_duration, warmup_duration};
+use std::sync::Arc;
+use std::time::Duration;
 use txsql_common::latency::LatencyModel;
-use txsql_common::metrics::MetricsSnapshot;
+use txsql_common::metrics::{EngineMetrics, MetricsSnapshot};
 use txsql_core::{ConfigDelta, Database, EngineConfig, Protocol};
-use txsql_replication::{ReplicationHook, ReplicationMode};
+use txsql_replication::{ReplFaultPlan, ReplicationHook, ReplicationMode, SyncState};
 use txsql_workloads::{
     run_closed_loop, run_fixed_tps_report, BuiltWorkload, ClosedLoopOptions, FixedTpsOptions,
     SecondSample, WorkloadSpec,
@@ -30,6 +32,10 @@ pub struct CellSpec {
     pub deltas: Vec<ConfigDelta>,
     /// Replication hook to register, if any (two replicas).
     pub replication: Option<ReplicationMode>,
+    /// Replication fault plan injected into the hook (replication cells
+    /// only) — e.g. a follower-tier stall that forces the semi-sync
+    /// degrade → re-sync cycle under load.
+    pub replication_fault: Option<ReplFaultPlan>,
     /// Latency model override (defaults to semi-sync timings when a
     /// replication mode is set, instant otherwise).
     pub latency: Option<LatencyModel>,
@@ -46,6 +52,7 @@ impl CellSpec {
             threads: 8,
             deltas: Vec::new(),
             replication: None,
+            replication_fault: None,
             latency: None,
             seed: 42,
         }
@@ -66,6 +73,13 @@ impl CellSpec {
     /// Enables the replication hook in `mode`.
     pub fn replication(mut self, mode: ReplicationMode) -> Self {
         self.replication = Some(mode);
+        self
+    }
+
+    /// Injects a replication fault plan into the hook (requires a
+    /// replication mode).
+    pub fn replication_fault(mut self, plan: ReplFaultPlan) -> Self {
+        self.replication_fault = Some(plan);
         self
     }
 
@@ -98,6 +112,10 @@ impl CellSpec {
             Some(ReplicationMode::Asynchronous) => id.push_str("/repl-async"),
             None => {}
         }
+        if let Some(plan) = &self.replication_fault {
+            id.push_str("/rplfault-");
+            id.push_str(plan.label());
+        }
         id
     }
 
@@ -111,8 +129,15 @@ impl CellSpec {
             config = config.with_latency(model);
         }
         let db = Database::new(config);
+        // The hook's counters land in a dedicated registry (not the engine's,
+        // which the drivers reset at window boundaries), so the recorded
+        // degrade/re-sync counts cover the whole cell.
+        let repl_metrics = Arc::new(EngineMetrics::new());
         let hook = self.replication.map(|mode| {
-            let hook = ReplicationHook::new(mode, latency.expect("latency set above"), 2);
+            let hook = ReplicationHook::builder(mode, latency.expect("latency set above"), 2)
+                .faults(self.replication_fault.clone().unwrap_or_default())
+                .metrics(Arc::clone(&repl_metrics))
+                .build();
             db.register_commit_hook(hook.clone());
             hook
         });
@@ -139,6 +164,7 @@ impl CellSpec {
                     snapshot: Some(snapshot),
                     seconds: None,
                     tpcc_consistent: None,
+                    replication: None,
                 }
             }
             BuiltWorkload::Open(trace) => {
@@ -160,6 +186,7 @@ impl CellSpec {
                     snapshot: None,
                     seconds: Some(report.samples),
                     tpcc_consistent: None,
+                    replication: None,
                 }
             }
         };
@@ -168,6 +195,19 @@ impl CellSpec {
             outcome.tpcc_consistent = Some(checker.consistency_check(&db));
         }
         if let Some(hook) = hook {
+            // Let the replicas drain the retained binlog (an injected stall
+            // or shed queue may have left them behind), then snapshot the
+            // degrade/re-sync trajectory for the record.
+            let caught_up = hook.wait_caught_up(hook.binlog_len(), Duration::from_secs(5));
+            outcome.replication = Some(ReplicationStats {
+                degraded_commits: repl_metrics.degraded_commits.get(),
+                semi_sync_timeouts: repl_metrics.semi_sync_timeouts.get(),
+                semi_sync_resyncs: repl_metrics.semi_sync_resyncs.get(),
+                ship_queue_full: repl_metrics.ship_queue_full.get(),
+                ship_retries: repl_metrics.ship_retries.get(),
+                caught_up,
+                resynced: hook.sync_state() == SyncState::SemiSync,
+            });
             hook.shutdown();
         }
         db.shutdown();
@@ -201,6 +241,28 @@ pub struct CellOutcome {
     pub seconds: Option<Vec<SecondSample>>,
     /// TPC-C warehouse/district YTD consistency — TPC-C cells only.
     pub tpcc_consistent: Option<bool>,
+    /// Semi-sync degrade/re-sync trajectory — replication cells only.
+    pub replication: Option<ReplicationStats>,
+}
+
+/// What the replication hook went through over one cell: how often the
+/// semi-sync pipeline degraded, whether it re-synced, and the load it shed.
+#[derive(Debug, Clone)]
+pub struct ReplicationStats {
+    /// Commits shipped while the hook was (or went) degraded.
+    pub degraded_commits: u64,
+    /// Semi-sync ack waits that timed out (degrade transitions).
+    pub semi_sync_timeouts: u64,
+    /// Degraded → semi-sync recoveries.
+    pub semi_sync_resyncs: u64,
+    /// Batches shed because the bounded async queue was full.
+    pub ship_queue_full: u64,
+    /// Transient ship failures that were retried.
+    pub ship_retries: u64,
+    /// Whether the replicas caught up to the full binlog before teardown.
+    pub caught_up: bool,
+    /// Whether the hook ended the cell back in semi-sync state.
+    pub resynced: bool,
 }
 
 impl CellOutcome {
@@ -237,6 +299,16 @@ mod tests {
         assert_eq!(
             spec.id(),
             "sysbench-hotspot-update/txsql/t32/batch=64/repl-sync"
+        );
+
+        let faulted = spec.replication_fault(ReplFaultPlan::none().with_stall(
+            None,
+            1,
+            std::time::Duration::from_millis(50),
+        ));
+        assert_eq!(
+            faulted.id(),
+            "sysbench-hotspot-update/txsql/t32/batch=64/repl-sync/rplfault-stall"
         );
 
         let plain = CellSpec::new(Protocol::Mysql2pl, WorkloadSpec::Tpcc { warehouses: 2 });

@@ -1,9 +1,19 @@
 //! Named experiment grids.
 
 use super::cell::{CellOutcome, CellSpec};
+use std::time::Duration;
 use txsql_core::Protocol;
-use txsql_replication::ReplicationMode;
+use txsql_replication::{ReplFaultPlan, ReplicationMode};
 use txsql_workloads::{SysbenchVariant, WorkloadSpec};
+
+/// The injected follower-tier pause used by the `rplfault-stall` cells: both
+/// replicas stop answering at their first delivery for 100 ms, long past the
+/// default 10 ms ack timeout, so the semi-sync hook must degrade, keep
+/// committing, and re-sync once the stall expires — all inside the cell's
+/// measurement window.
+fn stall_plan() -> ReplFaultPlan {
+    ReplFaultPlan::none().with_stall(None, 1, Duration::from_millis(100))
+}
 
 /// A named list of cells.
 #[derive(Debug, Clone)]
@@ -65,6 +75,16 @@ pub fn paper_grid(seed: u64) -> GridSpec {
         cells.push(CellSpec::new(protocol, tpcc).threads(64).seed(seed));
         cells.push(CellSpec::new(protocol, hotspots).threads(16).seed(seed));
     }
+    // Fault tolerance under the paper's replication setting: a follower-tier
+    // stall mid-run must degrade semi-sync shipping and re-sync afterwards,
+    // with goodput recovering rather than the primary wedging.
+    cells.push(
+        CellSpec::new(Protocol::GroupLockingTxsql, fit)
+            .threads(64)
+            .replication(ReplicationMode::Synchronous)
+            .replication_fault(stall_plan())
+            .seed(seed),
+    );
     GridSpec {
         name: "paper".to_string(),
         cells,
@@ -106,6 +126,21 @@ pub fn smoke_grid(seed: u64) -> GridSpec {
             },
         )
         .threads(4)
+        .seed(seed),
+    );
+    // The degrade → re-sync smoke check: semi-sync with both replicas
+    // stalled at the first delivery.
+    cells.push(
+        CellSpec::new(
+            Protocol::GroupLockingTxsql,
+            WorkloadSpec::Fit {
+                hot_accounts: 1,
+                users: 10_000,
+            },
+        )
+        .threads(8)
+        .replication(ReplicationMode::Synchronous)
+        .replication_fault(stall_plan())
         .seed(seed),
     );
     GridSpec {
@@ -164,5 +199,28 @@ mod tests {
             .cells
             .iter()
             .any(|c| c.id() == "sysbench-hotspot-update/mysql/t8"));
+        assert!(
+            grid.cells
+                .iter()
+                .any(|c| c.replication.is_some() && c.replication_fault.is_some()),
+            "the smoke grid must exercise the semi-sync degrade path"
+        );
+    }
+
+    #[test]
+    fn both_grids_carry_a_replica_stall_cell() {
+        for grid in [paper_grid(42), smoke_grid(42)] {
+            let stall = grid
+                .cells
+                .iter()
+                .find(|c| c.id().ends_with("/rplfault-stall"))
+                .unwrap_or_else(|| panic!("grid `{}` has no stall cell", grid.name));
+            assert_eq!(stall.replication, Some(ReplicationMode::Synchronous));
+            let plan = stall.replication_fault.as_ref().unwrap();
+            assert!(
+                plan.stall.is_some_and(|(target, _, _)| target.is_none()),
+                "the stall must hit the whole follower tier so the ack quorum degrades"
+            );
+        }
     }
 }

@@ -88,6 +88,27 @@ pub fn cell_json(outcome: &CellOutcome) -> Json {
     if let Some(consistent) = outcome.tpcc_consistent {
         pairs.push(("tpcc_consistent".to_string(), Json::Bool(consistent)));
     }
+    if let Some(repl) = &outcome.replication {
+        pairs.push((
+            "degraded_commits".to_string(),
+            Json::U64(repl.degraded_commits),
+        ));
+        pairs.push((
+            "semi_sync_timeouts".to_string(),
+            Json::U64(repl.semi_sync_timeouts),
+        ));
+        pairs.push((
+            "semi_sync_resyncs".to_string(),
+            Json::U64(repl.semi_sync_resyncs),
+        ));
+        pairs.push((
+            "ship_queue_full".to_string(),
+            Json::U64(repl.ship_queue_full),
+        ));
+        pairs.push(("ship_retries".to_string(), Json::U64(repl.ship_retries)));
+        pairs.push(("replicas_caught_up".to_string(), Json::Bool(repl.caught_up)));
+        pairs.push(("resynced".to_string(), Json::Bool(repl.resynced)));
+    }
     if let Some(seconds) = &outcome.seconds {
         pairs.push((
             "seconds".to_string(),
@@ -311,6 +332,7 @@ mod tests {
             snapshot: None,
             seconds: None,
             tpcc_consistent: None,
+            replication: None,
         }
     }
 
@@ -340,6 +362,29 @@ mod tests {
         let text = render_json(&block);
         let reparsed = serde_json::parse(&text).expect("rendered block parses");
         assert_eq!(validate_block(&reparsed), Ok(2));
+    }
+
+    #[test]
+    fn replication_cells_record_the_degrade_trajectory() {
+        let mut outcome = fake_outcome();
+        outcome.spec = outcome
+            .spec
+            .replication(txsql_replication::ReplicationMode::Synchronous);
+        outcome.replication = Some(crate::harness::cell::ReplicationStats {
+            degraded_commits: 7,
+            semi_sync_timeouts: 1,
+            semi_sync_resyncs: 1,
+            ship_queue_full: 0,
+            ship_retries: 0,
+            caught_up: true,
+            resynced: true,
+        });
+        let block = block_json(&[outcome], &fake_provenance());
+        assert_eq!(validate_block(&block), Ok(1));
+        let text = render_json(&block);
+        assert!(text.contains("\"degraded_commits\": 7"));
+        assert!(text.contains("\"semi_sync_resyncs\": 1"));
+        assert!(text.contains("\"resynced\": true"));
     }
 
     #[test]

@@ -593,6 +593,24 @@ pub struct EngineMetrics {
     pub recovery_replayed: Counter,
     /// Redo records dropped by checkpoint-time log truncation.
     pub wal_truncated_records: Counter,
+    /// Semi-sync ack waits that hit the `rpl_semi_sync`-style timeout and
+    /// degraded the pipeline to asynchronous shipping.
+    pub semi_sync_timeouts: Counter,
+    /// Commits acknowledged to the client while the pipeline was degraded
+    /// (shipped asynchronously, no replica ack backing them).
+    pub degraded_commits: Counter,
+    /// Degraded→semi-sync transitions: the replicas caught back up within
+    /// the configured re-sync lag and ack waiting resumed.
+    pub semi_sync_resyncs: Counter,
+    /// Batches shed because the bounded asynchronous shipping queue was
+    /// full (the replicas recover the gap from the retained binlog buffer).
+    pub ship_queue_full: Counter,
+    /// Shipping attempts retried after a transient injected ship error.
+    pub ship_retries: Counter,
+    /// Replica lag in binlog batches: retained binlog length minus the
+    /// slowest replica's acknowledged position.  A live gauge sampled on
+    /// the shipping path, not reset between windows.
+    pub replica_lag: Gauge,
 }
 
 impl EngineMetrics {
@@ -674,6 +692,13 @@ impl EngineMetrics {
         self.fsync_retries.take();
         self.recovery_replayed.take();
         self.wal_truncated_records.take();
+        self.semi_sync_timeouts.take();
+        self.degraded_commits.take();
+        self.semi_sync_resyncs.take();
+        self.ship_queue_full.take();
+        self.ship_retries.take();
+        // replica_lag is deliberately not reset: like lock_registry_entries
+        // it mirrors live state (how far the slowest replica trails).
     }
 
     /// Structured abort-reason breakdown of the current window.
@@ -722,6 +747,12 @@ impl EngineMetrics {
             fsync_retries: self.fsync_retries.get(),
             recovery_replayed: self.recovery_replayed.get(),
             wal_truncated_records: self.wal_truncated_records.get(),
+            semi_sync_timeouts: self.semi_sync_timeouts.get(),
+            degraded_commits: self.degraded_commits.get(),
+            semi_sync_resyncs: self.semi_sync_resyncs.get(),
+            ship_queue_full: self.ship_queue_full.get(),
+            ship_retries: self.ship_retries.get(),
+            replica_lag: self.replica_lag.get(),
             admission_retries: self.admission_retries.get(),
             abort_breakdown: self.abort_breakdown(),
             abort_causes: self
@@ -799,6 +830,18 @@ pub struct MetricsSnapshot {
     pub recovery_replayed: u64,
     /// Redo records dropped by checkpoint truncation.
     pub wal_truncated_records: u64,
+    /// Semi-sync ack waits that timed out and degraded the pipeline.
+    pub semi_sync_timeouts: u64,
+    /// Commits acknowledged while the pipeline was degraded to async.
+    pub degraded_commits: u64,
+    /// Degraded→semi-sync re-sync transitions.
+    pub semi_sync_resyncs: u64,
+    /// Batches shed by the bounded asynchronous shipping queue.
+    pub ship_queue_full: u64,
+    /// Shipping attempts retried after transient ship errors.
+    pub ship_retries: u64,
+    /// Replica lag in binlog batches at snapshot time.
+    pub replica_lag: u64,
     /// Driver-side retries after retryable aborts.
     pub admission_retries: u64,
     /// Structured abort-reason breakdown (see [`AbortBreakdown`]).

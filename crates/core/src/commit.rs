@@ -20,6 +20,7 @@ use std::sync::Arc;
 use txsql_common::metrics::EngineMetrics;
 use txsql_common::{Error, Lsn, Result};
 use txsql_lockmgr::event::OsEvent;
+use txsql_storage::fault::CrashPoint;
 use txsql_storage::RedoLog;
 
 struct Pending {
@@ -84,9 +85,7 @@ impl CommitPipeline {
             // Per-transaction Sync: one fsync and one hook round-trip each.
             redo.flush_to(lsn)?;
             let batch = [binlog];
-            for hook in hooks {
-                hook.on_commit_batch(&batch);
-            }
+            self.ship(redo, &batch, hooks)?;
             self.metrics.commit_batches.inc();
             self.metrics.commit_synced.inc();
             return Ok(());
@@ -132,12 +131,12 @@ impl CommitPipeline {
                 std::mem::take(&mut state.queue)
             };
             let max_lsn = batch.iter().map(|p| p.lsn).max().unwrap_or(lsn);
-            match redo.flush_to(max_lsn) {
+            let shipped = redo.flush_to(max_lsn).and_then(|()| {
+                let events: Vec<BinlogTxn> = batch.iter().map(|p| p.binlog.clone()).collect();
+                self.ship(redo, &events, hooks)
+            });
+            match shipped {
                 Ok(()) => {
-                    let events: Vec<BinlogTxn> = batch.iter().map(|p| p.binlog.clone()).collect();
-                    for hook in hooks {
-                        hook.on_commit_batch(&events);
-                    }
                     self.metrics.commit_batches.inc();
                     self.metrics.commit_synced.add(batch.len() as u64);
                     for pending in batch {
@@ -145,11 +144,14 @@ impl CommitPipeline {
                     }
                 }
                 Err(err) => {
-                    // The whole batch failed to reach disk: every member gets
-                    // the error, no hook sees the batch, nothing counts as
-                    // synced.  Keep draining — post-crash flushes fail fast,
-                    // so queued followers are released promptly rather than
-                    // left hanging.
+                    // The batch failed to reach disk, or the binlog ship path
+                    // crashed after the flush: every member gets the error and
+                    // nothing counts as synced.  (In the post-flush case the
+                    // batch IS durable in redo — recovery replays it — but the
+                    // clients were never acknowledged, which is the crash
+                    // window the replication oracle covers.)  Keep draining —
+                    // post-crash flushes fail fast, so queued followers are
+                    // released promptly rather than left hanging.
                     for pending in batch {
                         *pending.err.lock() = Some(err.clone());
                         pending.done.set();
@@ -162,6 +164,23 @@ impl CommitPipeline {
             Some(err) => Err(err),
             None => Ok(()),
         }
+    }
+
+    /// The binlog ship stage: fires the `pre_binlog_ship` crash point (the
+    /// batch is durable in redo, nothing was shipped yet) and hands the batch
+    /// to every registered hook in order.  A hook error aborts the stage —
+    /// the caller distributes it to the whole batch like a flush failure.
+    fn ship(
+        &self,
+        redo: &RedoLog,
+        events: &[BinlogTxn],
+        hooks: &[Arc<dyn CommitHook>],
+    ) -> Result<()> {
+        redo.crash_point(CrashPoint::PreBinlogShip)?;
+        for hook in hooks {
+            hook.on_commit_batch(events)?;
+        }
+        Ok(())
     }
 }
 

@@ -249,6 +249,12 @@ impl Database {
         &self.inner.metrics
     }
 
+    /// A shared handle on the engine metrics, for components that outlive a
+    /// borrow of the database (e.g. the replication hook's shipping path).
+    pub fn metrics_handle(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
     /// Serialisable metrics snapshot over `elapsed`.
     pub fn snapshot_metrics(&self, elapsed: Duration) -> MetricsSnapshot {
         // The registry-entry gauge is sampled here rather than maintained on

@@ -7,7 +7,7 @@
 //! flush so their latency is amortised across the batch exactly like the
 //! paper's group commit (Figure 5c, Figure 13).
 
-use txsql_common::{Row, TableId, TxnId};
+use txsql_common::{Result, Row, TableId, TxnId};
 
 /// One committed transaction as it appears in the binlog.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,7 +28,14 @@ pub struct BinlogTxn {
 pub trait CommitHook: Send + Sync {
     /// Called once per flushed commit batch, in batch order.  May block (a
     /// blocking hook models the semi-synchronous replication acknowledgement).
-    fn on_commit_batch(&self, batch: &[BinlogTxn]);
+    ///
+    /// An `Err` means the binlog ship path failed hard — in practice an
+    /// injected crash between redo flush and binlog ack
+    /// ([`txsql_storage::fault::CrashPoint::PreBinlogShip`] and friends).
+    /// The pipeline treats it like a flush failure: the batch is already
+    /// durable in redo, but none of its members are acknowledged to their
+    /// clients, which is exactly the window crash recovery must cover.
+    fn on_commit_batch(&self, batch: &[BinlogTxn]) -> Result<()>;
 }
 
 /// A hook that simply collects every event (used by tests).
@@ -56,9 +63,10 @@ impl CollectingHook {
 }
 
 impl CommitHook for CollectingHook {
-    fn on_commit_batch(&self, batch: &[BinlogTxn]) {
+    fn on_commit_batch(&self, batch: &[BinlogTxn]) -> Result<()> {
         self.events.lock().extend_from_slice(batch);
         *self.batches.lock() += 1;
+        Ok(())
     }
 }
 
@@ -75,8 +83,9 @@ mod tests {
             changes: vec![(TableId(1), 5, Row::from_ints(&[5, 50]))],
             involves_hotspot: true,
         };
-        hook.on_commit_batch(std::slice::from_ref(&event));
-        hook.on_commit_batch(&[event.clone(), event.clone()]);
+        hook.on_commit_batch(std::slice::from_ref(&event)).unwrap();
+        hook.on_commit_batch(&[event.clone(), event.clone()])
+            .unwrap();
         assert_eq!(hook.events().len(), 3);
         assert_eq!(hook.batch_count(), 2);
         assert!(hook.events()[0].involves_hotspot);

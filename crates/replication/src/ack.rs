@@ -1,0 +1,199 @@
+//! The semi-sync acknowledgement protocol: configuration, per-replica ack
+//! positions, and the semi-sync ↔ degraded state machine.
+//!
+//! Acknowledgements are *cumulative binlog positions*, not transaction ids:
+//! the primary retains every shipped [`txsql_core::BinlogTxn`] in an
+//! append-only buffer and addresses deliveries by index, so an ack of `p`
+//! means "I have applied every binlog entry below `p`".  Position-based acks
+//! make gaps detectable (a replica that missed a batch nacks with the
+//! position it expected, and the primary re-ships the hole from the retained
+//! buffer) and make duplicate deliveries harmless — the properties the
+//! degrade → re-sync cycle needs to never lose or double-apply a batch.
+//!
+//! The state machine mirrors MySQL's `rpl_semi_sync` master plugin: a commit
+//! waits for [`SemiSyncConfig::ack_quorum`] replicas to ack its position
+//! within [`SemiSyncConfig::ack_timeout`]; a timeout **degrades** shipping to
+//! asynchronous (commits stop waiting — the primary survives a stalled
+//! follower tier at the cost of its durability guarantee, counted in
+//! `degraded_commits`), and once the quorum catches back up to within
+//! [`SemiSyncConfig::resync_lag`] of the binlog end the hook **re-syncs** and
+//! commits wait again.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Tunables of the semi-sync ack protocol (the `rpl_semi_sync_master_*`
+/// knobs of the modelled deployment).
+#[derive(Debug, Clone, Copy)]
+pub struct SemiSyncConfig {
+    /// How many replicas must ack a commit's binlog position before the
+    /// client is answered (MySQL's `..._wait_for_slave_count`).
+    pub ack_quorum: usize,
+    /// How long a commit waits for the quorum before the pipeline degrades
+    /// to asynchronous shipping (MySQL's `..._timeout`).
+    pub ack_timeout: Duration,
+    /// How close (in binlog entries) the quorum must be to the binlog end
+    /// for a degraded pipeline to re-enter semi-sync.
+    pub resync_lag: u64,
+    /// Capacity of the bounded asynchronous shipping queue, in batches.
+    /// When full, new batches are shed (counted in `ship_queue_full`); the
+    /// replicas recover the gap from the retained binlog buffer instead.
+    pub queue_capacity: usize,
+    /// Bounded retries when a ship attempt fails transiently.
+    pub ship_retries: u32,
+    /// Backoff between ship retries.
+    pub retry_backoff: Duration,
+    /// Whether asynchronous shipping drains on a background OS thread.  Must
+    /// be `false` under the deterministic simulator (the sim cannot schedule
+    /// threads it did not spawn); the inline drain path is identical.
+    pub background_applier: bool,
+}
+
+impl Default for SemiSyncConfig {
+    fn default() -> Self {
+        Self {
+            ack_quorum: 1,
+            ack_timeout: Duration::from_millis(10),
+            resync_lag: 0,
+            queue_capacity: 64,
+            ship_retries: 3,
+            retry_backoff: Duration::from_micros(50),
+            background_applier: true,
+        }
+    }
+}
+
+impl SemiSyncConfig {
+    /// Sets the ack quorum.
+    pub fn with_ack_quorum(mut self, quorum: usize) -> Self {
+        self.ack_quorum = quorum.max(1);
+        self
+    }
+
+    /// Sets the ack timeout.
+    pub fn with_ack_timeout(mut self, timeout: Duration) -> Self {
+        self.ack_timeout = timeout;
+        self
+    }
+
+    /// Sets the re-sync lag threshold.
+    pub fn with_resync_lag(mut self, lag: u64) -> Self {
+        self.resync_lag = lag;
+        self
+    }
+
+    /// Sets the bounded async-queue capacity (at least 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the bounded ship-retry budget and backoff.
+    pub fn with_ship_retries(mut self, retries: u32, backoff: Duration) -> Self {
+        self.ship_retries = retries;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Selects inline (deterministic) or background asynchronous draining.
+    pub fn with_background_applier(mut self, background: bool) -> Self {
+        self.background_applier = background;
+        self
+    }
+}
+
+/// Whether commits currently wait for replica acks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncState {
+    /// Commits wait for the ack quorum (normal operation).
+    SemiSync,
+    /// An ack wait timed out; commits ship asynchronously until the replicas
+    /// catch back up.
+    Degraded,
+}
+
+/// Per-replica cumulative acknowledged binlog positions.
+#[derive(Debug)]
+pub struct AckTracker {
+    acked: Mutex<Vec<u64>>,
+}
+
+impl AckTracker {
+    /// A tracker for `n_replicas` replicas, all at position 0.
+    pub fn new(n_replicas: usize) -> Self {
+        Self {
+            acked: Mutex::new(vec![0; n_replicas]),
+        }
+    }
+
+    /// Records a cumulative ack: replica `replica` has applied everything
+    /// below `pos`.  Acks never move backwards (a late-arriving duplicate
+    /// ack cannot regress the position).
+    pub fn record(&self, replica: usize, pos: u64) {
+        let mut acked = self.acked.lock();
+        if pos > acked[replica] {
+            acked[replica] = pos;
+        }
+    }
+
+    /// The position `replica` has acknowledged.
+    pub fn acked_pos(&self, replica: usize) -> u64 {
+        self.acked.lock()[replica]
+    }
+
+    /// The slowest replica's acknowledged position.
+    pub fn min_acked(&self) -> u64 {
+        self.acked.lock().iter().copied().min().unwrap_or(0)
+    }
+
+    /// How many replicas have acknowledged at least `pos` — the quorum test
+    /// for a commit whose batch ends at binlog position `pos`.
+    pub fn count_at_least(&self, pos: u64) -> usize {
+        self.acked.lock().iter().filter(|&&p| p >= pos).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acks_are_cumulative_and_never_regress() {
+        let tracker = AckTracker::new(2);
+        tracker.record(0, 5);
+        tracker.record(0, 3);
+        assert_eq!(tracker.acked_pos(0), 5);
+        assert_eq!(tracker.acked_pos(1), 0);
+        assert_eq!(tracker.min_acked(), 0);
+        tracker.record(1, 7);
+        assert_eq!(tracker.min_acked(), 5);
+    }
+
+    #[test]
+    fn quorum_counts_replicas_at_or_past_the_position() {
+        let tracker = AckTracker::new(3);
+        tracker.record(0, 10);
+        tracker.record(1, 10);
+        tracker.record(2, 4);
+        assert_eq!(tracker.count_at_least(10), 2);
+        assert_eq!(tracker.count_at_least(4), 3);
+        assert_eq!(tracker.count_at_least(11), 0);
+    }
+
+    #[test]
+    fn config_builders_clamp_and_apply() {
+        let config = SemiSyncConfig::default()
+            .with_ack_quorum(0)
+            .with_queue_capacity(0)
+            .with_ack_timeout(Duration::from_millis(2))
+            .with_resync_lag(3)
+            .with_ship_retries(5, Duration::from_micros(10))
+            .with_background_applier(false);
+        assert_eq!(config.ack_quorum, 1, "quorum clamps to >= 1");
+        assert_eq!(config.queue_capacity, 1, "capacity clamps to >= 1");
+        assert_eq!(config.ack_timeout, Duration::from_millis(2));
+        assert_eq!(config.resync_lag, 3);
+        assert_eq!(config.ship_retries, 5);
+        assert!(!config.background_applier);
+    }
+}

@@ -1,94 +1,390 @@
-//! The replication commit hook: semi-synchronous or asynchronous shipping.
+//! The replication commit hook: fault-tolerant semi-synchronous shipping
+//! with real acknowledgements, degrade-to-async, and auto re-sync.
 //!
 //! Registered on the primary [`txsql_core::Database`], the hook receives each
-//! flushed commit batch:
+//! flushed commit batch, appends it to a retained binlog buffer and ships it
+//! to the replicas position-addressed (see [`crate::ack`] for the protocol):
 //!
-//! * in **synchronous** (semi-sync) mode the committing batch blocks for the
-//!   simulated network round trip before the commit returns — the Figure 9
-//!   "synchronization mode" setting, which lengthens lock hold times and is
-//!   where group locking pays off the most;
-//! * in **asynchronous** mode the batch is queued and a background applier
-//!   ships it later; the primary never waits, but the replicas lag.
+//! * in **synchronous** (semi-sync) mode the committing batch ships, then
+//!   blocks until [`SemiSyncConfig::ack_quorum`] replicas acknowledge its
+//!   binlog position or [`SemiSyncConfig::ack_timeout`] expires — the
+//!   Figure 9 "synchronization mode" setting, which lengthens lock hold
+//!   times and is where group locking pays off the most.  A timeout
+//!   **degrades** the hook to asynchronous shipping (the commit still
+//!   succeeds: a stalled follower tier costs bounded latency, never a wedged
+//!   primary) and the hook **re-syncs** automatically once the quorum has
+//!   caught back up;
+//! * in **asynchronous** mode batches flow through a *bounded* queue drained
+//!   by a background applier (or inline under the deterministic simulator);
+//!   when the queue is full the new batch is shed observably
+//!   (`ship_queue_full`) — the replicas recover the gap from the retained
+//!   binlog buffer via position-addressed catch-up, so shedding drops work,
+//!   never data.
+//!
+//! Fault injection ([`crate::fault`]) drives ack drops, replica stalls,
+//! replica crash/restart and transient ship errors on this path, and an
+//! optional [`FaultInjector`] fires the `post_ship_pre_ack` / `post_ack`
+//! crash points so the recovery oracle can kill the primary between redo
+//! flush and client acknowledgement.
 
-use crate::replica::Replica;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::ack::{AckTracker, SemiSyncConfig, SyncState};
+use crate::fault::{DeliveryFault, ReplFaultPlan, ReplFaults};
+use crate::replica::{DeliverOutcome, Replica};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use txsql_common::latency::{simulate_delay, LatencyModel};
+use txsql_common::latency::{simulate_delay, ut_delay, LatencyModel};
+use txsql_common::metrics::EngineMetrics;
+use txsql_common::time::SimInstant;
+use txsql_common::{Error, Result};
 use txsql_core::{BinlogTxn, CommitHook};
+use txsql_storage::fault::{CrashPoint, FaultInjector};
 
 /// Replication shipping mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplicationMode {
-    /// Semi-synchronous: commits wait for the replica acknowledgement.
+    /// Semi-synchronous: commits wait for the replica ack quorum (and
+    /// degrade to asynchronous shipping when the wait times out).
     Synchronous,
     /// Asynchronous: commits return immediately; replicas apply in the
     /// background.
     Asynchronous,
 }
 
-enum ShipMessage {
-    Batch(Vec<BinlogTxn>),
-    Shutdown,
+/// Primary-side shipping state behind one mutex: the retained binlog buffer
+/// (the ack protocol's position space), the semi-sync ↔ degraded state, and
+/// the bounded queue of not-yet-shipped position ranges.
+struct ShipState {
+    binlog: Vec<BinlogTxn>,
+    sync_state: SyncState,
+    queue: VecDeque<(u64, u64)>,
+}
+
+/// Everything the shipping paths (commit threads, background applier,
+/// `wait_caught_up` pollers) share.
+struct Shared {
+    latency: LatencyModel,
+    config: SemiSyncConfig,
+    replicas: Vec<Arc<Replica>>,
+    tracker: AckTracker,
+    faults: ReplFaults,
+    metrics: Option<Arc<EngineMetrics>>,
+    state: Mutex<ShipState>,
+    /// True while a background applier thread is draining the queue (the
+    /// commit paths then never drain inline).
+    background_running: AtomicBool,
+    /// Asks the background applier to exit once the queue is empty.
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Appends a batch to the retained binlog, returning its position range.
+    fn append(&self, batch: &[BinlogTxn]) -> (u64, u64) {
+        let mut state = self.state.lock();
+        let start = state.binlog.len() as u64;
+        state.binlog.extend_from_slice(batch);
+        (start, state.binlog.len() as u64)
+    }
+
+    /// Clones the binlog entries in `[start, end)`.
+    fn slice(&self, start: u64, end: u64) -> Vec<BinlogTxn> {
+        let state = self.state.lock();
+        state.binlog[start as usize..end as usize].to_vec()
+    }
+
+    /// Retained binlog length — the end of the ack position space.
+    fn binlog_len(&self) -> u64 {
+        self.state.lock().binlog.len() as u64
+    }
+
+    fn sync_state(&self) -> SyncState {
+        self.state.lock().sync_state
+    }
+
+    fn metric(&self, f: impl FnOnce(&EngineMetrics)) {
+        if let Some(metrics) = &self.metrics {
+            f(metrics);
+        }
+    }
+
+    /// Samples the `replica_lag` gauge from the slowest replica's ack.
+    fn update_lag(&self) {
+        let lag = self.binlog_len().saturating_sub(self.tracker.min_acked());
+        self.metric(|m| m.replica_lag.set(lag));
+    }
+
+    /// One delivery to one replica, with the fault injector consulted first.
+    /// Applies the outcome to the ack tracker; a nack triggers one immediate
+    /// catch-up re-ship from the position the replica expected.
+    fn deliver_to(&self, idx: usize, start: u64, events: &[BinlogTxn], now: SimInstant) {
+        let replica = &self.replicas[idx];
+        match self.faults.on_delivery(idx, now) {
+            DeliveryFault::Crash(_) => {
+                // The restart deadline was recorded by the injector; the
+                // pump revives the replica when it passes.
+                replica.crash();
+                return;
+            }
+            DeliveryFault::Stall(duration) => {
+                replica.stall_for(duration, now);
+                return;
+            }
+            DeliveryFault::DropAck => {
+                // The replica applies the delivery but its ack is lost; the
+                // pump's idempotent re-delivery recovers the ack later.
+                let _ = replica.deliver(start, events, now);
+                return;
+            }
+            DeliveryFault::None => {}
+        }
+        match replica.deliver(start, events, now) {
+            DeliverOutcome::Ack(pos) => self.tracker.record(idx, pos),
+            DeliverOutcome::Nack { expected } => {
+                // Gap: re-ship the hole from the retained buffer (one level —
+                // a full-prefix re-ship cannot nack again).
+                let end = start + events.len() as u64;
+                let fill = self.slice(expected, end);
+                if let DeliverOutcome::Ack(pos) = replica.deliver(expected, &fill, now) {
+                    self.tracker.record(idx, pos);
+                }
+            }
+            DeliverOutcome::Offline | DeliverOutcome::Stalled => {}
+        }
+    }
+
+    /// Ships the range `[start, end)` to every replica (one one-way network
+    /// delay per batch, amortised by group commit).
+    fn deliver_range(&self, start: u64, end: u64) {
+        simulate_delay(self.latency.network_one_way);
+        let events = self.slice(start, end);
+        let now = SimInstant::now();
+        for idx in 0..self.replicas.len() {
+            self.deliver_to(idx, start, &events, now);
+        }
+        self.update_lag();
+    }
+
+    /// Drives fault timers and replica catch-up: restarts replicas whose
+    /// injected crash deadline passed, and re-delivers the retained binlog
+    /// suffix to every reachable replica that has not acknowledged the end
+    /// of the buffer (covers expired stalls, dropped acks and restarts).
+    fn pump(&self, now: SimInstant) {
+        for idx in self.faults.due_restarts(now) {
+            self.replicas[idx].restart();
+        }
+        let end = self.binlog_len();
+        for (idx, replica) in self.replicas.iter().enumerate() {
+            if !replica.is_online() || replica.is_stalled(now) {
+                continue;
+            }
+            if self.tracker.acked_pos(idx) >= end {
+                continue;
+            }
+            // Re-deliver from the replica's own relay position; an empty
+            // suffix is a pure ack retransmission request.
+            let start = replica.log_pos().min(end);
+            let events = self.slice(start, end);
+            self.deliver_to(idx, start, &events, now);
+        }
+        self.update_lag();
+    }
+
+    /// Enqueues a range on the bounded async queue; a full queue sheds the
+    /// batch observably (the pump recovers it from the retained binlog).
+    fn enqueue(&self, start: u64, end: u64) {
+        let mut state = self.state.lock();
+        if state.queue.len() >= self.config.queue_capacity {
+            drop(state);
+            self.metric(|m| m.ship_queue_full.inc());
+            return;
+        }
+        state.queue.push_back((start, end));
+    }
+
+    /// Drains the async queue inline, one batch at a time.
+    fn drain_queue(&self) {
+        loop {
+            let range = self.state.lock().queue.pop_front();
+            match range {
+                Some((start, end)) => self.deliver_range(start, end),
+                None => break,
+            }
+        }
+    }
+
+    /// Degraded → semi-sync: re-enter ack waiting once the queue is drained
+    /// and the quorum has caught up to within `resync_lag` of the binlog end.
+    fn try_resync(&self) {
+        let target = {
+            let state = self.state.lock();
+            if state.sync_state != SyncState::Degraded || !state.queue.is_empty() {
+                return;
+            }
+            (state.binlog.len() as u64).saturating_sub(self.config.resync_lag)
+        };
+        let quorum = self.config.ack_quorum.min(self.replicas.len());
+        if self.tracker.count_at_least(target) >= quorum {
+            let mut state = self.state.lock();
+            if state.sync_state == SyncState::Degraded {
+                state.sync_state = SyncState::SemiSync;
+                drop(state);
+                self.metric(|m| m.semi_sync_resyncs.inc());
+            }
+        }
+    }
+
+    /// Semi-sync → degraded (ack timeout or exhausted ship retries).
+    fn degrade(&self) {
+        let mut state = self.state.lock();
+        if state.sync_state == SyncState::SemiSync {
+            state.sync_state = SyncState::Degraded;
+            drop(state);
+            self.metric(|m| m.semi_sync_timeouts.inc());
+        }
+    }
 }
 
 /// The replication hook.
 pub struct ReplicationHook {
     mode: ReplicationMode,
-    latency: LatencyModel,
-    replicas: Vec<Arc<Replica>>,
-    sender: Option<Sender<ShipMessage>>,
+    shared: Arc<Shared>,
+    /// Storage fault injector for the `post_ship_pre_ack` / `post_ack`
+    /// crash points (the primary's own crash window inside the hook).
+    injector: Option<Arc<FaultInjector>>,
     applier: Mutex<Option<std::thread::JoinHandle<()>>>,
+    torn_down: AtomicBool,
 }
 
 impl std::fmt::Debug for ReplicationHook {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicationHook")
             .field("mode", &self.mode)
-            .field("replicas", &self.replicas.len())
+            .field("replicas", &self.shared.replicas.len())
+            .field("sync_state", &self.shared.sync_state())
             .finish()
     }
 }
 
-impl ReplicationHook {
-    /// Creates a hook shipping to `n_replicas` replicas.
-    pub fn new(mode: ReplicationMode, latency: LatencyModel, n_replicas: usize) -> Arc<Self> {
-        let replicas: Vec<Arc<Replica>> = (0..n_replicas)
+/// Configures a [`ReplicationHook`] beyond the [`ReplicationHook::new`]
+/// defaults: ack protocol knobs, an injected replication fault plan, the
+/// primary's crash injector, and the metrics registry the counters land in.
+pub struct ReplicationHookBuilder {
+    mode: ReplicationMode,
+    latency: LatencyModel,
+    n_replicas: usize,
+    config: SemiSyncConfig,
+    faults: ReplFaultPlan,
+    injector: Option<Arc<FaultInjector>>,
+    metrics: Option<Arc<EngineMetrics>>,
+}
+
+impl ReplicationHookBuilder {
+    /// Overrides the semi-sync configuration.
+    pub fn config(mut self, config: SemiSyncConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Installs a replication fault plan.
+    pub fn faults(mut self, plan: ReplFaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Wires the primary's crash injector so the `post_ship_pre_ack` and
+    /// `post_ack` crash points fire inside the hook (usually
+    /// [`txsql_core::Database::faults`]).
+    pub fn crash_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Routes the hook's counters into `metrics` (usually
+    /// [`txsql_core::Database::metrics_handle`]).
+    pub fn metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Builds the hook (spawning the background applier when the mode is
+    /// asynchronous and [`SemiSyncConfig::background_applier`] is set).
+    pub fn build(self) -> Arc<ReplicationHook> {
+        let replicas: Vec<Arc<Replica>> = (0..self.n_replicas)
             .map(|i| Arc::new(Replica::new(format!("replica-{i}"))))
             .collect();
-        let (sender, applier) = if mode == ReplicationMode::Asynchronous {
-            let (tx, rx): (Sender<ShipMessage>, Receiver<ShipMessage>) = unbounded();
-            let replicas_bg = replicas.clone();
-            let latency_bg = latency;
-            let handle = std::thread::Builder::new()
-                .name("txsql-async-applier".into())
-                .spawn(move || {
-                    while let Ok(ShipMessage::Batch(batch)) = rx.recv() {
-                        // One-way shipping latency per batch.
-                        simulate_delay(latency_bg.network_one_way);
-                        for replica in &replicas_bg {
-                            replica.apply_batch(&batch);
+        let shared = Arc::new(Shared {
+            latency: self.latency,
+            config: self.config,
+            tracker: AckTracker::new(self.n_replicas),
+            faults: ReplFaults::new(self.faults, self.n_replicas),
+            metrics: self.metrics,
+            replicas,
+            state: Mutex::new(ShipState {
+                binlog: Vec::new(),
+                sync_state: SyncState::SemiSync,
+                queue: VecDeque::new(),
+            }),
+            background_running: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let applier =
+            if self.mode == ReplicationMode::Asynchronous && self.config.background_applier {
+                shared.background_running.store(true, Ordering::Release);
+                let shared_bg = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("txsql-async-applier".into())
+                    .spawn(move || loop {
+                        let range = shared_bg.state.lock().queue.pop_front();
+                        match range {
+                            Some((start, end)) => shared_bg.deliver_range(start, end),
+                            None if shared_bg.stop.load(Ordering::Acquire) => break,
+                            None => std::thread::sleep(Duration::from_micros(200)),
                         }
-                    }
-                })
-                .expect("spawn async applier");
-            (Some(tx), Some(handle))
-        } else {
-            (None, None)
-        };
-        Arc::new(Self {
+                    })
+                    .expect("spawn async applier");
+                Some(handle)
+            } else {
+                None
+            };
+        Arc::new(ReplicationHook {
+            mode: self.mode,
+            shared,
+            injector: self.injector,
+            applier: Mutex::new(applier),
+            torn_down: AtomicBool::new(false),
+        })
+    }
+}
+
+impl ReplicationHook {
+    /// Creates a hook shipping to `n_replicas` replicas with default
+    /// semi-sync configuration and no injected faults.
+    pub fn new(mode: ReplicationMode, latency: LatencyModel, n_replicas: usize) -> Arc<Self> {
+        Self::builder(mode, latency, n_replicas).build()
+    }
+
+    /// Starts configuring a hook (see [`ReplicationHookBuilder`]).
+    pub fn builder(
+        mode: ReplicationMode,
+        latency: LatencyModel,
+        n_replicas: usize,
+    ) -> ReplicationHookBuilder {
+        ReplicationHookBuilder {
             mode,
             latency,
-            replicas,
-            sender,
-            applier: Mutex::new(applier),
-        })
+            n_replicas,
+            config: SemiSyncConfig::default(),
+            faults: ReplFaultPlan::none(),
+            injector: None,
+            metrics: None,
+        }
     }
 
     /// The replicas this hook ships to.
     pub fn replicas(&self) -> &[Arc<Replica>] {
-        &self.replicas
+        &self.shared.replicas
     }
 
     /// The shipping mode.
@@ -96,51 +392,175 @@ impl ReplicationHook {
         self.mode
     }
 
-    /// Blocks until every queued asynchronous batch has been applied (or the
-    /// timeout expires).  Returns true when the replicas caught up.
+    /// Whether commits currently wait for acks or ship degraded.
+    pub fn sync_state(&self) -> SyncState {
+        self.shared.sync_state()
+    }
+
+    /// The replication fault injector (coverage meta-assertions).
+    pub fn faults(&self) -> &ReplFaults {
+        &self.shared.faults
+    }
+
+    /// The binlog position `replica` has acknowledged.
+    pub fn acked_pos(&self, replica: usize) -> u64 {
+        self.shared.tracker.acked_pos(replica)
+    }
+
+    /// Retained binlog length (the end of the ack position space).
+    pub fn binlog_len(&self) -> u64 {
+        self.shared.binlog_len()
+    }
+
+    /// Current replica lag in binlog entries (slowest replica).
+    pub fn replica_lag(&self) -> u64 {
+        self.shared
+            .binlog_len()
+            .saturating_sub(self.shared.tracker.min_acked())
+    }
+
+    /// Fires a hook-side crash point against the primary's injector.
+    fn crash_point(&self, point: CrashPoint) -> Result<()> {
+        if let Some(injector) = &self.injector {
+            if injector.hit(point) {
+                return Err(Error::Crashed {
+                    point: point.name(),
+                });
+            }
+            if injector.crashed() {
+                return Err(Error::Crashed { point: "crashed" });
+            }
+        }
+        Ok(())
+    }
+
+    /// The degraded / asynchronous shipping path: enqueue on the bounded
+    /// queue and, unless a background applier owns the queue, drain inline.
+    fn ship_async(&self, start: u64, end: u64) {
+        self.shared.enqueue(start, end);
+        if !self.shared.background_running.load(Ordering::Acquire) {
+            self.shared.drain_queue();
+        }
+    }
+
+    /// The semi-sync path for one batch at `[start, end)`.  Returns `Ok` when
+    /// the commit may be acknowledged (quorum met, or the hook degraded —
+    /// MySQL semantics: a semi-sync timeout never fails the commit); `Err`
+    /// only on an injected primary crash.
+    fn ship_semi_sync(&self, start: u64, end: u64) -> Result<()> {
+        // Bounded retry/backoff on transient ship errors; exhausting the
+        // budget degrades instead of wedging the committing thread.
+        let mut retries = 0u32;
+        while !self.shared.faults.ship_attempt_ok() {
+            retries += 1;
+            self.shared.metric(|m| m.ship_retries.inc());
+            if retries > self.shared.config.ship_retries {
+                self.shared.degrade();
+                self.shared.metric(|m| m.degraded_commits.inc());
+                self.ship_async(start, end);
+                return Ok(());
+            }
+            ut_delay(self.shared.config.retry_backoff.as_micros().max(1) as u32);
+        }
+
+        self.shared.deliver_range(start, end);
+        self.crash_point(CrashPoint::PostShipPreAck)?;
+
+        let quorum = self
+            .shared
+            .config
+            .ack_quorum
+            .min(self.shared.replicas.len());
+        let deadline = SimInstant::now() + self.shared.config.ack_timeout;
+        while self.shared.tracker.count_at_least(end) < quorum {
+            if SimInstant::now() >= deadline {
+                // rpl_semi_sync-style timeout: degrade and let the commit
+                // through unacked by the replicas.
+                self.shared.degrade();
+                self.shared.metric(|m| m.degraded_commits.inc());
+                self.shared.update_lag();
+                return Ok(());
+            }
+            self.shared.pump(SimInstant::now());
+            ut_delay(10);
+        }
+
+        self.crash_point(CrashPoint::PostAck)?;
+        // The ack's network leg back to the primary.
+        simulate_delay(self.shared.latency.network_one_way);
+        Ok(())
+    }
+
+    /// Blocks until every replica has applied at least `expected_txns`
+    /// transactions (or the timeout expires).  Returns true when the
+    /// replicas caught up.  Deterministic under simulation: the deadline is
+    /// a [`SimInstant`] and the polling pause is an instrumented delay, so
+    /// the sim's virtual clock controls both.
     pub fn wait_caught_up(&self, expected_txns: u64, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = SimInstant::now() + timeout;
         loop {
+            if !self.shared.background_running.load(Ordering::Acquire) {
+                self.shared.drain_queue();
+            }
+            self.shared.pump(SimInstant::now());
+            self.shared.try_resync();
             let caught_up = self
+                .shared
                 .replicas
                 .iter()
                 .all(|replica| replica.applied_txns() >= expected_txns);
             if caught_up {
                 return true;
             }
-            if std::time::Instant::now() > deadline {
+            if SimInstant::now() >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            ut_delay(20);
         }
     }
 
-    /// Stops the background applier (asynchronous mode).
-    pub fn shutdown(&self) {
-        if let Some(sender) = &self.sender {
-            let _ = sender.send(ShipMessage::Shutdown);
+    /// Stops the background applier and drains any queued batches.  Shared
+    /// by [`ReplicationHook::shutdown`] and `Drop`, and idempotent — the
+    /// first caller tears down, later calls are no-ops.
+    fn teardown(&self) {
+        if self.torn_down.swap(true, Ordering::AcqRel) {
+            return;
         }
+        self.shared.stop.store(true, Ordering::Release);
         if let Some(handle) = self.applier.lock().take() {
             let _ = handle.join();
+            self.shared
+                .background_running
+                .store(false, Ordering::Release);
         }
+        // Whatever is still queued ships now, on the caller's thread.
+        self.shared.drain_queue();
+    }
+
+    /// Stops the background applier (asynchronous mode) and flushes the
+    /// shipping queue.
+    pub fn shutdown(&self) {
+        self.teardown();
     }
 }
 
 impl CommitHook for ReplicationHook {
-    fn on_commit_batch(&self, batch: &[BinlogTxn]) {
+    fn on_commit_batch(&self, batch: &[BinlogTxn]) -> Result<()> {
+        let (start, end) = self.shared.append(batch);
         match self.mode {
-            ReplicationMode::Synchronous => {
-                // Ship + wait for the acknowledgement: one round trip per
-                // batch (amortised by group commit).
-                simulate_delay(self.latency.network_round_trip());
-                for replica in &self.replicas {
-                    replica.apply_batch(batch);
-                }
-            }
             ReplicationMode::Asynchronous => {
-                if let Some(sender) = &self.sender {
-                    let _ = sender.send(ShipMessage::Batch(batch.to_vec()));
+                self.ship_async(start, end);
+                Ok(())
+            }
+            ReplicationMode::Synchronous => {
+                if self.shared.sync_state() == SyncState::Degraded {
+                    self.shared.metric(|m| m.degraded_commits.inc());
+                    self.ship_async(start, end);
+                    self.shared.pump(SimInstant::now());
+                    self.shared.try_resync();
+                    return Ok(());
                 }
+                self.ship_semi_sync(start, end)
             }
         }
     }
@@ -148,12 +568,7 @@ impl CommitHook for ReplicationHook {
 
 impl Drop for ReplicationHook {
     fn drop(&mut self) {
-        if let Some(sender) = &self.sender {
-            let _ = sender.send(ShipMessage::Shutdown);
-        }
-        if let Some(handle) = self.applier.lock().take() {
-            let _ = handle.join();
-        }
+        self.teardown();
     }
 }
 
@@ -174,19 +589,23 @@ mod tests {
     #[test]
     fn synchronous_mode_applies_before_returning() {
         let hook = ReplicationHook::new(ReplicationMode::Synchronous, LatencyModel::in_memory(), 2);
-        hook.on_commit_batch(&[event(1, 10), event(2, 20)]);
+        hook.on_commit_batch(&[event(1, 10), event(2, 20)]).unwrap();
         for replica in hook.replicas() {
             assert_eq!(replica.applied_txns(), 2);
             assert_eq!(replica.row(TableId(1), 1).unwrap().get_int(1), Some(20));
         }
+        assert_eq!(hook.sync_state(), SyncState::SemiSync);
+        assert_eq!(hook.binlog_len(), 2);
+        assert_eq!(hook.acked_pos(0), 2);
+        assert_eq!(hook.replica_lag(), 0);
     }
 
     #[test]
     fn asynchronous_mode_catches_up_in_background() {
         let hook =
             ReplicationHook::new(ReplicationMode::Asynchronous, LatencyModel::in_memory(), 1);
-        hook.on_commit_batch(&[event(1, 10)]);
-        hook.on_commit_batch(&[event(2, 20)]);
+        hook.on_commit_batch(&[event(1, 10)]).unwrap();
+        hook.on_commit_batch(&[event(2, 20)]).unwrap();
         assert!(hook.wait_caught_up(2, Duration::from_secs(2)));
         assert_eq!(
             hook.replicas()[0].row(TableId(1), 1).unwrap().get_int(1),
@@ -201,5 +620,183 @@ mod tests {
             ReplicationHook::new(ReplicationMode::Asynchronous, LatencyModel::in_memory(), 1);
         assert!(!hook.wait_caught_up(5, Duration::from_millis(20)));
         hook.shutdown();
+    }
+
+    #[test]
+    fn ack_drop_is_recovered_by_retransmission() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let hook =
+            ReplicationHook::builder(ReplicationMode::Synchronous, LatencyModel::in_memory(), 1)
+                .faults(ReplFaultPlan::none().with_ack_drop(0, 1))
+                .config(SemiSyncConfig::default().with_ack_timeout(Duration::from_millis(100)))
+                .metrics(Arc::clone(&metrics))
+                .build();
+        hook.on_commit_batch(&[event(1, 10)]).unwrap();
+        // The first delivery applied but its ack was dropped; the ack-wait
+        // pump re-requested it, so the commit still went through semi-sync.
+        assert_eq!(hook.sync_state(), SyncState::SemiSync);
+        assert_eq!(metrics.semi_sync_timeouts.get(), 0);
+        assert_eq!(hook.acked_pos(0), 1);
+        // ...and the replica applied the transaction exactly once.
+        assert_eq!(hook.replicas()[0].applied_txns(), 1);
+        assert_eq!(
+            hook.faults().hits_of(crate::fault::ReplFaultPoint::AckDrop),
+            1
+        );
+    }
+
+    #[test]
+    fn stall_shorter_than_the_timeout_does_not_degrade() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let hook =
+            ReplicationHook::builder(ReplicationMode::Synchronous, LatencyModel::in_memory(), 1)
+                .faults(ReplFaultPlan::none().with_stall(None, 1, Duration::from_millis(2)))
+                .config(SemiSyncConfig::default().with_ack_timeout(Duration::from_millis(200)))
+                .metrics(Arc::clone(&metrics))
+                .build();
+        hook.on_commit_batch(&[event(1, 10)]).unwrap();
+        // The stall expired inside the ack window: no timeout, no degrade.
+        assert_eq!(hook.sync_state(), SyncState::SemiSync);
+        assert_eq!(metrics.semi_sync_timeouts.get(), 0);
+        assert_eq!(metrics.degraded_commits.get(), 0);
+        assert_eq!(hook.replicas()[0].applied_txns(), 1);
+    }
+
+    #[test]
+    fn stall_past_the_timeout_degrades_then_resyncs() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let hook =
+            ReplicationHook::builder(ReplicationMode::Synchronous, LatencyModel::in_memory(), 1)
+                .faults(ReplFaultPlan::none().with_stall(None, 1, Duration::from_millis(10)))
+                .config(
+                    SemiSyncConfig::default()
+                        .with_ack_timeout(Duration::from_millis(2))
+                        .with_background_applier(false),
+                )
+                .metrics(Arc::clone(&metrics))
+                .build();
+
+        // Commit 1: the replica stalls past the ack timeout → degrade.
+        hook.on_commit_batch(&[event(1, 10)]).unwrap();
+        assert_eq!(hook.sync_state(), SyncState::Degraded);
+        assert_eq!(metrics.semi_sync_timeouts.get(), 1);
+        assert_eq!(metrics.degraded_commits.get(), 1);
+
+        // Commit 2 while degraded: ships async, still counted as degraded.
+        hook.on_commit_batch(&[event(2, 20)]).unwrap();
+        assert_eq!(metrics.degraded_commits.get(), 2);
+
+        // Once the stall expires the replica catches up from the retained
+        // binlog and the hook re-syncs.
+        assert!(hook.wait_caught_up(2, Duration::from_secs(2)));
+        assert_eq!(hook.sync_state(), SyncState::SemiSync);
+        assert_eq!(metrics.semi_sync_resyncs.get(), 1);
+        assert_eq!(hook.acked_pos(0), 2);
+        assert_eq!(
+            hook.replicas()[0].row(TableId(1), 1).unwrap().get_int(1),
+            Some(20)
+        );
+
+        // Commit 3 goes back through the semi-sync ack path.
+        hook.on_commit_batch(&[event(3, 30)]).unwrap();
+        assert_eq!(hook.sync_state(), SyncState::SemiSync);
+        assert_eq!(metrics.degraded_commits.get(), 2, "no new degraded commit");
+        assert_eq!(hook.acked_pos(0), 3);
+    }
+
+    #[test]
+    fn replica_crash_degrades_and_restart_resyncs() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let hook =
+            ReplicationHook::builder(ReplicationMode::Synchronous, LatencyModel::in_memory(), 1)
+                .faults(ReplFaultPlan::none().with_crash(0, 1, Some(Duration::from_millis(5))))
+                .config(
+                    SemiSyncConfig::default()
+                        .with_ack_timeout(Duration::from_millis(2))
+                        .with_background_applier(false),
+                )
+                .metrics(Arc::clone(&metrics))
+                .build();
+        hook.on_commit_batch(&[event(1, 10)]).unwrap();
+        assert_eq!(hook.sync_state(), SyncState::Degraded);
+        assert!(!hook.replicas()[0].is_online());
+        // After the restart deadline the pump revives the replica and it
+        // recovers the whole binlog from its durable relay position.
+        assert!(hook.wait_caught_up(1, Duration::from_secs(2)));
+        assert!(hook.replicas()[0].is_online());
+        assert_eq!(hook.sync_state(), SyncState::SemiSync);
+        assert_eq!(metrics.semi_sync_resyncs.get(), 1);
+    }
+
+    #[test]
+    fn transient_ship_errors_retry_with_backoff() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let hook =
+            ReplicationHook::builder(ReplicationMode::Synchronous, LatencyModel::in_memory(), 1)
+                .faults(ReplFaultPlan::none().with_ship_errors(2))
+                .metrics(Arc::clone(&metrics))
+                .build();
+        hook.on_commit_batch(&[event(1, 10)]).unwrap();
+        assert_eq!(metrics.ship_retries.get(), 2);
+        assert_eq!(hook.sync_state(), SyncState::SemiSync, "retries absorbed");
+        assert_eq!(hook.acked_pos(0), 1);
+    }
+
+    #[test]
+    fn exhausted_ship_retries_degrade_instead_of_wedging() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let hook =
+            ReplicationHook::builder(ReplicationMode::Synchronous, LatencyModel::in_memory(), 1)
+                .faults(ReplFaultPlan::none().with_ship_errors(10))
+                .config(
+                    SemiSyncConfig::default()
+                        .with_ship_retries(2, Duration::from_micros(5))
+                        .with_background_applier(false),
+                )
+                .metrics(Arc::clone(&metrics))
+                .build();
+        hook.on_commit_batch(&[event(1, 10)]).unwrap();
+        assert_eq!(hook.sync_state(), SyncState::Degraded);
+        assert_eq!(metrics.degraded_commits.get(), 1);
+        assert!(metrics.ship_retries.get() >= 2);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_observably_and_catchup_recovers() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let hook =
+            ReplicationHook::builder(ReplicationMode::Asynchronous, LatencyModel::in_memory(), 1)
+                .config(
+                    SemiSyncConfig::default()
+                        .with_queue_capacity(2)
+                        .with_background_applier(false),
+                )
+                .metrics(Arc::clone(&metrics))
+                .build();
+        // With no background applier the queue only drains lazily, so the
+        // third enqueue finds it full and sheds.
+        {
+            let mut state = hook.shared.state.lock();
+            state.queue.push_back((0, 0));
+            state.queue.push_back((0, 0));
+        }
+        hook.on_commit_batch(&[event(1, 10)]).unwrap();
+        assert_eq!(metrics.ship_queue_full.get(), 1);
+        // Shedding dropped work, not data: catch-up re-ships the retained
+        // binlog and the replica converges anyway.
+        assert!(hook.wait_caught_up(1, Duration::from_secs(2)));
+        assert_eq!(hook.acked_pos(0), 1);
+        hook.shutdown();
+    }
+
+    #[test]
+    fn shutdown_and_drop_teardown_once() {
+        let hook =
+            ReplicationHook::new(ReplicationMode::Asynchronous, LatencyModel::in_memory(), 1);
+        hook.on_commit_batch(&[event(1, 10)]).unwrap();
+        hook.shutdown();
+        hook.shutdown(); // Idempotent.
+        assert_eq!(hook.replicas()[0].applied_txns(), 1, "queue flushed");
+        // Drop after shutdown is the second teardown call — a no-op.
     }
 }

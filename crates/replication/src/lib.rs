@@ -7,12 +7,21 @@
 //! adds is exactly what makes queue locking lose its edge and group locking
 //! shine (Figure 2b, Figure 9).  This crate provides:
 //!
-//! * [`replica::Replica`] — an in-memory replica that applies binlog events
+//! * [`replica::Replica`] — an in-memory replica that applies binlog events,
+//!   answers position-addressed deliveries with cumulative acknowledgements,
 //!   and can be checked for consistency against the primary;
 //! * [`hook::ReplicationHook`] — a [`txsql_core::CommitHook`] that ships each
-//!   commit batch to the replicas either *synchronously* (the commit blocks
-//!   for the simulated network round trip — semi-sync) or *asynchronously*
-//!   (a background applier drains a channel and the primary never waits);
+//!   commit batch to the replicas either *semi-synchronously* (the commit
+//!   waits for a configurable ack quorum under an `rpl_semi_sync`-style
+//!   timeout, degrading to asynchronous shipping on timeout and re-syncing
+//!   once the replicas catch up) or *asynchronously* (a bounded queue drained
+//!   in the background; a full queue sheds observably);
+//! * [`mod@ack`] — the ack protocol: position-based cumulative
+//!   acknowledgements, the quorum tracker and the semi-sync ↔ degraded state
+//!   machine configuration;
+//! * [`mod@fault`] — seeded fault plans for the replication path (ack drop,
+//!   replica stall, replica crash/restart, transient ship errors), the
+//!   replication-side counterpart of [`txsql_storage::fault`];
 //! * [`mod@replay`] — offline binlog replay in single-threaded and parallel
 //!   modes, including the §4.6.3 restriction that hotspot transactions are
 //!   never replayed in parallel.
@@ -20,10 +29,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod ack;
+pub mod fault;
 pub mod hook;
 pub mod replay;
 pub mod replica;
 
-pub use hook::{ReplicationHook, ReplicationMode};
+pub use ack::{AckTracker, SemiSyncConfig, SyncState};
+pub use fault::{ReplFaultPlan, ReplFaultPoint, ReplFaults};
+pub use hook::{ReplicationHook, ReplicationHookBuilder, ReplicationMode};
 pub use replay::{replay, ReplayMode, ReplayReport};
-pub use replica::Replica;
+pub use replica::{DeliverOutcome, Replica};

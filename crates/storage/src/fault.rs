@@ -17,7 +17,14 @@
 //!   transient errors are retried with bounded backoff, persistent ones
 //!   degrade the engine to read-only instead of panicking;
 //! * [`CrashPoint::Checkpoint`] — the crash lands between publishing a new
-//!   checkpoint image and truncating the log behind it.
+//!   checkpoint image and truncating the log behind it;
+//! * [`CrashPoint::PreBinlogShip`] / [`CrashPoint::PostShipPreAck`] /
+//!   [`CrashPoint::PostAck`] — the crash lands inside the commit→binlog
+//!   pipeline: after the redo flush but before the batch is shipped to the
+//!   replicas, between shipping and collecting the semi-sync acknowledgement,
+//!   or after the ack quorum was met but before the client is answered.  The
+//!   commit is already durable in redo at all three points, so recovery must
+//!   preserve it even though the client never saw an `Ok`.
 //!
 //! A crash is modelled as "the process died": once the injector is crashed,
 //! the redo log's durable horizon is frozen (the crash image), writes return
@@ -44,16 +51,25 @@ pub enum CrashPoint {
     FsyncError,
     /// Between publishing a checkpoint image and truncating the log.
     Checkpoint,
+    /// After the redo flush, before the batch is shipped to the binlog hooks.
+    PreBinlogShip,
+    /// After the batch was shipped to the replicas, before the ack quorum.
+    PostShipPreAck,
+    /// After the ack quorum was met, before the client acknowledgement.
+    PostAck,
 }
 
 impl CrashPoint {
     /// All crash points, in declaration order (seeded plans cycle these).
-    pub const ALL: [CrashPoint; 5] = [
+    pub const ALL: [CrashPoint; 8] = [
         CrashPoint::PreAppend,
         CrashPoint::PostAppendPreFlush,
         CrashPoint::MidFlush,
         CrashPoint::FsyncError,
         CrashPoint::Checkpoint,
+        CrashPoint::PreBinlogShip,
+        CrashPoint::PostShipPreAck,
+        CrashPoint::PostAck,
     ];
 
     /// Stable name used in [`Error::Crashed`] and logs.
@@ -64,6 +80,9 @@ impl CrashPoint {
             CrashPoint::MidFlush => "mid_flush",
             CrashPoint::FsyncError => "fsync_error",
             CrashPoint::Checkpoint => "checkpoint",
+            CrashPoint::PreBinlogShip => "pre_binlog_ship",
+            CrashPoint::PostShipPreAck => "post_ship_pre_ack",
+            CrashPoint::PostAck => "post_ack",
         }
     }
 
@@ -74,6 +93,9 @@ impl CrashPoint {
             CrashPoint::MidFlush => 2,
             CrashPoint::FsyncError => 3,
             CrashPoint::Checkpoint => 4,
+            CrashPoint::PreBinlogShip => 5,
+            CrashPoint::PostShipPreAck => 6,
+            CrashPoint::PostAck => 7,
         }
     }
 }
@@ -160,6 +182,22 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// Derives a deterministic plan targeting the commit→binlog pipeline
+    /// crash points: `seed % 4` picks `pre_binlog_ship`, `post_ship_pre_ack`,
+    /// `post_ack` or *no* primary crash (those seeds explore replica-side
+    /// faults alone), and `seed / 4` picks how many hits pass first.  Used by
+    /// the replication recovery oracle (`sim_replication.rs`).
+    pub fn seeded_binlog(seed: u64) -> Self {
+        let point = match seed % 4 {
+            0 => CrashPoint::PreBinlogShip,
+            1 => CrashPoint::PostShipPreAck,
+            2 => CrashPoint::PostAck,
+            _ => return FaultPlan::none(),
+        };
+        let nth_hit = 1 + (seed / 4) % 6;
+        FaultPlan::none().crash_at(point, nth_hit)
+    }
 }
 
 /// Outcome of one simulated fsync attempt.
@@ -180,7 +218,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// Fast path: false = no plan, every check short-circuits.
     active: bool,
-    hits: [AtomicU64; 5],
+    hits: [AtomicU64; CrashPoint::ALL.len()],
     fsync_attempts: AtomicU64,
     crashed: AtomicBool,
     read_only: AtomicBool,
