@@ -82,9 +82,11 @@ pub fn simulate_delay(d: Duration) {
     }
     if let Some(handle) = txsql_sim::current() {
         // Under deterministic simulation the pause consumes *virtual* time
-        // and becomes a preemption point instead of burning wall clock.
+        // and becomes a preemption point instead of burning wall clock.  The
+        // clock is a global resource: timing-dependent interleavings stay
+        // fully explored under the POR filter.
         handle.advance(d);
-        handle.yield_now();
+        handle.yield_at(txsql_sim::Resource::global(txsql_sim::ResourceKind::Clock));
         return;
     }
     if d < Duration::from_micros(100) {
@@ -105,7 +107,7 @@ pub fn ut_delay(units: u32) {
         // yield gives whichever thread must change the condition a chance to
         // run, and the clock advance lets enclosing deadlines expire.
         handle.advance(Duration::from_micros(units as u64));
-        handle.yield_now();
+        handle.yield_at(txsql_sim::Resource::global(txsql_sim::ResourceKind::Clock));
         return;
     }
     let start = std::time::Instant::now();

@@ -20,32 +20,38 @@
 use crate::database::Database;
 use crate::hooks::{BinlogTxn, CommitHook};
 use crate::program::{Operation, ProgramOutcome, TxnProgram};
+use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use txsql_common::fxhash::FxHashMap;
+use txsql_common::time::SimInstant;
 use txsql_common::{Error, Result, Row, TableId};
 use txsql_lockmgr::event::OsEvent;
 use txsql_storage::version::ReadCommitted;
 
 struct AriaJob {
     program: TxnProgram,
-    submitted: Instant,
+    submitted: SimInstant,
     result: Arc<Mutex<Option<Result<ProgramOutcome>>>>,
     done: Arc<OsEvent>,
 }
 
-#[derive(Default)]
-struct AriaState {
-    pending: Vec<AriaJob>,
-    batch_running: bool,
-}
-
 /// The Aria batch coordinator.
+///
+/// Jobs are handed off through an (instrumented) unbounded channel and the
+/// first submitter to win the `batch_running` flag becomes the batch leader
+/// and drains it.  Both the hand-off and the batch-boundary clock run on sim
+/// primitives (`SimInstant`, channel yield points), so batch formation races
+/// — who joins a batch, who leads it, where the boundary falls — are explored
+/// deterministically under `txsql-sim` (`crates/core/tests/sim_aria.rs`).
 pub struct AriaCoordinator {
     batch_size: usize,
     batch_wait: Duration,
-    state: Mutex<AriaState>,
+    jobs_tx: Sender<AriaJob>,
+    jobs_rx: Receiver<AriaJob>,
+    batch_running: AtomicBool,
 }
 
 impl std::fmt::Debug for AriaCoordinator {
@@ -59,10 +65,13 @@ impl std::fmt::Debug for AriaCoordinator {
 impl AriaCoordinator {
     /// Creates a coordinator with the given batch size.
     pub fn new(batch_size: usize) -> Self {
+        let (jobs_tx, jobs_rx) = crossbeam::channel::unbounded();
         Self {
             batch_size: batch_size.max(1),
             batch_wait: Duration::from_micros(200),
-            state: Mutex::new(AriaState::default()),
+            jobs_tx,
+            jobs_rx,
+            batch_running: AtomicBool::new(false),
         }
     }
 
@@ -70,37 +79,45 @@ impl AriaCoordinator {
     pub fn execute(&self, db: &Database, program: &TxnProgram) -> Result<ProgramOutcome> {
         let result: Arc<Mutex<Option<Result<ProgramOutcome>>>> = Arc::new(Mutex::new(None));
         let done = OsEvent::new();
-        {
-            let mut state = self.state.lock();
-            state.pending.push(AriaJob {
+        self.jobs_tx
+            .send(AriaJob {
                 program: program.clone(),
-                submitted: Instant::now(),
+                submitted: SimInstant::now(),
                 result: Arc::clone(&result),
                 done: Arc::clone(&done),
-            });
-        }
-        let mut waited_since = Instant::now();
+            })
+            .unwrap_or_else(|_| unreachable!("coordinator keeps both channel ends alive"));
+        let mut waited_since = SimInstant::now();
         loop {
             if let Some(outcome) = result.lock().take() {
                 return outcome;
             }
-            // Try to become the batch leader.
-            let jobs = {
-                let mut state = self.state.lock();
-                let batch_ready = state.pending.len() >= self.batch_size
-                    || waited_since.elapsed() >= self.batch_wait;
-                if !state.batch_running && batch_ready && !state.pending.is_empty() {
-                    state.batch_running = true;
-                    Some(std::mem::take(&mut state.pending))
-                } else {
-                    None
+            // Try to become the batch leader.  The batch boundary is decided
+            // on the (virtual under sim) clock: a full batch forms
+            // immediately, a partial one after `batch_wait`.
+            let batch_ready =
+                self.jobs_rx.len() >= self.batch_size || waited_since.elapsed() >= self.batch_wait;
+            if batch_ready
+                && !self.jobs_rx.is_empty()
+                && self
+                    .batch_running
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                // Leader: drain everything queued at this boundary.  A racing
+                // leader may have emptied the channel first, in which case
+                // this batch is vacuous and the flag is simply released.
+                let mut jobs = Vec::new();
+                while let Ok(job) = self.jobs_rx.try_recv() {
+                    jobs.push(job);
                 }
-            };
-            if let Some(jobs) = jobs {
-                self.run_batch(db, jobs);
-                self.state.lock().batch_running = false;
-                waited_since = Instant::now();
-                continue;
+                if !jobs.is_empty() {
+                    self.run_batch(db, jobs);
+                    self.batch_running.store(false, Ordering::Release);
+                    waited_since = SimInstant::now();
+                    continue;
+                }
+                self.batch_running.store(false, Ordering::Release);
             }
             let _ = done.wait_for(self.batch_wait);
             done.reset();

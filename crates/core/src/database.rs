@@ -323,10 +323,11 @@ impl Database {
     /// between the two recovers from the new image plus an un-truncated
     /// (merely redundant) log, which idempotent replay tolerates.
     pub fn checkpoint(&self) -> Result<CheckpointImage> {
-        // The floor must be read before the capture: a transaction active
-        // now may have pre-image records the image does not reflect.
-        let floor = self.inner.storage.active_txn_floor();
-        let image = self.inner.storage.checkpoint();
+        // Floor and image are captured in one apply-latch critical section:
+        // a transaction the image does not (fully) reflect is either in the
+        // floor or entirely above the image LSN, so the truncation below
+        // never cuts a record recovery still needs.
+        let (image, floor) = self.inner.storage.checkpoint_with_floor();
         let redo = self.inner.storage.redo();
         // The image is only a valid baseline once everything it reflects is
         // durable.

@@ -105,9 +105,18 @@ impl OsEvent {
         self.condvar.notify_all();
         drop(signalled);
         // Under deterministic simulation, waiters are parked in the scheduler
-        // on this event's key rather than on the condvar.
+        // on this event's key rather than on the condvar.  The set is also a
+        // *preemption point*: the woken waiter may run before the setter
+        // proceeds.  That is legal precisely because of the wake-outside-lock
+        // invariant asserted above — the setter holds no shard/state guard
+        // here, so the waiter cannot convoy on it.
         if let Some(handle) = txsql_sim::current() {
-            handle.unpark_all(txsql_sim::key_of(self));
+            let key = txsql_sim::key_of(self);
+            handle.unpark_all(key);
+            handle.yield_at(txsql_sim::Resource::new(
+                txsql_sim::ResourceKind::Event,
+                key,
+            ));
         }
     }
 
@@ -132,7 +141,7 @@ impl OsEvent {
                 if *self.signalled.lock() {
                     return;
                 }
-                handle.park(key);
+                handle.park_at(key, txsql_sim::ResourceKind::Event);
             }
         }
         let mut signalled = self.signalled.lock();
@@ -156,7 +165,7 @@ impl OsEvent {
                 if now >= deadline {
                     return WaitOutcome::TimedOut;
                 }
-                if handle.park_timeout(key, deadline - now) {
+                if handle.park_timeout_at(key, txsql_sim::ResourceKind::Event, deadline - now) {
                     return if *self.signalled.lock() {
                         WaitOutcome::Signalled
                     } else {

@@ -751,6 +751,80 @@ fn timeout_wakes_compatible_waiter_lightweight() {
 }
 
 // ---------------------------------------------------------------------------
+// POR coverage win (explorer comparison)
+// ---------------------------------------------------------------------------
+
+/// Fixed-budget coverage comparison between the random explorer (the pre-v2
+/// behaviour) and the POR explorer on this suite's contention shape:
+/// transactions of *different sizes* alternate thread-private work
+/// (commuting — the POR filter skips those switches) with locking one shared
+/// hot record (dependent — both explorers must order it).
+///
+/// Why POR wins here: the schedule class hashes only the dependent-access
+/// order, and the order in which staggered transactions arrive at the hot
+/// record is what varies it.  The random walker advances every thread at the
+/// same average rate (one yield per pick), so arrival order barely deviates
+/// from the deterministic lockstep order — reordering two arrivals `gap`
+/// yields apart needs ~`gap` consecutive same-way picks.  POR compresses the
+/// private work to zero random picks (commuting skips move a thread a whole
+/// chunk per decision), so the same deviation costs ~`gap / chunk` decisions
+/// — deep arrival reorderings that random almost never aligns are cheap.
+#[test]
+fn por_reaches_more_schedule_classes_than_random() {
+    fn build(explorer: txsql_sim::Explorer) -> impl Fn(&mut txsql_sim::Sim) {
+        move |sim: &mut txsql_sim::Sim| {
+            sim.set_explorer(explorer);
+            let table = lock_sys_table();
+            // Per-thread private work between hot accesses: deliberately
+            // different, so lockstep arrival order is nontrivial to reorder.
+            const CHURN: [usize; 3] = [40, 95, 150];
+            for i in 0..3u64 {
+                let table = Arc::clone(&table);
+                sim.spawn(format!("txn-{i}"), move || {
+                    let txn = TxnId(10 + i);
+                    let handle = txsql_sim::current().expect("sim thread");
+                    // A genuinely thread-private resource: churn on it never
+                    // conflicts, so the POR filter may skip every switch.
+                    let local = [0u8; 1];
+                    let res = txsql_sim::Resource::new(
+                        txsql_sim::ResourceKind::Lock,
+                        txsql_sim::key_of(&local),
+                    );
+                    for _round in 0..3 {
+                        for _ in 0..CHURN[i as usize] {
+                            handle.yield_at(res);
+                        }
+                        // The dependent access both explorers must order.
+                        table.lock(txn, HOT, LockMode::Exclusive).unwrap();
+                        table.release_all(txn);
+                    }
+                });
+            }
+        }
+    }
+    let budget: Vec<u64> = (0..200).collect();
+    let random = txsql_sim::explore_collect(budget.clone(), build(txsql_sim::Explorer::Random));
+    let por = txsql_sim::explore_collect(budget, build(txsql_sim::Explorer::Por));
+    println!("{}", random.line("sim_lock/random"));
+    println!("{}", por.line("sim_lock/por"));
+    assert_eq!(
+        random.commuting_skips, 0,
+        "the random explorer must not filter"
+    );
+    assert!(
+        por.commuting_skips > 0,
+        "the private-record churn must give the POR filter switches to skip"
+    );
+    assert!(
+        por.distinct_classes > random.distinct_classes,
+        "POR must reach strictly more schedule classes at a fixed budget \
+         (por {} vs random {})",
+        por.distinct_classes,
+        random.distinct_classes
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Event-pool draining on the timeout / cancellation paths
 // ---------------------------------------------------------------------------
 

@@ -14,12 +14,14 @@
 //!   succeeds: a stalled follower tier costs bounded latency, never a wedged
 //!   primary) and the hook **re-syncs** automatically once the quorum has
 //!   caught back up;
-//! * in **asynchronous** mode batches flow through a *bounded* queue drained
-//!   by a background applier (or inline under the deterministic simulator);
-//!   when the queue is full the new batch is shed observably
-//!   (`ship_queue_full`) — the replicas recover the gap from the retained
-//!   binlog buffer via position-addressed catch-up, so shedding drops work,
-//!   never data.
+//! * in **asynchronous** mode batches flow through a *bounded channel*
+//!   (the instrumented crossbeam shim, so every enqueue/drain is a tagged
+//!   yield point under the deterministic simulator) drained by a background
+//!   applier — or inline when built under sim, where a background OS thread
+//!   would be invisible to the scheduler; when the channel is full the new
+//!   batch is shed observably (`ship_queue_full`) — the replicas recover the
+//!   gap from the retained binlog buffer via position-addressed catch-up, so
+//!   shedding drops work, never data.
 //!
 //! Fault injection ([`crate::fault`]) drives ack drops, replica stalls,
 //! replica crash/restart and transient ship errors on this path, and an
@@ -30,8 +32,8 @@
 use crate::ack::{AckTracker, SemiSyncConfig, SyncState};
 use crate::fault::{DeliveryFault, ReplFaultPlan, ReplFaults};
 use crate::replica::{DeliverOutcome, Replica};
+use crossbeam::channel::{Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,12 +56,10 @@ pub enum ReplicationMode {
 }
 
 /// Primary-side shipping state behind one mutex: the retained binlog buffer
-/// (the ack protocol's position space), the semi-sync ↔ degraded state, and
-/// the bounded queue of not-yet-shipped position ranges.
+/// (the ack protocol's position space) and the semi-sync ↔ degraded state.
 struct ShipState {
     binlog: Vec<BinlogTxn>,
     sync_state: SyncState,
-    queue: VecDeque<(u64, u64)>,
 }
 
 /// Everything the shipping paths (commit threads, background applier,
@@ -72,6 +72,11 @@ struct Shared {
     faults: ReplFaults,
     metrics: Option<Arc<EngineMetrics>>,
     state: Mutex<ShipState>,
+    /// Bounded channel of not-yet-shipped position ranges.  Going through
+    /// the instrumented crossbeam shim makes every enqueue/drain a tagged
+    /// yield point, so the simulator explores shed-vs-drain interleavings.
+    ship_tx: Sender<(u64, u64)>,
+    ship_rx: Receiver<(u64, u64)>,
     /// True while a background applier thread is draining the queue (the
     /// commit paths then never drain inline).
     background_running: AtomicBool,
@@ -191,35 +196,33 @@ impl Shared {
         self.update_lag();
     }
 
-    /// Enqueues a range on the bounded async queue; a full queue sheds the
-    /// batch observably (the pump recovers it from the retained binlog).
+    /// Enqueues a range on the bounded async channel; a full channel sheds
+    /// the batch observably (the pump recovers it from the retained binlog).
     fn enqueue(&self, start: u64, end: u64) {
-        let mut state = self.state.lock();
-        if state.queue.len() >= self.config.queue_capacity {
-            drop(state);
-            self.metric(|m| m.ship_queue_full.inc());
-            return;
+        match self.ship_tx.try_send((start, end)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => self.metric(|m| m.ship_queue_full.inc()),
+            // Shared owns both channel ends for its whole lifetime.
+            Err(TrySendError::Disconnected(_)) => unreachable!("ship channel disconnected"),
         }
-        state.queue.push_back((start, end));
     }
 
-    /// Drains the async queue inline, one batch at a time.
+    /// Drains the async channel inline, one batch at a time.
     fn drain_queue(&self) {
-        loop {
-            let range = self.state.lock().queue.pop_front();
-            match range {
-                Some((start, end)) => self.deliver_range(start, end),
-                None => break,
-            }
+        while let Ok((start, end)) = self.ship_rx.try_recv() {
+            self.deliver_range(start, end);
         }
     }
 
     /// Degraded → semi-sync: re-enter ack waiting once the queue is drained
     /// and the quorum has caught up to within `resync_lag` of the binlog end.
     fn try_resync(&self) {
+        if !self.ship_rx.is_empty() {
+            return;
+        }
         let target = {
             let state = self.state.lock();
-            if state.sync_state != SyncState::Degraded || !state.queue.is_empty() {
+            if state.sync_state != SyncState::Degraded {
                 return;
             }
             (state.binlog.len() as u64).saturating_sub(self.config.resync_lag)
@@ -314,6 +317,7 @@ impl ReplicationHookBuilder {
         let replicas: Vec<Arc<Replica>> = (0..self.n_replicas)
             .map(|i| Arc::new(Replica::new(format!("replica-{i}"))))
             .collect();
+        let (ship_tx, ship_rx) = crossbeam::channel::bounded(self.config.queue_capacity);
         let shared = Arc::new(Shared {
             latency: self.latency,
             config: self.config,
@@ -324,30 +328,36 @@ impl ReplicationHookBuilder {
             state: Mutex::new(ShipState {
                 binlog: Vec::new(),
                 sync_state: SyncState::SemiSync,
-                queue: VecDeque::new(),
             }),
+            ship_tx,
+            ship_rx,
             background_running: AtomicBool::new(false),
             stop: AtomicBool::new(false),
         });
-        let applier =
-            if self.mode == ReplicationMode::Asynchronous && self.config.background_applier {
-                shared.background_running.store(true, Ordering::Release);
-                let shared_bg = Arc::clone(&shared);
-                let handle = std::thread::Builder::new()
-                    .name("txsql-async-applier".into())
-                    .spawn(move || loop {
-                        let range = shared_bg.state.lock().queue.pop_front();
-                        match range {
-                            Some((start, end)) => shared_bg.deliver_range(start, end),
-                            None if shared_bg.stop.load(Ordering::Acquire) => break,
-                            None => std::thread::sleep(Duration::from_micros(200)),
-                        }
-                    })
-                    .expect("spawn async applier");
-                Some(handle)
-            } else {
-                None
-            };
+        // A background OS thread is invisible to the deterministic scheduler
+        // (it would race the sim's logical threads on real time), so a hook
+        // built inside a simulation always drains inline regardless of
+        // `background_applier`.
+        let spawn_applier = self.mode == ReplicationMode::Asynchronous
+            && self.config.background_applier
+            && txsql_sim::current().is_none();
+        let applier = if spawn_applier {
+            shared.background_running.store(true, Ordering::Release);
+            let shared_bg = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("txsql-async-applier".into())
+                .spawn(move || loop {
+                    match shared_bg.ship_rx.try_recv() {
+                        Ok((start, end)) => shared_bg.deliver_range(start, end),
+                        Err(_) if shared_bg.stop.load(Ordering::Acquire) => break,
+                        Err(_) => std::thread::sleep(Duration::from_micros(200)),
+                    }
+                })
+                .expect("spawn async applier");
+            Some(handle)
+        } else {
+            None
+        };
         Arc::new(ReplicationHook {
             mode: self.mode,
             shared,
@@ -775,11 +785,8 @@ mod tests {
                 .build();
         // With no background applier the queue only drains lazily, so the
         // third enqueue finds it full and sheds.
-        {
-            let mut state = hook.shared.state.lock();
-            state.queue.push_back((0, 0));
-            state.queue.push_back((0, 0));
-        }
+        hook.shared.ship_tx.try_send((0, 0)).unwrap();
+        hook.shared.ship_tx.try_send((0, 0)).unwrap();
         hook.on_commit_batch(&[event(1, 10)]).unwrap();
         assert_eq!(metrics.ship_queue_full.get(), 1);
         // Shedding dropped work, not data: catch-up re-ships the retained

@@ -30,7 +30,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use txsql_common::latency::LatencyModel;
 use txsql_common::{Row, TableId, TxnId};
-use txsql_core::{Database, EngineConfig, Protocol};
+use txsql_core::{BinlogTxn, CommitHook, Database, EngineConfig, Protocol};
 use txsql_replication::{
     ReplFaultPlan, ReplFaultPoint, Replica, ReplicationHook, ReplicationMode, SemiSyncConfig,
     SyncState,
@@ -68,14 +68,15 @@ fn sim_semi_sync() -> SemiSyncConfig {
         .with_background_applier(false)
 }
 
-fn run_seed(seed: u64, build: impl Fn(&mut txsql_sim::Sim)) {
+fn run_seed(seed: u64, build: impl Fn(&mut txsql_sim::Sim)) -> txsql_sim::RunReport {
     let report = txsql_sim::run_with_seed(seed, build);
-    if let Some(failure) = report.failure {
+    if let Some(failure) = &report.failure {
         panic!(
             "seed {seed} failed: {failure}\nschedule: {:?}\nreproduce: txsql_sim::replay(&schedule, build)",
             report.schedule
         );
     }
+    report
 }
 
 fn setup_accounts(db: &Database) {
@@ -415,6 +416,158 @@ fn sim_replication_exploration_upholds_the_recovery_oracle() {
     assert!(
         resyncs > 0,
         "no explored schedule re-synced after degrading ({n_seeds} seeds)"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Ship-queue channel races: the bounded shipping queue is an instrumented
+// channel, so enqueue (`try_send`), drain (`try_recv`) and shed (Full) are
+// tagged yield points — the explorer can now place context switches *inside*
+// the shed-vs-drain window, an interleaving class that was invisible while
+// the queue was a plain VecDeque behind the state mutex.
+// ---------------------------------------------------------------------------
+
+/// Ship-queue races under exploration: concurrent committers (degraded to
+/// the async path by a stalled replica) race each other and a
+/// `wait_caught_up` drainer on a capacity-1 shipping channel.  On every
+/// schedule, shedding may drop *work* but never *data* — catch-up re-ships
+/// from the retained binlog and the replica converges exactly — and the
+/// degraded hook re-syncs once the stall clears.
+///
+/// Per-yield-point coverage meta-assertions pin that the sweep actually
+/// explored the new surface: channel yields fired (the queue is explorable),
+/// at least one schedule shed on a full queue, and the degrade-to-async flip
+/// occurred.
+#[test]
+fn sim_ship_queue_shed_drain_and_degrade_races_converge() {
+    const COMMITTERS: usize = 3;
+    const PER_COMMITTER: u64 = 2;
+    const TOTAL: u64 = COMMITTERS as u64 * PER_COMMITTER;
+    let seeds = txsql_sim::ci_seeds(200);
+    let n_seeds = seeds.len();
+    let mut classes = HashSet::new();
+    let mut channel_yields = 0u64;
+    let mut lock_yields = 0u64;
+    let mut clock_yields = 0u64;
+    let mut total_skips = 0u64;
+    let mut shed_seeds = 0u64;
+    let mut degraded_seeds = 0u64;
+
+    for seed in seeds {
+        let metrics = Arc::new(txsql_common::metrics::EngineMetrics::new());
+        let hook =
+            ReplicationHook::builder(ReplicationMode::Synchronous, LatencyModel::in_memory(), 1)
+                .config(sim_semi_sync().with_queue_capacity(1))
+                .faults(ReplFaultPlan::none().with_stall(None, 1, Duration::from_millis(10)))
+                .metrics(Arc::clone(&metrics))
+                .build();
+        let next_trx = Arc::new(AtomicI64::new(1));
+
+        let hook_build = Arc::clone(&hook);
+        let trx_build = Arc::clone(&next_trx);
+        let report = run_seed(seed, move |sim| {
+            for committer in 0..COMMITTERS {
+                let hook = Arc::clone(&hook_build);
+                let next_trx = Arc::clone(&trx_build);
+                sim.spawn(format!("committer-{committer}"), move || {
+                    let pk = 100 + committer as i64;
+                    for round in 1..=PER_COMMITTER {
+                        let trx_no = next_trx.fetch_add(1, Ordering::Relaxed) as u64;
+                        let batch = [BinlogTxn {
+                            txn: TxnId(trx_no),
+                            trx_no,
+                            changes: vec![(ACCOUNTS, pk, Row::from_ints(&[pk, round as i64]))],
+                            involves_hotspot: false,
+                        }];
+                        // Degraded shipping never fails the commit.
+                        hook.on_commit_batch(&batch).unwrap();
+                    }
+                });
+            }
+            let hook = Arc::clone(&hook_build);
+            sim.spawn("drainer", move || {
+                // A concurrent catch-up poller: drains the queue and pumps
+                // while the committers are still enqueueing — the drain half
+                // of the shed-vs-drain race.
+                hook.wait_caught_up(TOTAL, Duration::from_millis(500));
+            });
+        });
+
+        // The stall outlives the ack timeout, so the first commit degraded;
+        // afterwards everything flowed through the bounded channel.  Shed or
+        // not, convergence must be exact.
+        assert!(
+            hook.wait_caught_up(TOTAL, Duration::from_secs(2)),
+            "seed {seed}: replica never converged (lag {})",
+            hook.replica_lag()
+        );
+        for _ in 0..3 {
+            if hook.sync_state() == SyncState::SemiSync {
+                break;
+            }
+            hook.wait_caught_up(TOTAL, Duration::from_millis(50));
+        }
+        assert_eq!(
+            hook.sync_state(),
+            SyncState::SemiSync,
+            "seed {seed}: hook stayed degraded after the stall cleared"
+        );
+        let replica = &hook.replicas()[0];
+        assert_eq!(
+            replica.applied_txns(),
+            TOTAL,
+            "seed {seed}: a shed batch was lost (or one applied twice)"
+        );
+        assert_eq!(replica.log_pos(), TOTAL, "seed {seed}: relay gap");
+        for committer in 0..COMMITTERS {
+            let pk = 100 + committer as i64;
+            assert_eq!(
+                replica_value(replica, pk),
+                PER_COMMITTER as i64,
+                "seed {seed}: committer {committer}'s last write did not survive shipping"
+            );
+        }
+        hook.shutdown();
+
+        classes.insert(report.coverage.schedule_class);
+        channel_yields += report.coverage.yields_of(txsql_sim::ResourceKind::Channel);
+        lock_yields += report.coverage.yields_of(txsql_sim::ResourceKind::Lock);
+        clock_yields += report.coverage.yields_of(txsql_sim::ResourceKind::Clock);
+        total_skips += report.coverage.commuting_skips;
+        if metrics.ship_queue_full.get() > 0 {
+            shed_seeds += 1;
+        }
+        if metrics.degraded_commits.get() > 0 {
+            degraded_seeds += 1;
+        }
+    }
+
+    println!(
+        "sim-coverage: suite=sim_ship_queue runs={n_seeds} classes={} \
+         channel_yields={channel_yields} lock_yields={lock_yields} clock_yields={clock_yields} \
+         skips={total_skips} shed_seeds={shed_seeds} degraded_seeds={degraded_seeds}",
+        classes.len()
+    );
+    // Per-yield-point coverage: the shipping path must actually exercise the
+    // instrumented primitives, or the exploration above is vacuous.
+    assert!(
+        channel_yields > 0,
+        "the shipping channel never became a yield point"
+    );
+    assert!(lock_yields > 0, "no tagged mutex yields on the ship path");
+    assert!(clock_yields > 0, "no tagged clock yields on the ship path");
+    assert!(
+        shed_seeds > 0,
+        "no explored schedule filled the capacity-1 queue ({n_seeds} seeds) — \
+         the shed-vs-drain interleaving class is not being reached"
+    );
+    assert!(
+        degraded_seeds > 0,
+        "no explored schedule flipped the hook to async shipping ({n_seeds} seeds)"
+    );
+    assert!(
+        classes.len() > 1,
+        "every seed collapsed to a single schedule class"
     );
 }
 

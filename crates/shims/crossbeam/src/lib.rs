@@ -5,11 +5,24 @@
 //! semantics this workspace relies on are implemented: cloneable senders and
 //! receivers, disconnect detection when all senders drop, `recv_timeout`,
 //! and non-blocking `try_send` on bounded channels.
+//!
+//! ## Deterministic-simulation instrumentation
+//!
+//! Like the `parking_lot` shim, the channel is an instrumentation point for
+//! the `txsql-sim` cooperative scheduler: when the calling thread carries a
+//! sim handle, `send`/`recv`/`try_send`/`try_recv`/`recv_timeout` become
+//! *yield points* tagged with the channel's resource key, blocking waits park
+//! the logical thread **in the scheduler** (never in the OS condvar, which
+//! would hang the single-threaded sim), `recv_timeout` deadlines run on the
+//! **virtual clock**, and dropping the last sender/receiver wakes parked
+//! peers so they observe the disconnect.  Threads without a handle use the
+//! std condvar path exactly as before.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
+    use txsql_sim::{Resource, ResourceKind, SimHandle};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -22,6 +35,29 @@ pub mod channel {
         capacity: Option<usize>,
         not_empty: Condvar,
         not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        /// The sim resource identifying this channel (address of the shared
+        /// core, stable for the channel's lifetime).
+        fn sim_key(&self) -> usize {
+            txsql_sim::key_of(self)
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().expect("channel lock")
+        }
+
+        /// A tagged preemption point on this channel.
+        fn sim_yield(&self, h: &SimHandle) {
+            h.yield_at(Resource::new(ResourceKind::Channel, self.sim_key()));
+        }
+
+        /// Wakes sim threads parked on this channel (queue or peer-count
+        /// transition).
+        fn sim_wake(&self, h: &SimHandle) {
+            h.unpark_all(self.sim_key());
+        }
     }
 
     /// Sending half of a channel.
@@ -93,7 +129,30 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Sends, blocking while a bounded channel is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            if let Some(h) = txsql_sim::current() {
+                self.shared.sim_yield(&h);
+                loop {
+                    let mut state = self.shared.lock();
+                    if state.receivers == 0 {
+                        return Err(SendError(value));
+                    }
+                    let full = matches!(
+                        self.shared.capacity, Some(cap) if state.queue.len() >= cap
+                    );
+                    if !full {
+                        state.queue.push_back(value);
+                        drop(state);
+                        self.shared.not_empty.notify_one();
+                        self.shared.sim_wake(&h);
+                        return Ok(());
+                    }
+                    // Park in the scheduler, not the OS condvar: under sim
+                    // only one thread runs, so an OS wait would deadlock.
+                    drop(state);
+                    h.park_at(self.shared.sim_key(), ResourceKind::Channel);
+                }
+            }
+            let mut state = self.shared.lock();
             loop {
                 if state.receivers == 0 {
                     return Err(SendError(value));
@@ -113,7 +172,11 @@ pub mod channel {
 
         /// Sends without blocking; fails when full or disconnected.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            let sim = txsql_sim::current();
+            if let Some(h) = &sim {
+                self.shared.sim_yield(h);
+            }
+            let mut state = self.shared.lock();
             if state.receivers == 0 {
                 return Err(TrySendError::Disconnected(value));
             }
@@ -125,14 +188,44 @@ pub mod channel {
             state.queue.push_back(value);
             drop(state);
             self.shared.not_empty.notify_one();
+            if let Some(h) = &sim {
+                self.shared.sim_wake(h);
+            }
             Ok(())
+        }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// True when no values are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     impl<T> Receiver<T> {
         /// Receives, blocking until a value arrives or all senders drop.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            if let Some(h) = txsql_sim::current() {
+                self.shared.sim_yield(&h);
+                loop {
+                    let mut state = self.shared.lock();
+                    if let Some(value) = state.queue.pop_front() {
+                        drop(state);
+                        self.shared.not_full.notify_one();
+                        self.shared.sim_wake(&h);
+                        return Ok(value);
+                    }
+                    if state.senders == 0 {
+                        return Err(RecvError);
+                    }
+                    drop(state);
+                    h.park_at(self.shared.sim_key(), ResourceKind::Channel);
+                }
+            }
+            let mut state = self.shared.lock();
             loop {
                 if let Some(value) = state.queue.pop_front() {
                     drop(state);
@@ -146,10 +239,32 @@ pub mod channel {
             }
         }
 
-        /// Receives with a timeout.
+        /// Receives with a timeout (virtual-clock deadline under sim).
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            if let Some(h) = txsql_sim::current() {
+                self.shared.sim_yield(&h);
+                let deadline = h.now().saturating_add(timeout);
+                loop {
+                    let mut state = self.shared.lock();
+                    if let Some(value) = state.queue.pop_front() {
+                        drop(state);
+                        self.shared.not_full.notify_one();
+                        self.shared.sim_wake(&h);
+                        return Ok(value);
+                    }
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    let now = h.now();
+                    if now >= deadline {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    drop(state);
+                    h.park_timeout_at(self.shared.sim_key(), ResourceKind::Channel, deadline - now);
+                }
+            }
             let deadline = Instant::now() + timeout;
-            let mut state = self.shared.state.lock().expect("channel lock");
+            let mut state = self.shared.lock();
             loop {
                 if let Some(value) = state.queue.pop_front() {
                     drop(state);
@@ -177,10 +292,17 @@ pub mod channel {
 
         /// Receives without blocking.
         pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            let sim = txsql_sim::current();
+            if let Some(h) = &sim {
+                self.shared.sim_yield(h);
+            }
+            let mut state = self.shared.lock();
             if let Some(value) = state.queue.pop_front() {
                 drop(state);
                 self.shared.not_full.notify_one();
+                if let Some(h) = &sim {
+                    self.shared.sim_wake(h);
+                }
                 return Ok(value);
             }
             if state.senders == 0 {
@@ -188,11 +310,21 @@ pub mod channel {
             }
             Err(RecvTimeoutError::Timeout)
         }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// True when no values are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.shared.state.lock().expect("channel lock").senders += 1;
+            self.shared.lock().senders += 1;
             Self {
                 shared: Arc::clone(&self.shared),
             }
@@ -201,7 +333,7 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.shared.state.lock().expect("channel lock").receivers += 1;
+            self.shared.lock().receivers += 1;
             Self {
                 shared: Arc::clone(&self.shared),
             }
@@ -210,22 +342,31 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            let mut state = self.shared.lock();
             state.senders -= 1;
             if state.senders == 0 {
                 drop(state);
                 self.shared.not_empty.notify_all();
+                // Wake sim receivers parked on the channel so they observe
+                // the disconnect (unpark_all never reschedules, so this is
+                // safe even mid-unwind on a poisoned run).
+                if let Some(h) = txsql_sim::current() {
+                    self.shared.sim_wake(&h);
+                }
             }
         }
     }
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            let mut state = self.shared.lock();
             state.receivers -= 1;
             if state.receivers == 0 {
                 drop(state);
                 self.shared.not_full.notify_all();
+                if let Some(h) = txsql_sim::current() {
+                    self.shared.sim_wake(&h);
+                }
             }
         }
     }
@@ -276,6 +417,19 @@ mod tests {
     }
 
     #[test]
+    fn len_tracks_queue_depth() {
+        let (tx, rx) = unbounded();
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
+        assert!(!rx.is_empty());
+    }
+
+    #[test]
     fn mpmc_across_threads() {
         let (tx, rx) = bounded(4);
         let rx2 = rx.clone();
@@ -308,5 +462,183 @@ mod tests {
         p2.join().unwrap();
         let total = consumer1.join().unwrap() + consumer2.join().unwrap();
         assert_eq!(total, 100);
+    }
+
+    // ------------------------------------------------------------------
+    // Sim/native semantic parity: the same behaviours hold under the
+    // deterministic scheduler across every explored schedule.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn sim_fifo_order_per_sender() {
+        // One producer, one consumer: FIFO order must hold on every schedule.
+        txsql_sim::explore(0..40, |sim| {
+            let (tx, rx) = unbounded();
+            sim.spawn("producer", move || {
+                for i in 0..5u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            sim.spawn("consumer", move || {
+                for expect in 0..5u32 {
+                    assert_eq!(rx.recv().unwrap(), expect, "FIFO violated");
+                }
+                assert_eq!(rx.recv(), Err(RecvError), "disconnect after drain");
+            });
+        });
+    }
+
+    #[test]
+    fn sim_bounded_capacity_blocks_producer() {
+        // Capacity-1 channel: the producer can never get more than one value
+        // ahead of the consumer, on any schedule.
+        txsql_sim::explore(0..40, |sim| {
+            let (tx, rx) = bounded(1);
+            sim.spawn("producer", move || {
+                for i in 0..4u64 {
+                    tx.send(i).unwrap();
+                    let depth = tx.len();
+                    assert!(depth <= 1, "bounded channel overfilled (depth {depth})");
+                }
+            });
+            sim.spawn("consumer", move || {
+                for expect in 0..4u64 {
+                    assert_eq!(rx.recv().unwrap(), expect, "FIFO through a full channel");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn sim_disconnect_on_drop_wakes_blocked_receiver() {
+        // The receiver may be parked in recv() when the last sender drops;
+        // the drop must wake it with a disconnect on every schedule.
+        txsql_sim::explore(0..40, |sim| {
+            let (tx, rx) = unbounded::<u32>();
+            sim.spawn("producer", move || {
+                tx.send(1).unwrap();
+                // Sender drops here: the channel disconnects.
+            });
+            sim.spawn("consumer", move || {
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv(), Err(RecvError));
+            });
+        });
+    }
+
+    #[test]
+    fn sim_try_paths_never_block() {
+        // try_send/try_recv must complete on every schedule (select-free
+        // polling), with Full/Timeout/Disconnected surfaced correctly.
+        txsql_sim::explore(0..40, |sim| {
+            let (tx, rx) = bounded(1);
+            sim.spawn("producer", move || {
+                let mut sent = 0;
+                let mut full = 0;
+                for i in 0..6u32 {
+                    match tx.try_send(i) {
+                        Ok(()) => sent += 1,
+                        Err(TrySendError::Full(_)) => full += 1,
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                assert_eq!(sent + full, 6, "try_send must always return");
+            });
+            sim.spawn("consumer", move || {
+                let mut polls = 0;
+                while !matches!(rx.try_recv(), Err(RecvTimeoutError::Disconnected)) {
+                    polls += 1;
+                    assert!(polls < 100, "try_recv livelock");
+                }
+            });
+        });
+    }
+
+    /// Fixed-budget coverage comparison on the channel suite: producers of
+    /// different sizes alternate private work (commuting) with sends into one
+    /// shared channel (dependent).  The schedule class hashes the dependent
+    /// accesses only, so it is the arrival order of sends at the channel that
+    /// distinguishes classes.  The random walker advances every thread one
+    /// yield per pick and so almost always observes the lockstep arrival
+    /// order; POR compresses the private work into commuting skips, making
+    /// deep send reorderings cheap — it must reach strictly more classes.
+    #[test]
+    fn sim_por_reaches_more_schedule_classes_than_random() {
+        fn build(explorer: txsql_sim::Explorer) -> impl Fn(&mut txsql_sim::Sim) {
+            move |sim: &mut txsql_sim::Sim| {
+                sim.set_explorer(explorer);
+                let (tx, rx) = unbounded::<(usize, u32)>();
+                const CHURN: [usize; 3] = [40, 95, 150];
+                for (p, &churn) in CHURN.iter().enumerate() {
+                    let tx = tx.clone();
+                    sim.spawn(format!("producer-{p}"), move || {
+                        let h = txsql_sim::current().unwrap();
+                        // Thread-private resource: churn on it never
+                        // conflicts, so the POR filter may skip every switch.
+                        let local = [0u8; 1];
+                        let res = txsql_sim::Resource::new(
+                            txsql_sim::ResourceKind::Lock,
+                            txsql_sim::key_of(&local),
+                        );
+                        for round in 0..3u32 {
+                            for _ in 0..churn {
+                                h.yield_at(res);
+                            }
+                            tx.send((p, round)).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                sim.spawn("consumer", move || {
+                    // Whatever the arrival order, per-sender FIFO holds.
+                    let mut last = [None::<u32>; CHURN.len()];
+                    for _ in 0..(3 * CHURN.len()) {
+                        let (p, round) = rx.recv().unwrap();
+                        assert!(last[p] < Some(round), "per-sender FIFO violated");
+                        last[p] = Some(round);
+                    }
+                    assert_eq!(rx.recv(), Err(RecvError), "disconnect after drain");
+                });
+            }
+        }
+        let budget: Vec<u64> = (0..200).collect();
+        let random = txsql_sim::explore_collect(budget.clone(), build(txsql_sim::Explorer::Random));
+        let por = txsql_sim::explore_collect(budget, build(txsql_sim::Explorer::Por));
+        println!("{}", random.line("channel/random"));
+        println!("{}", por.line("channel/por"));
+        assert_eq!(
+            random.commuting_skips, 0,
+            "the random explorer must not filter"
+        );
+        assert!(
+            por.commuting_skips > 0,
+            "the private churn must give the POR filter switches to skip"
+        );
+        assert!(
+            por.distinct_classes > random.distinct_classes,
+            "POR must reach strictly more schedule classes at a fixed budget \
+             (por {} vs random {})",
+            por.distinct_classes,
+            random.distinct_classes
+        );
+    }
+
+    #[test]
+    fn sim_recv_timeout_fires_on_virtual_clock() {
+        // No sender ever sends: recv_timeout must fire at the virtual-clock
+        // deadline (instantly in wall time) instead of hanging the sim.
+        txsql_sim::explore(0..10, |sim| {
+            let (tx, rx) = unbounded::<u32>();
+            sim.spawn("consumer", move || {
+                let h = txsql_sim::current().unwrap();
+                let start = h.now();
+                assert_eq!(
+                    rx.recv_timeout(Duration::from_millis(50)),
+                    Err(RecvTimeoutError::Timeout)
+                );
+                assert!(h.now() - start >= Duration::from_millis(50));
+                drop(tx); // keep the sender alive until here
+            });
+        });
     }
 }

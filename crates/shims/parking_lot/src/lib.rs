@@ -25,6 +25,7 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+use txsql_sim::{Resource, ResourceKind};
 
 /// A mutual-exclusion primitive (non-poisoning facade over `std::sync::Mutex`).
 #[derive(Default)]
@@ -66,9 +67,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         if let Some(handle) = txsql_sim::current() {
             let key = txsql_sim::key_of(self);
-            // Preemption point: any other runnable thread may be scheduled
-            // before we contend for the lock.
-            handle.yield_now();
+            // Preemption point, tagged with the lock: only threads whose next
+            // step may touch this lock are switch candidates under POR.
+            handle.yield_at(Resource::new(ResourceKind::Lock, key));
             loop {
                 if let Some(guard) = self.raw_try_lock() {
                     return MutexGuard {
@@ -77,7 +78,7 @@ impl<T: ?Sized> Mutex<T> {
                         sim_key: Some(key),
                     };
                 }
-                handle.park(key);
+                handle.park_at(key, ResourceKind::Lock);
             }
         }
         let guard = match self.inner.lock() {
@@ -206,7 +207,7 @@ impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         if let Some(handle) = txsql_sim::current() {
             let key = txsql_sim::key_of(self);
-            handle.yield_now();
+            handle.yield_at(Resource::new(ResourceKind::Lock, key));
             loop {
                 if let Some(guard) = self.raw_try_read() {
                     return RwLockReadGuard {
@@ -214,7 +215,7 @@ impl<T: ?Sized> RwLock<T> {
                         sim_key: Some(key),
                     };
                 }
-                handle.park(key);
+                handle.park_at(key, ResourceKind::Lock);
             }
         }
         let guard = match self.inner.read() {
@@ -232,7 +233,7 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         if let Some(handle) = txsql_sim::current() {
             let key = txsql_sim::key_of(self);
-            handle.yield_now();
+            handle.yield_at(Resource::new(ResourceKind::Lock, key));
             loop {
                 if let Some(guard) = self.raw_try_write() {
                     return RwLockWriteGuard {
@@ -240,7 +241,7 @@ impl<T: ?Sized> RwLock<T> {
                         sim_key: Some(key),
                     };
                 }
-                handle.park(key);
+                handle.park_at(key, ResourceKind::Lock);
             }
         }
         let guard = match self.inner.write() {
@@ -387,9 +388,9 @@ impl Condvar {
         guard.inner.take();
         handle.unpark_all(mutex_key);
         let timed_out = match timeout {
-            Some(t) => handle.park_timeout(cv_key, t),
+            Some(t) => handle.park_timeout_at(cv_key, ResourceKind::Condvar, t),
             None => {
-                handle.park(cv_key);
+                handle.park_at(cv_key, ResourceKind::Condvar);
                 false
             }
         };
@@ -399,7 +400,7 @@ impl Condvar {
                 guard.inner = Some(g);
                 return timed_out;
             }
-            handle.park(mutex_key);
+            handle.park_at(mutex_key, ResourceKind::Lock);
         }
     }
 

@@ -23,6 +23,9 @@
 //! * `parking_lot` (shim) `Mutex::lock` / `RwLock::read`/`write` /
 //!   `Condvar::wait*` check [`current`]; with a handle installed they yield
 //!   to the scheduler and park *in the sim* instead of the OS,
+//! * `crossbeam` (shim) channel `send`/`recv`/`try_send`/`try_recv`/
+//!   `recv_timeout` and sender/receiver disconnects are yield points too, so
+//!   Aria's batch hand-off and the replication ship queue are explorable,
 //! * `txsql_lockmgr::event::OsEvent::wait`/`wait_for`/`set` route the same
 //!   way,
 //! * `txsql_common::latency::ut_delay` / `simulate_delay` become virtual
@@ -42,6 +45,25 @@
 //! scheduler jumps time forward to the earliest deadline, so timeout paths
 //! run deterministically and in microseconds of wall clock.
 //!
+//! ## Partial-order reduction
+//!
+//! Every yield point tags the [`Resource`] its next step touches.  Under the
+//! default [`Explorer::Por`] the scheduler *skips* commuting context
+//! switches — when no other runnable thread's next step touches a
+//! conflicting resource, switching is equivalent to not switching — and
+//! restricts random picks to the threads actually racing for the resource.
+//! The seed's randomness is thereby spent only where interleavings differ,
+//! so a fixed seed budget reaches more distinct *schedule classes* (the
+//! [`ScheduleCoverage::schedule_class`] hash over contended decisions).
+//! `TXSQL_SIM_EXPLORER=random` (or [`Sim::set_explorer`]) restores the pure
+//! random explorer for A/B comparison; [`explore_collect`] returns an
+//! [`ExploreSummary`] whose `line(suite)` emits the `sim-coverage:` lines CI
+//! pins.
+//!
+//! Failing schedules shrink: [`minimize`] bisects a losing trace to a
+//! minimal reproducing prefix (replayable via [`replay_with_seed`]), and
+//! [`explore`] prints both the full and the minimized artifact on failure.
+//!
 //! ## Writing a sim test
 //!
 //! ```
@@ -54,8 +76,8 @@
 //!     for i in 0..3 {
 //!         let counter = Arc::clone(&counter);
 //!         sim.spawn(format!("worker-{i}"), move || {
-//!             // Instrumented primitives (shim Mutex, OsEvent, ...) yield
-//!             // automatically; explicit yields add interleaving points.
+//!             // Instrumented primitives (shim Mutex, OsEvent, channels, ...)
+//!             // yield automatically; explicit yields add interleaving points.
 //!             txsql_sim::current().unwrap().yield_now();
 //!             counter.fetch_add(1, Ordering::Relaxed);
 //!         });
@@ -63,14 +85,16 @@
 //! });
 //! ```
 //!
-//! On failure [`explore`] prints the losing seed and the full schedule trace;
-//! `run_with_seed(seed, build)` or [`replay`] reproduce it exactly.
+//! On failure [`explore`] prints the losing seed plus the full and minimized
+//! schedule traces; `run_with_seed(seed, build)`, [`replay`] or
+//! [`replay_with_seed`] reproduce it exactly.
 //!
 //! Rules for sim runs:
 //!
 //! * every thread touching instrumented state must be a [`Sim::spawn`]ed
 //!   thread (no background OS threads — e.g. construct `Database` with
-//!   `start_sweeper: false`),
+//!   `start_sweeper: false` and replication hooks without a background
+//!   applier),
 //! * `build` must create fresh state per run (it is called once per seed),
 //! * don't use real-time sleeps or OS synchronisation inside sim threads.
 
@@ -78,11 +102,14 @@
 #![deny(unsafe_code)]
 
 pub mod clock;
+mod minimize;
 mod sched;
 
 pub use clock::SimInstant;
+pub use minimize::{minimize, Minimized};
 pub use sched::{
-    ci_seeds, current, explore, key_of, replay, run_with_seed, RunReport, Sim, SimHandle,
+    ci_seeds, current, explore, explore_collect, key_of, replay, replay_with_seed, run_with_seed,
+    ExploreSummary, Explorer, Resource, ResourceKind, RunReport, ScheduleCoverage, Sim, SimHandle,
 };
 
 #[cfg(test)]
@@ -108,6 +135,7 @@ mod tests {
         let a = run_with_seed(42, build);
         let b = run_with_seed(42, build);
         assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.coverage, b.coverage);
         assert!(a.failure.is_none());
         let c = run_with_seed(43, build);
         assert_ne!(
@@ -215,5 +243,169 @@ mod tests {
     fn ci_seeds_parses_specs() {
         // Can't set the env var safely in parallel tests; just check default.
         assert_eq!(ci_seeds(3), vec![0, 1, 2]);
+    }
+
+    // Two threads hammering *disjoint* tagged resources: every switch
+    // commutes, so the POR explorer should skip them all while the random
+    // explorer records a full interleaving trace.
+    fn disjoint_build(explorer: Explorer) -> impl Fn(&mut Sim) {
+        move |sim: &mut Sim| {
+            sim.set_explorer(explorer);
+            for i in 0..2u64 {
+                sim.spawn(format!("t{i}"), move || {
+                    let h = current().unwrap();
+                    // Distinct non-zero keys per thread — disjoint resources.
+                    let res = Resource::new(ResourceKind::Lock, 0x1000 + i as usize);
+                    for _ in 0..10 {
+                        h.yield_at(res);
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn por_skips_commuting_switches() {
+        let por = run_with_seed(11, disjoint_build(Explorer::Por));
+        assert!(por.failure.is_none(), "{:?}", por.failure);
+        assert!(
+            por.coverage.commuting_skips > 0,
+            "disjoint-resource yields must be skipped: {:?}",
+            por.coverage
+        );
+
+        let random = run_with_seed(11, disjoint_build(Explorer::Random));
+        assert!(random.failure.is_none());
+        assert_eq!(random.coverage.commuting_skips, 0);
+        assert!(
+            random.schedule.len() > por.schedule.len(),
+            "random explorer records every commuting pick ({} vs {})",
+            random.schedule.len(),
+            por.schedule.len()
+        );
+    }
+
+    #[test]
+    fn contended_yields_are_still_explored_under_por() {
+        // Both threads yield on the SAME resource: nothing commutes, so the
+        // POR explorer must keep exploring orderings (distinct classes across
+        // seeds) exactly like the random one.
+        let build = |sim: &mut Sim| {
+            sim.set_explorer(Explorer::Por);
+            for i in 0..2u64 {
+                sim.spawn(format!("t{i}"), move || {
+                    let h = current().unwrap();
+                    let res = Resource::new(ResourceKind::Lock, 0x2000);
+                    for _ in 0..6 {
+                        h.yield_at(res);
+                    }
+                });
+            }
+        };
+        let mut classes = std::collections::HashSet::new();
+        let mut contended = 0;
+        for seed in 0..20 {
+            let r = run_with_seed(seed, build);
+            assert!(r.failure.is_none());
+            classes.insert(r.coverage.schedule_class);
+            contended += r.coverage.contended_decisions;
+        }
+        assert!(contended > 0, "same-resource yields must be contended");
+        assert!(
+            classes.len() > 1,
+            "contended orderings must still vary across seeds"
+        );
+    }
+
+    #[test]
+    fn yields_by_kind_accounts_tagged_points() {
+        let report = run_with_seed(2, |sim| {
+            sim.spawn("chan", || {
+                let h = current().unwrap();
+                h.yield_at(Resource::new(ResourceKind::Channel, 0x42));
+                h.yield_at(Resource::global(ResourceKind::Clock));
+                h.yield_now();
+            });
+        });
+        assert!(report.failure.is_none());
+        assert_eq!(report.coverage.yields_of(ResourceKind::Channel), 1);
+        assert_eq!(report.coverage.yields_of(ResourceKind::Clock), 1);
+        assert_eq!(report.coverage.yields_of(ResourceKind::Other), 1);
+    }
+
+    /// A classic lost-update race: read, yield at the shared cell, write
+    /// back.  Some schedules interleave the read-modify-write windows and the
+    /// final sum comes up short.
+    fn racy_build(sim: &mut Sim) {
+        let cell = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 0..2u64 {
+            let cell = Arc::clone(&cell);
+            let done = Arc::clone(&done);
+            sim.spawn(format!("t{i}"), move || {
+                let h = current().unwrap();
+                let res = Resource::new(ResourceKind::Lock, 0x3000);
+                for _ in 0..3 {
+                    h.yield_at(res);
+                    let v = cell.load(Ordering::Relaxed);
+                    h.yield_at(res);
+                    cell.store(v + 1, Ordering::Relaxed);
+                }
+                if done.fetch_add(1, Ordering::Relaxed) == 1 {
+                    assert_eq!(
+                        cell.load(Ordering::Relaxed),
+                        6,
+                        "lost update under this schedule"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn minimize_shrinks_a_failing_trace() {
+        // Find a failing seed (the race loses an update on many schedules).
+        let failing = (0..100)
+            .map(|seed| run_with_seed(seed, racy_build))
+            .find(|r| r.failure.is_some())
+            .expect("the lost-update race must fail on some seed");
+        let min = minimize(&failing, racy_build);
+        assert!(
+            min.report.failure.is_some(),
+            "minimized prefix must still fail"
+        );
+        assert!(
+            min.prefix.len() < failing.schedule.len(),
+            "shrinker must cut the trace ({} -> {})",
+            failing.schedule.len(),
+            min.prefix.len()
+        );
+        // The artifact is replayable: same prefix, same failure.
+        let again = replay_with_seed(failing.seed, &min.prefix, racy_build);
+        assert!(again.failure.is_some(), "artifact must reproduce");
+    }
+
+    #[test]
+    fn explore_collect_reports_coverage() {
+        let summary = explore_collect(0..10, |sim| {
+            sim.set_explorer(Explorer::Por);
+            for i in 0..2u64 {
+                sim.spawn(format!("t{i}"), move || {
+                    let h = current().unwrap();
+                    for _ in 0..4 {
+                        h.yield_at(Resource::new(ResourceKind::Event, 0x77));
+                    }
+                });
+            }
+        });
+        assert_eq!(summary.runs, 10);
+        assert!(summary.distinct_classes >= 2);
+        assert!(summary.contended_decisions > 0);
+        let line = summary.line("selftest");
+        assert!(
+            line.starts_with("sim-coverage: suite=selftest runs=10"),
+            "{line}"
+        );
+        assert!(line.contains("event_yields="), "{line}");
     }
 }

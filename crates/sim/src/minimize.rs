@@ -1,0 +1,79 @@
+//! Failing-schedule shrinker: bisects a losing trace down to a minimal
+//! reproducing prefix.
+//!
+//! A failing [`RunReport`](crate::RunReport) carries the full schedule trace —
+//! often thousands of decisions, most of them irrelevant to the bug.  The
+//! shrinker replays *prefixes* of the trace (decisions past the prefix fall
+//! back to the original seed's RNG, so each prefix run is deterministic) and
+//! binary-searches the shortest prefix that still fails, then linearly
+//! polishes the boundary since failure need not be monotone in prefix length.
+//! The result is a short replayable artifact:
+//! `replay_with_seed(seed, &prefix, build)`.
+
+use crate::sched::{replay_with_seed, RunReport, Sim};
+
+/// Result of [`minimize`]: the shortest failing prefix found and the report
+/// of the run it produced.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// Minimal failing prefix of the original schedule.  Replay it with
+    /// [`replay_with_seed`](crate::replay_with_seed) and the original seed.
+    pub prefix: Vec<u32>,
+    /// The report of the minimal failing run (its `schedule` is the full
+    /// trace the prefix extended into; its `failure` is the reproduced bug).
+    pub report: RunReport,
+}
+
+/// Shrinks a failing run's schedule to a minimal reproducing prefix.
+///
+/// Returns the original (full) schedule unshrunk if the failure does not
+/// reproduce on replay — a non-deterministic `build` (forbidden by the sim
+/// rules) or a failure already gone after a code change.
+pub fn minimize(report: &RunReport, build: impl Fn(&mut Sim)) -> Minimized {
+    let seed = report.seed;
+    let full = replay_with_seed(seed, &report.schedule, &build);
+    if full.failure.is_none() {
+        // Not reproducible from the trace; nothing to shrink.
+        return Minimized {
+            prefix: report.schedule.clone(),
+            report: full,
+        };
+    }
+
+    // Invariant: `hi` is a known-failing prefix length with report `best`.
+    let mut lo = 0usize;
+    let mut hi = report.schedule.len();
+    let mut best = full;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let r = replay_with_seed(seed, &report.schedule[..mid], &build);
+        if r.failure.is_some() {
+            hi = mid;
+            best = r;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    // Failure is not guaranteed monotone in prefix length (a shorter prefix
+    // can pass while an even shorter one fails again); a bounded linear
+    // polish below the bisection point catches the common cases cheaply.
+    let mut k = hi;
+    for _ in 0..16 {
+        if k == 0 {
+            break;
+        }
+        let r = replay_with_seed(seed, &report.schedule[..k - 1], &build);
+        if r.failure.is_some() {
+            k -= 1;
+            best = r;
+        } else {
+            break;
+        }
+    }
+
+    Minimized {
+        prefix: report.schedule[..k].to_vec(),
+        report: best,
+    }
+}

@@ -308,8 +308,10 @@ impl FaultInjector {
         }
         // Make every crash point a schedule point so seed exploration can
         // interleave the crash with commits, handovers and flush batches.
+        // Fault points tag the global Fault resource: they conflict with
+        // everything, so crash placement is never pruned by the POR filter.
         if let Some(handle) = txsql_sim::current() {
-            handle.yield_now();
+            handle.yield_at(txsql_sim::Resource::global(txsql_sim::ResourceKind::Fault));
         }
         let n = self.hits[point.index()].fetch_add(1, Ordering::AcqRel) + 1;
         match self.plan.crash {

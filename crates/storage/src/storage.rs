@@ -46,6 +46,13 @@ pub struct Storage {
     /// First redo LSN of every active (unfinished) transaction; checkpoint
     /// truncation must never cut past the oldest of these.
     first_lsn: Mutex<FxHashMap<TxnId, Lsn>>,
+    /// Serialises commit *application* against checkpoint *capture*:
+    /// `commit_writes` stamps a transaction's versions committed slot by
+    /// slot, and a capture scanning rows in between would publish an image
+    /// reflecting half a commit — unrecoverable once truncation drops the
+    /// transaction's records.  Committers share the read side (they are
+    /// already serialised per slot); the capture takes the write side.
+    apply_latch: RwLock<()>,
 }
 
 impl Default for Storage {
@@ -70,6 +77,7 @@ impl Storage {
             undo: UndoLog::new(),
             faults,
             first_lsn: Mutex::new(FxHashMap::default()),
+            apply_latch: RwLock::new(()),
         }
     }
 
@@ -293,6 +301,10 @@ impl Storage {
         writes: &[(TableId, RecordId)],
     ) -> Result<Lsn> {
         self.redo.crash_point(CrashPoint::PreAppend)?;
+        // Atomic with respect to checkpoint capture: a capture must see this
+        // commit either fully applied (and deregistered from the floor) or
+        // not at all — see `apply_latch`.
+        let _apply = self.apply_latch.read();
         for (table_id, record) in writes {
             let table = self.table(*table_id)?;
             let slot = table.slot(*record)?;
@@ -365,13 +377,33 @@ impl Storage {
     /// Captures the committed state of every table together with the current
     /// log position.  Recovery starts from this image and replays the durable
     /// redo suffix.
-    ///
-    /// The LSN is read *before* the rows: a commit that lands mid-capture is
-    /// then both in the image and (redundantly) replayed from the log, which
-    /// idempotent replay tolerates — reading the LSN last could instead
-    /// truncate away a commit the image missed.
     pub fn checkpoint(&self) -> CheckpointImage {
+        self.checkpoint_with_floor().0
+    }
+
+    /// [`Storage::checkpoint`] plus the active-transaction floor, both read
+    /// under the apply latch so the image is a *consistent* snapshot:
+    ///
+    /// * no commit can apply mid-scan ([`Storage::commit_writes`] holds the
+    ///   latch's read side across stamping every slot *and* deregistering
+    ///   from the floor), so every transaction is either fully in the image
+    ///   or not at all;
+    /// * a transaction fully in the image has its records below the image
+    ///   LSN covered (truncating them is safe — replay of the suffix is
+    ///   idempotent for anything the image already reflects);
+    /// * a transaction not in the image is either still active — the floor
+    ///   read *in the same critical section* protects its records from
+    ///   truncation, so replay recovers it — or starts after the capture,
+    ///   with all its records above the image LSN.
+    ///
+    /// Reading the floor outside the latch is the bug sim explorer v2
+    /// caught (sim_crash seed 198): a transaction that began after an early
+    /// floor read and finished applying mid-scan was half-captured by the
+    /// image while truncation dropped its records.
+    pub fn checkpoint_with_floor(&self) -> (CheckpointImage, Option<Lsn>) {
+        let _latch = self.apply_latch.write();
         let lsn = self.redo.latest_lsn();
+        let floor = self.active_txn_floor();
         let mut tables = Vec::new();
         for table in self.tables() {
             let mut rows = Vec::new();
@@ -384,7 +416,7 @@ impl Storage {
             }
             tables.push((table.schema().clone(), rows));
         }
-        CheckpointImage { lsn, tables }
+        (CheckpointImage { lsn, tables }, floor)
     }
 
     /// Rebuilds a storage engine from a checkpoint image (no redo replay; see
