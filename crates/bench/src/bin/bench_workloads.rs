@@ -122,6 +122,16 @@ fn main() {
                 repl.caught_up,
             ));
         }
+        if let Some(admission) = &outcome.admission {
+            line.push_str(&format!(
+                "  admission_shed={} queued={} budget_exhausted={} pre/post_goodput={}/{}",
+                admission.shed,
+                admission.queued,
+                admission.budget_exhausted,
+                fmt(admission.pre_burst_goodput_tps),
+                fmt(admission.post_burst_goodput_tps),
+            ));
+        }
         println!("{line}");
     });
 

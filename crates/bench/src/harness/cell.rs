@@ -163,6 +163,7 @@ impl CellSpec {
                     failed: snapshot.aborted,
                     snapshot: Some(snapshot),
                     seconds: None,
+                    admission: None,
                     tpcc_consistent: None,
                     replication: None,
                 }
@@ -174,6 +175,19 @@ impl CellSpec {
                     ..Default::default()
                 };
                 let report = run_fixed_tps_report(&db, &trace, &options);
+                // Phase-resolved goodput: the first and last trace phases are
+                // the calm shoulders, so "did the burst end in re-admission"
+                // is `post / pre` staying near 1.0.
+                let total = trace.total_seconds();
+                let pre_end = trace.phases().first().map_or(0, |p| p.seconds);
+                let post_start = total - trace.phases().last().map_or(0, |p| p.seconds);
+                let admission = AdmissionSummary {
+                    shed: report.total_shed(),
+                    queued: report.total_queued(),
+                    budget_exhausted: report.total_budget_exhausted(),
+                    pre_burst_goodput_tps: report.goodput_tps_in(0..pre_end),
+                    post_burst_goodput_tps: report.goodput_tps_in(post_start..total),
+                };
                 CellOutcome {
                     spec: self.clone(),
                     goodput_tps: report.goodput_tps(),
@@ -185,6 +199,7 @@ impl CellSpec {
                     failed: report.total_failed(),
                     snapshot: None,
                     seconds: Some(report.samples),
+                    admission: Some(admission),
                     tpcc_consistent: None,
                     replication: None,
                 }
@@ -239,10 +254,30 @@ pub struct CellOutcome {
     pub snapshot: Option<MetricsSnapshot>,
     /// Per-second samples — open-loop cells only.
     pub seconds: Option<Vec<SecondSample>>,
+    /// Front-door admission summary — open-loop cells only (closed-loop
+    /// cells carry the same counters inside their `snapshot`).
+    pub admission: Option<AdmissionSummary>,
     /// TPC-C warehouse/district YTD consistency — TPC-C cells only.
     pub tpcc_consistent: Option<bool>,
     /// Semi-sync degrade/re-sync trajectory — replication cells only.
     pub replication: Option<ReplicationStats>,
+}
+
+/// Front-door admission activity over one open-loop cell, summed from the
+/// per-second samples, plus goodput resolved to the trace's calm shoulders —
+/// the "did the burst end in re-admission" evidence.
+#[derive(Debug, Clone)]
+pub struct AdmissionSummary {
+    /// Transactions shed with `Error::Overloaded` over the whole run.
+    pub shed: u64,
+    /// Transactions that waited in a hot-key admission queue.
+    pub queued: u64,
+    /// Transactions whose retry budget ran out.
+    pub budget_exhausted: u64,
+    /// Goodput over the first (calm, pre-burst) trace phase.
+    pub pre_burst_goodput_tps: f64,
+    /// Goodput over the last (calm, post-burst) trace phase.
+    pub post_burst_goodput_tps: f64,
 }
 
 /// What the replication hook went through over one cell: how often the

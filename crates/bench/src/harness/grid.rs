@@ -2,7 +2,7 @@
 
 use super::cell::{CellOutcome, CellSpec};
 use std::time::Duration;
-use txsql_core::Protocol;
+use txsql_core::{ConfigDelta, Protocol};
 use txsql_replication::{ReplFaultPlan, ReplicationMode};
 use txsql_workloads::{SysbenchVariant, WorkloadSpec};
 
@@ -85,6 +85,40 @@ pub fn paper_grid(seed: u64) -> GridSpec {
             .replication_fault(stall_plan())
             .seed(seed),
     );
+    // Front-door admission control under a sharp hot-row overload: the same
+    // burst with and without the hot-key queues, side by side.  The win to
+    // look for is burst p99 and post-burst goodput recovery, with non-zero
+    // `admission_shed` proving the queues actually fired.  The burst trace
+    // declares its hot row up front (`HotspotsTrace::burst` promotes it in
+    // setup), so the pair differs only in the admission front door —
+    // organic promotion timing on a small box is not part of the
+    // experiment.
+    let burst = WorkloadSpec::HotspotBurst {
+        base_tps: 300,
+        phase_seconds: 2,
+    };
+    cells.push(
+        CellSpec::new(Protocol::GroupLockingTxsql, burst)
+            .threads(16)
+            .seed(seed),
+    );
+    cells.push(
+        CellSpec::new(Protocol::GroupLockingTxsql, burst)
+            .threads(16)
+            .delta(ConfigDelta::Admission(true))
+            .delta(ConfigDelta::AdmissionDepth(4))
+            .seed(seed),
+    );
+    // Per-warehouse Payment admission caps under high concurrency: the
+    // warehouse YTD row is each warehouse's hot key, so the hot-key queues
+    // act as per-warehouse Payment caps.  Compare the abort breakdown with
+    // the plain tpcc/t64 cells above.
+    cells.push(
+        CellSpec::new(Protocol::GroupLockingTxsql, tpcc)
+            .threads(64)
+            .delta(ConfigDelta::Admission(true))
+            .seed(seed),
+    );
     GridSpec {
         name: "paper".to_string(),
         cells,
@@ -143,6 +177,26 @@ pub fn smoke_grid(seed: u64) -> GridSpec {
         .replication_fault(stall_plan())
         .seed(seed),
     );
+    // Admission-control smoke pair: the same sharp burst with and without
+    // the hot-key queues.  The trace declares its hot row in setup, and
+    // queue depth 2 under 8 bursty workers guarantees the admission cell
+    // actually sheds (CI greps `admission_shed=` non-zero).
+    let burst = WorkloadSpec::HotspotBurst {
+        base_tps: 50,
+        phase_seconds: 1,
+    };
+    cells.push(
+        CellSpec::new(Protocol::GroupLockingTxsql, burst)
+            .threads(8)
+            .seed(seed),
+    );
+    cells.push(
+        CellSpec::new(Protocol::GroupLockingTxsql, burst)
+            .threads(8)
+            .delta(ConfigDelta::Admission(true))
+            .delta(ConfigDelta::AdmissionDepth(2))
+            .seed(seed),
+    );
     GridSpec {
         name: "smoke".to_string(),
         cells,
@@ -160,6 +214,7 @@ mod tests {
             WorkloadSpec::Fit { .. } => "fit",
             WorkloadSpec::Tpcc { .. } => "tpcc",
             WorkloadSpec::Hotspots { .. } => "hotspots",
+            WorkloadSpec::HotspotBurst { .. } => "hotspot-burst",
         }
     }
 
@@ -175,7 +230,7 @@ mod tests {
         let families: BTreeSet<&str> = grid.cells.iter().map(family).collect();
         assert_eq!(
             families,
-            BTreeSet::from(["sysbench", "fit", "tpcc", "hotspots"])
+            BTreeSet::from(["sysbench", "fit", "tpcc", "hotspots", "hotspot-burst"])
         );
         assert!(
             grid.cells.iter().any(|c| c.replication.is_some()),
@@ -192,7 +247,7 @@ mod tests {
     #[test]
     fn smoke_grid_is_small_and_still_representative() {
         let grid = smoke_grid(42);
-        assert!(grid.cells.len() <= 8, "smoke grid must stay CI-fast");
+        assert!(grid.cells.len() <= 10, "smoke grid must stay CI-fast");
         assert!(grid.cells.iter().any(|c| c.replication.is_some()));
         assert!(grid.cells.iter().any(|c| c.workload.is_open_loop()));
         assert!(grid
@@ -205,6 +260,31 @@ mod tests {
                 .any(|c| c.replication.is_some() && c.replication_fault.is_some()),
             "the smoke grid must exercise the semi-sync degrade path"
         );
+    }
+
+    #[test]
+    fn both_grids_carry_an_admission_burst_pair() {
+        for grid in [paper_grid(42), smoke_grid(42)] {
+            let bursts: Vec<&CellSpec> = grid
+                .cells
+                .iter()
+                .filter(|c| matches!(c.workload, WorkloadSpec::HotspotBurst { .. }))
+                .collect();
+            assert!(
+                bursts
+                    .iter()
+                    .any(|c| c.deltas.iter().all(|d| d.label() != "admission=true")),
+                "grid `{}` lacks the no-admission burst baseline",
+                grid.name
+            );
+            assert!(
+                bursts
+                    .iter()
+                    .any(|c| c.deltas.iter().any(|d| d.label() == "admission=true")),
+                "grid `{}` lacks the admission-enabled burst cell",
+                grid.name
+            );
+        }
     }
 
     #[test]

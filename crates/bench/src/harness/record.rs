@@ -88,6 +88,22 @@ pub fn cell_json(outcome: &CellOutcome) -> Json {
     if let Some(consistent) = outcome.tpcc_consistent {
         pairs.push(("tpcc_consistent".to_string(), Json::Bool(consistent)));
     }
+    if let Some(admission) = &outcome.admission {
+        pairs.push(("admission_shed".to_string(), Json::U64(admission.shed)));
+        pairs.push(("admission_queued".to_string(), Json::U64(admission.queued)));
+        pairs.push((
+            "retry_budget_exhausted".to_string(),
+            Json::U64(admission.budget_exhausted),
+        ));
+        pairs.push(f64_key(
+            "pre_burst_goodput_tps",
+            admission.pre_burst_goodput_tps,
+        ));
+        pairs.push(f64_key(
+            "post_burst_goodput_tps",
+            admission.post_burst_goodput_tps,
+        ));
+    }
     if let Some(repl) = &outcome.replication {
         pairs.push((
             "degraded_commits".to_string(),
@@ -123,6 +139,11 @@ pub fn cell_json(outcome: &CellOutcome) -> Json {
                             ("failed".to_string(), Json::U64(s.failed)),
                             f64_key("p95_ms", s.p95_latency_ms),
                             f64_key("utilization", s.utilization),
+                            ("admission_shed".to_string(), Json::U64(s.admission_shed)),
+                            (
+                                "admission_queued".to_string(),
+                                Json::U64(s.admission_queued),
+                            ),
                         ])
                     })
                     .collect(),
@@ -331,6 +352,7 @@ mod tests {
             failed: 13,
             snapshot: None,
             seconds: None,
+            admission: None,
             tpcc_consistent: None,
             replication: None,
         }
@@ -356,10 +378,22 @@ mod tests {
             failed: 2,
             p95_latency_ms: 1.0,
             utilization: 0.9,
+            admission_shed: 3,
+            admission_queued: 7,
+            retry_budget_exhausted: 1,
         }]);
+        open.admission = Some(crate::harness::cell::AdmissionSummary {
+            shed: 3,
+            queued: 7,
+            budget_exhausted: 1,
+            pre_burst_goodput_tps: 48.0,
+            post_burst_goodput_tps: 47.0,
+        });
         let block = block_json(&[fake_outcome(), open], &fake_provenance());
         assert_eq!(validate_block(&block), Ok(2));
         let text = render_json(&block);
+        assert!(text.contains("\"admission_shed\": 3"));
+        assert!(text.contains("\"post_burst_goodput_tps\""));
         let reparsed = serde_json::parse(&text).expect("rendered block parses");
         assert_eq!(validate_block(&reparsed), Ok(2));
     }

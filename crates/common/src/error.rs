@@ -95,6 +95,14 @@ pub enum Error {
         /// The finished transaction.
         txn: TxnId,
     },
+    /// Admission control shed the transaction at the front door: the
+    /// admission queue for a hot record it declared was at capacity (or in
+    /// its post-shed hysteresis window), so the transaction was rejected
+    /// *before* touching the lock table rather than queueing unboundedly.
+    Overloaded {
+        /// The hot record whose admission queue rejected the transaction.
+        record: RecordId,
+    },
     /// The engine is shutting down; new work is rejected.
     ShuttingDown,
     /// An injected crash fired: the simulated process died at the named crash
@@ -126,6 +134,9 @@ impl Error {
     /// Returns true when the error is one of the abort classes after which a
     /// client is expected to retry the whole transaction (every contention-
     /// related abort in the paper's experiments is retried by the driver).
+    /// An admission shed ([`Error::Overloaded`]) is retryable too, but only
+    /// *after* backing off — the drivers' retry budget and adaptive backoff
+    /// enforce that a shed client waits instead of hammering the queue.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -135,6 +146,7 @@ impl Error {
                 | Error::CascadingAbort { .. }
                 | Error::AriaValidationFailed { .. }
                 | Error::DirtyReadAborted { .. }
+                | Error::Overloaded { .. }
         )
     }
 
@@ -162,6 +174,7 @@ impl Error {
             Error::KeyNotFound { .. } => "key_not_found",
             Error::DuplicateKey { .. } => "duplicate_key",
             Error::TransactionClosed { .. } => "transaction_closed",
+            Error::Overloaded { .. } => "overloaded",
             Error::ShuttingDown => "shutting_down",
             Error::Crashed { .. } => "crash_injected",
             Error::ReadOnly { .. } => "read_only",
@@ -197,6 +210,9 @@ impl fmt::Display for Error {
             Error::KeyNotFound { table, key } => write!(f, "key {key} not found in {table}"),
             Error::DuplicateKey { table, key } => write!(f, "duplicate key {key} in {table}"),
             Error::TransactionClosed { txn } => write!(f, "{txn} is already finished"),
+            Error::Overloaded { record } => {
+                write!(f, "shed by admission control: queue for hot {record} is full")
+            }
             Error::ShuttingDown => write!(f, "engine is shutting down"),
             Error::Crashed { point } => write!(f, "injected crash fired at {point}"),
             Error::ReadOnly { reason } => write!(f, "engine is read-only: {reason}"),
@@ -227,6 +243,17 @@ mod tests {
         assert!(timeout.is_retryable());
         assert!(deadlock.is_retryable());
         assert!(!dup.is_retryable());
+    }
+
+    #[test]
+    fn overloaded_is_retryable_after_backoff() {
+        let shed = Error::Overloaded {
+            record: RecordId::new(1, 2, 3),
+        };
+        assert!(shed.is_retryable(), "a shed client retries after backoff");
+        assert!(!shed.is_cascading());
+        assert_eq!(shed.label(), "overloaded");
+        assert!(shed.to_string().contains("admission"));
     }
 
     #[test]

@@ -473,6 +473,11 @@ pub struct AbortBreakdown {
     pub aria_conflicts: u64,
     /// Explicit / injected rollbacks (`explicit_rollback`).
     pub explicit_rollbacks: u64,
+    /// Front-door admission sheds (`overloaded`): the transaction was
+    /// rejected by a full hot-key admission queue before reaching the lock
+    /// table.
+    #[serde(default)]
+    pub overloaded: u64,
     /// Aborts with any other label (integrity errors surfaced mid-run, ...).
     pub other: u64,
     /// Driver-side retries after a retryable abort — the front-door
@@ -498,6 +503,7 @@ impl AbortBreakdown {
                 "dirty_read_aborted" => breakdown.dirty_reads += count,
                 "aria_validation_failed" => breakdown.aria_conflicts += count,
                 "explicit_rollback" => breakdown.explicit_rollbacks += count,
+                "overloaded" => breakdown.overloaded += count,
                 _ => breakdown.other += count,
             }
         }
@@ -513,6 +519,7 @@ impl AbortBreakdown {
             + self.dirty_reads
             + self.aria_conflicts
             + self.explicit_rollbacks
+            + self.overloaded
             + self.other
     }
 }
@@ -550,6 +557,25 @@ pub struct EngineMetrics {
     /// contention.  This is the retry-storm traffic arriving at the front
     /// door — the signal the ROADMAP's admission-control layer will consume.
     pub admission_retries: Counter,
+    /// Transactions that waited in a hot-key admission queue before being
+    /// admitted (the front-door serialization the admission layer applies to
+    /// declared-hot-key transactions).
+    pub admission_queued: Counter,
+    /// Transactions shed by admission control: rejected with
+    /// `Error::Overloaded` because a hot-key queue was at capacity or inside
+    /// its post-shed hysteresis window.
+    pub admission_shed: Counter,
+    /// Driver-side retry loops that gave up because their retry budget was
+    /// exhausted (the transaction is reported failed instead of retried).
+    pub retry_budget_exhausted: Counter,
+    /// Backoff sleeps taken by the drivers' budgeted retry loops (one per
+    /// retry that waited before re-submitting).
+    pub backoff_waits: Counter,
+    /// Live waiters across all hot-key admission queues.  Sampled by the
+    /// admission controller on enqueue/dequeue; like the other gauges it is
+    /// *not* reset between windows — a non-zero value after a burst drains
+    /// means a wedged queue.
+    pub admission_queue_depth: Gauge,
     /// Shard-mutex acquisitions on the lock **release** paths: one per page
     /// (or row-shard) group drained by the lock tables and one per registry
     /// batch (`forget_records` / `take_all`).  The denominator for release
@@ -677,6 +703,12 @@ impl EngineMetrics {
         // and in-flight transactions still own their registry entries.
         self.lock_waits.take();
         self.admission_retries.take();
+        self.admission_queued.take();
+        self.admission_shed.take();
+        self.retry_budget_exhausted.take();
+        self.backoff_waits.take();
+        // admission_queue_depth is deliberately not reset: it is a live gauge
+        // of waiters currently parked in the hot-key queues.
         self.release_shard_locks.take();
         self.handover_shard_locks.take();
         self.grant_scan_len.reset();
@@ -754,6 +786,11 @@ impl EngineMetrics {
             ship_retries: self.ship_retries.get(),
             replica_lag: self.replica_lag.get(),
             admission_retries: self.admission_retries.get(),
+            admission_queued: self.admission_queued.get(),
+            admission_shed: self.admission_shed.get(),
+            retry_budget_exhausted: self.retry_budget_exhausted.get(),
+            backoff_waits: self.backoff_waits.get(),
+            admission_queue_depth: self.admission_queue_depth.get(),
             abort_breakdown: self.abort_breakdown(),
             abort_causes: self
                 .abort_causes
@@ -844,6 +881,21 @@ pub struct MetricsSnapshot {
     pub replica_lag: u64,
     /// Driver-side retries after retryable aborts.
     pub admission_retries: u64,
+    /// Transactions that waited in a hot-key admission queue.
+    #[serde(default)]
+    pub admission_queued: u64,
+    /// Transactions shed by admission control (`Error::Overloaded`).
+    #[serde(default)]
+    pub admission_shed: u64,
+    /// Retry loops that exhausted their budget and gave up.
+    #[serde(default)]
+    pub retry_budget_exhausted: u64,
+    /// Backoff sleeps taken by the budgeted retry loops.
+    #[serde(default)]
+    pub backoff_waits: u64,
+    /// Live admission-queue waiters at snapshot time.
+    #[serde(default)]
+    pub admission_queue_depth: u64,
     /// Structured abort-reason breakdown (see [`AbortBreakdown`]).
     pub abort_breakdown: AbortBreakdown,
     /// Per-cause abort counts.
@@ -999,6 +1051,7 @@ mod tests {
         m.abort_causes.record("hotspot_deadlock_prevented");
         m.abort_causes.record("explicit_rollback");
         m.abort_causes.record("duplicate_key");
+        m.abort_causes.record("overloaded");
         m.admission_retries.add(17);
         let b = m.abort_breakdown();
         assert_eq!(b.deadlocks, 2);
@@ -1008,9 +1061,10 @@ mod tests {
         assert_eq!(b.dirty_reads, 1);
         assert_eq!(b.hotspot_prevented, 1);
         assert_eq!(b.explicit_rollbacks, 1);
+        assert_eq!(b.overloaded, 1);
         assert_eq!(b.other, 1);
         assert_eq!(b.admission_retries, 17);
-        assert_eq!(b.total(), 9, "driver retries are not engine aborts");
+        assert_eq!(b.total(), 10, "driver retries are not engine aborts");
         // The breakdown rides along in the serialisable snapshot.
         let snap = m.snapshot(Duration::from_secs(1));
         assert_eq!(snap.abort_breakdown, b);
@@ -1022,6 +1076,32 @@ mod tests {
         m.reset();
         assert_eq!(m.abort_breakdown().total(), 0);
         assert_eq!(m.admission_retries.get(), 0);
+    }
+
+    #[test]
+    fn admission_counters_reset_but_depth_gauge_persists() {
+        let m = EngineMetrics::new();
+        m.admission_queued.inc();
+        m.admission_shed.add(2);
+        m.retry_budget_exhausted.inc();
+        m.backoff_waits.add(3);
+        m.admission_queue_depth.set(4);
+        let snap = m.snapshot(Duration::from_secs(1));
+        assert_eq!(snap.admission_queued, 1);
+        assert_eq!(snap.admission_shed, 2);
+        assert_eq!(snap.retry_budget_exhausted, 1);
+        assert_eq!(snap.backoff_waits, 3);
+        assert_eq!(snap.admission_queue_depth, 4);
+        m.reset();
+        assert_eq!(m.admission_queued.get(), 0);
+        assert_eq!(m.admission_shed.get(), 0);
+        assert_eq!(m.retry_budget_exhausted.get(), 0);
+        assert_eq!(m.backoff_waits.get(), 0);
+        assert_eq!(
+            m.admission_queue_depth.get(),
+            4,
+            "live gauge survives the window reset"
+        );
     }
 
     #[test]

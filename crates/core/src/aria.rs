@@ -190,6 +190,11 @@ impl AriaCoordinator {
                         cols.resize(n_cols, *fill);
                         writes.insert((*table, *pk), Row::from_ints(&cols));
                     }
+                    Operation::Work { micros } => {
+                        txsql_common::latency::simulate_delay(std::time::Duration::from_micros(
+                            *micros,
+                        ));
+                    }
                     Operation::ForcedRollback => {
                         forced_rollback = true;
                     }

@@ -1,6 +1,7 @@
 //! Engine configuration: protocol selection and every knob the evaluation
 //! sweeps.
 
+use crate::admission::AdmissionConfig;
 use std::time::Duration;
 use txsql_common::latency::LatencyModel;
 use txsql_lockmgr::group_lock::GroupLockConfig;
@@ -103,6 +104,13 @@ pub enum ConfigDelta {
     LockWaitTimeoutMs(u64),
     /// Batched commit-time hot-row handover on/off.
     BatchCommitHandover(bool),
+    /// Front-door admission control (hot-key queues + shedding) on/off.
+    Admission(bool),
+    /// Per-hot-key admission-queue waiter bound.
+    AdmissionDepth(usize),
+    /// Drivers' retry budget (attempts before a retryable abort is reported
+    /// failed).
+    RetryBudget(u32),
 }
 
 impl ConfigDelta {
@@ -119,6 +127,9 @@ impl ConfigDelta {
                 config.with_lock_wait_timeout(Duration::from_millis(ms))
             }
             ConfigDelta::BatchCommitHandover(on) => config.with_batch_commit_handover(on),
+            ConfigDelta::Admission(on) => config.with_admission(on),
+            ConfigDelta::AdmissionDepth(n) => config.with_admission_depth(n),
+            ConfigDelta::RetryBudget(n) => config.with_retry_budget(n),
         }
     }
 
@@ -133,6 +144,9 @@ impl ConfigDelta {
             ConfigDelta::HotspotThreshold(n) => format!("hotthresh={n}"),
             ConfigDelta::LockWaitTimeoutMs(ms) => format!("lockwait={ms}ms"),
             ConfigDelta::BatchCommitHandover(on) => format!("handover={on}"),
+            ConfigDelta::Admission(on) => format!("admission={on}"),
+            ConfigDelta::AdmissionDepth(n) => format!("admdepth={n}"),
+            ConfigDelta::RetryBudget(n) => format!("retries={n}"),
         }
     }
 }
@@ -193,6 +207,9 @@ pub struct EngineConfig {
     /// plans drive the sim crash exploration; see
     /// `txsql_storage::fault::FaultPlan`.
     pub fault_plan: Option<FaultPlan>,
+    /// Front-door admission control: hot-key queues, shedding, and the
+    /// drivers' retry/backoff policy (see [`crate::admission`]).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for EngineConfig {
@@ -230,6 +247,7 @@ impl EngineConfig {
             record_history: false,
             start_sweeper: protocol.uses_hotspots(),
             fault_plan: None,
+            admission: AdmissionConfig::default(),
         }
     }
 
@@ -308,6 +326,30 @@ impl EngineConfig {
         self
     }
 
+    /// Enables or disables the front-door hot-key admission queues.
+    pub fn with_admission(mut self, enabled: bool) -> Self {
+        self.admission.enabled = enabled;
+        self
+    }
+
+    /// Sets the per-hot-key admission-queue waiter bound.
+    pub fn with_admission_depth(mut self, depth: usize) -> Self {
+        self.admission = self.admission.with_queue_depth(depth);
+        self
+    }
+
+    /// Sets the drivers' retry budget.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.admission = self.admission.with_retry_budget(budget);
+        self
+    }
+
+    /// Replaces the whole admission configuration.
+    pub fn with_admission_config(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
     /// Applies a list of declarative knob overrides in order.
     pub fn with_deltas(self, deltas: &[ConfigDelta]) -> Self {
         deltas
@@ -330,6 +372,10 @@ mod tests {
         assert!(txsql.hotspot.enabled);
         assert_eq!(txsql.group.batch_size, 10);
         assert_eq!(txsql.hotspot.promote_threshold, 32);
+        assert!(
+            !txsql.admission.enabled,
+            "admission queues are opt-in per cell"
+        );
     }
 
     #[test]
@@ -375,8 +421,15 @@ mod tests {
             ConfigDelta::LockWaitTimeoutMs(99),
             ConfigDelta::DynamicBatch(false),
             ConfigDelta::BatchCommitHandover(false),
+            ConfigDelta::Admission(true),
+            ConfigDelta::AdmissionDepth(4),
+            ConfigDelta::RetryBudget(3),
         ];
         let cfg = EngineConfig::for_protocol(Protocol::GroupLockingTxsql).with_deltas(&deltas);
+        assert!(cfg.admission.enabled);
+        assert_eq!(cfg.admission.queue_depth, 4);
+        assert_eq!(cfg.admission.retry_budget, 3);
+        assert_eq!(ConfigDelta::Admission(true).label(), "admission=true");
         assert_eq!(cfg.group.batch_size, 64);
         assert!(!cfg.group_commit);
         assert_eq!(cfg.aria_batch_size, 8);

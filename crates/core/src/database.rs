@@ -8,6 +8,7 @@
 //! order, §4.4 rollback order, §4.5 deadlock prevention fallout) come
 //! together.
 
+use crate::admission::{AdmissionController, AdmissionPermit};
 use crate::aria::AriaCoordinator;
 use crate::checker::HistoryRecorder;
 use crate::commit::CommitPipeline;
@@ -39,6 +40,7 @@ pub(crate) struct DbInner {
     pub(crate) storage: Storage,
     pub(crate) trx_sys: TrxSys,
     pub(crate) metrics: Arc<EngineMetrics>,
+    pub(crate) admission: AdmissionController,
     pub(crate) lock_sys: LockSys,
     pub(crate) lightweight: LightweightLockTable,
     pub(crate) hotspots: HotspotRegistry,
@@ -145,11 +147,13 @@ impl Database {
             None
         };
         let aria = AriaCoordinator::new(config.aria_batch_size);
+        let admission = AdmissionController::new(config.admission.clone(), Arc::clone(&metrics));
         let inner = Arc::new(DbInner {
             config,
             storage,
             trx_sys,
             metrics,
+            admission,
             lock_sys,
             lightweight,
             hotspots,
@@ -273,6 +277,18 @@ impl Database {
     /// The hotspot registry (promotion / demotion introspection).
     pub fn hotspots(&self) -> &HotspotRegistry {
         &self.inner.hotspots
+    }
+
+    /// The front-door admission controller (queue/shed introspection).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.inner.admission
+    }
+
+    /// The drivers' retry/backoff policy, derived from the engine
+    /// configuration (one policy governs every retry loop, whether or not
+    /// the admission queues are enabled).
+    pub fn backoff_policy(&self) -> crate::admission::BackoffPolicy {
+        self.inner.config.admission.backoff_policy()
     }
 
     /// Transactions currently holding a lightweight-table lock on `record`
@@ -741,7 +757,49 @@ impl Database {
     /// the session API.  Contention aborts are returned as errors (the caller
     /// retries); an explicit [`Operation::ForcedRollback`] yields
     /// `Ok(ProgramOutcome { committed: false, .. })`.
+    ///
+    /// Every program passes through front-door admission first: declared
+    /// write keys that the hotspot registry currently flags are serialized
+    /// through their admission queues, and an over-capacity queue sheds the
+    /// program with [`Error::Overloaded`] before a transaction even begins
+    /// (see [`crate::admission`]).
     pub fn execute_program(&self, program: &TxnProgram) -> Result<ProgramOutcome> {
+        let permit = match self.admit_program(program) {
+            Ok(permit) => permit,
+            Err(err) => {
+                // Shed at the front door: no transaction began, but the shed
+                // is an abort from the client's perspective and must show in
+                // the abort-reason breakdown.
+                self.inner.metrics.abort_causes.record(err.label());
+                return Err(err);
+            }
+        };
+        let result = self.execute_admitted(program);
+        self.inner.admission.release(permit);
+        result
+    }
+
+    /// Resolves the program's declared write keys against the hotspot
+    /// registry and takes the admission queues of every currently-hot one.
+    /// Keys that do not resolve (fresh inserts) cannot be hot yet and are
+    /// skipped.  `write_keys` order is sorted and deduplicated, so every
+    /// admission acquires queues in one global order — deadlock-free.
+    fn admit_program(&self, program: &TxnProgram) -> Result<AdmissionPermit> {
+        if !self.inner.config.admission.enabled {
+            return Ok(AdmissionPermit::default());
+        }
+        let mut hot = Vec::new();
+        for (table, pk) in program.write_keys() {
+            if let Ok(record) = self.record_id(table, pk) {
+                if self.inner.hotspots.is_hot(record) {
+                    hot.push(record);
+                }
+            }
+        }
+        self.inner.admission.admit(&hot)
+    }
+
+    fn execute_admitted(&self, program: &TxnProgram) -> Result<ProgramOutcome> {
         if self.protocol() == Protocol::Aria {
             return self.inner.aria.execute(self, program);
         }
@@ -775,6 +833,12 @@ impl Database {
                     let mut cols = vec![*pk];
                     cols.resize(n_cols, *fill);
                     self.insert(&mut txn, *table, Row::from_ints(&cols))
+                }
+                Operation::Work { micros } => {
+                    txsql_common::latency::simulate_delay(std::time::Duration::from_micros(
+                        *micros,
+                    ));
+                    Ok(())
                 }
                 Operation::ForcedRollback => {
                     let err = Error::ExplicitRollback { txn: txn.id };

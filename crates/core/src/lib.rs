@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod admission;
 pub mod aria;
 pub mod checker;
 pub mod commit;
@@ -31,6 +32,9 @@ pub mod hooks;
 pub mod program;
 pub mod write_path;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionPermit, BackoffPolicy, RetryState,
+};
 pub use checker::{HistoryRecorder, SerializabilityReport};
 pub use commit::CommitPipeline;
 pub use config::{ConfigDelta, EngineConfig, Protocol};

@@ -48,6 +48,15 @@ pub enum Operation {
         /// Value for the non-key integer columns.
         fill: i64,
     },
+    /// Application work performed inside the transaction (business logic, a
+    /// downstream call) while every lock acquired so far stays held.  The
+    /// open-loop traces use it to give hot-row critical sections a realistic
+    /// length; under deterministic simulation it advances virtual time
+    /// instead of burning wall clock.
+    Work {
+        /// Work length in microseconds.
+        micros: u64,
+    },
     /// Ask the engine to roll the transaction back at this point (used to
     /// inject aborts for the Figure 10 experiment).
     ForcedRollback,
@@ -71,7 +80,7 @@ impl Operation {
             | Operation::SelectForUpdate { table, pk }
             | Operation::UpdateAdd { table, pk, .. }
             | Operation::Insert { table, pk, .. } => Some((*table, *pk)),
-            Operation::ForcedRollback => None,
+            Operation::Work { .. } | Operation::ForcedRollback => None,
         }
     }
 }

@@ -72,6 +72,10 @@ impl HotspotConfig {
 pub struct HotspotRegistry {
     config: HotspotConfig,
     hot_rows: Box<[HotShard]>,
+    /// Rows declared hot by the workload ([`HotspotRegistry::pin`]): the
+    /// sweeper never demotes them, only an explicit
+    /// [`HotspotRegistry::demote`] does.
+    pinned_rows: Box<[HotShard]>,
     /// Cumulative wait observations per record since the last sweep — used by
     /// the sweeper to decide whether a hotspot is still hot.
     recent_waits: Box<[RecentShard]>,
@@ -85,6 +89,9 @@ impl HotspotRegistry {
         Self {
             config,
             hot_rows: (0..HOT_SHARDS)
+                .map(|_| CachePadded::new(RwLock::new(FxHashSet::default())))
+                .collect(),
+            pinned_rows: (0..HOT_SHARDS)
                 .map(|_| CachePadded::new(RwLock::new(FxHashSet::default())))
                 .collect(),
             recent_waits: (0..HOT_SHARDS)
@@ -144,7 +151,9 @@ impl HotspotRegistry {
 
     /// Force-promotes a record (used by tests and by workloads that declare
     /// a known hotspot up front, mirroring PolarDB-style hints for
-    /// comparison experiments).
+    /// comparison experiments).  The promotion is subject to the sweeper's
+    /// normal decay; use [`HotspotRegistry::pin`] for a declaration that
+    /// must outlive idle periods.
     pub fn promote(&self, record: RecordId) {
         let key = record.packed();
         if self.hot_rows[Self::shard_idx(key)].write().insert(key) {
@@ -152,10 +161,25 @@ impl HotspotRegistry {
         }
     }
 
-    /// Demotes a record back to plain 2PL.
+    /// Declares a record hot for the lifetime of the workload: promotes it
+    /// and exempts it from sweeper decay, so a declared hotspot stays hot
+    /// through calm phases where no transaction ever waits for it.  Only an
+    /// explicit [`HotspotRegistry::demote`] undoes a pin.
+    pub fn pin(&self, record: RecordId) {
+        let key = record.packed();
+        let idx = Self::shard_idx(key);
+        self.pinned_rows[idx].write().insert(key);
+        if self.hot_rows[idx].write().insert(key) {
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Demotes a record back to plain 2PL (clearing any pin).
     pub fn demote(&self, record: RecordId) {
         let key = record.packed();
-        if self.hot_rows[Self::shard_idx(key)].write().remove(&key) {
+        let idx = Self::shard_idx(key);
+        self.pinned_rows[idx].write().remove(&key);
+        if self.hot_rows[idx].write().remove(&key) {
             self.demotions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -170,11 +194,12 @@ impl HotspotRegistry {
         let mut demoted = 0;
         for idx in 0..HOT_SHARDS {
             let recent = std::mem::take(&mut *self.recent_waits[idx].write());
+            let pinned = self.pinned_rows[idx].read();
             let mut hot = self.hot_rows[idx].write();
             hot.retain(|key| {
                 let record = RecordId::from_packed(*key);
                 let seen_recent_waits = recent.get(key).copied().unwrap_or(0) > 0;
-                let keep = seen_recent_waits || has_waiters(record);
+                let keep = pinned.contains(key) || seen_recent_waits || has_waiters(record);
                 if !keep {
                     demoted += 1;
                 }
@@ -274,6 +299,24 @@ mod tests {
         reg.demote(HOT);
         assert!(!reg.is_hot(HOT));
         assert_eq!(reg.hot_count(), 0);
+    }
+
+    #[test]
+    fn pinned_rows_survive_idle_sweeps() {
+        let reg = HotspotRegistry::new(HotspotConfig::default());
+        reg.pin(HOT);
+        reg.promote(COLD);
+        assert!(reg.is_hot(HOT) && reg.is_hot(COLD));
+        // Two idle sweeps: the unpinned promotion decays, the pin holds.
+        assert_eq!(reg.sweep(|_| false), 1);
+        assert_eq!(reg.sweep(|_| false), 0);
+        assert!(reg.is_hot(HOT));
+        assert!(!reg.is_hot(COLD));
+        // An explicit demote clears the pin for good.
+        reg.demote(HOT);
+        assert!(!reg.is_hot(HOT));
+        reg.promote(HOT);
+        assert_eq!(reg.sweep(|_| false), 1, "demote must clear the pin");
     }
 
     #[test]

@@ -334,37 +334,35 @@ impl ReplicationHookBuilder {
             background_running: AtomicBool::new(false),
             stop: AtomicBool::new(false),
         });
-        // A background OS thread is invisible to the deterministic scheduler
-        // (it would race the sim's logical threads on real time), so a hook
-        // built inside a simulation always drains inline regardless of
-        // `background_applier`.
-        let spawn_applier = self.mode == ReplicationMode::Asynchronous
-            && self.config.background_applier
-            && txsql_sim::current().is_none();
-        let applier = if spawn_applier {
-            shared.background_running.store(true, Ordering::Release);
-            let shared_bg = Arc::clone(&shared);
-            let handle = std::thread::Builder::new()
-                .name("txsql-async-applier".into())
-                .spawn(move || loop {
-                    match shared_bg.ship_rx.try_recv() {
-                        Ok((start, end)) => shared_bg.deliver_range(start, end),
-                        Err(_) if shared_bg.stop.load(Ordering::Acquire) => break,
-                        Err(_) => std::thread::sleep(Duration::from_micros(200)),
-                    }
-                })
-                .expect("spawn async applier");
-            Some(handle)
-        } else {
-            None
-        };
-        Arc::new(ReplicationHook {
+        let hook = Arc::new(ReplicationHook {
             mode: self.mode,
             shared,
             injector: self.injector,
-            applier: Mutex::new(applier),
+            applier: Mutex::new(None),
             torn_down: AtomicBool::new(false),
-        })
+        });
+        // A background OS thread is invisible to the deterministic scheduler
+        // (it would race the sim's logical threads on real time), so a hook
+        // built inside a simulation never auto-spawns: sim tests schedule
+        // the same [`ReplicationHook::run_applier_loop`] as an explicit sim
+        // thread instead, and the explorer interleaves it like any other.
+        let spawn_applier = self.mode == ReplicationMode::Asynchronous
+            && self.config.background_applier
+            && txsql_sim::current().is_none();
+        if spawn_applier {
+            // Claim the queue before `build` returns so no commit in the
+            // spawn window drains inline.
+            hook.shared
+                .background_running
+                .store(true, Ordering::Release);
+            let hook_bg = Arc::clone(&hook);
+            let handle = std::thread::Builder::new()
+                .name("txsql-async-applier".into())
+                .spawn(move || hook_bg.run_applier_loop())
+                .expect("spawn async applier");
+            *hook.applier.lock() = Some(handle);
+        }
+        hook
     }
 }
 
@@ -400,6 +398,12 @@ impl ReplicationHook {
     /// The shipping mode.
     pub fn mode(&self) -> ReplicationMode {
         self.mode
+    }
+
+    /// True while an applier (OS thread or scheduled sim thread) owns the
+    /// ship queue, i.e. while the commit paths never drain inline.
+    pub fn applier_running(&self) -> bool {
+        self.shared.background_running.load(Ordering::Acquire)
     }
 
     /// Whether commits currently wait for acks or ship degraded.
@@ -499,6 +503,41 @@ impl ReplicationHook {
         // The ack's network leg back to the primary.
         simulate_delay(self.shared.latency.network_one_way);
         Ok(())
+    }
+
+    /// The async ship-queue applier loop: drains queued position ranges one
+    /// batch at a time until [`ReplicationHook::shutdown`] raises the stop
+    /// flag *and* the queue is empty.  While it runs, the commit paths and
+    /// `wait_caught_up` never drain inline — the queue has one owner.
+    ///
+    /// Natively this is the body of the auto-spawned applier thread.  Under
+    /// the deterministic simulator (where `build` spawns nothing) a test
+    /// schedules it as an ordinary sim thread, so enqueue/drain/shutdown
+    /// interleavings are explored rather than hidden behind an OS thread
+    /// the scheduler cannot see.
+    pub fn run_applier_loop(&self) {
+        self.shared
+            .background_running
+            .store(true, Ordering::Release);
+        loop {
+            match self.shared.ship_rx.try_recv() {
+                Ok((start, end)) => self.shared.deliver_range(start, end),
+                Err(_) if self.shared.stop.load(Ordering::Acquire) => break,
+                Err(_) => {
+                    // Idle: nothing queued yet.  Under sim this advances the
+                    // virtual clock and yields; natively it pauses the OS
+                    // thread without burning the (single) CPU.
+                    if txsql_sim::current().is_some() {
+                        ut_delay(200);
+                    } else {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            }
+        }
+        self.shared
+            .background_running
+            .store(false, Ordering::Release);
     }
 
     /// Blocks until every replica has applied at least `expected_txns`

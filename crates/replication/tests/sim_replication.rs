@@ -571,6 +571,118 @@ fn sim_ship_queue_shed_drain_and_degrade_races_converge() {
     );
 }
 
+/// The async applier as a *scheduled sim thread* (PR 9 leftover): instead of
+/// committers draining the ship queue inline, a dedicated sim thread runs
+/// [`ReplicationHook::run_applier_loop`] — the same loop the native
+/// background thread runs — so the explorer interleaves enqueue, drain, idle
+/// wake-ups and shutdown like any other threads.  Committers gate on
+/// `applier_running()` before enqueueing, so every delivery in the run is
+/// the applier's; the coordinator shuts the hook down once they finish, and
+/// the loop must exit with the queue empty and the ownership flag cleared.
+#[test]
+fn sim_scheduled_applier_owns_the_ship_queue() {
+    const COMMITTERS: usize = 2;
+    const PER_COMMITTER: u64 = 2;
+    const TOTAL: u64 = COMMITTERS as u64 * PER_COMMITTER;
+    let seeds = txsql_sim::ci_seeds(100);
+    let n_seeds = seeds.len();
+    let mut classes = HashSet::new();
+    let mut channel_yields = 0u64;
+
+    for seed in seeds {
+        let metrics = Arc::new(txsql_common::metrics::EngineMetrics::new());
+        let hook =
+            ReplicationHook::builder(ReplicationMode::Asynchronous, LatencyModel::in_memory(), 1)
+                .config(sim_semi_sync().with_queue_capacity(4))
+                .metrics(Arc::clone(&metrics))
+                .build();
+        let next_trx = Arc::new(AtomicI64::new(1));
+        let done = Arc::new(AtomicI64::new(0));
+
+        let hook_build = Arc::clone(&hook);
+        let trx_build = Arc::clone(&next_trx);
+        let done_build = Arc::clone(&done);
+        let report = run_seed(seed, move |sim| {
+            let applier = Arc::clone(&hook_build);
+            sim.spawn("applier", move || applier.run_applier_loop());
+            for committer in 0..COMMITTERS {
+                let hook = Arc::clone(&hook_build);
+                let next_trx = Arc::clone(&trx_build);
+                let done = Arc::clone(&done_build);
+                sim.spawn(format!("committer-{committer}"), move || {
+                    // Wait for the applier to claim the queue, so the drain
+                    // below is attributable to it alone.
+                    while !hook.applier_running() {
+                        txsql_common::latency::ut_delay(10);
+                    }
+                    let pk = 100 + committer as i64;
+                    for round in 1..=PER_COMMITTER {
+                        let trx_no = next_trx.fetch_add(1, Ordering::Relaxed) as u64;
+                        let batch = [BinlogTxn {
+                            txn: TxnId(trx_no),
+                            trx_no,
+                            changes: vec![(ACCOUNTS, pk, Row::from_ints(&[pk, round as i64]))],
+                            involves_hotspot: false,
+                        }];
+                        hook.on_commit_batch(&batch).unwrap();
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            let hook = Arc::clone(&hook_build);
+            let done = Arc::clone(&done_build);
+            sim.spawn("coordinator", move || {
+                while done.load(Ordering::Relaxed) < COMMITTERS as i64 {
+                    txsql_common::latency::ut_delay(50);
+                }
+                // Stop the applier: it may only exit once the queue is empty.
+                hook.shutdown();
+            });
+        });
+
+        assert!(
+            !hook.applier_running(),
+            "seed {seed}: the applier exited without releasing queue ownership"
+        );
+        let replica = &hook.replicas()[0];
+        assert_eq!(
+            replica.applied_txns(),
+            TOTAL,
+            "seed {seed}: the scheduled applier lost a queued batch"
+        );
+        assert_eq!(
+            hook.replica_lag(),
+            0,
+            "seed {seed}: shutdown returned with the replica still behind"
+        );
+        for committer in 0..COMMITTERS {
+            let pk = 100 + committer as i64;
+            assert_eq!(
+                replica_value(replica, pk),
+                PER_COMMITTER as i64,
+                "seed {seed}: committer {committer}'s last write did not survive"
+            );
+        }
+
+        classes.insert(report.coverage.schedule_class);
+        channel_yields += report.coverage.yields_of(txsql_sim::ResourceKind::Channel);
+    }
+
+    println!(
+        "sim-coverage: suite=sim_scheduled_applier runs={n_seeds} classes={} \
+         channel_yields={channel_yields}",
+        classes.len()
+    );
+    assert!(
+        channel_yields > 0,
+        "the applier's queue never became a yield point"
+    );
+    assert!(
+        classes.len() > 1,
+        "every seed collapsed to a single schedule class"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic crash-window checks (no sim needed): each binlog crash point
 // pins down what the client, the replicas and durable redo saw.

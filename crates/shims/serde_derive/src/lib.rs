@@ -5,13 +5,25 @@
 //! workspace uses: structs with named fields, tuple structs, and enums whose
 //! variants are units or single-field tuples.  The input is parsed directly
 //! from the proc-macro token stream — no `syn`/`quote` available offline.
+//!
+//! One helper attribute is honoured: `#[serde(default)]` on a named field
+//! makes `Deserialize` fall back to `Default::default()` when the field is
+//! absent from the JSON object — how snapshots recorded before a metrics
+//! field existed keep deserialising after the field is added.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named struct field: its identifier and whether `#[serde(default)]`
+/// marks it as optional-with-default on deserialize.
+struct Field {
+    name: String,
+    defaulted: bool,
+}
 
 /// Parsed shape of the deriving type.
 enum Shape {
     /// `struct S { a: A, b: B }`
-    Named { name: String, fields: Vec<String> },
+    Named { name: String, fields: Vec<Field> },
     /// `struct S(A, B);` — arity recorded.
     Tuple { name: String, arity: usize },
     /// `enum E { Unit, Newtype(T) }`
@@ -85,16 +97,21 @@ fn parse_shape(input: TokenStream) -> Shape {
     }
 }
 
-/// Extracts field names from `a: A, b: B, ...` (attributes/vis skipped, types
-/// consumed with angle-bracket depth tracking so `Map<K, V>` commas don't
-/// split fields).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Extracts field names from `a: A, b: B, ...` (attributes skipped except
+/// `#[serde(default)]`, which is recorded; types consumed with angle-bracket
+/// depth tracking so `Map<K, V>` commas don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut tokens = stream.into_iter().peekable();
+    let mut defaulted = false;
     while let Some(tt) = tokens.next() {
         match &tt {
             TokenTree::Punct(p) if p.as_char() == '#' => {
-                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    if is_serde_default(&g) {
+                        defaulted = true;
+                    }
+                }
             }
             TokenTree::Ident(id) if id.to_string() == "pub" => {
                 if let Some(TokenTree::Group(g)) = tokens.peek() {
@@ -104,7 +121,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
                 }
             }
             TokenTree::Ident(id) => {
-                fields.push(id.to_string());
+                fields.push(Field {
+                    name: id.to_string(),
+                    defaulted: std::mem::take(&mut defaulted),
+                });
                 // Expect `:`, then skip the type up to a top-level comma.
                 let mut angle_depth = 0i32;
                 for tt in tokens.by_ref() {
@@ -120,6 +140,26 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// True when an attribute's bracket group is exactly `[serde(default)]`.
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    if group.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let mut tokens = group.stream().into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut inner = args.stream().into_iter();
+            matches!(
+                (inner.next(), inner.next()),
+                (Some(TokenTree::Ident(arg)), None) if arg.to_string() == "default"
+            )
+        }
+        _ => false,
+    }
 }
 
 /// Counts top-level comma-separated fields of a tuple struct body.
@@ -184,13 +224,13 @@ fn parse_variants(stream: TokenStream) -> Vec<(String, bool)> {
 }
 
 /// Derives the shim `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let code = match parse_shape(input) {
         Shape::Named { name, fields } => {
             let pairs: String = fields
                 .iter()
-                .map(|f| {
+                .map(|Field { name: f, .. }| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_json(&self.{f})),"
@@ -258,13 +298,28 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the shim `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let code = match parse_shape(input) {
         Shape::Named { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_json(value.field(\"{f}\")?)?,"))
+                .map(|Field { name: f, defaulted }| {
+                    if *defaulted {
+                        // `#[serde(default)]`: absent field → Default value
+                        // (snapshots recorded before the field existed).
+                        format!(
+                            "{f}: match value.field(\"{f}\") {{\n\
+                                 ::std::result::Result::Ok(v) => \
+                                     ::serde::Deserialize::from_json(v)?,\n\
+                                 ::std::result::Result::Err(_) => \
+                                     ::std::default::Default::default(),\n\
+                             }},"
+                        )
+                    } else {
+                        format!("{f}: ::serde::Deserialize::from_json(value.field(\"{f}\")?)?,")
+                    }
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\

@@ -74,6 +74,10 @@ fn fold_operation(hash: &mut Fnv1a, op: &Operation) {
             hash.write_u64(*pk as u64);
             hash.write_u64(*fill as u64);
         }
+        Operation::Work { micros } => {
+            hash.write_u64(6);
+            hash.write_u64(*micros);
+        }
         Operation::ForcedRollback => hash.write_u64(5),
     }
 }

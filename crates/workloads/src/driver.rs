@@ -20,32 +20,58 @@ use txsql_common::metrics::{LatencyHistogram, MetricsSnapshot};
 use txsql_common::rng::XorShiftRng;
 use txsql_core::{Database, TxnProgram};
 
-/// Executes one transaction with bounded retries on contention aborts.
+/// Salt separating the retry-jitter RNG stream from the program-generation
+/// stream a worker's base seed feeds.
+const RETRY_SEED_SALT: u64 = 0xB0FF_5EED;
+
+/// Executes one transaction with a budgeted retry loop: every retryable
+/// abort waits an adaptive, deterministically jittered backoff delay (see
+/// [`txsql_core::BackoffPolicy`]) before the next attempt, and the loop
+/// gives up — counted in `retry_budget_exhausted` — once the budget runs
+/// out.
 ///
-/// The stop flag is consulted after every failed attempt, so a livelocked
-/// transaction (`max_retries == 0`, retry forever) can never run past the
-/// measurement deadline and hang a harness cell.  Every retry is counted
-/// into [`txsql_common::metrics::EngineMetrics::admission_retries`] so the
-/// abort breakdown can distinguish driver-side retry pressure from
-/// engine-side aborts.  Returns whether the transaction finally committed.
+/// `max_retries > 0` overrides the engine-configured retry budget; `0`
+/// means "use the engine's budget" (and an engine budget of `0` retries
+/// until the stop flag, with the backoff still pacing the loop, so a
+/// livelocked transaction can never run past the measurement deadline and
+/// hang a harness cell).  `retry_seed` seeds the jitter stream, so the same
+/// seed replays the same delay sequence under native threads and the
+/// simulator.  Every retry is counted into
+/// [`txsql_common::metrics::EngineMetrics::admission_retries`] so the abort
+/// breakdown can distinguish driver-side retry pressure from engine-side
+/// aborts.  Returns whether the transaction finally committed.
 fn execute_with_retries(
     db: &Database,
     program: &TxnProgram,
     max_retries: usize,
     stop: &AtomicBool,
+    retry_seed: u64,
 ) -> bool {
-    let mut attempts = 0usize;
+    let mut policy = db.backoff_policy();
+    if max_retries > 0 {
+        policy.budget = max_retries.min(u32::MAX as usize) as u32;
+    }
+    if policy.budget == 0 {
+        policy.budget = u32::MAX;
+    }
+    let mut state = policy.begin(retry_seed);
     loop {
         match db.execute_program(program) {
             Ok(outcome) => return outcome.committed,
             Err(err) if err.is_retryable() => {
-                attempts += 1;
                 db.metrics().admission_retries.inc();
-                if max_retries > 0 && attempts >= max_retries {
-                    return false;
-                }
                 if stop.load(Ordering::Relaxed) {
                     return false;
+                }
+                match state.next_backoff(&policy) {
+                    Some(delay) => {
+                        db.metrics().backoff_waits.inc();
+                        txsql_common::latency::simulate_delay(delay);
+                    }
+                    None => {
+                        db.metrics().retry_budget_exhausted.inc();
+                        return false;
+                    }
                 }
             }
             Err(_) => return false,
@@ -64,8 +90,9 @@ pub struct ClosedLoopOptions {
     pub warmup: Duration,
     /// Base RNG seed (each worker derives its own stream).
     pub seed: u64,
-    /// Abandon a transaction after this many aborted attempts (it still counts
-    /// as aborted work in the metrics; 0 means retry forever).
+    /// Retry budget per transaction (it still counts as aborted work in the
+    /// metrics; 0 means use the engine-configured budget,
+    /// [`txsql_core::AdmissionConfig::retry_budget`]).
     pub max_retries: usize,
 }
 
@@ -116,9 +143,12 @@ pub fn run_closed_loop(
             let workload_ref: &dyn Workload = workload;
             scope.spawn(move || {
                 let mut rng = XorShiftRng::for_worker(seed, worker as u64);
+                // A separate jitter stream keeps the program sequence
+                // identical whether or not retries back off.
+                let mut retry_rng = XorShiftRng::for_worker(seed ^ RETRY_SEED_SALT, worker as u64);
                 while !stop.load(Ordering::Relaxed) {
                     let program = workload_ref.next_program(&mut rng);
-                    execute_with_retries(&db, &program, max_retries, &stop);
+                    execute_with_retries(&db, &program, max_retries, &stop, retry_rng.next_u64());
                 }
             });
         }
@@ -148,6 +178,12 @@ pub struct SecondSample {
     pub p95_latency_ms: f64,
     /// Useful-work ratio during this second (CPU-utilisation proxy).
     pub utilization: f64,
+    /// Transactions shed by front-door admission control this second.
+    pub admission_shed: u64,
+    /// Transactions queued through a hot-key admission queue this second.
+    pub admission_queued: u64,
+    /// Retry budgets exhausted this second (transaction reported failed).
+    pub retry_budget_exhausted: u64,
 }
 
 impl SecondSample {
@@ -235,6 +271,38 @@ impl FixedTpsReport {
             self.total_failed() as f64 / total as f64 * 100.0
         }
     }
+
+    /// Transactions shed by admission control over the whole run.
+    pub fn total_shed(&self) -> u64 {
+        self.samples.iter().map(|s| s.admission_shed).sum()
+    }
+
+    /// Transactions that waited in a hot-key admission queue, whole run.
+    pub fn total_queued(&self) -> u64 {
+        self.samples.iter().map(|s| s.admission_queued).sum()
+    }
+
+    /// Retry budgets exhausted over the whole run.
+    pub fn total_budget_exhausted(&self) -> u64 {
+        self.samples.iter().map(|s| s.retry_budget_exhausted).sum()
+    }
+
+    /// Whole-run goodput restricted to `seconds` (e.g. the pre-burst or
+    /// post-burst phase of a burst trace): committed transactions per second
+    /// over that window.
+    pub fn goodput_tps_in(&self, seconds: std::ops::Range<u64>) -> f64 {
+        let span = seconds.end.saturating_sub(seconds.start);
+        if span == 0 {
+            return 0.0;
+        }
+        let committed: u64 = self
+            .samples
+            .iter()
+            .filter(|s| seconds.contains(&s.second))
+            .map(|s| s.committed)
+            .sum();
+        committed as f64 / span as f64
+    }
 }
 
 /// Runs the composite trace against `db` at its fixed per-second rates,
@@ -278,16 +346,22 @@ pub fn run_fixed_tps_report(
             let trace_ref: &HotspotsTrace = trace;
             scope.spawn(move || {
                 let mut rng = XorShiftRng::for_worker(seed, worker as u64);
+                let mut retry_rng = XorShiftRng::for_worker(seed ^ RETRY_SEED_SALT, worker as u64);
                 while !stop.load(Ordering::Relaxed) {
                     let Ok(job) = job_rx.recv_timeout(Duration::from_millis(20)) else {
                         continue;
                     };
                     let program = trace_ref.program_at(job.second, &mut rng);
-                    // `retry_limit` retries on top of the first attempt; the
-                    // stop flag inside the helper bounds the loop by the
-                    // measurement deadline.
-                    let success =
-                        execute_with_retries(&db, &program, retry_limit.saturating_add(1), &stop);
+                    // `retry_limit` backoff retries on top of the first
+                    // attempt; the stop flag inside the helper bounds the
+                    // loop by the measurement deadline.
+                    let success = execute_with_retries(
+                        &db,
+                        &program,
+                        retry_limit,
+                        &stop,
+                        retry_rng.next_u64(),
+                    );
                     let elapsed = job.issued_at.elapsed();
                     second_latencies.lock().record(elapsed);
                     run_latencies.lock().record(elapsed);
@@ -327,7 +401,12 @@ pub fn run_fixed_tps_report(
                     std::thread::sleep(slice_deadline - now);
                 }
             }
+            // Sampled before the next second's reset wipes the counters: the
+            // admission columns are this second's front-door activity.
             let utilization = db.metrics().utilization();
+            let admission_shed = db.metrics().admission_shed.get();
+            let admission_queued = db.metrics().admission_queued.get();
+            let retry_budget_exhausted = db.metrics().retry_budget_exhausted.get();
             samples.push(SecondSample {
                 second,
                 target_tps: target,
@@ -335,6 +414,9 @@ pub fn run_fixed_tps_report(
                 failed: failed.load(Ordering::Relaxed),
                 p95_latency_ms: second_latencies.lock().p95_millis(),
                 utilization,
+                admission_shed,
+                admission_queued,
+                retry_budget_exhausted,
             });
         }
         stop.store(true, Ordering::Relaxed);
@@ -348,7 +430,9 @@ pub fn run_fixed_tps_report(
 mod tests {
     use super::*;
     use crate::sysbench::{SysbenchVariant, SysbenchWorkload};
-    use txsql_core::Protocol;
+    use txsql_common::{Row, TableId};
+    use txsql_core::{EngineConfig, Operation, Protocol};
+    use txsql_storage::TableSchema;
 
     #[test]
     fn closed_loop_driver_produces_throughput() {
@@ -375,6 +459,93 @@ mod tests {
             assert!(snapshot.committed > 0, "{protocol:?} committed nothing");
             db.shutdown();
         }
+    }
+
+    /// Retry-budget accounting across the three outcome paths of
+    /// [`execute_with_retries`]:
+    ///
+    /// * **commit** — succeeds first try: no backoff waits, no retries,
+    ///   budget untouched;
+    /// * **abort** — a `ForcedRollback` is a clean non-retryable outcome:
+    ///   the loop returns `false` immediately without charging the budget;
+    /// * **timeout** — a held row lock makes every attempt fail retryably:
+    ///   exactly `budget` backoff waits are paid, `retry_budget_exhausted`
+    ///   fires once, and each failed attempt counts one `admission_retries`.
+    #[test]
+    fn retry_budget_accounting_across_commit_abort_and_timeout() {
+        const TABLE: TableId = TableId(9);
+        let config = EngineConfig::for_protocol(Protocol::Mysql2pl)
+            .with_lock_wait_timeout(Duration::from_millis(5));
+        let db = Database::new(config);
+        db.create_table(TableSchema::new(TABLE, "accounts", 2))
+            .unwrap();
+        db.load_row(TABLE, Row::from_ints(&[1, 0])).unwrap();
+        db.load_row(TABLE, Row::from_ints(&[2, 0])).unwrap();
+        let stop = AtomicBool::new(false);
+        let bump = |pk| {
+            TxnProgram::new(vec![Operation::UpdateAdd {
+                table: TABLE,
+                pk,
+                column: 1,
+                delta: 1,
+            }])
+        };
+
+        // Commit path: a free row commits on the first attempt.
+        assert!(execute_with_retries(&db, &bump(1), 3, &stop, 7));
+        assert_eq!(db.metrics().backoff_waits.get(), 0);
+        assert_eq!(db.metrics().admission_retries.get(), 0);
+        assert_eq!(db.metrics().retry_budget_exhausted.get(), 0);
+
+        // Abort path: a forced rollback is not retryable — one attempt,
+        // no budget spent.
+        let mut rollback = bump(1);
+        rollback.operations.push(Operation::ForcedRollback);
+        assert!(!execute_with_retries(&db, &rollback, 3, &stop, 7));
+        assert_eq!(db.metrics().backoff_waits.get(), 0);
+        assert_eq!(db.metrics().admission_retries.get(), 0);
+        assert_eq!(db.metrics().retry_budget_exhausted.get(), 0);
+
+        // Timeout path: another transaction holds row 2, so every attempt
+        // times out.  Budget 3 = 4 attempts total, 3 backoff waits, one
+        // budget exhaustion.
+        let mut holder = db.begin();
+        db.select_for_update(&mut holder, TABLE, 2).unwrap();
+        assert!(!execute_with_retries(&db, &bump(2), 3, &stop, 7));
+        assert_eq!(db.metrics().backoff_waits.get(), 3);
+        assert_eq!(db.metrics().admission_retries.get(), 4);
+        assert_eq!(db.metrics().retry_budget_exhausted.get(), 1);
+
+        // Once the holder releases, the same program commits and the
+        // exhaustion tally does not move.
+        db.rollback(holder, None);
+        assert!(execute_with_retries(&db, &bump(2), 3, &stop, 7));
+        assert_eq!(db.metrics().retry_budget_exhausted.get(), 1);
+        db.shutdown();
+    }
+
+    /// The jitter stream is seeded per transaction: the same `retry_seed`
+    /// must replay the same delay sequence (the native half of the
+    /// determinism contract; `sim_admission.rs` pins the sim half).
+    #[test]
+    fn retry_jitter_replays_per_seed() {
+        let db = Database::with_protocol(Protocol::Mysql2pl);
+        let policy = db.backoff_policy();
+        let a: Vec<Duration> = {
+            let mut state = policy.begin(99);
+            std::iter::from_fn(|| state.next_backoff(&policy)).collect()
+        };
+        let b: Vec<Duration> = {
+            let mut state = policy.begin(99);
+            std::iter::from_fn(|| state.next_backoff(&policy)).collect()
+        };
+        let c: Vec<Duration> = {
+            let mut state = policy.begin(100);
+            std::iter::from_fn(|| state.next_backoff(&policy)).collect()
+        };
+        assert_eq!(a, b, "same seed must replay the same jitter sequence");
+        assert_ne!(a, c, "different seeds must jitter differently");
+        db.shutdown();
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub struct HotspotsTrace {
     phases: Vec<TracePhase>,
     table_size: u64,
     name: String,
+    declared_hotspot: bool,
+    hot_work_micros: u64,
 }
 
 impl HotspotsTrace {
@@ -44,6 +46,8 @@ impl HotspotsTrace {
             phases,
             table_size,
             name: "hotspots-composite".to_string(),
+            declared_hotspot: false,
+            hot_work_micros: 0,
         }
     }
 
@@ -89,6 +93,64 @@ impl HotspotsTrace {
         )
     }
 
+    /// A sharp three-phase overload for admission-control experiments: a
+    /// calm pre-burst phase, one burst phase in which nearly every
+    /// transaction hits the hot row at eight times the base rate, then a
+    /// calm post-burst phase.  The question this trace asks is what tail
+    /// latency and goodput look like *through* the burst — and whether the
+    /// post-burst phase recovers to the pre-burst goodput once the shed
+    /// hysteresis re-arms.
+    ///
+    /// The burst trace *declares* its hot row up front (a PolarDB-style
+    /// workload hint, see `HotspotRegistry::promote`): the experiment is
+    /// about what the front door does during an overload on a known hot
+    /// key, not about how fast organic promotion notices one — short
+    /// smoke windows on a small box can finish before a real lock queue
+    /// ever forms, which would silently turn the admission cell into a
+    /// no-op.
+    pub fn burst(base_tps: u64, phase_seconds: u64) -> Self {
+        let mut trace = Self::new(
+            vec![
+                TracePhase {
+                    seconds: phase_seconds,
+                    target_tps: base_tps,
+                    hotspot_share: 0.05,
+                },
+                TracePhase {
+                    seconds: phase_seconds,
+                    target_tps: base_tps * 8,
+                    hotspot_share: 0.95,
+                },
+                TracePhase {
+                    seconds: phase_seconds,
+                    target_tps: base_tps,
+                    hotspot_share: 0.05,
+                },
+            ],
+            10_000,
+        );
+        trace.name = "hotspot-burst".to_string();
+        trace.declared_hotspot = true;
+        // Hot transactions carry 30 ms of in-transaction work while their
+        // locks (and admission permit) are held — the metastable-overload
+        // shape where the hot path calls a slow downstream dependency.  The
+        // number is chosen so the burst phase exceeds the worker pool's
+        // capacity in both grid cells (8 workers / 30 ms ≈ 270 tps < the
+        // smoke burst's 380 hot tps): without admission the backlog outlives
+        // the burst and post-burst latencies blow through the SLO deadline;
+        // with it the front door sheds the excess instead.  Sub-millisecond
+        // transactions never produce that regime — the burst would be fully
+        // absorbed and the admission cell would have nothing to do.
+        trace.hot_work_micros = 30_000;
+        trace
+    }
+
+    /// Whether `setup` declares row 0 hot up front instead of waiting for
+    /// organic promotion.
+    pub fn declares_hotspot(&self) -> bool {
+        self.declared_hotspot
+    }
+
     /// The phase schedule.
     pub fn phases(&self) -> &[TracePhase] {
         &self.phases
@@ -124,18 +186,22 @@ impl HotspotsTrace {
         } else {
             1 + rng.next_bounded(self.table_size - 1) as i64
         };
-        TxnProgram::new(vec![
-            Operation::UpdateAdd {
-                table: APP_TABLE,
-                pk,
-                column: 1,
-                delta: 1,
-            },
-            Operation::Read {
-                table: APP_TABLE,
-                pk: rng.next_bounded(self.table_size) as i64,
-            },
-        ])
+        let mut ops = vec![Operation::UpdateAdd {
+            table: APP_TABLE,
+            pk,
+            column: 1,
+            delta: 1,
+        }];
+        if pk == 0 && self.hot_work_micros > 0 {
+            ops.push(Operation::Work {
+                micros: self.hot_work_micros,
+            });
+        }
+        ops.push(Operation::Read {
+            table: APP_TABLE,
+            pk: rng.next_bounded(self.table_size) as i64,
+        });
+        TxnProgram::new(ops)
     }
 }
 
@@ -152,6 +218,13 @@ impl Workload for HotspotsTrace {
             for pk in 0..self.table_size as i64 {
                 db.load_row(APP_TABLE, Row::from_ints(&[pk, 0])).unwrap();
             }
+        }
+        if self.declared_hotspot {
+            // `pin`, not `promote`: the calm pre-burst phase has no waiters,
+            // and an unpinned declaration would decay out of the hot set
+            // before the burst arrives.
+            let hot = db.record_id(APP_TABLE, 0).expect("hot row loaded above");
+            db.hotspots().pin(hot);
         }
     }
 
@@ -193,5 +266,18 @@ mod tests {
     #[should_panic]
     fn empty_schedule_is_rejected() {
         let _ = HotspotsTrace::new(vec![], 10);
+    }
+
+    #[test]
+    fn burst_setup_declares_the_hot_row() {
+        assert!(HotspotsTrace::burst(50, 1).declares_hotspot());
+        assert!(!HotspotsTrace::paper_like(100).declares_hotspot());
+        let db = Database::with_protocol(txsql_core::Protocol::GroupLockingTxsql);
+        HotspotsTrace::burst(50, 1).setup(&db);
+        let hot = db.record_id(APP_TABLE, 0).unwrap();
+        assert!(
+            db.hotspots().is_hot(hot),
+            "burst setup must promote the declared hot row"
+        );
     }
 }

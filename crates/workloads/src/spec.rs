@@ -92,6 +92,15 @@ pub enum WorkloadSpec {
         /// Length of each of the five schedule phases, in seconds.
         phase_seconds: u64,
     },
+    /// A sharp three-phase hot-row overload (calm / 8× burst / calm),
+    /// driven open-loop — the admission-control experiment trace
+    /// ([`HotspotsTrace::burst`]).
+    HotspotBurst {
+        /// Baseline transactions per second (the burst runs at 8×).
+        base_tps: u64,
+        /// Length of each of the three phases, in seconds.
+        phase_seconds: u64,
+    },
 }
 
 /// A workload built from a [`WorkloadSpec`], tagged by which driver runs it.
@@ -136,12 +145,16 @@ impl WorkloadSpec {
             WorkloadSpec::Fit { .. } => "fit".to_string(),
             WorkloadSpec::Tpcc { warehouses } => format!("tpcc-w{warehouses}"),
             WorkloadSpec::Hotspots { base_tps, .. } => format!("hotspots-tps{base_tps}"),
+            WorkloadSpec::HotspotBurst { base_tps, .. } => format!("hotspot-burst-tps{base_tps}"),
         }
     }
 
     /// True for specs that run under the fixed-TPS open-loop driver.
     pub fn is_open_loop(&self) -> bool {
-        matches!(self, WorkloadSpec::Hotspots { .. })
+        matches!(
+            self,
+            WorkloadSpec::Hotspots { .. } | WorkloadSpec::HotspotBurst { .. }
+        )
     }
 
     /// Builds the concrete workload generator.
@@ -170,6 +183,10 @@ impl WorkloadSpec {
                 base_tps,
                 phase_seconds,
             } => BuiltWorkload::Open(HotspotsTrace::paper_like_scaled(base_tps, phase_seconds)),
+            WorkloadSpec::HotspotBurst {
+                base_tps,
+                phase_seconds,
+            } => BuiltWorkload::Open(HotspotsTrace::burst(base_tps, phase_seconds)),
         }
     }
 
@@ -223,6 +240,10 @@ mod tests {
                 base_tps: 100,
                 phase_seconds: 1,
             },
+            WorkloadSpec::HotspotBurst {
+                base_tps: 100,
+                phase_seconds: 1,
+            },
         ];
         let labels: Vec<String> = specs.iter().map(WorkloadSpec::label).collect();
         assert_eq!(labels[0], "sysbench-hotspot-update");
@@ -230,6 +251,7 @@ mod tests {
         assert_eq!(labels[2], "fit");
         assert_eq!(labels[3], "tpcc-w4");
         assert_eq!(labels[4], "hotspots-tps100");
+        assert_eq!(labels[5], "hotspot-burst-tps100");
         let mut dedup = labels.clone();
         dedup.sort();
         dedup.dedup();

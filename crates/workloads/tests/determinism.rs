@@ -79,6 +79,22 @@ fn hotspots_trace_is_pinned() {
 }
 
 #[test]
+fn hotspot_burst_trace_is_pinned() {
+    let spec = WorkloadSpec::HotspotBurst {
+        base_tps: 50,
+        phase_seconds: 1,
+    };
+    let BuiltWorkload::Open(trace) = spec.build() else {
+        panic!("hotspot-burst is open-loop");
+    };
+    assert_eq!(
+        trace_digest(&trace, SEED, 20),
+        5227420549542702638,
+        "hotspot-burst trace stream changed; re-pin if intentional"
+    );
+}
+
+#[test]
 fn digests_differ_across_families() {
     let digests = [
         closed_digest(WorkloadSpec::sysbench(SysbenchVariant::HotspotUpdate)),
